@@ -1,0 +1,37 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! (A1) zero-risk node ordering, (A2) share discipline,
+//! (A3) the strict μ = 1 risk test.
+
+use bench::{bench_config, default_scenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::figures;
+use librisk::prelude::PolicyKind;
+use std::hint::black_box;
+
+fn regenerate_and_time(c: &mut Criterion) {
+    let fig = figures::ablation(&bench_config());
+    eprintln!("{}", experiments::report::figure_to_markdown(&fig));
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    let variants = [
+        PolicyKind::LibraRisk,
+        PolicyKind::LibraRiskStrict,
+        PolicyKind::LibraRiskBestFit,
+        PolicyKind::LibraRiskStrictShares,
+        PolicyKind::Libra,
+        PolicyKind::LibraStrictShares,
+    ];
+    let scenario = default_scenario(300);
+    for policy in variants {
+        group.bench_with_input(
+            BenchmarkId::new("variant", policy.name()),
+            &scenario,
+            |b, s| b.iter(|| black_box(s.run(policy)).fulfilled()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, regenerate_and_time);
+criterion_main!(benches);

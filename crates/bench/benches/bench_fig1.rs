@@ -1,0 +1,37 @@
+//! Figure 1 (impact of varying workload): regenerates the four panels at
+//! bench scale and times the heavy- and light-load cells per policy.
+
+use bench::bench_config;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::figures;
+use experiments::{EstimateRegime, Scenario};
+use librisk::prelude::PolicyKind;
+use std::hint::black_box;
+
+fn regenerate_and_time(c: &mut Criterion) {
+    // Regenerate the figure once so `cargo bench` reproduces the rows.
+    let fig = figures::fig1(&bench_config());
+    eprintln!("{}", experiments::report::figure_to_markdown(&fig));
+
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    for policy in PolicyKind::PAPER {
+        for delay in [0.2f64, 1.0] {
+            let scenario = Scenario {
+                jobs: 300,
+                arrival_delay_factor: delay,
+                estimates: EstimateRegime::Trace,
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(policy.name(), format!("delay={delay}")),
+                &scenario,
+                |b, s| b.iter(|| black_box(s.run(policy)).fulfilled()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, regenerate_and_time);
+criterion_main!(benches);

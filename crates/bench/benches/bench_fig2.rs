@@ -1,0 +1,36 @@
+//! Figure 2 (impact of varying deadline high:low ratio): regenerates the
+//! panels at bench scale and times the tight- and loose-deadline cells.
+
+use bench::bench_config;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::figures;
+use experiments::{EstimateRegime, Scenario};
+use librisk::prelude::PolicyKind;
+use std::hint::black_box;
+
+fn regenerate_and_time(c: &mut Criterion) {
+    let fig = figures::fig2(&bench_config());
+    eprintln!("{}", experiments::report::figure_to_markdown(&fig));
+
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    for policy in PolicyKind::PAPER {
+        for ratio in [1.0f64, 10.0] {
+            let scenario = Scenario {
+                jobs: 300,
+                deadline_ratio: ratio,
+                estimates: EstimateRegime::Trace,
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(policy.name(), format!("ratio={ratio}")),
+                &scenario,
+                |b, s| b.iter(|| black_box(s.run(policy)).fulfilled()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, regenerate_and_time);
+criterion_main!(benches);

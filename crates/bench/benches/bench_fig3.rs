@@ -1,0 +1,36 @@
+//! Figure 3 (impact of varying high-urgency jobs): regenerates the panels
+//! at bench scale and times the 0 % and 100 % urgency cells.
+
+use bench::bench_config;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::figures;
+use experiments::{EstimateRegime, Scenario};
+use librisk::prelude::PolicyKind;
+use std::hint::black_box;
+
+fn regenerate_and_time(c: &mut Criterion) {
+    let fig = figures::fig3(&bench_config());
+    eprintln!("{}", experiments::report::figure_to_markdown(&fig));
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    for policy in PolicyKind::PAPER {
+        for pct in [0.0f64, 100.0] {
+            let scenario = Scenario {
+                jobs: 300,
+                high_urgency_pct: pct,
+                estimates: EstimateRegime::Trace,
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(policy.name(), format!("high_urgency={pct}%")),
+                &scenario,
+                |b, s| b.iter(|| black_box(s.run(policy)).fulfilled()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, regenerate_and_time);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 4 (impact of varying inaccurate runtime estimates): regenerates
+//! the panels at bench scale and times the fully-accurate and
+//! fully-inaccurate cells at both urgency mixes.
+
+use bench::bench_config;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::figures;
+use experiments::{EstimateRegime, Scenario};
+use librisk::prelude::PolicyKind;
+use std::hint::black_box;
+
+fn regenerate_and_time(c: &mut Criterion) {
+    let fig = figures::fig4(&bench_config());
+    eprintln!("{}", experiments::report::figure_to_markdown(&fig));
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for policy in PolicyKind::PAPER {
+        for (hu, inacc) in [(20.0f64, 0.0f64), (20.0, 100.0), (80.0, 100.0)] {
+            let scenario = Scenario {
+                jobs: 300,
+                high_urgency_pct: hu,
+                estimates: EstimateRegime::Inaccuracy(inacc),
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(policy.name(), format!("hu={hu}%/inacc={inacc}%")),
+                &scenario,
+                |b, s| b.iter(|| black_box(s.run(policy)).fulfilled()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, regenerate_and_time);
+criterion_main!(benches);

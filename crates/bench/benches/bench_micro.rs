@@ -1,0 +1,124 @@
+//! Microbenches of the hot paths: the admission decision (M1), the
+//! end-to-end simulated-jobs-per-second rate (M2), the node-local delay
+//! projection, and the DES kernel's event queue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cluster::projection::{node_risk, ProjectedJob, ShareDiscipline};
+use cluster::proportional::{ProportionalCluster, ProportionalConfig};
+use cluster::{Cluster, NodeId};
+use librisk::policy::ShareAdmission;
+use librisk::prelude::*;
+use librisk::LibraRisk;
+use sim::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn job(id: u64, estimate: f64, deadline: f64) -> Job {
+    Job {
+        id: JobId(id),
+        submit: SimTime::ZERO,
+        runtime: SimDuration::from_secs(estimate),
+        estimate: SimDuration::from_secs(estimate),
+        procs: 1,
+        deadline: SimDuration::from_secs(deadline),
+        urgency: Urgency::Low,
+    }
+}
+
+/// M1: a LibraRisk admission decision on a 128-node cluster with varying
+/// resident load.
+fn admission_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/admission");
+    for residents_per_node in [1usize, 4, 16] {
+        let mut engine = ProportionalCluster::new(
+            Cluster::sdsc_sp2(),
+            ProportionalConfig::default(),
+        );
+        let mut id = 0u64;
+        for n in 0..engine.cluster().len() {
+            for _ in 0..residents_per_node {
+                // Light shares so every node stays feasible.
+                let j = job(id, 100.0, 100_000.0 + id as f64);
+                engine.admit(j, vec![NodeId(n as u32)], SimTime::ZERO);
+                id += 1;
+            }
+        }
+        let new_job = job(u64::MAX, 500.0, 5_000.0);
+        group.bench_with_input(
+            BenchmarkId::new("librarisk_decide", residents_per_node),
+            &engine,
+            |b, e| {
+                b.iter(|| {
+                    let mut policy = LibraRisk::paper();
+                    black_box(policy.decide(e, &new_job))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Node-local projection cost against resident-set size.
+fn projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/projection");
+    for n in [2usize, 8, 32, 128] {
+        let jobs: Vec<ProjectedJob> = (0..n)
+            .map(|i| ProjectedJob {
+                remaining_est: 100.0 + i as f64,
+                abs_deadline: 1_000.0 + 10.0 * i as f64,
+            })
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("node_risk", n), &jobs, |b, js| {
+            b.iter(|| black_box(node_risk(js, 0.0, 1.0, ShareDiscipline::WorkConserving)))
+        });
+    }
+    group.finish();
+}
+
+/// M2: end-to-end simulation throughput in jobs per second of wall time.
+fn end_to_end_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/end_to_end");
+    group.sample_size(10);
+    let scenario = bench::default_scenario(1000);
+    let trace = scenario.build_trace();
+    let cluster = scenario.cluster();
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for policy in PolicyKind::PAPER {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| black_box(policy.run(&cluster, &trace)).fulfilled())
+        });
+    }
+    group.finish();
+}
+
+/// The DES kernel's schedule/pop cycle.
+fn event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/event_queue");
+    for n in [1_000u64, 100_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q: sim::EventQueue<u64> = sim::EventQueue::with_capacity(n as usize);
+                let mut rng = sim::Rng64::new(7);
+                for i in 0..n {
+                    q.schedule(SimTime::from_secs(rng.next_f64() * 1e6), i);
+                }
+                let mut acc = 0u64;
+                while let Some(ev) = q.pop() {
+                    acc = acc.wrapping_add(ev.payload);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    admission_decision,
+    projection,
+    end_to_end_throughput,
+    event_queue
+);
+criterion_main!(benches);

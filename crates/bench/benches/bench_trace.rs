@@ -1,0 +1,37 @@
+//! The §4 trace-statistics table: regenerates it and times trace
+//! generation (the workload substrate itself).
+
+use bench::bench_config;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::figures;
+use std::hint::black_box;
+use workload::synthetic::SyntheticSdscSp2;
+
+fn regenerate_and_time(c: &mut Criterion) {
+    eprintln!("{}", figures::trace_stats_table(&bench_config()).to_markdown());
+
+    let mut group = c.benchmark_group("trace");
+    for jobs in [300usize, 3000] {
+        let generator = SyntheticSdscSp2 {
+            jobs,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("generate", jobs), &generator, |b, g| {
+            b.iter(|| black_box(g.generate(1)).len())
+        });
+    }
+    // SWF round trip at paper scale.
+    let trace = SyntheticSdscSp2 {
+        jobs: 3000,
+        ..Default::default()
+    }
+    .generate(1);
+    let text = workload::swf::write(&trace);
+    group.bench_function("swf_parse_3000", |b| {
+        b.iter(|| workload::swf::parse(black_box(&text)).unwrap().0.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, regenerate_and_time);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! Each `bench_fig*` target regenerates the corresponding figure of the
+//! paper at bench scale (printing the same rows the paper reports) and
+//! then times representative simulation cells. The full-scale figures are
+//! produced by the `experiments` binary (`experiments all`).
+
+use experiments::figures::FigureConfig;
+use experiments::Scenario;
+
+/// Bench-scale figure configuration: one seed, reduced trace.
+pub fn bench_config() -> FigureConfig {
+    FigureConfig {
+        jobs: 300,
+        seeds: vec![1],
+        threads: experiments::sweep::default_threads(),
+    }
+}
+
+/// The default-point scenario (arrival delay factor 1, ratio 4, 20 % high
+/// urgency, trace estimates) at the given trace size.
+pub fn default_scenario(jobs: usize) -> Scenario {
+    Scenario {
+        jobs,
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_is_small() {
+        let cfg = bench_config();
+        assert!(cfg.jobs <= 500);
+        assert_eq!(cfg.seeds.len(), 1);
+    }
+
+    #[test]
+    fn default_scenario_sizes() {
+        assert_eq!(default_scenario(123).jobs, 123);
+    }
+}

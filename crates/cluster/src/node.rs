@@ -1,0 +1,60 @@
+//! Computation nodes.
+
+/// Index of a node within its cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// A single-processor computation node with a SPEC rating.
+///
+/// Job runtimes are expressed at a *reference* rating; a node processes
+/// `rating / reference_rating` reference-seconds of work per wall second,
+/// which is how "the runtime estimate of a job has to be translated to its
+/// equivalent value across heterogeneous nodes" (§3 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Node {
+    /// The node's identity.
+    pub id: NodeId,
+    /// SPEC rating (processing power), > 0.
+    pub rating: f64,
+}
+
+impl Node {
+    /// Creates a node.
+    ///
+    /// # Panics
+    /// Panics if `rating` is not strictly positive.
+    pub fn new(id: NodeId, rating: f64) -> Self {
+        assert!(rating > 0.0, "node rating must be > 0, got {rating}");
+        Node { id, rating }
+    }
+
+    /// Speed factor relative to the reference rating.
+    #[inline]
+    pub fn speed_factor(&self, reference_rating: f64) -> f64 {
+        self.rating / reference_rating
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_factor_scales_with_rating() {
+        let n = Node::new(NodeId(0), 336.0);
+        assert_eq!(n.speed_factor(168.0), 2.0);
+        assert_eq!(n.speed_factor(336.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rating")]
+    fn zero_rating_rejected() {
+        Node::new(NodeId(0), 0.0);
+    }
+}

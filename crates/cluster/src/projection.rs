@@ -1,0 +1,437 @@
+//! What-if delay projection (the analytical core of §3.2/§3.3).
+//!
+//! Given the jobs resident on one node — described only by what the
+//! scheduler *believes* (remaining estimated work) and their absolute
+//! deadlines — this module simulates the deadline-proportional-share
+//! engine forward to predict each job's finish time, derives the paper's
+//! quantities:
+//!
+//! * `delay_i` (Eq. 3) — projected lateness beyond the deadline;
+//! * `deadline_delay_i` (Eq. 4) — `(delay_i + rd_i) / rd_i`, ≥ 1;
+//! * `μ_j` (Eq. 5) and the **risk** `σ_j` (Eq. 6) — mean and population
+//!   standard deviation of the deadline-delay values on the node.
+//!
+//! A subtle and load-bearing property of Eq. 6: `σ_j` measures the
+//! *dispersion* of projected deadline-delays, not their level. A node
+//! whose jobs would all be *equally* delayed (in particular a node holding
+//! a single job) has `σ_j = 0` even though delay is projected. LibraRisk
+//! therefore accepts jobs whose inflated runtime estimates make them look
+//! infeasible to Libra's share test — and when those estimates are
+//! over-estimates (the common case in real traces) the jobs actually meet
+//! their deadlines. That asymmetry is the mechanism behind the paper's
+//! headline result.
+
+/// Floor applied to a remaining deadline before dividing by it, seconds.
+/// Prevents an already-late job from producing an infinite share or an
+/// infinite deadline-delay.
+pub const EPS_DEADLINE: f64 = 1.0;
+
+/// Work (reference-seconds) below which a job counts as finished.
+pub const EPS_WORK: f64 = 1e-6;
+
+/// `σ_j` below this threshold counts as zero risk.
+pub const SIGMA_ZERO: f64 = 1e-9;
+
+/// Scheduler-visible view of one resident job used for projection.
+#[derive(Clone, Copy, Debug)]
+pub struct ProjectedJob {
+    /// Remaining *estimated* work, reference-seconds (> 0).
+    pub remaining_est: f64,
+    /// Absolute deadline, seconds on the simulation clock.
+    pub abs_deadline: f64,
+}
+
+/// How node capacity is shared among resident jobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShareDiscipline {
+    /// Each job runs at exactly its required share when the node is not
+    /// overloaded (`rate = s_i / max(S, 1)`); leftover capacity idles.
+    /// This is Libra's published allocation.
+    Strict,
+    /// Leftover capacity is redistributed proportionally
+    /// (`rate = s_i / S`), so under-loaded nodes finish jobs early.
+    WorkConserving,
+}
+
+/// Projects the absolute finish time of every job on one node of the
+/// given speed factor, starting from `now`.
+///
+/// The projection replays the engine's piecewise-constant-rate dynamics:
+/// shares are recomputed at every projected completion and at every
+/// deadline crossing, matching `proportional::ProportionalCluster`.
+///
+/// Returns one absolute finish time per input job (same order).
+pub fn project_finishes(
+    jobs: &[ProjectedJob],
+    now: f64,
+    speed_factor: f64,
+    discipline: ShareDiscipline,
+) -> Vec<f64> {
+    assert!(speed_factor > 0.0);
+    let n = jobs.len();
+    let mut finish = vec![0.0f64; n];
+    if n == 0 {
+        return finish;
+    }
+    let mut rem: Vec<f64> = jobs.iter().map(|j| j.remaining_est.max(EPS_WORK)).collect();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut alive_count = n;
+    let mut t = now;
+    // Each job contributes at most one completion and one deadline
+    // crossing; the +8 absorbs float-fuzz re-loops.
+    let max_steps = 2 * n + 8;
+    for _ in 0..max_steps {
+        if alive_count == 0 {
+            break;
+        }
+        // Shares and rates for this segment.
+        let mut total_share = 0.0;
+        let mut shares = vec![0.0f64; n];
+        for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            let rd = (jobs[i].abs_deadline - t).max(EPS_DEADLINE);
+            shares[i] = rem[i] / rd;
+            total_share += shares[i];
+        }
+        let denom = match discipline {
+            ShareDiscipline::Strict => total_share.max(1.0),
+            ShareDiscipline::WorkConserving => total_share,
+        };
+        // Segment length: first completion or first deadline crossing.
+        let mut dt = f64::INFINITY;
+        for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            let rate = shares[i] / denom * speed_factor;
+            debug_assert!(rate > 0.0);
+            dt = dt.min(rem[i] / rate);
+            let to_deadline = jobs[i].abs_deadline - t;
+            if to_deadline > EPS_WORK {
+                dt = dt.min(to_deadline);
+            }
+        }
+        debug_assert!(dt.is_finite() && dt > 0.0);
+        // Advance the segment.
+        for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            let rate = shares[i] / denom * speed_factor;
+            rem[i] -= rate * dt;
+            if rem[i] <= EPS_WORK {
+                alive[i] = false;
+                alive_count -= 1;
+                finish[i] = t + dt;
+            }
+        }
+        t += dt;
+    }
+    // Pathological fuzz fallback: finish whatever survived "now".
+    for i in 0..n {
+        if alive[i] {
+            finish[i] = t;
+        }
+    }
+    finish
+}
+
+/// Naive single-segment projection (ablation): freeze the initial rates
+/// forever instead of recomputing at projected completions and deadline
+/// crossings.
+///
+/// Under this simplification an overloaded node (total share `S > 1`)
+/// projects *every* job to finish at `S × remaining_deadline` — all
+/// deadline-delays equal `S`, so `σ_j = 0` **always** and the risk test
+/// degenerates to "accept whenever enough processors exist". The
+/// piecewise projection ([`project_finishes`]) is what lets Eq. 6
+/// distinguish certain delay from dispersed delay; this function exists
+/// to measure exactly how much that matters (see the
+/// `LibraRisk-NaiveProj` ablation).
+pub fn project_finishes_single_segment(
+    jobs: &[ProjectedJob],
+    now: f64,
+    speed_factor: f64,
+    discipline: ShareDiscipline,
+) -> Vec<f64> {
+    assert!(speed_factor > 0.0);
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let mut total_share = 0.0;
+    let shares: Vec<f64> = jobs
+        .iter()
+        .map(|j| {
+            let rd = (j.abs_deadline - now).max(EPS_DEADLINE);
+            let s = j.remaining_est.max(EPS_WORK) / rd;
+            total_share += s;
+            s
+        })
+        .collect();
+    let denom = match discipline {
+        ShareDiscipline::Strict => total_share.max(1.0),
+        ShareDiscipline::WorkConserving => total_share,
+    };
+    jobs.iter()
+        .zip(&shares)
+        .map(|(j, &s)| {
+            let rate = s / denom * speed_factor;
+            now + j.remaining_est.max(EPS_WORK) / rate
+        })
+        .collect()
+}
+
+/// [`node_risk`] computed with the naive single-segment projection.
+pub fn node_risk_single_segment(
+    jobs: &[ProjectedJob],
+    now: f64,
+    speed_factor: f64,
+    discipline: ShareDiscipline,
+) -> (f64, f64) {
+    let finishes = project_finishes_single_segment(jobs, now, speed_factor, discipline);
+    let delays = delays_from_finishes(jobs, &finishes);
+    let dds: Vec<f64> = jobs
+        .iter()
+        .zip(&delays)
+        .map(|(j, &d)| deadline_delay(d, j.abs_deadline, now))
+        .collect();
+    risk(&dds)
+}
+
+/// Eq. 3: projected delay of each job, `max(0, finish − abs_deadline)`.
+pub fn delays_from_finishes(jobs: &[ProjectedJob], finishes: &[f64]) -> Vec<f64> {
+    jobs.iter()
+        .zip(finishes)
+        .map(|(j, &f)| (f - j.abs_deadline).max(0.0))
+        .collect()
+}
+
+/// Eq. 4: the deadline-delay metric
+/// `(delay_i + remaining_deadline_i) / remaining_deadline_i`, evaluated at
+/// `now`; the remaining deadline is floored at [`EPS_DEADLINE`].
+pub fn deadline_delay(delay: f64, abs_deadline: f64, now: f64) -> f64 {
+    let rd = (abs_deadline - now).max(EPS_DEADLINE);
+    (delay + rd) / rd
+}
+
+/// Eq. 5 and Eq. 6: mean `μ_j` and risk `σ_j` (population standard
+/// deviation) of a node's deadline-delay values. Returns `(μ, σ)`;
+/// an empty node has `(1, 0)` — no jobs, no risk.
+pub fn risk(dds: &[f64]) -> (f64, f64) {
+    if dds.is_empty() {
+        return (1.0, 0.0);
+    }
+    let n = dds.len() as f64;
+    let mu = dds.iter().sum::<f64>() / n;
+    let var = dds.iter().map(|d| d * d).sum::<f64>() / n - mu * mu;
+    (mu, var.max(0.0).sqrt())
+}
+
+/// Full per-node risk evaluation: projects finishes, derives delays and
+/// deadline-delays, returns `(μ_j, σ_j)`.
+///
+/// ```
+/// use cluster::projection::{node_risk, ProjectedJob, ShareDiscipline};
+///
+/// // Two feasible jobs: everything meets its deadline, so no risk.
+/// let calm = [
+///     ProjectedJob { remaining_est: 50.0, abs_deadline: 100.0 },
+///     ProjectedJob { remaining_est: 50.0, abs_deadline: 200.0 },
+/// ];
+/// let (mu, sigma) = node_risk(&calm, 0.0, 1.0, ShareDiscipline::WorkConserving);
+/// assert!((mu - 1.0).abs() < 1e-9 && sigma < 1e-9);
+///
+/// // Overload with heterogeneous deadlines: delays disperse → risk.
+/// let overloaded = [
+///     ProjectedJob { remaining_est: 100.0, abs_deadline: 100.0 },
+///     ProjectedJob { remaining_est: 100.0, abs_deadline: 200.0 },
+/// ];
+/// let (_, sigma) = node_risk(&overloaded, 0.0, 1.0, ShareDiscipline::WorkConserving);
+/// assert!(sigma > 1e-9);
+/// ```
+pub fn node_risk(
+    jobs: &[ProjectedJob],
+    now: f64,
+    speed_factor: f64,
+    discipline: ShareDiscipline,
+) -> (f64, f64) {
+    let finishes = project_finishes(jobs, now, speed_factor, discipline);
+    let delays = delays_from_finishes(jobs, &finishes);
+    let dds: Vec<f64> = jobs
+        .iter()
+        .zip(&delays)
+        .map(|(j, &d)| deadline_delay(d, j.abs_deadline, now))
+        .collect();
+    risk(&dds)
+}
+
+/// `true` when `sigma` counts as zero risk.
+#[inline]
+pub fn is_zero_risk(sigma: f64) -> bool {
+    sigma < SIGMA_ZERO
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pj(remaining_est: f64, abs_deadline: f64) -> ProjectedJob {
+        ProjectedJob {
+            remaining_est,
+            abs_deadline,
+        }
+    }
+
+    #[test]
+    fn empty_node_has_no_risk() {
+        let (mu, sigma) = node_risk(&[], 0.0, 1.0, ShareDiscipline::Strict);
+        assert_eq!((mu, sigma), (1.0, 0.0));
+        assert!(project_finishes(&[], 0.0, 1.0, ShareDiscipline::Strict).is_empty());
+    }
+
+    #[test]
+    fn feasible_jobs_finish_exactly_at_deadline_under_strict_shares() {
+        // Two jobs, total share 0.75 ≤ 1: each runs at its required share
+        // and meets its deadline exactly.
+        let jobs = [pj(50.0, 100.0), pj(50.0, 200.0)];
+        let f = project_finishes(&jobs, 0.0, 1.0, ShareDiscipline::Strict);
+        assert!((f[0] - 100.0).abs() < 1e-6, "finish {}", f[0]);
+        assert!((f[1] - 200.0).abs() < 1e-6, "finish {}", f[1]);
+        let (mu, sigma) = node_risk(&jobs, 0.0, 1.0, ShareDiscipline::Strict);
+        assert!((mu - 1.0).abs() < 1e-9);
+        assert!(is_zero_risk(sigma));
+    }
+
+    #[test]
+    fn work_conserving_finishes_early() {
+        let jobs = [pj(50.0, 100.0), pj(50.0, 200.0)];
+        // S = 0.75; rates scale to s/S: job 0 rate = (0.5/0.75) = 2/3.
+        let f = project_finishes(&jobs, 0.0, 1.0, ShareDiscipline::WorkConserving);
+        assert!(f[0] < 100.0 - 1e-6);
+        assert!(f[1] < 200.0 - 1e-6);
+        let (_, sigma) = node_risk(&jobs, 0.0, 1.0, ShareDiscipline::WorkConserving);
+        assert!(is_zero_risk(sigma));
+    }
+
+    #[test]
+    fn overload_with_heterogeneous_deadlines_has_risk() {
+        // Total share 1.5: the earlier-deadline job is projected late while
+        // the later one recovers after the first completes → dispersion.
+        let jobs = [pj(100.0, 100.0), pj(100.0, 200.0)];
+        let (mu, sigma) = node_risk(&jobs, 0.0, 1.0, ShareDiscipline::Strict);
+        assert!(mu > 1.0);
+        assert!(!is_zero_risk(sigma), "sigma {sigma}");
+        let f = project_finishes(&jobs, 0.0, 1.0, ShareDiscipline::Strict);
+        assert!(f[0] > 100.0 + 1.0, "early-deadline job is late: {}", f[0]);
+    }
+
+    #[test]
+    fn single_infeasible_job_is_certain_hence_zero_risk() {
+        // One job whose estimate (300) exceeds its deadline (100): it is
+        // projected late, but there is nothing to disperse against, so
+        // σ = 0 — the Eq. 6 property LibraRisk exploits.
+        let jobs = [pj(300.0, 100.0)];
+        let (mu, sigma) = node_risk(&jobs, 0.0, 1.0, ShareDiscipline::Strict);
+        assert!(mu > 1.0, "projected late, mu {mu}");
+        assert!(is_zero_risk(sigma), "sigma {sigma}");
+    }
+
+    #[test]
+    fn projected_finish_respects_speed_factor() {
+        let jobs = [pj(100.0, 1000.0)];
+        let slow = project_finishes(&jobs, 0.0, 1.0, ShareDiscipline::WorkConserving);
+        let fast = project_finishes(&jobs, 0.0, 2.0, ShareDiscipline::WorkConserving);
+        assert!((slow[0] - 100.0).abs() < 1e-6);
+        assert!((fast[0] - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn already_late_job_contributes_capped_deadline_delay() {
+        // Job whose deadline passed 50 s ago: remaining deadline floors at
+        // EPS_DEADLINE, share is huge, and dd is large but finite.
+        let jobs = [pj(10.0, -50.0), pj(10.0, 1000.0)];
+        let (_, sigma) = node_risk(&jobs, 0.0, 1.0, ShareDiscipline::Strict);
+        assert!(!is_zero_risk(sigma), "a sick node must read as risky");
+        let f = project_finishes(&jobs, 0.0, 1.0, ShareDiscipline::Strict);
+        assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn single_segment_projection_makes_overload_look_certain() {
+        // The same overloaded pair that the piecewise projection flags as
+        // risky reads as zero-risk under the naive projection: with rates
+        // frozen, both jobs finish at S × their remaining deadline and the
+        // deadline-delays coincide at S.
+        let jobs = [pj(100.0, 100.0), pj(100.0, 200.0)];
+        let (mu_naive, sigma_naive) =
+            node_risk_single_segment(&jobs, 0.0, 1.0, ShareDiscipline::Strict);
+        assert!((mu_naive - 1.5).abs() < 1e-9, "mu {mu_naive} should equal S");
+        assert!(is_zero_risk(sigma_naive), "sigma {sigma_naive}");
+        let (_, sigma_piecewise) = node_risk(&jobs, 0.0, 1.0, ShareDiscipline::Strict);
+        assert!(!is_zero_risk(sigma_piecewise), "piecewise sees the dispersion");
+    }
+
+    #[test]
+    fn single_segment_agrees_with_piecewise_when_feasible() {
+        // No overload, no deadline crossings before completion: the two
+        // projections coincide.
+        let jobs = [pj(50.0, 100.0), pj(50.0, 200.0)];
+        let a = project_finishes(&jobs, 0.0, 1.0, ShareDiscipline::Strict);
+        let b = project_finishes_single_segment(&jobs, 0.0, 1.0, ShareDiscipline::Strict);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+        assert!(project_finishes_single_segment(&[], 0.0, 1.0, ShareDiscipline::Strict)
+            .is_empty());
+    }
+
+    #[test]
+    fn delays_match_eq3() {
+        let jobs = [pj(10.0, 100.0), pj(10.0, 5.0)];
+        let d = delays_from_finishes(&jobs, &[90.0, 25.0]);
+        assert_eq!(d, vec![0.0, 20.0]);
+    }
+
+    #[test]
+    fn deadline_delay_matches_paper_example() {
+        // The paper's §3.2 example: delay 20, remaining deadline 5 → dd 5;
+        // same delay with remaining deadline 10 → dd 3.
+        assert!((deadline_delay(20.0, 5.0, 0.0) - 5.0).abs() < 1e-12);
+        assert!((deadline_delay(20.0, 10.0, 0.0) - 3.0).abs() < 1e-12);
+        // Zero delay → the metric's minimum/best value 1.
+        assert_eq!(deadline_delay(0.0, 100.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn risk_of_identical_dds_is_zero() {
+        let (mu, sigma) = risk(&[2.5, 2.5, 2.5]);
+        assert_eq!(mu, 2.5);
+        assert!(is_zero_risk(sigma));
+    }
+
+    #[test]
+    fn risk_matches_population_stddev() {
+        let (mu, sigma) = risk(&[1.0, 3.0]);
+        assert_eq!(mu, 2.0);
+        assert!((sigma - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_conserves_capacity() {
+        // However many jobs, total work cannot complete faster than
+        // capacity 1 allows: sum of estimates = 300 → last finish ≥ 300.
+        let jobs = [pj(100.0, 50.0), pj(100.0, 60.0), pj(100.0, 70.0)];
+        let f = project_finishes(&jobs, 0.0, 1.0, ShareDiscipline::Strict);
+        let last = f.iter().cloned().fold(0.0, f64::max);
+        assert!(last >= 300.0 - 1e-6, "last finish {last}");
+    }
+
+    #[test]
+    fn projection_starts_from_now() {
+        let jobs = [pj(10.0, 1e9)];
+        let f = project_finishes(&jobs, 500.0, 1.0, ShareDiscipline::WorkConserving);
+        assert!((f[0] - 510.0).abs() < 1e-6);
+    }
+}

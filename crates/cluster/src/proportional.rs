@@ -1,0 +1,645 @@
+//! The live deadline-based proportional-share execution engine (§3.1).
+//!
+//! Every resident job on a node requires processor share
+//! `s_ij = remaining_runtime_ij / remaining_deadline_i` (Eq. 1). The
+//! engine turns shares into execution *rates* (renormalising when a node
+//! is overloaded), advances all jobs piecewise-linearly between events,
+//! and recomputes rates at every event.
+//!
+//! Two parallel notions of "remaining work" are tracked:
+//!
+//! * **actual** remaining work — decides when the job really completes;
+//! * **estimated** remaining work — what the scheduler believes, seeded
+//!   from the user estimate.
+//!
+//! When the estimate is an over-estimate the job completes while the
+//! scheduler still believes work remains (capacity was held
+//! conservatively); when it is an under-estimate the estimated work
+//! exhausts first and the engine re-arms a *residual* estimate — the job
+//! overruns, its share stays occupied longer than promised, and
+//! co-resident jobs get squeezed. Those are precisely the two failure
+//! modes of inaccurate estimates the paper studies.
+//!
+//! Multi-processor jobs are gang-scheduled over `numproc` nodes: the job's
+//! progress rate is the minimum rate its nodes grant (a slower member
+//! stalls the gang; surplus allocation on faster members idles).
+
+use crate::cluster::Cluster;
+use crate::node::NodeId;
+use crate::projection::{ProjectedJob, ShareDiscipline, EPS_DEADLINE, EPS_WORK};
+use sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use workload::{Job, JobId};
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProportionalConfig {
+    /// How spare node capacity is treated (Libra's published allocation is
+    /// [`ShareDiscipline::Strict`]).
+    pub discipline: ShareDiscipline,
+    /// When a job overruns its estimate, the scheduler re-arms its belief
+    /// to `residual_fraction × original_estimate` (floored at
+    /// [`ProportionalConfig::residual_floor`]).
+    pub residual_fraction: f64,
+    /// Minimum re-armed residual estimate, reference-seconds.
+    pub residual_floor: f64,
+    /// Upper bound on the gap between rate recomputations, seconds; keeps
+    /// shares tracking their continuously-drifting ideal between sparse
+    /// events.
+    pub max_quantum: Option<f64>,
+}
+
+impl Default for ProportionalConfig {
+    fn default() -> Self {
+        ProportionalConfig {
+            // Work-conserving matches GridSim's time-shared machines (the
+            // paper's substrate): the Eq. 1 share is the *guaranteed
+            // minimum*, and spare capacity is redistributed proportionally.
+            // `Strict` (jobs run at exactly their share, spare capacity
+            // idles) is kept as an ablation.
+            discipline: ShareDiscipline::WorkConserving,
+            residual_fraction: 0.05,
+            residual_floor: 30.0,
+            max_quantum: Some(3600.0),
+        }
+    }
+}
+
+/// A job that finished execution.
+#[derive(Clone, Debug)]
+pub struct CompletedJob {
+    /// The job.
+    pub job: Job,
+    /// When it started executing (its admission instant — proportional
+    /// share starts jobs immediately).
+    pub started: SimTime,
+    /// When its actual work completed.
+    pub finish: SimTime,
+    /// How many times it overran its (re-armed) estimate.
+    pub overruns: u32,
+}
+
+#[derive(Clone, Debug)]
+struct Resident {
+    job: Job,
+    nodes: Vec<NodeId>,
+    remaining_work: f64,
+    remaining_est: f64,
+    rate: f64,
+    started: SimTime,
+    overruns: u32,
+}
+
+/// The proportional-share cluster engine.
+#[derive(Clone, Debug)]
+pub struct ProportionalCluster {
+    cluster: Cluster,
+    cfg: ProportionalConfig,
+    jobs: BTreeMap<JobId, Resident>,
+    node_jobs: Vec<Vec<JobId>>,
+    last_update: SimTime,
+    busy_integral: f64,
+    node_busy: Vec<f64>,
+}
+
+impl ProportionalCluster {
+    /// Creates an engine over the given cluster.
+    pub fn new(cluster: Cluster, cfg: ProportionalConfig) -> Self {
+        let n = cluster.len();
+        ProportionalCluster {
+            cluster,
+            cfg,
+            jobs: BTreeMap::new(),
+            node_jobs: vec![Vec::new(); n],
+            last_update: SimTime::ZERO,
+            busy_integral: 0.0,
+            node_busy: vec![0.0; n],
+        }
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ProportionalConfig {
+        &self.cfg
+    }
+
+    /// Instant the engine state is valid for.
+    pub fn now(&self) -> SimTime {
+        self.last_update
+    }
+
+    /// Number of resident (running) jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when no job is resident.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Ids of jobs resident on a node.
+    pub fn jobs_on_node(&self, node: NodeId) -> &[JobId] {
+        &self.node_jobs[node.0 as usize]
+    }
+
+    /// Number of jobs resident on a node.
+    pub fn resident_count(&self, node: NodeId) -> usize {
+        self.node_jobs[node.0 as usize].len()
+    }
+
+    /// Places a job on the given nodes and starts it immediately.
+    ///
+    /// # Panics
+    /// Panics if the engine state is stale (`now != self.now()`), the node
+    /// count does not match `job.procs`, or a node id repeats.
+    pub fn admit(&mut self, job: Job, nodes: Vec<NodeId>, now: SimTime) {
+        assert_eq!(now, self.last_update, "advance() the engine before admit()");
+        assert_eq!(
+            nodes.len(),
+            job.procs as usize,
+            "{} needs {} nodes, got {}",
+            job.id,
+            job.procs,
+            nodes.len()
+        );
+        {
+            let mut seen = nodes.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), nodes.len(), "duplicate node in allocation");
+        }
+        let est = job.estimate.as_secs().max(EPS_WORK);
+        let work = job.runtime.as_secs().max(EPS_WORK);
+        for n in &nodes {
+            self.node_jobs[n.0 as usize].push(job.id);
+        }
+        let id = job.id;
+        self.jobs.insert(
+            id,
+            Resident {
+                job,
+                nodes,
+                remaining_work: work,
+                remaining_est: est,
+                rate: 0.0,
+                started: now,
+                overruns: 0,
+            },
+        );
+        self.recompute_rates();
+    }
+
+    /// Advances the engine to `to`, returning jobs whose actual work
+    /// completed (their `finish` is `to`; the caller must not advance past
+    /// [`ProportionalCluster::next_event_time`]).
+    pub fn advance(&mut self, to: SimTime) -> Vec<CompletedJob> {
+        assert!(to >= self.last_update, "cannot advance backwards");
+        let dt = (to - self.last_update).as_secs();
+        let now = to;
+        let mut completed_ids: Vec<JobId> = Vec::new();
+        if dt > 0.0 {
+            for (id, r) in self.jobs.iter_mut() {
+                let progress = r.rate * dt;
+                self.busy_integral += progress * r.nodes.len() as f64;
+                for n in &r.nodes {
+                    self.node_busy[n.0 as usize] += progress;
+                }
+                r.remaining_work -= progress;
+                r.remaining_est -= progress;
+                if r.remaining_work <= EPS_WORK {
+                    completed_ids.push(*id);
+                } else if r.remaining_est <= EPS_WORK {
+                    // Overrun: the scheduler's belief was exhausted but the
+                    // job is still running — re-arm a residual estimate.
+                    r.remaining_est = (self.cfg.residual_fraction
+                        * r.job.estimate.as_secs())
+                    .max(self.cfg.residual_floor);
+                    r.overruns += 1;
+                }
+            }
+        }
+        let mut completed = Vec::with_capacity(completed_ids.len());
+        for id in completed_ids {
+            let r = self.jobs.remove(&id).expect("completed job resident");
+            for n in &r.nodes {
+                self.node_jobs[n.0 as usize].retain(|j| *j != id);
+            }
+            completed.push(CompletedJob {
+                job: r.job,
+                started: r.started,
+                finish: now,
+                overruns: r.overruns,
+            });
+        }
+        self.last_update = now;
+        self.recompute_rates();
+        completed
+    }
+
+    /// The next instant the engine needs to be advanced to: the earliest
+    /// of any job's actual completion, estimated-work exhaustion, deadline
+    /// crossing, or the configured quantum. `None` when idle.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        if self.jobs.is_empty() {
+            return None;
+        }
+        let now = self.last_update.as_secs();
+        let mut dt = f64::INFINITY;
+        for r in self.jobs.values() {
+            debug_assert!(r.rate > 0.0, "resident job with zero rate");
+            dt = dt.min(r.remaining_work / r.rate);
+            dt = dt.min(r.remaining_est / r.rate);
+            let to_deadline = r.job.absolute_deadline().as_secs() - now;
+            if to_deadline > EPS_WORK {
+                dt = dt.min(to_deadline);
+            }
+        }
+        if let Some(q) = self.cfg.max_quantum {
+            dt = dt.min(q);
+        }
+        // Never return a zero step: float fuzz could stall the caller loop.
+        Some(self.last_update + SimDuration::from_secs(dt.max(1e-3)))
+    }
+
+    /// Scheduler-visible projection input for one node: the resident jobs'
+    /// remaining *estimated* work and absolute deadlines, plus optionally
+    /// a tentative new job (whose estimate is taken in full).
+    pub fn node_projection(&self, node: NodeId, extra: Option<&Job>) -> Vec<ProjectedJob> {
+        let mut out: Vec<ProjectedJob> = self.node_jobs[node.0 as usize]
+            .iter()
+            .map(|id| {
+                let r = &self.jobs[id];
+                ProjectedJob {
+                    remaining_est: r.remaining_est.max(EPS_WORK),
+                    abs_deadline: r.job.absolute_deadline().as_secs(),
+                }
+            })
+            .collect();
+        if let Some(j) = extra {
+            out.push(ProjectedJob {
+                remaining_est: j.estimate.as_secs().max(EPS_WORK),
+                abs_deadline: j.absolute_deadline().as_secs(),
+            });
+        }
+        out
+    }
+
+    /// Sum of required shares on a node, evaluated with current beliefs
+    /// (Eq. 2), plus optionally a tentative new job.
+    pub fn node_total_share(&self, node: NodeId, extra: Option<&Job>) -> f64 {
+        let now = self.last_update.as_secs();
+        self.node_projection(node, extra)
+            .iter()
+            .map(|p| p.remaining_est / (p.abs_deadline - now).max(EPS_DEADLINE))
+            .sum()
+    }
+
+    /// Mean processor utilisation over `[0, now]`.
+    pub fn utilization(&self) -> f64 {
+        let elapsed = self.last_update.as_secs();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        self.busy_integral / (elapsed * self.cluster.len() as f64)
+    }
+
+    /// Mean utilisation of one node over `[0, now]` (delivered work over
+    /// elapsed time; allocated-but-idle gang surplus does not count).
+    pub fn node_utilization(&self, node: NodeId) -> f64 {
+        let elapsed = self.last_update.as_secs();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        self.node_busy[node.0 as usize] / elapsed
+    }
+
+    /// Spread between the busiest and idlest node's utilisation — a
+    /// load-imbalance indicator (0 = perfectly balanced).
+    pub fn utilization_imbalance(&self) -> f64 {
+        let elapsed = self.last_update.as_secs();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        let max = self.node_busy.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = self.node_busy.iter().cloned().fold(f64::INFINITY, f64::min);
+        (max - min) / elapsed
+    }
+
+    /// Current execution rate of a resident job (reference-seconds per
+    /// second), if resident.
+    pub fn rate_of(&self, id: JobId) -> Option<f64> {
+        self.jobs.get(&id).map(|r| r.rate)
+    }
+
+    /// Remaining *estimated* work of a resident job, if resident.
+    pub fn remaining_est_of(&self, id: JobId) -> Option<f64> {
+        self.jobs.get(&id).map(|r| r.remaining_est)
+    }
+
+    fn recompute_rates(&mut self) {
+        let now = self.last_update.as_secs();
+        // Per-node share totals from current beliefs.
+        let mut totals = vec![0.0f64; self.cluster.len()];
+        for r in self.jobs.values() {
+            let rd = (r.job.absolute_deadline().as_secs() - now).max(EPS_DEADLINE);
+            let share = r.remaining_est.max(EPS_WORK) / rd;
+            for n in &r.nodes {
+                totals[n.0 as usize] += share;
+            }
+        }
+        for r in self.jobs.values_mut() {
+            let rd = (r.job.absolute_deadline().as_secs() - now).max(EPS_DEADLINE);
+            let share = r.remaining_est.max(EPS_WORK) / rd;
+            let mut rate = f64::INFINITY;
+            for n in &r.nodes {
+                let total = totals[n.0 as usize];
+                let denom = match self.cfg.discipline {
+                    ShareDiscipline::Strict => total.max(1.0),
+                    ShareDiscipline::WorkConserving => total,
+                };
+                let node_rate =
+                    share / denom * self.cluster.speed_factor(*n);
+                rate = rate.min(node_rate);
+            }
+            debug_assert!(rate.is_finite() && rate > 0.0);
+            r.rate = rate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::SimDuration;
+    use workload::Urgency;
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::homogeneous(n, 168.0)
+    }
+
+    fn job(id: u64, submit: f64, runtime: f64, estimate: f64, procs: u32, deadline: f64) -> Job {
+        Job {
+            id: JobId(id),
+            submit: SimTime::from_secs(submit),
+            runtime: SimDuration::from_secs(runtime),
+            estimate: SimDuration::from_secs(estimate),
+            procs,
+            deadline: SimDuration::from_secs(deadline),
+            urgency: Urgency::Low,
+        }
+    }
+
+    /// Drives the engine until all jobs complete; returns (job, finish).
+    fn run_to_completion(engine: &mut ProportionalCluster) -> Vec<CompletedJob> {
+        let mut done = Vec::new();
+        let mut guard = 0;
+        while let Some(t) = engine.next_event_time() {
+            done.extend(engine.advance(t));
+            guard += 1;
+            assert!(guard < 100_000, "engine did not converge");
+        }
+        done
+    }
+
+    fn strict_cfg() -> ProportionalConfig {
+        ProportionalConfig {
+            discipline: ShareDiscipline::Strict,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn accurate_single_job_meets_deadline_exactly_under_strict() {
+        let mut e = ProportionalCluster::new(cluster(1), strict_cfg());
+        e.admit(job(0, 0.0, 100.0, 100.0, 1, 200.0), vec![NodeId(0)], SimTime::ZERO);
+        // Required share 0.5 → rate 0.5 → finish at 200.
+        assert!((e.rate_of(JobId(0)).unwrap() - 0.5).abs() < 1e-12);
+        let done = run_to_completion(&mut e);
+        assert_eq!(done.len(), 1);
+        assert!((done[0].finish.as_secs() - 200.0).abs() < 1e-3, "finish {:?}", done[0].finish);
+        assert_eq!(done[0].overruns, 0);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn work_conserving_runs_at_full_speed_when_alone() {
+        // Work-conserving is the default discipline.
+        let mut e = ProportionalCluster::new(cluster(1), ProportionalConfig::default());
+        e.admit(job(0, 0.0, 100.0, 100.0, 1, 200.0), vec![NodeId(0)], SimTime::ZERO);
+        assert!((e.rate_of(JobId(0)).unwrap() - 1.0).abs() < 1e-12);
+        let done = run_to_completion(&mut e);
+        assert!((done[0].finish.as_secs() - 100.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn overestimated_job_finishes_when_actual_work_done() {
+        let mut e = ProportionalCluster::new(cluster(1), strict_cfg());
+        // Estimate 4× the runtime, deadline 400: share = 1.0 (est 400 / dl
+        // 400)... the scheduler thinks the job needs the whole node.
+        e.admit(job(0, 0.0, 100.0, 400.0, 1, 400.0), vec![NodeId(0)], SimTime::ZERO);
+        let done = run_to_completion(&mut e);
+        // Actual work 100 at rate 1.0 → finishes at ~100, well before the
+        // deadline, despite the scheduler's inflated belief.
+        assert!((done[0].finish.as_secs() - 100.0).abs() < 1e-3, "finish {:?}", done[0].finish);
+        assert_eq!(done[0].overruns, 0);
+    }
+
+    #[test]
+    fn underestimated_job_overruns_and_still_completes() {
+        let mut e = ProportionalCluster::new(cluster(1), strict_cfg());
+        // Estimate 50, actual 100, deadline 100: share starts at 0.5.
+        e.admit(job(0, 0.0, 100.0, 50.0, 1, 100.0), vec![NodeId(0)], SimTime::ZERO);
+        let done = run_to_completion(&mut e);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].overruns >= 1, "overruns {}", done[0].overruns);
+        // It must finish eventually — after its deadline.
+        assert!(done[0].finish.as_secs() > 100.0);
+        // And the engine must never lose the job.
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn overloaded_node_squeezes_coresidents() {
+        let mut e = ProportionalCluster::new(cluster(1), ProportionalConfig::default());
+        // Two jobs each demanding share 0.75: the node is overloaded and
+        // both run slower than required.
+        e.admit(job(0, 0.0, 75.0, 75.0, 1, 100.0), vec![NodeId(0)], SimTime::ZERO);
+        e.admit(job(1, 0.0, 75.0, 75.0, 1, 100.0), vec![NodeId(0)], SimTime::ZERO);
+        let r0 = e.rate_of(JobId(0)).unwrap();
+        assert!((r0 - 0.5).abs() < 1e-9, "rate {r0}");
+        let done = run_to_completion(&mut e);
+        for d in &done {
+            assert!(d.finish.as_secs() > 100.0 + 1.0, "both jobs miss: {:?}", d.finish);
+        }
+    }
+
+    #[test]
+    fn gang_job_advances_at_slowest_member_rate() {
+        let mut e = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
+        // Node 0 also hosts a competing job → gang member on node 0 is
+        // slower than on node 1.
+        e.admit(job(0, 0.0, 100.0, 100.0, 1, 125.0), vec![NodeId(0)], SimTime::ZERO);
+        e.admit(job(1, 0.0, 50.0, 50.0, 2, 100.0), vec![NodeId(0), NodeId(1)], SimTime::ZERO);
+        // Node 0: shares 0.8 + 0.5 = 1.3 (overloaded) → gang rate on node
+        // 0 = 0.5/1.3; node 1: share 0.5 alone → rate 0.5. Gang = min.
+        let gang = e.rate_of(JobId(1)).unwrap();
+        assert!((gang - 0.5 / 1.3).abs() < 1e-9, "gang rate {gang}");
+    }
+
+    #[test]
+    fn utilization_accounts_gang_width() {
+        let mut e = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
+        let cfg_now = SimTime::ZERO;
+        e.admit(job(0, 0.0, 100.0, 100.0, 2, 100.0), vec![NodeId(0), NodeId(1)], cfg_now);
+        let done = run_to_completion(&mut e);
+        assert_eq!(done.len(), 1);
+        // Share 1.0 on both nodes → full utilisation of both for 100 s.
+        assert!((e.utilization() - 1.0).abs() < 1e-6, "util {}", e.utilization());
+    }
+
+    #[test]
+    fn arrivals_mid_run_redistribute_rates() {
+        let mut e = ProportionalCluster::new(cluster(1), strict_cfg());
+        e.admit(job(0, 0.0, 100.0, 100.0, 1, 200.0), vec![NodeId(0)], SimTime::ZERO);
+        // Advance halfway, then a second job arrives requiring share 0.8.
+        let t = SimTime::from_secs(100.0);
+        let done = e.advance(t);
+        assert!(done.is_empty());
+        assert!((e.remaining_est_of(JobId(0)).unwrap() - 50.0).abs() < 1e-9);
+        e.admit(job(1, 100.0, 80.0, 80.0, 1, 100.0), vec![NodeId(0)], t);
+        // Node now has shares 0.5 + 0.8 = 1.3 → job 0's rate drops.
+        let r0 = e.rate_of(JobId(0)).unwrap();
+        assert!((r0 - 0.5 / 1.3).abs() < 1e-9, "rate {r0}");
+        let done = run_to_completion(&mut e);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn node_total_share_matches_eq2() {
+        let mut e = ProportionalCluster::new(cluster(1), ProportionalConfig::default());
+        e.admit(job(0, 0.0, 60.0, 60.0, 1, 120.0), vec![NodeId(0)], SimTime::ZERO);
+        let s = e.node_total_share(NodeId(0), None);
+        assert!((s - 0.5).abs() < 1e-9);
+        let new = job(1, 0.0, 30.0, 30.0, 1, 100.0);
+        let s2 = e.node_total_share(NodeId(0), Some(&new));
+        assert!((s2 - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_input_includes_tentative_job() {
+        let mut e = ProportionalCluster::new(cluster(1), ProportionalConfig::default());
+        e.admit(job(0, 0.0, 60.0, 60.0, 1, 120.0), vec![NodeId(0)], SimTime::ZERO);
+        let new = job(1, 0.0, 30.0, 30.0, 1, 100.0);
+        let pj = e.node_projection(NodeId(0), Some(&new));
+        assert_eq!(pj.len(), 2);
+        assert_eq!(pj[1].remaining_est, 30.0);
+        assert_eq!(pj[1].abs_deadline, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance() the engine")]
+    fn stale_admit_panics() {
+        let mut e = ProportionalCluster::new(cluster(1), ProportionalConfig::default());
+        e.admit(job(0, 0.0, 10.0, 10.0, 1, 100.0), vec![NodeId(0)], SimTime::from_secs(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn wrong_node_count_panics() {
+        let mut e = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
+        e.admit(job(0, 0.0, 10.0, 10.0, 2, 100.0), vec![NodeId(0)], SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_node_panics() {
+        let mut e = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
+        e.admit(
+            job(0, 0.0, 10.0, 10.0, 2, 100.0),
+            vec![NodeId(0), NodeId(0)],
+            SimTime::ZERO,
+        );
+    }
+
+    #[test]
+    fn queries_on_absent_jobs_return_none() {
+        let mut e = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
+        assert_eq!(e.rate_of(JobId(7)), None);
+        assert_eq!(e.remaining_est_of(JobId(7)), None);
+        e.admit(job(7, 0.0, 10.0, 10.0, 1, 100.0), vec![NodeId(1)], SimTime::ZERO);
+        assert_eq!(e.jobs_on_node(NodeId(1)), &[JobId(7)]);
+        assert!(e.jobs_on_node(NodeId(0)).is_empty());
+        assert_eq!(e.resident_count(NodeId(1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn advance_rejects_time_travel() {
+        let mut e = ProportionalCluster::new(cluster(1), ProportionalConfig::default());
+        e.admit(job(0, 0.0, 10.0, 10.0, 1, 100.0), vec![NodeId(0)], SimTime::ZERO);
+        e.advance(SimTime::from_secs(5.0));
+        e.advance(SimTime::from_secs(1.0));
+    }
+
+    #[test]
+    fn idle_engine_has_no_next_event() {
+        let e = ProportionalCluster::new(cluster(1), ProportionalConfig::default());
+        assert!(e.next_event_time().is_none());
+        assert_eq!(e.utilization(), 0.0);
+    }
+
+    #[test]
+    fn quantum_bounds_event_gap() {
+        let cfg = ProportionalConfig {
+            max_quantum: Some(10.0),
+            ..Default::default()
+        };
+        let mut e = ProportionalCluster::new(cluster(1), cfg);
+        e.admit(job(0, 0.0, 1000.0, 1000.0, 1, 10_000.0), vec![NodeId(0)], SimTime::ZERO);
+        let next = e.next_event_time().unwrap();
+        assert!((next.as_secs() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_node_utilization_tracks_where_work_ran() {
+        let mut e = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
+        // One job on node 0 only; node 1 idles.
+        e.admit(job(0, 0.0, 100.0, 100.0, 1, 100.0), vec![NodeId(0)], SimTime::ZERO);
+        let done = run_to_completion(&mut e);
+        assert_eq!(done.len(), 1);
+        assert!((e.node_utilization(NodeId(0)) - 1.0).abs() < 1e-6);
+        assert_eq!(e.node_utilization(NodeId(1)), 0.0);
+        assert!((e.utilization_imbalance() - 1.0).abs() < 1e-6);
+        // Cluster-wide utilisation is the mean of the two.
+        assert!((e.utilization() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn work_is_conserved_across_many_jobs() {
+        // Total delivered work equals the sum of runtimes regardless of
+        // contention (single node, serial jobs).
+        let mut e = ProportionalCluster::new(cluster(1), ProportionalConfig::default());
+        for i in 0..5 {
+            e.admit(
+                job(i, 0.0, 40.0, 40.0, 1, 150.0 + 10.0 * i as f64),
+                vec![NodeId(0)],
+                SimTime::ZERO,
+            );
+        }
+        let done = run_to_completion(&mut e);
+        assert_eq!(done.len(), 5);
+        let makespan = done
+            .iter()
+            .map(|d| d.finish.as_secs())
+            .fold(0.0, f64::max);
+        // 200 s of work on one processor: cannot finish before 200 s.
+        assert!(makespan >= 200.0 - 1e-3, "makespan {makespan}");
+        // busy integral == total work delivered.
+        assert!((e.utilization() * makespan - 200.0).abs() < 1.0);
+    }
+}

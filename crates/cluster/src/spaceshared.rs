@@ -1,0 +1,253 @@
+//! Space-shared processor pool (the substrate EDF and FCFS run on).
+//!
+//! Each processor executes a single job at a time (§4: EDF "executes only
+//! a single job on a processor at any time (space-shared)"). Starting a
+//! job occupies `numproc` processors for exactly its actual runtime
+//! (scaled by the slowest allocated node's speed factor); the finish
+//! instant is known at start, so the caller schedules one completion
+//! event per started job.
+
+use crate::cluster::Cluster;
+use crate::node::NodeId;
+use sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use workload::{Job, JobId};
+
+/// A running space-shared job.
+#[derive(Clone, Debug)]
+struct RunningJob {
+    job: Job,
+    nodes: Vec<NodeId>,
+    started: SimTime,
+    finish: SimTime,
+}
+
+/// The space-shared cluster engine.
+#[derive(Clone, Debug)]
+pub struct SpaceSharedCluster {
+    cluster: Cluster,
+    free: Vec<NodeId>,
+    running: BTreeMap<JobId, RunningJob>,
+    busy_integral: f64,
+    last_update: SimTime,
+}
+
+impl SpaceSharedCluster {
+    /// Creates an idle pool over the cluster.
+    pub fn new(cluster: Cluster) -> Self {
+        // Free list kept sorted descending so `pop` hands out the
+        // lowest-id node first (deterministic allocations).
+        let mut free: Vec<NodeId> = cluster.nodes().iter().map(|n| n.id).collect();
+        free.reverse();
+        SpaceSharedCluster {
+            cluster,
+            free,
+            running: BTreeMap::new(),
+            busy_integral: 0.0,
+            last_update: SimTime::ZERO,
+        }
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Number of idle processors.
+    pub fn free_procs(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of running jobs.
+    pub fn running_jobs(&self) -> usize {
+        self.running.len()
+    }
+
+    /// `true` when the job can start right now.
+    pub fn can_start(&self, job: &Job) -> bool {
+        job.procs as usize <= self.free.len()
+    }
+
+    /// Starts a job at `now` on the lowest-id free processors; returns the
+    /// completion instant the caller must schedule.
+    ///
+    /// # Panics
+    /// Panics if not enough processors are free.
+    pub fn start(&mut self, job: Job, now: SimTime) -> SimTime {
+        assert!(self.can_start(&job), "{} needs {} procs, {} free", job.id, job.procs, self.free.len());
+        self.account(now);
+        let mut nodes = Vec::with_capacity(job.procs as usize);
+        for _ in 0..job.procs {
+            nodes.push(self.free.pop().expect("checked free count"));
+        }
+        // On heterogeneous nodes the gang advances at the slowest member.
+        let slowest = nodes
+            .iter()
+            .map(|n| self.cluster.speed_factor(*n))
+            .fold(f64::INFINITY, f64::min);
+        let duration = SimDuration::from_secs(job.runtime.as_secs() / slowest);
+        let finish = now + duration;
+        let id = job.id;
+        self.running.insert(
+            id,
+            RunningJob {
+                job,
+                nodes,
+                started: now,
+                finish,
+            },
+        );
+        finish
+    }
+
+    /// Completes a running job at `now`, freeing its processors. Returns
+    /// `(job, started)`.
+    ///
+    /// # Panics
+    /// Panics if the job is not running or `now` differs from its
+    /// precomputed finish instant.
+    pub fn complete(&mut self, id: JobId, now: SimTime) -> (Job, SimTime) {
+        self.account(now);
+        let r = self.running.remove(&id).unwrap_or_else(|| panic!("{id} is not running"));
+        assert_eq!(r.finish, now, "{id} completes at {:?}, not {:?}", r.finish, now);
+        self.free.extend(r.nodes.iter().rev());
+        self.free.sort_unstable_by(|a, b| b.cmp(a));
+        (r.job, r.started)
+    }
+
+    /// Mean processor utilisation over `[0, now]` (call after the final
+    /// completion to get the run's figure).
+    pub fn utilization(&self) -> f64 {
+        let elapsed = self.last_update.as_secs();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        self.busy_integral / (elapsed * self.cluster.len() as f64)
+    }
+
+    fn account(&mut self, now: SimTime) {
+        assert!(now >= self.last_update, "time went backwards");
+        let dt = (now - self.last_update).as_secs();
+        let busy = self.cluster.len() - self.free.len();
+        self.busy_integral += busy as f64 * dt;
+        self.last_update = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::Urgency;
+
+    fn job(id: u64, runtime: f64, procs: u32) -> Job {
+        Job {
+            id: JobId(id),
+            submit: SimTime::ZERO,
+            runtime: SimDuration::from_secs(runtime),
+            estimate: SimDuration::from_secs(runtime),
+            procs,
+            deadline: SimDuration::from_secs(runtime * 2.0),
+            urgency: Urgency::Low,
+        }
+    }
+
+    #[test]
+    fn start_and_complete_roundtrip() {
+        let mut p = SpaceSharedCluster::new(Cluster::homogeneous(4, 168.0));
+        assert_eq!(p.free_procs(), 4);
+        let finish = p.start(job(1, 100.0, 3), SimTime::ZERO);
+        assert_eq!(finish, SimTime::from_secs(100.0));
+        assert_eq!(p.free_procs(), 1);
+        assert_eq!(p.running_jobs(), 1);
+        let (j, started) = p.complete(JobId(1), finish);
+        assert_eq!(j.id, JobId(1));
+        assert_eq!(started, SimTime::ZERO);
+        assert_eq!(p.free_procs(), 4);
+    }
+
+    #[test]
+    fn can_start_checks_capacity() {
+        let mut p = SpaceSharedCluster::new(Cluster::homogeneous(4, 168.0));
+        p.start(job(1, 10.0, 3), SimTime::ZERO);
+        assert!(p.can_start(&job(2, 10.0, 1)));
+        assert!(!p.can_start(&job(3, 10.0, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "procs")]
+    fn overcommit_panics() {
+        let mut p = SpaceSharedCluster::new(Cluster::homogeneous(2, 168.0));
+        p.start(job(1, 10.0, 3), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "not running")]
+    fn completing_unknown_job_panics() {
+        let mut p = SpaceSharedCluster::new(Cluster::homogeneous(2, 168.0));
+        p.complete(JobId(9), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "completes at")]
+    fn completing_at_wrong_instant_panics() {
+        let mut p = SpaceSharedCluster::new(Cluster::homogeneous(2, 168.0));
+        p.start(job(1, 100.0, 1), SimTime::ZERO);
+        p.complete(JobId(1), SimTime::from_secs(50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn accounting_rejects_time_travel() {
+        let mut p = SpaceSharedCluster::new(Cluster::homogeneous(2, 168.0));
+        p.start(job(1, 100.0, 1), SimTime::from_secs(10.0));
+        p.start(job(2, 100.0, 1), SimTime::from_secs(5.0));
+    }
+
+    #[test]
+    fn heterogeneous_gang_runs_at_slowest_member() {
+        let nodes = vec![
+            crate::node::Node::new(NodeId(0), 168.0),
+            crate::node::Node::new(NodeId(1), 336.0),
+        ];
+        let c = Cluster::new(nodes, 168.0);
+        let mut p = SpaceSharedCluster::new(c);
+        // Lowest ids first → gets node 0 (slow) and node 1 (fast): the
+        // gang runs at factor 1.0.
+        let finish = p.start(job(1, 100.0, 2), SimTime::ZERO);
+        assert_eq!(finish, SimTime::from_secs(100.0));
+    }
+
+    #[test]
+    fn fast_node_alone_shortens_runtime() {
+        let nodes = vec![
+            crate::node::Node::new(NodeId(0), 336.0),
+            crate::node::Node::new(NodeId(1), 168.0),
+        ];
+        let c = Cluster::new(nodes, 168.0);
+        let mut p = SpaceSharedCluster::new(c);
+        let finish = p.start(job(1, 100.0, 1), SimTime::ZERO);
+        // Node 0 (factor 2) is handed out first.
+        assert_eq!(finish, SimTime::from_secs(50.0));
+    }
+
+    #[test]
+    fn utilization_integrates_busy_processors() {
+        let mut p = SpaceSharedCluster::new(Cluster::homogeneous(2, 168.0));
+        let f = p.start(job(1, 100.0, 1), SimTime::ZERO);
+        p.complete(JobId(1), f);
+        // One of two processors busy for the whole span.
+        assert!((p.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn processors_are_reused_deterministically() {
+        let mut p = SpaceSharedCluster::new(Cluster::homogeneous(3, 168.0));
+        let f1 = p.start(job(1, 10.0, 2), SimTime::ZERO);
+        p.start(job(2, 50.0, 1), SimTime::ZERO);
+        p.complete(JobId(1), f1);
+        assert_eq!(p.free_procs(), 2);
+        // Restarting grabs the lowest ids again.
+        let _ = p.start(job(3, 10.0, 2), f1);
+        assert_eq!(p.free_procs(), 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Property-based invariants of the execution engines and the delay
+//! projection.
+
+use cluster::projection::{
+    self, node_risk, project_finishes, ProjectedJob, ShareDiscipline,
+};
+use cluster::proportional::{ProportionalCluster, ProportionalConfig};
+use cluster::{Cluster, NodeId, SpaceSharedCluster};
+use proptest::prelude::*;
+use sim::{SimDuration, SimTime};
+use workload::{Job, JobId, Urgency};
+
+fn job(id: u64, runtime: f64, estimate: f64, procs: u32, deadline: f64) -> Job {
+    Job {
+        id: JobId(id),
+        submit: SimTime::ZERO,
+        runtime: SimDuration::from_secs(runtime),
+        estimate: SimDuration::from_secs(estimate),
+        procs,
+        deadline: SimDuration::from_secs(deadline),
+        urgency: Urgency::Low,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RawJob {
+    runtime: f64,
+    est_factor: f64,
+    deadline: f64,
+    procs: u32,
+}
+
+fn raw_job() -> impl Strategy<Value = RawJob> {
+    (1.0..5_000.0f64, 0.2..6.0f64, 10.0..20_000.0f64, 1u32..4).prop_map(
+        |(runtime, est_factor, deadline, procs)| RawJob {
+            runtime,
+            est_factor,
+            deadline,
+            procs,
+        },
+    )
+}
+
+fn discipline() -> impl Strategy<Value = ShareDiscipline> {
+    prop_oneof![
+        Just(ShareDiscipline::Strict),
+        Just(ShareDiscipline::WorkConserving)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_always_terminates_and_conserves_work(
+        raws in proptest::collection::vec(raw_job(), 1..12),
+        disc in discipline(),
+    ) {
+        let cfg = ProportionalConfig { discipline: disc, ..Default::default() };
+        let mut engine = ProportionalCluster::new(Cluster::homogeneous(4, 168.0), cfg);
+        let mut total_work = 0.0;
+        for (i, r) in raws.iter().enumerate() {
+            let j = job(i as u64, r.runtime, r.runtime * r.est_factor, r.procs, r.deadline);
+            total_work += r.runtime * f64::from(r.procs);
+            let nodes: Vec<NodeId> = (0..r.procs).map(NodeId).collect();
+            engine.admit(j, nodes, SimTime::ZERO);
+        }
+        let mut finishes = Vec::new();
+        let mut guard = 0;
+        while let Some(t) = engine.next_event_time() {
+            for done in engine.advance(t) {
+                // A job can never finish before its full-speed runtime.
+                prop_assert!(
+                    (done.finish - done.started).as_secs() >= done.job.runtime.as_secs() - 1e-3
+                );
+                finishes.push(done);
+            }
+            guard += 1;
+            prop_assert!(guard < 200_000, "engine failed to converge");
+        }
+        prop_assert!(engine.is_empty());
+        prop_assert_eq!(finishes.len(), raws.len());
+        // Work conservation: delivered work equals the sum of runtimes
+        // (scaled by gang width), measured through the utilisation
+        // integral.
+        let makespan = engine.now().as_secs();
+        let delivered = engine.utilization() * makespan * 4.0;
+        prop_assert!(
+            (delivered - total_work).abs() < 1e-3 * total_work.max(1.0) + 1e-3,
+            "delivered {delivered} vs submitted {total_work}"
+        );
+        prop_assert!(engine.utilization() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn projection_outputs_are_sane(
+        jobs in proptest::collection::vec((1.0..10_000.0f64, -5_000.0..50_000.0f64), 1..20),
+        now in 0.0..1_000.0f64,
+        disc in discipline(),
+    ) {
+        let pjs: Vec<ProjectedJob> = jobs
+            .iter()
+            .map(|&(est, dl)| ProjectedJob { remaining_est: est, abs_deadline: dl })
+            .collect();
+        let finishes = project_finishes(&pjs, now, 1.0, disc);
+        prop_assert_eq!(finishes.len(), pjs.len());
+        for &f in &finishes {
+            prop_assert!(f.is_finite());
+            prop_assert!(f >= now - 1e-9, "finish {f} before now {now}");
+        }
+        // Unit capacity: the last projected finish cannot beat the total
+        // estimated work.
+        let total: f64 = pjs.iter().map(|p| p.remaining_est).sum();
+        let last = finishes.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(last - now >= total - 1e-6 * total.max(1.0) - 1e-6,
+            "last {last} now {now} total {total}");
+
+        let (mu, sigma) = node_risk(&pjs, now, 1.0, disc);
+        prop_assert!(mu >= 1.0 - 1e-9, "mu {mu} below the metric's minimum");
+        prop_assert!(sigma >= 0.0);
+        prop_assert!(mu.is_finite() && sigma.is_finite());
+    }
+
+    #[test]
+    fn zero_risk_iff_all_deadline_delays_equal(
+        ests in proptest::collection::vec(10.0..1_000.0f64, 1..8),
+    ) {
+        // All jobs share one deadline far in the future → all meet it →
+        // dd all 1 → zero risk.
+        let pjs: Vec<ProjectedJob> = ests
+            .iter()
+            .map(|&e| ProjectedJob { remaining_est: e, abs_deadline: 1e9 })
+            .collect();
+        let (mu, sigma) = node_risk(&pjs, 0.0, 1.0, ShareDiscipline::WorkConserving);
+        prop_assert!((mu - 1.0).abs() < 1e-9);
+        prop_assert!(projection::is_zero_risk(sigma));
+    }
+
+    #[test]
+    fn space_shared_never_overcommits(
+        widths in proptest::collection::vec(1u32..5, 1..20),
+    ) {
+        let total = 8usize;
+        let mut pool = SpaceSharedCluster::new(Cluster::homogeneous(total, 168.0));
+        let mut running: Vec<(JobId, SimTime)> = Vec::new();
+        let mut clock = SimTime::ZERO;
+        for (i, &w) in widths.iter().enumerate() {
+            let j = job(i as u64, 100.0, 100.0, w, 1e6);
+            if pool.can_start(&j) {
+                let fin = pool.start(j, clock);
+                running.push((JobId(i as u64), fin));
+                prop_assert!(pool.free_procs() <= total);
+            } else {
+                // Free the earliest-finishing job and retry once.
+                running.sort_by_key(|(_, f)| *f);
+                if let Some((id, fin)) = running.first().cloned() {
+                    clock = fin;
+                    pool.complete(id, fin);
+                    running.remove(0);
+                }
+                let j = job(i as u64, 100.0, 100.0, w, 1e6);
+                if pool.can_start(&j) {
+                    let fin = pool.start(j, clock);
+                    running.push((JobId(i as u64), fin));
+                }
+            }
+            let busy: usize = total - pool.free_procs();
+            prop_assert!(busy <= total);
+        }
+    }
+}
+
+#[test]
+fn projection_matches_engine_for_feasible_accurate_jobs() {
+    // When estimates are exact and the node is feasible, the engine's
+    // actual finishes must equal the projection's predictions.
+    let cfg = ProportionalConfig {
+        discipline: ShareDiscipline::Strict,
+        max_quantum: None,
+        ..Default::default()
+    };
+    let mut engine = ProportionalCluster::new(Cluster::homogeneous(1, 168.0), cfg);
+    let specs = [(100.0, 400.0), (50.0, 1_000.0), (20.0, 2_000.0)];
+    let mut pjs = Vec::new();
+    for (i, &(rt, dl)) in specs.iter().enumerate() {
+        engine.admit(job(i as u64, rt, rt, 1, dl), vec![NodeId(0)], SimTime::ZERO);
+        pjs.push(ProjectedJob {
+            remaining_est: rt,
+            abs_deadline: dl,
+        });
+    }
+    let predicted = project_finishes(&pjs, 0.0, 1.0, ShareDiscipline::Strict);
+    let mut actual = vec![0.0; specs.len()];
+    while let Some(t) = engine.next_event_time() {
+        for done in engine.advance(t) {
+            actual[done.job.id.0 as usize] = done.finish.as_secs();
+        }
+    }
+    for (p, a) in predicted.iter().zip(&actual) {
+        assert!((p - a).abs() < 1e-3, "projected {p} vs actual {a}");
+    }
+}

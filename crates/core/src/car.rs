@@ -1,0 +1,196 @@
+//! Computation-at-Risk (CaR) analytics — the related-work risk framing
+//! the paper contrasts itself against (§2: Kleban & Clearwater, IPDPS'04
+//! / Cluster'04).
+//!
+//! CaR transplants Value-at-Risk from finance to job portfolios: "the
+//! risk of completing jobs later than expected", quantified on either the
+//! **makespan** (response time) or the **expansion factor** (slowdown) of
+//! all jobs in the cluster. Where LibraRisk asks *before admission*
+//! whether a node's projected deadline-delays disperse, CaR *describes
+//! the realised portfolio*: the q-quantile of the chosen lateness measure
+//! (the at-risk level) and the expected excess beyond it (the shortfall).
+//!
+//! Implementing both lets the experiments compare the admission controls
+//! on the related work's own terms — e.g. LibraRisk does not only fulfil
+//! more deadlines, it also carries a smaller expansion-factor tail.
+
+use crate::report::SimulationReport;
+use metrics::percentile::quantile;
+
+/// Which lateness measure the CaR quantities are computed over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CarMeasure {
+    /// Response time (`finish − submit`), seconds — CaR's "makespan".
+    Makespan,
+    /// Slowdown (`response / runtime`) — CaR's "expansion factor".
+    ExpansionFactor,
+    /// Realised deadline-delay metric (Eq. 4 of the paper, evaluated at
+    /// submission: `(delay + deadline) / deadline`, ≥ 1).
+    DeadlineDelay,
+}
+
+impl CarMeasure {
+    /// Extracts the measure for every completed job.
+    pub fn samples(&self, report: &SimulationReport) -> Vec<f64> {
+        report
+            .records
+            .iter()
+            .filter_map(|r| {
+                let response = r.response_time()?;
+                Some(match self {
+                    CarMeasure::Makespan => response,
+                    CarMeasure::ExpansionFactor => response / r.job.runtime.as_secs(),
+                    CarMeasure::DeadlineDelay => {
+                        let delay = r.delay().expect("completed");
+                        let deadline = r.job.deadline.as_secs();
+                        (delay + deadline) / deadline
+                    }
+                })
+            })
+            .collect()
+    }
+}
+
+/// The CaR summary of one simulation run for one measure.
+#[derive(Clone, Copy, Debug)]
+pub struct CarAnalysis {
+    /// The measure analysed.
+    pub measure: CarMeasure,
+    /// Quantile level used (e.g. 0.95).
+    pub level: f64,
+    /// Completed jobs the analysis covers.
+    pub jobs: usize,
+    /// Mean of the measure.
+    pub mean: f64,
+    /// The at-risk value: the `level`-quantile of the measure.
+    pub value_at_risk: f64,
+    /// Expected shortfall: mean of the samples at or beyond the VaR
+    /// (the tail the provider actually pays for).
+    pub expected_shortfall: f64,
+}
+
+/// Computes the CaR summary of a report.
+///
+/// Returns `None` when no job completed.
+///
+/// # Panics
+/// Panics if `level` is outside `(0, 1)`.
+pub fn computation_at_risk(
+    report: &SimulationReport,
+    measure: CarMeasure,
+    level: f64,
+) -> Option<CarAnalysis> {
+    assert!(level > 0.0 && level < 1.0, "level must be in (0,1), got {level}");
+    let samples = measure.samples(report);
+    if samples.is_empty() {
+        return None;
+    }
+    let var = quantile(&samples, level).expect("non-empty");
+    let tail: Vec<f64> = samples.iter().copied().filter(|&x| x >= var).collect();
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let expected_shortfall = tail.iter().sum::<f64>() / tail.len() as f64;
+    Some(CarAnalysis {
+        measure,
+        level,
+        jobs: samples.len(),
+        mean,
+        value_at_risk: var,
+        expected_shortfall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{JobRecord, Outcome};
+    use sim::{SimDuration, SimTime};
+    use workload::{Job, JobId, Urgency};
+
+    fn completed(id: u64, runtime: f64, deadline: f64, response: f64) -> JobRecord {
+        let job = Job {
+            id: JobId(id),
+            submit: SimTime::from_secs(100.0),
+            runtime: SimDuration::from_secs(runtime),
+            estimate: SimDuration::from_secs(runtime),
+            procs: 1,
+            deadline: SimDuration::from_secs(deadline),
+            urgency: Urgency::Low,
+        };
+        JobRecord {
+            outcome: Outcome::Completed {
+                started: job.submit,
+                finish: job.submit + SimDuration::from_secs(response),
+            },
+            job,
+        }
+    }
+
+    fn report(records: Vec<JobRecord>) -> SimulationReport {
+        SimulationReport {
+            policy: "test".into(),
+            records,
+            utilization: 0.5,
+        }
+    }
+
+    #[test]
+    fn samples_extract_each_measure() {
+        let r = report(vec![completed(0, 100.0, 300.0, 200.0)]);
+        assert_eq!(CarMeasure::Makespan.samples(&r), vec![200.0]);
+        assert_eq!(CarMeasure::ExpansionFactor.samples(&r), vec![2.0]);
+        // delay = max(0, 200 - 300) = 0 → dd = 1.
+        assert_eq!(CarMeasure::DeadlineDelay.samples(&r), vec![1.0]);
+        // A late job: response 500, deadline 300 → delay 200, dd = 5/3.
+        let late = report(vec![completed(1, 100.0, 300.0, 500.0)]);
+        let dd = CarMeasure::DeadlineDelay.samples(&late)[0];
+        assert!((dd - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejected_jobs_are_excluded() {
+        let mut records = vec![completed(0, 100.0, 300.0, 200.0)];
+        records.push(JobRecord {
+            outcome: Outcome::Rejected {
+                at: SimTime::from_secs(100.0),
+            },
+            job: records[0].job.clone(),
+        });
+        let r = report(records);
+        assert_eq!(CarMeasure::Makespan.samples(&r).len(), 1);
+    }
+
+    #[test]
+    fn var_and_shortfall_match_hand_computation() {
+        // Responses 100..=1000 step 100: the 0.9-quantile (type-7) is 910;
+        // tail {1000} → shortfall 1000.
+        let records: Vec<JobRecord> = (1..=10)
+            .map(|i| completed(i, 100.0, 1e6, 100.0 * i as f64))
+            .collect();
+        let car = computation_at_risk(&report(records), CarMeasure::Makespan, 0.9).unwrap();
+        assert_eq!(car.jobs, 10);
+        assert!((car.mean - 550.0).abs() < 1e-9);
+        assert!((car.value_at_risk - 910.0).abs() < 1e-9);
+        assert!((car.expected_shortfall - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_yields_none() {
+        assert!(computation_at_risk(&report(vec![]), CarMeasure::Makespan, 0.95).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "level")]
+    fn bad_level_panics() {
+        let _ = computation_at_risk(&report(vec![]), CarMeasure::Makespan, 1.0);
+    }
+
+    #[test]
+    fn shortfall_dominates_var_dominates_mean_for_skewed_tails() {
+        let mut records: Vec<JobRecord> =
+            (0..50).map(|i| completed(i, 100.0, 1e6, 110.0)).collect();
+        records.push(completed(99, 100.0, 1e6, 10_000.0)); // one disaster
+        let car = computation_at_risk(&report(records), CarMeasure::Makespan, 0.9).unwrap();
+        assert!(car.mean < car.value_at_risk || car.value_at_risk <= car.expected_shortfall);
+        assert!(car.expected_shortfall >= car.value_at_risk);
+    }
+}

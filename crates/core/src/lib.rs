@@ -1,0 +1,74 @@
+//! # `librisk` — deadline-constrained job admission control for clusters
+//!
+//! Reproduction of Yeo & Buyya, *"Managing Risk of Inaccurate Runtime
+//! Estimates for Deadline Constrained Job Admission Control in Clusters"*
+//! (ICPP 2006).
+//!
+//! A cluster sells service under SLAs whose key term is a **hard
+//! deadline**: a job is only useful if it finishes within
+//! `submit + deadline`. Admission control decides *at submission time*
+//! whether to take a job on — but its information is the user's runtime
+//! **estimate**, which real traces show is wildly inaccurate and usually
+//! over-estimated. This crate implements:
+//!
+//! * [`libra::Libra`] — deadline-based proportional-share admission: a
+//!   node is suitable when the sum of required shares including the new
+//!   job stays ≤ 1; nodes are chosen best-fit (§3.1).
+//! * [`libra_risk::LibraRisk`] — the paper's contribution: a node is
+//!   suitable when its projected **risk of deadline delay** `σ_j` (the
+//!   population standard deviation of the deadline-delay metric, Eq. 4–6)
+//!   is zero (§3.3, Algorithm 1).
+//! * [`queue::QueuePolicy`] — the space-shared comparators: non-preemptive
+//!   **EDF** with the paper's relaxed admission control, EDF without
+//!   admission control, and FCFS (§4).
+//! * [`scheduler`] — the event loops that drive a [`workload::Trace`]
+//!   through either engine and produce a [`report::SimulationReport`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use librisk::prelude::*;
+//!
+//! // An SDSC-SP2-like trace with the paper's deadline model.
+//! let mut trace = workload::synthetic::SyntheticSdscSp2 {
+//!     jobs: 200, ..Default::default()
+//! }.generate(42);
+//! workload::deadlines::DeadlineModel::default()
+//!     .assign(&mut sim::Rng64::new(7), trace.jobs_mut());
+//!
+//! let report = PolicyKind::LibraRisk.run(&Cluster::sdsc_sp2(), &trace);
+//! println!("{}: {:.1}% of deadlines fulfilled, slowdown {:.2}",
+//!          report.policy, report.fulfilled_pct(), report.avg_slowdown());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod car;
+pub mod libra;
+pub mod libra_budget;
+pub mod libra_risk;
+pub mod policy;
+pub mod qops;
+pub mod queue;
+pub mod report;
+pub mod scheduler;
+
+pub use car::{computation_at_risk, CarAnalysis, CarMeasure};
+pub use libra::Libra;
+pub use libra_budget::{BudgetModel, LibraBudget, PricingModel};
+pub use libra_risk::{LibraRisk, NodeOrdering};
+pub use policy::{PolicyKind, ShareAdmission};
+pub use qops::{run_qops, QopsConfig};
+pub use queue::{QueueDiscipline, QueuePolicy};
+pub use report::{JobRecord, Outcome, SimulationReport};
+pub use scheduler::{run_proportional, run_queued};
+
+/// One-line imports for examples and the experiment harness.
+pub mod prelude {
+    pub use crate::policy::PolicyKind;
+    pub use crate::report::{Outcome, SimulationReport};
+    pub use crate::scheduler::{run_proportional, run_queued};
+    pub use cluster::{Cluster, NodeId};
+    pub use workload::{Job, JobId, Trace, Urgency};
+}

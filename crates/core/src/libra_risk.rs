@@ -1,0 +1,315 @@
+//! LibraRisk: admission by zero risk of deadline delay (§3.3, Algorithm 1).
+//!
+//! For every node the policy tentatively adds the new job, projects each
+//! resident job's finish time under the proportional-share dynamics using
+//! the scheduler's *current beliefs* (remaining estimates), converts the
+//! projected delays into the deadline-delay metric (Eq. 4) and computes
+//! the node's risk `σ_j` (Eq. 6). The node is suitable iff `σ_j = 0`, and
+//! the job is accepted iff at least `numproc` suitable nodes exist.
+//!
+//! Two properties make this different from — and under inaccurate
+//! estimates better than — Libra's share test:
+//!
+//! 1. `σ_j` is a *dispersion*, so a projected delay that would hit every
+//!    job on the node equally (most importantly: a lone job whose inflated
+//!    estimate exceeds its deadline) reads as **certainty, not risk** —
+//!    the job is accepted, and because real estimates are mostly
+//!    over-estimates it usually meets its deadline anyway.
+//! 2. The projection consumes the engine's live remaining estimates,
+//!    including the re-armed residuals of currently *overrunning*
+//!    (under-estimated) jobs — a node already in trouble projects unequal
+//!    delays and is avoided, where Libra would happily keep loading it.
+
+use crate::policy::ShareAdmission;
+use cluster::projection::{is_zero_risk, node_risk, node_risk_single_segment};
+use cluster::proportional::ProportionalCluster;
+use cluster::NodeId;
+use workload::Job;
+
+/// How suitable (zero-risk) nodes are ordered before taking the first
+/// `numproc` of them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeOrdering {
+    /// Ascending node id — the literal reading of Algorithm 1 (the loop
+    /// appends suitable nodes in index order).
+    ById,
+    /// Most-loaded (by current total share) first — saturates nodes like
+    /// Libra's best fit.
+    MostLoadedFirst,
+    /// Least-loaded first — spreads jobs out.
+    LeastLoadedFirst,
+}
+
+/// Tolerance on the projected mean deadline-delay when
+/// [`LibraRisk::require_unit_mu`] is enabled.
+pub const MU_EPSILON: f64 = 1e-9;
+
+/// The LibraRisk admission control.
+#[derive(Clone, Debug)]
+pub struct LibraRisk {
+    name: String,
+    ordering: NodeOrdering,
+    require_unit_mu: bool,
+    naive_projection: bool,
+}
+
+impl Default for LibraRisk {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl LibraRisk {
+    /// The policy exactly as published: zero-σ suitability, node-id order.
+    pub fn paper() -> Self {
+        LibraRisk {
+            name: "LibraRisk".to_string(),
+            ordering: NodeOrdering::ById,
+            require_unit_mu: false,
+            naive_projection: false,
+        }
+    }
+
+    /// Renames the policy (for ablation variants).
+    pub fn with_name(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Changes the suitable-node ordering.
+    pub fn with_ordering(mut self, ordering: NodeOrdering) -> Self {
+        self.ordering = ordering;
+        if ordering != NodeOrdering::ById && self.name == "LibraRisk" {
+            self.name = format!("LibraRisk-{ordering:?}");
+        }
+        self
+    }
+
+    /// Ablation knob: replace the piecewise delay projection with the
+    /// naive single-segment one (rates frozen at admission time). Under
+    /// overload every deadline-delay then coincides, so σ_j degenerates
+    /// to 0 and the policy accepts anything that fits — quantifying how
+    /// much the projection's event recomputation contributes.
+    pub fn with_naive_projection(mut self, on: bool) -> Self {
+        self.naive_projection = on;
+        if on && self.name == "LibraRisk" {
+            self.name = "LibraRisk-NaiveProj".to_string();
+        }
+        self
+    }
+
+    /// Ablation knob: additionally require the projected mean
+    /// deadline-delay `μ_j` to be 1 (i.e. no projected delay at all, not
+    /// even a certain one). This forfeits the over-estimation tolerance.
+    pub fn require_unit_mu(mut self, on: bool) -> Self {
+        self.require_unit_mu = on;
+        if on && self.name == "LibraRisk" {
+            self.name = "LibraRisk-Strict".to_string();
+        }
+        self
+    }
+}
+
+impl ShareAdmission for LibraRisk {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn decide(&mut self, engine: &ProportionalCluster, job: &Job) -> Option<Vec<NodeId>> {
+        let want = job.procs as usize;
+        if want > engine.cluster().len() {
+            return None;
+        }
+        let now = engine.now().as_secs();
+        let discipline = engine.config().discipline;
+        // Algorithm 1, lines 1–11: evaluate σ_j per node with the new job
+        // tentatively added.
+        let mut zero_risk_nodes: Vec<NodeId> = Vec::new();
+        for node in engine.cluster().nodes() {
+            let projected = engine.node_projection(node.id, Some(job));
+            let speed = engine.cluster().speed_factor(node.id);
+            let (mu, sigma) = if self.naive_projection {
+                node_risk_single_segment(&projected, now, speed, discipline)
+            } else {
+                node_risk(&projected, now, speed, discipline)
+            };
+            let suitable = is_zero_risk(sigma)
+                && (!self.require_unit_mu || (mu - 1.0).abs() <= MU_EPSILON);
+            if suitable {
+                zero_risk_nodes.push(node.id);
+            }
+        }
+        // Lines 12–18: accept iff enough suitable nodes exist.
+        if zero_risk_nodes.len() < want {
+            return None;
+        }
+        match self.ordering {
+            NodeOrdering::ById => {} // already ascending by construction
+            NodeOrdering::MostLoadedFirst => {
+                zero_risk_nodes.sort_by(|a, b| {
+                    let sa = engine.node_total_share(*a, None);
+                    let sb = engine.node_total_share(*b, None);
+                    sb.partial_cmp(&sa).expect("finite shares").then(a.cmp(b))
+                });
+            }
+            NodeOrdering::LeastLoadedFirst => {
+                zero_risk_nodes.sort_by(|a, b| {
+                    let sa = engine.node_total_share(*a, None);
+                    let sb = engine.node_total_share(*b, None);
+                    sa.partial_cmp(&sb).expect("finite shares").then(a.cmp(b))
+                });
+            }
+        }
+        zero_risk_nodes.truncate(want);
+        Some(zero_risk_nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::proportional::ProportionalConfig;
+    use cluster::Cluster;
+    use sim::{SimDuration, SimTime};
+    use workload::{JobId, Urgency};
+
+    fn engine(nodes: usize) -> ProportionalCluster {
+        ProportionalCluster::new(Cluster::homogeneous(nodes, 168.0), ProportionalConfig::default())
+    }
+
+    fn job(id: u64, estimate: f64, procs: u32, deadline: f64) -> Job {
+        Job {
+            id: JobId(id),
+            submit: SimTime::ZERO,
+            runtime: SimDuration::from_secs(estimate),
+            estimate: SimDuration::from_secs(estimate),
+            procs,
+            deadline: SimDuration::from_secs(deadline),
+            urgency: Urgency::High,
+        }
+    }
+
+    #[test]
+    fn accepts_feasible_job_like_libra() {
+        let mut lr = LibraRisk::paper();
+        let e = engine(4);
+        let nodes = lr.decide(&e, &job(0, 50.0, 2, 100.0)).expect("accepted");
+        assert_eq!(nodes, vec![NodeId(0), NodeId(1)], "Algorithm 1 takes nodes in id order");
+    }
+
+    #[test]
+    fn accepts_certainly_late_lone_job_that_libra_rejects() {
+        // estimate 300 > deadline 100: Libra's share test says 3 > 1 →
+        // reject; LibraRisk sees a single projected deadline-delay value
+        // (σ = 0) → accept. This is the over-estimation tolerance.
+        let mut lr = LibraRisk::paper();
+        let mut libra = crate::libra::Libra::new();
+        let e = engine(1);
+        let j = job(0, 300.0, 1, 100.0);
+        assert!(libra.decide(&e, &j).is_none());
+        assert!(lr.decide(&e, &j).is_some());
+    }
+
+    #[test]
+    fn strict_variant_rejects_certainly_late_lone_job() {
+        let mut strict = LibraRisk::paper().require_unit_mu(true);
+        let e = engine(1);
+        assert!(strict.decide(&e, &job(0, 300.0, 1, 100.0)).is_none());
+        // But a genuinely feasible job is still accepted.
+        assert!(strict.decide(&e, &job(1, 50.0, 1, 100.0)).is_some());
+        assert_eq!(strict.name(), "LibraRisk-Strict");
+    }
+
+    #[test]
+    fn rejects_when_projection_shows_unequal_delays() {
+        let mut lr = LibraRisk::paper();
+        let mut e = engine(1);
+        // Resident job: share 0.8 with deadline 100.
+        e.admit(job(1, 80.0, 1, 100.0), vec![NodeId(0)], SimTime::ZERO);
+        // New job with a different deadline pushing the node into overload:
+        // the earlier-deadline job is projected late, the later one less so
+        // → σ > 0 → reject.
+        assert!(lr.decide(&e, &job(2, 80.0, 1, 200.0)).is_none());
+        // A small job that keeps the node feasible is accepted.
+        assert!(lr.decide(&e, &job(3, 10.0, 1, 200.0)).is_some());
+    }
+
+    #[test]
+    fn avoids_node_with_overrunning_job() {
+        let mut lr = LibraRisk::paper();
+        let mut e = engine(2);
+        // An under-estimated job on node 0: estimate 50, actual 500,
+        // deadline 100.
+        let mut sick = job(1, 50.0, 1, 100.0);
+        sick.runtime = SimDuration::from_secs(500.0);
+        e.admit(sick, vec![NodeId(0)], SimTime::ZERO);
+        // Run past the estimate and the deadline: the job overruns; its
+        // re-armed residual now projects real delay on node 0.
+        let mut t = e.next_event_time().unwrap();
+        for _ in 0..20 {
+            let done = e.advance(t);
+            if !done.is_empty() {
+                break;
+            }
+            match e.next_event_time() {
+                Some(next) if next.as_secs() < 160.0 => t = next,
+                _ => break,
+            }
+        }
+        assert!(!e.is_empty(), "sick job must still be running");
+        // New job with a comfortable deadline: node 0 projects unequal
+        // delays (sick job late, new job fine) → only node 1 is zero-risk.
+        let nodes = lr.decide(&e, &job(2, 50.0, 1, 1000.0)).expect("node 1 available");
+        assert_eq!(nodes, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn ordering_variants_pick_different_nodes() {
+        let mut e = engine(3);
+        // Load node 1 lightly.
+        e.admit(job(1, 10.0, 1, 100.0), vec![NodeId(1)], SimTime::ZERO);
+        let j = job(2, 10.0, 1, 100.0);
+        let mut p_id = LibraRisk::paper();
+        let mut p_most = LibraRisk::paper().with_ordering(NodeOrdering::MostLoadedFirst);
+        let mut p_least = LibraRisk::paper().with_ordering(NodeOrdering::LeastLoadedFirst);
+        assert_eq!(p_id.decide(&e, &j).unwrap(), vec![NodeId(0)]);
+        assert_eq!(p_most.decide(&e, &j).unwrap(), vec![NodeId(1)]);
+        assert_eq!(p_least.decide(&e, &j).unwrap(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn naive_projection_accepts_the_overload_the_paper_variant_refuses() {
+        let mut e = engine(1);
+        e.admit(job(1, 80.0, 1, 100.0), vec![NodeId(0)], SimTime::ZERO);
+        let j = job(2, 80.0, 1, 200.0);
+        // Piecewise projection: unequal delays → reject (see
+        // rejects_when_projection_shows_unequal_delays).
+        assert!(LibraRisk::paper().decide(&e, &j).is_none());
+        // Naive projection: all delays coincide → zero risk → accept.
+        let mut naive = LibraRisk::paper().with_naive_projection(true);
+        assert!(naive.decide(&e, &j).is_some());
+        assert_eq!(naive.name(), "LibraRisk-NaiveProj");
+    }
+
+    #[test]
+    fn rejects_wider_than_cluster() {
+        let mut lr = LibraRisk::paper();
+        let e = engine(2);
+        assert!(lr.decide(&e, &job(0, 1.0, 3, 100.0)).is_none());
+    }
+
+    #[test]
+    fn multiprocessor_job_needs_enough_zero_risk_nodes() {
+        let mut lr = LibraRisk::paper();
+        let mut e = engine(2);
+        // Make node 0 risky: overload it with heterogeneous deadlines.
+        e.admit(job(1, 90.0, 1, 100.0), vec![NodeId(0)], SimTime::ZERO);
+        let j2 = job(2, 90.0, 2, 300.0);
+        // Node 0 would project unequal delays with j2 added; node 1 is
+        // clean — but j2 needs two nodes → reject.
+        assert!(lr.decide(&e, &j2).is_none());
+        // The same job needing one node is accepted on node 1.
+        let j3 = job(3, 90.0, 1, 300.0);
+        assert_eq!(lr.decide(&e, &j3).unwrap(), vec![NodeId(1)]);
+    }
+}

@@ -1,0 +1,218 @@
+//! The admission-policy abstraction and the catalogue of ready-made
+//! policies.
+
+use crate::libra::Libra;
+use crate::libra_risk::{LibraRisk, NodeOrdering};
+use crate::qops::{run_qops, QopsConfig};
+use crate::queue::{QueueDiscipline, QueuePolicy};
+use crate::report::SimulationReport;
+use crate::scheduler::{run_proportional, run_queued};
+use cluster::projection::ShareDiscipline;
+use cluster::proportional::{ProportionalCluster, ProportionalConfig};
+use cluster::{Cluster, NodeId};
+use workload::{Job, Trace};
+
+/// Decision logic of a proportional-share admission control (Libra,
+/// LibraRisk and variants).
+///
+/// `decide` is consulted once per arriving job with the engine advanced to
+/// the submission instant; returning `Some(nodes)` accepts the job onto
+/// exactly `job.procs` distinct nodes, `None` rejects it irrevocably (the
+/// paper's model: SLA terms cannot change after submission, and rejected
+/// jobs do not return).
+pub trait ShareAdmission {
+    /// Display name of the policy (used in reports and figures).
+    fn name(&self) -> String;
+
+    /// Accept (with a node allocation) or reject the job.
+    fn decide(&mut self, engine: &ProportionalCluster, job: &Job) -> Option<Vec<NodeId>>;
+}
+
+/// The catalogue of policies the paper (and our ablations) evaluate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Non-preemptive Earliest Deadline First with the paper's relaxed
+    /// admission control (§4).
+    Edf,
+    /// EDF without any admission control (jobs never rejected) — the
+    /// paper notes this "performs much worse".
+    EdfNoAdmission,
+    /// First-come first-served space sharing, no admission control — the
+    /// classic cluster RMS baseline (§2: existing RMSs implement no
+    /// admission control).
+    Fcfs,
+    /// Deadline-based proportional share with share-feasibility admission
+    /// and best-fit node selection (§3.1).
+    Libra,
+    /// Libra enhanced with the zero-risk-of-deadline-delay test
+    /// (§3.3, Algorithm 1) — the paper's contribution.
+    LibraRisk,
+    /// Ablation: LibraRisk that additionally requires the projected mean
+    /// deadline-delay `μ_j` to be 1 (no *certain* delay either). Collapses
+    /// the over-estimation tolerance — expected to behave like Libra.
+    LibraRiskStrict,
+    /// Ablation: LibraRisk selecting zero-risk nodes best-fit (most loaded
+    /// first) instead of Algorithm 1's node-id order.
+    LibraRiskBestFit,
+    /// Ablation: Libra on a strict-share engine (each job runs at exactly
+    /// its Eq. 1 share; spare capacity idles) instead of the default
+    /// work-conserving engine.
+    LibraStrictShares,
+    /// Ablation: LibraRisk on a strict-share engine.
+    LibraRiskStrictShares,
+    /// Ablation: LibraRisk with the naive single-segment delay projection
+    /// (rates frozen; overload reads as certain, hence zero-risk). Expected
+    /// to over-admit and miss deadlines.
+    LibraRiskNaiveProjection,
+    /// Extension: EDF with EASY-style aggressive backfilling (blocked
+    /// head; later fitting jobs may jump ahead).
+    EdfBackfill,
+    /// Extension: QoPS-style soft-deadline admission control (related
+    /// work, §2) with the default slack factor 1.2.
+    Qops,
+    /// Extension: the QoPS controller with slack factor 1 — a hard
+    /// schedulability test at arrival.
+    QopsHard,
+}
+
+impl PolicyKind {
+    /// All policies the paper's figures compare.
+    pub const PAPER: [PolicyKind; 3] = [PolicyKind::Edf, PolicyKind::Libra, PolicyKind::LibraRisk];
+
+    /// Display name used in figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Edf => "EDF",
+            PolicyKind::EdfNoAdmission => "EDF-NoAC",
+            PolicyKind::Fcfs => "FCFS",
+            PolicyKind::Libra => "Libra",
+            PolicyKind::LibraRisk => "LibraRisk",
+            PolicyKind::LibraRiskStrict => "LibraRisk-Strict",
+            PolicyKind::LibraRiskBestFit => "LibraRisk-BestFit",
+            PolicyKind::LibraStrictShares => "Libra-SS",
+            PolicyKind::LibraRiskStrictShares => "LibraRisk-SS",
+            PolicyKind::LibraRiskNaiveProjection => "LibraRisk-NaiveProj",
+            PolicyKind::EdfBackfill => "EDF-BF",
+            PolicyKind::Qops => "QoPS",
+            PolicyKind::QopsHard => "QoPS-Hard",
+        }
+    }
+
+    /// Runs a full simulation of this policy over a trace.
+    pub fn run(self, cluster: &Cluster, trace: &Trace) -> SimulationReport {
+        let default_cfg = ProportionalConfig::default();
+        let strict_shares = ProportionalConfig {
+            discipline: ShareDiscipline::Strict,
+            ..Default::default()
+        };
+        match self {
+            PolicyKind::Edf => run_queued(
+                cluster.clone(),
+                QueuePolicy::new(QueueDiscipline::EarliestDeadline, true),
+                trace,
+            ),
+            PolicyKind::EdfNoAdmission => run_queued(
+                cluster.clone(),
+                QueuePolicy::new(QueueDiscipline::EarliestDeadline, false),
+                trace,
+            ),
+            PolicyKind::Fcfs => run_queued(
+                cluster.clone(),
+                QueuePolicy::new(QueueDiscipline::Fifo, false),
+                trace,
+            ),
+            PolicyKind::Libra => {
+                run_proportional(cluster.clone(), default_cfg, &mut Libra::new(), trace)
+            }
+            PolicyKind::LibraRisk => {
+                run_proportional(cluster.clone(), default_cfg, &mut LibraRisk::paper(), trace)
+            }
+            PolicyKind::LibraRiskStrict => run_proportional(
+                cluster.clone(),
+                default_cfg,
+                &mut LibraRisk::paper().require_unit_mu(true),
+                trace,
+            ),
+            PolicyKind::LibraRiskBestFit => run_proportional(
+                cluster.clone(),
+                default_cfg,
+                &mut LibraRisk::paper().with_ordering(NodeOrdering::MostLoadedFirst),
+                trace,
+            ),
+            PolicyKind::LibraStrictShares => run_proportional(
+                cluster.clone(),
+                strict_shares,
+                &mut Libra::new().with_name("Libra-SS"),
+                trace,
+            ),
+            PolicyKind::LibraRiskStrictShares => run_proportional(
+                cluster.clone(),
+                strict_shares,
+                &mut LibraRisk::paper().with_name("LibraRisk-SS"),
+                trace,
+            ),
+            PolicyKind::LibraRiskNaiveProjection => run_proportional(
+                cluster.clone(),
+                default_cfg,
+                &mut LibraRisk::paper().with_naive_projection(true),
+                trace,
+            ),
+            PolicyKind::EdfBackfill => run_queued(
+                cluster.clone(),
+                QueuePolicy::new(QueueDiscipline::EarliestDeadline, true).with_backfill(true),
+                trace,
+            ),
+            PolicyKind::Qops => {
+                let mut report = run_qops(cluster.clone(), QopsConfig::default(), trace);
+                report.policy = "QoPS".to_string();
+                report
+            }
+            PolicyKind::QopsHard => {
+                let mut report =
+                    run_qops(cluster.clone(), QopsConfig { slack_factor: 1.0 }, trace);
+                report.policy = "QoPS-Hard".to_string();
+                report
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let all = [
+            PolicyKind::Edf,
+            PolicyKind::EdfNoAdmission,
+            PolicyKind::Fcfs,
+            PolicyKind::Libra,
+            PolicyKind::LibraRisk,
+            PolicyKind::LibraRiskStrict,
+            PolicyKind::LibraRiskBestFit,
+            PolicyKind::LibraStrictShares,
+            PolicyKind::LibraRiskStrictShares,
+            PolicyKind::LibraRiskNaiveProjection,
+            PolicyKind::EdfBackfill,
+            PolicyKind::Qops,
+            PolicyKind::QopsHard,
+        ];
+        let mut names: Vec<&str> = all.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn paper_set_is_edf_libra_librarisk() {
+        let names: Vec<&str> = PolicyKind::PAPER.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["EDF", "Libra", "LibraRisk"]);
+    }
+}

@@ -1,0 +1,334 @@
+//! QoPS-style soft-deadline admission control (related work, §2).
+//!
+//! The paper contrasts its hard-deadline controls with QoPS (Islam et
+//! al., Cluster'04), which "allows soft deadlines by defining a slack
+//! factor for each job so that earlier jobs can be delayed up to the
+//! slack factor if necessary to accommodate later more urgent jobs". This
+//! module implements that idea on the space-shared substrate as an
+//! *extension* policy:
+//!
+//! * jobs wait in a deadline-ordered queue (like EDF);
+//! * admission happens **at arrival**: the controller list-schedules the
+//!   running + queued + new jobs in EDF order over the processor pool
+//!   (using runtime estimates) and accepts the new job iff every job's
+//!   projected completion stays within `submit + slack_factor × deadline`;
+//! * the *reported* SLA metric stays the paper's hard deadline, so QoPS
+//!   trades certainty for acceptance: with slack > 1 it books more jobs,
+//!   some of which miss their hard deadline but satisfy their soft one.
+//!
+//! With `slack_factor = 1` this degenerates to a hard-deadline
+//! schedulability test at arrival.
+
+use crate::report::{JobRecord, Outcome, SimulationReport};
+use cluster::{Cluster, SpaceSharedCluster};
+use sim::Simulator;
+use std::collections::HashMap;
+use workload::{Job, JobId, Trace};
+
+/// Configuration of the QoPS-style controller.
+#[derive(Clone, Copy, Debug)]
+pub struct QopsConfig {
+    /// Multiplier on each job's relative deadline used by the arrival-time
+    /// schedulability test (≥ 1; the soft deadline).
+    pub slack_factor: f64,
+}
+
+impl Default for QopsConfig {
+    fn default() -> Self {
+        QopsConfig { slack_factor: 1.2 }
+    }
+}
+
+/// A job the projector must account for: how much estimated work remains
+/// and how wide it is.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    idx: usize,
+    procs: u32,
+    remaining_est: f64,
+    abs_deadline: f64,
+    soft_deadline: f64,
+}
+
+/// List-schedules `pending` (EDF order by absolute deadline) onto
+/// processors whose current free times are `free_at`, starting at `now`.
+/// Returns `true` iff every job's projected completion meets its soft
+/// deadline.
+///
+/// `free_at` carries one entry per processor: the instant it becomes
+/// available (now for idle processors, the running job's estimated finish
+/// otherwise).
+fn schedulable(now: f64, mut free_at: Vec<f64>, mut pending: Vec<Pending>) -> bool {
+    pending.sort_by(|a, b| {
+        a.abs_deadline
+            .partial_cmp(&b.abs_deadline)
+            .expect("finite deadlines")
+            .then(a.idx.cmp(&b.idx))
+    });
+    for job in &pending {
+        let k = job.procs as usize;
+        if k > free_at.len() {
+            return false;
+        }
+        // The k earliest-free processors; the job starts when the last of
+        // them frees up.
+        free_at.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let start = free_at[k - 1].max(now);
+        let finish = start + job.remaining_est;
+        if finish > job.soft_deadline {
+            return false;
+        }
+        for slot in free_at.iter_mut().take(k) {
+            *slot = finish;
+        }
+    }
+    true
+}
+
+/// Runs the QoPS-style controller over a trace.
+pub fn run_qops(cluster: Cluster, cfg: QopsConfig, trace: &Trace) -> SimulationReport {
+    assert!(cfg.slack_factor >= 1.0, "slack factor must be ≥ 1");
+    #[derive(Debug)]
+    enum Ev {
+        Arrival(usize),
+        Completion(JobId),
+    }
+
+    let mut sim: Simulator<Ev> = Simulator::new();
+    for (i, j) in trace.jobs().iter().enumerate() {
+        sim.schedule_at(j.submit, Ev::Arrival(i));
+    }
+    let index_of: HashMap<JobId, usize> = trace
+        .jobs()
+        .iter()
+        .enumerate()
+        .map(|(i, j)| (j.id, i))
+        .collect();
+    assert_eq!(index_of.len(), trace.len(), "duplicate job ids in trace");
+
+    let mut pool = SpaceSharedCluster::new(cluster);
+    let total_procs = pool.cluster().len();
+    let mut outcomes: Vec<Option<Outcome>> = vec![None; trace.len()];
+    // Queue of (trace index); started jobs tracked as (index, started,
+    // est finish) for the schedulability test.
+    let mut queue: Vec<usize> = Vec::new();
+    let mut running: Vec<(usize, f64)> = Vec::new(); // (trace idx, est finish)
+
+    let soft = |j: &Job| j.submit.as_secs() + cfg.slack_factor * j.deadline.as_secs();
+
+    while let Some(ev) = sim.next_event() {
+        let now = sim.now();
+        let now_s = now.as_secs();
+        match ev.payload {
+            Ev::Arrival(i) => {
+                let job = &trace[i];
+                if job.procs as usize > total_procs {
+                    outcomes[i] = Some(Outcome::Rejected { at: now });
+                } else {
+                    // Build the processor free-time vector from running
+                    // jobs' *estimated* finishes.
+                    let mut free_at = vec![now_s; total_procs];
+                    {
+                        let mut cursor = 0usize;
+                        for &(ri, est_finish) in &running {
+                            let w = trace[ri].procs as usize;
+                            for slot in free_at.iter_mut().skip(cursor).take(w) {
+                                *slot = est_finish.max(now_s);
+                            }
+                            cursor += w;
+                        }
+                    }
+                    let mut pending: Vec<Pending> = queue
+                        .iter()
+                        .map(|&qi| {
+                            let qj = &trace[qi];
+                            Pending {
+                                idx: qi,
+                                procs: qj.procs,
+                                remaining_est: qj.estimate.as_secs(),
+                                abs_deadline: qj.absolute_deadline().as_secs(),
+                                soft_deadline: soft(qj),
+                            }
+                        })
+                        .collect();
+                    pending.push(Pending {
+                        idx: i,
+                        procs: job.procs,
+                        remaining_est: job.estimate.as_secs(),
+                        abs_deadline: job.absolute_deadline().as_secs(),
+                        soft_deadline: soft(job),
+                    });
+                    if schedulable(now_s, free_at, pending) {
+                        queue.push(i);
+                    } else {
+                        outcomes[i] = Some(Outcome::Rejected { at: now });
+                    }
+                }
+            }
+            Ev::Completion(id) => {
+                let (job, started) = pool.complete(id, now);
+                let i = index_of[&job.id];
+                running.retain(|(ri, _)| *ri != i);
+                outcomes[i] = Some(Outcome::Completed {
+                    started,
+                    finish: now,
+                });
+            }
+        }
+        // Dispatch in EDF order; the head blocks (no backfilling).
+        while let Some(pos) = queue
+            .iter()
+            .enumerate()
+            .min_by(|(_, &a), (_, &b)| {
+                trace[a]
+                    .absolute_deadline()
+                    .cmp(&trace[b].absolute_deadline())
+                    .then(a.cmp(&b))
+            })
+            .map(|(p, _)| p)
+        {
+            let i = queue[pos];
+            let job = &trace[i];
+            if pool.can_start(job) {
+                let finish = pool.start(job.clone(), now);
+                // Track the *estimated* finish for future admission tests.
+                running.push((i, now.as_secs() + job.estimate.as_secs()));
+                sim.schedule_at(finish, Ev::Completion(job.id));
+                queue.remove(pos);
+            } else {
+                break;
+            }
+        }
+    }
+    assert!(queue.is_empty(), "queue drained at end of simulation");
+
+    let records: Vec<JobRecord> = trace
+        .jobs()
+        .iter()
+        .zip(outcomes)
+        .map(|(job, outcome)| JobRecord {
+            job: job.clone(),
+            outcome: outcome.expect("every job has an outcome"),
+        })
+        .collect();
+    SimulationReport {
+        policy: format!("QoPS(sf={})", cfg.slack_factor),
+        records,
+        utilization: pool.utilization(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::{SimDuration, SimTime};
+    use workload::Urgency;
+
+    fn job(id: u64, submit: f64, runtime: f64, procs: u32, deadline: f64) -> Job {
+        Job {
+            id: JobId(id),
+            submit: SimTime::from_secs(submit),
+            runtime: SimDuration::from_secs(runtime),
+            estimate: SimDuration::from_secs(runtime),
+            procs,
+            deadline: SimDuration::from_secs(deadline),
+            urgency: Urgency::Low,
+        }
+    }
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::homogeneous(n, 168.0)
+    }
+
+    #[test]
+    fn lone_feasible_job_is_accepted_and_fulfilled() {
+        let trace = Trace::new(vec![job(0, 0.0, 100.0, 2, 300.0)]);
+        let report = run_qops(cluster(4), QopsConfig::default(), &trace);
+        assert_eq!(report.fulfilled(), 1);
+        assert_eq!(report.rejected(), 0);
+    }
+
+    #[test]
+    fn infeasible_job_is_rejected_at_arrival() {
+        // Even the soft deadline (1.2 × 50 = 60 < runtime 100) cannot hold.
+        let trace = Trace::new(vec![job(0, 0.0, 100.0, 1, 50.0)]);
+        let report = run_qops(cluster(2), QopsConfig::default(), &trace);
+        assert_eq!(report.rejected(), 1);
+    }
+
+    #[test]
+    fn slack_admits_jobs_a_hard_test_would_refuse() {
+        // Two jobs on one processor, both with deadline 100 and runtime
+        // 60: the second would finish at 120 > 100 (hard) but within the
+        // soft deadline 150 (slack 1.5).
+        let jobs = vec![job(0, 0.0, 60.0, 1, 100.0), job(1, 0.0, 60.0, 1, 100.0)];
+        let hard = run_qops(
+            cluster(1),
+            QopsConfig { slack_factor: 1.0 },
+            &Trace::new(jobs.clone()),
+        );
+        assert_eq!(hard.accepted(), 1, "hard test refuses the overflow job");
+        let soft = run_qops(
+            cluster(1),
+            QopsConfig { slack_factor: 1.5 },
+            &Trace::new(jobs),
+        );
+        assert_eq!(soft.accepted(), 2, "slack books both");
+        // The overflow job misses its hard deadline, so only one is
+        // fulfilled under the paper's metric.
+        assert_eq!(soft.fulfilled(), 1);
+    }
+
+    #[test]
+    fn admission_protects_queued_jobs_soft_deadlines() {
+        // Queued job 1 would be pushed past its soft deadline by job 2 →
+        // job 2 is rejected, job 1 keeps its promise.
+        let jobs = vec![
+            job(0, 0.0, 100.0, 1, 120.0),  // runs immediately
+            job(1, 1.0, 50.0, 1, 160.0),   // queued: finish ~150, soft 193
+            job(2, 2.0, 100.0, 1, 100.0),  // earlier deadline: would preempt
+                                            // job 1's slot and push it late
+        ];
+        let report = run_qops(cluster(1), QopsConfig { slack_factor: 1.2 }, &Trace::new(jobs));
+        assert!(matches!(report.records[2].outcome, Outcome::Rejected { .. }));
+        assert!(report.records[1].fulfilled());
+    }
+
+    #[test]
+    fn wider_than_cluster_is_rejected() {
+        let trace = Trace::new(vec![job(0, 0.0, 10.0, 5, 100.0)]);
+        let report = run_qops(cluster(2), QopsConfig::default(), &trace);
+        assert_eq!(report.rejected(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "slack factor")]
+    fn slack_below_one_panics() {
+        run_qops(cluster(1), QopsConfig { slack_factor: 0.5 }, &Trace::new(vec![]));
+    }
+
+    #[test]
+    fn schedulable_helper_orders_by_deadline() {
+        // Two 1-proc jobs on one processor: the later-deadline job waits.
+        let pending = vec![
+            Pending {
+                idx: 0,
+                procs: 1,
+                remaining_est: 50.0,
+                abs_deadline: 200.0,
+                soft_deadline: 200.0,
+            },
+            Pending {
+                idx: 1,
+                procs: 1,
+                remaining_est: 50.0,
+                abs_deadline: 60.0,
+                soft_deadline: 60.0,
+            },
+        ];
+        // EDF order: job 1 first (finishes 50 ≤ 60), then job 0 (100 ≤ 200).
+        assert!(schedulable(0.0, vec![0.0], pending.clone()));
+        // On a busy processor (free at 20) job 1 finishes at 70 > 60.
+        assert!(!schedulable(0.0, vec![20.0], pending));
+    }
+}

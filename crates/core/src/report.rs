@@ -1,0 +1,254 @@
+//! Per-job outcomes and the aggregate report every experiment consumes.
+
+use sim::SimTime;
+use workload::{Job, Urgency};
+
+/// What happened to one submitted job.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Outcome {
+    /// The admission control turned the job away.
+    Rejected {
+        /// When the rejection happened (submission for Libra/LibraRisk;
+        /// selection time for EDF's relaxed control).
+        at: SimTime,
+    },
+    /// The job ran to completion (possibly past its deadline).
+    Completed {
+        /// When execution began.
+        started: SimTime,
+        /// When the actual work finished.
+        finish: SimTime,
+    },
+}
+
+/// A job together with its outcome.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// The submitted job.
+    pub job: Job,
+    /// What happened to it.
+    pub outcome: Outcome,
+}
+
+impl JobRecord {
+    /// `true` when the job completed within its hard deadline (the SLA).
+    pub fn fulfilled(&self) -> bool {
+        match self.outcome {
+            Outcome::Rejected { .. } => false,
+            Outcome::Completed { finish, .. } => finish <= self.job.absolute_deadline(),
+        }
+    }
+
+    /// Eq. 3: `max(0, (finish − submit) − deadline)`; `None` if rejected.
+    pub fn delay(&self) -> Option<f64> {
+        match self.outcome {
+            Outcome::Rejected { .. } => None,
+            Outcome::Completed { finish, .. } => {
+                Some(((finish - self.job.submit) - self.job.deadline).as_secs().max(0.0))
+            }
+        }
+    }
+
+    /// Response time (`finish − submit`, includes waiting); `None` if
+    /// rejected.
+    pub fn response_time(&self) -> Option<f64> {
+        match self.outcome {
+            Outcome::Rejected { .. } => None,
+            Outcome::Completed { finish, .. } => Some((finish - self.job.submit).as_secs()),
+        }
+    }
+
+    /// Slowdown: response time over minimum runtime required; `None` if
+    /// rejected.
+    pub fn slowdown(&self) -> Option<f64> {
+        self.response_time().map(|r| r / self.job.runtime.as_secs())
+    }
+}
+
+/// Aggregate result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimulationReport {
+    /// Name of the admission-control policy that produced the run.
+    pub policy: String,
+    /// One record per submitted job, in submission order.
+    pub records: Vec<JobRecord>,
+    /// Mean processor utilisation over the run.
+    pub utilization: f64,
+}
+
+impl SimulationReport {
+    /// Number of submitted jobs.
+    pub fn submitted(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of accepted (completed) jobs.
+    pub fn accepted(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Completed { .. }))
+            .count()
+    }
+
+    /// Number of rejected jobs.
+    pub fn rejected(&self) -> usize {
+        self.submitted() - self.accepted()
+    }
+
+    /// Number of jobs completed within their deadline.
+    pub fn fulfilled(&self) -> usize {
+        self.records.iter().filter(|r| r.fulfilled()).count()
+    }
+
+    /// The paper's headline metric: jobs with deadlines fulfilled as a
+    /// percentage of **all submitted** jobs.
+    pub fn fulfilled_pct(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        100.0 * self.fulfilled() as f64 / self.submitted() as f64
+    }
+
+    /// The paper's second metric: mean slowdown over **fulfilled** jobs
+    /// only (0 when none fulfilled).
+    pub fn avg_slowdown(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for r in &self.records {
+            if r.fulfilled() {
+                sum += r.slowdown().expect("fulfilled implies completed");
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Mean delay (Eq. 3) over completed jobs (0 when none completed).
+    pub fn avg_delay(&self) -> f64 {
+        let delays: Vec<f64> = self.records.iter().filter_map(|r| r.delay()).collect();
+        if delays.is_empty() {
+            0.0
+        } else {
+            delays.iter().sum::<f64>() / delays.len() as f64
+        }
+    }
+
+    /// Number of completed jobs that missed their deadline.
+    pub fn delayed(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Completed { .. }) && !r.fulfilled())
+            .count()
+    }
+
+    /// Fulfilled percentage restricted to one urgency class.
+    pub fn fulfilled_pct_of(&self, urgency: Urgency) -> f64 {
+        let class: Vec<&JobRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.job.urgency == urgency)
+            .collect();
+        if class.is_empty() {
+            return 0.0;
+        }
+        100.0 * class.iter().filter(|r| r.fulfilled()).count() as f64 / class.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::SimDuration;
+    use workload::JobId;
+
+    fn job(id: u64, submit: f64, runtime: f64, deadline: f64, urgency: Urgency) -> Job {
+        Job {
+            id: JobId(id),
+            submit: SimTime::from_secs(submit),
+            runtime: SimDuration::from_secs(runtime),
+            estimate: SimDuration::from_secs(runtime),
+            procs: 1,
+            deadline: SimDuration::from_secs(deadline),
+            urgency,
+        }
+    }
+
+    fn completed(j: Job, finish: f64) -> JobRecord {
+        JobRecord {
+            outcome: Outcome::Completed {
+                started: j.submit,
+                finish: SimTime::from_secs(finish),
+            },
+            job: j,
+        }
+    }
+
+    fn rejected(j: Job) -> JobRecord {
+        JobRecord {
+            outcome: Outcome::Rejected { at: j.submit },
+            job: j,
+        }
+    }
+
+    #[test]
+    fn fulfilment_respects_hard_deadline() {
+        // Deadline at 100+200=300.
+        let on_time = completed(job(1, 100.0, 50.0, 200.0, Urgency::Low), 300.0);
+        assert!(on_time.fulfilled());
+        assert_eq!(on_time.delay(), Some(0.0));
+        let late = completed(job(2, 100.0, 50.0, 200.0, Urgency::Low), 300.1);
+        assert!(!late.fulfilled());
+        assert!((late.delay().unwrap() - 0.1).abs() < 1e-9);
+        assert!(!rejected(job(3, 0.0, 1.0, 2.0, Urgency::Low)).fulfilled());
+    }
+
+    #[test]
+    fn slowdown_is_response_over_runtime() {
+        let r = completed(job(1, 100.0, 50.0, 500.0, Urgency::Low), 250.0);
+        assert_eq!(r.response_time(), Some(150.0));
+        assert_eq!(r.slowdown(), Some(3.0));
+        assert_eq!(rejected(job(2, 0.0, 1.0, 2.0, Urgency::Low)).slowdown(), None);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let report = SimulationReport {
+            policy: "test".into(),
+            records: vec![
+                completed(job(1, 0.0, 100.0, 200.0, Urgency::High), 150.0), // fulfilled
+                completed(job(2, 0.0, 100.0, 200.0, Urgency::Low), 260.0),  // late by 60
+                rejected(job(3, 0.0, 100.0, 200.0, Urgency::Low)),
+            ],
+            utilization: 0.5,
+        };
+        assert_eq!(report.submitted(), 3);
+        assert_eq!(report.accepted(), 2);
+        assert_eq!(report.rejected(), 1);
+        assert_eq!(report.fulfilled(), 1);
+        assert_eq!(report.delayed(), 1);
+        assert!((report.fulfilled_pct() - 100.0 / 3.0).abs() < 1e-9);
+        // Slowdown only over the fulfilled job: 150/100.
+        assert!((report.avg_slowdown() - 1.5).abs() < 1e-9);
+        // Delay averaged over the two completed jobs: (0 + 60)/2.
+        assert!((report.avg_delay() - 30.0).abs() < 1e-9);
+        assert_eq!(report.fulfilled_pct_of(Urgency::High), 100.0);
+        assert_eq!(report.fulfilled_pct_of(Urgency::Low), 0.0);
+    }
+
+    #[test]
+    fn empty_report_is_benign() {
+        let report = SimulationReport {
+            policy: "empty".into(),
+            records: vec![],
+            utilization: 0.0,
+        };
+        assert_eq!(report.fulfilled_pct(), 0.0);
+        assert_eq!(report.avg_slowdown(), 0.0);
+        assert_eq!(report.avg_delay(), 0.0);
+        assert_eq!(report.fulfilled_pct_of(Urgency::High), 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # `experiments` — the harness that regenerates every figure and table
+//! of the paper
+//!
+//! Each figure of the evaluation (§5) is a parameter sweep over the same
+//! pipeline:
+//!
+//! 1. build an SDSC-SP2-like trace ([`scenario::Scenario`]),
+//! 2. assign deadlines (urgency mix × deadline high:low ratio),
+//! 3. pick an estimate regime (accurate / trace / x % inaccuracy),
+//! 4. run every policy ([`librisk::PolicyKind`]) over the trace,
+//! 5. aggregate *% of deadlines fulfilled* and *average slowdown* into
+//!    [`metrics::Series`] curves.
+//!
+//! The [`sweep`] module runs the cross product of (sweep point × policy ×
+//! seed) on a crossbeam thread pool; [`figures`] defines the four sweeps
+//! of the paper plus our ablations; [`report`] renders everything as
+//! markdown and CSV.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod report;
+pub mod scenario;
+pub mod sweep;
+
+pub use scenario::{EstimateRegime, Scenario, TraceSource};
+pub use sweep::{run_sweep, SweepOutcome};

@@ -1,0 +1,213 @@
+//! CLI regenerating the paper's figures and tables.
+//!
+//! ```text
+//! experiments <fig1|fig2|fig3|fig4|ablation|trace-stats|all>
+//!             [--jobs N] [--seeds 1,2,3] [--threads N] [--out DIR] [--quick]
+//! ```
+
+use experiments::figures::{self, FigureConfig};
+use experiments::report;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    cfg: FigureConfig,
+    out: Option<PathBuf>,
+    charts: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut cfg = FigureConfig::default();
+    let mut out = None;
+    let mut charts = false;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--quick" => {
+                let quick = FigureConfig::quick();
+                cfg.jobs = quick.jobs;
+                cfg.seeds = quick.seeds;
+            }
+            "--jobs" => {
+                cfg.jobs = args
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--seeds" => {
+                let list = args.next().ok_or("--seeds needs a value")?;
+                cfg.seeds = list
+                    .split(',')
+                    .map(|s| s.trim().parse::<u64>().map_err(|e| format!("--seeds: {e}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if cfg.seeds.is_empty() {
+                    return Err("--seeds needs at least one seed".into());
+                }
+            }
+            "--threads" => {
+                cfg.threads = args
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--out" => {
+                out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?));
+            }
+            "--charts" => charts = true,
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        command,
+        cfg,
+        out,
+        charts,
+    })
+}
+
+fn usage() -> String {
+    "usage: experiments <fig1|fig2|fig3|fig4|ablation|robustness|heterogeneity|\
+     budget|risk-profile|convergence|summary|trace-stats|all> \
+     [--jobs N] [--seeds 1,2,3] [--threads N] [--out DIR] [--charts] [--quick]"
+        .to_string()
+}
+
+fn emit_figure(fig: &figures::Figure, out: &Option<PathBuf>, charts: bool) {
+    if charts {
+        print!("{}", report::figure_to_markdown_with_charts(fig));
+    } else {
+        print!("{}", report::figure_to_markdown(fig));
+    }
+    if let Some(dir) = out {
+        match report::write_figure_csv(fig, dir) {
+            Ok(paths) => {
+                for p in paths {
+                    eprintln!("wrote {}", p.display());
+                }
+            }
+            Err(e) => eprintln!("cannot write CSVs: {e}"),
+        }
+        match report::write_figure_svg(fig, dir) {
+            Ok(paths) => {
+                for p in paths {
+                    eprintln!("wrote {}", p.display());
+                }
+            }
+            Err(e) => eprintln!("cannot write SVGs: {e}"),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = &args.cfg;
+    let start = std::time::Instant::now();
+    let run = |which: &str| {
+        match which {
+            "trace-stats" => {
+                let t = figures::trace_stats_table(cfg);
+                print!("{}", t.to_markdown());
+                if args.charts {
+                    for table in figures::trace_analysis_tables(cfg) {
+                        println!();
+                        print!("{}", table.to_markdown());
+                    }
+                }
+                if let Some(dir) = &args.out {
+                    let path = dir.join("trace_stats.csv");
+                    if let Err(e) = report::write_table_csv(&t, &path) {
+                        eprintln!("cannot write CSV: {e}");
+                    } else {
+                        eprintln!("wrote {}", path.display());
+                    }
+                }
+            }
+            "summary" => {
+                let t = figures::policy_summary_table(cfg);
+                print!("{}", t.to_markdown());
+                if let Some(dir) = &args.out {
+                    let path = dir.join("policy_summary.csv");
+                    if let Err(e) = report::write_table_csv(&t, &path) {
+                        eprintln!("cannot write CSV: {e}");
+                    } else {
+                        eprintln!("wrote {}", path.display());
+                    }
+                }
+            }
+            "fig1" => emit_figure(&figures::fig1(cfg), &args.out, args.charts),
+            "fig2" => emit_figure(&figures::fig2(cfg), &args.out, args.charts),
+            "fig3" => emit_figure(&figures::fig3(cfg), &args.out, args.charts),
+            "fig4" => emit_figure(&figures::fig4(cfg), &args.out, args.charts),
+            "ablation" => emit_figure(&figures::ablation(cfg), &args.out, args.charts),
+            "robustness" => emit_figure(&figures::robustness(cfg), &args.out, args.charts),
+            "heterogeneity" => {
+                emit_figure(&figures::heterogeneity(cfg), &args.out, args.charts)
+            }
+            "convergence" => {
+                let t = figures::convergence_table(cfg);
+                print!("{}", t.to_markdown());
+                if let Some(dir) = &args.out {
+                    let path = dir.join("convergence.csv");
+                    if let Err(e) = report::write_table_csv(&t, &path) {
+                        eprintln!("cannot write CSV: {e}");
+                    } else {
+                        eprintln!("wrote {}", path.display());
+                    }
+                }
+            }
+            "budget" => {
+                let t = figures::budget_table(cfg);
+                print!("{}", t.to_markdown());
+                if let Some(dir) = &args.out {
+                    let path = dir.join("budget.csv");
+                    if let Err(e) = report::write_table_csv(&t, &path) {
+                        eprintln!("cannot write CSV: {e}");
+                    } else {
+                        eprintln!("wrote {}", path.display());
+                    }
+                }
+            }
+            "risk-profile" => {
+                let t = figures::risk_profile_table(cfg);
+                print!("{}", t.to_markdown());
+                if let Some(dir) = &args.out {
+                    let path = dir.join("risk_profile.csv");
+                    if let Err(e) = report::write_table_csv(&t, &path) {
+                        eprintln!("cannot write CSV: {e}");
+                    } else {
+                        eprintln!("wrote {}", path.display());
+                    }
+                }
+            }
+            _ => unreachable!("validated below"),
+        }
+        eprintln!("[{which} done at {:.1}s]", start.elapsed().as_secs_f64());
+    };
+    match args.command.as_str() {
+        "all" => {
+            for which in [
+                "trace-stats", "fig1", "fig2", "fig3", "fig4", "ablation", "robustness",
+                "heterogeneity", "budget", "risk-profile", "convergence", "summary",
+            ] {
+                run(which);
+            }
+        }
+        cmd @ ("trace-stats" | "fig1" | "fig2" | "fig3" | "fig4" | "ablation" | "robustness"
+        | "heterogeneity" | "budget" | "risk-profile" | "convergence" | "summary") => run(cmd),
+        other => {
+            eprintln!("unknown command {other}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

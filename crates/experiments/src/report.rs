@@ -1,0 +1,105 @@
+//! Rendering figures to markdown (stdout) and CSV (files).
+
+use crate::figures::Figure;
+use metrics::Table;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders a whole figure as markdown.
+pub fn figure_to_markdown(fig: &Figure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## {} — {}\n", fig.id, fig.title);
+    for panel in &fig.panels {
+        out.push_str(&panel.to_table().to_markdown());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a whole figure as markdown tables followed by ASCII charts of
+/// every panel (fenced as code so the markdown renders cleanly).
+pub fn figure_to_markdown_with_charts(fig: &Figure) -> String {
+    let mut out = figure_to_markdown(fig);
+    for panel in &fig.panels {
+        let _ = writeln!(out, "```");
+        out.push_str(&panel.to_chart());
+        let _ = writeln!(out, "```\n");
+    }
+    out
+}
+
+/// Writes one CSV file per panel into `dir` (created if missing); returns
+/// the written paths.
+pub fn write_figure_csv(fig: &Figure, dir: &Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for (i, panel) in fig.panels.iter().enumerate() {
+        let letter = (b'a' + i as u8) as char;
+        let path = dir.join(format!("{}_{letter}.csv", fig.id));
+        std::fs::write(&path, panel.to_table().to_csv())?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// Writes one SVG file per panel into `dir` (created if missing); returns
+/// the written paths.
+pub fn write_figure_svg(fig: &Figure, dir: &Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for (i, panel) in fig.panels.iter().enumerate() {
+        let letter = (b'a' + i as u8) as char;
+        let path = dir.join(format!("{}_{letter}.svg", fig.id));
+        std::fs::write(&path, panel.to_svg())?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// Writes a standalone table as CSV.
+pub fn write_table_csv(table: &Table, path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, table.to_csv())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::Panel;
+    use metrics::Series;
+
+    fn tiny_figure() -> Figure {
+        let mut s = Series::new("LibraRisk");
+        s.observe(0.5, 42.0);
+        Figure {
+            id: "figX".into(),
+            title: "test".into(),
+            panels: vec![Panel {
+                label: "(a)".into(),
+                x_label: "x".into(),
+                metric: "m".into(),
+                series: vec![s],
+            }],
+        }
+    }
+
+    #[test]
+    fn markdown_contains_panel_tables() {
+        let md = figure_to_markdown(&tiny_figure());
+        assert!(md.contains("## figX"));
+        assert!(md.contains("LibraRisk"));
+        assert!(md.contains("42.00"));
+    }
+
+    #[test]
+    fn csv_files_are_written() {
+        let dir = std::env::temp_dir().join(format!("librisk-test-{}", std::process::id()));
+        let written = write_figure_csv(&tiny_figure(), &dir).unwrap();
+        assert_eq!(written.len(), 1);
+        let text = std::fs::read_to_string(&written[0]).unwrap();
+        assert!(text.contains("LibraRisk"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

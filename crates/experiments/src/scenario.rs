@@ -1,0 +1,285 @@
+//! A fully-specified simulation scenario (§4's methodology as data).
+
+use cluster::Cluster;
+use librisk::{PolicyKind, SimulationReport};
+use sim::Rng64;
+use workload::deadlines::DeadlineModel;
+use workload::estimates;
+use workload::lublin::LublinModel;
+use workload::synthetic::SyntheticSdscSp2;
+use workload::{params, Trace};
+
+/// Which generator produces the base trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceSource {
+    /// The SDSC-SP2-moment-matched generator (the paper's workload).
+    SyntheticSdsc,
+    /// The Lublin–Feitelson-style model (daily cycle, hyper-gamma
+    /// runtimes) — used by the robustness study.
+    Lublin,
+}
+
+/// Which runtime estimates the admission controls see.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EstimateRegime {
+    /// `estimate = runtime` — the idealised case (paper: "accurate
+    /// runtime estimate").
+    Accurate,
+    /// The inaccurate, mostly over-estimated estimates carried by the
+    /// trace (paper: "actual runtime estimate from trace").
+    Trace,
+    /// Interpolation: 0 % = accurate, 100 % = trace (Figure 4's knob).
+    Inaccuracy(f64),
+}
+
+impl EstimateRegime {
+    /// Short label used in panel titles.
+    pub fn label(&self) -> String {
+        match self {
+            EstimateRegime::Accurate => "accurate estimates".to_string(),
+            EstimateRegime::Trace => "trace estimates".to_string(),
+            EstimateRegime::Inaccuracy(p) => format!("{p:.0}% inaccuracy"),
+        }
+    }
+}
+
+/// Everything needed to reproduce one simulation run.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Jobs in the trace (paper: 3000).
+    pub jobs: usize,
+    /// Master seed; every random stage derives a named stream from it.
+    pub seed: u64,
+    /// Arrival delay factor (Fig. 1's knob; 1 = trace arrival process).
+    pub arrival_delay_factor: f64,
+    /// Deadline high:low ratio (Fig. 2's knob).
+    pub deadline_ratio: f64,
+    /// Percentage of high-urgency jobs (Fig. 3's knob).
+    pub high_urgency_pct: f64,
+    /// Estimate regime (Fig. 4's knob).
+    pub estimates: EstimateRegime,
+    /// Cluster size (paper: 128 nodes).
+    pub nodes: usize,
+    /// Which workload generator builds the base trace.
+    pub source: TraceSource,
+    /// Node-rating spread for heterogeneity studies: 0 = homogeneous (the
+    /// paper's machine); `s > 0` assigns ratings `168·(1−s)`, `168`,
+    /// `168·(1+s)` round-robin, keeping mean capacity constant.
+    pub rating_spread: f64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            jobs: params::TRACE_JOBS,
+            seed: 1,
+            arrival_delay_factor: params::DEFAULT_ARRIVAL_DELAY_FACTOR,
+            deadline_ratio: params::DEFAULT_DEADLINE_HIGH_LOW_RATIO,
+            high_urgency_pct: 100.0 * params::DEFAULT_HIGH_URGENCY_FRACTION,
+            estimates: EstimateRegime::Trace,
+            nodes: params::SDSC_SP2_NODES,
+            source: TraceSource::SyntheticSdsc,
+            rating_spread: 0.0,
+        }
+    }
+}
+
+impl Scenario {
+    /// The scenario with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The cluster this scenario runs on.
+    pub fn cluster(&self) -> Cluster {
+        assert!(
+            (0.0..1.0).contains(&self.rating_spread),
+            "rating spread must be in [0,1), got {}",
+            self.rating_spread
+        );
+        if self.rating_spread == 0.0 {
+            return Cluster::homogeneous(self.nodes, params::SDSC_SP2_SPEC_RATING);
+        }
+        let reference = params::SDSC_SP2_SPEC_RATING;
+        let tiers = [
+            reference * (1.0 - self.rating_spread),
+            reference,
+            reference * (1.0 + self.rating_spread),
+        ];
+        let nodes = (0..self.nodes)
+            .map(|i| cluster::Node::new(cluster::NodeId(i as u32), tiers[i % 3]))
+            .collect();
+        Cluster::new(nodes, reference)
+    }
+
+    /// Materialises the trace: synthetic SDSC-SP2-like base, deadline
+    /// model, estimate regime, arrival scaling.
+    pub fn build_trace(&self) -> Trace {
+        let mut trace = match self.source {
+            TraceSource::SyntheticSdsc => SyntheticSdscSp2 {
+                jobs: self.jobs,
+                ..Default::default()
+            }
+            .generate(self.seed),
+            TraceSource::Lublin => LublinModel {
+                jobs: self.jobs,
+                ..Default::default()
+            }
+            .generate(self.seed),
+        };
+        let mut deadline_rng = Rng64::new(self.seed).split("deadline-model");
+        DeadlineModel::default()
+            .with_high_urgency_pct(self.high_urgency_pct)
+            .with_ratio(self.deadline_ratio)
+            .assign(&mut deadline_rng, trace.jobs_mut());
+        match self.estimates {
+            EstimateRegime::Accurate => estimates::make_accurate(trace.jobs_mut()),
+            EstimateRegime::Trace => {} // generator already produced them
+            EstimateRegime::Inaccuracy(pct) => {
+                estimates::apply_inaccuracy(trace.jobs_mut(), pct)
+            }
+        }
+        trace.scale_arrivals(self.arrival_delay_factor);
+        trace
+    }
+
+    /// Builds the trace and runs one policy over it.
+    pub fn run(&self, policy: PolicyKind) -> SimulationReport {
+        let trace = self.build_trace();
+        policy.run(&self.cluster(), &trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::Urgency;
+
+    fn small() -> Scenario {
+        Scenario {
+            jobs: 150,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a = small().build_trace();
+        let b = small().build_trace();
+        assert_eq!(a.jobs(), b.jobs());
+    }
+
+    #[test]
+    fn accurate_regime_zeroes_estimate_error() {
+        let s = Scenario {
+            estimates: EstimateRegime::Accurate,
+            ..small()
+        };
+        let t = s.build_trace();
+        assert!(t.jobs().iter().all(|j| j.estimate == j.runtime));
+    }
+
+    #[test]
+    fn inaccuracy_zero_equals_accurate_and_hundred_equals_trace() {
+        let zero = Scenario {
+            estimates: EstimateRegime::Inaccuracy(0.0),
+            ..small()
+        }
+        .build_trace();
+        assert!(zero.jobs().iter().all(|j| j.estimate == j.runtime));
+        let hundred = Scenario {
+            estimates: EstimateRegime::Inaccuracy(100.0),
+            ..small()
+        }
+        .build_trace();
+        let trace = small().build_trace();
+        for (a, b) in hundred.jobs().iter().zip(trace.jobs()) {
+            assert!((a.estimate.as_secs() - b.estimate.as_secs()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn urgency_mix_follows_knob() {
+        let s = Scenario {
+            jobs: 4000,
+            high_urgency_pct: 80.0,
+            ..Default::default()
+        };
+        let t = s.build_trace();
+        let high = t.jobs().iter().filter(|j| j.urgency == Urgency::High).count();
+        let frac = high as f64 / t.len() as f64;
+        assert!((frac - 0.8).abs() < 0.03, "high fraction {frac}");
+    }
+
+    #[test]
+    fn arrival_delay_factor_compresses_span() {
+        let base = small().build_trace();
+        let compressed = Scenario {
+            arrival_delay_factor: 0.5,
+            ..small()
+        }
+        .build_trace();
+        let span = |t: &Trace| t.stats(128).span;
+        assert!((span(&compressed) - span(&base) * 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn run_produces_full_report() {
+        let report = small().run(PolicyKind::LibraRisk);
+        assert_eq!(report.submitted(), 150);
+        assert_eq!(report.accepted() + report.rejected(), 150);
+    }
+
+    #[test]
+    fn heterogeneous_cluster_keeps_mean_capacity() {
+        let s = Scenario {
+            nodes: 12,
+            rating_spread: 0.5,
+            ..Default::default()
+        };
+        let c = s.cluster();
+        assert!(!c.is_homogeneous());
+        let mean: f64 =
+            c.nodes().iter().map(|n| n.rating).sum::<f64>() / c.len() as f64;
+        assert!((mean - 168.0).abs() < 1e-9);
+        // Fast nodes process reference work faster.
+        assert!(c.speed_factor(cluster::NodeId(2)) > 1.0);
+        assert!(c.speed_factor(cluster::NodeId(0)) < 1.0);
+        // A run over it completes normally.
+        let report = Scenario {
+            jobs: 100,
+            rating_spread: 0.5,
+            ..Default::default()
+        }
+        .run(PolicyKind::LibraRisk);
+        assert_eq!(report.submitted(), 100);
+    }
+
+    #[test]
+    fn lublin_source_builds_and_runs() {
+        let s = Scenario {
+            jobs: 120,
+            source: TraceSource::Lublin,
+            ..Default::default()
+        };
+        let t = s.build_trace();
+        assert_eq!(t.len(), 120);
+        // The two generators must actually differ.
+        let sdsc = Scenario {
+            jobs: 120,
+            ..Default::default()
+        }
+        .build_trace();
+        assert_ne!(t.jobs(), sdsc.jobs());
+        let report = s.run(PolicyKind::LibraRisk);
+        assert_eq!(report.submitted(), 120);
+    }
+
+    #[test]
+    fn regime_labels() {
+        assert_eq!(EstimateRegime::Accurate.label(), "accurate estimates");
+        assert_eq!(EstimateRegime::Trace.label(), "trace estimates");
+        assert_eq!(EstimateRegime::Inaccuracy(40.0).label(), "40% inaccuracy");
+    }
+}

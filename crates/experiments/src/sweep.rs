@@ -1,0 +1,178 @@
+//! Parallel execution of parameter sweeps.
+//!
+//! A sweep is the cross product of (sweep point × policy × seed); each
+//! cell is an independent full simulation, so cells are farmed out to a
+//! crossbeam scoped thread pool and aggregated into per-policy
+//! [`metrics::Series`] curves (mean ± CI across seeds at each point).
+
+use crate::scenario::Scenario;
+use librisk::PolicyKind;
+use metrics::Series;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One cell's result.
+#[derive(Clone, Debug)]
+struct Cell {
+    order: usize,
+    policy: PolicyKind,
+    x: f64,
+    fulfilled_pct: f64,
+    avg_slowdown: f64,
+    utilization: f64,
+}
+
+/// Aggregated sweep output: one fulfilled-% curve and one slowdown curve
+/// per policy.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// % of jobs with deadlines fulfilled, per policy.
+    pub fulfilled: Vec<Series>,
+    /// Average slowdown (fulfilled jobs only), per policy.
+    pub slowdown: Vec<Series>,
+    /// Mean cluster utilisation, per policy.
+    pub utilization: Vec<Series>,
+}
+
+impl SweepOutcome {
+    /// The fulfilled-% curve of a policy.
+    pub fn fulfilled_of(&self, policy: PolicyKind) -> &Series {
+        self.fulfilled
+            .iter()
+            .find(|s| s.name() == policy.name())
+            .expect("policy was part of the sweep")
+    }
+
+    /// The slowdown curve of a policy.
+    pub fn slowdown_of(&self, policy: PolicyKind) -> &Series {
+        self.slowdown
+            .iter()
+            .find(|s| s.name() == policy.name())
+            .expect("policy was part of the sweep")
+    }
+}
+
+/// Runs every (point × policy × seed) cell, in parallel, and aggregates.
+///
+/// `points` pairs an abscissa with the scenario to simulate there (the
+/// scenario's own seed field is overridden by each seed in `seeds`).
+pub fn run_sweep(
+    points: &[(f64, Scenario)],
+    policies: &[PolicyKind],
+    seeds: &[u64],
+    threads: usize,
+) -> SweepOutcome {
+    assert!(!points.is_empty() && !policies.is_empty() && !seeds.is_empty());
+    let threads = threads.max(1);
+    // Materialise the cell list.
+    let work: Vec<(f64, Scenario, PolicyKind)> = points
+        .iter()
+        .flat_map(|(x, sc)| {
+            policies.iter().flat_map(move |p| {
+                seeds.iter().map(move |seed| {
+                    (*x, sc.clone().with_seed(*seed), *p)
+                })
+            })
+        })
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Cell>> = Mutex::new(Vec::with_capacity(work.len()));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(work.len()) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= work.len() {
+                    break;
+                }
+                let (x, scenario, policy) = &work[i];
+                let report = scenario.run(*policy);
+                results.lock().push(Cell {
+                    order: i,
+                    policy: *policy,
+                    x: *x,
+                    fulfilled_pct: report.fulfilled_pct(),
+                    avg_slowdown: report.avg_slowdown(),
+                    utilization: report.utilization,
+                });
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    // Deterministic aggregation order regardless of completion order.
+    let mut cells = results.into_inner();
+    cells.sort_by_key(|c| c.order);
+
+    let mut outcome = SweepOutcome {
+        fulfilled: policies.iter().map(|p| Series::new(p.name())).collect(),
+        slowdown: policies.iter().map(|p| Series::new(p.name())).collect(),
+        utilization: policies.iter().map(|p| Series::new(p.name())).collect(),
+    };
+    for cell in &cells {
+        let idx = policies
+            .iter()
+            .position(|p| *p == cell.policy)
+            .expect("cell policy from input set");
+        outcome.fulfilled[idx].observe(cell.x, cell.fulfilled_pct);
+        outcome.slowdown[idx].observe(cell.x, cell.avg_slowdown);
+        outcome.utilization[idx].observe(cell.x, cell.utilization);
+    }
+    outcome
+}
+
+/// Default worker count: available parallelism minus one, at least 1.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::EstimateRegime;
+
+    fn tiny(x: f64) -> (f64, Scenario) {
+        (
+            x,
+            Scenario {
+                jobs: 60,
+                arrival_delay_factor: x,
+                estimates: EstimateRegime::Trace,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_x_per_policy() {
+        let points = vec![tiny(0.5), tiny(1.0)];
+        let policies = [PolicyKind::Libra, PolicyKind::LibraRisk];
+        let out = run_sweep(&points, &policies, &[1, 2], 2);
+        assert_eq!(out.fulfilled.len(), 2);
+        for s in &out.fulfilled {
+            assert_eq!(s.len(), 2, "two abscissae");
+        }
+        // Accessors find the curves.
+        assert_eq!(out.fulfilled_of(PolicyKind::Libra).name(), "Libra");
+        assert_eq!(out.slowdown_of(PolicyKind::LibraRisk).name(), "LibraRisk");
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let points = vec![tiny(0.8)];
+        let policies = [PolicyKind::LibraRisk];
+        let par = run_sweep(&points, &policies, &[1, 2, 3], 3);
+        let ser = run_sweep(&points, &policies, &[1, 2, 3], 1);
+        let a = par.fulfilled_of(PolicyKind::LibraRisk).ci_points();
+        let b = ser.fulfilled_of(PolicyKind::LibraRisk).ci_points();
+        assert_eq!(a, b, "thread count must not change results");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_sweep_panics() {
+        run_sweep(&[], &[PolicyKind::Libra], &[1], 1);
+    }
+}

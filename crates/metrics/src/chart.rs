@@ -1,0 +1,142 @@
+//! Plain-text line charts, so the experiment harness can show the
+//! *shape* of each figure directly in the terminal next to its table.
+
+use crate::series::Series;
+use std::fmt::Write as _;
+
+/// Glyphs assigned to successive series.
+const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Renders several series into one fixed-size ASCII chart.
+///
+/// The y-range is `[0, max]` when `zero_based` (natural for percentages)
+/// or `[min, max]` otherwise; points are plotted per series with a
+/// distinct glyph, later series overwrite earlier ones on collisions, and
+/// a legend follows the axes.
+pub fn render(title: &str, x_label: &str, series: &[&Series], width: usize, height: usize, zero_based: bool) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small to be useful");
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for s in series {
+        for (x, y) in s.mean_points() {
+            xs.push(x);
+            ys.push(y);
+        }
+    }
+    if xs.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let fmin = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let fmax = |v: &[f64]| v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let (x_min, x_max) = (fmin(&xs), fmax(&xs));
+    let (mut y_min, mut y_max) = (fmin(&ys), fmax(&ys));
+    if zero_based {
+        y_min = 0.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    let x_span = if (x_max - x_min).abs() < 1e-12 {
+        1.0
+    } else {
+        x_max - x_min
+    };
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (x, y) in s.mean_points() {
+            let cx = ((x - x_min) / x_span * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for (r, row) in grid.iter().enumerate() {
+        let y_val = y_max - (y_max - y_min) * r as f64 / (height - 1) as f64;
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{y_val:>8.1} |{line}");
+    }
+    let _ = writeln!(out, "{:>8} +{}", "", "-".repeat(width));
+    let _ = writeln!(
+        out,
+        "{:>8}  {:<w$.1}{:>r$.1}  ({x_label})",
+        "",
+        x_min,
+        x_max,
+        w = width / 2,
+        r = width - width / 2
+    );
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} {}", GLYPHS[i % GLYPHS.len()], s.name()))
+        .collect();
+    let _ = writeln!(out, "{:>10}{}", "", legend.join("   "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(name: &str, pts: &[(f64, f64)]) -> Series {
+        let mut s = Series::new(name);
+        for &(x, y) in pts {
+            s.observe(x, y);
+        }
+        s
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let a = series("LibraRisk", &[(0.0, 10.0), (1.0, 90.0)]);
+        let b = series("Libra", &[(0.0, 10.0), (1.0, 50.0)]);
+        let chart = render("Fig 1 (b)", "delay factor", &[&a, &b], 40, 10, true);
+        assert!(chart.contains("Fig 1 (b)"));
+        assert!(chart.contains("* LibraRisk"));
+        assert!(chart.contains("o Libra"));
+        assert!(chart.contains("(delay factor)"));
+        // The zero-based axis bottoms out at 0.
+        assert!(chart.contains("     0.0 |"));
+        // Plot glyphs landed on the canvas.
+        assert!(chart.matches('*').count() >= 2);
+    }
+
+    #[test]
+    fn empty_series_does_not_panic() {
+        let a = Series::new("empty");
+        let chart = render("t", "x", &[&a], 40, 8, true);
+        assert!(chart.contains("(no data)"));
+    }
+
+    #[test]
+    fn constant_series_is_handled() {
+        let a = series("flat", &[(0.0, 5.0), (1.0, 5.0)]);
+        let chart = render("t", "x", &[&a], 30, 6, false);
+        assert!(chart.contains("flat"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_degenerate_canvas() {
+        let a = series("a", &[(0.0, 1.0)]);
+        render("t", "x", &[&a], 4, 2, true);
+    }
+
+    #[test]
+    fn high_values_plot_above_low_values() {
+        let a = series("a", &[(0.0, 0.0), (1.0, 100.0)]);
+        let chart = render("t", "x", &[&a], 20, 10, true);
+        let lines: Vec<&str> = chart.lines().collect();
+        // First canvas row (y=100) holds the right-hand point, the last
+        // canvas row (y=0) holds the left-hand point.
+        let first = lines[1];
+        let last = lines[10];
+        assert!(first.trim_end().ends_with('*'), "{first:?}");
+        assert!(last.contains("|*"), "{last:?}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # `metrics` — streaming statistics and report tables
+//!
+//! Small self-contained statistics toolkit used by the scheduler and the
+//! experiment harness:
+//!
+//! * [`OnlineStats`] — Welford's single-pass mean/variance (numerically
+//!   stable, mergeable across threads/seeds).
+//! * [`Summary`] — exact small-sample summaries (quartiles, min/max).
+//! * [`series::Series`] — a named `x → y` curve, the unit the figure
+//!   harness aggregates.
+//! * [`table`] — markdown and CSV emitters so every experiment prints the
+//!   same rows the paper reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod online;
+pub mod percentile;
+pub mod series;
+pub mod summary;
+pub mod svg;
+pub mod table;
+
+pub use online::OnlineStats;
+pub use series::Series;
+pub use summary::Summary;
+pub use table::Table;

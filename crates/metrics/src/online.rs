@@ -1,0 +1,241 @@
+//! Welford's online mean/variance with O(1) merge.
+
+/// Single-pass, numerically stable accumulator for mean and variance.
+///
+/// Supports merging two accumulators (Chan et al.), which lets parallel
+/// sweep workers aggregate without sharing state.
+///
+/// ```
+/// use metrics::OnlineStats;
+/// let s = OnlineStats::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.stddev_population(), 2.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds an accumulator from a slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(!x.is_nan(), "NaN observation");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// `true` if no observations have been added.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Arithmetic mean, or 0 for an empty accumulator.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by `n`), or 0 when `n < 1`.
+    pub fn variance_population(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).max(0.0)
+        }
+    }
+
+    /// Sample variance (divides by `n - 1`), or 0 when `n < 2`.
+    pub fn variance_sample(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).max(0.0)
+        }
+    }
+
+    /// Population standard deviation.
+    ///
+    /// This is the paper's risk-of-deadline-delay estimator (Eq. 6 divides
+    /// by `n_j`, i.e. the population form).
+    pub fn stddev_population(&self) -> f64 {
+        self.variance_population().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev_sample(&self) -> f64 {
+        self.variance_sample().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Half-width of the ~95% normal-approximation confidence interval for
+    /// the mean (1.96·s/√n). Returns 0 when `n < 2`.
+    pub fn ci95_halfwidth(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.stddev_sample() / (self.n as f64).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = OnlineStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance_population(), 0.0);
+        assert_eq!(s.stddev_sample(), 0.0);
+        assert_eq!(s.sum(), 0.0);
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = OnlineStats::from_slice(&xs);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Known example: population stddev = 2.
+        assert!((s.stddev_population() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = OnlineStats::from_slice(&[3.5]);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance_population(), 0.0);
+        assert_eq!(s.variance_sample(), 0.0);
+        assert_eq!(s.ci95_halfwidth(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let (a, b) = xs.split_at(17);
+        let mut left = OnlineStats::from_slice(a);
+        let right = OnlineStats::from_slice(b);
+        left.merge(&right);
+        let all = OnlineStats::from_slice(&xs);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-10);
+        assert!((left.variance_sample() - all.variance_sample()).abs() < 1e-10);
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = OnlineStats::from_slice(&[1.0, 2.0, 3.0]);
+        let before = s;
+        s.merge(&OnlineStats::new());
+        assert_eq!(s.count(), before.count());
+        assert_eq!(s.mean(), before.mean());
+
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e.count(), 3);
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_never_negative_under_cancellation() {
+        // Large offset stresses catastrophic cancellation; Welford stays >= 0.
+        let offset = 1e9;
+        let s = OnlineStats::from_slice(&[offset, offset, offset]);
+        assert!(s.variance_population() >= 0.0);
+        assert!(s.variance_population() < 1e-3);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let small = OnlineStats::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let mut many = OnlineStats::new();
+        for _ in 0..100 {
+            for x in [1.0, 2.0, 3.0, 4.0] {
+                many.push(x);
+            }
+        }
+        assert!(many.ci95_halfwidth() < small.ci95_halfwidth());
+    }
+}

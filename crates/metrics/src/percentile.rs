@@ -1,0 +1,86 @@
+//! Exact percentile computation over owned samples.
+
+/// Returns the `q`-quantile (`0 ≤ q ≤ 1`) of `xs` using linear
+/// interpolation between closest ranks (type-7, the R/NumPy default).
+///
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 1]` or any sample is NaN.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    Some(quantile_sorted(&v, q))
+}
+
+/// Same as [`quantile`] but assumes `xs` is already sorted ascending.
+pub fn quantile_sorted(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty());
+    let n = xs.len();
+    if n == 1 {
+        return xs[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        xs[lo]
+    } else {
+        let frac = pos - lo as f64;
+        xs[lo] * (1.0 - frac) + xs[hi] * frac
+    }
+}
+
+/// Median (50th percentile), `None` when empty.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn singleton() {
+        assert_eq!(quantile(&[7.0], 0.0), Some(7.0));
+        assert_eq!(quantile(&[7.0], 1.0), Some(7.0));
+        assert_eq!(quantile(&[7.0], 0.3), Some(7.0));
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn extremes_are_min_max() {
+        let xs = [5.0, 1.0, 9.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(9.0));
+    }
+
+    #[test]
+    fn interpolation_matches_numpy_type7() {
+        // numpy.percentile([1,2,3,4], 25) == 1.75
+        assert!((quantile(&[1.0, 2.0, 3.0, 4.0], 0.25).unwrap() - 1.75).abs() < 1e-12);
+        // numpy.percentile([1,2,3,4,5], 90) == 4.6
+        assert!((quantile(&[1.0, 2.0, 3.0, 4.0, 5.0], 0.9).unwrap() - 4.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn q_out_of_range_panics() {
+        quantile(&[1.0], 1.5);
+    }
+}

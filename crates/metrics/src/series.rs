@@ -1,0 +1,136 @@
+//! Named `x → y` curves with per-point spread, the unit a figure is built
+//! from.
+
+use crate::online::OnlineStats;
+
+/// One curve of a figure: a policy name plus `(x, y ± spread)` points.
+///
+/// Each point aggregates the metric across seeds/repetitions via
+/// [`OnlineStats`], so the harness can report a mean and a 95% CI.
+#[derive(Clone, Debug)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, OnlineStats)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The curve's name (policy label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an observation of the metric at abscissa `x`.
+    ///
+    /// Points are matched on exact `x` bit-pattern; sweep drivers use the
+    /// same `f64` grid everywhere so this is exact.
+    pub fn observe(&mut self, x: f64, y: f64) {
+        if let Some((_, stats)) = self.points.iter_mut().find(|(px, _)| *px == x) {
+            stats.push(y);
+        } else {
+            let mut stats = OnlineStats::new();
+            stats.push(y);
+            self.points.push((x, stats));
+            self.points
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN abscissa"));
+        }
+    }
+
+    /// Merges all points of `other` into this series.
+    pub fn merge(&mut self, other: &Series) {
+        for (x, stats) in &other.points {
+            if let Some((_, mine)) = self.points.iter_mut().find(|(px, _)| px == x) {
+                mine.merge(stats);
+            } else {
+                self.points.push((*x, *stats));
+            }
+        }
+        self.points
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN abscissa"));
+    }
+
+    /// `(x, mean y)` pairs in ascending `x`.
+    pub fn mean_points(&self) -> Vec<(f64, f64)> {
+        self.points.iter().map(|(x, s)| (*x, s.mean())).collect()
+    }
+
+    /// `(x, mean, ci95 half-width)` triples in ascending `x`.
+    pub fn ci_points(&self) -> Vec<(f64, f64, f64)> {
+        self.points
+            .iter()
+            .map(|(x, s)| (*x, s.mean(), s.ci95_halfwidth()))
+            .collect()
+    }
+
+    /// Number of distinct abscissae.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no points have been observed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean y at a given x, if observed.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| *px == x)
+            .map(|(_, s)| s.mean())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_aggregate_per_x() {
+        let mut s = Series::new("LibraRisk");
+        s.observe(0.5, 10.0);
+        s.observe(0.5, 20.0);
+        s.observe(0.1, 5.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.y_at(0.5), Some(15.0));
+        assert_eq!(s.y_at(0.1), Some(5.0));
+        assert_eq!(s.y_at(0.9), None);
+        // Sorted ascending by x.
+        let xs: Vec<f64> = s.mean_points().iter().map(|p| p.0).collect();
+        assert_eq!(xs, vec![0.1, 0.5]);
+    }
+
+    #[test]
+    fn merge_combines_matching_points() {
+        let mut a = Series::new("p");
+        a.observe(1.0, 2.0);
+        let mut b = Series::new("p");
+        b.observe(1.0, 4.0);
+        b.observe(2.0, 9.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.y_at(1.0), Some(3.0));
+        assert_eq!(a.y_at(2.0), Some(9.0));
+    }
+
+    #[test]
+    fn ci_points_include_halfwidth() {
+        let mut s = Series::new("p");
+        for y in [1.0, 2.0, 3.0, 4.0] {
+            s.observe(0.0, y);
+        }
+        let pts = s.ci_points();
+        assert_eq!(pts.len(), 1);
+        let (x, mean, hw) = pts[0];
+        assert_eq!(x, 0.0);
+        assert_eq!(mean, 2.5);
+        assert!(hw > 0.0);
+    }
+}

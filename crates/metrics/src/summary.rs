@@ -1,0 +1,104 @@
+//! Small-sample exact summaries.
+
+use crate::percentile::quantile_sorted;
+
+/// An exact five-number-plus-mean summary of a batch of samples.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    n: usize,
+    mean: f64,
+    min: f64,
+    q1: f64,
+    median: f64,
+    q3: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Computes a summary; returns `None` for an empty batch.
+    ///
+    /// # Panics
+    /// Panics if any sample is NaN.
+    pub fn compute(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut v = xs.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let n = v.len();
+        let mean = v.iter().sum::<f64>() / n as f64;
+        Some(Summary {
+            n,
+            mean,
+            min: v[0],
+            q1: quantile_sorted(&v, 0.25),
+            median: quantile_sorted(&v, 0.5),
+            q3: quantile_sorted(&v, 0.75),
+            max: v[n - 1],
+        })
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+    /// First quartile.
+    pub fn q1(&self) -> f64 {
+        self.q1
+    }
+    /// Median.
+    pub fn median(&self) -> f64 {
+        self.median
+    }
+    /// Third quartile.
+    pub fn q3(&self) -> f64 {
+        self.q3
+    }
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Summary::compute(&[]).is_none());
+    }
+
+    #[test]
+    fn known_batch() {
+        let s = Summary::compute(&[7.0, 1.0, 3.0, 5.0, 9.0]).unwrap();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.median(), 5.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.q1(), 3.0);
+        assert_eq!(s.q3(), 7.0);
+        assert_eq!(s.iqr(), 4.0);
+    }
+
+    #[test]
+    fn constant_batch_has_zero_iqr() {
+        let s = Summary::compute(&[4.0; 10]).unwrap();
+        assert_eq!(s.iqr(), 0.0);
+        assert_eq!(s.mean(), 4.0);
+        assert_eq!(s.min(), s.max());
+    }
+}

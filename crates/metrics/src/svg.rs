@@ -1,0 +1,374 @@
+//! Standalone SVG line charts — real figure files for the paper's plots,
+//! generated with no external dependencies.
+//!
+//! The output is deliberately minimal, deterministic SVG 1.1: axes, tick
+//! labels, one polyline + marker set per series, and a legend. Colours
+//! come from a fixed colour-blind-safe palette (Okabe–Ito).
+
+use crate::series::Series;
+use std::fmt::Write as _;
+
+/// Okabe–Ito colour-blind-safe palette.
+const PALETTE: [&str; 8] = [
+    "#0072B2", // blue
+    "#D55E00", // vermillion
+    "#009E73", // bluish green
+    "#CC79A7", // reddish purple
+    "#E69F00", // orange
+    "#56B4E9", // sky blue
+    "#F0E442", // yellow
+    "#000000", // black
+];
+
+/// Marker shapes cycled alongside the palette.
+#[derive(Clone, Copy)]
+enum Marker {
+    Circle,
+    Square,
+    Diamond,
+    TriangleUp,
+}
+
+const MARKERS: [Marker; 4] = [
+    Marker::Circle,
+    Marker::Square,
+    Marker::Diamond,
+    Marker::TriangleUp,
+];
+
+/// Chart geometry and labelling options.
+#[derive(Clone, Debug)]
+pub struct SvgOptions {
+    /// Total width in pixels.
+    pub width: u32,
+    /// Total height in pixels.
+    pub height: u32,
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Force the y-axis to start at zero.
+    pub zero_based: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 560,
+            height: 400,
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            zero_based: true,
+        }
+    }
+}
+
+fn nice_ticks(min: f64, max: f64, target: usize) -> Vec<f64> {
+    let span = (max - min).max(1e-12);
+    let raw_step = span / target.max(1) as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = if norm <= 1.0 {
+        1.0
+    } else if norm <= 2.0 {
+        2.0
+    } else if norm <= 5.0 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let first = (min / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = first;
+    while t <= max + 1e-9 * span {
+        // Avoid -0.0 labels.
+        ticks.push(if t.abs() < 1e-12 { 0.0 } else { t });
+        t += step;
+    }
+    ticks
+}
+
+fn fmt_tick(x: f64) -> String {
+    if x.abs() >= 1000.0 || (x - x.round()).abs() < 1e-9 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+fn marker_svg(m: Marker, x: f64, y: f64, color: &str) -> String {
+    match m {
+        Marker::Circle => format!(r#"<circle cx="{x:.1}" cy="{y:.1}" r="3.5" fill="{color}"/>"#),
+        Marker::Square => format!(
+            r#"<rect x="{:.1}" y="{:.1}" width="7" height="7" fill="{color}"/>"#,
+            x - 3.5,
+            y - 3.5
+        ),
+        Marker::Diamond => format!(
+            r#"<path d="M {x:.1} {:.1} L {:.1} {y:.1} L {x:.1} {:.1} L {:.1} {y:.1} Z" fill="{color}"/>"#,
+            y - 4.5,
+            x + 4.5,
+            y + 4.5,
+            x - 4.5
+        ),
+        Marker::TriangleUp => format!(
+            r#"<path d="M {x:.1} {:.1} L {:.1} {:.1} L {:.1} {:.1} Z" fill="{color}"/>"#,
+            y - 4.5,
+            x + 4.0,
+            y + 3.5,
+            x - 4.0,
+            y + 3.5
+        ),
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders the series as a standalone SVG document.
+///
+/// Returns a placeholder document when no series has data.
+pub fn render(series: &[&Series], opts: &SvgOptions) -> String {
+    let w = opts.width as f64;
+    let h = opts.height as f64;
+    let (ml, mr, mt, mb) = (64.0, 16.0, 40.0, 78.0);
+    let plot_w = w - ml - mr;
+    let plot_h = h - mt - mb;
+
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for s in series {
+        for (x, y) in s.mean_points() {
+            xs.push(x);
+            ys.push(y);
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}" font-family="Helvetica, Arial, sans-serif">"#,
+        opts.width, opts.height, opts.width, opts.height
+    );
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    if xs.is_empty() {
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.0}" y="{:.0}" text-anchor="middle">no data</text></svg>"#,
+            w / 2.0,
+            h / 2.0
+        );
+        return out;
+    }
+
+    let fmin = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let fmax = |v: &[f64]| v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let (x_min, x_max) = (fmin(&xs), fmax(&xs));
+    let (mut y_min, mut y_max) = (fmin(&ys), fmax(&ys));
+    if opts.zero_based {
+        y_min = y_min.min(0.0);
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    // A little headroom above the data.
+    y_max += (y_max - y_min) * 0.05;
+    let x_span = if (x_max - x_min).abs() < 1e-12 {
+        1.0
+    } else {
+        x_max - x_min
+    };
+    let px = |x: f64| ml + (x - x_min) / x_span * plot_w;
+    let py = |y: f64| mt + plot_h - (y - y_min) / (y_max - y_min) * plot_h;
+
+    // Title and axis labels.
+    if !opts.title.is_empty() {
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.0}" y="22" text-anchor="middle" font-size="14" font-weight="bold">{}</text>"#,
+            w / 2.0,
+            escape(&opts.title)
+        );
+    }
+    if !opts.x_label.is_empty() {
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.0}" y="{:.0}" text-anchor="middle" font-size="12">{}</text>"#,
+            ml + plot_w / 2.0,
+            h - mb + 36.0,
+            escape(&opts.x_label)
+        );
+    }
+    if !opts.y_label.is_empty() {
+        let _ = writeln!(
+            out,
+            r#"<text x="14" y="{:.0}" text-anchor="middle" font-size="12" transform="rotate(-90 14 {:.0})">{}</text>"#,
+            mt + plot_h / 2.0,
+            mt + plot_h / 2.0,
+            escape(&opts.y_label)
+        );
+    }
+
+    // Gridlines and ticks.
+    for t in nice_ticks(y_min, y_max, 6) {
+        let y = py(t);
+        let _ = writeln!(
+            out,
+            r##"<line x1="{ml:.1}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#dddddd" stroke-width="1"/>"##,
+            ml + plot_w
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end" font-size="11">{}</text>"#,
+            ml - 6.0,
+            y + 4.0,
+            fmt_tick(t)
+        );
+    }
+    for t in nice_ticks(x_min, x_max, 8) {
+        let x = px(t);
+        let _ = writeln!(
+            out,
+            r##"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="#eeeeee" stroke-width="1"/>"##,
+            mt,
+            mt + plot_h
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle" font-size="11">{}</text>"#,
+            mt + plot_h + 16.0,
+            fmt_tick(t)
+        );
+    }
+    // Axes.
+    let _ = writeln!(
+        out,
+        r##"<rect x="{ml:.1}" y="{mt:.1}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#333333" stroke-width="1"/>"##
+    );
+
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let marker = MARKERS[i % MARKERS.len()];
+        let pts = s.mean_points();
+        if pts.is_empty() {
+            continue;
+        }
+        let path: Vec<String> = pts
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+            .collect();
+        let _ = writeln!(
+            out,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+            path.join(" ")
+        );
+        for &(x, y) in &pts {
+            let _ = writeln!(out, "{}", marker_svg(marker, px(x), py(y), color));
+        }
+    }
+
+    // Legend along the bottom.
+    let mut lx = ml;
+    let ly = h - 14.0;
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let _ = writeln!(out, "{}", marker_svg(MARKERS[i % MARKERS.len()], lx + 5.0, ly - 4.0, color));
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{ly:.1}" font-size="12">{}</text>"#,
+            lx + 14.0,
+            escape(s.name())
+        );
+        lx += 18.0 + 7.5 * s.name().len() as f64 + 14.0;
+    }
+
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(name: &str, pts: &[(f64, f64)]) -> Series {
+        let mut s = Series::new(name);
+        for &(x, y) in pts {
+            s.observe(x, y);
+        }
+        s
+    }
+
+    #[test]
+    fn renders_valid_looking_svg() {
+        let a = series("LibraRisk", &[(0.1, 25.9), (0.5, 61.2), (1.0, 75.0)]);
+        let b = series("Libra", &[(0.1, 23.3), (0.5, 49.1), (1.0, 56.6)]);
+        let svg = render(
+            &[&a, &b],
+            &SvgOptions {
+                title: "Figure 1 (b)".into(),
+                x_label: "Arrival Delay Factor".into(),
+                y_label: "% fulfilled".into(),
+                ..Default::default()
+            },
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("Figure 1 (b)"));
+        assert!(svg.contains("LibraRisk"));
+        assert!(svg.contains("polyline"));
+        // Two series → two polylines.
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        // Balanced tags (cheap well-formedness check).
+        assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
+    }
+
+    #[test]
+    fn empty_input_yields_placeholder() {
+        let empty = Series::new("none");
+        let svg = render(&[&empty], &SvgOptions::default());
+        assert!(svg.contains("no data"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let a = series("a<b&c", &[(0.0, 1.0)]);
+        let svg = render(
+            &[&a],
+            &SvgOptions {
+                title: "x < y".into(),
+                ..Default::default()
+            },
+        );
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert!(svg.contains("x &lt; y"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn nice_ticks_are_round_and_cover_range() {
+        let ticks = nice_ticks(0.0, 100.0, 6);
+        assert!(ticks.contains(&0.0) && ticks.contains(&100.0));
+        for w in ticks.windows(2) {
+            assert!((w[1] - w[0] - 20.0).abs() < 1e-9, "step 20 expected: {ticks:?}");
+        }
+        let small = nice_ticks(0.1, 1.0, 8);
+        assert!(small.len() >= 4);
+        assert!(small.iter().all(|&t| (0.1 - 1e-9..=1.0 + 1e-9).contains(&t)));
+    }
+
+    #[test]
+    fn zero_based_extends_axis_down_to_zero() {
+        let a = series("p", &[(0.0, 50.0), (1.0, 80.0)]);
+        let with = render(&[&a], &SvgOptions { zero_based: true, ..Default::default() });
+        let without = render(&[&a], &SvgOptions { zero_based: false, ..Default::default() });
+        // Both label x-tick 0, but only the zero-based variant also has a
+        // y-tick at 0 — so it carries strictly more "0" tick labels.
+        let zeros = |svg: &str| svg.matches(">0<").count();
+        assert!(zeros(&with) > zeros(&without), "{} vs {}", zeros(&with), zeros(&without));
+    }
+}

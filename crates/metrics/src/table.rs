@@ -1,0 +1,168 @@
+//! Plain-text table emission (markdown and CSV).
+//!
+//! The experiment harness prints every figure/table of the paper through
+//! this module so the output format is uniform and easy to diff.
+
+use std::fmt::Write as _;
+
+/// A simple rectangular table of strings.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Convenience: appends a row of displayable cells.
+    pub fn push_display_row<T: std::fmt::Display>(&mut self, row: &[T]) {
+        self.push_row(row.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders as a GitHub-flavoured markdown table (column-aligned).
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "### {}", self.title);
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "{}", fmt_row(&dashes, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders as CSV (RFC 4180 quoting for cells containing `,`/`"`/newline).
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a float with a fixed number of decimals, trimming `-0.00` to
+/// `0.00`.
+pub fn fmt_f(x: f64, decimals: usize) -> String {
+    let s = format!("{x:.decimals$}");
+    if s.starts_with("-0.") && s[1..].parse::<f64>() == Ok(0.0) {
+        s[1..].to_string()
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_is_aligned() {
+        let mut t = Table::new("Demo", &["policy", "fulfilled %"]);
+        t.push_row(vec!["EDF".into(), "61.2".into()]);
+        t.push_row(vec!["LibraRisk".into(), "73.4".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| policy    | fulfilled % |"));
+        assert!(md.contains("| LibraRisk | 73.4        |"));
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.push_row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_f_cleans_negative_zero() {
+        assert_eq!(fmt_f(-0.0001, 2), "0.00");
+        assert_eq!(fmt_f(1.2345, 2), "1.23");
+        assert_eq!(fmt_f(-1.5, 1), "-1.5");
+    }
+
+    #[test]
+    fn display_row_helper() {
+        let mut t = Table::new("", &["x", "y"]);
+        t.push_display_row(&[1.5, 2.5]);
+        assert_eq!(t.row_count(), 1);
+        assert!(t.to_csv().contains("1.5,2.5"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based invariants of the statistics toolkit.
+
+use metrics::{percentile, OnlineStats, Series, Summary, Table};
+use proptest::prelude::*;
+
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6..1e6f64, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn welford_matches_naive_two_pass(xs in samples()) {
+        let s = OnlineStats::from_slice(&xs);
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance_population() - var).abs() < 1e-5 * var.max(1.0));
+        prop_assert_eq!(s.min(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn merge_is_order_independent(xs in samples(), split in 0usize..200) {
+        let cut = split.min(xs.len());
+        let (a, b) = xs.split_at(cut);
+        let sa = OnlineStats::from_slice(a);
+        let sb = OnlineStats::from_slice(b);
+        let mut ab = sa;
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9 * ab.mean().abs().max(1.0));
+        prop_assert!(
+            (ab.variance_sample() - ba.variance_sample()).abs()
+                < 1e-6 * ab.variance_sample().max(1.0)
+        );
+    }
+
+    #[test]
+    fn quantiles_are_bounded_and_monotone(xs in samples(), q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = percentile::quantile(&xs, lo).unwrap();
+        let b = percentile::quantile(&xs, hi).unwrap();
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-9 && a <= max + 1e-9);
+        prop_assert!(a <= b + 1e-9, "quantiles must be monotone: {a} > {b}");
+    }
+
+    #[test]
+    fn summary_is_internally_consistent(xs in samples()) {
+        let s = Summary::compute(&xs).unwrap();
+        prop_assert!(s.min() <= s.q1() + 1e-9);
+        prop_assert!(s.q1() <= s.median() + 1e-9);
+        prop_assert!(s.median() <= s.q3() + 1e-9);
+        prop_assert!(s.q3() <= s.max() + 1e-9);
+        prop_assert!(s.iqr() >= -1e-9);
+        prop_assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);
+    }
+
+    #[test]
+    fn series_mean_matches_observation_mean(ys in proptest::collection::vec(-100.0..100.0f64, 1..50)) {
+        let mut s = Series::new("p");
+        for &y in &ys {
+            s.observe(1.0, y);
+        }
+        let expected = ys.iter().sum::<f64>() / ys.len() as f64;
+        let got = s.y_at(1.0).unwrap();
+        prop_assert!((got - expected).abs() < 1e-9 * expected.abs().max(1.0));
+    }
+
+    #[test]
+    fn csv_always_has_header_plus_one_line_per_row(
+        rows in proptest::collection::vec((any::<i32>(), "[a-z,\"\n]{0,12}"), 0..20)
+    ) {
+        let mut t = Table::new("t", &["a", "b"]);
+        for (x, s) in &rows {
+            t.push_row(vec![x.to_string(), s.clone()]);
+        }
+        let csv = t.to_csv();
+        // RFC 4180 quoting means embedded newlines stay inside quotes; a
+        // conforming reader sees exactly rows+1 records. We count records
+        // by scanning quote state.
+        let mut records = 0;
+        let mut in_quotes = false;
+        for c in csv.chars() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                '\n' if !in_quotes => records += 1,
+                _ => {}
+            }
+        }
+        prop_assert_eq!(records, rows.len() + 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! The simulation engine: a virtual clock plus an event queue.
+//!
+//! The engine is *pull-style*: the owner repeatedly calls
+//! [`Simulator::next_event`] (or drives [`Simulator::run`] with a handler
+//! closure) and applies the payload to its own state. Compared with
+//! GridSim's entity/thread model this makes all mutation explicit and the
+//! whole run single-threaded and deterministic.
+
+use crate::event::{Event, EventId};
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// A discrete-event simulator over payload type `P`.
+#[derive(Debug)]
+pub struct Simulator<P> {
+    queue: EventQueue<P>,
+    now: SimTime,
+    dispatched: u64,
+}
+
+impl<P> Default for Simulator<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> Simulator<P> {
+    /// Creates a simulator with the clock at `t = 0`.
+    pub fn new() -> Self {
+        Simulator {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            dispatched: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current clock: scheduling into the past
+    /// would silently reorder causality.
+    pub fn schedule_at(&mut self, at: SimTime, payload: P) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({:?} < {:?})",
+            at,
+            self.now
+        );
+        self.queue.schedule(at, payload)
+    }
+
+    /// Schedules `payload` after a non-negative delay from now.
+    ///
+    /// # Panics
+    /// Panics if `delay` is negative.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: P) -> EventId {
+        assert!(
+            delay >= SimDuration::ZERO,
+            "delay must be non-negative, got {:?}",
+            delay
+        );
+        self.queue.schedule(self.now + delay, payload)
+    }
+
+    /// Cancels a pending event; returns whether it was still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Pops the next event and advances the clock to its firing time.
+    pub fn next_event(&mut self) -> Option<Event<P>> {
+        let ev = self.queue.pop()?;
+        debug_assert!(ev.time >= self.now, "event queue returned a past event");
+        self.now = ev.time;
+        self.dispatched += 1;
+        Some(ev)
+    }
+
+    /// Runs the simulation to completion, applying `handler` to every event.
+    ///
+    /// The handler receives the simulator (so it may schedule/cancel) and
+    /// the event. Returns the number of events dispatched by this call.
+    pub fn run<F>(&mut self, mut handler: F) -> u64
+    where
+        F: FnMut(&mut Simulator<P>, Event<P>),
+    {
+        let start = self.dispatched;
+        while let Some(ev) = self.next_event() {
+            handler(self, ev);
+        }
+        self.dispatched - start
+    }
+
+    /// Runs until the clock would pass `deadline` (events at exactly
+    /// `deadline` are dispatched). Leaves later events pending and the
+    /// clock at the last dispatched event (or unchanged if none fired).
+    pub fn run_until<F>(&mut self, deadline: SimTime, mut handler: F) -> u64
+    where
+        F: FnMut(&mut Simulator<P>, Event<P>),
+    {
+        let start = self.dispatched;
+        while let Some(t) = self.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let ev = self.next_event().expect("peeked event disappeared");
+            handler(self, ev);
+        }
+        self.dispatched - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+    fn d(secs: f64) -> SimDuration {
+        SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut s = Simulator::new();
+        s.schedule_at(t(5.0), "a");
+        s.schedule_at(t(2.0), "b");
+        let ev = s.next_event().unwrap();
+        assert_eq!(ev.payload, "b");
+        assert_eq!(s.now(), t(2.0));
+        let ev = s.next_event().unwrap();
+        assert_eq!(ev.payload, "a");
+        assert_eq!(s.now(), t(5.0));
+        assert!(s.next_event().is_none());
+        assert_eq!(s.dispatched(), 2);
+    }
+
+    #[test]
+    fn handler_can_schedule_more_events() {
+        let mut s = Simulator::new();
+        s.schedule_at(t(1.0), 3u32);
+        let mut fired = Vec::new();
+        s.run(|sim, ev| {
+            fired.push((sim.now().as_secs(), ev.payload));
+            if ev.payload > 0 {
+                sim.schedule_in(d(1.0), ev.payload - 1);
+            }
+        });
+        assert_eq!(
+            fired,
+            vec![(1.0, 3), (2.0, 2), (3.0, 1), (4.0, 0)]
+        );
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_inclusive() {
+        let mut s = Simulator::new();
+        for i in 1..=5 {
+            s.schedule_at(t(i as f64), i);
+        }
+        let mut fired = Vec::new();
+        let n = s.run_until(t(3.0), |_, ev| fired.push(ev.payload));
+        assert_eq!(n, 3);
+        assert_eq!(fired, vec![1, 2, 3]);
+        assert_eq!(s.pending(), 2);
+        assert_eq!(s.now(), t(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut s = Simulator::new();
+        s.schedule_at(t(5.0), ());
+        s.next_event();
+        s.schedule_at(t(1.0), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_delay_panics() {
+        let mut s: Simulator<()> = Simulator::new();
+        s.schedule_in(d(-1.0), ());
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut s = Simulator::new();
+        let a = s.schedule_at(t(1.0), "a");
+        s.schedule_at(t(2.0), "b");
+        assert!(s.cancel(a));
+        let mut fired = Vec::new();
+        s.run(|_, ev| fired.push(ev.payload));
+        assert_eq!(fired, vec!["b"]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut s = Simulator::new();
+        for i in 0..100 {
+            s.schedule_at(t(1.0), i);
+        }
+        let mut fired = Vec::new();
+        s.run(|_, ev| fired.push(ev.payload));
+        assert_eq!(fired, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,78 @@
+//! Events: a firing time, a stable identity, and a caller payload.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+
+/// Stable identity of a scheduled event.
+///
+/// Ids are handed out monotonically by the [`crate::EventQueue`]; they double
+/// as the FIFO tie-breaker for events scheduled at the same instant and can
+/// be used to cancel an event lazily.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(pub(crate) u64);
+
+impl EventId {
+    /// Raw sequence number of the event.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A scheduled event carrying a caller payload `P`.
+#[derive(Clone, Debug)]
+pub struct Event<P> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Stable identity (also the FIFO tie-break for equal times).
+    pub id: EventId,
+    /// The caller's payload.
+    pub payload: P,
+}
+
+impl<P> Event<P> {
+    /// Orders by time, then by schedule order. The queue reverses this for
+    /// its min-heap.
+    pub(crate) fn key(&self) -> (SimTime, EventId) {
+        (self.time, self.id)
+    }
+}
+
+impl<P> PartialEq for Event<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl<P> Eq for Event<P> {}
+
+impl<P> PartialOrd for Event<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P> Ord for Event<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64, id: u64) -> Event<()> {
+        Event {
+            time: SimTime::from_secs(t),
+            id: EventId(id),
+            payload: (),
+        }
+    }
+
+    #[test]
+    fn ordering_by_time_then_id() {
+        assert!(ev(1.0, 5) < ev(2.0, 1));
+        assert!(ev(1.0, 1) < ev(1.0, 2));
+        assert_eq!(ev(1.0, 1), ev(1.0, 1));
+    }
+}

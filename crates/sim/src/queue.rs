@@ -1,0 +1,216 @@
+//! Time-ordered event queue with FIFO tie-breaking and lazy cancellation.
+
+use crate::event::{Event, EventId};
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// A min-heap of events ordered by `(time, schedule order)`.
+///
+/// Two events scheduled for the same instant pop in the order they were
+/// pushed, which makes simulations deterministic without requiring callers
+/// to perturb timestamps.
+///
+/// Cancellation is *lazy*: [`EventQueue::cancel`] unregisters the id and
+/// the heap entry is silently dropped when it reaches the head. Cancelling
+/// an id that was already delivered (or never existed) is a safe no-op
+/// returning `false`.
+#[derive(Debug)]
+pub struct EventQueue<P> {
+    heap: BinaryHeap<Reverse<Event<P>>>,
+    /// Ids scheduled and not yet delivered or cancelled.
+    pending: HashSet<EventId>,
+    next_id: u64,
+}
+
+impl<P> Default for EventQueue<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> EventQueue<P> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            pending: HashSet::with_capacity(cap),
+            next_id: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`; returns the event's id.
+    pub fn schedule(&mut self, time: SimTime, payload: P) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(Reverse(Event { time, id, payload }));
+        self.pending.insert(id);
+        id
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the id was
+    /// still pending; cancelling a delivered, cancelled or unknown id is a
+    /// no-op returning `false`.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id)
+    }
+
+    /// Removes and returns the earliest pending event, skipping cancelled
+    /// ones.
+    pub fn pop(&mut self) -> Option<Event<P>> {
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            if self.pending.remove(&ev.id) {
+                return Some(ev);
+            }
+            // Tombstone of a cancelled event: drop and continue.
+        }
+        None
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skim_cancelled();
+        self.heap.peek().map(|Reverse(ev)| ev.time)
+    }
+
+    /// Drops cancelled events sitting at the head of the heap.
+    fn skim_cancelled(&mut self) {
+        while let Some(Reverse(ev)) = self.heap.peek() {
+            if self.pending.contains(&ev.id) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Total number of events ever scheduled (monotonic).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3.0), "c");
+        q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(t(1.0), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn cancelling_a_delivered_event_is_a_safe_noop() {
+        // Regression test: the proportional scheduler cancels its wake id
+        // after the wake has already fired; this must not corrupt the
+        // pending count.
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), "a");
+        let fired = q.pop().unwrap();
+        assert_eq!(fired.id, a);
+        assert!(!q.cancel(a), "already delivered");
+        assert_eq!(q.len(), 0);
+        // Queue keeps functioning normally afterwards.
+        q.schedule(t(2.0), "b");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), "a");
+        q.schedule(t(5.0), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(5.0)));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert!(q.pop().is_none());
+        assert_eq!(q.scheduled_total(), 0);
+    }
+
+    #[test]
+    fn heavy_cancel_churn_keeps_len_consistent() {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        for i in 0..100 {
+            ids.push(q.schedule(t(i as f64), i));
+        }
+        // Cancel every other event, some twice, plus delivered ones.
+        for id in ids.iter().step_by(2) {
+            assert!(q.cancel(*id));
+            assert!(!q.cancel(*id));
+        }
+        assert_eq!(q.len(), 50);
+        let mut delivered = 0;
+        while let Some(ev) = q.pop() {
+            delivered += 1;
+            // Cancelling after delivery: no-op.
+            assert!(!q.cancel(ev.id));
+        }
+        assert_eq!(delivered, 50);
+        assert_eq!(q.len(), 0);
+    }
+}

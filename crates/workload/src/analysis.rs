@@ -1,0 +1,246 @@
+//! Trace analysis: the histograms and breakdowns workload papers report.
+//!
+//! Everything here is derived purely from a [`Trace`]; the experiment
+//! harness uses it for the detailed `trace-stats` view, and downstream
+//! users can validate their own SWF files against the paper's workload
+//! assumptions before trusting simulation results.
+
+use crate::job::{Job, Urgency};
+use crate::trace::Trace;
+
+/// A log-scaled histogram over a positive quantity.
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    /// Inclusive lower edge of the first bucket.
+    pub first_edge: f64,
+    /// Multiplicative bucket width (e.g. 2 = doubling buckets).
+    pub factor: f64,
+    /// Counts per bucket; bucket `i` covers
+    /// `[first_edge·factor^i, first_edge·factor^(i+1))`.
+    pub counts: Vec<u64>,
+    /// Samples below `first_edge`.
+    pub underflow: u64,
+}
+
+impl LogHistogram {
+    /// Builds a histogram with `buckets` doubling-style buckets.
+    ///
+    /// # Panics
+    /// Panics if `first_edge ≤ 0`, `factor ≤ 1` or `buckets == 0`.
+    pub fn new(first_edge: f64, factor: f64, buckets: usize) -> Self {
+        assert!(first_edge > 0.0 && factor > 1.0 && buckets > 0);
+        LogHistogram {
+            first_edge,
+            factor,
+            counts: vec![0; buckets],
+            underflow: 0,
+        }
+    }
+
+    /// Adds one sample (values beyond the last bucket land in it).
+    pub fn add(&mut self, x: f64) {
+        if x < self.first_edge {
+            self.underflow += 1;
+            return;
+        }
+        let i = ((x / self.first_edge).ln() / self.factor.ln()).floor() as usize;
+        let i = i.min(self.counts.len() - 1);
+        self.counts[i] += 1;
+    }
+
+    /// Total samples recorded (including underflow).
+    pub fn total(&self) -> u64 {
+        self.underflow + self.counts.iter().sum::<u64>()
+    }
+
+    /// `(lower_edge, upper_edge, count)` per bucket.
+    pub fn buckets(&self) -> Vec<(f64, f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let lo = self.first_edge * self.factor.powi(i as i32);
+                (lo, lo * self.factor, c)
+            })
+            .collect()
+    }
+}
+
+/// Estimate-accuracy classification of one job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EstimateClass {
+    /// `estimate == runtime` (to 1 ‰).
+    Exact,
+    /// `estimate < runtime`.
+    Under,
+    /// `runtime < estimate ≤ 2 × runtime`.
+    MildOver,
+    /// `estimate > 2 × runtime`.
+    GrossOver,
+}
+
+/// Classifies a job's estimate.
+pub fn classify_estimate(job: &Job) -> EstimateClass {
+    let f = job.estimate_factor();
+    if (f - 1.0).abs() <= 1e-3 {
+        EstimateClass::Exact
+    } else if f < 1.0 {
+        EstimateClass::Under
+    } else if f <= 2.0 {
+        EstimateClass::MildOver
+    } else {
+        EstimateClass::GrossOver
+    }
+}
+
+/// Full analysis of a trace.
+#[derive(Clone, Debug)]
+pub struct TraceAnalysis {
+    /// Runtime histogram (doubling buckets from 1 min).
+    pub runtime_hist: LogHistogram,
+    /// Inter-arrival histogram (doubling buckets from 1 min).
+    pub inter_arrival_hist: LogHistogram,
+    /// Processor-count histogram (doubling buckets from 1).
+    pub procs_hist: LogHistogram,
+    /// Count per estimate class.
+    pub estimate_classes: [(EstimateClass, u64); 4],
+    /// Jobs per urgency class `(high, low)`.
+    pub urgency_counts: (u64, u64),
+    /// Fraction of parallel (procs > 1) requests that are powers of two.
+    pub power_of_two_fraction: f64,
+}
+
+/// Analyses a trace.
+pub fn analyze(trace: &Trace) -> TraceAnalysis {
+    let mut runtime_hist = LogHistogram::new(60.0, 2.0, 12);
+    let mut inter_arrival_hist = LogHistogram::new(60.0, 2.0, 12);
+    let mut procs_hist = LogHistogram::new(1.0, 2.0, 9);
+    let mut classes = std::collections::HashMap::new();
+    let mut high = 0u64;
+    let mut low = 0u64;
+    let mut parallel = 0u64;
+    let mut pow2 = 0u64;
+    let mut prev_submit: Option<f64> = None;
+    for j in trace.jobs() {
+        runtime_hist.add(j.runtime.as_secs());
+        procs_hist.add(f64::from(j.procs));
+        if let Some(prev) = prev_submit {
+            inter_arrival_hist.add(j.submit.as_secs() - prev);
+        }
+        prev_submit = Some(j.submit.as_secs());
+        *classes.entry(classify_estimate(j)).or_insert(0u64) += 1;
+        match j.urgency {
+            Urgency::High => high += 1,
+            Urgency::Low => low += 1,
+        }
+        if j.procs > 1 {
+            parallel += 1;
+            if j.procs.is_power_of_two() {
+                pow2 += 1;
+            }
+        }
+    }
+    let get = |c: EstimateClass| (c, classes.get(&c).copied().unwrap_or(0));
+    TraceAnalysis {
+        runtime_hist,
+        inter_arrival_hist,
+        procs_hist,
+        estimate_classes: [
+            get(EstimateClass::Exact),
+            get(EstimateClass::Under),
+            get(EstimateClass::MildOver),
+            get(EstimateClass::GrossOver),
+        ],
+        urgency_counts: (high, low),
+        power_of_two_fraction: if parallel == 0 {
+            0.0
+        } else {
+            pow2 as f64 / parallel as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use sim::{SimDuration, SimTime};
+
+    fn job(id: u64, submit: f64, runtime: f64, est: f64, procs: u32) -> Job {
+        Job {
+            id: JobId(id),
+            submit: SimTime::from_secs(submit),
+            runtime: SimDuration::from_secs(runtime),
+            estimate: SimDuration::from_secs(est),
+            procs,
+            deadline: SimDuration::from_secs(runtime * 2.0),
+            urgency: if id.is_multiple_of(2) { Urgency::High } else { Urgency::Low },
+        }
+    }
+
+    #[test]
+    fn log_histogram_buckets_cover_geometrically() {
+        let mut h = LogHistogram::new(60.0, 2.0, 4);
+        h.add(10.0); // underflow
+        h.add(60.0); // bucket 0: [60,120)
+        h.add(119.0); // bucket 0
+        h.add(120.0); // bucket 1: [120,240)
+        h.add(1e9); // clamps into the last bucket
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.counts, vec![2, 1, 0, 1]);
+        assert_eq!(h.total(), 5);
+        let b = h.buckets();
+        assert_eq!(b[0], (60.0, 120.0, 2));
+        assert_eq!(b[3].2, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn log_histogram_rejects_bad_parameters() {
+        LogHistogram::new(0.0, 2.0, 4);
+    }
+
+    #[test]
+    fn estimate_classification() {
+        assert_eq!(classify_estimate(&job(0, 0.0, 100.0, 100.0, 1)), EstimateClass::Exact);
+        assert_eq!(classify_estimate(&job(0, 0.0, 100.0, 50.0, 1)), EstimateClass::Under);
+        assert_eq!(classify_estimate(&job(0, 0.0, 100.0, 150.0, 1)), EstimateClass::MildOver);
+        assert_eq!(classify_estimate(&job(0, 0.0, 100.0, 900.0, 1)), EstimateClass::GrossOver);
+    }
+
+    #[test]
+    fn analyze_counts_everything_once() {
+        let trace = Trace::new(vec![
+            job(0, 0.0, 100.0, 100.0, 1),
+            job(1, 100.0, 200.0, 100.0, 4),
+            job(2, 300.0, 400.0, 3000.0, 6),
+            job(3, 600.0, 800.0, 900.0, 8),
+        ]);
+        let a = analyze(&trace);
+        assert_eq!(a.runtime_hist.total(), 4);
+        assert_eq!(a.inter_arrival_hist.total(), 3);
+        assert_eq!(a.procs_hist.total(), 4);
+        let classified: u64 = a.estimate_classes.iter().map(|(_, c)| c).sum();
+        assert_eq!(classified, 4);
+        assert_eq!(a.urgency_counts, (2, 2));
+        // Parallel jobs: 4 (pow2), 6 (no), 8 (pow2) → 2/3.
+        assert!((a.power_of_two_fraction - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthetic_trace_has_documented_estimate_mix() {
+        let trace = crate::synthetic::SyntheticSdscSp2::default().generate(1);
+        let a = analyze(&trace);
+        let count = |class: EstimateClass| {
+            a.estimate_classes
+                .iter()
+                .find(|(c, _)| *c == class)
+                .unwrap()
+                .1 as f64
+        };
+        let n = trace.len() as f64;
+        assert!((count(EstimateClass::Exact) / n - 0.10).abs() < 0.03);
+        assert!((count(EstimateClass::Under) / n - 0.10).abs() < 0.03);
+        assert!(count(EstimateClass::GrossOver) / n > 0.4);
+    }
+}

@@ -1,0 +1,205 @@
+//! The urgency-class deadline model of the paper (§4).
+//!
+//! Each job belongs to a **high-urgency** class (low `deadline/runtime`
+//! factor) or a **low-urgency** class (high factor). The *deadline
+//! high:low ratio* is the ratio of the two class means; factors are
+//! normally distributed within each class and always truncated above 1 so
+//! a deadline is always a "higher factored value based on the real runtime
+//! of a job". Class membership is randomly interleaved across the arrival
+//! sequence.
+
+use crate::distributions::truncated_normal_above;
+use crate::job::{Job, Urgency};
+use crate::params;
+use sim::{Rng64, SimDuration};
+
+/// Configuration of the deadline assignment model.
+#[derive(Clone, Copy, Debug)]
+pub struct DeadlineModel {
+    /// Fraction of jobs in the high-urgency class, in `[0, 1]`.
+    pub high_urgency_fraction: f64,
+    /// Ratio between the low-urgency mean factor and the high-urgency mean
+    /// factor (the paper's *deadline high:low ratio*, ≥ 1).
+    pub high_low_ratio: f64,
+    /// Mean `deadline/runtime` factor of the **high-urgency** class (the
+    /// "low" factor).
+    pub mean_low_factor: f64,
+    /// Coefficient of variation of the per-class normal distribution.
+    pub factor_cv: f64,
+    /// Truncation floor for the factor (strictly > 1).
+    pub min_factor: f64,
+}
+
+impl Default for DeadlineModel {
+    fn default() -> Self {
+        DeadlineModel {
+            high_urgency_fraction: params::DEFAULT_HIGH_URGENCY_FRACTION,
+            high_low_ratio: params::DEFAULT_DEADLINE_HIGH_LOW_RATIO,
+            mean_low_factor: params::MEAN_LOW_DEADLINE_FACTOR,
+            factor_cv: params::DEADLINE_FACTOR_CV,
+            min_factor: params::MIN_DEADLINE_FACTOR,
+        }
+    }
+}
+
+impl DeadlineModel {
+    /// Returns the model with a different high-urgency percentage
+    /// (`0..=100`).
+    pub fn with_high_urgency_pct(mut self, pct: f64) -> Self {
+        assert!((0.0..=100.0).contains(&pct), "percentage out of range");
+        self.high_urgency_fraction = pct / 100.0;
+        self
+    }
+
+    /// Returns the model with a different deadline high:low ratio.
+    pub fn with_ratio(mut self, ratio: f64) -> Self {
+        assert!(ratio >= 1.0, "high:low ratio must be >= 1, got {ratio}");
+        self.high_low_ratio = ratio;
+        self
+    }
+
+    /// Mean factor of the low-urgency class (the "high" factor).
+    pub fn mean_high_factor(&self) -> f64 {
+        self.mean_low_factor * self.high_low_ratio
+    }
+
+    /// Draws an urgency class.
+    pub fn sample_urgency(&self, rng: &mut Rng64) -> Urgency {
+        if rng.chance(self.high_urgency_fraction) {
+            Urgency::High
+        } else {
+            Urgency::Low
+        }
+    }
+
+    /// Draws a deadline factor for the given class (always ≥ `min_factor`).
+    pub fn sample_factor(&self, rng: &mut Rng64, urgency: Urgency) -> f64 {
+        let mean = match urgency {
+            Urgency::High => self.mean_low_factor,
+            Urgency::Low => self.mean_high_factor(),
+        };
+        truncated_normal_above(rng, mean, mean * self.factor_cv, self.min_factor)
+    }
+
+    /// Assigns an urgency class and a deadline to every job.
+    ///
+    /// Deadlines are factors of the **real** runtime (the trace value),
+    /// exactly as in the paper: the estimate's error never leaks into the
+    /// SLA itself.
+    pub fn assign(&self, rng: &mut Rng64, jobs: &mut [Job]) {
+        for j in jobs.iter_mut() {
+            let urgency = self.sample_urgency(rng);
+            let factor = self.sample_factor(rng, urgency);
+            j.urgency = urgency;
+            j.deadline = SimDuration::from_secs(j.runtime.as_secs() * factor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use sim::SimTime;
+
+    fn jobs(n: usize) -> Vec<Job> {
+        (0..n)
+            .map(|i| Job {
+                id: JobId(i as u64),
+                submit: SimTime::from_secs(i as f64),
+                runtime: SimDuration::from_secs(1000.0),
+                estimate: SimDuration::from_secs(1000.0),
+                procs: 1,
+                deadline: SimDuration::from_secs(0.0),
+                urgency: Urgency::Low,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn default_matches_paper_constants() {
+        let m = DeadlineModel::default();
+        assert_eq!(m.high_urgency_fraction, 0.2);
+        assert_eq!(m.high_low_ratio, 4.0);
+        assert_eq!(m.mean_high_factor(), 8.0);
+    }
+
+    #[test]
+    fn builders_validate() {
+        let m = DeadlineModel::default().with_high_urgency_pct(80.0).with_ratio(6.0);
+        assert!((m.high_urgency_fraction - 0.8).abs() < 1e-12);
+        assert_eq!(m.high_low_ratio, 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentage")]
+    fn pct_out_of_range_panics() {
+        let _ = DeadlineModel::default().with_high_urgency_pct(101.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn ratio_below_one_panics() {
+        let _ = DeadlineModel::default().with_ratio(0.5);
+    }
+
+    #[test]
+    fn deadlines_always_exceed_runtime() {
+        let mut js = jobs(5_000);
+        let mut rng = Rng64::new(3);
+        DeadlineModel::default().assign(&mut rng, &mut js);
+        for j in &js {
+            assert!(
+                j.deadline_factor() >= params::MIN_DEADLINE_FACTOR,
+                "factor {}",
+                j.deadline_factor()
+            );
+        }
+    }
+
+    #[test]
+    fn urgency_mix_matches_fraction() {
+        let mut js = jobs(20_000);
+        let mut rng = Rng64::new(4);
+        DeadlineModel::default()
+            .with_high_urgency_pct(30.0)
+            .assign(&mut rng, &mut js);
+        let high = js.iter().filter(|j| j.urgency == Urgency::High).count();
+        let frac = high as f64 / js.len() as f64;
+        assert!((frac - 0.3).abs() < 0.02, "high fraction {frac}");
+    }
+
+    #[test]
+    fn class_means_respect_ratio() {
+        let mut js = jobs(40_000);
+        let mut rng = Rng64::new(5);
+        let model = DeadlineModel::default().with_high_urgency_pct(50.0).with_ratio(4.0);
+        model.assign(&mut rng, &mut js);
+        let mean_of = |u: Urgency| {
+            let fs: Vec<f64> = js
+                .iter()
+                .filter(|j| j.urgency == u)
+                .map(|j| j.deadline_factor())
+                .collect();
+            fs.iter().sum::<f64>() / fs.len() as f64
+        };
+        let high_mean = mean_of(Urgency::High);
+        let low_mean = mean_of(Urgency::Low);
+        assert!((high_mean - 2.0).abs() < 0.1, "high-urgency mean {high_mean}");
+        assert!((low_mean - 8.0).abs() < 0.2, "low-urgency mean {low_mean}");
+        let ratio = low_mean / high_mean;
+        assert!((ratio - 4.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let mut rng = Rng64::new(6);
+        let all_high = DeadlineModel::default().with_high_urgency_pct(100.0);
+        let mut js = jobs(100);
+        all_high.assign(&mut rng, &mut js);
+        assert!(js.iter().all(|j| j.urgency == Urgency::High));
+        let none_high = DeadlineModel::default().with_high_urgency_pct(0.0);
+        none_high.assign(&mut rng, &mut js);
+        assert!(js.iter().all(|j| j.urgency == Urgency::Low));
+    }
+}

@@ -1,0 +1,241 @@
+//! Hand-rolled samplers on top of [`sim::Rng64`].
+//!
+//! We implement the handful of distributions the workload model needs
+//! instead of pulling in `rand_distr`, keeping the generated traces
+//! bit-reproducible under our own PRNG (see `sim::rng`).
+
+use sim::Rng64;
+
+/// Standard-normal sample via the Box–Muller transform.
+///
+/// Uses both uniforms of the pair each call would need but returns one
+/// value, keeping per-sample cost constant and the stream layout simple.
+pub fn standard_normal(rng: &mut Rng64) -> f64 {
+    let u1 = rng.next_f64_open(); // (0,1] — safe for ln()
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn normal(rng: &mut Rng64, mean: f64, sd: f64) -> f64 {
+    debug_assert!(sd >= 0.0);
+    mean + sd * standard_normal(rng)
+}
+
+/// Normal sample truncated to `[lo, ∞)` by rejection, falling back to the
+/// bound after 64 rejected draws (only reachable when `lo` is far in the
+/// upper tail).
+pub fn truncated_normal_above(rng: &mut Rng64, mean: f64, sd: f64, lo: f64) -> f64 {
+    for _ in 0..64 {
+        let x = normal(rng, mean, sd);
+        if x >= lo {
+            return x;
+        }
+    }
+    lo
+}
+
+/// Exponential sample with the given mean (inverse-CDF method).
+pub fn exponential(rng: &mut Rng64, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0);
+    -mean * rng.next_f64_open().ln()
+}
+
+/// Log-normal sample parameterised by the *log-space* mean and standard
+/// deviation: `exp(N(mu, sigma))`.
+pub fn lognormal(rng: &mut Rng64, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Log-normal sample with a target *linear-space* mean and the given
+/// log-space standard deviation. Solves `mean = exp(mu + sigma²/2)` for
+/// `mu`.
+pub fn lognormal_with_mean(rng: &mut Rng64, mean: f64, sigma: f64) -> f64 {
+    debug_assert!(mean > 0.0);
+    let mu = mean.ln() - sigma * sigma / 2.0;
+    lognormal(rng, mu, sigma)
+}
+
+/// Log-uniform sample over `[lo, hi]`: `exp(U(ln lo, ln hi))`. Models the
+/// "every scale equally likely" shape of processor requests.
+pub fn loguniform(rng: &mut Rng64, lo: f64, hi: f64) -> f64 {
+    debug_assert!(0.0 < lo && lo <= hi);
+    (rng.uniform(lo.ln(), hi.ln())).exp()
+}
+
+/// Gamma sample with the given shape and scale (Marsaglia–Tsang squeeze
+/// method; the `shape < 1` case uses the standard boosting identity).
+pub fn gamma(rng: &mut Rng64, shape: f64, scale: f64) -> f64 {
+    debug_assert!(shape > 0.0 && scale > 0.0);
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) · U^(1/a).
+        let g = gamma(rng, shape + 1.0, 1.0);
+        let u = rng.next_f64_open();
+        return g * u.powf(1.0 / shape) * scale;
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u = rng.next_f64_open();
+        // Squeeze check, then the full acceptance test.
+        if u < 1.0 - 0.0331 * x * x * x * x {
+            return d * v3 * scale;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+            return d * v3 * scale;
+        }
+    }
+}
+
+/// Two-component hyper-gamma: with probability `p` draw from
+/// `Gamma(shape1, scale1)`, otherwise from `Gamma(shape2, scale2)`.
+/// Lublin & Feitelson model parallel-job runtimes this way (a short mode
+/// plus a long heavy mode).
+#[allow(clippy::too_many_arguments)]
+pub fn hyper_gamma(
+    rng: &mut Rng64,
+    p: f64,
+    shape1: f64,
+    scale1: f64,
+    shape2: f64,
+    scale2: f64,
+) -> f64 {
+    if rng.chance(p) {
+        gamma(rng, shape1, scale1)
+    } else {
+        gamma(rng, shape2, scale2)
+    }
+}
+
+/// Rounds `x` down to the nearest power of two (`x ≥ 1`).
+pub fn floor_power_of_two(x: f64) -> u64 {
+    debug_assert!(x >= 1.0);
+    1u64 << (x.log2().floor() as u32)
+}
+
+/// Rounds `x` to the *nearest* power of two in log space.
+pub fn nearest_power_of_two(x: f64) -> u64 {
+    debug_assert!(x >= 1.0);
+    1u64 << (x.log2().round() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean(n: usize, mut f: impl FnMut() -> f64) -> f64 {
+        (0..n).map(|_| f()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = Rng64::new(1);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut rng = Rng64::new(2);
+        let m = sample_mean(100_000, || normal(&mut rng, 10.0, 3.0));
+        assert!((m - 10.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn truncated_normal_respects_floor() {
+        let mut rng = Rng64::new(3);
+        for _ in 0..10_000 {
+            assert!(truncated_normal_above(&mut rng, 2.0, 1.0, 1.05) >= 1.05);
+        }
+    }
+
+    #[test]
+    fn truncated_normal_far_tail_falls_back_to_bound() {
+        let mut rng = Rng64::new(4);
+        // lo is 50 sd above the mean: rejection will exhaust and clamp.
+        let x = truncated_normal_above(&mut rng, 0.0, 1.0, 50.0);
+        assert_eq!(x, 50.0);
+    }
+
+    #[test]
+    fn exponential_mean_and_positivity() {
+        let mut rng = Rng64::new(5);
+        let xs: Vec<f64> = (0..100_000).map(|_| exponential(&mut rng, 42.0)).collect();
+        assert!(xs.iter().all(|&x| x >= 0.0));
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((m - 42.0).abs() < 0.7, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_with_mean_hits_target() {
+        let mut rng = Rng64::new(6);
+        let m = sample_mean(400_000, || lognormal_with_mean(&mut rng, 100.0, 1.0));
+        assert!((m - 100.0).abs() < 2.5, "mean {m}");
+    }
+
+    #[test]
+    fn loguniform_stays_in_range() {
+        let mut rng = Rng64::new(7);
+        for _ in 0..10_000 {
+            let x = loguniform(&mut rng, 2.0, 128.0);
+            assert!((2.0..=128.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gamma_moments_match_theory() {
+        let mut rng = Rng64::new(10);
+        // Gamma(k, θ): mean kθ, variance kθ².
+        for (shape, scale) in [(2.0, 3.0), (0.5, 4.0), (9.0, 0.5)] {
+            let n = 200_000;
+            let xs: Vec<f64> = (0..n).map(|_| gamma(&mut rng, shape, scale)).collect();
+            assert!(xs.iter().all(|&x| x > 0.0));
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            let expected = shape * scale;
+            assert!(
+                (mean - expected).abs() < 0.05 * expected.max(1.0),
+                "shape {shape} scale {scale}: mean {mean} vs {expected}"
+            );
+            let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+            let expected_var = shape * scale * scale;
+            assert!(
+                (var - expected_var).abs() < 0.12 * expected_var.max(1.0),
+                "shape {shape}: var {var} vs {expected_var}"
+            );
+        }
+    }
+
+    #[test]
+    fn hyper_gamma_mixes_components() {
+        let mut rng = Rng64::new(11);
+        // p=1 collapses to component 1; p=0 to component 2.
+        let m1 = sample_mean(50_000, || hyper_gamma(&mut rng, 1.0, 2.0, 1.0, 9.0, 9.0));
+        assert!((m1 - 2.0).abs() < 0.1, "mean {m1}");
+        let m2 = sample_mean(50_000, || hyper_gamma(&mut rng, 0.0, 2.0, 1.0, 9.0, 9.0));
+        assert!((m2 - 81.0).abs() < 2.5, "mean {m2}");
+        // An even mixture lands in between.
+        let m = sample_mean(50_000, || hyper_gamma(&mut rng, 0.5, 2.0, 1.0, 9.0, 9.0));
+        assert!((m - 41.5).abs() < 2.0, "mean {m}");
+    }
+
+    #[test]
+    fn power_of_two_rounding() {
+        assert_eq!(floor_power_of_two(1.0), 1);
+        assert_eq!(floor_power_of_two(9.7), 8);
+        assert_eq!(floor_power_of_two(64.0), 64);
+        assert_eq!(nearest_power_of_two(1.0), 1);
+        assert_eq!(nearest_power_of_two(3.0), 4); // log2(3)≈1.58 rounds to 2
+        assert_eq!(nearest_power_of_two(5.0), 4);
+        assert_eq!(nearest_power_of_two(48.0), 64); // log2(48)≈5.58
+    }
+}

@@ -1,0 +1,334 @@
+//! User runtime-estimate error models (§4 of the paper).
+//!
+//! The admission controls only ever see `Job::estimate`. The paper drives
+//! its experiments with two estimate regimes and an interpolation between
+//! them:
+//!
+//! * **accurate** — `estimate = runtime` (the idealised 0 % inaccuracy
+//!   case);
+//! * **trace** — the estimates recorded in the SDSC SP2 trace, which are
+//!   "highly inaccurate and often over estimated" (the 100 % case);
+//! * **x % inaccuracy** — linear interpolation between the two (Fig. 4).
+//!
+//! Because the genuine trace may not be on disk, [`TraceLikeEstimator`]
+//! synthesises estimates with the error structure measured at SDSC:
+//! a small fraction exact, a small fraction under-estimated (these are the
+//! jobs that *overrun* and create observed deadline delays), and the bulk
+//! over-estimated with an exponential excess snapped to "human" canonical
+//! values (5 min, 1 h, 12 h, ...).
+
+use crate::distributions::exponential;
+use crate::job::Job;
+use crate::params;
+use sim::{Rng64, SimDuration};
+
+/// Rewrites every job's estimate to exactly its runtime.
+pub fn make_accurate(jobs: &mut [Job]) {
+    for j in jobs {
+        j.estimate = j.runtime;
+    }
+}
+
+/// Linearly interpolates each estimate between accurate (0 %) and its
+/// current (trace) value (100 %), per the paper's Figure 4 knob.
+///
+/// # Panics
+/// Panics if `inaccuracy_pct` is outside `[0, 100]`.
+pub fn apply_inaccuracy(jobs: &mut [Job], inaccuracy_pct: f64) {
+    assert!(
+        (0.0..=100.0).contains(&inaccuracy_pct),
+        "inaccuracy {inaccuracy_pct} out of [0,100]"
+    );
+    let alpha = inaccuracy_pct / 100.0;
+    for j in jobs {
+        let accurate = j.runtime.as_secs();
+        let trace = j.estimate.as_secs();
+        let blended = accurate + alpha * (trace - accurate);
+        // Estimates must stay positive even for extreme under-estimates.
+        j.estimate = SimDuration::from_secs(blended.max(1.0));
+    }
+}
+
+/// Synthesises trace-like (inaccurate, mostly over-estimated) estimates.
+#[derive(Clone, Debug)]
+pub struct TraceLikeEstimator {
+    /// Fraction of exact estimates.
+    pub exact_fraction: f64,
+    /// Fraction of under-estimates.
+    pub under_fraction: f64,
+    /// Mean of the exponential over-estimation excess.
+    pub over_excess_mean: f64,
+    /// Cap on `estimate / runtime`.
+    pub over_factor_cap: f64,
+    /// Probability an over-estimate is snapped up to a canonical value.
+    pub snap_probability: f64,
+}
+
+impl Default for TraceLikeEstimator {
+    fn default() -> Self {
+        TraceLikeEstimator {
+            exact_fraction: params::EST_EXACT_FRACTION,
+            under_fraction: params::EST_UNDER_FRACTION,
+            over_excess_mean: params::EST_OVER_EXCESS_MEAN,
+            over_factor_cap: params::EST_OVER_FACTOR_CAP,
+            snap_probability: params::EST_SNAP_PROBABILITY,
+        }
+    }
+}
+
+impl TraceLikeEstimator {
+    /// Draws an estimate for a job of the given actual runtime.
+    pub fn sample(&self, rng: &mut Rng64, runtime: SimDuration) -> SimDuration {
+        let rt = runtime.as_secs();
+        let u = rng.next_f64();
+        let est = if u < self.exact_fraction {
+            rt
+        } else if u < self.exact_fraction + self.under_fraction {
+            // Under-estimate: the user believed the job shorter than it is.
+            rt * rng.uniform(0.35, 0.95)
+        } else {
+            // Over-estimate: padded by an exponential excess, optionally
+            // snapped up to the canonical value users actually type.
+            let factor = (1.0 + exponential(rng, self.over_excess_mean))
+                .min(self.over_factor_cap);
+            let raw = rt * factor;
+            if rng.chance(self.snap_probability) {
+                snap_up_to_canonical(raw)
+            } else {
+                raw
+            }
+        };
+        SimDuration::from_secs(est.max(1.0))
+    }
+
+    /// Assigns trace-like estimates to every job.
+    pub fn apply(&self, rng: &mut Rng64, jobs: &mut [Job]) {
+        for j in jobs {
+            j.estimate = self.sample(rng, j.runtime);
+        }
+    }
+}
+
+/// Tsafrir-style *modal* estimate model ("Modeling User Runtime
+/// Estimates", JSSPP'05): users do not pad a continuous amount — they pick
+/// one of a handful of canonical values ("15 minutes", "1 hour", …), with
+/// popularity decaying geometrically from the smallest value that covers
+/// the job. The result is the staircase histogram real traces show.
+#[derive(Clone, Debug)]
+pub struct TsafrirEstimator {
+    /// Fraction of users who give the exact runtime.
+    pub exact_fraction: f64,
+    /// Geometric decay of canonical-value popularity: the k-th canonical
+    /// value ≥ the runtime is chosen with probability ∝ `decay^k`.
+    pub popularity_decay: f64,
+    /// Headroom factor applied when the runtime exceeds every canonical
+    /// value.
+    pub overflow_factor: f64,
+}
+
+impl Default for TsafrirEstimator {
+    fn default() -> Self {
+        TsafrirEstimator {
+            exact_fraction: 0.1,
+            popularity_decay: 0.5,
+            overflow_factor: 1.1,
+        }
+    }
+}
+
+impl TsafrirEstimator {
+    /// Draws a modal estimate for the given actual runtime.
+    pub fn sample(&self, rng: &mut Rng64, runtime: SimDuration) -> SimDuration {
+        let rt = runtime.as_secs();
+        if rng.chance(self.exact_fraction) {
+            return runtime;
+        }
+        // Canonical values that can hold the job.
+        let candidates: Vec<f64> = params::CANONICAL_ESTIMATES_SECS
+            .iter()
+            .copied()
+            .filter(|&c| c >= rt)
+            .collect();
+        if candidates.is_empty() {
+            return SimDuration::from_secs(rt * self.overflow_factor);
+        }
+        // Geometric choice over the ladder of covering values: advance to
+        // the next rung with probability `popularity_decay`, so rung k is
+        // chosen with probability ∝ decay^k.
+        let mut k = 0usize;
+        while k + 1 < candidates.len() && rng.chance(self.popularity_decay) {
+            k += 1;
+        }
+        SimDuration::from_secs(candidates[k])
+    }
+
+    /// Assigns modal estimates to every job.
+    pub fn apply(&self, rng: &mut Rng64, jobs: &mut [Job]) {
+        for j in jobs {
+            j.estimate = self.sample(rng, j.runtime);
+        }
+    }
+}
+
+/// Snaps a raw estimate up to the smallest canonical value ≥ it; values
+/// beyond the largest canonical stay as they are.
+pub fn snap_up_to_canonical(secs: f64) -> f64 {
+    for &c in &params::CANONICAL_ESTIMATES_SECS {
+        if c >= secs {
+            return c;
+        }
+    }
+    secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobId, Urgency};
+    use sim::SimTime;
+
+    fn job(runtime: f64) -> Job {
+        Job {
+            id: JobId(0),
+            submit: SimTime::ZERO,
+            runtime: SimDuration::from_secs(runtime),
+            estimate: SimDuration::from_secs(runtime),
+            procs: 1,
+            deadline: SimDuration::from_secs(runtime * 2.0),
+            urgency: Urgency::Low,
+        }
+    }
+
+    #[test]
+    fn snap_picks_next_canonical() {
+        assert_eq!(snap_up_to_canonical(100.0), 300.0);
+        assert_eq!(snap_up_to_canonical(300.0), 300.0);
+        assert_eq!(snap_up_to_canonical(3601.0), 7200.0);
+        // Beyond the table: unchanged.
+        assert_eq!(snap_up_to_canonical(500_000.0), 500_000.0);
+    }
+
+    #[test]
+    fn accurate_resets_estimates() {
+        let mut jobs = vec![job(100.0)];
+        jobs[0].estimate = SimDuration::from_secs(900.0);
+        make_accurate(&mut jobs);
+        assert_eq!(jobs[0].estimate, jobs[0].runtime);
+    }
+
+    #[test]
+    fn inaccuracy_interpolates_linearly() {
+        let mut jobs = vec![job(100.0)];
+        jobs[0].estimate = SimDuration::from_secs(500.0);
+        apply_inaccuracy(&mut jobs, 50.0);
+        assert!((jobs[0].estimate.as_secs() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inaccuracy_zero_is_accurate_and_hundred_is_identity() {
+        let mut a = vec![job(100.0)];
+        a[0].estimate = SimDuration::from_secs(500.0);
+        let mut b = a.clone();
+        apply_inaccuracy(&mut a, 0.0);
+        assert_eq!(a[0].estimate.as_secs(), 100.0);
+        apply_inaccuracy(&mut b, 100.0);
+        assert_eq!(b[0].estimate.as_secs(), 500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,100]")]
+    fn inaccuracy_out_of_range_panics() {
+        apply_inaccuracy(&mut [], 150.0);
+    }
+
+    #[test]
+    fn trace_like_estimates_are_mostly_overestimated() {
+        let est = TraceLikeEstimator::default();
+        let mut rng = Rng64::new(77);
+        let n = 20_000;
+        let mut over = 0usize;
+        let mut under = 0usize;
+        let mut factor_sum = 0.0;
+        for _ in 0..n {
+            let e = est.sample(&mut rng, SimDuration::from_secs(3000.0));
+            let f = e.as_secs() / 3000.0;
+            factor_sum += f;
+            if f > 1.0 + 1e-12 {
+                over += 1;
+            } else if f < 1.0 - 1e-12 {
+                under += 1;
+            }
+        }
+        let over_frac = over as f64 / n as f64;
+        let under_frac = under as f64 / n as f64;
+        assert!(over_frac > 0.6, "over fraction {over_frac}");
+        assert!(
+            (under_frac - params::EST_UNDER_FRACTION).abs() < 0.02,
+            "under fraction {under_frac}"
+        );
+        // "often over estimated": the mean factor is well above 1.
+        assert!(factor_sum / n as f64 > 2.0);
+    }
+
+    #[test]
+    fn trace_like_estimates_respect_cap() {
+        let est = TraceLikeEstimator {
+            snap_probability: 0.0, // snapping can exceed the raw cap by design
+            ..TraceLikeEstimator::default()
+        };
+        let mut rng = Rng64::new(8);
+        for _ in 0..5_000 {
+            let e = est.sample(&mut rng, SimDuration::from_secs(100.0));
+            assert!(e.as_secs() <= 100.0 * params::EST_OVER_FACTOR_CAP + 1e-9);
+        }
+    }
+
+    #[test]
+    fn tsafrir_estimates_are_modal_and_covering() {
+        let est = TsafrirEstimator::default();
+        let mut rng = Rng64::new(21);
+        let mut values = std::collections::BTreeMap::new();
+        for _ in 0..10_000 {
+            let e = est.sample(&mut rng, SimDuration::from_secs(2500.0)).as_secs();
+            *values.entry(e as u64).or_insert(0usize) += 1;
+        }
+        // Every non-exact estimate is a canonical value ≥ the runtime.
+        for &v in values.keys() {
+            let v = v as f64;
+            assert!(
+                v == 2500.0 || params::CANONICAL_ESTIMATES_SECS.contains(&v),
+                "non-canonical estimate {v}"
+            );
+            assert!(v >= 2500.0);
+        }
+        // The smallest covering value (1 h) is the most popular rung.
+        let top = values.get(&3600).copied().unwrap_or(0);
+        let next = values.get(&7200).copied().unwrap_or(0);
+        assert!(top > next, "3600s rung ({top}) must dominate 7200s ({next})");
+        // Exact estimates appear at roughly the configured fraction.
+        let exact = values.get(&2500).copied().unwrap_or(0);
+        assert!((exact as f64 / 10_000.0 - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn tsafrir_overflow_beyond_largest_canonical() {
+        let est = TsafrirEstimator {
+            exact_fraction: 0.0,
+            ..Default::default()
+        };
+        let mut rng = Rng64::new(22);
+        let rt = 200_000.0; // beyond the 36 h ladder
+        let e = est.sample(&mut rng, SimDuration::from_secs(rt));
+        assert!((e.as_secs() - rt * 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_never_non_positive() {
+        let est = TraceLikeEstimator::default();
+        let mut rng = Rng64::new(9);
+        for _ in 0..5_000 {
+            let e = est.sample(&mut rng, SimDuration::from_secs(2.0));
+            assert!(e.as_secs() >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # `workload` — jobs, traces, deadlines and runtime-estimate models
+//!
+//! This crate supplies everything the admission-control simulation consumes:
+//!
+//! * [`job::Job`] — a parallel job: submit time, actual runtime, user
+//!   runtime *estimate*, processor requirement, relative deadline, urgency
+//!   class.
+//! * [`swf`] — a parser/writer for Feitelson's Standard Workload Format so
+//!   the genuine SDSC SP2 trace can be replayed when available.
+//! * [`synthetic`] — a seeded generator producing an SDSC-SP2-like trace
+//!   matching the statistics the paper reports (mean inter-arrival 2131 s,
+//!   mean runtime ≈ 2.7 h, mean 17 processors, heavy over-estimation).
+//! * [`deadlines`] — the urgency-class deadline model of the paper
+//!   (high/low urgency, deadline high:low ratio, normally distributed
+//!   `deadline/runtime` factors, always > 1).
+//! * [`estimates`] — user runtime-estimate error models plus the paper's
+//!   inaccuracy interpolation (0 % = accurate, 100 % = trace estimates).
+//! * [`params`] — every constant of the experimental methodology, named
+//!   and documented (including which values were reconstructed from the
+//!   published paper because the provided OCR stripped digits).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod deadlines;
+pub mod distributions;
+pub mod estimates;
+pub mod job;
+pub mod lublin;
+pub mod params;
+pub mod swf;
+pub mod synthetic;
+pub mod trace;
+
+pub use job::{Job, JobId, Urgency};
+pub use trace::Trace;

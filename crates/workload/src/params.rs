@@ -1,0 +1,154 @@
+//! Every constant of the paper's experimental methodology (§4), named.
+//!
+//! The provided OCR of the paper strips most numeric literals. Constants
+//! marked `(reconstructed)` were recovered from the published version of
+//! the paper and from the companion methodology it cites (Irwin et al.,
+//! HPDC'04); they are ordinary configuration values, so any of them can be
+//! overridden when building a scenario.
+
+/// Number of computation nodes in the SDSC SP2 cluster. (reconstructed: the
+/// IBM SP2 at San Diego Supercomputer Center has 128 batch nodes.)
+pub const SDSC_SP2_NODES: usize = 128;
+
+/// SPEC rating of every SDSC SP2 node (reconstructed; homogeneous).
+pub const SDSC_SP2_SPEC_RATING: f64 = 168.0;
+
+/// Size of the trace subset used by the paper: the last 3000 jobs,
+/// representing about 2.5 months.
+pub const TRACE_JOBS: usize = 3000;
+
+/// Average inter-arrival time of the subset, seconds (35.52 minutes).
+pub const MEAN_INTER_ARRIVAL_SECS: f64 = 2131.0;
+
+/// Average actual runtime of the subset, seconds (2.7 hours).
+pub const MEAN_RUNTIME_SECS: f64 = 9720.0;
+
+/// Average number of processors requested per job.
+pub const MEAN_PROCS: f64 = 17.0;
+
+/// Fraction of jobs in the high-urgency class by default. (reconstructed:
+/// 20 %, with the remaining 80 % low urgency.)
+pub const DEFAULT_HIGH_URGENCY_FRACTION: f64 = 0.2;
+
+/// Default deadline high:low ratio — the ratio between the mean
+/// `deadline/runtime` factor of low-urgency jobs and that of high-urgency
+/// jobs. (reconstructed: 4.)
+pub const DEFAULT_DEADLINE_HIGH_LOW_RATIO: f64 = 4.0;
+
+/// Mean of the *low* `deadline/runtime` factor, i.e. the mean factor of
+/// **high-urgency** jobs. (reconstructed: 2.)
+pub const MEAN_LOW_DEADLINE_FACTOR: f64 = 2.0;
+
+/// The deadline factor distribution is normal within each class; we use a
+/// coefficient of variation of 1/4 (σ = mean/4) and truncate below
+/// [`MIN_DEADLINE_FACTOR`] so that "the deadline of a job is always
+/// assigned a higher factored value based on the real runtime".
+pub const DEADLINE_FACTOR_CV: f64 = 0.25;
+
+/// Deadlines are always strictly longer than the real runtime.
+pub const MIN_DEADLINE_FACTOR: f64 = 1.05;
+
+/// Default arrival delay factor (1 = trace arrival process unchanged;
+/// smaller values compress inter-arrival gaps, i.e. heavier load).
+pub const DEFAULT_ARRIVAL_DELAY_FACTOR: f64 = 1.0;
+
+/// Sweep of arrival delay factors for Figure 1 (reconstructed: 0.1..1.0;
+/// the paper narrates crossovers at 0.3 and 0.5 inside this range).
+pub const FIG1_ARRIVAL_DELAY_FACTORS: [f64; 10] =
+    [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// Sweep of deadline high:low ratios for Figure 2 (reconstructed: 1..10).
+pub const FIG2_DEADLINE_RATIOS: [f64; 10] =
+    [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+
+/// Sweep of high-urgency job percentages for Figure 3 (reconstructed:
+/// 0..100 %).
+pub const FIG3_HIGH_URGENCY_PCTS: [f64; 6] = [0.0, 20.0, 40.0, 60.0, 80.0, 100.0];
+
+/// Sweep of estimate-inaccuracy percentages for Figure 4: 0 % means
+/// perfectly accurate estimates, 100 % means the (inaccurate) estimates
+/// recorded in the trace.
+pub const FIG4_INACCURACY_PCTS: [f64; 6] = [0.0, 20.0, 40.0, 60.0, 80.0, 100.0];
+
+/// The two high-urgency mixes Figure 4 contrasts (reconstructed: 20 % and
+/// 80 %).
+pub const FIG4_HIGH_URGENCY_PCTS: [f64; 2] = [20.0, 80.0];
+
+/// Trace-like estimate model: fraction of users whose estimate is exact.
+pub const EST_EXACT_FRACTION: f64 = 0.10;
+
+/// Trace-like estimate model: fraction of jobs whose runtime is
+/// *under*-estimated. Kill-free clusters observe both directions of error
+/// (Lee et al., "Are user runtime estimates inherently inaccurate?",
+/// JSSPP'04 — measured at SDSC); under-estimates are what turn into
+/// observed deadline delays.
+pub const EST_UNDER_FRACTION: f64 = 0.10;
+
+/// Trace-like estimate model: mean of the exponential over-estimation
+/// excess (estimate = runtime × (1 + Exp(mean))).
+pub const EST_OVER_EXCESS_MEAN: f64 = 3.5;
+
+/// Trace-like estimate model: cap on the over-estimation factor.
+pub const EST_OVER_FACTOR_CAP: f64 = 20.0;
+
+/// Trace-like estimate model: probability an over-estimate is snapped up
+/// to the next "human" canonical value (15 min, 1 h, ...), per the modal
+/// estimates observed by Mu'alem & Feitelson and Tsafrir et al.
+pub const EST_SNAP_PROBABILITY: f64 = 0.7;
+
+/// Canonical runtime-estimate values users actually type (seconds).
+pub const CANONICAL_ESTIMATES_SECS: [f64; 12] = [
+    300.0,    // 5 min
+    600.0,    // 10 min
+    900.0,    // 15 min
+    1800.0,   // 30 min
+    3600.0,   // 1 h
+    7200.0,   // 2 h
+    14400.0,  // 4 h
+    21600.0,  // 6 h
+    28800.0,  // 8 h
+    43200.0,  // 12 h
+    64800.0,  // 18 h
+    129600.0, // 36 h
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_estimates_sorted_ascending() {
+        assert!(CANONICAL_ESTIMATES_SECS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn fractions_are_probabilities() {
+        let fractions = [
+            DEFAULT_HIGH_URGENCY_FRACTION,
+            EST_EXACT_FRACTION,
+            EST_UNDER_FRACTION,
+            EST_SNAP_PROBABILITY,
+            EST_EXACT_FRACTION + EST_UNDER_FRACTION,
+        ];
+        for f in fractions {
+            assert!((0.0..=1.0).contains(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn sweeps_cover_paper_narration() {
+        // The paper narrates an EDF crossover at arrival delay factor 0.3
+        // and a LibraRisk takeover beyond 0.5: both must be grid points.
+        assert!(FIG1_ARRIVAL_DELAY_FACTORS.contains(&0.3));
+        assert!(FIG1_ARRIVAL_DELAY_FACTORS.contains(&0.5));
+        assert!(FIG2_DEADLINE_RATIOS.contains(&DEFAULT_DEADLINE_HIGH_LOW_RATIO));
+        assert!(FIG3_HIGH_URGENCY_PCTS.contains(&20.0));
+        assert!(FIG4_INACCURACY_PCTS.contains(&0.0) && FIG4_INACCURACY_PCTS.contains(&100.0));
+    }
+
+    #[test]
+    fn deadline_floor_exceeds_runtime() {
+        let floors = [MIN_DEADLINE_FACTOR - 1.0, MEAN_LOW_DEADLINE_FACTOR - MIN_DEADLINE_FACTOR];
+        assert!(floors.iter().all(|&d| d > 0.0));
+    }
+}

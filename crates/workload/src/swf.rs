@@ -1,0 +1,241 @@
+//! Standard Workload Format (SWF) parsing and writing.
+//!
+//! The Parallel Workloads Archive distributes traces (including the SDSC
+//! SP2 trace the paper uses) in SWF: one job per line, 18
+//! whitespace-separated fields, `;`-prefixed header comments. This module
+//! lets the experiments replay a genuine trace file; only the fields the
+//! admission-control model needs are interpreted:
+//!
+//! | # | field              | use                                    |
+//! |---|--------------------|----------------------------------------|
+//! | 1 | job number         | [`crate::JobId`]                       |
+//! | 2 | submit time (s)    | [`crate::Job::submit`]                 |
+//! | 4 | run time (s)       | [`crate::Job::runtime`]                |
+//! | 5 | allocated procs    | fallback for requested procs           |
+//! | 8 | requested procs    | [`crate::Job::procs`]                  |
+//! | 9 | requested time (s) | [`crate::Job::estimate`]               |
+//! | 11| status             | jobs with status 0 (failed) are kept — |
+//! |   |                    | they consumed resources — but jobs with |
+//! |   |                    | non-positive runtime are skipped        |
+//!
+//! Deadlines are *not* part of SWF (the paper's methodology synthesises
+//! them); parsed jobs get a placeholder deadline of 3 × runtime that the
+//! [`crate::deadlines::DeadlineModel`] must overwrite.
+
+use crate::job::{Job, JobId, Urgency};
+use crate::trace::Trace;
+use sim::{SimDuration, SimTime};
+use std::fmt::Write as _;
+
+/// A problem encountered while parsing SWF text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwfError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SwfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SWF line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+/// Statistics of a parse: how many lines were used and why others were
+/// skipped.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ParseReport {
+    /// Jobs successfully parsed.
+    pub parsed: usize,
+    /// Comment/blank lines.
+    pub comments: usize,
+    /// Data lines skipped because runtime or processor count was
+    /// non-positive (cancelled jobs, missing data).
+    pub skipped: usize,
+}
+
+/// Parses SWF text into a [`Trace`].
+///
+/// Hard format violations (non-numeric fields, too few fields) are errors;
+/// jobs that merely carry "unknown" sentinels (`-1`) or never ran are
+/// counted in [`ParseReport::skipped`].
+///
+/// ```
+/// let line = "1 0 5 100 4 -1 -1 4 600 -1 1 3 5 -1 1 -1 -1 -1";
+/// let (trace, report) = workload::swf::parse(line).unwrap();
+/// assert_eq!(report.parsed, 1);
+/// assert_eq!(trace[0].runtime.as_secs(), 100.0);
+/// assert_eq!(trace[0].estimate.as_secs(), 600.0); // requested time
+/// ```
+pub fn parse(text: &str) -> Result<(Trace, ParseReport), SwfError> {
+    let mut jobs = Vec::new();
+    let mut report = ParseReport::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') {
+            report.comments += 1;
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 9 {
+            return Err(SwfError {
+                line: line_no,
+                message: format!("expected ≥ 9 fields, found {}", fields.len()),
+            });
+        }
+        let num = |i: usize| -> Result<f64, SwfError> {
+            fields[i].parse::<f64>().map_err(|_| SwfError {
+                line: line_no,
+                message: format!("field {} is not numeric: {:?}", i + 1, fields[i]),
+            })
+        };
+        let job_number = num(0)?;
+        let submit = num(1)?;
+        let runtime = num(3)?;
+        let allocated = num(4)?;
+        let requested_procs = num(7)?;
+        let requested_time = num(8)?;
+
+        let procs = if requested_procs > 0.0 {
+            requested_procs
+        } else {
+            allocated
+        };
+        if runtime <= 0.0 || procs <= 0.0 || submit < 0.0 {
+            report.skipped += 1;
+            continue;
+        }
+        // Requested time -1 means "unknown": fall back to the runtime
+        // (an exact estimate) so the job stays usable.
+        let estimate = if requested_time > 0.0 {
+            requested_time
+        } else {
+            runtime
+        };
+        jobs.push(Job {
+            id: JobId(job_number as u64),
+            submit: SimTime::from_secs(submit),
+            runtime: SimDuration::from_secs(runtime),
+            estimate: SimDuration::from_secs(estimate),
+            procs: procs as u32,
+            deadline: SimDuration::from_secs(runtime * 3.0),
+            urgency: Urgency::Low,
+        });
+        report.parsed += 1;
+    }
+    Ok((Trace::new(jobs), report))
+}
+
+/// Reads and parses an SWF file from disk.
+pub fn parse_file(path: &std::path::Path) -> Result<(Trace, ParseReport), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse(&text).map_err(|e| e.to_string())
+}
+
+/// Serialises a trace back to SWF (fields the model does not carry are
+/// written as `-1`, per the SWF convention for unknown values).
+pub fn write(trace: &Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; SWF written by the librisk workload crate");
+    let _ = writeln!(out, "; fields: job submit wait runtime procs cpu mem reqprocs reqtime reqmem status uid gid exe queue partition prejob think");
+    for j in trace.jobs() {
+        let _ = writeln!(
+            out,
+            "{} {} -1 {} {} -1 -1 {} {} -1 1 -1 -1 -1 -1 -1 -1 -1",
+            j.id.0,
+            j.submit.as_secs(),
+            j.runtime.as_secs(),
+            j.procs,
+            j.procs,
+            j.estimate.as_secs(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+; SDSC SP2-like sample
+; MaxNodes: 128
+1 0 5 100 4 -1 -1 4 600 -1 1 3 5 -1 1 -1 -1 -1
+2 60 0 2000 8 -1 -1 8 3600 -1 1 3 5 -1 1 -1 -1 -1
+3 120 2 -1 1 -1 -1 1 600 -1 0 3 5 -1 1 -1 -1 -1
+4 180 2 50 0 -1 -1 -1 -1 -1 1 3 5 -1 1 -1 -1 -1
+";
+
+    #[test]
+    fn parses_valid_lines_and_skips_sentinels() {
+        let (trace, report) = parse(SAMPLE).unwrap();
+        // Job 3 has runtime -1 (skipped); job 4 has no procs anywhere
+        // (requested -1, allocated 0) → skipped.
+        assert_eq!(report.parsed, 2);
+        assert_eq!(report.skipped, 2);
+        assert_eq!(report.comments, 2);
+        assert_eq!(trace.len(), 2);
+        let j = &trace[0];
+        assert_eq!(j.id, JobId(1));
+        assert_eq!(j.submit.as_secs(), 0.0);
+        assert_eq!(j.runtime.as_secs(), 100.0);
+        assert_eq!(j.estimate.as_secs(), 600.0);
+        assert_eq!(j.procs, 4);
+    }
+
+    #[test]
+    fn falls_back_to_allocated_procs() {
+        let line = "7 10 0 100 16 -1 -1 -1 200 -1 1 -1 -1 -1 -1 -1 -1 -1";
+        let (trace, _) = parse(line).unwrap();
+        assert_eq!(trace[0].procs, 16);
+    }
+
+    #[test]
+    fn unknown_estimate_falls_back_to_runtime() {
+        let line = "7 10 0 100 4 -1 -1 4 -1 -1 1 -1 -1 -1 -1 -1 -1 -1";
+        let (trace, _) = parse(line).unwrap();
+        assert_eq!(trace[0].estimate.as_secs(), 100.0);
+    }
+
+    #[test]
+    fn short_line_is_an_error() {
+        let err = parse("1 2 3").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("fields"));
+    }
+
+    #[test]
+    fn garbage_field_is_an_error_with_line_number() {
+        let text = "1 0 0 100 4 -1 -1 4 600 -1 1 -1 -1 -1 -1 -1 -1 -1\nx y z q w e r t y";
+        let err = parse(text).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let (trace, _) = parse(SAMPLE).unwrap();
+        let text = write(&trace);
+        let (again, report) = parse(&text).unwrap();
+        assert_eq!(report.parsed, trace.len());
+        assert_eq!(again.len(), trace.len());
+        for (a, b) in trace.jobs().iter().zip(again.jobs()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.submit, b.submit);
+            assert_eq!(a.runtime, b.runtime);
+            assert_eq!(a.estimate, b.estimate);
+            assert_eq!(a.procs, b.procs);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_trace() {
+        let (trace, report) = parse("").unwrap();
+        assert!(trace.is_empty());
+        assert_eq!(report, ParseReport::default());
+    }
+}

@@ -1,0 +1,288 @@
+//! Trace container: an arrival-ordered job list plus the transformations
+//! the paper's methodology applies to it.
+
+use crate::job::Job;
+use sim::SimTime;
+
+/// An arrival-ordered sequence of jobs.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    jobs: Vec<Job>,
+}
+
+/// Aggregate statistics of a trace (the §4 numbers of the paper).
+#[derive(Clone, Copy, Debug)]
+pub struct TraceStats {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Mean inter-arrival gap in seconds.
+    pub mean_inter_arrival: f64,
+    /// Mean actual runtime in seconds.
+    pub mean_runtime: f64,
+    /// Mean requested processors.
+    pub mean_procs: f64,
+    /// Mean `estimate / runtime` factor.
+    pub mean_estimate_factor: f64,
+    /// Fraction of jobs with `estimate ≥ runtime`.
+    pub overestimated_fraction: f64,
+    /// Total span from first submit to last submit, seconds.
+    pub span: f64,
+    /// Offered load against a cluster of `procs` processors: total
+    /// `runtime × procs` work divided by `span × procs` capacity.
+    pub offered_load: f64,
+}
+
+impl Trace {
+    /// Builds a trace, sorting by submit time (stable, preserving relative
+    /// order of simultaneous submissions).
+    ///
+    /// # Panics
+    /// Panics if any job fails [`Job::validate`].
+    pub fn new(mut jobs: Vec<Job>) -> Self {
+        for j in &jobs {
+            if let Err(e) = j.validate() {
+                panic!("invalid job in trace: {e}");
+            }
+        }
+        jobs.sort_by_key(|j| j.submit);
+        Trace { jobs }
+    }
+
+    /// The jobs in arrival order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Mutable access for the model stages (deadlines, estimates).
+    pub fn jobs_mut(&mut self) -> &mut [Job] {
+        &mut self.jobs
+    }
+
+    /// Consumes the trace, returning the jobs.
+    pub fn into_jobs(self) -> Vec<Job> {
+        self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when the trace has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Keeps only the last `n` jobs (the paper uses the last 3000 jobs of
+    /// the SDSC SP2 trace), re-basing submit times so the subset starts at
+    /// zero.
+    pub fn tail(mut self, n: usize) -> Self {
+        if self.jobs.len() > n {
+            self.jobs.drain(..self.jobs.len() - n);
+        }
+        self.rebase();
+        self
+    }
+
+    /// Shifts all submit times so the first job arrives at `t = 0`.
+    pub fn rebase(&mut self) {
+        if let Some(first) = self.jobs.first().map(|j| j.submit) {
+            for j in &mut self.jobs {
+                j.submit = SimTime::ZERO + (j.submit - first);
+            }
+        }
+    }
+
+    /// Applies the paper's *arrival delay factor*: every inter-arrival gap
+    /// from the trace is multiplied by `factor`, so `factor < 1` compresses
+    /// arrivals (heavier load) and `factor > 1` stretches them.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not strictly positive.
+    pub fn scale_arrivals(&mut self, factor: f64) {
+        assert!(factor > 0.0, "arrival delay factor must be > 0, got {factor}");
+        if self.jobs.is_empty() {
+            return;
+        }
+        let base = self.jobs[0].submit;
+        let mut prev_original = base;
+        let mut prev_scaled = base;
+        for j in &mut self.jobs {
+            let gap = j.submit - prev_original;
+            prev_original = j.submit;
+            prev_scaled += gap * factor;
+            j.submit = prev_scaled;
+        }
+    }
+
+    /// Computes the aggregate statistics against a cluster of
+    /// `cluster_procs` processors.
+    pub fn stats(&self, cluster_procs: usize) -> TraceStats {
+        let n = self.jobs.len();
+        if n == 0 {
+            return TraceStats {
+                jobs: 0,
+                mean_inter_arrival: 0.0,
+                mean_runtime: 0.0,
+                mean_procs: 0.0,
+                mean_estimate_factor: 0.0,
+                overestimated_fraction: 0.0,
+                span: 0.0,
+                offered_load: 0.0,
+            };
+        }
+        let span = (self.jobs[n - 1].submit - self.jobs[0].submit).as_secs();
+        let mean_inter_arrival = if n > 1 { span / (n - 1) as f64 } else { 0.0 };
+        let mean_runtime =
+            self.jobs.iter().map(|j| j.runtime.as_secs()).sum::<f64>() / n as f64;
+        let mean_procs =
+            self.jobs.iter().map(|j| f64::from(j.procs)).sum::<f64>() / n as f64;
+        let mean_estimate_factor =
+            self.jobs.iter().map(|j| j.estimate_factor()).sum::<f64>() / n as f64;
+        let overestimated_fraction =
+            self.jobs.iter().filter(|j| j.is_overestimated()).count() as f64 / n as f64;
+        let work: f64 = self
+            .jobs
+            .iter()
+            .map(|j| j.runtime.as_secs() * f64::from(j.procs))
+            .sum();
+        let offered_load = if span > 0.0 && cluster_procs > 0 {
+            work / (span * cluster_procs as f64)
+        } else {
+            0.0
+        };
+        TraceStats {
+            jobs: n,
+            mean_inter_arrival,
+            mean_runtime,
+            mean_procs,
+            mean_estimate_factor,
+            overestimated_fraction,
+            span,
+            offered_load,
+        }
+    }
+
+    /// Total work (runtime × procs) in processor-seconds.
+    pub fn total_work(&self) -> f64 {
+        self.jobs
+            .iter()
+            .map(|j| j.runtime.as_secs() * f64::from(j.procs))
+            .sum()
+    }
+
+    /// Largest processor request in the trace.
+    pub fn max_procs(&self) -> u32 {
+        self.jobs.iter().map(|j| j.procs).max().unwrap_or(0)
+    }
+}
+
+impl std::ops::Index<usize> for Trace {
+    type Output = Job;
+    fn index(&self, i: usize) -> &Job {
+        &self.jobs[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobId, Urgency};
+    use sim::SimDuration;
+
+    fn job(id: u64, submit: f64, runtime: f64, procs: u32) -> Job {
+        Job {
+            id: JobId(id),
+            submit: SimTime::from_secs(submit),
+            runtime: SimDuration::from_secs(runtime),
+            estimate: SimDuration::from_secs(runtime * 2.0),
+            procs,
+            deadline: SimDuration::from_secs(runtime * 3.0),
+            urgency: Urgency::Low,
+        }
+    }
+
+    #[test]
+    fn construction_sorts_by_submit() {
+        let t = Trace::new(vec![job(1, 50.0, 10.0, 1), job(2, 10.0, 10.0, 1)]);
+        assert_eq!(t[0].id, JobId(2));
+        assert_eq!(t[1].id, JobId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid job")]
+    fn construction_rejects_invalid_jobs() {
+        let mut j = job(1, 0.0, 10.0, 1);
+        j.procs = 0;
+        let _ = Trace::new(vec![j]);
+    }
+
+    #[test]
+    fn tail_keeps_last_n_and_rebases() {
+        let t = Trace::new((0..10).map(|i| job(i, i as f64 * 100.0, 10.0, 1)).collect());
+        let t = t.tail(3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].id, JobId(7));
+        assert_eq!(t[0].submit, SimTime::ZERO);
+        assert_eq!(t[2].submit, SimTime::from_secs(200.0));
+    }
+
+    #[test]
+    fn tail_larger_than_trace_is_identity_modulo_rebase() {
+        let t = Trace::new(vec![job(1, 5.0, 10.0, 1)]).tail(100);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].submit, SimTime::ZERO);
+    }
+
+    #[test]
+    fn scale_arrivals_halves_gaps() {
+        let mut t = Trace::new(vec![
+            job(0, 0.0, 10.0, 1),
+            job(1, 100.0, 10.0, 1),
+            job(2, 300.0, 10.0, 1),
+        ]);
+        t.scale_arrivals(0.5);
+        let submits: Vec<f64> = t.jobs().iter().map(|j| j.submit.as_secs()).collect();
+        assert_eq!(submits, vec![0.0, 50.0, 150.0]);
+    }
+
+    #[test]
+    fn scale_arrivals_identity_at_one() {
+        let mut t = Trace::new(vec![job(0, 0.0, 1.0, 1), job(1, 77.0, 1.0, 1)]);
+        t.scale_arrivals(1.0);
+        assert_eq!(t[1].submit.as_secs(), 77.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "> 0")]
+    fn scale_arrivals_rejects_zero() {
+        Trace::new(vec![]).scale_arrivals(0.0);
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let t = Trace::new(vec![
+            job(0, 0.0, 100.0, 2),
+            job(1, 100.0, 300.0, 4),
+        ]);
+        let s = t.stats(10);
+        assert_eq!(s.jobs, 2);
+        assert_eq!(s.mean_inter_arrival, 100.0);
+        assert_eq!(s.mean_runtime, 200.0);
+        assert_eq!(s.mean_procs, 3.0);
+        assert_eq!(s.mean_estimate_factor, 2.0);
+        assert_eq!(s.overestimated_fraction, 1.0);
+        assert_eq!(s.span, 100.0);
+        // work = 100*2 + 300*4 = 1400; capacity = 100 * 10.
+        assert!((s.offered_load - 1.4).abs() < 1e-12);
+        assert_eq!(t.total_work(), 1400.0);
+        assert_eq!(t.max_procs(), 4);
+    }
+
+    #[test]
+    fn empty_trace_stats_are_zero() {
+        let s = Trace::new(vec![]).stats(128);
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.offered_load, 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based invariants of the workload models.
+
+use proptest::prelude::*;
+use sim::{Rng64, SimDuration, SimTime};
+use workload::deadlines::DeadlineModel;
+use workload::estimates::{self, TraceLikeEstimator, TsafrirEstimator};
+use workload::{swf, Job, JobId, Trace, Urgency};
+
+fn job_strategy() -> impl Strategy<Value = Job> {
+    (
+        0u64..1_000_000,
+        0.0..1e7f64,
+        1.0..100_000.0f64,
+        0.1..30.0f64,
+        1u32..129,
+        1.05..20.0f64,
+    )
+        .prop_map(|(id, submit, runtime, est_factor, procs, dl_factor)| Job {
+            id: JobId(id),
+            submit: SimTime::from_secs(submit),
+            runtime: SimDuration::from_secs(runtime),
+            estimate: SimDuration::from_secs((runtime * est_factor).max(1.0)),
+            procs,
+            deadline: SimDuration::from_secs(runtime * dl_factor),
+            urgency: Urgency::Low,
+        })
+}
+
+/// Jobs with unique ids (SWF keys on the job number).
+fn unique_jobs(max: usize) -> impl Strategy<Value = Vec<Job>> {
+    proptest::collection::vec(job_strategy(), 1..max).prop_map(|mut js| {
+        for (i, j) in js.iter_mut().enumerate() {
+            j.id = JobId(i as u64);
+        }
+        js
+    })
+}
+
+proptest! {
+    #[test]
+    fn swf_roundtrip_preserves_the_fields_the_model_uses(jobs in unique_jobs(40)) {
+        let trace = Trace::new(jobs);
+        let text = swf::write(&trace);
+        let (parsed, report) = swf::parse(&text).expect("own output parses");
+        prop_assert_eq!(report.parsed, trace.len());
+        prop_assert_eq!(report.skipped, 0);
+        for (a, b) in trace.jobs().iter().zip(parsed.jobs()) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert!((a.submit.as_secs() - b.submit.as_secs()).abs() < 1e-9);
+            prop_assert!((a.runtime.as_secs() - b.runtime.as_secs()).abs() < 1e-9);
+            prop_assert!((a.estimate.as_secs() - b.estimate.as_secs()).abs() < 1e-9);
+            prop_assert_eq!(a.procs, b.procs);
+        }
+    }
+
+    #[test]
+    fn scale_arrivals_composes_and_preserves_order(
+        jobs in unique_jobs(40),
+        a in 0.1..3.0f64,
+        b in 0.1..3.0f64,
+    ) {
+        let base = Trace::new(jobs);
+        let mut once = base.clone();
+        once.scale_arrivals(a * b);
+        let mut twice = base.clone();
+        twice.scale_arrivals(a);
+        twice.scale_arrivals(b);
+        for (x, y) in once.jobs().iter().zip(twice.jobs()) {
+            prop_assert!(
+                (x.submit.as_secs() - y.submit.as_secs()).abs()
+                    < 1e-6 * x.submit.as_secs().abs().max(1.0),
+                "{} vs {}", x.submit, y.submit
+            );
+        }
+        // Arrival order is invariant under scaling.
+        for w in once.jobs().windows(2) {
+            prop_assert!(w[0].submit <= w[1].submit);
+        }
+    }
+
+    #[test]
+    fn deadline_model_always_yields_factors_above_the_floor(
+        jobs in unique_jobs(60),
+        hu_pct in 0.0..100.0f64,
+        ratio in 1.0..10.0f64,
+        seed in any::<u64>(),
+    ) {
+        let mut trace = Trace::new(jobs);
+        let model = DeadlineModel::default()
+            .with_high_urgency_pct(hu_pct)
+            .with_ratio(ratio);
+        model.assign(&mut Rng64::new(seed), trace.jobs_mut());
+        for j in trace.jobs() {
+            prop_assert!(j.deadline_factor() >= workload::params::MIN_DEADLINE_FACTOR - 1e-9);
+            prop_assert!(j.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn inaccuracy_interpolation_is_monotone_in_alpha(
+        runtime in 1.0..10_000.0f64,
+        est_factor in 0.1..10.0f64,
+        a in 0.0..100.0f64,
+        b in 0.0..100.0f64,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let mk = || {
+            vec![Job {
+                id: JobId(0),
+                submit: SimTime::ZERO,
+                runtime: SimDuration::from_secs(runtime),
+                estimate: SimDuration::from_secs((runtime * est_factor).max(1.0)),
+                procs: 1,
+                deadline: SimDuration::from_secs(runtime * 2.0),
+                urgency: Urgency::Low,
+            }]
+        };
+        let mut at_lo = mk();
+        estimates::apply_inaccuracy(&mut at_lo, lo);
+        let mut at_hi = mk();
+        estimates::apply_inaccuracy(&mut at_hi, hi);
+        let err = |jobs: &[Job]| (jobs[0].estimate.as_secs() - runtime).abs();
+        prop_assert!(
+            err(&at_lo) <= err(&at_hi) + 1e-9,
+            "error must grow with inaccuracy: {} vs {}", err(&at_lo), err(&at_hi)
+        );
+    }
+
+    #[test]
+    fn estimators_always_produce_positive_estimates(
+        runtime in 0.5..100_000.0f64,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng64::new(seed);
+        let rt = SimDuration::from_secs(runtime);
+        let e1 = TraceLikeEstimator::default().sample(&mut rng, rt);
+        prop_assert!(e1.as_secs() > 0.0);
+        let e2 = TsafrirEstimator::default().sample(&mut rng, rt);
+        prop_assert!(e2.as_secs() > 0.0);
+        // The Tsafrir estimator never under-estimates.
+        prop_assert!(e2.as_secs() >= runtime - 1e-9);
+    }
+
+    #[test]
+    fn tail_returns_exactly_min_n_len_jobs(
+        jobs in unique_jobs(50),
+        n in 1usize..60,
+    ) {
+        let trace = Trace::new(jobs);
+        let len = trace.len();
+        let tail = trace.tail(n);
+        prop_assert_eq!(tail.len(), len.min(n));
+        if !tail.is_empty() {
+            prop_assert_eq!(tail[0].submit, SimTime::ZERO);
+        }
+    }
+}

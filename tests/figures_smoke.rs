@@ -1,0 +1,183 @@
+//! Smoke tests over the figure harness: each figure regenerates on a
+//! reduced workload and reproduces the paper's qualitative shape.
+
+use experiments::figures::{self, FigureConfig};
+use librisk::prelude::PolicyKind;
+
+fn cfg() -> FigureConfig {
+    FigureConfig {
+        jobs: 300,
+        seeds: vec![1],
+        threads: experiments::sweep::default_threads(),
+    }
+}
+
+#[test]
+fn fig1_shape_matches_paper() {
+    let fig = figures::fig1(&cfg());
+    assert_eq!(fig.panels.len(), 4);
+    let trace_fulfilled = &fig.panels[1].series;
+    let curve = |name: &str| -> Vec<(f64, f64)> {
+        trace_fulfilled
+            .iter()
+            .find(|s| s.name() == name)
+            .unwrap()
+            .mean_points()
+    };
+    let librarisk = curve("LibraRisk");
+    let libra = curve("Libra");
+    let edf = curve("EDF");
+    // Fulfilled % grows as workload lightens (first point vs last point).
+    assert!(librarisk.last().unwrap().1 > librarisk.first().unwrap().1);
+    // LibraRisk beats Libra at light load by a clear margin (paper §5.2).
+    assert!(librarisk.last().unwrap().1 > libra.last().unwrap().1 + 5.0);
+    // EDF leads under the heaviest load (paper: delay factor < 0.3)…
+    assert!(edf[0].1 > libra[0].1);
+    // …but LibraRisk overtakes EDF as the workload lightens.
+    assert!(
+        librarisk.last().unwrap().1 > edf.last().unwrap().1,
+        "LibraRisk {:.1}% vs EDF {:.1}% at delay factor 1.0",
+        librarisk.last().unwrap().1,
+        edf.last().unwrap().1
+    );
+    // Slowdown panels: EDF is always lowest (paper §5.1).
+    for panel in [&fig.panels[2], &fig.panels[3]] {
+        let sd = |name: &str| {
+            panel
+                .series
+                .iter()
+                .find(|s| s.name() == name)
+                .unwrap()
+                .mean_points()
+                .last()
+                .unwrap()
+                .1
+        };
+        assert!(sd("EDF") <= sd("Libra") + 1e-9);
+        assert!(sd("EDF") <= sd("LibraRisk") + 1e-9);
+    }
+}
+
+#[test]
+fn fig2_more_relaxed_deadlines_fulfil_more() {
+    let fig = figures::fig2(&cfg());
+    for panel in &fig.panels[..2] {
+        for series in &panel.series {
+            let pts = series.mean_points();
+            let first = pts.first().unwrap().1;
+            let last = pts.last().unwrap().1;
+            if series.name() == "LibraRisk" && panel.label.contains("trace") {
+                // LibraRisk's trace-estimate curve is near-flat: its
+                // advantage concentrates at tight deadlines (the paper:
+                // "the improvement is higher when the deadline high:low
+                // ratio is low"), so only require it not to collapse.
+                assert!(
+                    last >= first - 10.0,
+                    "LibraRisk trace curve collapsed ({first:.1} → {last:.1})"
+                );
+            } else {
+                assert!(
+                    last >= first - 2.0,
+                    "{}: fulfilled % should not fall as deadlines relax ({first:.1} → {last:.1})",
+                    series.name()
+                );
+            }
+        }
+    }
+    // The paper's §5.3 claim: LibraRisk's improvement over Libra is
+    // largest at low ratios.
+    let trace_fulfilled = &fig.panels[1].series;
+    let pts = |name: &str| -> Vec<(f64, f64)> {
+        trace_fulfilled
+            .iter()
+            .find(|s| s.name() == name)
+            .unwrap()
+            .mean_points()
+    };
+    let librarisk = pts("LibraRisk");
+    let libra = pts("Libra");
+    let gap_first = librarisk.first().unwrap().1 - libra.first().unwrap().1;
+    let gap_last = librarisk.last().unwrap().1 - libra.last().unwrap().1;
+    assert!(
+        gap_first > gap_last,
+        "improvement must shrink as deadlines relax ({gap_first:.1} vs {gap_last:.1})"
+    );
+    assert!(gap_last > 0.0, "LibraRisk stays ahead of Libra everywhere");
+}
+
+#[test]
+fn fig3_librarisk_rises_while_others_fall() {
+    let fig = figures::fig3(&cfg());
+    let trace_fulfilled = &fig.panels[1].series;
+    let pts = |name: &str| -> Vec<(f64, f64)> {
+        trace_fulfilled
+            .iter()
+            .find(|s| s.name() == name)
+            .unwrap()
+            .mean_points()
+    };
+    // Paper §5.4: with trace estimates, EDF and Libra fulfil fewer jobs
+    // as urgency rises; LibraRisk holds or rises.
+    let edf = pts("EDF");
+    let libra = pts("Libra");
+    let librarisk = pts("LibraRisk");
+    assert!(edf.last().unwrap().1 < edf.first().unwrap().1 - 10.0);
+    assert!(libra.last().unwrap().1 < libra.first().unwrap().1 - 10.0);
+    assert!(librarisk.last().unwrap().1 > librarisk.first().unwrap().1 - 5.0);
+    // And the 80 %-urgency gap over Libra exceeds the 20 % gap (≈2×).
+    let gap_at = |x: f64| librarisk.iter().find(|p| p.0 == x).unwrap().1
+        - libra.iter().find(|p| p.0 == x).unwrap().1;
+    assert!(gap_at(80.0) > gap_at(20.0));
+}
+
+#[test]
+fn fig4_librarisk_degrades_least_with_inaccuracy() {
+    let fig = figures::fig4(&cfg());
+    for panel in &fig.panels[..2] {
+        let drop = |name: &str| {
+            let pts = panel
+                .series
+                .iter()
+                .find(|s| s.name() == name)
+                .unwrap()
+                .mean_points();
+            pts.first().unwrap().1 - pts.last().unwrap().1
+        };
+        assert!(
+            drop("LibraRisk") < drop("Libra"),
+            "{}: LibraRisk must lose less than Libra as inaccuracy grows",
+            panel.label
+        );
+        assert!(drop("LibraRisk") < drop("EDF") + 5.0);
+    }
+}
+
+#[test]
+fn ablation_covers_all_variants() {
+    let fig = figures::ablation(&cfg());
+    assert_eq!(fig.panels.len(), 2);
+    let names: Vec<&str> = fig.panels[0].series.iter().map(|s| s.name()).collect();
+    for expected in [
+        "Libra",
+        "LibraRisk",
+        "LibraRisk-Strict",
+        "LibraRisk-BestFit",
+        "LibraRisk-NaiveProj",
+        "Libra-SS",
+        "LibraRisk-SS",
+        "EDF-NoAC",
+        "FCFS",
+    ] {
+        assert!(names.contains(&expected), "missing {expected}");
+    }
+}
+
+#[test]
+fn trace_stats_table_renders() {
+    let t = figures::trace_stats_table(&cfg());
+    let md = t.to_markdown();
+    assert!(md.contains("mean inter-arrival"));
+    assert!(md.contains("3000"));
+    let pk = PolicyKind::LibraRisk; // silence unused-import pattern drift
+    assert_eq!(pk.name(), "LibraRisk");
+}

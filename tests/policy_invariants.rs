@@ -1,0 +1,209 @@
+//! Property-based invariants over randomly generated workloads.
+//!
+//! These run every policy over arbitrary mini-traces (arbitrary runtimes,
+//! estimate errors in both directions, deadline factors, widths and
+//! arrival gaps) and check the properties that must hold for *any* input,
+//! not just the paper's workload.
+
+use librisk::prelude::*;
+use proptest::prelude::*;
+use sim::{SimDuration, SimTime};
+
+#[derive(Debug, Clone)]
+struct RawJob {
+    gap: f64,
+    runtime: f64,
+    est_factor: f64,
+    procs: u32,
+    deadline_factor: f64,
+}
+
+fn raw_job() -> impl Strategy<Value = RawJob> {
+    (
+        0.0..3000.0f64,   // inter-arrival gap
+        10.0..20_000.0f64, // runtime
+        0.3..8.0f64,      // estimate factor (under- and over-estimates)
+        1u32..6,          // processors
+        1.05..9.0f64,     // deadline factor (> 1, per the paper)
+    )
+        .prop_map(|(gap, runtime, est_factor, procs, deadline_factor)| RawJob {
+            gap,
+            runtime,
+            est_factor,
+            procs,
+            deadline_factor,
+        })
+}
+
+fn build_trace(raw: &[RawJob]) -> Trace {
+    let mut clock = 0.0;
+    let jobs: Vec<Job> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            clock += r.gap;
+            Job {
+                id: JobId(i as u64),
+                submit: SimTime::from_secs(clock),
+                runtime: SimDuration::from_secs(r.runtime),
+                estimate: SimDuration::from_secs(r.runtime * r.est_factor),
+                procs: r.procs,
+                deadline: SimDuration::from_secs(r.runtime * r.deadline_factor),
+                urgency: if r.deadline_factor < 3.0 {
+                    Urgency::High
+                } else {
+                    Urgency::Low
+                },
+            }
+        })
+        .collect();
+    Trace::new(jobs)
+}
+
+const POLICIES: [PolicyKind; 7] = [
+    PolicyKind::Edf,
+    PolicyKind::EdfBackfill,
+    PolicyKind::Fcfs,
+    PolicyKind::Libra,
+    PolicyKind::LibraRisk,
+    PolicyKind::LibraStrictShares,
+    PolicyKind::Qops,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_policy_terminates_with_complete_accounting(
+        raw in proptest::collection::vec(raw_job(), 1..40)
+    ) {
+        let trace = build_trace(&raw);
+        let cluster = Cluster::homogeneous(8, 168.0);
+        for policy in POLICIES {
+            let report = policy.run(&cluster, &trace);
+            prop_assert_eq!(report.submitted(), trace.len());
+            prop_assert_eq!(report.accepted() + report.rejected(), report.submitted());
+            prop_assert!(report.fulfilled() <= report.accepted());
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&report.utilization));
+        }
+    }
+
+    #[test]
+    fn completions_respect_physics(
+        raw in proptest::collection::vec(raw_job(), 1..30)
+    ) {
+        let trace = build_trace(&raw);
+        let cluster = Cluster::homogeneous(8, 168.0);
+        for policy in POLICIES {
+            let report = policy.run(&cluster, &trace);
+            for r in &report.records {
+                if let Outcome::Completed { started, finish } = r.outcome {
+                    // A job can never finish faster than its runtime at
+                    // full speed on reference-rating nodes.
+                    let elapsed = (finish - started).as_secs();
+                    prop_assert!(
+                        elapsed >= r.job.runtime.as_secs() - 1e-3,
+                        "{}: {} ran {:.3}s but needs {:.3}s",
+                        policy, r.job.id, elapsed, r.job.runtime.as_secs()
+                    );
+                    prop_assert!(started >= r.job.submit);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accurate_estimates_and_single_feasible_job_always_fulfilled(
+        runtime in 10.0..5000.0f64,
+        deadline_factor in 1.1..9.0f64,
+        procs in 1u32..6,
+    ) {
+        // One feasible job on an idle cluster must be fulfilled by every
+        // admission-control policy when the estimate is exact.
+        let job = Job {
+            id: JobId(0),
+            submit: SimTime::ZERO,
+            runtime: SimDuration::from_secs(runtime),
+            estimate: SimDuration::from_secs(runtime),
+            procs,
+            deadline: SimDuration::from_secs(runtime * deadline_factor),
+            urgency: Urgency::High,
+        };
+        let trace = Trace::new(vec![job]);
+        let cluster = Cluster::homogeneous(8, 168.0);
+        for policy in POLICIES {
+            let report = policy.run(&cluster, &trace);
+            prop_assert_eq!(
+                report.fulfilled(), 1,
+                "{} must fulfil a lone feasible job", policy
+            );
+        }
+    }
+
+    #[test]
+    fn librarisk_acceptance_is_a_superset_of_libra_on_lone_jobs(
+        runtime in 10.0..5000.0f64,
+        est_factor in 0.5..6.0f64,
+        deadline_factor in 1.1..4.0f64,
+    ) {
+        // For a single submitted job, every job Libra accepts is also
+        // accepted by LibraRisk (share ≤ 1 on an empty node implies no
+        // projected delay, hence zero dispersion).
+        let job = Job {
+            id: JobId(0),
+            submit: SimTime::ZERO,
+            runtime: SimDuration::from_secs(runtime),
+            estimate: SimDuration::from_secs(runtime * est_factor),
+            procs: 1,
+            deadline: SimDuration::from_secs(runtime * deadline_factor),
+            urgency: Urgency::High,
+        };
+        let trace = Trace::new(vec![job]);
+        let cluster = Cluster::homogeneous(4, 168.0);
+        let libra = PolicyKind::Libra.run(&cluster, &trace);
+        let librarisk = PolicyKind::LibraRisk.run(&cluster, &trace);
+        if libra.accepted() == 1 {
+            prop_assert_eq!(librarisk.accepted(), 1);
+        }
+    }
+
+    #[test]
+    fn edf_admission_only_rejects_infeasible_selections(
+        raw in proptest::collection::vec(raw_job(), 1..25)
+    ) {
+        let trace = build_trace(&raw);
+        let cluster = Cluster::homogeneous(8, 168.0);
+        let report = PolicyKind::Edf.run(&cluster, &trace);
+        for r in &report.records {
+            if let Outcome::Rejected { at } = r.outcome {
+                if r.job.procs as usize <= 8 {
+                    // At rejection time the job could not meet its deadline
+                    // by its estimate.
+                    prop_assert!(
+                        at + r.job.estimate > r.job.absolute_deadline(),
+                        "{} rejected although feasible at {:?}", r.job.id, at
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queueless_policies_reject_only_at_submission(
+        raw in proptest::collection::vec(raw_job(), 1..25)
+    ) {
+        let trace = build_trace(&raw);
+        let cluster = Cluster::homogeneous(8, 168.0);
+        for policy in [PolicyKind::Libra, PolicyKind::LibraRisk] {
+            let report = policy.run(&cluster, &trace);
+            for r in &report.records {
+                if let Outcome::Rejected { at } = r.outcome {
+                    prop_assert_eq!(
+                        at, r.job.submit,
+                        "{}: Libra-family rejections are instantaneous", policy
+                    );
+                }
+            }
+        }
+    }
+}
