@@ -3,9 +3,12 @@
 //! projection, and the DES kernel's event queue.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use cluster::projection::{node_risk, ProjectedJob, ShareDiscipline};
+use cluster::projection::{
+    node_risk, project_finishes, ProjectedJob, ProjectionWorkspace, ShareDiscipline,
+};
 use cluster::proportional::{ProportionalCluster, ProportionalConfig};
 use cluster::{Cluster, NodeId};
+use librisk::libra::Libra;
 use librisk::policy::ShareAdmission;
 use librisk::prelude::*;
 use librisk::LibraRisk;
@@ -54,6 +57,115 @@ fn admission_decision(c: &mut Criterion) {
             },
         );
     }
+    group.finish();
+}
+
+/// The projection kernel itself: the allocating `project_finishes` entry
+/// point (a fresh set of scratch vectors every call — the pre-change
+/// behaviour) against `ProjectionWorkspace::project_finishes_into` on a
+/// warm caller-owned workspace (zero allocation after warm-up), across
+/// resident-set sizes k.
+fn project_finishes_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/project_finishes");
+    for k in [1usize, 4, 16, 64] {
+        let jobs: Vec<ProjectedJob> = (0..k)
+            .map(|i| ProjectedJob {
+                remaining_est: 50.0 + 13.0 * i as f64,
+                abs_deadline: 500.0 + 90.0 * i as f64,
+            })
+            .collect();
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::new("alloc_cold", k), &jobs, |b, js| {
+            b.iter(|| {
+                black_box(project_finishes(js, 0.0, 1.0, ShareDiscipline::WorkConserving))
+            })
+        });
+        let mut ws = ProjectionWorkspace::new();
+        let mut out = Vec::new();
+        group.bench_with_input(BenchmarkId::new("workspace_warm", k), &jobs, |b, js| {
+            b.iter(|| {
+                ws.project_finishes_into(js, 0.0, 1.0, ShareDiscipline::WorkConserving, &mut out);
+                black_box(out.last().copied())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A cluster with `residents_per_node` long-lived jobs on every node —
+/// the steady state the admission path sees mid-simulation.
+fn loaded_engine(residents_per_node: usize) -> ProportionalCluster {
+    let mut engine =
+        ProportionalCluster::new(Cluster::sdsc_sp2(), ProportionalConfig::default());
+    let mut id = 0u64;
+    for n in 0..engine.cluster().len() {
+        for r in 0..residents_per_node {
+            let j = job(id, 200.0 + 10.0 * r as f64, 500_000.0 + id as f64);
+            engine.admit(j, vec![NodeId(n as u32)], SimTime::ZERO);
+            id += 1;
+        }
+    }
+    engine
+}
+
+/// A stream of candidate jobs spanning both accept and reject regions.
+fn candidate_stream(n: usize) -> Vec<Job> {
+    (0..n)
+        .map(|i| {
+            let est = 100.0 + (i % 37) as f64 * 40.0;
+            let deadline = 800.0 + (i % 101) as f64 * 900.0;
+            job(1_000_000 + i as u64, est, deadline)
+        })
+        .collect()
+}
+
+/// Steady-state decide loop over a 10k-job candidate stream: the cached
+/// incremental `decide` (epoch-validated per-node caches, warm after the
+/// first call) against the from-scratch `decide_reference` (the
+/// pre-change kernel).
+fn steady_state_decide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/steady_decide");
+    group.throughput(Throughput::Elements(1));
+    let engine = loaded_engine(8);
+    let stream = candidate_stream(10_000);
+
+    let mut libra = Libra::new();
+    let mut i = 0usize;
+    group.bench_function("libra_cached", |b| {
+        b.iter(|| {
+            let j = &stream[i % stream.len()];
+            i += 1;
+            black_box(libra.decide(&engine, j))
+        })
+    });
+    let libra_ref = Libra::new();
+    let mut i = 0usize;
+    group.bench_function("libra_reference", |b| {
+        b.iter(|| {
+            let j = &stream[i % stream.len()];
+            i += 1;
+            black_box(libra_ref.decide_reference(&engine, j))
+        })
+    });
+
+    let mut lr = LibraRisk::paper();
+    let mut i = 0usize;
+    group.bench_function("librarisk_cached", |b| {
+        b.iter(|| {
+            let j = &stream[i % stream.len()];
+            i += 1;
+            black_box(lr.decide(&engine, j))
+        })
+    });
+    let lr_ref = LibraRisk::paper();
+    let mut i = 0usize;
+    group.bench_function("librarisk_reference", |b| {
+        b.iter(|| {
+            let j = &stream[i % stream.len()];
+            i += 1;
+            black_box(lr_ref.decide_reference(&engine, j))
+        })
+    });
     group.finish();
 }
 
@@ -117,6 +229,8 @@ fn event_queue(c: &mut Criterion) {
 criterion_group!(
     benches,
     admission_decision,
+    project_finishes_kernel,
+    steady_state_decide,
     projection,
     end_to_end_throughput,
     event_queue

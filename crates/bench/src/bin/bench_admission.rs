@@ -1,0 +1,164 @@
+//! `bench-json` mode for the admission hot path: times the steady-state
+//! decide loop (cached incremental `decide` vs the pre-change
+//! from-scratch `decide_reference` kernel) and the engine's event loop
+//! (heap-driven `next_event_time` vs the retired full scan), then writes
+//! the results to `BENCH_admission.json` in the working directory.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_admission [decisions] [residents_per_node]
+//! ```
+
+use cluster::proportional::{ProportionalCluster, ProportionalConfig};
+use cluster::{Cluster, NodeId};
+use librisk::libra::Libra;
+use librisk::libra_risk::LibraRisk;
+use librisk::policy::ShareAdmission;
+use sim::{SimDuration, SimTime};
+use std::hint::black_box;
+use std::time::Instant;
+use workload::{Job, JobId, Urgency};
+
+fn job(id: u64, estimate: f64, deadline: f64) -> Job {
+    Job {
+        id: JobId(id),
+        submit: SimTime::ZERO,
+        runtime: SimDuration::from_secs(estimate),
+        estimate: SimDuration::from_secs(estimate),
+        procs: 1,
+        deadline: SimDuration::from_secs(deadline),
+        urgency: Urgency::Low,
+    }
+}
+
+/// A cluster with `residents_per_node` long-lived jobs on every node —
+/// the steady state the admission path sees mid-simulation.
+fn loaded_engine(residents_per_node: usize) -> ProportionalCluster {
+    let mut engine =
+        ProportionalCluster::new(Cluster::sdsc_sp2(), ProportionalConfig::default());
+    let mut id = 0u64;
+    for n in 0..engine.cluster().len() {
+        for r in 0..residents_per_node {
+            let j = job(id, 200.0 + 10.0 * r as f64, 500_000.0 + id as f64);
+            engine.admit(j, vec![NodeId(n as u32)], SimTime::ZERO);
+            id += 1;
+        }
+    }
+    engine
+}
+
+/// Candidate jobs spanning both the accept and the reject region.
+fn candidate_stream(n: usize) -> Vec<Job> {
+    (0..n)
+        .map(|i| {
+            let est = 100.0 + (i % 37) as f64 * 40.0;
+            let deadline = 800.0 + (i % 101) as f64 * 900.0;
+            job(1_000_000 + i as u64, est, deadline)
+        })
+        .collect()
+}
+
+/// Times `n` decisions through `f` (after a short warm-up) and returns
+/// nanoseconds per decision.
+fn ns_per_decision<F: FnMut(&Job) -> Option<Vec<NodeId>>>(
+    mut f: F,
+    stream: &[Job],
+    n: usize,
+) -> f64 {
+    for j in stream.iter().take(100) {
+        black_box(f(j));
+    }
+    let t = Instant::now();
+    for i in 0..n {
+        black_box(f(&stream[i % stream.len()]));
+    }
+    t.elapsed().as_nanos() as f64 / n as f64
+}
+
+/// Builds an engine loaded with an overrun-heavy mix and drains it to
+/// idle, taking the next event time from the lazy heap or from the
+/// retained full scan. Returns (events processed, seconds of wall time).
+fn drain_events(jobs: usize, use_scan: bool) -> (u64, f64) {
+    let mut engine =
+        ProportionalCluster::new(Cluster::sdsc_sp2(), ProportionalConfig::default());
+    let nodes = engine.cluster().len();
+    for i in 0..jobs {
+        // A third of the jobs under-estimate (runtime > estimate) so the
+        // drain exercises overrun re-arms, not just clean completions.
+        let runtime = 300.0 + (i % 23) as f64 * 30.0;
+        let est_factor = [0.5, 1.0, 2.0][i % 3];
+        let mut j = job(i as u64, runtime * est_factor, 1e7);
+        j.runtime = SimDuration::from_secs(runtime);
+        engine.admit(j, vec![NodeId((i % nodes) as u32)], SimTime::ZERO);
+    }
+    let t = Instant::now();
+    let mut events = 0u64;
+    loop {
+        let next = if use_scan {
+            engine.next_event_time_scan()
+        } else {
+            engine.next_event_time()
+        };
+        let Some(at) = next else { break };
+        black_box(engine.advance(at));
+        events += 1;
+        assert!(events < 10_000_000, "drain failed to converge");
+    }
+    (events, t.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let decisions: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    let residents: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    let engine = loaded_engine(residents);
+    let stream = candidate_stream(decisions.max(1));
+
+    eprintln!(
+        "steady-state decide loop: {decisions} decisions, {} nodes x {residents} residents",
+        engine.cluster().len()
+    );
+
+    let mut libra = Libra::new();
+    let libra_cached = ns_per_decision(|j| libra.decide(&engine, j), &stream, decisions);
+    let libra_ref_policy = Libra::new();
+    let libra_reference =
+        ns_per_decision(|j| libra_ref_policy.decide_reference(&engine, j), &stream, decisions);
+
+    let mut lr = LibraRisk::paper();
+    let lr_cached = ns_per_decision(|j| lr.decide(&engine, j), &stream, decisions);
+    let lr_ref_policy = LibraRisk::paper();
+    let lr_reference =
+        ns_per_decision(|j| lr_ref_policy.decide_reference(&engine, j), &stream, decisions);
+
+    let drain_jobs = 2_000;
+    let (heap_events, heap_secs) = drain_events(drain_jobs, false);
+    let (scan_events, scan_secs) = drain_events(drain_jobs, true);
+    assert_eq!(heap_events, scan_events, "heap and scan drains diverged");
+    let heap_eps = heap_events as f64 / heap_secs;
+    let scan_eps = scan_events as f64 / scan_secs;
+
+    let json = format!(
+        "{{\n  \"decisions\": {decisions},\n  \"residents_per_node\": {residents},\n  \
+         \"policies\": {{\n    \
+         \"Libra\": {{ \"cached_ns_per_decision\": {libra_cached:.1}, \
+         \"reference_ns_per_decision\": {libra_reference:.1}, \
+         \"speedup\": {:.2} }},\n    \
+         \"LibraRisk\": {{ \"cached_ns_per_decision\": {lr_cached:.1}, \
+         \"reference_ns_per_decision\": {lr_reference:.1}, \
+         \"speedup\": {:.2} }}\n  }},\n  \
+         \"event_loop\": {{ \"events\": {heap_events}, \
+         \"heap_events_per_sec\": {heap_eps:.0}, \
+         \"scan_events_per_sec\": {scan_eps:.0}, \
+         \"speedup\": {:.2} }}\n}}\n",
+        libra_reference / libra_cached,
+        lr_reference / lr_cached,
+        heap_eps / scan_eps,
+    );
+    print!("{json}");
+    std::fs::write("BENCH_admission.json", &json).expect("write BENCH_admission.json");
+    eprintln!("wrote BENCH_admission.json");
+}

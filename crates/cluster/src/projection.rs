@@ -53,28 +53,173 @@ pub enum ShareDiscipline {
     WorkConserving,
 }
 
-/// Projects the absolute finish time of every job on one node of the
-/// given speed factor, starting from `now`.
+/// Caller-owned scratch buffers for the projection kernel.
 ///
-/// The projection replays the engine's piecewise-constant-rate dynamics:
-/// shares are recomputed at every projected completion and at every
-/// deadline crossing, matching `proportional::ProportionalCluster`.
+/// [`project_finishes`] and [`node_risk`] allocate several vectors per
+/// call — per *segment*, even, in the original formulation — which
+/// dominates the admission hot path where the same projection runs for
+/// every candidate node of every arriving job. A `ProjectionWorkspace`
+/// owns all of that scratch: after the first call at a given node size
+/// every subsequent call is allocation-free (buffers are `clear()`ed and
+/// refilled, capacity is retained).
 ///
-/// Returns one absolute finish time per input job (same order).
-pub fn project_finishes(
+/// All workspace entry points are *bitwise identical* to their
+/// allocating counterparts: same floating-point operations in the same
+/// order. The differential property tests in `tests/proptest_engine.rs`
+/// pin that equivalence.
+#[derive(Clone, Debug, Default)]
+pub struct ProjectionWorkspace {
+    /// Staging buffer for callers assembling a job list (see [`Self::stage`]).
+    jobs: Vec<ProjectedJob>,
+    rem: Vec<f64>,
+    alive: Vec<bool>,
+    shares: Vec<f64>,
+    finish: Vec<f64>,
+    dds: Vec<f64>,
+}
+
+impl ProjectionWorkspace {
+    /// An empty workspace; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears and returns the staging buffer, for callers that need to
+    /// assemble a job list without allocating one. Fill it, then call
+    /// [`Self::node_risk_staged`] (or [`Self::staged_finishes_into`]).
+    pub fn stage(&mut self) -> &mut Vec<ProjectedJob> {
+        self.jobs.clear();
+        &mut self.jobs
+    }
+
+    /// The currently staged jobs (what [`Self::stage`] was filled with).
+    pub fn staged(&self) -> &[ProjectedJob] {
+        &self.jobs
+    }
+
+    /// [`project_finishes`] into a caller-owned output buffer, reusing
+    /// this workspace's scratch. `finish` is cleared and refilled; no
+    /// heap allocation happens once buffers have warmed up to the node
+    /// size.
+    pub fn project_finishes_into(
+        &mut self,
+        jobs: &[ProjectedJob],
+        now: f64,
+        speed_factor: f64,
+        discipline: ShareDiscipline,
+        finish: &mut Vec<f64>,
+    ) {
+        projection_kernel(
+            jobs,
+            now,
+            speed_factor,
+            discipline,
+            &mut self.rem,
+            &mut self.alive,
+            &mut self.shares,
+            finish,
+        );
+    }
+
+    /// [`node_risk`] without allocation: projects finishes and derives
+    /// `(μ_j, σ_j)` entirely inside this workspace's buffers.
+    pub fn node_risk_with(
+        &mut self,
+        jobs: &[ProjectedJob],
+        now: f64,
+        speed_factor: f64,
+        discipline: ShareDiscipline,
+    ) -> (f64, f64) {
+        let Self {
+            rem,
+            alive,
+            shares,
+            finish,
+            dds,
+            ..
+        } = self;
+        projection_kernel(jobs, now, speed_factor, discipline, rem, alive, shares, finish);
+        // Fused Eq. 3 + Eq. 4: same per-element operations, in the same
+        // order, as `delays_from_finishes` followed by `deadline_delay`.
+        dds.clear();
+        for (j, &f) in jobs.iter().zip(finish.iter()) {
+            let delay = (f - j.abs_deadline).max(0.0);
+            let rd = (j.abs_deadline - now).max(EPS_DEADLINE);
+            dds.push((delay + rd) / rd);
+        }
+        risk(dds)
+    }
+
+    /// [`Self::node_risk_with`] over the staged job list.
+    pub fn node_risk_staged(
+        &mut self,
+        now: f64,
+        speed_factor: f64,
+        discipline: ShareDiscipline,
+    ) -> (f64, f64) {
+        let Self {
+            jobs,
+            rem,
+            alive,
+            shares,
+            finish,
+            dds,
+        } = self;
+        projection_kernel(jobs, now, speed_factor, discipline, rem, alive, shares, finish);
+        dds.clear();
+        for (j, &f) in jobs.iter().zip(finish.iter()) {
+            let delay = (f - j.abs_deadline).max(0.0);
+            let rd = (j.abs_deadline - now).max(EPS_DEADLINE);
+            dds.push((delay + rd) / rd);
+        }
+        risk(dds)
+    }
+
+    /// [`Self::project_finishes_into`] over the staged job list.
+    pub fn staged_finishes_into(
+        &mut self,
+        now: f64,
+        speed_factor: f64,
+        discipline: ShareDiscipline,
+        finish: &mut Vec<f64>,
+    ) {
+        let Self {
+            jobs,
+            rem,
+            alive,
+            shares,
+            ..
+        } = self;
+        projection_kernel(jobs, now, speed_factor, discipline, rem, alive, shares, finish);
+    }
+}
+
+/// The piecewise-constant-rate projection over caller-owned buffers.
+///
+/// Scratch buffers (`rem`, `alive`, `shares`) and the output (`finish`)
+/// are cleared and refilled; their capacity is reused across calls.
+#[allow(clippy::too_many_arguments)]
+fn projection_kernel(
     jobs: &[ProjectedJob],
     now: f64,
     speed_factor: f64,
     discipline: ShareDiscipline,
-) -> Vec<f64> {
+    rem: &mut Vec<f64>,
+    alive: &mut Vec<bool>,
+    shares: &mut Vec<f64>,
+    finish: &mut Vec<f64>,
+) {
     assert!(speed_factor > 0.0);
     let n = jobs.len();
-    let mut finish = vec![0.0f64; n];
+    finish.clear();
+    finish.resize(n, 0.0);
     if n == 0 {
-        return finish;
+        return;
     }
-    let mut rem: Vec<f64> = jobs.iter().map(|j| j.remaining_est.max(EPS_WORK)).collect();
-    let mut alive: Vec<bool> = vec![true; n];
+    rem.clear();
+    rem.extend(jobs.iter().map(|j| j.remaining_est.max(EPS_WORK)));
+    alive.clear();
+    alive.resize(n, true);
     let mut alive_count = n;
     let mut t = now;
     // Each job contributes at most one completion and one deadline
@@ -86,7 +231,8 @@ pub fn project_finishes(
         }
         // Shares and rates for this segment.
         let mut total_share = 0.0;
-        let mut shares = vec![0.0f64; n];
+        shares.clear();
+        shares.resize(n, 0.0);
         for i in 0..n {
             if !alive[i] {
                 continue;
@@ -106,14 +252,24 @@ pub fn project_finishes(
                 continue;
             }
             let rate = shares[i] / denom * speed_factor;
-            debug_assert!(rate > 0.0);
-            dt = dt.min(rem[i] / rate);
+            // A share can underflow to zero (tiny remaining work against
+            // an astronomically inflated co-resident share); such a job
+            // contributes no completion candidate — `min(x, ∞)` is `x`,
+            // so skipping is bitwise-neutral when rates are positive.
+            if rate > 0.0 {
+                dt = dt.min(rem[i] / rate);
+            }
             let to_deadline = jobs[i].abs_deadline - t;
             if to_deadline > EPS_WORK {
                 dt = dt.min(to_deadline);
             }
         }
-        debug_assert!(dt.is_finite() && dt > 0.0);
+        if !(dt.is_finite() && dt > 0.0) {
+            // Every surviving job is rate-starved with no deadline
+            // crossing ahead: nothing will ever complete. Stop and let
+            // the fallback below pin survivors at the current time.
+            break;
+        }
         // Advance the segment.
         for i in 0..n {
             if !alive[i] {
@@ -135,6 +291,28 @@ pub fn project_finishes(
             finish[i] = t;
         }
     }
+}
+
+/// Projects the absolute finish time of every job on one node of the
+/// given speed factor, starting from `now`.
+///
+/// The projection replays the engine's piecewise-constant-rate dynamics:
+/// shares are recomputed at every projected completion and at every
+/// deadline crossing, matching `proportional::ProportionalCluster`.
+///
+/// Returns one absolute finish time per input job (same order).
+///
+/// This is the allocating convenience wrapper; hot paths should hold a
+/// [`ProjectionWorkspace`] and call [`ProjectionWorkspace::project_finishes_into`].
+pub fn project_finishes(
+    jobs: &[ProjectedJob],
+    now: f64,
+    speed_factor: f64,
+    discipline: ShareDiscipline,
+) -> Vec<f64> {
+    let mut finish = Vec::new();
+    let mut ws = ProjectionWorkspace::new();
+    ws.project_finishes_into(jobs, now, speed_factor, discipline, &mut finish);
     finish
 }
 
@@ -257,14 +435,7 @@ pub fn node_risk(
     speed_factor: f64,
     discipline: ShareDiscipline,
 ) -> (f64, f64) {
-    let finishes = project_finishes(jobs, now, speed_factor, discipline);
-    let delays = delays_from_finishes(jobs, &finishes);
-    let dds: Vec<f64> = jobs
-        .iter()
-        .zip(&delays)
-        .map(|(j, &d)| deadline_delay(d, j.abs_deadline, now))
-        .collect();
-    risk(&dds)
+    ProjectionWorkspace::new().node_risk_with(jobs, now, speed_factor, discipline)
 }
 
 /// `true` when `sigma` counts as zero risk.
@@ -433,5 +604,84 @@ mod tests {
         let jobs = [pj(10.0, 1e9)];
         let f = project_finishes(&jobs, 500.0, 1.0, ShareDiscipline::WorkConserving);
         assert!((f[0] - 510.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn workspace_matches_allocating_path_bitwise() {
+        let cases: Vec<Vec<ProjectedJob>> = vec![
+            vec![],
+            vec![pj(300.0, 100.0)],
+            vec![pj(50.0, 100.0), pj(50.0, 200.0)],
+            vec![pj(100.0, 100.0), pj(100.0, 200.0)],
+            vec![pj(10.0, -50.0), pj(10.0, 1000.0)],
+            vec![pj(100.0, 50.0), pj(100.0, 60.0), pj(100.0, 70.0)],
+        ];
+        let mut ws = ProjectionWorkspace::new();
+        let mut out = Vec::new();
+        for disc in [ShareDiscipline::Strict, ShareDiscipline::WorkConserving] {
+            for now in [0.0, 17.25, 1e6] {
+                for jobs in &cases {
+                    let want = project_finishes(jobs, now, 1.5, disc);
+                    ws.project_finishes_into(jobs, now, 1.5, disc, &mut out);
+                    assert_eq!(
+                        want.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                        out.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                        "finishes must be bitwise identical"
+                    );
+                    let (mu_a, sig_a) = node_risk(jobs, now, 1.5, disc);
+                    let (mu_b, sig_b) = ws.node_risk_with(jobs, now, 1.5, disc);
+                    assert_eq!(mu_a.to_bits(), mu_b.to_bits());
+                    assert_eq!(sig_a.to_bits(), sig_b.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuses_capacity_after_warmup() {
+        let jobs = [pj(100.0, 100.0), pj(100.0, 200.0), pj(50.0, 300.0)];
+        let mut ws = ProjectionWorkspace::new();
+        let mut out = Vec::new();
+        ws.project_finishes_into(&jobs, 0.0, 1.0, ShareDiscipline::Strict, &mut out);
+        let caps = (ws.rem.capacity(), ws.shares.capacity(), out.capacity());
+        for _ in 0..64 {
+            ws.project_finishes_into(&jobs, 0.0, 1.0, ShareDiscipline::Strict, &mut out);
+        }
+        assert_eq!(
+            caps,
+            (ws.rem.capacity(), ws.shares.capacity(), out.capacity()),
+            "warm buffers must not reallocate"
+        );
+    }
+
+    #[test]
+    fn staged_path_matches_slice_path() {
+        let jobs = [pj(80.0, 90.0), pj(20.0, 400.0)];
+        let mut ws = ProjectionWorkspace::new();
+        ws.stage().extend_from_slice(&jobs);
+        let staged = ws.node_risk_staged(3.0, 2.0, ShareDiscipline::WorkConserving);
+        let direct = node_risk(&jobs, 3.0, 2.0, ShareDiscipline::WorkConserving);
+        assert_eq!(staged.0.to_bits(), direct.0.to_bits());
+        assert_eq!(staged.1.to_bits(), direct.1.to_bits());
+
+        ws.stage().extend_from_slice(&jobs);
+        let mut a = Vec::new();
+        ws.staged_finishes_into(3.0, 2.0, ShareDiscipline::WorkConserving, &mut a);
+        let b = project_finishes(&jobs, 3.0, 2.0, ShareDiscipline::WorkConserving);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rate_starved_job_does_not_panic_or_hang() {
+        // Job 1's share underflows to zero against job 0's astronomically
+        // inflated share (1e300 work due in 1 s): its completion candidate
+        // would be ∞. The kernel must stay finite and terminate.
+        let jobs = [pj(1e300, 1.0), pj(1e-6, 1e300)];
+        for disc in [ShareDiscipline::Strict, ShareDiscipline::WorkConserving] {
+            let f = project_finishes(&jobs, 0.0, 1.0, disc);
+            assert!(f.iter().all(|x| x.is_finite()), "{f:?}");
+            let (mu, sigma) = node_risk(&jobs, 0.0, 1.0, disc);
+            assert!(mu.is_finite() && sigma.is_finite());
+        }
     }
 }

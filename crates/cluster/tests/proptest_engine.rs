@@ -137,6 +137,88 @@ proptest! {
     }
 
     #[test]
+    fn heap_next_event_time_equals_full_scan(
+        raws in proptest::collection::vec(raw_job(), 1..16),
+        gaps in proptest::collection::vec(0.0..1.5f64, 1..16),
+        disc in discipline(),
+    ) {
+        // Differential: the lazy-heap `next_event_time` must be bitwise
+        // identical to the retired full scan after every admit and every
+        // advance of a randomized interleaving — including advances to
+        // fractions of the event gap (mid-segment wakes) and advances
+        // exactly onto events (completions, overrun re-arms).
+        let cfg = ProportionalConfig { discipline: disc, ..Default::default() };
+        let mut engine = ProportionalCluster::new(Cluster::homogeneous(4, 168.0), cfg);
+        let check = |e: &ProportionalCluster, ctx: &str| {
+            assert_eq!(
+                e.next_event_time().map(|t| t.as_secs().to_bits()),
+                e.next_event_time_scan().map(|t| t.as_secs().to_bits()),
+                "heap vs scan diverged {ctx}"
+            );
+        };
+        let mut id = 0u64;
+        for (r, gap) in raws.iter().zip(&gaps) {
+            let now = engine.now();
+            let mut j = job(id, r.runtime, r.runtime * r.est_factor, r.procs, r.deadline);
+            j.submit = now;
+            let nodes: Vec<NodeId> = (0..r.procs).map(NodeId).collect();
+            engine.admit(j, nodes, now);
+            id += 1;
+            check(&engine, "after admit");
+            // Advance a random fraction of the proposed gap (0 → no-op
+            // advance, 1 lands exactly on the event so completions and
+            // overrun re-arms are exercised too).
+            if let Some(next) = engine.next_event_time() {
+                let dt = (next - now).as_secs() * gap.min(1.0);
+                engine.advance(now + SimDuration::from_secs(dt));
+                check(&engine, "after advance");
+            }
+        }
+        // Drain to idle, checking at every event.
+        let mut guard = 0;
+        while let Some(t) = engine.next_event_time() {
+            check(&engine, "while draining");
+            engine.advance(t);
+            guard += 1;
+            prop_assert!(guard < 200_000, "engine failed to converge");
+        }
+        prop_assert!(engine.next_event_time_scan().is_none());
+    }
+
+    #[test]
+    fn workspace_projection_is_bitwise_identical(
+        jobs in proptest::collection::vec((1.0..10_000.0f64, -5_000.0..50_000.0f64), 0..20),
+        now in 0.0..1_000.0f64,
+        speed in 0.5..4.0f64,
+        disc in discipline(),
+    ) {
+        // Differential: the zero-allocation workspace kernel against the
+        // allocating entry points, over arbitrary job mixes. Both the
+        // projected finishes and the (μ, σ) pair must match bitwise.
+        let pjs: Vec<ProjectedJob> = jobs
+            .iter()
+            .map(|&(est, dl)| ProjectedJob { remaining_est: est, abs_deadline: dl })
+            .collect();
+        let mut ws = projection::ProjectionWorkspace::new();
+        let mut out = Vec::new();
+        // Run twice through the same workspace: the second pass exercises
+        // warm (dirty) buffers.
+        for pass in 0..2 {
+            let want = project_finishes(&pjs, now, speed, disc);
+            ws.project_finishes_into(&pjs, now, speed, disc, &mut out);
+            prop_assert_eq!(
+                want.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                out.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                "finishes diverged on pass {}", pass
+            );
+            let (mu_a, sigma_a) = node_risk(&pjs, now, speed, disc);
+            let (mu_b, sigma_b) = ws.node_risk_with(&pjs, now, speed, disc);
+            prop_assert_eq!(mu_a.to_bits(), mu_b.to_bits(), "mu diverged on pass {}", pass);
+            prop_assert_eq!(sigma_a.to_bits(), sigma_b.to_bits(), "sigma diverged on pass {}", pass);
+        }
+    }
+
+    #[test]
     fn space_shared_never_overcommits(
         widths in proptest::collection::vec(1u32..5, 1..20),
     ) {

@@ -19,10 +19,36 @@ use workload::Job;
 /// Slack tolerated on the unit-capacity test, absorbing float fuzz.
 pub const SHARE_EPSILON: f64 = 1e-9;
 
+/// Cached base share total of one node (the sum over residents, without
+/// any tentative job), valid for one `(epoch, now)` pair.
+#[derive(Clone, Copy, Debug)]
+struct ShareCacheEntry {
+    epoch: u64,
+    now_bits: u64,
+    base: f64,
+    valid: bool,
+}
+
+const INVALID_SHARE_ENTRY: ShareCacheEntry = ShareCacheEntry {
+    epoch: 0,
+    now_bits: 0,
+    base: 0.0,
+    valid: false,
+};
+
 /// The Libra admission control.
+///
+/// Consecutive decisions reuse per-node base share totals keyed on the
+/// engine's [`ProportionalCluster::node_epoch`] counters: when several
+/// jobs arrive between engine advances, only the nodes actually touched
+/// by an admission are re-summed. A policy instance therefore assumes it
+/// is consulted about a single engine; feed it a fresh instance per
+/// simulation (as [`crate::policy::PolicyKind::run`] does).
 #[derive(Clone, Debug)]
 pub struct Libra {
     name: String,
+    cache: Vec<ShareCacheEntry>,
+    suitable: Vec<(f64, NodeId)>,
 }
 
 impl Default for Libra {
@@ -36,6 +62,8 @@ impl Libra {
     pub fn new() -> Self {
         Libra {
             name: "Libra".to_string(),
+            cache: Vec::new(),
+            suitable: Vec::new(),
         }
     }
 
@@ -44,20 +72,19 @@ impl Libra {
         self.name = name.to_string();
         self
     }
-}
 
-impl ShareAdmission for Libra {
-    fn name(&self) -> String {
-        self.name.clone()
-    }
-
-    fn decide(&mut self, engine: &ProportionalCluster, job: &Job) -> Option<Vec<NodeId>> {
+    /// The pre-cache decision logic: every node's share total is summed
+    /// from scratch, tentative job included. Kept as the differential
+    /// reference — `decide` must return bitwise-identical rankings.
+    pub fn decide_reference(
+        &self,
+        engine: &ProportionalCluster,
+        job: &Job,
+    ) -> Option<Vec<NodeId>> {
         let want = job.procs as usize;
         if want > engine.cluster().len() {
             return None;
         }
-        // Rank every suitable node by the share it would have *after*
-        // accepting the job — fullest first (best fit).
         let mut suitable: Vec<(f64, NodeId)> = Vec::new();
         for node in engine.cluster().nodes() {
             let with_new = engine.node_total_share(node.id, Some(job));
@@ -74,6 +101,56 @@ impl ShareAdmission for Libra {
                 .then(a.1.cmp(&b.1))
         });
         Some(suitable.into_iter().take(want).map(|(_, id)| id).collect())
+    }
+}
+
+impl ShareAdmission for Libra {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn decide(&mut self, engine: &ProportionalCluster, job: &Job) -> Option<Vec<NodeId>> {
+        let want = job.procs as usize;
+        if want > engine.cluster().len() {
+            return None;
+        }
+        if self.cache.len() != engine.cluster().len() {
+            self.cache = vec![INVALID_SHARE_ENTRY; engine.cluster().len()];
+        }
+        let now_bits = engine.now().as_secs().to_bits();
+        // The tentative job's share is node-independent; summing it onto a
+        // node's cached base is bitwise identical to the from-scratch
+        // `node_total_share(node, Some(job))` because that sum also adds
+        // the tentative job last.
+        let job_share = engine.job_share(job);
+        // Rank every suitable node by the share it would have *after*
+        // accepting the job — fullest first (best fit).
+        self.suitable.clear();
+        for node in engine.cluster().nodes() {
+            let epoch = engine.node_epoch(node.id);
+            let c = &mut self.cache[node.id.0 as usize];
+            if !(c.valid && c.epoch == epoch && c.now_bits == now_bits) {
+                *c = ShareCacheEntry {
+                    epoch,
+                    now_bits,
+                    base: engine.node_total_share(node.id, None),
+                    valid: true,
+                };
+            }
+            let with_new = c.base + job_share;
+            if with_new <= 1.0 + SHARE_EPSILON {
+                self.suitable.push((with_new, node.id));
+            }
+        }
+        if self.suitable.len() < want {
+            return None;
+        }
+        self.suitable.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("shares are finite")
+                .then(a.1.cmp(&b.1))
+        });
+        Some(self.suitable.iter().take(want).map(|&(_, id)| id).collect())
     }
 }
 
@@ -159,6 +236,30 @@ mod tests {
         let mut libra = Libra::new();
         let e = engine(2);
         assert!(libra.decide(&e, &job(0, 1.0, 3, 100.0)).is_none());
+    }
+
+    #[test]
+    fn cached_decisions_match_reference_through_state_changes() {
+        let mut libra = Libra::new();
+        let mut e = engine(4);
+        let mut id = 100u64;
+        let mut t = 0.0;
+        for round in 0..30 {
+            let j = job(id, 20.0 + (round % 7) as f64 * 11.0, 1 + (round % 2) as u32, 120.0);
+            id += 1;
+            let cached = libra.decide(&e, &j);
+            let reference = libra.decide_reference(&e, &j);
+            assert_eq!(cached, reference, "round {round}");
+            if let Some(nodes) = cached {
+                e.admit(j, nodes, sim::SimTime::from_secs(t));
+            }
+            if round % 3 == 2 {
+                if let Some(next) = e.next_event_time() {
+                    t = next.as_secs();
+                    e.advance(next);
+                }
+            }
+        }
     }
 
     #[test]

@@ -21,8 +21,10 @@
 //!    delays and is avoided, where Libra would happily keep loading it.
 
 use crate::policy::ShareAdmission;
-use cluster::projection::{is_zero_risk, node_risk, node_risk_single_segment};
-use cluster::proportional::ProportionalCluster;
+use cluster::projection::{
+    is_zero_risk, node_risk, node_risk_single_segment, ProjectedJob, ProjectionWorkspace,
+};
+use cluster::proportional::{projected_job, ProportionalCluster};
 use cluster::NodeId;
 use workload::Job;
 
@@ -44,13 +46,33 @@ pub enum NodeOrdering {
 /// [`LibraRisk::require_unit_mu`] is enabled.
 pub const MU_EPSILON: f64 = 1e-9;
 
+/// Cached scheduler-visible projection input of one node (its residents
+/// only, no tentative job), valid for one engine epoch.
+#[derive(Clone, Debug, Default)]
+struct NodeProjectionCache {
+    epoch: Option<u64>,
+    jobs: Vec<ProjectedJob>,
+}
+
 /// The LibraRisk admission control.
+///
+/// The decision loop is incremental and allocation-free after warm-up:
+/// each node's resident projection input is cached against the engine's
+/// [`ProportionalCluster::node_epoch`] counter (rebuilt only for nodes
+/// an admission or advance actually touched), the piecewise projection
+/// runs in a reusable [`ProjectionWorkspace`], and an empty node skips
+/// the projection outright — a lone tentative job's deadline-delay has
+/// no dispersion, so its `σ_j` is exactly zero. Like [`crate::Libra`],
+/// an instance assumes it is consulted about a single engine.
 #[derive(Clone, Debug)]
 pub struct LibraRisk {
     name: String,
     ordering: NodeOrdering,
     require_unit_mu: bool,
     naive_projection: bool,
+    cache: Vec<NodeProjectionCache>,
+    ws: ProjectionWorkspace,
+    zero_risk: Vec<NodeId>,
 }
 
 impl Default for LibraRisk {
@@ -67,6 +89,67 @@ impl LibraRisk {
             ordering: NodeOrdering::ById,
             require_unit_mu: false,
             naive_projection: false,
+            cache: Vec::new(),
+            ws: ProjectionWorkspace::new(),
+            zero_risk: Vec::new(),
+        }
+    }
+
+    /// The pre-cache decision logic: every node is projected from scratch
+    /// with freshly allocated buffers. Kept as the differential reference
+    /// — `decide` must return identical decisions — and as the baseline
+    /// the admission benchmarks compare against.
+    pub fn decide_reference(
+        &self,
+        engine: &ProportionalCluster,
+        job: &Job,
+    ) -> Option<Vec<NodeId>> {
+        let want = job.procs as usize;
+        if want > engine.cluster().len() {
+            return None;
+        }
+        let now = engine.now().as_secs();
+        let discipline = engine.config().discipline;
+        let mut zero_risk_nodes: Vec<NodeId> = Vec::new();
+        for node in engine.cluster().nodes() {
+            let projected = engine.node_projection(node.id, Some(job));
+            let speed = engine.cluster().speed_factor(node.id);
+            let (mu, sigma) = if self.naive_projection {
+                node_risk_single_segment(&projected, now, speed, discipline)
+            } else {
+                node_risk(&projected, now, speed, discipline)
+            };
+            let suitable = is_zero_risk(sigma)
+                && (!self.require_unit_mu || (mu - 1.0).abs() <= MU_EPSILON);
+            if suitable {
+                zero_risk_nodes.push(node.id);
+            }
+        }
+        if zero_risk_nodes.len() < want {
+            return None;
+        }
+        self.order_nodes(&mut zero_risk_nodes, engine);
+        zero_risk_nodes.truncate(want);
+        Some(zero_risk_nodes)
+    }
+
+    fn order_nodes(&self, nodes: &mut [NodeId], engine: &ProportionalCluster) {
+        match self.ordering {
+            NodeOrdering::ById => {} // already ascending by construction
+            NodeOrdering::MostLoadedFirst => {
+                nodes.sort_by(|a, b| {
+                    let sa = engine.node_total_share(*a, None);
+                    let sb = engine.node_total_share(*b, None);
+                    sb.partial_cmp(&sa).expect("finite shares").then(a.cmp(b))
+                });
+            }
+            NodeOrdering::LeastLoadedFirst => {
+                nodes.sort_by(|a, b| {
+                    let sa = engine.node_total_share(*a, None);
+                    let sb = engine.node_total_share(*b, None);
+                    sa.partial_cmp(&sb).expect("finite shares").then(a.cmp(b))
+                });
+            }
         }
     }
 
@@ -120,48 +203,60 @@ impl ShareAdmission for LibraRisk {
         if want > engine.cluster().len() {
             return None;
         }
+        if self.cache.len() != engine.cluster().len() {
+            self.cache = vec![NodeProjectionCache::default(); engine.cluster().len()];
+        }
         let now = engine.now().as_secs();
         let discipline = engine.config().discipline;
+        let tentative = projected_job(job);
         // Algorithm 1, lines 1–11: evaluate σ_j per node with the new job
         // tentatively added.
-        let mut zero_risk_nodes: Vec<NodeId> = Vec::new();
+        self.zero_risk.clear();
         for node in engine.cluster().nodes() {
-            let projected = engine.node_projection(node.id, Some(job));
-            let speed = engine.cluster().speed_factor(node.id);
-            let (mu, sigma) = if self.naive_projection {
-                node_risk_single_segment(&projected, now, speed, discipline)
+            let c = &mut self.cache[node.id.0 as usize];
+            let epoch = engine.node_epoch(node.id);
+            if c.epoch != Some(epoch) {
+                engine.node_projection_into(node.id, None, &mut c.jobs);
+                c.epoch = Some(epoch);
+            }
+            let suitable = if c.jobs.is_empty() && !self.require_unit_mu && !self.naive_projection
+            {
+                // Empty-node fast path: a lone job's deadline-delay is a
+                // single sample, so its population dispersion — Eq. 6's
+                // σ_j — is exactly 0.0 however late the projection runs.
+                // `node_risk` computes `sqrt(max(0, dd·dd − μ·μ))` with
+                // μ = dd, which is exactly 0.0 too, so skipping the
+                // projection cannot flip a decision.
+                true
             } else {
-                node_risk(&projected, now, speed, discipline)
+                let speed = engine.cluster().speed_factor(node.id);
+                let (mu, sigma) = if self.naive_projection {
+                    let stage = self.ws.stage();
+                    stage.extend_from_slice(&c.jobs);
+                    stage.push(tentative);
+                    node_risk_single_segment(self.ws.staged(), now, speed, discipline)
+                } else {
+                    let stage = self.ws.stage();
+                    stage.extend_from_slice(&c.jobs);
+                    stage.push(tentative);
+                    self.ws.node_risk_staged(now, speed, discipline)
+                };
+                is_zero_risk(sigma)
+                    && (!self.require_unit_mu || (mu - 1.0).abs() <= MU_EPSILON)
             };
-            let suitable = is_zero_risk(sigma)
-                && (!self.require_unit_mu || (mu - 1.0).abs() <= MU_EPSILON);
             if suitable {
-                zero_risk_nodes.push(node.id);
+                self.zero_risk.push(node.id);
             }
         }
         // Lines 12–18: accept iff enough suitable nodes exist.
-        if zero_risk_nodes.len() < want {
+        if self.zero_risk.len() < want {
             return None;
         }
-        match self.ordering {
-            NodeOrdering::ById => {} // already ascending by construction
-            NodeOrdering::MostLoadedFirst => {
-                zero_risk_nodes.sort_by(|a, b| {
-                    let sa = engine.node_total_share(*a, None);
-                    let sb = engine.node_total_share(*b, None);
-                    sb.partial_cmp(&sa).expect("finite shares").then(a.cmp(b))
-                });
-            }
-            NodeOrdering::LeastLoadedFirst => {
-                zero_risk_nodes.sort_by(|a, b| {
-                    let sa = engine.node_total_share(*a, None);
-                    let sb = engine.node_total_share(*b, None);
-                    sa.partial_cmp(&sb).expect("finite shares").then(a.cmp(b))
-                });
-            }
-        }
-        zero_risk_nodes.truncate(want);
-        Some(zero_risk_nodes)
+        let mut ranked = std::mem::take(&mut self.zero_risk);
+        self.order_nodes(&mut ranked, engine);
+        let out: Vec<NodeId> = ranked.iter().take(want).copied().collect();
+        self.zero_risk = ranked; // hand the warm buffer back for reuse
+        Some(out)
     }
 }
 
@@ -289,6 +384,43 @@ mod tests {
         let mut naive = LibraRisk::paper().with_naive_projection(true);
         assert!(naive.decide(&e, &j).is_some());
         assert_eq!(naive.name(), "LibraRisk-NaiveProj");
+    }
+
+    #[test]
+    fn cached_decisions_match_reference_through_state_changes() {
+        for variant in [
+            LibraRisk::paper(),
+            LibraRisk::paper().require_unit_mu(true),
+            LibraRisk::paper().with_naive_projection(true),
+            LibraRisk::paper().with_ordering(NodeOrdering::MostLoadedFirst),
+            LibraRisk::paper().with_ordering(NodeOrdering::LeastLoadedFirst),
+        ] {
+            let mut lr = variant;
+            let mut e = engine(4);
+            let mut id = 100u64;
+            let mut t = 0.0;
+            for round in 0..30 {
+                let j = job(
+                    id,
+                    20.0 + (round % 7) as f64 * 13.0,
+                    1 + (round % 2) as u32,
+                    110.0 + (round % 3) as f64 * 40.0,
+                );
+                id += 1;
+                let cached = lr.decide(&e, &j);
+                let reference = lr.decide_reference(&e, &j);
+                assert_eq!(cached, reference, "{} round {round}", lr.name());
+                if let Some(nodes) = cached {
+                    e.admit(j, nodes, sim::SimTime::from_secs(t));
+                }
+                if round % 3 == 2 {
+                    if let Some(next) = e.next_event_time() {
+                        t = next.as_secs();
+                        e.advance(next);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -20,6 +20,13 @@ use workload::{Job, Trace};
 /// exactly `job.procs` distinct nodes, `None` rejects it irrevocably (the
 /// paper's model: SLA terms cannot change after submission, and rejected
 /// jobs do not return).
+///
+/// `decide` takes `&mut self` so implementations can memoise per-node
+/// work across consecutive decisions (both built-in policies cache
+/// against [`ProportionalCluster::node_epoch`]). The contract for such
+/// caches: a policy instance is consulted about **one** engine for its
+/// whole life — create a fresh instance per simulation, as
+/// [`PolicyKind::run`] does.
 pub trait ShareAdmission {
     /// Display name of the policy (used in reports and figures).
     fn name(&self) -> String;

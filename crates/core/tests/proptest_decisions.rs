@@ -1,0 +1,156 @@
+//! Differential property tests for the incremental admission decision
+//! path.
+//!
+//! The cached/incremental `decide` of every share-based policy (the
+//! proportional-share members of `PolicyKind::PAPER` — Libra and
+//! LibraRisk — plus every LibraRisk ablation variant) must return
+//! decisions *identical* to its from-scratch `decide_reference` —
+//! accept/reject and the exact chosen node list — over randomized
+//! admit/advance/complete sequences. Any divergence means a cache key
+//! misses an invalidation (an epoch not bumped, a `now` leaking through)
+//! and would silently change simulation results.
+
+use cluster::proportional::{ProportionalCluster, ProportionalConfig};
+use cluster::{Cluster, NodeId};
+use librisk::libra::Libra;
+use librisk::libra_risk::{LibraRisk, NodeOrdering};
+use librisk::policy::ShareAdmission;
+use proptest::prelude::*;
+use sim::{SimDuration, SimTime};
+use workload::{Job, JobId, Urgency};
+
+/// One randomized arrival: job shape plus how far to advance afterwards.
+#[derive(Debug, Clone)]
+struct Arrival {
+    runtime: f64,
+    est_factor: f64,
+    deadline: f64,
+    procs: u32,
+    /// Fraction of the next event gap to advance after the decision
+    /// (0 → next arrival at the same instant; 1 → land on the event).
+    advance_frac: f64,
+}
+
+fn arrival() -> impl Strategy<Value = Arrival> {
+    (
+        1.0..2_000.0f64,
+        0.2..6.0f64,
+        10.0..10_000.0f64,
+        1u32..4,
+        0.0..1.0f64,
+    )
+        .prop_map(|(runtime, est_factor, deadline, procs, advance_frac)| Arrival {
+            runtime,
+            est_factor,
+            deadline,
+            procs,
+            advance_frac,
+        })
+}
+
+fn job_at(id: u64, a: &Arrival, now: SimTime) -> Job {
+    Job {
+        id: JobId(id),
+        submit: now,
+        runtime: SimDuration::from_secs(a.runtime),
+        estimate: SimDuration::from_secs(a.runtime * a.est_factor),
+        procs: a.procs,
+        deadline: SimDuration::from_secs(a.deadline),
+        urgency: Urgency::Low,
+    }
+}
+
+/// Feeds a randomized trace through one policy, asserting at every
+/// arrival that the cached decision equals the from-scratch reference,
+/// then applying the decision so caches face real admissions,
+/// completions, overrun re-arms, and time advances.
+fn assert_cached_matches_reference<P, R>(
+    policy: &mut P,
+    reference: R,
+    arrivals: &[Arrival],
+    nodes: usize,
+) where
+    P: ShareAdmission,
+    R: Fn(&P, &ProportionalCluster, &Job) -> Option<Vec<NodeId>>,
+{
+    let cfg = ProportionalConfig::default();
+    let mut engine = ProportionalCluster::new(Cluster::homogeneous(nodes, 168.0), cfg);
+    for (i, a) in arrivals.iter().enumerate() {
+        let now = engine.now();
+        let j = job_at(i as u64, a, now);
+        let cached = policy.decide(&engine, &j);
+        let scratch = reference(policy, &engine, &j);
+        assert_eq!(
+            cached,
+            scratch,
+            "{}: cached decision diverged from reference at arrival {i}",
+            policy.name()
+        );
+        if let Some(alloc) = cached {
+            engine.admit(j, alloc, now);
+        }
+        if a.advance_frac > 0.0 {
+            if let Some(next) = engine.next_event_time() {
+                let dt = (next - now).as_secs() * a.advance_frac;
+                engine.advance(now + SimDuration::from_secs(dt));
+            }
+        }
+    }
+    // Drain: decisions already verified; the engine must still converge.
+    let mut guard = 0;
+    while let Some(t) = engine.next_event_time() {
+        engine.advance(t);
+        guard += 1;
+        assert!(guard < 200_000, "engine failed to converge");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn libra_cached_equals_from_scratch(
+        arrivals in proptest::collection::vec(arrival(), 1..40),
+    ) {
+        let mut p = Libra::new();
+        assert_cached_matches_reference(
+            &mut p,
+            |p: &Libra, e, j| p.decide_reference(e, j),
+            &arrivals,
+            6,
+        );
+    }
+
+    #[test]
+    fn libra_risk_cached_equals_from_scratch(
+        arrivals in proptest::collection::vec(arrival(), 1..40),
+    ) {
+        let mut p = LibraRisk::paper();
+        assert_cached_matches_reference(
+            &mut p,
+            |p: &LibraRisk, e, j| p.decide_reference(e, j),
+            &arrivals,
+            6,
+        );
+    }
+
+    #[test]
+    fn libra_risk_variants_cached_equal_from_scratch(
+        arrivals in proptest::collection::vec(arrival(), 1..24),
+    ) {
+        for variant in [
+            LibraRisk::paper().require_unit_mu(true),
+            LibraRisk::paper().with_naive_projection(true),
+            LibraRisk::paper().with_ordering(NodeOrdering::MostLoadedFirst),
+            LibraRisk::paper().with_ordering(NodeOrdering::LeastLoadedFirst),
+        ] {
+            let mut p = variant;
+            assert_cached_matches_reference(
+                &mut p,
+                |p: &LibraRisk, e, j| p.decide_reference(e, j),
+                &arrivals,
+                4,
+            );
+        }
+    }
+}

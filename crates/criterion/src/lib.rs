@@ -1,0 +1,298 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal timing harness exposing the API surface the `bench`
+//! crate uses: `Criterion::benchmark_group`, `BenchmarkGroup` with
+//! `sample_size`/`throughput`/`bench_function`/`bench_with_input`/`finish`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model (simpler than real criterion, same spirit): each
+//! benchmark is warmed up, then timed over `sample_size` samples of an
+//! adaptively chosen iteration batch; the median, mean, and min
+//! nanoseconds per iteration are reported on stdout, plus derived
+//! throughput when one was declared. Set `CRITERION_SAMPLE_MS` to change
+//! the per-sample time budget (default 20 ms).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput declaration for a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new<N: std::fmt::Display, P: std::fmt::Display>(name: N, param: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter<P: std::fmt::Display>(param: P) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    sample_budget: Duration,
+    sample_count: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, storing per-iteration nanoseconds samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + batch sizing: grow the batch until one batch costs at
+        // least ~1/4 of the sample budget (so Instant overhead vanishes).
+        let mut batch: u64 = 1;
+        let floor = self.sample_budget / 4;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= floor || batch >= 1 << 30 {
+                break;
+            }
+            batch = if el.is_zero() {
+                batch * 16
+            } else {
+                let scale = floor.as_nanos().div_ceil(el.as_nanos().max(1));
+                (batch * scale as u64 * 2).clamp(batch + 1, 1 << 30)
+            };
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            self.samples.push(el.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_count: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timing samples (real criterion's meaning; here
+    /// it directly bounds measurement wall time).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(3);
+        self
+    }
+
+    /// Sets the measurement time; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benches a closure with no extra input.
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b));
+        self
+    }
+
+    /// Benches a closure against one input value.
+    pub fn bench_with_input<I: ?Sized, D, F>(&mut self, id: D, input: &I, mut f: F) -> &mut Self
+    where
+        D: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report lines are printed as benches run).
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_budget: sample_budget(),
+            sample_count: self.sample_count,
+        };
+        f(&mut bencher);
+        let line = report_line(&self.name, id, &samples, self.throughput);
+        println!("{line}");
+    }
+}
+
+fn sample_budget() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(20);
+    Duration::from_millis(ms.max(1))
+}
+
+fn report_line(
+    group: &str,
+    id: &str,
+    samples: &[f64],
+    throughput: Option<Throughput>,
+) -> String {
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let min = sorted[0];
+    let mut line = format!(
+        "{group}/{id}: median {} mean {} min {}",
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(min)
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let _ = write!(line, "  thrpt {:.3} Melem/s", n as f64 / median * 1e3);
+        }
+        Some(Throughput::Bytes(n)) => {
+            let _ = write!(line, "  thrpt {:.3} MiB/s", n as f64 / median * 1e9 / (1 << 20) as f64);
+        }
+        None => {}
+    }
+    line
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: std::fmt::Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            sample_count: 30,
+            _criterion: self,
+        }
+    }
+
+    /// Benches a standalone closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            name: "bench".to_string(),
+            throughput: None,
+            sample_count: 30,
+            _criterion: self,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_contain_group_and_id() {
+        let line = report_line("g", "f/3", &[10.0, 30.0, 20.0], Some(Throughput::Elements(3)));
+        assert!(line.starts_with("g/f/3:"));
+        assert!(line.contains("median 20.0 ns"));
+        assert!(line.contains("thrpt"));
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert_eq!(fmt_ns(5.0), "5.0 ns");
+        assert_eq!(fmt_ns(1500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2.5e6), "2.50 ms");
+    }
+}

@@ -12,7 +12,7 @@
 //!    [`metrics::Series`] curves.
 //!
 //! The [`sweep`] module runs the cross product of (sweep point × policy ×
-//! seed) on a crossbeam thread pool; [`figures`] defines the four sweeps
+//! seed) on a scoped thread pool; [`figures`] defines the four sweeps
 //! of the paper plus our ablations; [`report`] renders everything as
 //! markdown and CSV.
 

@@ -2,14 +2,14 @@
 //!
 //! A sweep is the cross product of (sweep point × policy × seed); each
 //! cell is an independent full simulation, so cells are farmed out to a
-//! crossbeam scoped thread pool and aggregated into per-policy
+//! scoped thread pool and aggregated into per-policy
 //! [`metrics::Series`] curves (mean ± CI across seeds at each point).
 
 use crate::scenario::Scenario;
 use librisk::PolicyKind;
 use metrics::Series;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One cell's result.
 #[derive(Clone, Debug)]
@@ -78,16 +78,16 @@ pub fn run_sweep(
 
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Cell>> = Mutex::new(Vec::with_capacity(work.len()));
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(work.len()) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= work.len() {
                     break;
                 }
                 let (x, scenario, policy) = &work[i];
                 let report = scenario.run(*policy);
-                results.lock().push(Cell {
+                results.lock().expect("sweep worker panicked").push(Cell {
                     order: i,
                     policy: *policy,
                     x: *x,
@@ -97,11 +97,10 @@ pub fn run_sweep(
                 });
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     // Deterministic aggregation order regardless of completion order.
-    let mut cells = results.into_inner();
+    let mut cells = results.into_inner().expect("sweep worker panicked");
     cells.sort_by_key(|c| c.order);
 
     let mut outcome = SweepOutcome {

@@ -1,0 +1,523 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal property-testing runtime exposing exactly the API
+//! surface the repo's test suites use: the [`proptest!`] macro with an
+//! optional `#![proptest_config(...)]` attribute, [`Strategy`] with
+//! `prop_map`, numeric range strategies, tuple strategies,
+//! [`collection::vec`], [`Just`], [`any`], a simple `[class]{m,n}` string
+//! strategy, [`prop_oneof!`], and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs (via
+//!   `Debug`) and the case index, then re-raises the panic.
+//! * **Deterministic seeding.** Cases derive from a fixed seed hashed with
+//!   the test's module path and name, so failures reproduce across runs.
+//!   Set `PROPTEST_SEED=<u64>` to explore a different stream.
+//! * `prop_assert!`/`prop_assert_eq!` panic (like `assert!`) instead of
+//!   returning `Err` — equivalent observable behaviour under this runner.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Runner configuration, selected with `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic splitmix64 stream used to generate case inputs.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a stream from a test identifier (stable across runs).
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the test name, mixed with an optional env override.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let env = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        TestRng {
+            state: h ^ env.rotate_left(17),
+        }
+    }
+
+    /// An independent stream for one case of this test.
+    pub fn fork(&self, case: u64) -> TestRng {
+        let mut rng = TestRng {
+            state: self.state ^ case.wrapping_mul(0xff51_afd7_ed55_8ccd),
+        };
+        // Decorrelate adjacent case indices.
+        rng.next_u64();
+        rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be > 0.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift rejection-free mapping is fine for test data.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test-case values.
+///
+/// Unlike real proptest there is no shrinking tree; a strategy simply
+/// produces a value from the RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let x = self.start + (rng.next_f64() as $t) * (self.end - self.start);
+                // Float rounding may land exactly on `end`; stay half-open.
+                if x >= self.end { self.start } else { x }
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, spanning a wide magnitude range.
+        let mag = rng.next_f64() * 1e9;
+        if rng.next_u64() & 1 == 1 {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+/// Strategy for [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — an arbitrary value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// String strategy from a `"[class]{m,n}"` pattern (the subset of regex
+/// syntax this workspace's tests use). Supports single characters,
+/// `a-z` ranges and `\`-escapes inside the class.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `[abc x-y]{m,n}` into (alphabet, m, n). Returns `None` on any
+/// other shape.
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let mut alphabet = Vec::new();
+    let mut chars = rest.chars().peekable();
+    let mut closed = false;
+    let mut tail = String::new();
+    while let Some(c) = chars.next() {
+        if closed {
+            tail.push(c);
+            continue;
+        }
+        match c {
+            ']' => closed = true,
+            '\\' => alphabet.push(chars.next()?),
+            _ => {
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    let hi = chars.next()?;
+                    if hi == ']' {
+                        alphabet.push(c);
+                        alphabet.push('-');
+                        closed = true;
+                    } else {
+                        for x in c as u32..=hi as u32 {
+                            alphabet.push(char::from_u32(x)?);
+                        }
+                    }
+                } else {
+                    alphabet.push(c);
+                }
+            }
+        }
+    }
+    if !closed || alphabet.is_empty() {
+        return None;
+    }
+    let counts = tail.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = counts.split_once(',')?;
+    Some((alphabet, lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `len`
+    /// (half-open, matching `proptest::collection::vec`).
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// A vector of values from `elem` with length in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty vec length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Uniform choice among same-typed strategies (see [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    /// Builds a union; used by the `prop_oneof!` expansion.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty());
+        Union { options }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Chooses uniformly between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let options: Vec<Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(Box::new($strat)),+];
+        $crate::Union::new(options)
+    }};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// runs `cases` times with freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (cfg = $cfg:expr; $(
+        #[test]
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let stream =
+                $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..u64::from(config.cases) {
+                let mut rng = stream.fork(case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let desc = format!(concat!($(stringify!($arg), " = {:?}  "),*), $(&$arg),*);
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || { $body },
+                ));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest case {case}/{} of {} failed with inputs: {desc}",
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// The glob import real proptest users write.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::deterministic("bounds");
+        for _ in 0..2000 {
+            let x = (5u32..17).generate(&mut rng);
+            assert!((5..17).contains(&x));
+            let f = (-2.0..3.0f64).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+            let i = (-10i32..-2).generate(&mut rng);
+            assert!((-10..-2).contains(&i));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let mut rng = TestRng::deterministic("vec");
+        for _ in 0..500 {
+            let v = collection::vec(0.0..1.0f64, 1..7).generate(&mut rng);
+            assert!((1..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn string_class_pattern_generates_members_only() {
+        let mut rng = TestRng::deterministic("class");
+        let pat = "[a-c,\"\n]{0,12}";
+        for _ in 0..500 {
+            let s = pat.generate(&mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | ',' | '"' | '\n')));
+        }
+    }
+
+    #[test]
+    fn oneof_and_just_and_map_compose() {
+        let mut rng = TestRng::deterministic("oneof");
+        let s = prop_oneof![Just(1u8), Just(2u8)].prop_map(|x| x * 10);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v == 10 || v == 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = TestRng::deterministic("x").fork(3).next_u64();
+        let b = TestRng::deterministic("x").fork(3).next_u64();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_runs(x in 0u64..100, ys in collection::vec(0.0..1.0f64, 1..4)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.is_empty(), false);
+        }
+    }
+}
