@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus a benchmark smoke run.
+#
+#   ./ci.sh
+#
+# Fails on any build error, test failure, or a panic inside the
+# admission benchmark (including its built-in heap-vs-scan and
+# decision-differential assertions).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1: build (release) =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== bench smoke: admission =="
+# Small counts; writes to a scratch path so the committed
+# BENCH_admission.json baseline (full-size run) is not clobbered.
+smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
+trap 'rm -f "$smoke_out"' EXIT
+cargo run --release -p bench --bin bench_admission -- 200 2 400 "$smoke_out" >/dev/null
+
+echo "ci.sh: OK"

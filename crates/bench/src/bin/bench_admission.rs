@@ -1,11 +1,13 @@
 //! `bench-json` mode for the admission hot path: times the steady-state
 //! decide loop (cached incremental `decide` vs the pre-change
-//! from-scratch `decide_reference` kernel) and the engine's event loop
-//! (heap-driven `next_event_time` vs the retired full scan), then writes
-//! the results to `BENCH_admission.json` in the working directory.
+//! from-scratch `decide_reference` kernel) per policy — mean, p50 and
+//! p99 ns/decision — across a residents-per-node sweep, plus the
+//! engine's event loop (heap-driven `next_event_time` vs the retired
+//! full scan), then writes the results as JSON.
 //!
 //! ```text
-//! cargo run --release -p bench --bin bench_admission [decisions] [residents_per_node]
+//! cargo run --release -p bench --bin bench_admission \
+//!     [decisions] [residents_per_node] [drain_jobs] [out_path]
 //! ```
 
 use cluster::proportional::{ProportionalCluster, ProportionalConfig};
@@ -13,6 +15,7 @@ use cluster::{Cluster, NodeId};
 use librisk::libra::Libra;
 use librisk::libra_risk::LibraRisk;
 use librisk::policy::ShareAdmission;
+use metrics::percentile::quantile;
 use sim::{SimDuration, SimTime};
 use std::hint::black_box;
 use std::time::Instant;
@@ -57,14 +60,66 @@ fn candidate_stream(n: usize) -> Vec<Job> {
         .collect()
 }
 
-/// Times `n` decisions through `f` (after a short warm-up) and returns
-/// nanoseconds per decision.
-fn ns_per_decision<F: FnMut(&Job) -> Option<Vec<NodeId>>>(
+/// Per-policy timing summary: mean/p50/p99 ns per cached decision, the
+/// from-scratch reference's mean, and the resulting speedup.
+struct PolicyTiming {
+    cached_mean: f64,
+    cached_p50: f64,
+    cached_p99: f64,
+    reference_mean: f64,
+}
+
+impl PolicyTiming {
+    fn speedup(&self) -> f64 {
+        self.reference_mean / self.cached_mean
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{ \"cached_ns_per_decision\": {:.1}, \
+             \"cached_p50_ns\": {:.1}, \
+             \"cached_p99_ns\": {:.1}, \
+             \"reference_ns_per_decision\": {:.1}, \
+             \"speedup\": {:.2} }}",
+            self.cached_mean,
+            self.cached_p50,
+            self.cached_p99,
+            self.reference_mean,
+            self.speedup()
+        )
+    }
+}
+
+/// Times `n` decisions through `f`, sampling each decision individually
+/// so tails are visible. The warm-up covers the *whole* candidate stream
+/// once, so the timed loop measures the steady state (every candidate
+/// signature already seen — what a long simulation converges to).
+fn sample_decisions<F: FnMut(&Job) -> Option<Vec<NodeId>>>(
+    mut f: F,
+    stream: &[Job],
+    n: usize,
+) -> Vec<f64> {
+    for j in stream {
+        black_box(f(j));
+    }
+    let mut samples = Vec::with_capacity(n);
+    for i in 0..n {
+        let j = &stream[i % stream.len()];
+        let t = Instant::now();
+        black_box(f(j));
+        samples.push(t.elapsed().as_nanos() as f64);
+    }
+    samples
+}
+
+/// Mean of the from-scratch reference path (mean only: the reference is
+/// orders of magnitude slower, so a smaller `n` keeps the sweep cheap).
+fn reference_mean<F: FnMut(&Job) -> Option<Vec<NodeId>>>(
     mut f: F,
     stream: &[Job],
     n: usize,
 ) -> f64 {
-    for j in stream.iter().take(100) {
+    for j in stream.iter().take(50) {
         black_box(f(j));
     }
     let t = Instant::now();
@@ -74,9 +129,62 @@ fn ns_per_decision<F: FnMut(&Job) -> Option<Vec<NodeId>>>(
     t.elapsed().as_nanos() as f64 / n as f64
 }
 
+fn stats(samples: &[f64]) -> (f64, f64, f64) {
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let p50 = quantile(samples, 0.50).expect("samples nonempty");
+    let p99 = quantile(samples, 0.99).expect("samples nonempty");
+    (mean, p50, p99)
+}
+
+/// Times both policies on one engine load level.
+fn time_policies(
+    engine: &ProportionalCluster,
+    stream: &[Job],
+    decisions: usize,
+    reference_decisions: usize,
+) -> (PolicyTiming, PolicyTiming) {
+    let mut libra = Libra::new();
+    let libra_samples = sample_decisions(|j| libra.decide(engine, j), stream, decisions);
+    let libra_ref = Libra::new();
+    let libra_reference = reference_mean(
+        |j| libra_ref.decide_reference(engine, j),
+        stream,
+        reference_decisions,
+    );
+    let (mean, p50, p99) = stats(&libra_samples);
+    let libra_timing = PolicyTiming {
+        cached_mean: mean,
+        cached_p50: p50,
+        cached_p99: p99,
+        reference_mean: libra_reference,
+    };
+
+    let mut lr = LibraRisk::paper();
+    let lr_samples = sample_decisions(|j| lr.decide(engine, j), stream, decisions);
+    let lr_ref = LibraRisk::paper();
+    let lr_reference = reference_mean(
+        |j| lr_ref.decide_reference(engine, j),
+        stream,
+        reference_decisions,
+    );
+    let (mean, p50, p99) = stats(&lr_samples);
+    let lr_timing = PolicyTiming {
+        cached_mean: mean,
+        cached_p50: p50,
+        cached_p99: p99,
+        reference_mean: lr_reference,
+    };
+    (libra_timing, lr_timing)
+}
+
 /// Builds an engine loaded with an overrun-heavy mix and drains it to
 /// idle, taking the next event time from the lazy heap or from the
 /// retained full scan. Returns (events processed, seconds of wall time).
+///
+/// Job shapes are de-symmetrised (per-index runtime jitter, staggered
+/// finite deadlines) so completions, overrun re-arms and deadline
+/// crossings land on distinct instants — thousands of events, not a few
+/// hundred synchronized ones.
 fn drain_events(jobs: usize, use_scan: bool) -> (u64, f64) {
     let mut engine =
         ProportionalCluster::new(Cluster::sdsc_sp2(), ProportionalConfig::default());
@@ -84,9 +192,10 @@ fn drain_events(jobs: usize, use_scan: bool) -> (u64, f64) {
     for i in 0..jobs {
         // A third of the jobs under-estimate (runtime > estimate) so the
         // drain exercises overrun re-arms, not just clean completions.
-        let runtime = 300.0 + (i % 23) as f64 * 30.0;
+        let runtime = 300.0 + (i as f64 * 7.919) % 700.0;
         let est_factor = [0.5, 1.0, 2.0][i % 3];
-        let mut j = job(i as u64, runtime * est_factor, 1e7);
+        let deadline = 2_000.0 + (i as f64 * 13.37) % 6_000.0;
+        let mut j = job(i as u64, runtime * est_factor, deadline);
         j.runtime = SimDuration::from_secs(runtime);
         engine.admit(j, vec![NodeId((i % nodes) as u32)], SimTime::ZERO);
     }
@@ -113,28 +222,38 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(10_000);
     let residents: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let drain_jobs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_admission.json".to_string());
 
+    let stream = candidate_stream(3_737.min(decisions.max(1)));
+
+    // Headline workload: the committed-baseline configuration.
     let engine = loaded_engine(residents);
-    let stream = candidate_stream(decisions.max(1));
-
     eprintln!(
         "steady-state decide loop: {decisions} decisions, {} nodes x {residents} residents",
         engine.cluster().len()
     );
+    let reference_decisions = decisions.clamp(1, 500);
+    let (libra_t, lr_t) = time_policies(&engine, &stream, decisions, reference_decisions);
 
-    let mut libra = Libra::new();
-    let libra_cached = ns_per_decision(|j| libra.decide(&engine, j), &stream, decisions);
-    let libra_ref_policy = Libra::new();
-    let libra_reference =
-        ns_per_decision(|j| libra_ref_policy.decide_reference(&engine, j), &stream, decisions);
+    // Residents-per-node sweep: how the hot path scales with load.
+    let sweep_levels = [2usize, 8, 32];
+    let mut sweep_cells = Vec::new();
+    for &level in &sweep_levels {
+        let engine = loaded_engine(level);
+        let cell_decisions = (decisions / 4).max(1);
+        let cell_reference = decisions.clamp(1, 200);
+        eprintln!("residents sweep: {level} residents/node, {cell_decisions} decisions");
+        let (libra_c, lr_c) = time_policies(&engine, &stream, cell_decisions, cell_reference);
+        sweep_cells.push(format!(
+            "    {{ \"residents_per_node\": {level}, \"policies\": {{\n      \
+             \"Libra\": {},\n      \"LibraRisk\": {}\n    }} }}",
+            libra_c.json(),
+            lr_c.json()
+        ));
+    }
 
-    let mut lr = LibraRisk::paper();
-    let lr_cached = ns_per_decision(|j| lr.decide(&engine, j), &stream, decisions);
-    let lr_ref_policy = LibraRisk::paper();
-    let lr_reference =
-        ns_per_decision(|j| lr_ref_policy.decide_reference(&engine, j), &stream, decisions);
-
-    let drain_jobs = 2_000;
+    eprintln!("event loop drain: {drain_jobs} jobs");
     let (heap_events, heap_secs) = drain_events(drain_jobs, false);
     let (scan_events, scan_secs) = drain_events(drain_jobs, true);
     assert_eq!(heap_events, scan_events, "heap and scan drains diverged");
@@ -144,21 +263,19 @@ fn main() {
     let json = format!(
         "{{\n  \"decisions\": {decisions},\n  \"residents_per_node\": {residents},\n  \
          \"policies\": {{\n    \
-         \"Libra\": {{ \"cached_ns_per_decision\": {libra_cached:.1}, \
-         \"reference_ns_per_decision\": {libra_reference:.1}, \
-         \"speedup\": {:.2} }},\n    \
-         \"LibraRisk\": {{ \"cached_ns_per_decision\": {lr_cached:.1}, \
-         \"reference_ns_per_decision\": {lr_reference:.1}, \
-         \"speedup\": {:.2} }}\n  }},\n  \
+         \"Libra\": {},\n    \
+         \"LibraRisk\": {}\n  }},\n  \
+         \"residents_sweep\": [\n{}\n  ],\n  \
          \"event_loop\": {{ \"events\": {heap_events}, \
          \"heap_events_per_sec\": {heap_eps:.0}, \
          \"scan_events_per_sec\": {scan_eps:.0}, \
          \"speedup\": {:.2} }}\n}}\n",
-        libra_reference / libra_cached,
-        lr_reference / lr_cached,
+        libra_t.json(),
+        lr_t.json(),
+        sweep_cells.join(",\n"),
         heap_eps / scan_eps,
     );
     print!("{json}");
-    std::fs::write("BENCH_admission.json", &json).expect("write BENCH_admission.json");
-    eprintln!("wrote BENCH_admission.json");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    eprintln!("wrote {out_path}");
 }

@@ -30,5 +30,5 @@ pub mod spaceshared;
 
 pub use cluster::Cluster;
 pub use node::{Node, NodeId};
-pub use proportional::{CompletedJob, ProportionalCluster, ProportionalConfig};
+pub use proportional::{CompletedJob, ProportionalCluster, ProportionalConfig, ShareEntry};
 pub use spaceshared::SpaceSharedCluster;

@@ -53,6 +53,72 @@ pub enum ShareDiscipline {
     WorkConserving,
 }
 
+/// A node's projected deadline-delay summary — the **risk contribution**
+/// admission layers cache per node and aggregate cluster-wide.
+///
+/// Stores the raw moments of the node's deadline-delay values (`Σdd`,
+/// `Σdd²`, count) alongside the derived `(μ_j, σ_j)` pair. The derived
+/// values are computed with exactly the same operations, in the same
+/// order, as [`risk`] — so a cached summary reproduces the from-scratch
+/// `(μ, σ)` bitwise, and two summaries can be compared for exact
+/// equality in differential tests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RiskSummary {
+    /// Number of projected jobs the summary covers.
+    pub count: usize,
+    /// Sum of the deadline-delay values (Eq. 4), in projection order.
+    pub dd_sum: f64,
+    /// Sum of squared deadline-delay values, in projection order.
+    pub dd_sq_sum: f64,
+    /// Eq. 5: mean deadline-delay `μ_j` (1.0 for an empty node).
+    pub mu: f64,
+    /// Eq. 6: the risk `σ_j` (population standard deviation; 0.0 when
+    /// empty).
+    pub sigma: f64,
+}
+
+impl RiskSummary {
+    /// The empty-node summary: no jobs, no risk — matches
+    /// `risk(&[]) == (1.0, 0.0)`.
+    pub const EMPTY: RiskSummary = RiskSummary {
+        count: 0,
+        dd_sum: 0.0,
+        dd_sq_sum: 0.0,
+        mu: 1.0,
+        sigma: 0.0,
+    };
+
+    /// Builds the summary from deadline-delay values with the identical
+    /// float operations [`risk`] performs (left-to-right sums, then
+    /// `sqrt(max(0, Σdd²/n − μ²))`).
+    pub fn from_dds(dds: &[f64]) -> RiskSummary {
+        if dds.is_empty() {
+            return RiskSummary::EMPTY;
+        }
+        let n = dds.len() as f64;
+        let dd_sum = dds.iter().sum::<f64>();
+        let dd_sq_sum = dds.iter().map(|d| d * d).sum::<f64>();
+        let mu = dd_sum / n;
+        let var = dd_sq_sum / n - mu * mu;
+        RiskSummary {
+            count: dds.len(),
+            dd_sum,
+            dd_sq_sum,
+            mu,
+            sigma: var.max(0.0).sqrt(),
+        }
+    }
+
+    /// `true` when `(μ, σ)` of `self` and `other` match bitwise.
+    pub fn bits_eq(&self, other: &RiskSummary) -> bool {
+        self.count == other.count
+            && self.dd_sum.to_bits() == other.dd_sum.to_bits()
+            && self.dd_sq_sum.to_bits() == other.dd_sq_sum.to_bits()
+            && self.mu.to_bits() == other.mu.to_bits()
+            && self.sigma.to_bits() == other.sigma.to_bits()
+    }
+}
+
 /// Caller-owned scratch buffers for the projection kernel.
 ///
 /// [`project_finishes`] and [`node_risk`] allocate several vectors per
@@ -74,8 +140,22 @@ pub struct ProjectionWorkspace {
     rem: Vec<f64>,
     alive: Vec<bool>,
     shares: Vec<f64>,
+    rates: Vec<f64>,
     finish: Vec<f64>,
     dds: Vec<f64>,
+}
+
+/// Fused Eq. 3 + Eq. 4 + Eq. 5/6: derives the node's [`RiskSummary`]
+/// from projected finishes. Same per-element operations, in the same
+/// order, as `delays_from_finishes` → `deadline_delay` → [`risk`].
+fn summarize_into(jobs: &[ProjectedJob], finish: &[f64], now: f64, dds: &mut Vec<f64>) -> RiskSummary {
+    dds.clear();
+    for (j, &f) in jobs.iter().zip(finish.iter()) {
+        let delay = (f - j.abs_deadline).max(0.0);
+        let rd = (j.abs_deadline - now).max(EPS_DEADLINE);
+        dds.push((delay + rd) / rd);
+    }
+    RiskSummary::from_dds(dds)
 }
 
 impl ProjectionWorkspace {
@@ -117,6 +197,7 @@ impl ProjectionWorkspace {
             &mut self.rem,
             &mut self.alive,
             &mut self.shares,
+            &mut self.rates,
             finish,
         );
     }
@@ -130,24 +211,30 @@ impl ProjectionWorkspace {
         speed_factor: f64,
         discipline: ShareDiscipline,
     ) -> (f64, f64) {
+        let s = self.node_risk_summary_with(jobs, now, speed_factor, discipline);
+        (s.mu, s.sigma)
+    }
+
+    /// [`Self::node_risk_with`] returning the full [`RiskSummary`]
+    /// (raw deadline-delay moments plus the derived `(μ, σ)`).
+    pub fn node_risk_summary_with(
+        &mut self,
+        jobs: &[ProjectedJob],
+        now: f64,
+        speed_factor: f64,
+        discipline: ShareDiscipline,
+    ) -> RiskSummary {
         let Self {
             rem,
             alive,
             shares,
+            rates,
             finish,
             dds,
             ..
         } = self;
-        projection_kernel(jobs, now, speed_factor, discipline, rem, alive, shares, finish);
-        // Fused Eq. 3 + Eq. 4: same per-element operations, in the same
-        // order, as `delays_from_finishes` followed by `deadline_delay`.
-        dds.clear();
-        for (j, &f) in jobs.iter().zip(finish.iter()) {
-            let delay = (f - j.abs_deadline).max(0.0);
-            let rd = (j.abs_deadline - now).max(EPS_DEADLINE);
-            dds.push((delay + rd) / rd);
-        }
-        risk(dds)
+        projection_kernel(jobs, now, speed_factor, discipline, rem, alive, shares, rates, finish);
+        summarize_into(jobs, finish, now, dds)
     }
 
     /// [`Self::node_risk_with`] over the staged job list.
@@ -157,22 +244,52 @@ impl ProjectionWorkspace {
         speed_factor: f64,
         discipline: ShareDiscipline,
     ) -> (f64, f64) {
+        let s = self.node_risk_summary_staged(now, speed_factor, discipline);
+        (s.mu, s.sigma)
+    }
+
+    /// [`Self::node_risk_staged`] returning the full [`RiskSummary`].
+    pub fn node_risk_summary_staged(
+        &mut self,
+        now: f64,
+        speed_factor: f64,
+        discipline: ShareDiscipline,
+    ) -> RiskSummary {
         let Self {
             jobs,
             rem,
             alive,
             shares,
+            rates,
             finish,
             dds,
         } = self;
-        projection_kernel(jobs, now, speed_factor, discipline, rem, alive, shares, finish);
-        dds.clear();
-        for (j, &f) in jobs.iter().zip(finish.iter()) {
-            let delay = (f - j.abs_deadline).max(0.0);
-            let rd = (j.abs_deadline - now).max(EPS_DEADLINE);
-            dds.push((delay + rd) / rd);
-        }
-        risk(dds)
+        projection_kernel(jobs, now, speed_factor, discipline, rem, alive, shares, rates, finish);
+        summarize_into(jobs, finish, now, dds)
+    }
+
+    /// Delta-projection entry point for the admission hot path: evaluates
+    /// "node `base` + one hypothetical job" in a single call, warm-starting
+    /// from a node's cached base projection input instead of making the
+    /// caller re-assemble a job list.
+    ///
+    /// `base` is the node's resident projection input (what decision
+    /// layers cache per node against the engine's epoch counter); `extra`
+    /// is the tentative candidate, appended last — the same order
+    /// `ProportionalCluster::node_projection(node, Some(job))` produces,
+    /// so the result is bitwise identical to the from-scratch path.
+    pub fn node_risk_delta(
+        &mut self,
+        base: &[ProjectedJob],
+        extra: ProjectedJob,
+        now: f64,
+        speed_factor: f64,
+        discipline: ShareDiscipline,
+    ) -> RiskSummary {
+        let stage = self.stage();
+        stage.extend_from_slice(base);
+        stage.push(extra);
+        self.node_risk_summary_staged(now, speed_factor, discipline)
     }
 
     /// [`Self::project_finishes_into`] over the staged job list.
@@ -188,9 +305,10 @@ impl ProjectionWorkspace {
             rem,
             alive,
             shares,
+            rates,
             ..
         } = self;
-        projection_kernel(jobs, now, speed_factor, discipline, rem, alive, shares, finish);
+        projection_kernel(jobs, now, speed_factor, discipline, rem, alive, shares, rates, finish);
     }
 }
 
@@ -207,6 +325,7 @@ fn projection_kernel(
     rem: &mut Vec<f64>,
     alive: &mut Vec<bool>,
     shares: &mut Vec<f64>,
+    rates: &mut Vec<f64>,
     finish: &mut Vec<f64>,
 ) {
     assert!(speed_factor > 0.0);
@@ -245,19 +364,29 @@ fn projection_kernel(
             ShareDiscipline::Strict => total_share.max(1.0),
             ShareDiscipline::WorkConserving => total_share,
         };
+        // Rates are fixed per segment: compute each once here instead of
+        // re-deriving `shares[i] / denom * speed_factor` in both the
+        // segment-length and the advance loop (same expression, so the
+        // hoist is bitwise-neutral; it saves one divide per job/segment).
+        rates.clear();
+        rates.resize(n, 0.0);
+        for i in 0..n {
+            if alive[i] {
+                rates[i] = shares[i] / denom * speed_factor;
+            }
+        }
         // Segment length: first completion or first deadline crossing.
         let mut dt = f64::INFINITY;
         for i in 0..n {
             if !alive[i] {
                 continue;
             }
-            let rate = shares[i] / denom * speed_factor;
             // A share can underflow to zero (tiny remaining work against
             // an astronomically inflated co-resident share); such a job
             // contributes no completion candidate — `min(x, ∞)` is `x`,
             // so skipping is bitwise-neutral when rates are positive.
-            if rate > 0.0 {
-                dt = dt.min(rem[i] / rate);
+            if rates[i] > 0.0 {
+                dt = dt.min(rem[i] / rates[i]);
             }
             let to_deadline = jobs[i].abs_deadline - t;
             if to_deadline > EPS_WORK {
@@ -275,8 +404,7 @@ fn projection_kernel(
             if !alive[i] {
                 continue;
             }
-            let rate = shares[i] / denom * speed_factor;
-            rem[i] -= rate * dt;
+            rem[i] -= rates[i] * dt;
             if rem[i] <= EPS_WORK {
                 alive[i] = false;
                 alive_count -= 1;
@@ -669,6 +797,48 @@ mod tests {
         ws.staged_finishes_into(3.0, 2.0, ShareDiscipline::WorkConserving, &mut a);
         let b = project_finishes(&jobs, 3.0, 2.0, ShareDiscipline::WorkConserving);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn risk_summary_matches_risk_bitwise() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![],
+            vec![1.0],
+            vec![2.5, 2.5, 2.5],
+            vec![1.0, 3.0],
+            vec![1.0, 1.7, 42.0, 1e6],
+        ];
+        for dds in &cases {
+            let (mu, sigma) = risk(dds);
+            let s = RiskSummary::from_dds(dds);
+            assert_eq!(s.count, dds.len());
+            assert_eq!(s.mu.to_bits(), mu.to_bits());
+            assert_eq!(s.sigma.to_bits(), sigma.to_bits());
+            assert!(s.bits_eq(&RiskSummary::from_dds(dds)));
+        }
+        assert!(RiskSummary::EMPTY.bits_eq(&RiskSummary::from_dds(&[])));
+    }
+
+    #[test]
+    fn delta_projection_matches_staging_by_hand() {
+        let base = [pj(80.0, 90.0), pj(20.0, 400.0), pj(100.0, 120.0)];
+        let extra = pj(55.0, 250.0);
+        let mut ws = ProjectionWorkspace::new();
+        for disc in [ShareDiscipline::Strict, ShareDiscipline::WorkConserving] {
+            for now in [0.0, 17.25] {
+                let delta = ws.node_risk_delta(&base, extra, now, 1.5, disc);
+                let mut all = base.to_vec();
+                all.push(extra);
+                let direct = node_risk(&all, now, 1.5, disc);
+                assert_eq!(delta.mu.to_bits(), direct.0.to_bits());
+                assert_eq!(delta.sigma.to_bits(), direct.1.to_bits());
+            }
+        }
+        // Empty base: delta over [] + extra equals the single-job node.
+        let delta = ws.node_risk_delta(&[], extra, 0.0, 1.0, ShareDiscipline::Strict);
+        let direct = node_risk(&[extra], 0.0, 1.0, ShareDiscipline::Strict);
+        assert_eq!(delta.mu.to_bits(), direct.0.to_bits());
+        assert_eq!(delta.sigma.to_bits(), direct.1.to_bits());
     }
 
     #[test]

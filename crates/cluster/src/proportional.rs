@@ -28,6 +28,7 @@ use crate::cluster::Cluster;
 use crate::node::NodeId;
 use crate::projection::{ProjectedJob, ShareDiscipline, EPS_DEADLINE, EPS_WORK};
 use sim::{SimDuration, SimTime};
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, BTreeMap};
 use workload::{Job, JobId};
@@ -148,6 +149,37 @@ impl Ord for EventCandidate {
     }
 }
 
+/// One entry of the share-ordered candidate index (see
+/// [`ProportionalCluster::with_share_index`]): a node together with its
+/// Eq. 2 base share (resident jobs only, evaluated at the engine's
+/// current instant).
+#[derive(Clone, Copy, Debug)]
+pub struct ShareEntry {
+    /// `node_total_share(node, None)` — bitwise identical to the direct
+    /// call, so `base_share + job_share(job)` reproduces
+    /// `node_total_share(node, Some(job))` exactly.
+    pub base_share: f64,
+    /// The node this entry describes.
+    pub node: NodeId,
+}
+
+/// Lazily maintained share-ordered node index. Entries are sorted by
+/// `(base_share ascending, node id ascending)`; staleness is detected in
+/// O(1) via the engine's global epoch, and only nodes whose per-node
+/// epoch moved get their share recomputed.
+#[derive(Clone, Debug, Default)]
+struct ShareIndex {
+    entries: Vec<ShareEntry>,
+    /// `pos[node]` = index of that node's entry in `entries`.
+    pos: Vec<u32>,
+    /// Per-node epochs the shares were computed at.
+    node_epochs: Vec<u64>,
+    /// Engine global epoch the whole index was validated at.
+    global_epoch: u64,
+    /// `false` until the first build.
+    built: bool,
+}
+
 /// The proportional-share cluster engine.
 #[derive(Clone, Debug)]
 pub struct ProportionalCluster {
@@ -162,12 +194,24 @@ pub struct ProportionalCluster {
     /// remaining estimates, or the `now` they are evaluated at) changes;
     /// lets decision layers cache per-node projections.
     node_epochs: Vec<u64>,
+    /// Bumped whenever *any* node epoch is bumped — an O(1) "did anything
+    /// change since I last looked" check for cluster-wide caches like the
+    /// share index.
+    global_epoch: u64,
     /// Min-heap of per-job event-gap candidates with lazy invalidation:
     /// superseded entries stay until they surface and are discarded by
     /// stamp mismatch. `recompute_rates` leaves the top entry live, so
     /// [`ProportionalCluster::next_event_time`] is a pure peek.
     event_heap: BinaryHeap<Reverse<EventCandidate>>,
     next_stamp: u64,
+    /// Count of known-stale entries still sitting in `event_heap`; drives
+    /// periodic compaction so heavy churn cannot degrade the heap below
+    /// the full scan.
+    stale_entries: usize,
+    /// Interior-mutable because it is a pure cache over engine state:
+    /// refreshing it through a `&self` query does not change anything
+    /// scheduler-visible.
+    share_index: RefCell<ShareIndex>,
 }
 
 impl ProportionalCluster {
@@ -183,8 +227,11 @@ impl ProportionalCluster {
             busy_integral: 0.0,
             node_busy: vec![0.0; n],
             node_epochs: vec![0; n],
+            global_epoch: 0,
             event_heap: BinaryHeap::new(),
             next_stamp: 0,
+            stale_entries: 0,
+            share_index: RefCell::new(ShareIndex::default()),
         }
     }
 
@@ -253,6 +300,7 @@ impl ProportionalCluster {
             list.push(job.id);
             self.node_epochs[n.0 as usize] += 1;
         }
+        self.global_epoch += 1;
         let id = job.id;
         self.jobs.insert(
             id,
@@ -281,7 +329,8 @@ impl ProportionalCluster {
         let dt = (to - self.last_update).as_secs();
         let now = to;
         let mut completed_ids: Vec<JobId> = Vec::new();
-        if dt > 0.0 {
+        if dt > 0.0 && !self.jobs.is_empty() {
+            self.global_epoch += 1;
             for (id, r) in self.jobs.iter_mut() {
                 let progress = r.rate * dt;
                 self.busy_integral += progress * r.nodes.len() as f64;
@@ -308,6 +357,10 @@ impl ProportionalCluster {
         let mut completed = Vec::with_capacity(completed_ids.len());
         for id in completed_ids {
             let r = self.jobs.remove(&id).expect("completed job resident");
+            if r.stamp != 0 {
+                // The departed job's live heap entry just went stale.
+                self.stale_entries += 1;
+            }
             for (n, &slot) in r.nodes.iter().zip(&r.slots) {
                 self.remove_from_node(*n, slot as usize, id);
             }
@@ -421,6 +474,84 @@ impl ProportionalCluster {
     /// `(node_epoch, ...)` keys.
     pub fn node_epoch(&self, node: NodeId) -> u64 {
         self.node_epochs[node.0 as usize]
+    }
+
+    /// Cluster-wide change counter: bumped whenever *any* node epoch is
+    /// bumped. Equal values mean no node's scheduler-visible state changed
+    /// in between, so any cluster-wide cache keyed on it is still valid.
+    pub fn global_epoch(&self) -> u64 {
+        self.global_epoch
+    }
+
+    /// Runs `f` over the share-ordered candidate index: one entry per
+    /// node, sorted by `(base_share ascending, node id ascending)`, where
+    /// `base_share` is bitwise identical to
+    /// `node_total_share(node, None)`.
+    ///
+    /// The index is a lazily maintained cache: validated in O(1) against
+    /// the global epoch, with only epoch-stale nodes recomputed (and a
+    /// re-sort only when some share actually changed). Best-fit admission
+    /// scans walk it in share order and stop at the first infeasible
+    /// entry — f64 addition is monotone non-decreasing, so every later
+    /// (larger-base) node is infeasible too.
+    pub fn with_share_index<T>(&self, f: impl FnOnce(&[ShareEntry]) -> T) -> T {
+        let mut idx = self.share_index.borrow_mut();
+        self.refresh_share_index(&mut idx);
+        f(&idx.entries)
+    }
+
+    fn refresh_share_index(&self, idx: &mut ShareIndex) {
+        let n = self.cluster.len();
+        if idx.built && idx.global_epoch == self.global_epoch {
+            return;
+        }
+        let sort_and_reindex = |idx: &mut ShareIndex| {
+            idx.entries.sort_unstable_by(|a, b| {
+                a.base_share
+                    .total_cmp(&b.base_share)
+                    .then_with(|| a.node.cmp(&b.node))
+            });
+            idx.pos.clear();
+            idx.pos.resize(n, 0);
+            for (i, e) in idx.entries.iter().enumerate() {
+                idx.pos[e.node.0 as usize] = i as u32;
+            }
+        };
+        if !idx.built {
+            idx.entries.clear();
+            idx.node_epochs.clear();
+            for node in 0..n {
+                let id = NodeId(node as u32);
+                idx.node_epochs.push(self.node_epochs[node]);
+                idx.entries.push(ShareEntry {
+                    base_share: self.node_total_share(id, None),
+                    node: id,
+                });
+            }
+            sort_and_reindex(idx);
+            idx.global_epoch = self.global_epoch;
+            idx.built = true;
+            return;
+        }
+        // Incremental revalidation: only nodes whose epoch moved get their
+        // share recomputed; re-sort only if some share actually changed.
+        let mut dirty = false;
+        for node in 0..n {
+            if idx.node_epochs[node] == self.node_epochs[node] {
+                continue;
+            }
+            idx.node_epochs[node] = self.node_epochs[node];
+            let share = self.node_total_share(NodeId(node as u32), None);
+            let p = idx.pos[node] as usize;
+            if idx.entries[p].base_share.to_bits() != share.to_bits() {
+                idx.entries[p].base_share = share;
+                dirty = true;
+            }
+        }
+        if dirty {
+            sort_and_reindex(idx);
+        }
+        idx.global_epoch = self.global_epoch;
     }
 
     /// Scheduler-visible projection input for one node: the resident jobs'
@@ -562,6 +693,10 @@ impl ProportionalCluster {
             // (dt, now) pair means the live entry is still correct.
             let dt = Self::job_event_dt(r, now);
             if r.candidate_now != now || r.candidate_dt.to_bits() != dt.to_bits() {
+                if r.stamp != 0 {
+                    // Superseding a live entry leaves the old one stale.
+                    self.stale_entries += 1;
+                }
                 self.next_stamp += 1;
                 r.stamp = self.next_stamp;
                 r.candidate_dt = dt;
@@ -582,6 +717,7 @@ impl ProportionalCluster {
     fn maintain_event_heap(&mut self) {
         if self.jobs.is_empty() {
             self.event_heap.clear();
+            self.stale_entries = 0;
             return;
         }
         // Amortised-O(1): every popped entry was pushed exactly once.
@@ -591,11 +727,15 @@ impl ProportionalCluster {
                 break;
             }
             self.event_heap.pop();
+            self.stale_entries = self.stale_entries.saturating_sub(1);
         }
-        // Hygiene rebuild: long runs of superseded entries (every advance
-        // refreshes every candidate) must not accumulate garbage deeper
-        // in the heap.
-        if self.event_heap.len() > 4 * self.jobs.len() + 64 {
+        // Periodic compaction: under heavy churn every advance supersedes
+        // every candidate, so stale entries pile up deeper in the heap and
+        // inflate every push/pop by a log factor. Rebuilding from the live
+        // candidates once staleness exceeds the resident count keeps the
+        // heap within ~2× the live set — push/pop stays O(log n) in the
+        // *resident* count, so the heap cannot degrade below the scan.
+        if self.stale_entries > self.jobs.len() + 64 {
             self.event_heap.clear();
             self.event_heap.extend(self.jobs.values().map(|r| {
                 Reverse(EventCandidate {
@@ -604,6 +744,7 @@ impl ProportionalCluster {
                     id: r.job.id,
                 })
             }));
+            self.stale_entries = 0;
         }
     }
 }
@@ -983,6 +1124,89 @@ mod tests {
             assert!(guard < 100_000, "engine did not converge");
         }
         assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn share_index_matches_direct_totals_and_stays_sorted() {
+        let mut e = ProportionalCluster::new(cluster(4), ProportionalConfig::default());
+        let check = |e: &ProportionalCluster| {
+            e.with_share_index(|entries| {
+                assert_eq!(entries.len(), 4);
+                for w in entries.windows(2) {
+                    assert!(
+                        (w[0].base_share, w[0].node) <= (w[1].base_share, w[1].node),
+                        "index out of order: {w:?}"
+                    );
+                }
+                for entry in entries {
+                    assert_eq!(
+                        entry.base_share.to_bits(),
+                        e.node_total_share(entry.node, None).to_bits(),
+                        "stale share for {:?}",
+                        entry.node
+                    );
+                }
+            });
+        };
+        check(&e);
+        // Load the nodes unevenly, checking after every mutation kind.
+        e.admit(job(0, 0.0, 60.0, 60.0, 1, 120.0), vec![NodeId(2)], SimTime::ZERO);
+        check(&e);
+        e.admit(job(1, 0.0, 90.0, 90.0, 1, 100.0), vec![NodeId(0)], SimTime::ZERO);
+        e.admit(job(2, 0.0, 30.0, 30.0, 1, 400.0), vec![NodeId(2)], SimTime::ZERO);
+        check(&e);
+        let next = e.next_event_time().unwrap();
+        e.advance(next);
+        check(&e);
+        while let Some(t) = e.next_event_time() {
+            e.advance(t);
+            check(&e);
+        }
+        assert!(e.is_empty());
+        check(&e);
+    }
+
+    #[test]
+    fn global_epoch_moves_with_any_node_epoch() {
+        let mut e = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
+        let g0 = e.global_epoch();
+        e.admit(job(0, 0.0, 50.0, 50.0, 1, 100.0), vec![NodeId(0)], SimTime::ZERO);
+        assert!(e.global_epoch() > g0, "admit must bump the global epoch");
+        let g1 = e.global_epoch();
+        e.advance(SimTime::ZERO);
+        assert_eq!(e.global_epoch(), g1, "zero-width advance changes nothing");
+        e.advance(SimTime::from_secs(5.0));
+        assert!(e.global_epoch() > g1, "a real advance bumps the global epoch");
+    }
+
+    #[test]
+    fn event_heap_compaction_bounds_stale_entries() {
+        // Long-lived residents under steady churn: every advance
+        // supersedes every candidate, so without compaction the heap
+        // would grow without bound relative to the resident count.
+        let mut e = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
+        for i in 0..8 {
+            e.admit(
+                job(i, 0.0, 1e6, 1e6, 1, 2e6),
+                vec![NodeId((i % 2) as u32)],
+                SimTime::ZERO,
+            );
+        }
+        for step in 1..500u64 {
+            e.advance(SimTime::from_secs(step as f64));
+            assert!(
+                e.event_heap.len() <= 2 * e.jobs.len() + 2 * 64 + 2,
+                "heap grew unboundedly: {} entries for {} jobs at step {step}",
+                e.event_heap.len(),
+                e.jobs.len()
+            );
+            assert!(e.stale_entries <= e.jobs.len() + 64);
+            assert_eq!(
+                e.next_event_time().map(|t| t.as_secs().to_bits()),
+                e.next_event_time_scan().map(|t| t.as_secs().to_bits()),
+                "heap and scan diverged under churn"
+            );
+        }
     }
 
     #[test]

@@ -52,12 +52,13 @@ pub mod policy;
 pub mod qops;
 pub mod queue;
 pub mod report;
+pub mod risk_cache;
 pub mod scheduler;
 
 pub use car::{computation_at_risk, CarAnalysis, CarMeasure};
 pub use libra::Libra;
 pub use libra_budget::{BudgetModel, LibraBudget, PricingModel};
-pub use libra_risk::{LibraRisk, NodeOrdering};
+pub use libra_risk::{ClusterRisk, LibraRisk, NodeOrdering};
 pub use policy::{PolicyKind, ShareAdmission};
 pub use qops::{run_qops, QopsConfig};
 pub use queue::{QueueDiscipline, QueuePolicy};

@@ -19,35 +19,18 @@ use workload::Job;
 /// Slack tolerated on the unit-capacity test, absorbing float fuzz.
 pub const SHARE_EPSILON: f64 = 1e-9;
 
-/// Cached base share total of one node (the sum over residents, without
-/// any tentative job), valid for one `(epoch, now)` pair.
-#[derive(Clone, Copy, Debug)]
-struct ShareCacheEntry {
-    epoch: u64,
-    now_bits: u64,
-    base: f64,
-    valid: bool,
-}
-
-const INVALID_SHARE_ENTRY: ShareCacheEntry = ShareCacheEntry {
-    epoch: 0,
-    now_bits: 0,
-    base: 0.0,
-    valid: false,
-};
-
 /// The Libra admission control.
 ///
-/// Consecutive decisions reuse per-node base share totals keyed on the
-/// engine's [`ProportionalCluster::node_epoch`] counters: when several
-/// jobs arrive between engine advances, only the nodes actually touched
-/// by an admission are re-summed. A policy instance therefore assumes it
-/// is consulted about a single engine; feed it a fresh instance per
-/// simulation (as [`crate::policy::PolicyKind::run`] does).
+/// Decisions walk the engine's share-ordered candidate index
+/// ([`ProportionalCluster::with_share_index`]) in ascending base-share
+/// order and stop at the first node the job does not fit on: f64
+/// addition is monotone non-decreasing, so every later (larger-base)
+/// node fails the same test. The index itself is maintained lazily by
+/// the engine against its epoch counters, so consecutive decisions
+/// between engine changes touch no per-node state at all.
 #[derive(Clone, Debug)]
 pub struct Libra {
     name: String,
-    cache: Vec<ShareCacheEntry>,
     suitable: Vec<(f64, NodeId)>,
 }
 
@@ -62,7 +45,6 @@ impl Libra {
     pub fn new() -> Self {
         Libra {
             name: "Libra".to_string(),
-            cache: Vec::new(),
             suitable: Vec::new(),
         }
     }
@@ -114,37 +96,32 @@ impl ShareAdmission for Libra {
         if want > engine.cluster().len() {
             return None;
         }
-        if self.cache.len() != engine.cluster().len() {
-            self.cache = vec![INVALID_SHARE_ENTRY; engine.cluster().len()];
-        }
-        let now_bits = engine.now().as_secs().to_bits();
         // The tentative job's share is node-independent; summing it onto a
-        // node's cached base is bitwise identical to the from-scratch
+        // node's indexed base is bitwise identical to the from-scratch
         // `node_total_share(node, Some(job))` because that sum also adds
         // the tentative job last.
         let job_share = engine.job_share(job);
-        // Rank every suitable node by the share it would have *after*
-        // accepting the job — fullest first (best fit).
+        // Collect suitable nodes from the share-ordered index, pruning
+        // the scan at the first infeasible entry: bases ascend, so once
+        // `base + job_share` exceeds capacity every later node's sum
+        // (monotone in the base) exceeds it too.
         self.suitable.clear();
-        for node in engine.cluster().nodes() {
-            let epoch = engine.node_epoch(node.id);
-            let c = &mut self.cache[node.id.0 as usize];
-            if !(c.valid && c.epoch == epoch && c.now_bits == now_bits) {
-                *c = ShareCacheEntry {
-                    epoch,
-                    now_bits,
-                    base: engine.node_total_share(node.id, None),
-                    valid: true,
-                };
+        engine.with_share_index(|entries| {
+            for e in entries {
+                let with_new = e.base_share + job_share;
+                if with_new > 1.0 + SHARE_EPSILON {
+                    break;
+                }
+                self.suitable.push((with_new, e.node));
             }
-            let with_new = c.base + job_share;
-            if with_new <= 1.0 + SHARE_EPSILON {
-                self.suitable.push((with_new, node.id));
-            }
-        }
+        });
         if self.suitable.len() < want {
             return None;
         }
+        // Rank by the share each node would have *after* accepting the
+        // job — fullest first (best fit). The comparator is a total
+        // order over distinct node ids, so sorting the index-ordered
+        // collection yields exactly the reference's ranking.
         self.suitable.sort_by(|a, b| {
             b.0.partial_cmp(&a.0)
                 .expect("shares are finite")

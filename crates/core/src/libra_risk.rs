@@ -21,12 +21,19 @@
 //!    delays and is avoided, where Libra would happily keep loading it.
 
 use crate::policy::ShareAdmission;
+use crate::risk_cache::CandidateMemo;
 use cluster::projection::{
     is_zero_risk, node_risk, node_risk_single_segment, ProjectedJob, ProjectionWorkspace,
+    RiskSummary,
 };
 use cluster::proportional::{projected_job, ProportionalCluster};
 use cluster::NodeId;
+use std::collections::HashMap;
 use workload::Job;
+
+/// Cap on the per-epoch whole-decision replay memo (distinct candidate
+/// signatures between engine changes).
+const DECISION_MEMO_MAX: usize = 8192;
 
 /// How suitable (zero-risk) nodes are ordered before taking the first
 /// `numproc` of them.
@@ -46,12 +53,67 @@ pub enum NodeOrdering {
 /// [`LibraRisk::require_unit_mu`] is enabled.
 pub const MU_EPSILON: f64 = 1e-9;
 
-/// Cached scheduler-visible projection input of one node (its residents
-/// only, no tentative job), valid for one engine epoch.
+/// Per-node incremental risk state, valid for one engine epoch: the
+/// node's scheduler-visible projection input, its resident-only risk
+/// contribution (computed lazily, on the first [`LibraRisk::cluster_risk`]
+/// query at this epoch), and an exact-result memo of candidate
+/// evaluations against this frozen resident state.
 #[derive(Clone, Debug, Default)]
-struct NodeProjectionCache {
+struct NodeRiskCache {
     epoch: Option<u64>,
     jobs: Vec<ProjectedJob>,
+    /// Resident-only [`RiskSummary`] — the node's cluster-risk
+    /// contribution. `None` until queried at the current epoch.
+    base: Option<RiskSummary>,
+    /// Candidate signature → exact kernel output for "residents +
+    /// candidate" at this epoch. Hits replay bit-identical results; a
+    /// hit can therefore never flip a decision.
+    memo: CandidateMemo,
+}
+
+/// Cluster-wide aggregate of per-node resident risk contributions,
+/// folded in node-id order (so cached and from-scratch builds are
+/// bitwise comparable).
+#[derive(Clone, Debug)]
+pub struct ClusterRisk {
+    /// Per-node contributions, indexed by node id.
+    pub contributions: Vec<RiskSummary>,
+    /// Total resident jobs projected across the cluster.
+    pub jobs: usize,
+    /// Σ over nodes of each contribution's `dd_sum`, left-to-right in
+    /// node-id order.
+    pub dd_sum: f64,
+    /// Σ over nodes of each contribution's `dd_sq_sum`, same order.
+    pub dd_sq_sum: f64,
+    /// Number of nodes whose resident-only `σ_j` reads as nonzero risk.
+    pub risky_nodes: usize,
+}
+
+impl ClusterRisk {
+    /// Cluster-mean deadline-delay over all resident jobs (1.0 when the
+    /// cluster is empty — no jobs, no delay).
+    pub fn mean_dd(&self) -> f64 {
+        if self.jobs == 0 {
+            1.0
+        } else {
+            self.dd_sum / self.jobs as f64
+        }
+    }
+
+    /// `true` when every field (including each per-node contribution)
+    /// matches `other` bitwise.
+    pub fn bits_eq(&self, other: &ClusterRisk) -> bool {
+        self.jobs == other.jobs
+            && self.risky_nodes == other.risky_nodes
+            && self.dd_sum.to_bits() == other.dd_sum.to_bits()
+            && self.dd_sq_sum.to_bits() == other.dd_sq_sum.to_bits()
+            && self.contributions.len() == other.contributions.len()
+            && self
+                .contributions
+                .iter()
+                .zip(&other.contributions)
+                .all(|(a, b)| a.bits_eq(b))
+    }
 }
 
 /// The LibraRisk admission control.
@@ -70,9 +132,21 @@ pub struct LibraRisk {
     ordering: NodeOrdering,
     require_unit_mu: bool,
     naive_projection: bool,
-    cache: Vec<NodeProjectionCache>,
+    cache: Vec<NodeRiskCache>,
     ws: ProjectionWorkspace,
     zero_risk: Vec<NodeId>,
+    /// Whole-decision replay memo: candidate signature → the decision
+    /// computed earlier at the same engine state. The candidate reaches
+    /// the evaluation only through [`projected_job`] (remaining estimate
+    /// and absolute deadline) and its `procs` count, so within one
+    /// `decision_stamp` the decision is a pure function of this key and a
+    /// hit replays the identical node list.
+    decision_memo: HashMap<(u64, u64, u32), Option<Vec<NodeId>>>,
+    /// Engine state the memo is valid for: `(global_epoch, now)`. The
+    /// global epoch pins every occupied node and the aggregate ranking
+    /// inputs; `now` additionally covers advances over an empty cluster,
+    /// which move time without bumping any epoch.
+    decision_stamp: Option<(u64, u64)>,
 }
 
 impl Default for LibraRisk {
@@ -92,6 +166,8 @@ impl LibraRisk {
             cache: Vec::new(),
             ws: ProjectionWorkspace::new(),
             zero_risk: Vec::new(),
+            decision_memo: HashMap::new(),
+            decision_stamp: None,
         }
     }
 
@@ -191,6 +267,105 @@ impl LibraRisk {
         }
         self
     }
+
+    /// Sizes the per-node cache to the engine's cluster.
+    fn ensure_cache(&mut self, n: usize) {
+        if self.cache.len() != n {
+            self.cache = vec![NodeRiskCache::default(); n];
+        }
+    }
+
+    /// Revalidates one node's cache against its engine epoch: on a
+    /// mismatch the resident projection input is rebuilt and everything
+    /// derived from the old state (base contribution, candidate memo) is
+    /// dropped.
+    fn refresh_node(c: &mut NodeRiskCache, engine: &ProportionalCluster, node: NodeId) {
+        let epoch = engine.node_epoch(node);
+        if c.epoch != Some(epoch) {
+            engine.node_projection_into(node, None, &mut c.jobs);
+            c.epoch = Some(epoch);
+            c.base = None;
+            if !c.memo.is_empty() {
+                c.memo.clear();
+            }
+        }
+    }
+
+    /// The cluster-wide risk aggregate over *resident* jobs only (no
+    /// tentative candidate), maintained incrementally: per-node
+    /// contributions are cached against node epochs, so a query after an
+    /// admission re-projects only the touched nodes. Candidate decisions
+    /// ([`ShareAdmission::decide`]) never mutate contributions — a
+    /// rejected job leaves the aggregate bitwise unchanged.
+    ///
+    /// Always evaluated with the paper's piecewise projection (ablation
+    /// knobs affect decisions, not this diagnostic). Differentially
+    /// pinned against [`LibraRisk::cluster_risk_reference`].
+    pub fn cluster_risk(&mut self, engine: &ProportionalCluster) -> ClusterRisk {
+        let n = engine.cluster().len();
+        self.ensure_cache(n);
+        let now = engine.now().as_secs();
+        let discipline = engine.config().discipline;
+        let mut out = ClusterRisk {
+            contributions: Vec::with_capacity(n),
+            jobs: 0,
+            dd_sum: 0.0,
+            dd_sq_sum: 0.0,
+            risky_nodes: 0,
+        };
+        for node in engine.cluster().nodes() {
+            let c = &mut self.cache[node.id.0 as usize];
+            Self::refresh_node(c, engine, node.id);
+            let s = match c.base {
+                Some(s) => s,
+                None => {
+                    let speed = engine.cluster().speed_factor(node.id);
+                    let s = self
+                        .ws
+                        .node_risk_summary_with(&c.jobs, now, speed, discipline);
+                    c.base = Some(s);
+                    s
+                }
+            };
+            out.jobs += s.count;
+            out.dd_sum += s.dd_sum;
+            out.dd_sq_sum += s.dd_sq_sum;
+            if !is_zero_risk(s.sigma) {
+                out.risky_nodes += 1;
+            }
+            out.contributions.push(s);
+        }
+        out
+    }
+
+    /// From-scratch build of [`LibraRisk::cluster_risk`]: every node
+    /// re-projected with fresh buffers, no caches consulted. The
+    /// differential reference for the incremental path.
+    pub fn cluster_risk_reference(engine: &ProportionalCluster) -> ClusterRisk {
+        let n = engine.cluster().len();
+        let now = engine.now().as_secs();
+        let discipline = engine.config().discipline;
+        let mut out = ClusterRisk {
+            contributions: Vec::with_capacity(n),
+            jobs: 0,
+            dd_sum: 0.0,
+            dd_sq_sum: 0.0,
+            risky_nodes: 0,
+        };
+        for node in engine.cluster().nodes() {
+            let jobs = engine.node_projection(node.id, None);
+            let speed = engine.cluster().speed_factor(node.id);
+            let s = ProjectionWorkspace::new().node_risk_summary_with(&jobs, now, speed, discipline);
+            out.jobs += s.count;
+            out.dd_sum += s.dd_sum;
+            out.dd_sq_sum += s.dd_sq_sum;
+            if !is_zero_risk(s.sigma) {
+                out.risky_nodes += 1;
+            }
+            out.contributions.push(s);
+        }
+        out
+    }
 }
 
 impl ShareAdmission for LibraRisk {
@@ -203,22 +378,32 @@ impl ShareAdmission for LibraRisk {
         if want > engine.cluster().len() {
             return None;
         }
-        if self.cache.len() != engine.cluster().len() {
-            self.cache = vec![NodeProjectionCache::default(); engine.cluster().len()];
-        }
+        self.ensure_cache(engine.cluster().len());
         let now = engine.now().as_secs();
         let discipline = engine.config().discipline;
         let tentative = projected_job(job);
+        // Replay memo: if this exact candidate shape was already decided
+        // at this exact engine state, hand back the identical answer
+        // without touching a single node.
+        let stamp = (engine.global_epoch(), now.to_bits());
+        if self.decision_stamp != Some(stamp) {
+            self.decision_stamp = Some(stamp);
+            self.decision_memo.clear();
+        }
+        let decision_key = (
+            tentative.remaining_est.to_bits(),
+            tentative.abs_deadline.to_bits(),
+            job.procs,
+        );
+        if let Some(d) = self.decision_memo.get(&decision_key) {
+            return d.clone();
+        }
         // Algorithm 1, lines 1–11: evaluate σ_j per node with the new job
         // tentatively added.
         self.zero_risk.clear();
         for node in engine.cluster().nodes() {
             let c = &mut self.cache[node.id.0 as usize];
-            let epoch = engine.node_epoch(node.id);
-            if c.epoch != Some(epoch) {
-                engine.node_projection_into(node.id, None, &mut c.jobs);
-                c.epoch = Some(epoch);
-            }
+            Self::refresh_node(c, engine, node.id);
             let suitable = if c.jobs.is_empty() && !self.require_unit_mu && !self.naive_projection
             {
                 // Empty-node fast path: a lone job's deadline-delay is a
@@ -235,11 +420,34 @@ impl ShareAdmission for LibraRisk {
                     stage.extend_from_slice(&c.jobs);
                     stage.push(tentative);
                     node_risk_single_segment(self.ws.staged(), now, speed, discipline)
+                } else if c.jobs.is_empty() {
+                    // An empty node's projection depends on `now`, which
+                    // its (never-bumped) epoch does not track — compute
+                    // directly, never memoise.
+                    let s = self
+                        .ws
+                        .node_risk_delta(&c.jobs, tentative, now, speed, discipline);
+                    (s.mu, s.sigma)
                 } else {
-                    let stage = self.ws.stage();
-                    stage.extend_from_slice(&c.jobs);
-                    stage.push(tentative);
-                    self.ws.node_risk_staged(now, speed, discipline)
+                    // Occupied node: its epoch pins (residents, now), so
+                    // the evaluation is a pure function of the candidate
+                    // signature. A memo hit replays the exact kernel
+                    // output computed earlier at this epoch.
+                    let key = (
+                        tentative.remaining_est.to_bits(),
+                        tentative.abs_deadline.to_bits(),
+                    );
+                    let s = match c.memo.get(key) {
+                        Some(s) => s,
+                        None => {
+                            let s = self
+                                .ws
+                                .node_risk_delta(&c.jobs, tentative, now, speed, discipline);
+                            c.memo.insert(key, s);
+                            s
+                        }
+                    };
+                    (s.mu, s.sigma)
                 };
                 is_zero_risk(sigma)
                     && (!self.require_unit_mu || (mu - 1.0).abs() <= MU_EPSILON)
@@ -249,14 +457,19 @@ impl ShareAdmission for LibraRisk {
             }
         }
         // Lines 12–18: accept iff enough suitable nodes exist.
-        if self.zero_risk.len() < want {
-            return None;
+        let decision = if self.zero_risk.len() < want {
+            None
+        } else {
+            let mut ranked = std::mem::take(&mut self.zero_risk);
+            self.order_nodes(&mut ranked, engine);
+            let out: Vec<NodeId> = ranked.iter().take(want).copied().collect();
+            self.zero_risk = ranked; // hand the warm buffer back for reuse
+            Some(out)
+        };
+        if self.decision_memo.len() < DECISION_MEMO_MAX {
+            self.decision_memo.insert(decision_key, decision.clone());
         }
-        let mut ranked = std::mem::take(&mut self.zero_risk);
-        self.order_nodes(&mut ranked, engine);
-        let out: Vec<NodeId> = ranked.iter().take(want).copied().collect();
-        self.zero_risk = ranked; // hand the warm buffer back for reuse
-        Some(out)
+        decision
     }
 }
 
@@ -421,6 +634,70 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn decision_replay_memo_respects_state_changes() {
+        let mut lr = LibraRisk::paper();
+        let mut e = engine(2);
+        let j = job(0, 80.0, 1, 100.0);
+        let first = lr.decide(&e, &j);
+        // Same engine state, same candidate shape under a different id:
+        // the replayed decision must equal both the first answer and the
+        // from-scratch reference.
+        let j2 = job(99, 80.0, 1, 100.0);
+        assert_eq!(lr.decide(&e, &j2), first);
+        assert_eq!(lr.decide(&e, &j2), lr.decide_reference(&e, &j2));
+        // An admission bumps the global epoch and must flush the memo.
+        e.admit(job(1, 90.0, 1, 100.0), vec![NodeId(0)], SimTime::ZERO);
+        assert_eq!(lr.decide(&e, &j2), lr.decide_reference(&e, &j2));
+
+        // Advancing an *empty* cluster moves `now` without bumping any
+        // epoch; the (epoch, now) stamp must still invalidate the memo.
+        // Shape chosen so the strict decision flips: at t=0 the job
+        // finishes by its deadline (μ = 1 → accept), at t=30 it cannot
+        // (μ > 1 → reject) — a stale replay would return the accept.
+        let mut strict = LibraRisk::paper().require_unit_mu(true);
+        let mut e2 = engine(2);
+        let ja = job(5, 80.0, 1, 100.0);
+        assert!(strict.decide(&e2, &ja).is_some());
+        e2.advance(SimTime::from_secs(30.0));
+        assert_eq!(strict.decide(&e2, &ja), strict.decide_reference(&e2, &ja));
+        assert!(strict.decide(&e2, &ja).is_none());
+    }
+
+    #[test]
+    fn cluster_risk_matches_reference_and_ignores_rejections() {
+        let mut lr = LibraRisk::paper();
+        let mut e = engine(3);
+        let check = |lr: &mut LibraRisk, e: &ProportionalCluster| {
+            let cached = lr.cluster_risk(e);
+            let fresh = LibraRisk::cluster_risk_reference(e);
+            assert!(cached.bits_eq(&fresh), "cached {cached:?} vs fresh {fresh:?}");
+            cached
+        };
+        let idle = check(&mut lr, &e);
+        assert_eq!(idle.jobs, 0);
+        assert_eq!(idle.mean_dd(), 1.0);
+
+        e.admit(job(1, 80.0, 1, 100.0), vec![NodeId(0)], SimTime::ZERO);
+        e.admit(job(2, 80.0, 1, 200.0), vec![NodeId(0)], SimTime::ZERO);
+        e.admit(job(3, 40.0, 1, 400.0), vec![NodeId(1)], SimTime::ZERO);
+        let loaded = check(&mut lr, &e);
+        assert_eq!(loaded.jobs, 3);
+        assert_eq!(loaded.contributions.len(), 3);
+        assert!(loaded.risky_nodes >= 1, "node 0 is overloaded unevenly");
+
+        // A rejected candidate must leave the aggregate bitwise unchanged.
+        assert!(lr.decide(&e, &job(4, 500.0, 3, 120.0)).is_none());
+        let after_reject = lr.cluster_risk(&e);
+        assert!(after_reject.bits_eq(&loaded));
+
+        // Advancing time invalidates contributions; the incremental
+        // rebuild must still match from-scratch.
+        let next = e.next_event_time().unwrap();
+        e.advance(next);
+        check(&mut lr, &e);
     }
 
     #[test]

@@ -153,4 +153,80 @@ proptest! {
             );
         }
     }
+
+    // Satellite: rejected candidates must not mutate the cached
+    // cluster-risk contributions, and the incrementally maintained
+    // aggregate must stay bitwise equal to a from-scratch rebuild across
+    // admits, rejects, advances, completions and overrun re-arms.
+    #[test]
+    fn cluster_risk_cache_equals_from_scratch_rebuild(
+        arrivals in proptest::collection::vec(arrival(), 1..40),
+    ) {
+        let cfg = ProportionalConfig::default();
+        let mut engine = ProportionalCluster::new(Cluster::homogeneous(8, 168.0), cfg);
+        let mut p = LibraRisk::paper();
+        for (i, a) in arrivals.iter().enumerate() {
+            let now = engine.now();
+            let j = job_at(i as u64, a, now);
+            let before = p.cluster_risk(&engine);
+            prop_assert!(
+                before.bits_eq(&LibraRisk::cluster_risk_reference(&engine)),
+                "cached aggregate diverged from rebuild before arrival {i}"
+            );
+            // Evaluating a candidate — accepted or rejected — must leave
+            // the resident-only contributions bitwise untouched.
+            let decision = p.decide(&engine, &j);
+            let after = p.cluster_risk(&engine);
+            prop_assert!(
+                after.bits_eq(&before),
+                "decide() mutated cached contributions at arrival {i} \
+                 (decision was {:?})",
+                decision.as_ref().map(|_| "accept").unwrap_or("reject")
+            );
+            if let Some(alloc) = decision {
+                engine.admit(j, alloc, now);
+                prop_assert!(
+                    p.cluster_risk(&engine)
+                        .bits_eq(&LibraRisk::cluster_risk_reference(&engine)),
+                    "aggregate stale after admit at arrival {i}"
+                );
+            }
+            if a.advance_frac > 0.0 {
+                if let Some(next) = engine.next_event_time() {
+                    let dt = (next - now).as_secs() * a.advance_frac;
+                    engine.advance(now + SimDuration::from_secs(dt));
+                }
+            }
+        }
+        prop_assert!(
+            p.cluster_risk(&engine).bits_eq(&LibraRisk::cluster_risk_reference(&engine))
+        );
+    }
+}
+
+// The 128-node sweep uses fewer cases: the from-scratch reference is
+// O(nodes × residents²) per arrival, so each case is much heavier than
+// the 6-node ones above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn decisions_match_reference_at_128_nodes(
+        arrivals in proptest::collection::vec(arrival(), 1..48),
+    ) {
+        let mut libra = Libra::new();
+        assert_cached_matches_reference(
+            &mut libra,
+            |p: &Libra, e, j| p.decide_reference(e, j),
+            &arrivals,
+            128,
+        );
+        let mut lr = LibraRisk::paper();
+        assert_cached_matches_reference(
+            &mut lr,
+            |p: &LibraRisk, e, j| p.decide_reference(e, j),
+            &arrivals,
+            128,
+        );
+    }
 }

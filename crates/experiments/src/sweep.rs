@@ -9,7 +9,6 @@ use crate::scenario::Scenario;
 use librisk::PolicyKind;
 use metrics::Series;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// One cell's result.
 #[derive(Clone, Debug)]
@@ -76,18 +75,24 @@ pub fn run_sweep(
         })
         .collect();
 
+    // Work is claimed via a shared counter, but each worker collects its
+    // cells into a thread-local vector — no lock contention on the hot
+    // path; the buckets are merged once, after the scope joins.
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Cell>> = Mutex::new(Vec::with_capacity(work.len()));
+    let workers = threads.min(work.len());
+    let mut buckets: Vec<Vec<Cell>> = (0..workers).map(|_| Vec::new()).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(work.len()) {
-            scope.spawn(|| loop {
+        for bucket in buckets.iter_mut() {
+            let next = &next;
+            let work = &work;
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= work.len() {
                     break;
                 }
                 let (x, scenario, policy) = &work[i];
                 let report = scenario.run(*policy);
-                results.lock().expect("sweep worker panicked").push(Cell {
+                bucket.push(Cell {
                     order: i,
                     policy: *policy,
                     x: *x,
@@ -99,8 +104,9 @@ pub fn run_sweep(
         }
     });
 
-    // Deterministic aggregation order regardless of completion order.
-    let mut cells = results.into_inner().expect("sweep worker panicked");
+    // Deterministic aggregation order regardless of which worker ran
+    // which cell.
+    let mut cells: Vec<Cell> = buckets.into_iter().flatten().collect();
     cells.sort_by_key(|c| c.order);
 
     let mut outcome = SweepOutcome {
