@@ -3,9 +3,9 @@
 #
 #   ./ci.sh
 #
-# Fails on any build error, test failure, or a panic inside the
-# admission benchmark (including its built-in heap-vs-scan and
-# decision-differential assertions).
+# Fails on any build error, test failure, lint warning, formatting
+# drift, or a panic inside the admission benchmark (including its
+# built-in heap-vs-scan and decision-differential assertions).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -14,6 +14,12 @@ cargo build --release
 
 echo "== tier-1: tests =="
 cargo test -q
+
+echo "== lint: rustfmt =="
+cargo fmt --check
+
+echo "== lint: clippy =="
+cargo clippy --all-targets -- -D warnings
 
 echo "== bench smoke: admission =="
 # Small counts; writes to a scratch path so the committed

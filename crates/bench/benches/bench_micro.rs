@@ -2,12 +2,12 @@
 //! end-to-end simulated-jobs-per-second rate (M2), the node-local delay
 //! projection, and the DES kernel's event queue.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cluster::projection::{
     node_risk, project_finishes, ProjectedJob, ProjectionWorkspace, ShareDiscipline,
 };
 use cluster::proportional::{ProportionalCluster, ProportionalConfig};
 use cluster::{Cluster, NodeId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use librisk::libra::Libra;
 use librisk::policy::ShareAdmission;
 use librisk::prelude::*;
@@ -32,10 +32,8 @@ fn job(id: u64, estimate: f64, deadline: f64) -> Job {
 fn admission_decision(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro/admission");
     for residents_per_node in [1usize, 4, 16] {
-        let mut engine = ProportionalCluster::new(
-            Cluster::sdsc_sp2(),
-            ProportionalConfig::default(),
-        );
+        let mut engine =
+            ProportionalCluster::new(Cluster::sdsc_sp2(), ProportionalConfig::default());
         let mut id = 0u64;
         for n in 0..engine.cluster().len() {
             for _ in 0..residents_per_node {
@@ -77,7 +75,12 @@ fn project_finishes_kernel(c: &mut Criterion) {
         group.throughput(Throughput::Elements(k as u64));
         group.bench_with_input(BenchmarkId::new("alloc_cold", k), &jobs, |b, js| {
             b.iter(|| {
-                black_box(project_finishes(js, 0.0, 1.0, ShareDiscipline::WorkConserving))
+                black_box(project_finishes(
+                    js,
+                    0.0,
+                    1.0,
+                    ShareDiscipline::WorkConserving,
+                ))
             })
         });
         let mut ws = ProjectionWorkspace::new();
@@ -95,8 +98,7 @@ fn project_finishes_kernel(c: &mut Criterion) {
 /// A cluster with `residents_per_node` long-lived jobs on every node —
 /// the steady state the admission path sees mid-simulation.
 fn loaded_engine(residents_per_node: usize) -> ProportionalCluster {
-    let mut engine =
-        ProportionalCluster::new(Cluster::sdsc_sp2(), ProportionalConfig::default());
+    let mut engine = ProportionalCluster::new(Cluster::sdsc_sp2(), ProportionalConfig::default());
     let mut id = 0u64;
     for n in 0..engine.cluster().len() {
         for r in 0..residents_per_node {

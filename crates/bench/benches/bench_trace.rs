@@ -8,7 +8,10 @@ use std::hint::black_box;
 use workload::synthetic::SyntheticSdscSp2;
 
 fn regenerate_and_time(c: &mut Criterion) {
-    eprintln!("{}", figures::trace_stats_table(&bench_config()).to_markdown());
+    eprintln!(
+        "{}",
+        figures::trace_stats_table(&bench_config()).to_markdown()
+    );
 
     let mut group = c.benchmark_group("trace");
     for jobs in [300usize, 3000] {

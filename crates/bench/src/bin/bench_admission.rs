@@ -3,7 +3,8 @@
 //! from-scratch `decide_reference` kernel) per policy — mean, p50 and
 //! p99 ns/decision — across a residents-per-node sweep, plus the
 //! engine's event loop (heap-driven `next_event_time` vs the retired
-//! full scan), then writes the results as JSON.
+//! full scan) and the unified RMS driver's end-to-end trace replay
+//! throughput (jobs/sec), then writes the results as JSON.
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_admission \
@@ -15,11 +16,14 @@ use cluster::{Cluster, NodeId};
 use librisk::libra::Libra;
 use librisk::libra_risk::LibraRisk;
 use librisk::policy::ShareAdmission;
+use librisk::{drive_trace, OnlineReport, PolicyKind};
 use metrics::percentile::quantile;
-use sim::{SimDuration, SimTime};
+use sim::{Rng64, SimDuration, SimTime};
 use std::hint::black_box;
 use std::time::Instant;
-use workload::{Job, JobId, Urgency};
+use workload::deadlines::DeadlineModel;
+use workload::synthetic::SyntheticSdscSp2;
+use workload::{Job, JobId, Trace, Urgency};
 
 fn job(id: u64, estimate: f64, deadline: f64) -> Job {
     Job {
@@ -36,8 +40,7 @@ fn job(id: u64, estimate: f64, deadline: f64) -> Job {
 /// A cluster with `residents_per_node` long-lived jobs on every node —
 /// the steady state the admission path sees mid-simulation.
 fn loaded_engine(residents_per_node: usize) -> ProportionalCluster {
-    let mut engine =
-        ProportionalCluster::new(Cluster::sdsc_sp2(), ProportionalConfig::default());
+    let mut engine = ProportionalCluster::new(Cluster::sdsc_sp2(), ProportionalConfig::default());
     let mut id = 0u64;
     for n in 0..engine.cluster().len() {
         for r in 0..residents_per_node {
@@ -186,8 +189,7 @@ fn time_policies(
 /// crossings land on distinct instants — thousands of events, not a few
 /// hundred synchronized ones.
 fn drain_events(jobs: usize, use_scan: bool) -> (u64, f64) {
-    let mut engine =
-        ProportionalCluster::new(Cluster::sdsc_sp2(), ProportionalConfig::default());
+    let mut engine = ProportionalCluster::new(Cluster::sdsc_sp2(), ProportionalConfig::default());
     let nodes = engine.cluster().len();
     for i in 0..jobs {
         // A third of the jobs under-estimate (runtime > estimate) so the
@@ -215,15 +217,27 @@ fn drain_events(jobs: usize, use_scan: bool) -> (u64, f64) {
     (events, t.elapsed().as_secs_f64())
 }
 
+/// End-to-end throughput of the unified RMS driver: a full trace replay
+/// (arrival events, admission decisions, execution, streaming sink) in
+/// jobs/sec. Returns `(jobs_per_sec, fulfilled)` — the fulfilled count
+/// doubles as a sanity anchor that the run did real work.
+fn drive_trace_throughput(kind: PolicyKind, trace: &Trace) -> (f64, u64) {
+    let t = Instant::now();
+    let mut rms = kind.rms(&Cluster::sdsc_sp2());
+    let mut sink = OnlineReport::new();
+    drive_trace(&mut rms, trace, &mut sink);
+    let secs = t.elapsed().as_secs_f64();
+    (trace.len() as f64 / secs, sink.fulfilled())
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
-    let decisions: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10_000);
+    let decisions: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(10_000);
     let residents: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
     let drain_jobs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2_000);
-    let out_path = args.next().unwrap_or_else(|| "BENCH_admission.json".to_string());
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_admission.json".to_string());
 
     let stream = candidate_stream(3_737.min(decisions.max(1)));
 
@@ -260,6 +274,25 @@ fn main() {
     let heap_eps = heap_events as f64 / heap_secs;
     let scan_eps = scan_events as f64 / scan_secs;
 
+    // End-to-end replay through the unified RMS driver, one backend of
+    // each kind (proportional, queued, QoPS).
+    let driver_jobs = drain_jobs.max(1);
+    eprintln!("unified driver replay: {driver_jobs}-job trace");
+    let mut driver_trace = SyntheticSdscSp2 {
+        jobs: driver_jobs,
+        ..Default::default()
+    }
+    .generate(11);
+    DeadlineModel::default().assign(&mut Rng64::new(12), driver_trace.jobs_mut());
+    let mut driver_cells = Vec::new();
+    for kind in [PolicyKind::LibraRisk, PolicyKind::Edf, PolicyKind::Qops] {
+        let (jps, fulfilled) = drive_trace_throughput(kind, &driver_trace);
+        driver_cells.push(format!(
+            "    \"{}\": {{ \"jobs_per_sec\": {jps:.0}, \"fulfilled\": {fulfilled} }}",
+            kind.name()
+        ));
+    }
+
     let json = format!(
         "{{\n  \"decisions\": {decisions},\n  \"residents_per_node\": {residents},\n  \
          \"policies\": {{\n    \
@@ -269,11 +302,13 @@ fn main() {
          \"event_loop\": {{ \"events\": {heap_events}, \
          \"heap_events_per_sec\": {heap_eps:.0}, \
          \"scan_events_per_sec\": {scan_eps:.0}, \
-         \"speedup\": {:.2} }}\n}}\n",
+         \"speedup\": {:.2} }},\n  \
+         \"unified_driver\": {{ \"jobs\": {driver_jobs}, \"policies\": {{\n{}\n  }} }}\n}}\n",
         libra_t.json(),
         lr_t.json(),
         sweep_cells.join(",\n"),
         heap_eps / scan_eps,
+        driver_cells.join(",\n"),
     );
     print!("{json}");
     std::fs::write(&out_path, &json).expect("write benchmark JSON");

@@ -67,9 +67,7 @@ impl Cluster {
 
     /// `true` when all nodes share one rating.
     pub fn is_homogeneous(&self) -> bool {
-        self.nodes
-            .windows(2)
-            .all(|w| w[0].rating == w[1].rating)
+        self.nodes.windows(2).all(|w| w[0].rating == w[1].rating)
     }
 }
 

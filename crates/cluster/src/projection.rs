@@ -148,7 +148,12 @@ pub struct ProjectionWorkspace {
 /// Fused Eq. 3 + Eq. 4 + Eq. 5/6: derives the node's [`RiskSummary`]
 /// from projected finishes. Same per-element operations, in the same
 /// order, as `delays_from_finishes` → `deadline_delay` → [`risk`].
-fn summarize_into(jobs: &[ProjectedJob], finish: &[f64], now: f64, dds: &mut Vec<f64>) -> RiskSummary {
+fn summarize_into(
+    jobs: &[ProjectedJob],
+    finish: &[f64],
+    now: f64,
+    dds: &mut Vec<f64>,
+) -> RiskSummary {
     dds.clear();
     for (j, &f) in jobs.iter().zip(finish.iter()) {
         let delay = (f - j.abs_deadline).max(0.0);
@@ -233,7 +238,17 @@ impl ProjectionWorkspace {
             dds,
             ..
         } = self;
-        projection_kernel(jobs, now, speed_factor, discipline, rem, alive, shares, rates, finish);
+        projection_kernel(
+            jobs,
+            now,
+            speed_factor,
+            discipline,
+            rem,
+            alive,
+            shares,
+            rates,
+            finish,
+        );
         summarize_into(jobs, finish, now, dds)
     }
 
@@ -264,7 +279,17 @@ impl ProjectionWorkspace {
             finish,
             dds,
         } = self;
-        projection_kernel(jobs, now, speed_factor, discipline, rem, alive, shares, rates, finish);
+        projection_kernel(
+            jobs,
+            now,
+            speed_factor,
+            discipline,
+            rem,
+            alive,
+            shares,
+            rates,
+            finish,
+        );
         summarize_into(jobs, finish, now, dds)
     }
 
@@ -308,7 +333,17 @@ impl ProjectionWorkspace {
             rates,
             ..
         } = self;
-        projection_kernel(jobs, now, speed_factor, discipline, rem, alive, shares, rates, finish);
+        projection_kernel(
+            jobs,
+            now,
+            speed_factor,
+            discipline,
+            rem,
+            alive,
+            shares,
+            rates,
+            finish,
+        );
     }
 }
 
@@ -666,10 +701,16 @@ mod tests {
         let jobs = [pj(100.0, 100.0), pj(100.0, 200.0)];
         let (mu_naive, sigma_naive) =
             node_risk_single_segment(&jobs, 0.0, 1.0, ShareDiscipline::Strict);
-        assert!((mu_naive - 1.5).abs() < 1e-9, "mu {mu_naive} should equal S");
+        assert!(
+            (mu_naive - 1.5).abs() < 1e-9,
+            "mu {mu_naive} should equal S"
+        );
         assert!(is_zero_risk(sigma_naive), "sigma {sigma_naive}");
         let (_, sigma_piecewise) = node_risk(&jobs, 0.0, 1.0, ShareDiscipline::Strict);
-        assert!(!is_zero_risk(sigma_piecewise), "piecewise sees the dispersion");
+        assert!(
+            !is_zero_risk(sigma_piecewise),
+            "piecewise sees the dispersion"
+        );
     }
 
     #[test]
@@ -682,8 +723,7 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 1e-6, "{x} vs {y}");
         }
-        assert!(project_finishes_single_segment(&[], 0.0, 1.0, ShareDiscipline::Strict)
-            .is_empty());
+        assert!(project_finishes_single_segment(&[], 0.0, 1.0, ShareDiscipline::Strict).is_empty());
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::projection::{ProjectedJob, ShareDiscipline, EPS_DEADLINE, EPS_WORK};
 use sim::{SimDuration, SimTime};
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use workload::{Job, JobId};
 
 /// The projection-input view of a not-yet-admitted job: its *full*
@@ -347,9 +347,8 @@ impl ProportionalCluster {
                 } else if r.remaining_est <= EPS_WORK {
                     // Overrun: the scheduler's belief was exhausted but the
                     // job is still running — re-arm a residual estimate.
-                    r.remaining_est = (self.cfg.residual_fraction
-                        * r.job.estimate.as_secs())
-                    .max(self.cfg.residual_floor);
+                    r.remaining_est = (self.cfg.residual_fraction * r.job.estimate.as_secs())
+                        .max(self.cfg.residual_floor);
                     r.overruns += 1;
                 }
             }
@@ -641,7 +640,11 @@ impl ProportionalCluster {
         if elapsed <= 0.0 {
             return 0.0;
         }
-        let max = self.node_busy.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max = self
+            .node_busy
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         let min = self.node_busy.iter().cloned().fold(f64::INFINITY, f64::min);
         (max - min) / elapsed
     }
@@ -678,8 +681,7 @@ impl ProportionalCluster {
                     ShareDiscipline::Strict => total.max(1.0),
                     ShareDiscipline::WorkConserving => total,
                 };
-                let node_rate =
-                    share / denom * self.cluster.speed_factor(*n);
+                let node_rate = share / denom * self.cluster.speed_factor(*n);
                 rate = rate.min(node_rate);
             }
             // The share (and hence the rate) can underflow to exactly
@@ -793,12 +795,20 @@ mod tests {
     #[test]
     fn accurate_single_job_meets_deadline_exactly_under_strict() {
         let mut e = ProportionalCluster::new(cluster(1), strict_cfg());
-        e.admit(job(0, 0.0, 100.0, 100.0, 1, 200.0), vec![NodeId(0)], SimTime::ZERO);
+        e.admit(
+            job(0, 0.0, 100.0, 100.0, 1, 200.0),
+            vec![NodeId(0)],
+            SimTime::ZERO,
+        );
         // Required share 0.5 → rate 0.5 → finish at 200.
         assert!((e.rate_of(JobId(0)).unwrap() - 0.5).abs() < 1e-12);
         let done = run_to_completion(&mut e);
         assert_eq!(done.len(), 1);
-        assert!((done[0].finish.as_secs() - 200.0).abs() < 1e-3, "finish {:?}", done[0].finish);
+        assert!(
+            (done[0].finish.as_secs() - 200.0).abs() < 1e-3,
+            "finish {:?}",
+            done[0].finish
+        );
         assert_eq!(done[0].overruns, 0);
         assert!(e.is_empty());
     }
@@ -807,7 +817,11 @@ mod tests {
     fn work_conserving_runs_at_full_speed_when_alone() {
         // Work-conserving is the default discipline.
         let mut e = ProportionalCluster::new(cluster(1), ProportionalConfig::default());
-        e.admit(job(0, 0.0, 100.0, 100.0, 1, 200.0), vec![NodeId(0)], SimTime::ZERO);
+        e.admit(
+            job(0, 0.0, 100.0, 100.0, 1, 200.0),
+            vec![NodeId(0)],
+            SimTime::ZERO,
+        );
         assert!((e.rate_of(JobId(0)).unwrap() - 1.0).abs() < 1e-12);
         let done = run_to_completion(&mut e);
         assert!((done[0].finish.as_secs() - 100.0).abs() < 1e-3);
@@ -818,11 +832,19 @@ mod tests {
         let mut e = ProportionalCluster::new(cluster(1), strict_cfg());
         // Estimate 4× the runtime, deadline 400: share = 1.0 (est 400 / dl
         // 400)... the scheduler thinks the job needs the whole node.
-        e.admit(job(0, 0.0, 100.0, 400.0, 1, 400.0), vec![NodeId(0)], SimTime::ZERO);
+        e.admit(
+            job(0, 0.0, 100.0, 400.0, 1, 400.0),
+            vec![NodeId(0)],
+            SimTime::ZERO,
+        );
         let done = run_to_completion(&mut e);
         // Actual work 100 at rate 1.0 → finishes at ~100, well before the
         // deadline, despite the scheduler's inflated belief.
-        assert!((done[0].finish.as_secs() - 100.0).abs() < 1e-3, "finish {:?}", done[0].finish);
+        assert!(
+            (done[0].finish.as_secs() - 100.0).abs() < 1e-3,
+            "finish {:?}",
+            done[0].finish
+        );
         assert_eq!(done[0].overruns, 0);
     }
 
@@ -830,7 +852,11 @@ mod tests {
     fn underestimated_job_overruns_and_still_completes() {
         let mut e = ProportionalCluster::new(cluster(1), strict_cfg());
         // Estimate 50, actual 100, deadline 100: share starts at 0.5.
-        e.admit(job(0, 0.0, 100.0, 50.0, 1, 100.0), vec![NodeId(0)], SimTime::ZERO);
+        e.admit(
+            job(0, 0.0, 100.0, 50.0, 1, 100.0),
+            vec![NodeId(0)],
+            SimTime::ZERO,
+        );
         let done = run_to_completion(&mut e);
         assert_eq!(done.len(), 1);
         assert!(done[0].overruns >= 1, "overruns {}", done[0].overruns);
@@ -845,13 +871,25 @@ mod tests {
         let mut e = ProportionalCluster::new(cluster(1), ProportionalConfig::default());
         // Two jobs each demanding share 0.75: the node is overloaded and
         // both run slower than required.
-        e.admit(job(0, 0.0, 75.0, 75.0, 1, 100.0), vec![NodeId(0)], SimTime::ZERO);
-        e.admit(job(1, 0.0, 75.0, 75.0, 1, 100.0), vec![NodeId(0)], SimTime::ZERO);
+        e.admit(
+            job(0, 0.0, 75.0, 75.0, 1, 100.0),
+            vec![NodeId(0)],
+            SimTime::ZERO,
+        );
+        e.admit(
+            job(1, 0.0, 75.0, 75.0, 1, 100.0),
+            vec![NodeId(0)],
+            SimTime::ZERO,
+        );
         let r0 = e.rate_of(JobId(0)).unwrap();
         assert!((r0 - 0.5).abs() < 1e-9, "rate {r0}");
         let done = run_to_completion(&mut e);
         for d in &done {
-            assert!(d.finish.as_secs() > 100.0 + 1.0, "both jobs miss: {:?}", d.finish);
+            assert!(
+                d.finish.as_secs() > 100.0 + 1.0,
+                "both jobs miss: {:?}",
+                d.finish
+            );
         }
     }
 
@@ -860,8 +898,16 @@ mod tests {
         let mut e = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
         // Node 0 also hosts a competing job → gang member on node 0 is
         // slower than on node 1.
-        e.admit(job(0, 0.0, 100.0, 100.0, 1, 125.0), vec![NodeId(0)], SimTime::ZERO);
-        e.admit(job(1, 0.0, 50.0, 50.0, 2, 100.0), vec![NodeId(0), NodeId(1)], SimTime::ZERO);
+        e.admit(
+            job(0, 0.0, 100.0, 100.0, 1, 125.0),
+            vec![NodeId(0)],
+            SimTime::ZERO,
+        );
+        e.admit(
+            job(1, 0.0, 50.0, 50.0, 2, 100.0),
+            vec![NodeId(0), NodeId(1)],
+            SimTime::ZERO,
+        );
         // Node 0: shares 0.8 + 0.5 = 1.3 (overloaded) → gang rate on node
         // 0 = 0.5/1.3; node 1: share 0.5 alone → rate 0.5. Gang = min.
         let gang = e.rate_of(JobId(1)).unwrap();
@@ -872,17 +918,29 @@ mod tests {
     fn utilization_accounts_gang_width() {
         let mut e = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
         let cfg_now = SimTime::ZERO;
-        e.admit(job(0, 0.0, 100.0, 100.0, 2, 100.0), vec![NodeId(0), NodeId(1)], cfg_now);
+        e.admit(
+            job(0, 0.0, 100.0, 100.0, 2, 100.0),
+            vec![NodeId(0), NodeId(1)],
+            cfg_now,
+        );
         let done = run_to_completion(&mut e);
         assert_eq!(done.len(), 1);
         // Share 1.0 on both nodes → full utilisation of both for 100 s.
-        assert!((e.utilization() - 1.0).abs() < 1e-6, "util {}", e.utilization());
+        assert!(
+            (e.utilization() - 1.0).abs() < 1e-6,
+            "util {}",
+            e.utilization()
+        );
     }
 
     #[test]
     fn arrivals_mid_run_redistribute_rates() {
         let mut e = ProportionalCluster::new(cluster(1), strict_cfg());
-        e.admit(job(0, 0.0, 100.0, 100.0, 1, 200.0), vec![NodeId(0)], SimTime::ZERO);
+        e.admit(
+            job(0, 0.0, 100.0, 100.0, 1, 200.0),
+            vec![NodeId(0)],
+            SimTime::ZERO,
+        );
         // Advance halfway, then a second job arrives requiring share 0.8.
         let t = SimTime::from_secs(100.0);
         let done = e.advance(t);
@@ -899,7 +957,11 @@ mod tests {
     #[test]
     fn node_total_share_matches_eq2() {
         let mut e = ProportionalCluster::new(cluster(1), ProportionalConfig::default());
-        e.admit(job(0, 0.0, 60.0, 60.0, 1, 120.0), vec![NodeId(0)], SimTime::ZERO);
+        e.admit(
+            job(0, 0.0, 60.0, 60.0, 1, 120.0),
+            vec![NodeId(0)],
+            SimTime::ZERO,
+        );
         let s = e.node_total_share(NodeId(0), None);
         assert!((s - 0.5).abs() < 1e-9);
         let new = job(1, 0.0, 30.0, 30.0, 1, 100.0);
@@ -910,7 +972,11 @@ mod tests {
     #[test]
     fn projection_input_includes_tentative_job() {
         let mut e = ProportionalCluster::new(cluster(1), ProportionalConfig::default());
-        e.admit(job(0, 0.0, 60.0, 60.0, 1, 120.0), vec![NodeId(0)], SimTime::ZERO);
+        e.admit(
+            job(0, 0.0, 60.0, 60.0, 1, 120.0),
+            vec![NodeId(0)],
+            SimTime::ZERO,
+        );
         let new = job(1, 0.0, 30.0, 30.0, 1, 100.0);
         let pj = e.node_projection(NodeId(0), Some(&new));
         assert_eq!(pj.len(), 2);
@@ -922,14 +988,22 @@ mod tests {
     #[should_panic(expected = "advance() the engine")]
     fn stale_admit_panics() {
         let mut e = ProportionalCluster::new(cluster(1), ProportionalConfig::default());
-        e.admit(job(0, 0.0, 10.0, 10.0, 1, 100.0), vec![NodeId(0)], SimTime::from_secs(5.0));
+        e.admit(
+            job(0, 0.0, 10.0, 10.0, 1, 100.0),
+            vec![NodeId(0)],
+            SimTime::from_secs(5.0),
+        );
     }
 
     #[test]
     #[should_panic(expected = "needs")]
     fn wrong_node_count_panics() {
         let mut e = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
-        e.admit(job(0, 0.0, 10.0, 10.0, 2, 100.0), vec![NodeId(0)], SimTime::ZERO);
+        e.admit(
+            job(0, 0.0, 10.0, 10.0, 2, 100.0),
+            vec![NodeId(0)],
+            SimTime::ZERO,
+        );
     }
 
     #[test]
@@ -948,7 +1022,11 @@ mod tests {
         let mut e = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
         assert_eq!(e.rate_of(JobId(7)), None);
         assert_eq!(e.remaining_est_of(JobId(7)), None);
-        e.admit(job(7, 0.0, 10.0, 10.0, 1, 100.0), vec![NodeId(1)], SimTime::ZERO);
+        e.admit(
+            job(7, 0.0, 10.0, 10.0, 1, 100.0),
+            vec![NodeId(1)],
+            SimTime::ZERO,
+        );
         assert_eq!(e.jobs_on_node(NodeId(1)), &[JobId(7)]);
         assert!(e.jobs_on_node(NodeId(0)).is_empty());
         assert_eq!(e.resident_count(NodeId(1)), 1);
@@ -958,7 +1036,11 @@ mod tests {
     #[should_panic(expected = "backwards")]
     fn advance_rejects_time_travel() {
         let mut e = ProportionalCluster::new(cluster(1), ProportionalConfig::default());
-        e.admit(job(0, 0.0, 10.0, 10.0, 1, 100.0), vec![NodeId(0)], SimTime::ZERO);
+        e.admit(
+            job(0, 0.0, 10.0, 10.0, 1, 100.0),
+            vec![NodeId(0)],
+            SimTime::ZERO,
+        );
         e.advance(SimTime::from_secs(5.0));
         e.advance(SimTime::from_secs(1.0));
     }
@@ -977,7 +1059,11 @@ mod tests {
             ..Default::default()
         };
         let mut e = ProportionalCluster::new(cluster(1), cfg);
-        e.admit(job(0, 0.0, 1000.0, 1000.0, 1, 10_000.0), vec![NodeId(0)], SimTime::ZERO);
+        e.admit(
+            job(0, 0.0, 1000.0, 1000.0, 1, 10_000.0),
+            vec![NodeId(0)],
+            SimTime::ZERO,
+        );
         let next = e.next_event_time().unwrap();
         assert!((next.as_secs() - 10.0).abs() < 1e-9);
     }
@@ -986,7 +1072,11 @@ mod tests {
     fn per_node_utilization_tracks_where_work_ran() {
         let mut e = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
         // One job on node 0 only; node 1 idles.
-        e.admit(job(0, 0.0, 100.0, 100.0, 1, 100.0), vec![NodeId(0)], SimTime::ZERO);
+        e.admit(
+            job(0, 0.0, 100.0, 100.0, 1, 100.0),
+            vec![NodeId(0)],
+            SimTime::ZERO,
+        );
         let done = run_to_completion(&mut e);
         assert_eq!(done.len(), 1);
         assert!((e.node_utilization(NodeId(0)) - 1.0).abs() < 1e-6);
@@ -1006,7 +1096,14 @@ mod tests {
             for k in 0..3 {
                 let node = NodeId(((round + k) % 4) as u32);
                 e.admit(
-                    job(id, t, 20.0 + 7.0 * k as f64, 25.0, 1, 90.0 + 11.0 * k as f64),
+                    job(
+                        id,
+                        t,
+                        20.0 + 7.0 * k as f64,
+                        25.0,
+                        1,
+                        90.0 + 11.0 * k as f64,
+                    ),
                     vec![node],
                     SimTime::from_secs(t),
                 );
@@ -1045,7 +1142,14 @@ mod tests {
         // both nodes: removals exercise the slot-patching path.
         for i in 0..5 {
             e.admit(
-                job(i, 0.0, 10.0 + 10.0 * i as f64, 10.0 + 10.0 * i as f64, 1, 500.0),
+                job(
+                    i,
+                    0.0,
+                    10.0 + 10.0 * i as f64,
+                    10.0 + 10.0 * i as f64,
+                    1,
+                    500.0,
+                ),
                 vec![NodeId(0)],
                 SimTime::ZERO,
             );
@@ -1076,9 +1180,17 @@ mod tests {
         let mut e = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
         let e0 = e.node_epoch(NodeId(0));
         let e1 = e.node_epoch(NodeId(1));
-        e.admit(job(0, 0.0, 50.0, 50.0, 1, 100.0), vec![NodeId(0)], SimTime::ZERO);
+        e.admit(
+            job(0, 0.0, 50.0, 50.0, 1, 100.0),
+            vec![NodeId(0)],
+            SimTime::ZERO,
+        );
         assert!(e.node_epoch(NodeId(0)) > e0, "admit must bump the node");
-        assert_eq!(e.node_epoch(NodeId(1)), e1, "untouched node keeps its epoch");
+        assert_eq!(
+            e.node_epoch(NodeId(1)),
+            e1,
+            "untouched node keeps its epoch"
+        );
 
         // Zero-width advance changes nothing scheduler-visible.
         let mid0 = e.node_epoch(NodeId(0));
@@ -1101,8 +1213,16 @@ mod tests {
             ..Default::default()
         };
         let mut e = ProportionalCluster::new(cluster(1), cfg);
-        e.admit(job(0, 0.0, 10.0, 1e300, 1, 1.0), vec![NodeId(0)], SimTime::ZERO);
-        e.admit(job(1, 0.0, 10.0, 1e-6, 1, 1e300), vec![NodeId(0)], SimTime::ZERO);
+        e.admit(
+            job(0, 0.0, 10.0, 1e300, 1, 1.0),
+            vec![NodeId(0)],
+            SimTime::ZERO,
+        );
+        e.admit(
+            job(1, 0.0, 10.0, 1e-6, 1, 1e300),
+            vec![NodeId(0)],
+            SimTime::ZERO,
+        );
         assert_eq!(e.rate_of(JobId(1)), Some(0.0), "share underflows to zero");
         let next = e.next_event_time().expect("resident jobs");
         assert!(next > e.now(), "wake must move time forward");
@@ -1150,10 +1270,22 @@ mod tests {
         };
         check(&e);
         // Load the nodes unevenly, checking after every mutation kind.
-        e.admit(job(0, 0.0, 60.0, 60.0, 1, 120.0), vec![NodeId(2)], SimTime::ZERO);
+        e.admit(
+            job(0, 0.0, 60.0, 60.0, 1, 120.0),
+            vec![NodeId(2)],
+            SimTime::ZERO,
+        );
         check(&e);
-        e.admit(job(1, 0.0, 90.0, 90.0, 1, 100.0), vec![NodeId(0)], SimTime::ZERO);
-        e.admit(job(2, 0.0, 30.0, 30.0, 1, 400.0), vec![NodeId(2)], SimTime::ZERO);
+        e.admit(
+            job(1, 0.0, 90.0, 90.0, 1, 100.0),
+            vec![NodeId(0)],
+            SimTime::ZERO,
+        );
+        e.admit(
+            job(2, 0.0, 30.0, 30.0, 1, 400.0),
+            vec![NodeId(2)],
+            SimTime::ZERO,
+        );
         check(&e);
         let next = e.next_event_time().unwrap();
         e.advance(next);
@@ -1170,13 +1302,20 @@ mod tests {
     fn global_epoch_moves_with_any_node_epoch() {
         let mut e = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
         let g0 = e.global_epoch();
-        e.admit(job(0, 0.0, 50.0, 50.0, 1, 100.0), vec![NodeId(0)], SimTime::ZERO);
+        e.admit(
+            job(0, 0.0, 50.0, 50.0, 1, 100.0),
+            vec![NodeId(0)],
+            SimTime::ZERO,
+        );
         assert!(e.global_epoch() > g0, "admit must bump the global epoch");
         let g1 = e.global_epoch();
         e.advance(SimTime::ZERO);
         assert_eq!(e.global_epoch(), g1, "zero-width advance changes nothing");
         e.advance(SimTime::from_secs(5.0));
-        assert!(e.global_epoch() > g1, "a real advance bumps the global epoch");
+        assert!(
+            e.global_epoch() > g1,
+            "a real advance bumps the global epoch"
+        );
     }
 
     #[test]
@@ -1223,10 +1362,7 @@ mod tests {
         }
         let done = run_to_completion(&mut e);
         assert_eq!(done.len(), 5);
-        let makespan = done
-            .iter()
-            .map(|d| d.finish.as_secs())
-            .fold(0.0, f64::max);
+        let makespan = done.iter().map(|d| d.finish.as_secs()).fold(0.0, f64::max);
         // 200 s of work on one processor: cannot finish before 200 s.
         assert!(makespan >= 200.0 - 1e-3, "makespan {makespan}");
         // busy integral == total work delivered.

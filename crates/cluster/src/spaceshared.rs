@@ -10,7 +10,8 @@
 use crate::cluster::Cluster;
 use crate::node::NodeId;
 use sim::{SimDuration, SimTime};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 use workload::{Job, JobId};
 
 /// A running space-shared job.
@@ -20,6 +21,9 @@ struct RunningJob {
     nodes: Vec<NodeId>,
     started: SimTime,
     finish: SimTime,
+    /// Start order, used to break ties among simultaneous finishes the
+    /// same way an event queue would (FIFO by schedule order).
+    seq: u64,
 }
 
 /// The space-shared cluster engine.
@@ -30,6 +34,12 @@ pub struct SpaceSharedCluster {
     running: BTreeMap<JobId, RunningJob>,
     busy_integral: f64,
     last_update: SimTime,
+    /// Min-heap of `(finish, start seq, id)` surfacing the next
+    /// completion without an external event queue. Entries for jobs
+    /// completed through [`SpaceSharedCluster::complete`] go stale and
+    /// are lazily discarded when they reach the top.
+    finish_heap: BinaryHeap<Reverse<(SimTime, u64, JobId)>>,
+    start_seq: u64,
 }
 
 impl SpaceSharedCluster {
@@ -45,6 +55,8 @@ impl SpaceSharedCluster {
             running: BTreeMap::new(),
             busy_integral: 0.0,
             last_update: SimTime::ZERO,
+            finish_heap: BinaryHeap::new(),
+            start_seq: 0,
         }
     }
 
@@ -74,7 +86,13 @@ impl SpaceSharedCluster {
     /// # Panics
     /// Panics if not enough processors are free.
     pub fn start(&mut self, job: Job, now: SimTime) -> SimTime {
-        assert!(self.can_start(&job), "{} needs {} procs, {} free", job.id, job.procs, self.free.len());
+        assert!(
+            self.can_start(&job),
+            "{} needs {} procs, {} free",
+            job.id,
+            job.procs,
+            self.free.len()
+        );
         self.account(now);
         let mut nodes = Vec::with_capacity(job.procs as usize);
         for _ in 0..job.procs {
@@ -88,6 +106,9 @@ impl SpaceSharedCluster {
         let duration = SimDuration::from_secs(job.runtime.as_secs() / slowest);
         let finish = now + duration;
         let id = job.id;
+        let seq = self.start_seq;
+        self.start_seq += 1;
+        self.finish_heap.push(Reverse((finish, seq, id)));
         self.running.insert(
             id,
             RunningJob {
@@ -95,9 +116,42 @@ impl SpaceSharedCluster {
                 nodes,
                 started: now,
                 finish,
+                seq,
             },
         );
         finish
+    }
+
+    /// The instant of the earliest pending completion, if any job is
+    /// running. Simultaneous finishes are surfaced in start order, so
+    /// repeatedly draining [`SpaceSharedCluster::complete_next`] visits
+    /// completions exactly as an event queue with FIFO ties would.
+    pub fn next_completion_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse((finish, seq, id))) = self.finish_heap.peek().copied() {
+            match self.running.get(&id) {
+                Some(r) if r.seq == seq => return Some(finish),
+                // Stale: completed out-of-band via `complete`.
+                _ => {
+                    self.finish_heap.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Completes the earliest-finishing running job (start order breaks
+    /// ties), freeing its processors and accounting utilisation up to its
+    /// finish instant. Returns `(job, started, finish)`.
+    ///
+    /// # Panics
+    /// Panics if no job is running.
+    pub fn complete_next(&mut self) -> (Job, SimTime, SimTime) {
+        let finish = self
+            .next_completion_time()
+            .expect("complete_next on an idle pool");
+        let Reverse((_, _, id)) = self.finish_heap.pop().expect("peeked entry present");
+        let (job, started) = self.complete(id, finish);
+        (job, started, finish)
     }
 
     /// Completes a running job at `now`, freeing its processors. Returns
@@ -108,8 +162,15 @@ impl SpaceSharedCluster {
     /// precomputed finish instant.
     pub fn complete(&mut self, id: JobId, now: SimTime) -> (Job, SimTime) {
         self.account(now);
-        let r = self.running.remove(&id).unwrap_or_else(|| panic!("{id} is not running"));
-        assert_eq!(r.finish, now, "{id} completes at {:?}, not {:?}", r.finish, now);
+        let r = self
+            .running
+            .remove(&id)
+            .unwrap_or_else(|| panic!("{id} is not running"));
+        assert_eq!(
+            r.finish, now,
+            "{id} completes at {:?}, not {:?}",
+            r.finish, now
+        );
         self.free.extend(r.nodes.iter().rev());
         self.free.sort_unstable_by(|a, b| b.cmp(a));
         (r.job, r.started)
@@ -237,6 +298,48 @@ mod tests {
         p.complete(JobId(1), f);
         // One of two processors busy for the whole span.
         assert!((p.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn next_completion_surfaces_in_finish_then_start_order() {
+        let mut p = SpaceSharedCluster::new(Cluster::homogeneous(4, 168.0));
+        assert_eq!(p.next_completion_time(), None);
+        p.start(job(1, 100.0, 1), SimTime::ZERO);
+        p.start(job(2, 50.0, 1), SimTime::ZERO);
+        p.start(job(3, 50.0, 1), SimTime::ZERO);
+        assert_eq!(p.next_completion_time(), Some(SimTime::from_secs(50.0)));
+        // Ties break by start order: job 2 before job 3.
+        let (j, started, finish) = p.complete_next();
+        assert_eq!(j.id, JobId(2));
+        assert_eq!(started, SimTime::ZERO);
+        assert_eq!(finish, SimTime::from_secs(50.0));
+        let (j, _, _) = p.complete_next();
+        assert_eq!(j.id, JobId(3));
+        let (j, _, finish) = p.complete_next();
+        assert_eq!(j.id, JobId(1));
+        assert_eq!(finish, SimTime::from_secs(100.0));
+        assert_eq!(p.next_completion_time(), None);
+        assert_eq!(p.free_procs(), 4);
+    }
+
+    #[test]
+    fn out_of_band_complete_leaves_no_stale_surfacing() {
+        let mut p = SpaceSharedCluster::new(Cluster::homogeneous(2, 168.0));
+        p.start(job(1, 10.0, 1), SimTime::ZERO);
+        p.start(job(2, 20.0, 1), SimTime::ZERO);
+        // Complete job 1 through the legacy by-id path; the heap entry it
+        // left behind must be skipped.
+        p.complete(JobId(1), SimTime::from_secs(10.0));
+        assert_eq!(p.next_completion_time(), Some(SimTime::from_secs(20.0)));
+        let (j, _, _) = p.complete_next();
+        assert_eq!(j.id, JobId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "idle pool")]
+    fn complete_next_on_idle_pool_panics() {
+        let mut p = SpaceSharedCluster::new(Cluster::homogeneous(2, 168.0));
+        p.complete_next();
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Property-based invariants of the execution engines and the delay
 //! projection.
 
-use cluster::projection::{
-    self, node_risk, project_finishes, ProjectedJob, ShareDiscipline,
-};
+use cluster::projection::{self, node_risk, project_finishes, ProjectedJob, ShareDiscipline};
 use cluster::proportional::{ProportionalCluster, ProportionalConfig};
 use cluster::{Cluster, NodeId, SpaceSharedCluster};
 use proptest::prelude::*;
@@ -156,14 +154,12 @@ proptest! {
                 "heap vs scan diverged {ctx}"
             );
         };
-        let mut id = 0u64;
-        for (r, gap) in raws.iter().zip(&gaps) {
+        for (id, (r, gap)) in raws.iter().zip(&gaps).enumerate() {
             let now = engine.now();
-            let mut j = job(id, r.runtime, r.runtime * r.est_factor, r.procs, r.deadline);
+            let mut j = job(id as u64, r.runtime, r.runtime * r.est_factor, r.procs, r.deadline);
             j.submit = now;
             let nodes: Vec<NodeId> = (0..r.procs).map(NodeId).collect();
             engine.admit(j, nodes, now);
-            id += 1;
             check(&engine, "after admit");
             // Advance a random fraction of the proposed gap (0 → no-op
             // advance, 1 lands exactly on the event so completions and
@@ -254,14 +250,12 @@ proptest! {
             });
         };
         check(&engine, "on an idle engine");
-        let mut id = 0u64;
-        for (r, gap) in raws.iter().zip(&gaps) {
+        for (id, (r, gap)) in raws.iter().zip(&gaps).enumerate() {
             let now = engine.now();
-            let mut j = job(id, r.runtime, r.runtime * r.est_factor, r.procs, r.deadline);
+            let mut j = job(id as u64, r.runtime, r.runtime * r.est_factor, r.procs, r.deadline);
             j.submit = now;
             let alloc: Vec<NodeId> = (0..r.procs).map(NodeId).collect();
             engine.admit(j, alloc, now);
-            id += 1;
             check(&engine, "after admit");
             if let Some(next) = engine.next_event_time() {
                 let dt = (next - now).as_secs() * gap.min(1.0);

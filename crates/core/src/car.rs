@@ -80,7 +80,10 @@ pub fn computation_at_risk(
     measure: CarMeasure,
     level: f64,
 ) -> Option<CarAnalysis> {
-    assert!(level > 0.0 && level < 1.0, "level must be in (0,1), got {level}");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "level must be in (0,1), got {level}"
+    );
     let samples = measure.samples(report);
     if samples.is_empty() {
         return None;

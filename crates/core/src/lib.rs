@@ -21,8 +21,13 @@
 //! * [`queue::QueuePolicy`] — the space-shared comparators: non-preemptive
 //!   **EDF** with the paper's relaxed admission control, EDF without
 //!   admission control, and FCFS (§4).
-//! * [`scheduler`] — the event loops that drive a [`workload::Trace`]
-//!   through either engine and produce a [`report::SimulationReport`].
+//! * [`rms::ClusterRms`] — the online RMS facade ("the only single
+//!   interface for users to submit jobs in the cluster", §3):
+//!   job-by-job `submit`/`advance`/`drain` over any execution backend,
+//!   with outcomes streamed into a [`report::ReportSink`].
+//! * [`scheduler`] — batch entry points that replay a
+//!   [`workload::Trace`] through the facade via one generic driver
+//!   ([`rms::drive_trace`]) and produce a [`report::SimulationReport`].
 //!
 //! ## Quick start
 //!
@@ -53,6 +58,7 @@ pub mod qops;
 pub mod queue;
 pub mod report;
 pub mod risk_cache;
+pub mod rms;
 pub mod scheduler;
 
 pub use car::{computation_at_risk, CarAnalysis, CarMeasure};
@@ -61,14 +67,16 @@ pub use libra_budget::{BudgetModel, LibraBudget, PricingModel};
 pub use libra_risk::{ClusterRisk, LibraRisk, NodeOrdering};
 pub use policy::{PolicyKind, ShareAdmission};
 pub use qops::{run_qops, QopsConfig};
-pub use queue::{QueueDiscipline, QueuePolicy};
-pub use report::{JobRecord, Outcome, SimulationReport};
+pub use queue::{QueueDiscipline, QueuePolicy, QueuedJob};
+pub use report::{JobRecord, OnlineReport, Outcome, ReportCollector, ReportSink, SimulationReport};
+pub use rms::{drive_trace, ClusterRms, Decision, ExecutionBackend, JobEvent};
 pub use scheduler::{run_proportional, run_queued};
 
 /// One-line imports for examples and the experiment harness.
 pub mod prelude {
     pub use crate::policy::PolicyKind;
-    pub use crate::report::{Outcome, SimulationReport};
+    pub use crate::report::{OnlineReport, Outcome, ReportCollector, ReportSink, SimulationReport};
+    pub use crate::rms::{drive_trace, ClusterRms, Decision, JobEvent};
     pub use crate::scheduler::{run_proportional, run_queued};
     pub use cluster::{Cluster, NodeId};
     pub use workload::{Job, JobId, Trace, Urgency};

@@ -58,11 +58,7 @@ impl Libra {
     /// The pre-cache decision logic: every node's share total is summed
     /// from scratch, tentative job included. Kept as the differential
     /// reference — `decide` must return bitwise-identical rankings.
-    pub fn decide_reference(
-        &self,
-        engine: &ProportionalCluster,
-        job: &Job,
-    ) -> Option<Vec<NodeId>> {
+    pub fn decide_reference(&self, engine: &ProportionalCluster, job: &Job) -> Option<Vec<NodeId>> {
         let want = job.procs as usize;
         if want > engine.cluster().len() {
             return None;
@@ -140,7 +136,10 @@ mod tests {
     use workload::{JobId, Urgency};
 
     fn engine(nodes: usize) -> ProportionalCluster {
-        ProportionalCluster::new(Cluster::homogeneous(nodes, 168.0), ProportionalConfig::default())
+        ProportionalCluster::new(
+            Cluster::homogeneous(nodes, 168.0),
+            ProportionalConfig::default(),
+        )
     }
 
     fn job(id: u64, estimate: f64, procs: u32, deadline: f64) -> Job {
@@ -219,11 +218,14 @@ mod tests {
     fn cached_decisions_match_reference_through_state_changes() {
         let mut libra = Libra::new();
         let mut e = engine(4);
-        let mut id = 100u64;
         let mut t = 0.0;
         for round in 0..30 {
-            let j = job(id, 20.0 + (round % 7) as f64 * 11.0, 1 + (round % 2) as u32, 120.0);
-            id += 1;
+            let j = job(
+                100 + round as u64,
+                20.0 + (round % 7) as f64 * 11.0,
+                1 + (round % 2) as u32,
+                120.0,
+            );
             let cached = libra.decide(&e, &j);
             let reference = libra.decide_reference(&e, &j);
             assert_eq!(cached, reference, "round {round}");

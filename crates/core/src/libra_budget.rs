@@ -97,11 +97,7 @@ impl BudgetModel {
                 let mut accurate = j.clone();
                 accurate.estimate = accurate.runtime;
                 let base = self.pricing.quote(&accurate);
-                let g = (rng.uniform(
-                    self.min_generosity.ln(),
-                    self.max_generosity.ln(),
-                ))
-                .exp();
+                let g = (rng.uniform(self.min_generosity.ln(), self.max_generosity.ln())).exp();
                 (j.id, base * g)
             })
             .collect()
@@ -217,28 +213,32 @@ mod tests {
 
     #[test]
     fn over_quoted_job_is_rejected_and_earns_nothing() {
-        let engine =
-            ProportionalCluster::new(Cluster::homogeneous(2, 168.0), ProportionalConfig::default());
+        let engine = ProportionalCluster::new(
+            Cluster::homogeneous(2, 168.0),
+            ProportionalConfig::default(),
+        );
         // Budget below any possible quote.
         let mut budgets = HashMap::new();
         budgets.insert(JobId(0), 0.01);
-        let mut policy =
-            LibraBudget::new(LibraRisk::paper(), PricingModel::default(), budgets);
-        assert!(policy.decide(&engine, &job(0, 100.0, 100.0, 1000.0)).is_none());
+        let mut policy = LibraBudget::new(LibraRisk::paper(), PricingModel::default(), budgets);
+        assert!(policy
+            .decide(&engine, &job(0, 100.0, 100.0, 1000.0))
+            .is_none());
         assert_eq!(policy.budget_rejections(), 1);
         assert_eq!(policy.revenue(), 0.0);
     }
 
     #[test]
     fn affordable_job_defers_to_inner_policy_and_books_revenue() {
-        let engine =
-            ProportionalCluster::new(Cluster::homogeneous(2, 168.0), ProportionalConfig::default());
+        let engine = ProportionalCluster::new(
+            Cluster::homogeneous(2, 168.0),
+            ProportionalConfig::default(),
+        );
         let j = job(0, 100.0, 100.0, 1000.0);
         let quote = PricingModel::default().quote(&j);
         let mut budgets = HashMap::new();
         budgets.insert(JobId(0), quote * 2.0);
-        let mut policy =
-            LibraBudget::new(LibraRisk::paper(), PricingModel::default(), budgets);
+        let mut policy = LibraBudget::new(LibraRisk::paper(), PricingModel::default(), budgets);
         let nodes = policy.decide(&engine, &j).expect("accepted");
         assert_eq!(nodes.len(), 1);
         assert!((policy.revenue() - quote).abs() < 1e-9);
@@ -248,11 +248,15 @@ mod tests {
 
     #[test]
     fn unknown_job_id_is_treated_as_unlimited_budget() {
-        let engine =
-            ProportionalCluster::new(Cluster::homogeneous(2, 168.0), ProportionalConfig::default());
+        let engine = ProportionalCluster::new(
+            Cluster::homogeneous(2, 168.0),
+            ProportionalConfig::default(),
+        );
         let mut policy =
             LibraBudget::new(LibraRisk::paper(), PricingModel::default(), HashMap::new());
-        assert!(policy.decide(&engine, &job(7, 100.0, 100.0, 1000.0)).is_some());
+        assert!(policy
+            .decide(&engine, &job(7, 100.0, 100.0, 1000.0))
+            .is_some());
     }
 
     #[test]
@@ -273,8 +277,7 @@ mod tests {
             ..Default::default()
         }
         .assign(&mut Rng64::new(9), trace.jobs());
-        let mut policy =
-            LibraBudget::new(LibraRisk::paper(), PricingModel::default(), budgets);
+        let mut policy = LibraBudget::new(LibraRisk::paper(), PricingModel::default(), budgets);
         let report = run_proportional(
             Cluster::homogeneous(8, 168.0),
             ProportionalConfig::default(),
@@ -286,9 +289,6 @@ mod tests {
         // the over-estimated quote) → budget rejections occur.
         assert!(policy.budget_rejections() > 0);
         assert!(policy.revenue() > 0.0);
-        assert_eq!(
-            report.accepted(),
-            report.submitted() - report.rejected()
-        );
+        assert_eq!(report.accepted(), report.submitted() - report.rejected());
     }
 }

@@ -175,11 +175,7 @@ impl LibraRisk {
     /// with freshly allocated buffers. Kept as the differential reference
     /// — `decide` must return identical decisions — and as the baseline
     /// the admission benchmarks compare against.
-    pub fn decide_reference(
-        &self,
-        engine: &ProportionalCluster,
-        job: &Job,
-    ) -> Option<Vec<NodeId>> {
+    pub fn decide_reference(&self, engine: &ProportionalCluster, job: &Job) -> Option<Vec<NodeId>> {
         let want = job.procs as usize;
         if want > engine.cluster().len() {
             return None;
@@ -195,8 +191,8 @@ impl LibraRisk {
             } else {
                 node_risk(&projected, now, speed, discipline)
             };
-            let suitable = is_zero_risk(sigma)
-                && (!self.require_unit_mu || (mu - 1.0).abs() <= MU_EPSILON);
+            let suitable =
+                is_zero_risk(sigma) && (!self.require_unit_mu || (mu - 1.0).abs() <= MU_EPSILON);
             if suitable {
                 zero_risk_nodes.push(node.id);
             }
@@ -355,7 +351,8 @@ impl LibraRisk {
         for node in engine.cluster().nodes() {
             let jobs = engine.node_projection(node.id, None);
             let speed = engine.cluster().speed_factor(node.id);
-            let s = ProjectionWorkspace::new().node_risk_summary_with(&jobs, now, speed, discipline);
+            let s =
+                ProjectionWorkspace::new().node_risk_summary_with(&jobs, now, speed, discipline);
             out.jobs += s.count;
             out.dd_sum += s.dd_sum;
             out.dd_sq_sum += s.dd_sq_sum;
@@ -404,8 +401,7 @@ impl ShareAdmission for LibraRisk {
         for node in engine.cluster().nodes() {
             let c = &mut self.cache[node.id.0 as usize];
             Self::refresh_node(c, engine, node.id);
-            let suitable = if c.jobs.is_empty() && !self.require_unit_mu && !self.naive_projection
-            {
+            let suitable = if c.jobs.is_empty() && !self.require_unit_mu && !self.naive_projection {
                 // Empty-node fast path: a lone job's deadline-delay is a
                 // single sample, so its population dispersion — Eq. 6's
                 // σ_j — is exactly 0.0 however late the projection runs.
@@ -449,8 +445,7 @@ impl ShareAdmission for LibraRisk {
                     };
                     (s.mu, s.sigma)
                 };
-                is_zero_risk(sigma)
-                    && (!self.require_unit_mu || (mu - 1.0).abs() <= MU_EPSILON)
+                is_zero_risk(sigma) && (!self.require_unit_mu || (mu - 1.0).abs() <= MU_EPSILON)
             };
             if suitable {
                 self.zero_risk.push(node.id);
@@ -482,7 +477,10 @@ mod tests {
     use workload::{JobId, Urgency};
 
     fn engine(nodes: usize) -> ProportionalCluster {
-        ProportionalCluster::new(Cluster::homogeneous(nodes, 168.0), ProportionalConfig::default())
+        ProportionalCluster::new(
+            Cluster::homogeneous(nodes, 168.0),
+            ProportionalConfig::default(),
+        )
     }
 
     fn job(id: u64, estimate: f64, procs: u32, deadline: f64) -> Job {
@@ -502,7 +500,11 @@ mod tests {
         let mut lr = LibraRisk::paper();
         let e = engine(4);
         let nodes = lr.decide(&e, &job(0, 50.0, 2, 100.0)).expect("accepted");
-        assert_eq!(nodes, vec![NodeId(0), NodeId(1)], "Algorithm 1 takes nodes in id order");
+        assert_eq!(
+            nodes,
+            vec![NodeId(0), NodeId(1)],
+            "Algorithm 1 takes nodes in id order"
+        );
     }
 
     #[test]
@@ -567,7 +569,9 @@ mod tests {
         assert!(!e.is_empty(), "sick job must still be running");
         // New job with a comfortable deadline: node 0 projects unequal
         // delays (sick job late, new job fine) → only node 1 is zero-risk.
-        let nodes = lr.decide(&e, &job(2, 50.0, 1, 1000.0)).expect("node 1 available");
+        let nodes = lr
+            .decide(&e, &job(2, 50.0, 1, 1000.0))
+            .expect("node 1 available");
         assert_eq!(nodes, vec![NodeId(1)]);
     }
 
@@ -610,16 +614,14 @@ mod tests {
         ] {
             let mut lr = variant;
             let mut e = engine(4);
-            let mut id = 100u64;
             let mut t = 0.0;
             for round in 0..30 {
                 let j = job(
-                    id,
+                    100 + round as u64,
                     20.0 + (round % 7) as f64 * 13.0,
                     1 + (round % 2) as u32,
                     110.0 + (round % 3) as f64 * 40.0,
                 );
-                id += 1;
                 let cached = lr.decide(&e, &j);
                 let reference = lr.decide_reference(&e, &j);
                 assert_eq!(cached, reference, "{} round {round}", lr.name());
@@ -673,7 +675,10 @@ mod tests {
         let check = |lr: &mut LibraRisk, e: &ProportionalCluster| {
             let cached = lr.cluster_risk(e);
             let fresh = LibraRisk::cluster_risk_reference(e);
-            assert!(cached.bits_eq(&fresh), "cached {cached:?} vs fresh {fresh:?}");
+            assert!(
+                cached.bits_eq(&fresh),
+                "cached {cached:?} vs fresh {fresh:?}"
+            );
             cached
         };
         let idle = check(&mut lr, &e);

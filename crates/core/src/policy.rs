@@ -3,10 +3,11 @@
 
 use crate::libra::Libra;
 use crate::libra_risk::{LibraRisk, NodeOrdering};
-use crate::qops::{run_qops, QopsConfig};
+use crate::qops::{run_qops_reference, QopsConfig};
 use crate::queue::{QueueDiscipline, QueuePolicy};
 use crate::report::SimulationReport;
-use crate::scheduler::{run_proportional, run_queued};
+use crate::rms::ClusterRms;
+use crate::scheduler::{run_proportional_reference, run_queued_reference};
 use cluster::projection::ShareDiscipline;
 use cluster::proportional::{ProportionalCluster, ProportionalConfig};
 use cluster::{Cluster, NodeId};
@@ -33,6 +34,19 @@ pub trait ShareAdmission {
 
     /// Accept (with a node allocation) or reject the job.
     fn decide(&mut self, engine: &ProportionalCluster, job: &Job) -> Option<Vec<NodeId>>;
+}
+
+/// A mutable borrow of a policy is itself a policy — lets callers keep
+/// ownership (to read accumulated state after the run, as the budget
+/// figures do) while the RMS facade drives the borrow.
+impl<T: ShareAdmission + ?Sized> ShareAdmission for &mut T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn decide(&mut self, engine: &ProportionalCluster, job: &Job) -> Option<Vec<NodeId>> {
+        (**self).decide(engine, job)
+    }
 }
 
 /// The catalogue of policies the paper (and our ablations) evaluate.
@@ -86,6 +100,23 @@ impl PolicyKind {
     /// All policies the paper's figures compare.
     pub const PAPER: [PolicyKind; 3] = [PolicyKind::Edf, PolicyKind::Libra, PolicyKind::LibraRisk];
 
+    /// Every policy in the catalogue.
+    pub const ALL: [PolicyKind; 13] = [
+        PolicyKind::Edf,
+        PolicyKind::EdfNoAdmission,
+        PolicyKind::Fcfs,
+        PolicyKind::Libra,
+        PolicyKind::LibraRisk,
+        PolicyKind::LibraRiskStrict,
+        PolicyKind::LibraRiskBestFit,
+        PolicyKind::LibraStrictShares,
+        PolicyKind::LibraRiskStrictShares,
+        PolicyKind::LibraRiskNaiveProjection,
+        PolicyKind::EdfBackfill,
+        PolicyKind::Qops,
+        PolicyKind::QopsHard,
+    ];
+
     /// Display name used in figures.
     pub fn name(self) -> &'static str {
         match self {
@@ -105,78 +136,156 @@ impl PolicyKind {
         }
     }
 
-    /// Runs a full simulation of this policy over a trace.
-    pub fn run(self, cluster: &Cluster, trace: &Trace) -> SimulationReport {
+    /// Builds the online RMS facade for this policy over a cluster —
+    /// ready for job-by-job [`ClusterRms::submit`] calls or a batch
+    /// [`ClusterRms::run_to_report`].
+    pub fn rms(self, cluster: &Cluster) -> ClusterRms<'static> {
         let default_cfg = ProportionalConfig::default();
         let strict_shares = ProportionalConfig {
             discipline: ShareDiscipline::Strict,
             ..Default::default()
         };
         match self {
-            PolicyKind::Edf => run_queued(
+            PolicyKind::Edf => ClusterRms::queued(
+                cluster.clone(),
+                QueuePolicy::new(QueueDiscipline::EarliestDeadline, true),
+            ),
+            PolicyKind::EdfNoAdmission => ClusterRms::queued(
+                cluster.clone(),
+                QueuePolicy::new(QueueDiscipline::EarliestDeadline, false),
+            ),
+            PolicyKind::Fcfs => ClusterRms::queued(
+                cluster.clone(),
+                QueuePolicy::new(QueueDiscipline::Fifo, false),
+            ),
+            PolicyKind::Libra => {
+                ClusterRms::proportional(cluster.clone(), default_cfg, Libra::new())
+            }
+            PolicyKind::LibraRisk => {
+                ClusterRms::proportional(cluster.clone(), default_cfg, LibraRisk::paper())
+            }
+            PolicyKind::LibraRiskStrict => ClusterRms::proportional(
+                cluster.clone(),
+                default_cfg,
+                LibraRisk::paper().require_unit_mu(true),
+            ),
+            PolicyKind::LibraRiskBestFit => ClusterRms::proportional(
+                cluster.clone(),
+                default_cfg,
+                LibraRisk::paper().with_ordering(NodeOrdering::MostLoadedFirst),
+            ),
+            PolicyKind::LibraStrictShares => ClusterRms::proportional(
+                cluster.clone(),
+                strict_shares,
+                Libra::new().with_name("Libra-SS"),
+            ),
+            PolicyKind::LibraRiskStrictShares => ClusterRms::proportional(
+                cluster.clone(),
+                strict_shares,
+                LibraRisk::paper().with_name("LibraRisk-SS"),
+            ),
+            PolicyKind::LibraRiskNaiveProjection => ClusterRms::proportional(
+                cluster.clone(),
+                default_cfg,
+                LibraRisk::paper().with_naive_projection(true),
+            ),
+            PolicyKind::EdfBackfill => ClusterRms::queued(
+                cluster.clone(),
+                QueuePolicy::new(QueueDiscipline::EarliestDeadline, true).with_backfill(true),
+            ),
+            PolicyKind::Qops => {
+                ClusterRms::qops(cluster.clone(), QopsConfig::default()).with_policy_name("QoPS")
+            }
+            PolicyKind::QopsHard => {
+                ClusterRms::qops(cluster.clone(), QopsConfig { slack_factor: 1.0 })
+                    .with_policy_name("QoPS-Hard")
+            }
+        }
+    }
+
+    /// Runs a full simulation of this policy over a trace — the one
+    /// generic driver over the online facade, for every policy.
+    pub fn run(self, cluster: &Cluster, trace: &Trace) -> SimulationReport {
+        self.rms(cluster).run_to_report(trace)
+    }
+
+    /// [`PolicyKind::run`] through the retired bespoke event loops — the
+    /// differential oracle for `tests/differential_rms.rs`. Scheduled for
+    /// deletion next PR.
+    pub fn run_reference(self, cluster: &Cluster, trace: &Trace) -> SimulationReport {
+        let default_cfg = ProportionalConfig::default();
+        let strict_shares = ProportionalConfig {
+            discipline: ShareDiscipline::Strict,
+            ..Default::default()
+        };
+        match self {
+            PolicyKind::Edf => run_queued_reference(
                 cluster.clone(),
                 QueuePolicy::new(QueueDiscipline::EarliestDeadline, true),
                 trace,
             ),
-            PolicyKind::EdfNoAdmission => run_queued(
+            PolicyKind::EdfNoAdmission => run_queued_reference(
                 cluster.clone(),
                 QueuePolicy::new(QueueDiscipline::EarliestDeadline, false),
                 trace,
             ),
-            PolicyKind::Fcfs => run_queued(
+            PolicyKind::Fcfs => run_queued_reference(
                 cluster.clone(),
                 QueuePolicy::new(QueueDiscipline::Fifo, false),
                 trace,
             ),
             PolicyKind::Libra => {
-                run_proportional(cluster.clone(), default_cfg, &mut Libra::new(), trace)
+                run_proportional_reference(cluster.clone(), default_cfg, &mut Libra::new(), trace)
             }
-            PolicyKind::LibraRisk => {
-                run_proportional(cluster.clone(), default_cfg, &mut LibraRisk::paper(), trace)
-            }
-            PolicyKind::LibraRiskStrict => run_proportional(
+            PolicyKind::LibraRisk => run_proportional_reference(
+                cluster.clone(),
+                default_cfg,
+                &mut LibraRisk::paper(),
+                trace,
+            ),
+            PolicyKind::LibraRiskStrict => run_proportional_reference(
                 cluster.clone(),
                 default_cfg,
                 &mut LibraRisk::paper().require_unit_mu(true),
                 trace,
             ),
-            PolicyKind::LibraRiskBestFit => run_proportional(
+            PolicyKind::LibraRiskBestFit => run_proportional_reference(
                 cluster.clone(),
                 default_cfg,
                 &mut LibraRisk::paper().with_ordering(NodeOrdering::MostLoadedFirst),
                 trace,
             ),
-            PolicyKind::LibraStrictShares => run_proportional(
+            PolicyKind::LibraStrictShares => run_proportional_reference(
                 cluster.clone(),
                 strict_shares,
                 &mut Libra::new().with_name("Libra-SS"),
                 trace,
             ),
-            PolicyKind::LibraRiskStrictShares => run_proportional(
+            PolicyKind::LibraRiskStrictShares => run_proportional_reference(
                 cluster.clone(),
                 strict_shares,
                 &mut LibraRisk::paper().with_name("LibraRisk-SS"),
                 trace,
             ),
-            PolicyKind::LibraRiskNaiveProjection => run_proportional(
+            PolicyKind::LibraRiskNaiveProjection => run_proportional_reference(
                 cluster.clone(),
                 default_cfg,
                 &mut LibraRisk::paper().with_naive_projection(true),
                 trace,
             ),
-            PolicyKind::EdfBackfill => run_queued(
+            PolicyKind::EdfBackfill => run_queued_reference(
                 cluster.clone(),
                 QueuePolicy::new(QueueDiscipline::EarliestDeadline, true).with_backfill(true),
                 trace,
             ),
             PolicyKind::Qops => {
-                let mut report = run_qops(cluster.clone(), QopsConfig::default(), trace);
+                let mut report = run_qops_reference(cluster.clone(), QopsConfig::default(), trace);
                 report.policy = "QoPS".to_string();
                 report
             }
             PolicyKind::QopsHard => {
                 let mut report =
-                    run_qops(cluster.clone(), QopsConfig { slack_factor: 1.0 }, trace);
+                    run_qops_reference(cluster.clone(), QopsConfig { slack_factor: 1.0 }, trace);
                 report.policy = "QoPS-Hard".to_string();
                 report
             }
@@ -196,25 +305,19 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let all = [
-            PolicyKind::Edf,
-            PolicyKind::EdfNoAdmission,
-            PolicyKind::Fcfs,
-            PolicyKind::Libra,
-            PolicyKind::LibraRisk,
-            PolicyKind::LibraRiskStrict,
-            PolicyKind::LibraRiskBestFit,
-            PolicyKind::LibraStrictShares,
-            PolicyKind::LibraRiskStrictShares,
-            PolicyKind::LibraRiskNaiveProjection,
-            PolicyKind::EdfBackfill,
-            PolicyKind::Qops,
-            PolicyKind::QopsHard,
-        ];
-        let mut names: Vec<&str> = all.iter().map(|p| p.name()).collect();
+        let mut names: Vec<&str> = PolicyKind::ALL.iter().map(|p| p.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), all.len());
+        assert_eq!(names.len(), PolicyKind::ALL.len());
+    }
+
+    #[test]
+    fn every_policy_builds_a_facade() {
+        for kind in PolicyKind::ALL {
+            let rms = kind.rms(&Cluster::homogeneous(2, 168.0));
+            assert!(!rms.policy_name().is_empty(), "{kind:?}");
+            assert_eq!(rms.submitted(), 0);
+        }
     }
 
     #[test]

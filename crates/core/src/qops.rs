@@ -40,14 +40,16 @@ impl Default for QopsConfig {
 }
 
 /// A job the projector must account for: how much estimated work remains
-/// and how wide it is.
+/// and how wide it is. Shared with the online RMS facade, whose
+/// submission sequence numbers play `idx`'s trace-index tie-breaking
+/// role.
 #[derive(Clone, Copy, Debug)]
-struct Pending {
-    idx: usize,
-    procs: u32,
-    remaining_est: f64,
-    abs_deadline: f64,
-    soft_deadline: f64,
+pub(crate) struct Pending {
+    pub(crate) idx: u64,
+    pub(crate) procs: u32,
+    pub(crate) remaining_est: f64,
+    pub(crate) abs_deadline: f64,
+    pub(crate) soft_deadline: f64,
 }
 
 /// List-schedules `pending` (EDF order by absolute deadline) onto
@@ -58,7 +60,7 @@ struct Pending {
 /// `free_at` carries one entry per processor: the instant it becomes
 /// available (now for idle processors, the running job's estimated finish
 /// otherwise).
-fn schedulable(now: f64, mut free_at: Vec<f64>, mut pending: Vec<Pending>) -> bool {
+pub(crate) fn schedulable(now: f64, mut free_at: Vec<f64>, mut pending: Vec<Pending>) -> bool {
     pending.sort_by(|a, b| {
         a.abs_deadline
             .partial_cmp(&b.abs_deadline)
@@ -86,7 +88,21 @@ fn schedulable(now: f64, mut free_at: Vec<f64>, mut pending: Vec<Pending>) -> bo
 }
 
 /// Runs the QoPS-style controller over a trace.
+///
+/// A thin wrapper over the online [`ClusterRms`](crate::rms::ClusterRms)
+/// facade; the retired bespoke event loop survives for one PR as
+/// [`run_qops_reference`], the differential oracle.
+///
+/// # Panics
+/// Panics if `cfg.slack_factor < 1`.
 pub fn run_qops(cluster: Cluster, cfg: QopsConfig, trace: &Trace) -> SimulationReport {
+    crate::rms::ClusterRms::qops(cluster, cfg).run_to_report(trace)
+}
+
+/// The retired bespoke QoPS event loop, kept as the differential oracle
+/// for the facade ([`run_qops`] must produce an identical report).
+/// Scheduled for deletion next PR.
+pub fn run_qops_reference(cluster: Cluster, cfg: QopsConfig, trace: &Trace) -> SimulationReport {
     assert!(cfg.slack_factor >= 1.0, "slack factor must be ≥ 1");
     #[derive(Debug)]
     enum Ev {
@@ -143,7 +159,7 @@ pub fn run_qops(cluster: Cluster, cfg: QopsConfig, trace: &Trace) -> SimulationR
                         .map(|&qi| {
                             let qj = &trace[qi];
                             Pending {
-                                idx: qi,
+                                idx: qi as u64,
                                 procs: qj.procs,
                                 remaining_est: qj.estimate.as_secs(),
                                 abs_deadline: qj.absolute_deadline().as_secs(),
@@ -152,7 +168,7 @@ pub fn run_qops(cluster: Cluster, cfg: QopsConfig, trace: &Trace) -> SimulationR
                         })
                         .collect();
                     pending.push(Pending {
-                        idx: i,
+                        idx: i as u64,
                         procs: job.procs,
                         remaining_est: job.estimate.as_secs(),
                         abs_deadline: job.absolute_deadline().as_secs(),
@@ -284,13 +300,20 @@ mod tests {
         // Queued job 1 would be pushed past its soft deadline by job 2 →
         // job 2 is rejected, job 1 keeps its promise.
         let jobs = vec![
-            job(0, 0.0, 100.0, 1, 120.0),  // runs immediately
-            job(1, 1.0, 50.0, 1, 160.0),   // queued: finish ~150, soft 193
-            job(2, 2.0, 100.0, 1, 100.0),  // earlier deadline: would preempt
-                                            // job 1's slot and push it late
+            job(0, 0.0, 100.0, 1, 120.0), // runs immediately
+            job(1, 1.0, 50.0, 1, 160.0),  // queued: finish ~150, soft 193
+            job(2, 2.0, 100.0, 1, 100.0), // earlier deadline: would preempt
+                                          // job 1's slot and push it late
         ];
-        let report = run_qops(cluster(1), QopsConfig { slack_factor: 1.2 }, &Trace::new(jobs));
-        assert!(matches!(report.records[2].outcome, Outcome::Rejected { .. }));
+        let report = run_qops(
+            cluster(1),
+            QopsConfig { slack_factor: 1.2 },
+            &Trace::new(jobs),
+        );
+        assert!(matches!(
+            report.records[2].outcome,
+            Outcome::Rejected { .. }
+        ));
         assert!(report.records[1].fulfilled());
     }
 
@@ -304,7 +327,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "slack factor")]
     fn slack_below_one_panics() {
-        run_qops(cluster(1), QopsConfig { slack_factor: 0.5 }, &Trace::new(vec![]));
+        run_qops(
+            cluster(1),
+            QopsConfig { slack_factor: 0.5 },
+            &Trace::new(vec![]),
+        );
     }
 
     #[test]

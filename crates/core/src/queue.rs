@@ -10,6 +10,19 @@
 use sim::SimTime;
 use workload::Job;
 
+/// A submission waiting in a space-shared queue: the RMS facade's
+/// submission sequence number plus the job itself. Online arrivals own
+/// their jobs (there is no trace to index into), so queue operations run
+/// over these entries; `seq` reproduces the trace-index tie-breaking of
+/// the batch loops exactly.
+#[derive(Clone, Debug)]
+pub struct QueuedJob {
+    /// Submission sequence number (submission order, 0-based).
+    pub seq: u64,
+    /// The waiting job.
+    pub job: Job,
+}
+
 /// Order in which queued jobs are selected to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum QueueDiscipline {
@@ -82,6 +95,42 @@ impl QueuePolicy {
         }
     }
 
+    /// [`QueuePolicy::select`] over owned queue entries — the online
+    /// facade's representation. Tie-breaking matches `select` bit for bit
+    /// (`seq` plays the trace-index role).
+    pub fn select_queued(&self, queue: &[QueuedJob]) -> Option<usize> {
+        match self.discipline {
+            QueueDiscipline::Fifo => (!queue.is_empty()).then_some(0),
+            QueueDiscipline::EarliestDeadline => queue
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.job
+                        .absolute_deadline()
+                        .cmp(&b.job.absolute_deadline())
+                        .then(a.job.submit.cmp(&b.job.submit))
+                        .then(a.seq.cmp(&b.seq))
+                })
+                .map(|(pos, _)| pos),
+        }
+    }
+
+    /// Backfill candidate order: every queue position sorted by
+    /// `(absolute deadline, submission order)`. Position 0 of this order
+    /// is the blocked head — callers skip it and try the rest against the
+    /// idle processors.
+    pub fn backfill_order(&self, queue: &[QueuedJob]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..queue.len()).collect();
+        order.sort_by(|&a, &b| {
+            queue[a]
+                .job
+                .absolute_deadline()
+                .cmp(&queue[b].job.absolute_deadline())
+                .then(queue[a].seq.cmp(&queue[b].seq))
+        });
+        order
+    }
+
     /// The relaxed admission test at selection time: `false` means the
     /// selected job must be rejected (deadline expired, or infeasible by
     /// its runtime estimate).
@@ -113,9 +162,18 @@ mod tests {
 
     #[test]
     fn names() {
-        assert_eq!(QueuePolicy::new(QueueDiscipline::EarliestDeadline, true).name(), "EDF");
-        assert_eq!(QueuePolicy::new(QueueDiscipline::EarliestDeadline, false).name(), "EDF-NoAC");
-        assert_eq!(QueuePolicy::new(QueueDiscipline::Fifo, false).name(), "FCFS");
+        assert_eq!(
+            QueuePolicy::new(QueueDiscipline::EarliestDeadline, true).name(),
+            "EDF"
+        );
+        assert_eq!(
+            QueuePolicy::new(QueueDiscipline::EarliestDeadline, false).name(),
+            "EDF-NoAC"
+        );
+        assert_eq!(
+            QueuePolicy::new(QueueDiscipline::Fifo, false).name(),
+            "FCFS"
+        );
     }
 
     #[test]
@@ -146,12 +204,56 @@ mod tests {
     }
 
     #[test]
+    fn select_queued_agrees_with_trace_index_select() {
+        let jobs = vec![
+            job(0, 0.0, 10.0, 500.0),
+            job(1, 5.0, 10.0, 100.0),
+            job(2, 9.0, 10.0, 200.0),
+            job(3, 9.0, 10.0, 91.0), // same abs deadline as job 1
+        ];
+        let queue: Vec<usize> = vec![0, 1, 2, 3];
+        let owned: Vec<QueuedJob> = queue
+            .iter()
+            .map(|&i| QueuedJob {
+                seq: i as u64,
+                job: jobs[i].clone(),
+            })
+            .collect();
+        for p in [
+            QueuePolicy::new(QueueDiscipline::EarliestDeadline, true),
+            QueuePolicy::new(QueueDiscipline::Fifo, false),
+        ] {
+            assert_eq!(p.select(&queue, &jobs), p.select_queued(&owned));
+        }
+    }
+
+    #[test]
+    fn backfill_order_sorts_by_deadline_then_seq() {
+        let p = QueuePolicy::new(QueueDiscipline::EarliestDeadline, true).with_backfill(true);
+        let owned = vec![
+            QueuedJob {
+                seq: 0,
+                job: job(0, 0.0, 10.0, 500.0),
+            },
+            QueuedJob {
+                seq: 1,
+                job: job(1, 0.0, 10.0, 100.0),
+            },
+            QueuedJob {
+                seq: 2,
+                job: job(2, 0.0, 10.0, 100.0),
+            },
+        ];
+        assert_eq!(p.backfill_order(&owned), vec![1, 2, 0]);
+    }
+
+    #[test]
     fn relaxed_admission_rejects_infeasible_at_start() {
         let p = QueuePolicy::new(QueueDiscipline::EarliestDeadline, true);
         let j = job(0, 0.0, 100.0, 150.0); // abs deadline 150
         assert!(p.admit_at_start(&j, SimTime::from_secs(50.0))); // 50+100 = 150 ≤ 150
         assert!(!p.admit_at_start(&j, SimTime::from_secs(51.0))); // 151 > 150
-        // Expired deadline is implied by the same test.
+                                                                  // Expired deadline is implied by the same test.
         assert!(!p.admit_at_start(&j, SimTime::from_secs(200.0)));
     }
 

@@ -22,7 +22,7 @@ pub enum Outcome {
 }
 
 /// A job together with its outcome.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct JobRecord {
     /// The submitted job.
     pub job: Job,
@@ -43,9 +43,11 @@ impl JobRecord {
     pub fn delay(&self) -> Option<f64> {
         match self.outcome {
             Outcome::Rejected { .. } => None,
-            Outcome::Completed { finish, .. } => {
-                Some(((finish - self.job.submit) - self.job.deadline).as_secs().max(0.0))
-            }
+            Outcome::Completed { finish, .. } => Some(
+                ((finish - self.job.submit) - self.job.deadline)
+                    .as_secs()
+                    .max(0.0),
+            ),
         }
     }
 
@@ -66,7 +68,7 @@ impl JobRecord {
 }
 
 /// Aggregate result of one simulation run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimulationReport {
     /// Name of the admission-control policy that produced the run.
     pub policy: String,
@@ -159,6 +161,185 @@ impl SimulationReport {
     }
 }
 
+/// Streaming consumer of per-job outcomes.
+///
+/// The RMS facade emits one [`JobRecord`] per submitted job, in
+/// *resolution* order (rejections at submission or selection time,
+/// completions as they finish). `seq` is the job's submission sequence
+/// number — submission order, 0-based — so sinks that need submission
+/// order can restore it without the facade buffering anything.
+pub trait ReportSink {
+    /// One job's outcome became final. Called exactly once per submitted
+    /// job.
+    fn record(&mut self, seq: u64, record: JobRecord);
+}
+
+/// The batch sink: collects every record and reassembles the classic
+/// [`SimulationReport`] (records in submission order) — exactly what the
+/// retired per-loop report assembly produced.
+#[derive(Clone, Debug, Default)]
+pub struct ReportCollector {
+    records: Vec<Option<JobRecord>>,
+}
+
+impl ReportCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        ReportCollector::default()
+    }
+
+    /// Number of records collected so far.
+    pub fn len(&self) -> usize {
+        self.records.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Consumes the collector into a full report.
+    ///
+    /// # Panics
+    /// Panics if any submitted job never resolved (a facade bug).
+    pub fn into_report(self, policy: String, utilization: f64) -> SimulationReport {
+        let records: Vec<JobRecord> = self
+            .records
+            .into_iter()
+            .map(|r| r.expect("every submitted job resolves to exactly one outcome"))
+            .collect();
+        SimulationReport {
+            policy,
+            records,
+            utilization,
+        }
+    }
+}
+
+impl ReportSink for ReportCollector {
+    fn record(&mut self, seq: u64, record: JobRecord) {
+        let i = seq as usize;
+        if i >= self.records.len() {
+            self.records.resize(i + 1, None);
+        }
+        assert!(self.records[i].is_none(), "job {seq} resolved twice");
+        self.records[i] = Some(record);
+    }
+}
+
+/// The streaming sink: folds each record into O(1) online aggregates
+/// (counts, [`metrics::Tally`] rates, Welford moments) so arbitrarily
+/// long traces summarise without a per-job outcome buffer.
+///
+/// Accessors mirror [`SimulationReport`]'s; means are Welford means, so
+/// they may differ from the batch report's naive sums in the last few
+/// ulps — everything else (counts, percentages) is identical.
+#[derive(Clone, Debug, Default)]
+pub struct OnlineReport {
+    fulfilled: metrics::Tally,
+    accepted: metrics::Tally,
+    high_fulfilled: metrics::Tally,
+    low_fulfilled: metrics::Tally,
+    slowdown: metrics::OnlineStats,
+    delay: metrics::OnlineStats,
+    response: metrics::OnlineStats,
+    utilization: f64,
+}
+
+impl OnlineReport {
+    /// An empty summary.
+    pub fn new() -> Self {
+        OnlineReport::default()
+    }
+
+    /// Sets the run's mean utilisation (available from the engine only
+    /// after the drain).
+    pub fn set_utilization(&mut self, utilization: f64) {
+        self.utilization = utilization;
+    }
+
+    /// Mean processor utilisation of the run.
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    /// Number of submitted jobs.
+    pub fn submitted(&self) -> u64 {
+        self.fulfilled.total()
+    }
+
+    /// Number of accepted (completed) jobs.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.hits()
+    }
+
+    /// Number of rejected jobs.
+    pub fn rejected(&self) -> u64 {
+        self.accepted.total() - self.accepted.hits()
+    }
+
+    /// Number of jobs completed within their deadline.
+    pub fn fulfilled(&self) -> u64 {
+        self.fulfilled.hits()
+    }
+
+    /// Number of completed jobs that missed their deadline.
+    pub fn delayed(&self) -> u64 {
+        self.accepted() - self.fulfilled()
+    }
+
+    /// The paper's headline metric: % of submitted jobs fulfilled.
+    pub fn fulfilled_pct(&self) -> f64 {
+        self.fulfilled.pct()
+    }
+
+    /// Mean slowdown over fulfilled jobs (0 when none fulfilled).
+    pub fn avg_slowdown(&self) -> f64 {
+        self.slowdown.mean()
+    }
+
+    /// Mean deadline delay (Eq. 3) over completed jobs.
+    pub fn avg_delay(&self) -> f64 {
+        self.delay.mean()
+    }
+
+    /// Mean response time over completed jobs.
+    pub fn avg_response_time(&self) -> f64 {
+        self.response.mean()
+    }
+
+    /// Fulfilled percentage restricted to one urgency class.
+    pub fn fulfilled_pct_of(&self, urgency: Urgency) -> f64 {
+        match urgency {
+            Urgency::High => self.high_fulfilled.pct(),
+            Urgency::Low => self.low_fulfilled.pct(),
+        }
+    }
+}
+
+impl ReportSink for OnlineReport {
+    fn record(&mut self, _seq: u64, record: JobRecord) {
+        let fulfilled = record.fulfilled();
+        self.fulfilled.observe(fulfilled);
+        self.accepted
+            .observe(matches!(record.outcome, Outcome::Completed { .. }));
+        match record.job.urgency {
+            Urgency::High => self.high_fulfilled.observe(fulfilled),
+            Urgency::Low => self.low_fulfilled.observe(fulfilled),
+        }
+        if fulfilled {
+            self.slowdown
+                .push(record.slowdown().expect("fulfilled implies completed"));
+        }
+        if let Some(d) = record.delay() {
+            self.delay.push(d);
+        }
+        if let Some(r) = record.response_time() {
+            self.response.push(r);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,7 +392,10 @@ mod tests {
         let r = completed(job(1, 100.0, 50.0, 500.0, Urgency::Low), 250.0);
         assert_eq!(r.response_time(), Some(150.0));
         assert_eq!(r.slowdown(), Some(3.0));
-        assert_eq!(rejected(job(2, 0.0, 1.0, 2.0, Urgency::Low)).slowdown(), None);
+        assert_eq!(
+            rejected(job(2, 0.0, 1.0, 2.0, Urgency::Low)).slowdown(),
+            None
+        );
     }
 
     #[test]
@@ -237,6 +421,61 @@ mod tests {
         assert!((report.avg_delay() - 30.0).abs() < 1e-9);
         assert_eq!(report.fulfilled_pct_of(Urgency::High), 100.0);
         assert_eq!(report.fulfilled_pct_of(Urgency::Low), 0.0);
+    }
+
+    #[test]
+    fn collector_restores_submission_order() {
+        let mut sink = ReportCollector::new();
+        assert!(sink.is_empty());
+        // Records arrive in resolution order; seq restores submission order.
+        sink.record(
+            1,
+            completed(job(11, 0.0, 100.0, 200.0, Urgency::Low), 150.0),
+        );
+        sink.record(0, rejected(job(10, 0.0, 100.0, 200.0, Urgency::Low)));
+        assert_eq!(sink.len(), 2);
+        let report = sink.into_report("p".into(), 0.25);
+        assert_eq!(report.records[0].job.id, JobId(10));
+        assert_eq!(report.records[1].job.id, JobId(11));
+        assert_eq!(report.utilization, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn collector_rejects_double_resolution() {
+        let mut sink = ReportCollector::new();
+        sink.record(0, rejected(job(1, 0.0, 1.0, 2.0, Urgency::Low)));
+        sink.record(0, rejected(job(1, 0.0, 1.0, 2.0, Urgency::Low)));
+    }
+
+    #[test]
+    fn online_report_matches_batch_aggregates() {
+        let records = vec![
+            completed(job(1, 0.0, 100.0, 200.0, Urgency::High), 150.0),
+            completed(job(2, 0.0, 100.0, 200.0, Urgency::Low), 260.0),
+            rejected(job(3, 0.0, 100.0, 200.0, Urgency::Low)),
+        ];
+        let batch = SimulationReport {
+            policy: "test".into(),
+            records: records.clone(),
+            utilization: 0.5,
+        };
+        let mut online = OnlineReport::new();
+        for (i, r) in records.into_iter().enumerate() {
+            online.record(i as u64, r);
+        }
+        online.set_utilization(0.5);
+        assert_eq!(online.submitted(), batch.submitted() as u64);
+        assert_eq!(online.accepted(), batch.accepted() as u64);
+        assert_eq!(online.rejected(), batch.rejected() as u64);
+        assert_eq!(online.fulfilled(), batch.fulfilled() as u64);
+        assert_eq!(online.delayed(), batch.delayed() as u64);
+        assert!((online.fulfilled_pct() - batch.fulfilled_pct()).abs() < 1e-12);
+        assert!((online.avg_slowdown() - batch.avg_slowdown()).abs() < 1e-12);
+        assert!((online.avg_delay() - batch.avg_delay()).abs() < 1e-12);
+        assert_eq!(online.fulfilled_pct_of(Urgency::High), 100.0);
+        assert_eq!(online.fulfilled_pct_of(Urgency::Low), 0.0);
+        assert_eq!(online.utilization(), 0.5);
     }
 
     #[test]

@@ -170,7 +170,12 @@ mod tests {
     fn survives_growth_with_many_keys() {
         let mut m = CandidateMemo::new();
         let keys: Vec<(u64, u64)> = (0..500)
-            .map(|i| ((100.0 + i as f64).to_bits(), (900.0 + i as f64 * 7.0).to_bits()))
+            .map(|i| {
+                (
+                    (100.0 + i as f64).to_bits(),
+                    (900.0 + i as f64 * 7.0).to_bits(),
+                )
+            })
             .collect();
         for (i, &k) in keys.iter().enumerate() {
             m.insert(k, summary(i as f64));

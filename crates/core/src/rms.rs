@@ -1,0 +1,761 @@
+//! The online cluster RMS facade.
+//!
+//! The paper's model is inherently *online*: "the cluster RMS is the only
+//! single interface for users to submit jobs in the cluster" (§3), with an
+//! irrevocable accept/reject verdict at each arrival. [`ClusterRms`] is
+//! that interface as an API — any front-end (a trace replayer, a server,
+//! a fuzzer) drives it one job at a time:
+//!
+//! * [`ClusterRms::submit`] — present one arrival at its submission
+//!   instant and get the irrevocable [`Decision`];
+//! * [`ClusterRms::advance`] — move virtual time forward, streaming each
+//!   job outcome ([`JobEvent`]) as it resolves;
+//! * [`ClusterRms::drain`] — run the residual workload to completion.
+//!
+//! One [`ExecutionBackend`] wraps the three execution substrates that
+//! previously each owned a bespoke batch event loop: the proportional-
+//! share engine (Libra/LibraRisk, §3), the space-shared queueing engine
+//! (EDF/FCFS, §4), and the QoPS soft-deadline controller (related work,
+//! §2). [`drive_trace`] is the single generic batch driver over the sim
+//! crate's event loop — it replaces `run_proportional`, `run_queued` and
+//! `run_qops`, whose original loop bodies survive as `*_reference`
+//! differential oracles for one PR.
+//!
+//! # Equivalence contract
+//!
+//! `advance(to)` brings the RMS to exactly the state an arrival at `to`
+//! would observe, so interleaving extra `advance` calls at arbitrary
+//! intermediate instants never changes any outcome (property-tested in
+//! `tests/differential_rms.rs`). Concretely: the proportional engine is
+//! only ever advanced at its own event instants plus submission instants
+//! (the same set of rate-recomputation points the batch loop's wake
+//! events produced), and space-shared completions at exactly `to` stay
+//! pending until after the arrivals at `to`, reproducing the FIFO
+//! arrival-before-completion dispatch order of the batch loops.
+//!
+//! # Irrevocability invariant
+//!
+//! A [`Decision::Accepted`] or [`Decision::Rejected`] verdict never
+//! changes afterwards (the paper's SLA model: terms cannot change after
+//! submission, and rejected jobs do not return). [`Decision::Queued`]
+//! defers the verdict to the substrate's selection rule; the eventual
+//! outcome arrives exactly once through a [`JobEvent`].
+
+use crate::policy::ShareAdmission;
+use crate::qops::{schedulable, Pending, QopsConfig};
+use crate::queue::{QueuePolicy, QueuedJob};
+use crate::report::{JobRecord, Outcome, ReportCollector, ReportSink, SimulationReport};
+use cluster::proportional::{ProportionalCluster, ProportionalConfig};
+use cluster::{Cluster, SpaceSharedCluster};
+use sim::{SimTime, Simulator};
+use std::collections::HashMap;
+use workload::{Job, JobId, Trace};
+
+/// The verdict an arrival receives at submission time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Irrevocably accepted: proportional share starts accepted jobs at
+    /// their submission instant.
+    Accepted,
+    /// Irrevocably rejected at submission. The matching rejection
+    /// [`JobEvent`] is emitted by the next
+    /// [`ClusterRms::advance`]/[`ClusterRms::drain`] call.
+    Rejected,
+    /// Enqueued on a space-shared substrate: the final outcome (a
+    /// completion, or a rejection at selection time) arrives later as a
+    /// [`JobEvent`].
+    Queued,
+}
+
+/// A resolved job outcome, streamed by
+/// [`ClusterRms::advance`]/[`ClusterRms::drain`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobEvent {
+    /// Submission sequence number (0-based submission order).
+    pub seq: u64,
+    /// The job together with its final outcome.
+    pub record: JobRecord,
+}
+
+impl JobEvent {
+    fn new(seq: u64, job: Job, outcome: Outcome) -> Self {
+        JobEvent {
+            seq,
+            record: JobRecord { job, outcome },
+        }
+    }
+}
+
+/// The execution substrate behind the facade: one variant per engine the
+/// paper (and our extensions) evaluate.
+pub enum ExecutionBackend<'p> {
+    /// Deadline-based proportional share with decide-at-arrival admission
+    /// (Libra, LibraRisk and ablations, §3).
+    Proportional(ProportionalBackend<'p>),
+    /// Space-shared queueing (EDF/FCFS, optional backfilling, §4).
+    Queued(QueuedBackend),
+    /// QoPS-style soft-deadline arrival-time schedulability control (§2).
+    Qops(QopsBackend),
+}
+
+/// Proportional-share backend: the engine plus the admission policy
+/// consulted at each arrival.
+pub struct ProportionalBackend<'p> {
+    engine: ProportionalCluster,
+    policy: Box<dyn ShareAdmission + 'p>,
+    /// Submission sequence of each resident job (removed at completion,
+    /// so the map stays bounded by the resident count).
+    seq_of: HashMap<JobId, u64>,
+}
+
+impl ProportionalBackend<'_> {
+    /// Advances the engine through every internal event at or before
+    /// `to` — exactly the rate-recomputation instants the batch loop's
+    /// wake events produced — emitting completions as they fire.
+    fn catch_up(&mut self, to: SimTime, events: &mut Vec<JobEvent>) {
+        while let Some(t) = self.engine.next_event_time() {
+            if t > to {
+                break;
+            }
+            self.advance_engine(t, events);
+        }
+    }
+
+    fn advance_engine(&mut self, to: SimTime, events: &mut Vec<JobEvent>) {
+        for done in self.engine.advance(to) {
+            let seq = self
+                .seq_of
+                .remove(&done.job.id)
+                .expect("completed job was submitted");
+            events.push(JobEvent::new(
+                seq,
+                done.job,
+                Outcome::Completed {
+                    started: done.started,
+                    finish: done.finish,
+                },
+            ));
+        }
+    }
+
+    fn submit(&mut self, seq: u64, job: Job, now: SimTime, events: &mut Vec<JobEvent>) -> Decision {
+        self.catch_up(now, events);
+        // The arrival-instant advance the batch loop performed at every
+        // dispatched event: brings the engine to the present (dt ≥ 0).
+        self.advance_engine(now, events);
+        match self.policy.decide(&self.engine, &job) {
+            Some(nodes) => {
+                self.seq_of.insert(job.id, seq);
+                self.engine.admit(job, nodes, now);
+                Decision::Accepted
+            }
+            None => {
+                events.push(JobEvent::new(seq, job, Outcome::Rejected { at: now }));
+                Decision::Rejected
+            }
+        }
+    }
+
+    fn drain(&mut self, events: &mut Vec<JobEvent>) {
+        while let Some(t) = self.engine.next_event_time() {
+            self.advance_engine(t, events);
+        }
+        debug_assert!(self.engine.is_empty(), "engine drained");
+    }
+}
+
+/// Space-shared queueing backend: the processor pool, the waiting queue,
+/// and the selection policy.
+pub struct QueuedBackend {
+    policy: QueuePolicy,
+    pool: SpaceSharedCluster,
+    queue: Vec<QueuedJob>,
+    seq_of: HashMap<JobId, u64>,
+}
+
+impl QueuedBackend {
+    /// Processes every pending completion strictly before `bound` (all of
+    /// them when `bound` is `None`), re-running the dispatch loop at each
+    /// completion instant. Completions at exactly `bound` stay pending:
+    /// the batch loop dispatched arrivals before same-instant completions
+    /// (FIFO by schedule order), and submissions at `bound` must observe
+    /// the same state.
+    fn catch_up(&mut self, bound: Option<SimTime>, events: &mut Vec<JobEvent>) {
+        while let Some(t) = self.pool.next_completion_time() {
+            if bound.is_some_and(|b| t >= b) {
+                break;
+            }
+            let (job, started, finish) = self.pool.complete_next();
+            let seq = self
+                .seq_of
+                .remove(&job.id)
+                .expect("completed job was started");
+            events.push(JobEvent::new(
+                seq,
+                job,
+                Outcome::Completed { started, finish },
+            ));
+            self.dispatch(finish, events);
+        }
+    }
+
+    /// The dispatch loop of the batch scheduler, verbatim: selected jobs
+    /// start while they fit; a selection that fails the relaxed admission
+    /// test is rejected (letting the next candidate through); the blocked
+    /// head stalls the queue unless backfilling is on.
+    fn dispatch(&mut self, now: SimTime, events: &mut Vec<JobEvent>) {
+        while let Some(pos) = self.policy.select_queued(&self.queue) {
+            let entry = &self.queue[pos];
+            if !self.policy.admit_at_start(&entry.job, now) {
+                let entry = self.queue.remove(pos);
+                events.push(JobEvent::new(
+                    entry.seq,
+                    entry.job,
+                    Outcome::Rejected { at: now },
+                ));
+                continue;
+            }
+            if self.pool.can_start(&entry.job) {
+                let entry = self.queue.remove(pos);
+                self.seq_of.insert(entry.job.id, entry.seq);
+                self.pool.start(entry.job, now);
+            } else {
+                break;
+            }
+        }
+        // Aggressive backfilling: while the head is blocked, start any
+        // later job (in selection order) that fits the idle processors
+        // and passes the admission test. Candidates that fail either
+        // check are merely skipped, not rejected — they were not
+        // "selected" in the paper's sense.
+        if self.policy.backfill {
+            loop {
+                let mut started_one = false;
+                let order = self.policy.backfill_order(&self.queue);
+                for &pos in order.iter().skip(1) {
+                    let entry = &self.queue[pos];
+                    if self.pool.can_start(&entry.job)
+                        && self.policy.admit_at_start(&entry.job, now)
+                    {
+                        let entry = self.queue.remove(pos);
+                        self.seq_of.insert(entry.job.id, entry.seq);
+                        self.pool.start(entry.job, now);
+                        started_one = true;
+                        break;
+                    }
+                }
+                if !started_one {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn submit(&mut self, seq: u64, job: Job, now: SimTime, events: &mut Vec<JobEvent>) -> Decision {
+        self.catch_up(Some(now), events);
+        let decision = if job.procs as usize > self.pool.cluster().len() {
+            // Wider than the machine: can never start.
+            events.push(JobEvent::new(seq, job, Outcome::Rejected { at: now }));
+            Decision::Rejected
+        } else {
+            self.queue.push(QueuedJob { seq, job });
+            Decision::Queued
+        };
+        self.dispatch(now, events);
+        decision
+    }
+
+    fn drain(&mut self, events: &mut Vec<JobEvent>) {
+        self.catch_up(None, events);
+        assert!(self.queue.is_empty(), "queue drained at end of simulation");
+    }
+}
+
+/// QoPS backend: the processor pool plus the arrival-time schedulability
+/// state (queued and running jobs with their estimated finishes).
+pub struct QopsBackend {
+    cfg: QopsConfig,
+    pool: SpaceSharedCluster,
+    queue: Vec<QueuedJob>,
+    /// Running jobs as `(seq, width, estimated finish)` in start order —
+    /// the processor free-time projection input.
+    running: Vec<(u64, u32, f64)>,
+    seq_of: HashMap<JobId, u64>,
+}
+
+impl QopsBackend {
+    fn catch_up(&mut self, bound: Option<SimTime>, events: &mut Vec<JobEvent>) {
+        while let Some(t) = self.pool.next_completion_time() {
+            if bound.is_some_and(|b| t >= b) {
+                break;
+            }
+            let (job, started, finish) = self.pool.complete_next();
+            let seq = self
+                .seq_of
+                .remove(&job.id)
+                .expect("completed job was started");
+            self.running.retain(|(s, _, _)| *s != seq);
+            events.push(JobEvent::new(
+                seq,
+                job,
+                Outcome::Completed { started, finish },
+            ));
+            self.dispatch(finish);
+        }
+    }
+
+    /// Dispatch in EDF order; the head blocks (no backfilling).
+    fn dispatch(&mut self, now: SimTime) {
+        while let Some(pos) = self
+            .queue
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.job
+                    .absolute_deadline()
+                    .cmp(&b.job.absolute_deadline())
+                    .then(a.seq.cmp(&b.seq))
+            })
+            .map(|(p, _)| p)
+        {
+            let entry = &self.queue[pos];
+            if self.pool.can_start(&entry.job) {
+                let entry = self.queue.remove(pos);
+                // Track the *estimated* finish for future admission tests.
+                self.running.push((
+                    entry.seq,
+                    entry.job.procs,
+                    now.as_secs() + entry.job.estimate.as_secs(),
+                ));
+                self.seq_of.insert(entry.job.id, entry.seq);
+                self.pool.start(entry.job, now);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn submit(&mut self, seq: u64, job: Job, now: SimTime, events: &mut Vec<JobEvent>) -> Decision {
+        self.catch_up(Some(now), events);
+        let now_s = now.as_secs();
+        let total_procs = self.pool.cluster().len();
+        let sf = self.cfg.slack_factor;
+        let soft = |j: &Job| j.submit.as_secs() + sf * j.deadline.as_secs();
+        let decision = if job.procs as usize > total_procs {
+            events.push(JobEvent::new(seq, job, Outcome::Rejected { at: now }));
+            Decision::Rejected
+        } else {
+            // Build the processor free-time vector from running jobs'
+            // *estimated* finishes.
+            let mut free_at = vec![now_s; total_procs];
+            let mut cursor = 0usize;
+            for &(_, w, est_finish) in &self.running {
+                for slot in free_at.iter_mut().skip(cursor).take(w as usize) {
+                    *slot = est_finish.max(now_s);
+                }
+                cursor += w as usize;
+            }
+            let mut pending: Vec<Pending> = self
+                .queue
+                .iter()
+                .map(|q| Pending {
+                    idx: q.seq,
+                    procs: q.job.procs,
+                    remaining_est: q.job.estimate.as_secs(),
+                    abs_deadline: q.job.absolute_deadline().as_secs(),
+                    soft_deadline: soft(&q.job),
+                })
+                .collect();
+            pending.push(Pending {
+                idx: seq,
+                procs: job.procs,
+                remaining_est: job.estimate.as_secs(),
+                abs_deadline: job.absolute_deadline().as_secs(),
+                soft_deadline: soft(&job),
+            });
+            if schedulable(now_s, free_at, pending) {
+                self.queue.push(QueuedJob { seq, job });
+                Decision::Queued
+            } else {
+                events.push(JobEvent::new(seq, job, Outcome::Rejected { at: now }));
+                Decision::Rejected
+            }
+        };
+        self.dispatch(now);
+        decision
+    }
+
+    fn drain(&mut self, events: &mut Vec<JobEvent>) {
+        self.catch_up(None, events);
+        assert!(self.queue.is_empty(), "queue drained at end of simulation");
+    }
+}
+
+/// The online RMS facade: one submit/advance/drain state machine over any
+/// [`ExecutionBackend`].
+pub struct ClusterRms<'p> {
+    backend: ExecutionBackend<'p>,
+    policy_name: String,
+    now: SimTime,
+    next_seq: u64,
+    events: Vec<JobEvent>,
+}
+
+impl<'p> ClusterRms<'p> {
+    /// A proportional-share RMS (Libra, LibraRisk, ablations) over the
+    /// given cluster and engine configuration.
+    pub fn proportional(
+        cluster: Cluster,
+        cfg: ProportionalConfig,
+        policy: impl ShareAdmission + 'p,
+    ) -> Self {
+        let policy_name = policy.name();
+        ClusterRms {
+            backend: ExecutionBackend::Proportional(ProportionalBackend {
+                engine: ProportionalCluster::new(cluster, cfg),
+                policy: Box::new(policy),
+                seq_of: HashMap::new(),
+            }),
+            policy_name,
+            now: SimTime::ZERO,
+            next_seq: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// A space-shared queueing RMS (EDF, EDF-NoAC, FCFS, backfilling).
+    pub fn queued(cluster: Cluster, policy: QueuePolicy) -> Self {
+        ClusterRms {
+            policy_name: policy.name().to_string(),
+            backend: ExecutionBackend::Queued(QueuedBackend {
+                policy,
+                pool: SpaceSharedCluster::new(cluster),
+                queue: Vec::new(),
+                seq_of: HashMap::new(),
+            }),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// A QoPS-style soft-deadline RMS.
+    ///
+    /// # Panics
+    /// Panics if `cfg.slack_factor < 1`.
+    pub fn qops(cluster: Cluster, cfg: QopsConfig) -> Self {
+        assert!(cfg.slack_factor >= 1.0, "slack factor must be ≥ 1");
+        ClusterRms {
+            policy_name: format!("QoPS(sf={})", cfg.slack_factor),
+            backend: ExecutionBackend::Qops(QopsBackend {
+                cfg,
+                pool: SpaceSharedCluster::new(cluster),
+                queue: Vec::new(),
+                running: Vec::new(),
+                seq_of: HashMap::new(),
+            }),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Overrides the policy name used in reports.
+    pub fn with_policy_name(mut self, name: impl Into<String>) -> Self {
+        self.policy_name = name.into();
+        self
+    }
+
+    /// Display name of the admission policy driving this RMS.
+    pub fn policy_name(&self) -> &str {
+        &self.policy_name
+    }
+
+    /// The execution backend (for observability; mutation goes through
+    /// [`ClusterRms::submit`]/[`ClusterRms::advance`]).
+    pub fn backend(&self) -> &ExecutionBackend<'p> {
+        &self.backend
+    }
+
+    /// Latest instant the facade has observed (last submit/advance).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of jobs submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Jobs currently resident, running, or waiting in a queue.
+    pub fn in_flight(&self) -> usize {
+        match &self.backend {
+            ExecutionBackend::Proportional(b) => b.engine.len(),
+            ExecutionBackend::Queued(b) => b.pool.running_jobs() + b.queue.len(),
+            ExecutionBackend::Qops(b) => b.pool.running_jobs() + b.queue.len(),
+        }
+    }
+
+    /// Mean processor utilisation up to the last processed instant
+    /// (meaningful after [`ClusterRms::drain`]).
+    pub fn utilization(&self) -> f64 {
+        match &self.backend {
+            ExecutionBackend::Proportional(b) => b.engine.utilization(),
+            ExecutionBackend::Queued(b) => b.pool.utilization(),
+            ExecutionBackend::Qops(b) => b.pool.utilization(),
+        }
+    }
+
+    /// Presents one arrival at its submission instant and returns the
+    /// irrevocable decision. Outcome events (including the rejection
+    /// record for a [`Decision::Rejected`] verdict) are buffered and
+    /// streamed by the next [`ClusterRms::advance`]/[`ClusterRms::drain`].
+    ///
+    /// # Panics
+    /// Panics if `now` precedes an earlier submission or advance.
+    pub fn submit(&mut self, job: Job, now: SimTime) -> Decision {
+        assert!(
+            now >= self.now,
+            "submissions must be monotone in time ({now:?} < {:?})",
+            self.now
+        );
+        self.now = now;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match &mut self.backend {
+            ExecutionBackend::Proportional(b) => b.submit(seq, job, now, &mut self.events),
+            ExecutionBackend::Queued(b) => b.submit(seq, job, now, &mut self.events),
+            ExecutionBackend::Qops(b) => b.submit(seq, job, now, &mut self.events),
+        }
+    }
+
+    /// Advances virtual time to `to` and streams every job outcome that
+    /// resolved. Brings the RMS to exactly the state an arrival at `to`
+    /// would observe, so extra calls at intermediate instants never
+    /// change results.
+    ///
+    /// # Panics
+    /// Panics if `to` precedes an earlier submission or advance.
+    pub fn advance(&mut self, to: SimTime) -> impl Iterator<Item = JobEvent> + '_ {
+        assert!(
+            to >= self.now,
+            "cannot advance backwards ({to:?} < {:?})",
+            self.now
+        );
+        self.now = to;
+        match &mut self.backend {
+            ExecutionBackend::Proportional(b) => b.catch_up(to, &mut self.events),
+            ExecutionBackend::Queued(b) => b.catch_up(Some(to), &mut self.events),
+            ExecutionBackend::Qops(b) => b.catch_up(Some(to), &mut self.events),
+        }
+        self.events.drain(..)
+    }
+
+    /// Runs the residual workload to completion and streams the remaining
+    /// outcomes. After `drain` every submitted job has resolved.
+    pub fn drain(&mut self) -> impl Iterator<Item = JobEvent> + '_ {
+        match &mut self.backend {
+            ExecutionBackend::Proportional(b) => b.drain(&mut self.events),
+            ExecutionBackend::Queued(b) => b.drain(&mut self.events),
+            ExecutionBackend::Qops(b) => b.drain(&mut self.events),
+        }
+        if let Some(last) = self.events.last() {
+            if let Outcome::Completed { finish, .. } = last.record.outcome {
+                self.now = self.now.max(finish);
+            }
+        }
+        self.events.drain(..)
+    }
+
+    /// Replays a full trace through [`drive_trace`] and assembles the
+    /// classic batch [`SimulationReport`].
+    pub fn run_to_report(mut self, trace: &Trace) -> SimulationReport {
+        let mut sink = ReportCollector::new();
+        drive_trace(&mut self, trace, &mut sink);
+        sink.into_report(self.policy_name.clone(), self.utilization())
+    }
+}
+
+/// The single generic batch driver: pre-loads every arrival into the sim
+/// crate's event loop, submits each job at its arrival instant, and
+/// streams resolved outcomes into `sink`.
+///
+/// This one loop replaces the three bespoke batch loops. The wake-event
+/// bookkeeping they carried (cancel/reschedule churn on every dispatched
+/// event) disappears structurally: the facade is *pulled* to each arrival
+/// instant, so no wake events exist to churn.
+pub fn drive_trace(rms: &mut ClusterRms<'_>, trace: &Trace, sink: &mut dyn ReportSink) {
+    let mut sim: Simulator<usize> = Simulator::new();
+    sim.schedule_all(trace.jobs().iter().enumerate().map(|(i, j)| (j.submit, i)));
+    while let Some(ev) = sim.next_event() {
+        let now = sim.now();
+        for e in rms.advance(now) {
+            sink.record(e.seq, e.record);
+        }
+        rms.submit(trace[ev.payload].clone(), now);
+    }
+    for e in rms.drain() {
+        sink.record(e.seq, e.record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::libra::Libra;
+    use crate::queue::QueueDiscipline;
+    use sim::SimDuration;
+    use workload::Urgency;
+
+    fn job(id: u64, submit: f64, runtime: f64, estimate: f64, procs: u32, deadline: f64) -> Job {
+        Job {
+            id: JobId(id),
+            submit: SimTime::from_secs(submit),
+            runtime: SimDuration::from_secs(runtime),
+            estimate: SimDuration::from_secs(estimate),
+            procs,
+            deadline: SimDuration::from_secs(deadline),
+            urgency: Urgency::Low,
+        }
+    }
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn online_submit_advance_drain_roundtrip() {
+        let mut rms = ClusterRms::proportional(
+            Cluster::homogeneous(2, 168.0),
+            ProportionalConfig::default(),
+            Libra::new(),
+        );
+        assert_eq!(rms.policy_name(), "Libra");
+        let d = rms.submit(job(0, 0.0, 50.0, 50.0, 1, 200.0), t(0.0));
+        assert_eq!(d, Decision::Accepted);
+        assert_eq!(rms.in_flight(), 1);
+        // Nothing resolves before the job's completion.
+        assert_eq!(rms.advance(t(10.0)).count(), 0);
+        let d = rms.submit(job(1, 10.0, 50.0, 50.0, 1, 200.0), t(10.0));
+        assert_eq!(d, Decision::Accepted);
+        let events: Vec<JobEvent> = rms.drain().collect();
+        assert_eq!(events.len(), 2);
+        assert!(events
+            .iter()
+            .all(|e| matches!(e.record.outcome, Outcome::Completed { .. })));
+        assert_eq!(rms.submitted(), 2);
+        assert_eq!(rms.in_flight(), 0);
+        assert!(rms.utilization() > 0.0);
+    }
+
+    #[test]
+    fn proportional_rejection_streams_through_events() {
+        let mut rms = ClusterRms::proportional(
+            Cluster::homogeneous(1, 168.0),
+            ProportionalConfig::default(),
+            Libra::new(),
+        );
+        // Saturate the node, then overcommit.
+        assert_eq!(
+            rms.submit(job(0, 0.0, 100.0, 100.0, 1, 100.0), t(0.0)),
+            Decision::Accepted
+        );
+        assert_eq!(
+            rms.submit(job(1, 0.0, 100.0, 100.0, 1, 100.0), t(0.0)),
+            Decision::Rejected
+        );
+        let events: Vec<JobEvent> = rms.advance(t(0.0)).collect();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].seq, 1);
+        assert_eq!(events[0].record.outcome, Outcome::Rejected { at: t(0.0) });
+    }
+
+    #[test]
+    fn queued_defers_the_verdict_to_events() {
+        let mut rms = ClusterRms::queued(
+            Cluster::homogeneous(1, 168.0),
+            QueuePolicy::new(QueueDiscipline::EarliestDeadline, true),
+        );
+        assert_eq!(
+            rms.submit(job(0, 0.0, 100.0, 100.0, 1, 200.0), t(0.0)),
+            Decision::Queued
+        );
+        // Infeasible once selected: rejected at selection time, streamed.
+        assert_eq!(
+            rms.submit(job(1, 0.0, 100.0, 100.0, 1, 50.0), t(0.0)),
+            Decision::Queued
+        );
+        let events: Vec<JobEvent> = rms.drain().collect();
+        assert_eq!(events.len(), 2);
+        let rejected: Vec<u64> = events
+            .iter()
+            .filter(|e| matches!(e.record.outcome, Outcome::Rejected { .. }))
+            .map(|e| e.seq)
+            .collect();
+        assert_eq!(rejected, vec![1]);
+    }
+
+    #[test]
+    fn qops_rejects_unschedulable_arrivals_immediately() {
+        let mut rms = ClusterRms::qops(Cluster::homogeneous(1, 168.0), QopsConfig::default());
+        assert_eq!(
+            rms.submit(job(0, 0.0, 100.0, 100.0, 1, 50.0), t(0.0)),
+            Decision::Rejected
+        );
+        assert_eq!(rms.drain().count(), 1);
+    }
+
+    #[test]
+    fn advance_is_idempotent_between_events() {
+        let mk = || {
+            let mut rms = ClusterRms::proportional(
+                Cluster::homogeneous(2, 168.0),
+                ProportionalConfig::default(),
+                Libra::new(),
+            );
+            rms.submit(job(0, 0.0, 500.0, 500.0, 1, 2000.0), t(0.0));
+            rms
+        };
+        let mut plain = mk();
+        plain.submit(job(1, 900.0, 100.0, 100.0, 1, 400.0), t(900.0));
+        let a: Vec<JobEvent> = plain.drain().collect();
+        let mut chatty = mk();
+        // Arbitrary intermediate advances (including repeats) must not
+        // change any outcome — they only stream it earlier.
+        let mut b: Vec<JobEvent> = Vec::new();
+        for s in [100.0, 100.0, 250.0, 777.7] {
+            b.extend(chatty.advance(t(s)));
+        }
+        chatty.submit(job(1, 900.0, 100.0, 100.0, 1, 400.0), t(900.0));
+        b.extend(chatty.drain());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn submissions_cannot_go_backwards() {
+        let mut rms = ClusterRms::queued(
+            Cluster::homogeneous(1, 168.0),
+            QueuePolicy::new(QueueDiscipline::Fifo, false),
+        );
+        rms.submit(job(0, 10.0, 1.0, 1.0, 1, 10.0), t(10.0));
+        rms.submit(job(1, 5.0, 1.0, 1.0, 1, 10.0), t(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "slack factor")]
+    fn qops_slack_below_one_panics() {
+        ClusterRms::qops(
+            Cluster::homogeneous(1, 168.0),
+            QopsConfig { slack_factor: 0.5 },
+        );
+    }
+
+    #[test]
+    fn empty_trace_produces_empty_report() {
+        let rms = ClusterRms::qops(Cluster::homogeneous(2, 168.0), QopsConfig::default());
+        let report = rms.run_to_report(&Trace::new(vec![]));
+        assert_eq!(report.submitted(), 0);
+        assert_eq!(report.utilization, 0.0);
+    }
+}

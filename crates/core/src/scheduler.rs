@@ -1,23 +1,49 @@
-//! Event loops driving a trace through either execution engine.
+//! Batch entry points for driving a trace through either execution
+//! engine.
 //!
 //! The cluster RMS is "the only single interface for users to submit jobs
 //! in the cluster" (§3): every job of the trace arrives at its submit
 //! time, the admission control decides, and accepted jobs execute to
 //! completion (hard deadlines are never enforced by killing — a late job
 //! simply counts as unfulfilled).
+//!
+//! [`run_proportional`] and [`run_queued`] are thin wrappers over the
+//! online [`ClusterRms`](crate::rms::ClusterRms) facade driven by
+//! [`drive_trace`](crate::rms::drive_trace) — one generic loop for every
+//! policy. The retired bespoke event loops are kept for one PR as
+//! [`run_proportional_reference`]/[`run_queued_reference`], the
+//! differential oracles for `tests/differential_rms.rs`.
 
 use crate::policy::ShareAdmission;
 use crate::queue::QueuePolicy;
 use crate::report::{JobRecord, Outcome, SimulationReport};
+use crate::rms::ClusterRms;
 use cluster::proportional::{ProportionalCluster, ProportionalConfig};
 use cluster::{Cluster, SpaceSharedCluster};
-use sim::{EventId, Simulator};
+use sim::{EventId, SimTime, Simulator};
 use std::collections::HashMap;
 use workload::{JobId, Trace};
 
 /// Runs a proportional-share admission control (Libra, LibraRisk, …) over
 /// a trace and reports per-job outcomes.
 pub fn run_proportional(
+    cluster: Cluster,
+    cfg: ProportionalConfig,
+    policy: &mut dyn ShareAdmission,
+    trace: &Trace,
+) -> SimulationReport {
+    ClusterRms::proportional(cluster, cfg, policy).run_to_report(trace)
+}
+
+/// Runs a space-shared queueing policy (EDF, EDF-NoAC, FCFS) over a trace.
+pub fn run_queued(cluster: Cluster, policy: QueuePolicy, trace: &Trace) -> SimulationReport {
+    ClusterRms::queued(cluster, policy).run_to_report(trace)
+}
+
+/// The retired bespoke proportional-share event loop, kept as the
+/// differential oracle for the facade ([`run_proportional`] must produce
+/// an identical report). Scheduled for deletion next PR.
+pub fn run_proportional_reference(
     cluster: Cluster,
     cfg: ProportionalConfig,
     policy: &mut dyn ShareAdmission,
@@ -43,7 +69,7 @@ pub fn run_proportional(
 
     let mut engine = ProportionalCluster::new(cluster, cfg);
     let mut outcomes: Vec<Option<Outcome>> = vec![None; trace.len()];
-    let mut wake: Option<EventId> = None;
+    let mut wake: Option<(EventId, SimTime)> = None;
 
     while let Some(ev) = sim.next_event() {
         let now = sim.now();
@@ -62,12 +88,19 @@ pub fn run_proportional(
                 None => outcomes[i] = Some(Outcome::Rejected { at: now }),
             }
         }
-        // Keep exactly one pending wake at the engine's next event.
-        if let Some(id) = wake.take() {
-            sim.cancel(id);
-        }
-        if let Some(t) = engine.next_event_time() {
-            wake = Some(sim.schedule_at(t, Ev::Wake));
+        // Keep exactly one pending wake at the engine's next event. Skip
+        // the cancel/reschedule churn when the target instant is
+        // unchanged — the common case, since most events leave the
+        // earliest completion alone. Keeping the older event id is safe:
+        // arrivals are pre-scheduled at setup, so at equal instants they
+        // always outrank any wake regardless of its id.
+        let next = engine.next_event_time();
+        let unchanged = matches!((wake.as_ref(), next), (Some((_, at)), Some(t)) if *at == t);
+        if !unchanged {
+            if let Some((id, _)) = wake.take() {
+                sim.cancel(id);
+            }
+            wake = next.map(|t| (sim.schedule_at(t, Ev::Wake), t));
         }
     }
     debug_assert!(engine.is_empty(), "engine drained");
@@ -75,8 +108,14 @@ pub fn run_proportional(
     finish_report(policy.name(), trace, outcomes, engine.utilization())
 }
 
-/// Runs a space-shared queueing policy (EDF, EDF-NoAC, FCFS) over a trace.
-pub fn run_queued(cluster: Cluster, policy: QueuePolicy, trace: &Trace) -> SimulationReport {
+/// The retired bespoke space-shared event loop, kept as the differential
+/// oracle for the facade ([`run_queued`] must produce an identical
+/// report). Scheduled for deletion next PR.
+pub fn run_queued_reference(
+    cluster: Cluster,
+    policy: QueuePolicy,
+    trace: &Trace,
+) -> SimulationReport {
     #[derive(Debug)]
     enum Ev {
         Arrival(usize),
@@ -174,7 +213,12 @@ pub fn run_queued(cluster: Cluster, policy: QueuePolicy, trace: &Trace) -> Simul
     }
     assert!(queue.is_empty(), "queue drained at end of simulation");
 
-    finish_report(policy.name().to_string(), trace, outcomes, pool.utilization())
+    finish_report(
+        policy.name().to_string(),
+        trace,
+        outcomes,
+        pool.utilization(),
+    )
 }
 
 fn finish_report(
@@ -292,8 +336,8 @@ mod tests {
         // arrives later but has the earlier absolute deadline → runs first.
         let trace = Trace::new(vec![
             job(0, 0.0, 100.0, 100.0, 1, 1000.0),
-            job(1, 1.0, 10.0, 10.0, 1, 5000.0),  // abs deadline 5001
-            job(2, 2.0, 10.0, 10.0, 1, 500.0),   // abs deadline 502
+            job(1, 1.0, 10.0, 10.0, 1, 5000.0), // abs deadline 5001
+            job(2, 2.0, 10.0, 10.0, 1, 500.0),  // abs deadline 502
         ]);
         let report = run_queued(
             Cluster::homogeneous(1, 168.0),
@@ -325,7 +369,10 @@ mod tests {
             &trace,
         );
         assert_eq!(report.rejected(), 1);
-        assert!(matches!(report.records[1].outcome, Outcome::Rejected { .. }));
+        assert!(matches!(
+            report.records[1].outcome,
+            Outcome::Rejected { .. }
+        ));
         assert_eq!(report.fulfilled(), 1);
     }
 
@@ -371,7 +418,7 @@ mod tests {
         // and blocks; job 2 needs one and fits the idle processor.
         let trace = Trace::new(vec![
             job(0, 0.0, 100.0, 100.0, 1, 1000.0),
-            job(1, 1.0, 50.0, 50.0, 2, 500.0),    // head (earliest deadline)
+            job(1, 1.0, 50.0, 50.0, 2, 500.0), // head (earliest deadline)
             job(2, 2.0, 30.0, 30.0, 1, 2000.0),
         ]);
         let plain = run_queued(
@@ -454,5 +501,39 @@ mod tests {
             &trace,
         );
         assert!((report.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn facade_matches_reference_loops_on_mixed_traffic() {
+        let jobs: Vec<Job> = (0..60)
+            .map(|i| {
+                job(
+                    i,
+                    i as f64 * 7.0,
+                    20.0 + (i % 5) as f64 * 11.0,
+                    30.0 + (i % 3) as f64 * 25.0,
+                    1 + (i % 2) as u32,
+                    90.0 + (i % 4) as f64 * 40.0,
+                )
+            })
+            .collect();
+        let trace = Trace::new(jobs);
+        let facade = run_proportional(
+            two_node_cluster(),
+            ProportionalConfig::default(),
+            &mut LibraRisk::paper(),
+            &trace,
+        );
+        let reference = run_proportional_reference(
+            two_node_cluster(),
+            ProportionalConfig::default(),
+            &mut LibraRisk::paper(),
+            &trace,
+        );
+        assert_eq!(facade, reference);
+        let policy = QueuePolicy::new(QueueDiscipline::EarliestDeadline, true).with_backfill(true);
+        let facade = run_queued(two_node_cluster(), policy, &trace);
+        let reference = run_queued_reference(two_node_cluster(), policy, &trace);
+        assert_eq!(facade, reference);
     }
 }

@@ -1,0 +1,199 @@
+//! Differential tests for the online RMS facade.
+//!
+//! The unified driver (`PolicyKind::run`, one generic loop over
+//! `ClusterRms`) must reproduce the retired bespoke event loops
+//! (`PolicyKind::run_reference`) *identically* — every per-job outcome,
+//! the utilisation and the policy name — for every policy in the
+//! catalogue, over realistic synthetic traces. Any divergence means the
+//! facade's event ordering differs from the batch loops' (a completion
+//! processed on the wrong side of a same-instant arrival, a spurious
+//! rate-recomputation point) and would silently change simulation
+//! results.
+//!
+//! On top of the batch equivalence, a property test interleaves
+//! `advance` calls at arbitrary intermediate instants between
+//! submissions: the facade contract says `advance(to)` brings the RMS to
+//! exactly the state an arrival at `to` would observe, so the streamed
+//! outcomes must be independent of how often time is advanced.
+
+use cluster::Cluster;
+use librisk::prelude::*;
+use librisk::report::JobRecord;
+use proptest::prelude::*;
+use sim::{Rng64, SimDuration, SimTime};
+use workload::deadlines::DeadlineModel;
+use workload::synthetic::SyntheticSdscSp2;
+
+/// A small but busy scenario: 16 nodes, a few hundred SDSC-SP2-like jobs
+/// with the paper's deadline model — enough contention that queues form,
+/// backfilling fires and admission tests reject.
+fn synthetic_trace(jobs: usize, seed: u64) -> Trace {
+    let mut trace = SyntheticSdscSp2 {
+        jobs,
+        ..Default::default()
+    }
+    .generate(seed);
+    DeadlineModel::default().assign(&mut Rng64::new(seed ^ 0x9e37), trace.jobs_mut());
+    trace
+}
+
+fn small_cluster() -> Cluster {
+    Cluster::homogeneous(16, 168.0)
+}
+
+#[test]
+fn facade_reproduces_reference_loops_for_every_policy() {
+    for seed in [7u64, 4242] {
+        let trace = synthetic_trace(180, seed);
+        let cluster = small_cluster();
+        for kind in PolicyKind::ALL {
+            let facade = kind.run(&cluster, &trace);
+            let reference = kind.run_reference(&cluster, &trace);
+            assert_eq!(
+                facade.policy, reference.policy,
+                "{kind:?} (seed {seed}): policy name"
+            );
+            assert_eq!(
+                facade.utilization, reference.utilization,
+                "{kind:?} (seed {seed}): utilization"
+            );
+            assert_eq!(
+                facade.records.len(),
+                reference.records.len(),
+                "{kind:?} (seed {seed}): record count"
+            );
+            for (i, (f, r)) in facade
+                .records
+                .iter()
+                .zip(reference.records.iter())
+                .enumerate()
+            {
+                assert_eq!(f, r, "{kind:?} (seed {seed}): job {i} outcome diverged");
+            }
+        }
+    }
+}
+
+/// Replays a trace through the facade with extra `advance` calls wedged
+/// between submissions at `frac` of each inter-arrival gap, collecting
+/// every streamed event.
+fn run_interleaved(kind: PolicyKind, trace: &Trace, fracs: &[f64]) -> Vec<(u64, JobRecord)> {
+    let mut rms = kind.rms(&small_cluster());
+    let mut out: Vec<(u64, JobRecord)> = Vec::new();
+    let mut prev = SimTime::ZERO;
+    for (i, job) in trace.jobs().iter().enumerate() {
+        let gap = job.submit - prev;
+        if gap > SimDuration::ZERO && !fracs.is_empty() {
+            // Wedge intermediate advances strictly inside the gap.
+            let frac = fracs[i % fracs.len()].clamp(0.0, 0.999);
+            let mid = prev + SimDuration::from_secs(gap.as_secs() * frac);
+            out.extend(rms.advance(mid).map(|e| (e.seq, e.record)));
+        }
+        out.extend(rms.advance(job.submit).map(|e| (e.seq, e.record)));
+        rms.submit(job.clone(), job.submit);
+        prev = job.submit;
+    }
+    out.extend(rms.drain().map(|e| (e.seq, e.record)));
+    out.sort_by_key(|(seq, _)| *seq);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Submitting with arbitrary intermediate advances produces exactly
+    // the same outcomes as the batch drive, for a queued, a
+    // proportional and the QoPS backend.
+    #[test]
+    fn interleaved_advances_never_change_outcomes(
+        seed in 0u64..1_000,
+        fracs in proptest::collection::vec(0.0..1.0f64, 1..6),
+    ) {
+        let trace = synthetic_trace(60, seed);
+        for kind in [PolicyKind::LibraRisk, PolicyKind::EdfBackfill, PolicyKind::Qops] {
+            let batch = kind.run(&small_cluster(), &trace);
+            let streamed = run_interleaved(kind, &trace, &fracs);
+            prop_assert_eq!(streamed.len(), batch.records.len());
+            for (i, (seq, record)) in streamed.iter().enumerate() {
+                prop_assert_eq!(*seq, i as u64);
+                prop_assert_eq!(record, &batch.records[i], "{:?} job {}", kind, i);
+            }
+        }
+    }
+}
+
+/// The streaming sink summarises a 100k-job trace with O(1) state — no
+/// per-job outcome vector anywhere (the facade's seq map only holds
+/// *resident* jobs, and `OnlineReport` folds records into scalar
+/// aggregates as they resolve).
+#[test]
+fn online_sink_streams_a_hundred_thousand_jobs() {
+    let n: u64 = 100_000;
+    let jobs: Vec<Job> = (0..n)
+        .map(|i| Job {
+            id: JobId(i),
+            submit: SimTime::from_secs(i as f64 * 10.0),
+            runtime: SimDuration::from_secs(5.0),
+            estimate: SimDuration::from_secs(5.0),
+            procs: 1,
+            deadline: SimDuration::from_secs(if i % 10 == 0 { 4.0 } else { 100.0 }),
+            urgency: if i % 3 == 0 {
+                Urgency::High
+            } else {
+                Urgency::Low
+            },
+        })
+        .collect();
+    let trace = Trace::new(jobs);
+    let mut rms = PolicyKind::Fcfs.rms(&Cluster::homogeneous(2, 168.0));
+    let mut sink = OnlineReport::new();
+    drive_trace(&mut rms, &trace, &mut sink);
+    sink.set_utilization(rms.utilization());
+    assert_eq!(sink.submitted(), n);
+    assert_eq!(sink.accepted(), n, "FCFS never rejects");
+    // Every 10th job has a 4 s deadline < 5 s runtime → unfulfilled.
+    assert_eq!(sink.fulfilled(), n - n / 10);
+    assert_eq!(sink.delayed(), n / 10);
+    assert!((sink.fulfilled_pct() - 90.0).abs() < 1e-9);
+    assert!(
+        (sink.avg_slowdown() - 1.0).abs() < 1e-9,
+        "no queueing: slowdown 1"
+    );
+    assert!(sink.utilization() > 0.0);
+    assert!(sink.fulfilled_pct_of(Urgency::High) > 0.0);
+}
+
+/// The facade's irrevocability invariant: decisions returned by `submit`
+/// never contradict the eventually streamed outcome.
+#[test]
+fn decisions_agree_with_streamed_outcomes() {
+    let trace = synthetic_trace(120, 99);
+    for kind in [PolicyKind::LibraRisk, PolicyKind::Edf, PolicyKind::QopsHard] {
+        let mut rms = kind.rms(&small_cluster());
+        let mut decisions: Vec<Decision> = Vec::new();
+        let mut outcomes: Vec<Option<JobRecord>> = vec![None; trace.len()];
+        for job in trace.jobs() {
+            for e in rms.advance(job.submit) {
+                outcomes[e.seq as usize] = Some(e.record);
+            }
+            decisions.push(rms.submit(job.clone(), job.submit));
+        }
+        for e in rms.drain() {
+            outcomes[e.seq as usize] = Some(e.record);
+        }
+        for (i, d) in decisions.iter().enumerate() {
+            let outcome = &outcomes[i].as_ref().expect("every job resolves").outcome;
+            match d {
+                Decision::Accepted => assert!(
+                    matches!(outcome, Outcome::Completed { .. }),
+                    "{kind:?} job {i}: accepted jobs complete"
+                ),
+                Decision::Rejected => assert!(
+                    matches!(outcome, Outcome::Rejected { .. }),
+                    "{kind:?} job {i}: rejections are final"
+                ),
+                Decision::Queued => {} // either way, via the queue
+            }
+        }
+    }
+}

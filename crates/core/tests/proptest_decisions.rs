@@ -39,13 +39,15 @@ fn arrival() -> impl Strategy<Value = Arrival> {
         1u32..4,
         0.0..1.0f64,
     )
-        .prop_map(|(runtime, est_factor, deadline, procs, advance_frac)| Arrival {
-            runtime,
-            est_factor,
-            deadline,
-            procs,
-            advance_frac,
-        })
+        .prop_map(
+            |(runtime, est_factor, deadline, procs, advance_frac)| Arrival {
+                runtime,
+                est_factor,
+                deadline,
+                procs,
+                advance_frac,
+            },
+        )
 }
 
 fn job_at(id: u64, a: &Arrival, now: SimTime) -> Job {

@@ -177,12 +177,7 @@ fn sample_budget() -> Duration {
     Duration::from_millis(ms.max(1))
 }
 
-fn report_line(
-    group: &str,
-    id: &str,
-    samples: &[f64],
-    throughput: Option<Throughput>,
-) -> String {
+fn report_line(group: &str, id: &str, samples: &[f64], throughput: Option<Throughput>) -> String {
     let mut sorted: Vec<f64> = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
     let median = sorted[sorted.len() / 2];
@@ -199,7 +194,11 @@ fn report_line(
             let _ = write!(line, "  thrpt {:.3} Melem/s", n as f64 / median * 1e3);
         }
         Some(Throughput::Bytes(n)) => {
-            let _ = write!(line, "  thrpt {:.3} MiB/s", n as f64 / median * 1e9 / (1 << 20) as f64);
+            let _ = write!(
+                line,
+                "  thrpt {:.3} MiB/s",
+                n as f64 / median * 1e9 / (1 << 20) as f64
+            );
         }
         None => {}
     }
@@ -273,7 +272,12 @@ mod tests {
 
     #[test]
     fn reports_contain_group_and_id() {
-        let line = report_line("g", "f/3", &[10.0, 30.0, 20.0], Some(Throughput::Elements(3)));
+        let line = report_line(
+            "g",
+            "f/3",
+            &[10.0, 30.0, 20.0],
+            Some(Throughput::Elements(3)),
+        );
         assert!(line.starts_with("g/f/3:"));
         assert!(line.contains("median 20.0 ns"));
         assert!(line.contains("thrpt"));

@@ -94,10 +94,7 @@ impl Panel {
         for s in &self.series {
             headers.push(s.name());
         }
-        let mut table = Table::new(
-            format!("{} — {}", self.label, self.metric),
-            &headers,
-        );
+        let mut table = Table::new(format!("{} — {}", self.label, self.metric), &headers);
         if let Some(first) = self.series.first() {
             for (x, _) in first.mean_points() {
                 let mut row = vec![metrics::table::fmt_f(x, 2)];
@@ -458,14 +455,7 @@ pub fn risk_profile_table(cfg: &FigureConfig) -> Table {
     use librisk::{computation_at_risk, CarMeasure};
     let mut t = Table::new(
         "Computation-at-Risk profile (default scenario, trace estimates, level 0.95)",
-        &[
-            "policy",
-            "measure",
-            "mean",
-            "VaR(95%)",
-            "shortfall",
-            "jobs",
-        ],
+        &["policy", "measure", "mean", "VaR(95%)", "shortfall", "jobs"],
     );
     let f = metrics::table::fmt_f;
     for policy in PolicyKind::PAPER {
@@ -518,7 +508,13 @@ pub fn convergence_table(cfg: &FigureConfig) -> Table {
             "Seed sensitivity at the default scenario ({} seeds, trace estimates)",
             seeds.len()
         ),
-        &["policy", "fulfilled % (mean)", "± CI95", "slowdown (mean)", "± CI95 "],
+        &[
+            "policy",
+            "fulfilled % (mean)",
+            "± CI95",
+            "slowdown (mean)",
+            "± CI95 ",
+        ],
     );
     let f = metrics::table::fmt_f;
     for policy in PolicyKind::PAPER {
@@ -580,10 +576,7 @@ pub fn trace_analysis_tables(cfg: &FigureConfig) -> Vec<Table> {
         t
     };
 
-    let mut classes = Table::new(
-        "Estimate accuracy classes",
-        &["class", "jobs", "share %"],
-    );
+    let mut classes = Table::new("Estimate accuracy classes", &["class", "jobs", "share %"]);
     let n = trace.len().max(1) as f64;
     for (class, count) in analysis.estimate_classes {
         classes.push_row(vec![
@@ -600,7 +593,11 @@ pub fn trace_analysis_tables(cfg: &FigureConfig) -> Vec<Table> {
             &analysis.inter_arrival_hist,
             "s",
         ),
-        hist_table("Processor-request distribution", &analysis.procs_hist, "procs"),
+        hist_table(
+            "Processor-request distribution",
+            &analysis.procs_hist,
+            "procs",
+        ),
         classes,
     ]
 }
@@ -612,8 +609,10 @@ pub fn trace_analysis_tables(cfg: &FigureConfig) -> Vec<Table> {
 /// budget-feasible demand.
 pub fn budget_table(cfg: &FigureConfig) -> Table {
     use cluster::proportional::ProportionalConfig;
-    use librisk::scheduler::run_proportional;
-    use librisk::{BudgetModel, Libra, LibraBudget, LibraRisk, PricingModel};
+    use librisk::{
+        drive_trace, BudgetModel, ClusterRms, Libra, LibraBudget, LibraRisk, OnlineReport,
+        PricingModel,
+    };
 
     let mut t = Table::new(
         "Budget-gated admission (Libra economy, trace estimates)",
@@ -630,8 +629,10 @@ pub fn budget_table(cfg: &FigureConfig) -> Table {
         Libra,
         LibraRisk,
     }
-    for (label, inner) in [("Libra+Budget", Inner::Libra), ("LibraRisk+Budget", Inner::LibraRisk)]
-    {
+    for (label, inner) in [
+        ("Libra+Budget", Inner::Libra),
+        ("LibraRisk+Budget", Inner::LibraRisk),
+    ] {
         let mut fulfilled = metrics::OnlineStats::new();
         let mut accepted = metrics::OnlineStats::new();
         let mut budget_rejected = metrics::OnlineStats::new();
@@ -647,20 +648,25 @@ pub fn budget_table(cfg: &FigureConfig) -> Table {
                 .assign(&mut sim::Rng64::new(seed).split("budgets"), trace.jobs());
             let cluster = scenario.cluster();
             let cfg_engine = ProportionalConfig::default();
+            // Stream through the RMS facade with a *borrowed* policy so
+            // the accumulated economy (revenue, budget rejections) stays
+            // readable after the run.
+            let stream = |policy: &mut dyn librisk::ShareAdmission| {
+                let mut rms = ClusterRms::proportional(cluster.clone(), cfg_engine, policy);
+                let mut sink = OnlineReport::new();
+                drive_trace(&mut rms, &trace, &mut sink);
+                sink
+            };
             let (report, rev, brej) = match inner {
                 Inner::Libra => {
-                    let mut p =
-                        LibraBudget::new(Libra::new(), PricingModel::default(), budgets);
-                    let r = run_proportional(cluster, cfg_engine, &mut p, &trace);
+                    let mut p = LibraBudget::new(Libra::new(), PricingModel::default(), budgets);
+                    let r = stream(&mut p);
                     (r, p.revenue(), p.budget_rejections())
                 }
                 Inner::LibraRisk => {
-                    let mut p = LibraBudget::new(
-                        LibraRisk::paper(),
-                        PricingModel::default(),
-                        budgets,
-                    );
-                    let r = run_proportional(cluster, cfg_engine, &mut p, &trace);
+                    let mut p =
+                        LibraBudget::new(LibraRisk::paper(), PricingModel::default(), budgets);
+                    let r = stream(&mut p);
                     (r, p.revenue(), p.budget_rejections())
                 }
             };

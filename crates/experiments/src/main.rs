@@ -150,9 +150,7 @@ fn main() -> ExitCode {
             "fig4" => emit_figure(&figures::fig4(cfg), &args.out, args.charts),
             "ablation" => emit_figure(&figures::ablation(cfg), &args.out, args.charts),
             "robustness" => emit_figure(&figures::robustness(cfg), &args.out, args.charts),
-            "heterogeneity" => {
-                emit_figure(&figures::heterogeneity(cfg), &args.out, args.charts)
-            }
+            "heterogeneity" => emit_figure(&figures::heterogeneity(cfg), &args.out, args.charts),
             "convergence" => {
                 let t = figures::convergence_table(cfg);
                 print!("{}", t.to_markdown());
@@ -196,8 +194,18 @@ fn main() -> ExitCode {
     match args.command.as_str() {
         "all" => {
             for which in [
-                "trace-stats", "fig1", "fig2", "fig3", "fig4", "ablation", "robustness",
-                "heterogeneity", "budget", "risk-profile", "convergence", "summary",
+                "trace-stats",
+                "fig1",
+                "fig2",
+                "fig3",
+                "fig4",
+                "ablation",
+                "robustness",
+                "heterogeneity",
+                "budget",
+                "risk-profile",
+                "convergence",
+                "summary",
             ] {
                 run(which);
             }

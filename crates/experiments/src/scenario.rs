@@ -1,7 +1,7 @@
 //! A fully-specified simulation scenario (§4's methodology as data).
 
 use cluster::Cluster;
-use librisk::{PolicyKind, SimulationReport};
+use librisk::{drive_trace, OnlineReport, PolicyKind, SimulationReport};
 use sim::Rng64;
 use workload::deadlines::DeadlineModel;
 use workload::estimates;
@@ -136,9 +136,7 @@ impl Scenario {
         match self.estimates {
             EstimateRegime::Accurate => estimates::make_accurate(trace.jobs_mut()),
             EstimateRegime::Trace => {} // generator already produced them
-            EstimateRegime::Inaccuracy(pct) => {
-                estimates::apply_inaccuracy(trace.jobs_mut(), pct)
-            }
+            EstimateRegime::Inaccuracy(pct) => estimates::apply_inaccuracy(trace.jobs_mut(), pct),
         }
         trace.scale_arrivals(self.arrival_delay_factor);
         trace
@@ -148,6 +146,20 @@ impl Scenario {
     pub fn run(&self, policy: PolicyKind) -> SimulationReport {
         let trace = self.build_trace();
         policy.run(&self.cluster(), &trace)
+    }
+
+    /// Builds the trace and streams one policy over it into O(1) online
+    /// aggregates — no per-job record vector. The sweep harness uses
+    /// this: a cell only ever reads scalar summaries, so there is no
+    /// reason to materialise (and then drop) thousands of `JobRecord`s
+    /// per cell.
+    pub fn run_online(&self, policy: PolicyKind) -> OnlineReport {
+        let trace = self.build_trace();
+        let mut rms = policy.rms(&self.cluster());
+        let mut sink = OnlineReport::new();
+        drive_trace(&mut rms, &trace, &mut sink);
+        sink.set_utilization(rms.utilization());
+        sink
     }
 }
 
@@ -207,7 +219,11 @@ mod tests {
             ..Default::default()
         };
         let t = s.build_trace();
-        let high = t.jobs().iter().filter(|j| j.urgency == Urgency::High).count();
+        let high = t
+            .jobs()
+            .iter()
+            .filter(|j| j.urgency == Urgency::High)
+            .count();
         let frac = high as f64 / t.len() as f64;
         assert!((frac - 0.8).abs() < 0.03, "high fraction {frac}");
     }
@@ -232,6 +248,21 @@ mod tests {
     }
 
     #[test]
+    fn run_online_matches_batch_aggregates() {
+        let s = small();
+        for policy in [PolicyKind::LibraRisk, PolicyKind::Edf] {
+            let batch = s.run(policy);
+            let online = s.run_online(policy);
+            assert_eq!(online.submitted(), batch.submitted() as u64);
+            assert_eq!(online.fulfilled(), batch.fulfilled() as u64);
+            assert_eq!(online.rejected(), batch.rejected() as u64);
+            assert!((online.fulfilled_pct() - batch.fulfilled_pct()).abs() < 1e-9);
+            assert!((online.avg_slowdown() - batch.avg_slowdown()).abs() < 1e-9);
+            assert_eq!(online.utilization(), batch.utilization);
+        }
+    }
+
+    #[test]
     fn heterogeneous_cluster_keeps_mean_capacity() {
         let s = Scenario {
             nodes: 12,
@@ -240,8 +271,7 @@ mod tests {
         };
         let c = s.cluster();
         assert!(!c.is_homogeneous());
-        let mean: f64 =
-            c.nodes().iter().map(|n| n.rating).sum::<f64>() / c.len() as f64;
+        let mean: f64 = c.nodes().iter().map(|n| n.rating).sum::<f64>() / c.len() as f64;
         assert!((mean - 168.0).abs() < 1e-9);
         // Fast nodes process reference work faster.
         assert!(c.speed_factor(cluster::NodeId(2)) > 1.0);

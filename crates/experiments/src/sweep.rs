@@ -68,9 +68,9 @@ pub fn run_sweep(
         .iter()
         .flat_map(|(x, sc)| {
             policies.iter().flat_map(move |p| {
-                seeds.iter().map(move |seed| {
-                    (*x, sc.clone().with_seed(*seed), *p)
-                })
+                seeds
+                    .iter()
+                    .map(move |seed| (*x, sc.clone().with_seed(*seed), *p))
             })
         })
         .collect();
@@ -91,14 +91,16 @@ pub fn run_sweep(
                     break;
                 }
                 let (x, scenario, policy) = &work[i];
-                let report = scenario.run(*policy);
+                // Stream into online aggregates: a cell only keeps three
+                // scalars, never a per-job record vector.
+                let report = scenario.run_online(*policy);
                 bucket.push(Cell {
                     order: i,
                     policy: *policy,
                     x: *x,
                     fulfilled_pct: report.fulfilled_pct(),
                     avg_slowdown: report.avg_slowdown(),
-                    utilization: report.utilization,
+                    utilization: report.utilization(),
                 });
             });
         }

@@ -13,7 +13,14 @@ const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
 /// or `[min, max]` otherwise; points are plotted per series with a
 /// distinct glyph, later series overwrite earlier ones on collisions, and
 /// a legend follows the axes.
-pub fn render(title: &str, x_label: &str, series: &[&Series], width: usize, height: usize, zero_based: bool) -> String {
+pub fn render(
+    title: &str,
+    x_label: &str,
+    series: &[&Series],
+    width: usize,
+    height: usize,
+    zero_based: bool,
+) -> String {
     assert!(width >= 16 && height >= 4, "chart too small to be useful");
     let mut xs: Vec<f64> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();

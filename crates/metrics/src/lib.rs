@@ -22,7 +22,7 @@ pub mod summary;
 pub mod svg;
 pub mod table;
 
-pub use online::OnlineStats;
+pub use online::{OnlineStats, Tally};
 pub use series::Series;
 pub use summary::Summary;
 pub use table::Table;

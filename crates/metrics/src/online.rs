@@ -1,4 +1,5 @@
-//! Welford's online mean/variance with O(1) merge.
+//! Welford's online mean/variance with O(1) merge, plus the [`Tally`]
+//! hit counter used by streaming report sinks.
 
 /// Single-pass, numerically stable accumulator for mean and variance.
 ///
@@ -153,9 +154,74 @@ impl OnlineStats {
     }
 }
 
+/// An O(1) hit counter: `hits` out of `total` trials, with the
+/// percentage accessor every figure of the paper reports (fulfilled %,
+/// acceptance %, per-urgency fulfilment).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Tally {
+    total: u64,
+    hits: u64,
+}
+
+impl Tally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Tally::default()
+    }
+
+    /// Records one trial; `hit` marks it as counting toward the rate.
+    pub fn observe(&mut self, hit: bool) {
+        self.total += 1;
+        self.hits += u64::from(hit);
+    }
+
+    /// Number of trials recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of hits recorded.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Hits as a percentage of trials (0 when empty — the convention
+    /// `SimulationReport::fulfilled_pct` uses for empty runs).
+    pub fn pct(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &Tally) {
+        self.total += other.total;
+        self.hits += other.hits;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tally_counts_and_pct() {
+        let mut t = Tally::new();
+        assert_eq!(t.pct(), 0.0);
+        t.observe(true);
+        t.observe(false);
+        t.observe(true);
+        assert_eq!(t.total(), 3);
+        assert_eq!(t.hits(), 2);
+        assert!((t.pct() - 200.0 / 3.0).abs() < 1e-12);
+        let mut u = Tally::new();
+        u.observe(false);
+        t.merge(&u);
+        assert_eq!(t.total(), 4);
+        assert_eq!(t.hits(), 2);
+    }
 
     #[test]
     fn empty_stats_are_benign() {

@@ -126,7 +126,9 @@ fn marker_svg(m: Marker, x: f64, y: f64, color: &str) -> String {
 }
 
 fn escape(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders the series as a standalone SVG document.
@@ -276,7 +278,11 @@ pub fn render(series: &[&Series], opts: &SvgOptions) -> String {
     let ly = h - 14.0;
     for (i, s) in series.iter().enumerate() {
         let color = PALETTE[i % PALETTE.len()];
-        let _ = writeln!(out, "{}", marker_svg(MARKERS[i % MARKERS.len()], lx + 5.0, ly - 4.0, color));
+        let _ = writeln!(
+            out,
+            "{}",
+            marker_svg(MARKERS[i % MARKERS.len()], lx + 5.0, ly - 4.0, color)
+        );
         let _ = writeln!(
             out,
             r#"<text x="{:.1}" y="{ly:.1}" font-size="12">{}</text>"#,
@@ -354,21 +360,43 @@ mod tests {
         let ticks = nice_ticks(0.0, 100.0, 6);
         assert!(ticks.contains(&0.0) && ticks.contains(&100.0));
         for w in ticks.windows(2) {
-            assert!((w[1] - w[0] - 20.0).abs() < 1e-9, "step 20 expected: {ticks:?}");
+            assert!(
+                (w[1] - w[0] - 20.0).abs() < 1e-9,
+                "step 20 expected: {ticks:?}"
+            );
         }
         let small = nice_ticks(0.1, 1.0, 8);
         assert!(small.len() >= 4);
-        assert!(small.iter().all(|&t| (0.1 - 1e-9..=1.0 + 1e-9).contains(&t)));
+        assert!(small
+            .iter()
+            .all(|&t| (0.1 - 1e-9..=1.0 + 1e-9).contains(&t)));
     }
 
     #[test]
     fn zero_based_extends_axis_down_to_zero() {
         let a = series("p", &[(0.0, 50.0), (1.0, 80.0)]);
-        let with = render(&[&a], &SvgOptions { zero_based: true, ..Default::default() });
-        let without = render(&[&a], &SvgOptions { zero_based: false, ..Default::default() });
+        let with = render(
+            &[&a],
+            &SvgOptions {
+                zero_based: true,
+                ..Default::default()
+            },
+        );
+        let without = render(
+            &[&a],
+            &SvgOptions {
+                zero_based: false,
+                ..Default::default()
+            },
+        );
         // Both label x-tick 0, but only the zero-based variant also has a
         // y-tick at 0 — so it carries strictly more "0" tick labels.
         let zeros = |svg: &str| svg.matches(">0<").count();
-        assert!(zeros(&with) > zeros(&without), "{} vs {}", zeros(&with), zeros(&without));
+        assert!(
+            zeros(&with) > zeros(&without),
+            "{} vs {}",
+            zeros(&with),
+            zeros(&without)
+        );
     }
 }

@@ -78,6 +78,21 @@ impl<P> Simulator<P> {
         self.queue.schedule(self.now + delay, payload)
     }
 
+    /// Schedules a batch of `(at, payload)` pairs, preserving iteration
+    /// order among simultaneous events (FIFO dispatch) — the driver
+    /// helper trace replays use to pre-load every arrival.
+    ///
+    /// # Panics
+    /// Panics if any `at` is before the current clock.
+    pub fn schedule_all<I>(&mut self, items: I)
+    where
+        I: IntoIterator<Item = (SimTime, P)>,
+    {
+        for (at, payload) in items {
+            self.schedule_at(at, payload);
+        }
+    }
+
     /// Cancels a pending event; returns whether it was still pending.
     pub fn cancel(&mut self, id: EventId) -> bool {
         self.queue.cancel(id)
@@ -168,10 +183,7 @@ mod tests {
                 sim.schedule_in(d(1.0), ev.payload - 1);
             }
         });
-        assert_eq!(
-            fired,
-            vec![(1.0, 3), (2.0, 2), (3.0, 1), (4.0, 0)]
-        );
+        assert_eq!(fired, vec![(1.0, 3), (2.0, 2), (3.0, 1), (4.0, 0)]);
     }
 
     #[test]
@@ -213,6 +225,15 @@ mod tests {
         let mut fired = Vec::new();
         s.run(|_, ev| fired.push(ev.payload));
         assert_eq!(fired, vec!["b"]);
+    }
+
+    #[test]
+    fn schedule_all_preserves_order_on_ties() {
+        let mut s = Simulator::new();
+        s.schedule_all([(t(2.0), "b"), (t(1.0), "a"), (t(2.0), "c")]);
+        let mut fired = Vec::new();
+        s.run(|_, ev| fired.push(ev.payload));
+        assert_eq!(fired, vec!["a", "b", "c"]);
     }
 
     #[test]

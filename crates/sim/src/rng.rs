@@ -244,7 +244,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "a 100-element shuffle staying sorted is ~impossible");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "a 100-element shuffle staying sorted is ~impossible"
+        );
     }
 
     #[test]

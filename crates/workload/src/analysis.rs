@@ -174,7 +174,11 @@ mod tests {
             estimate: SimDuration::from_secs(est),
             procs,
             deadline: SimDuration::from_secs(runtime * 2.0),
-            urgency: if id.is_multiple_of(2) { Urgency::High } else { Urgency::Low },
+            urgency: if id.is_multiple_of(2) {
+                Urgency::High
+            } else {
+                Urgency::Low
+            },
         }
     }
 
@@ -202,10 +206,22 @@ mod tests {
 
     #[test]
     fn estimate_classification() {
-        assert_eq!(classify_estimate(&job(0, 0.0, 100.0, 100.0, 1)), EstimateClass::Exact);
-        assert_eq!(classify_estimate(&job(0, 0.0, 100.0, 50.0, 1)), EstimateClass::Under);
-        assert_eq!(classify_estimate(&job(0, 0.0, 100.0, 150.0, 1)), EstimateClass::MildOver);
-        assert_eq!(classify_estimate(&job(0, 0.0, 100.0, 900.0, 1)), EstimateClass::GrossOver);
+        assert_eq!(
+            classify_estimate(&job(0, 0.0, 100.0, 100.0, 1)),
+            EstimateClass::Exact
+        );
+        assert_eq!(
+            classify_estimate(&job(0, 0.0, 100.0, 50.0, 1)),
+            EstimateClass::Under
+        );
+        assert_eq!(
+            classify_estimate(&job(0, 0.0, 100.0, 150.0, 1)),
+            EstimateClass::MildOver
+        );
+        assert_eq!(
+            classify_estimate(&job(0, 0.0, 100.0, 900.0, 1)),
+            EstimateClass::GrossOver
+        );
     }
 
     #[test]

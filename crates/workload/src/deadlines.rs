@@ -126,7 +126,9 @@ mod tests {
 
     #[test]
     fn builders_validate() {
-        let m = DeadlineModel::default().with_high_urgency_pct(80.0).with_ratio(6.0);
+        let m = DeadlineModel::default()
+            .with_high_urgency_pct(80.0)
+            .with_ratio(6.0);
         assert!((m.high_urgency_fraction - 0.8).abs() < 1e-12);
         assert_eq!(m.high_low_ratio, 6.0);
     }
@@ -173,7 +175,9 @@ mod tests {
     fn class_means_respect_ratio() {
         let mut js = jobs(40_000);
         let mut rng = Rng64::new(5);
-        let model = DeadlineModel::default().with_high_urgency_pct(50.0).with_ratio(4.0);
+        let model = DeadlineModel::default()
+            .with_high_urgency_pct(50.0)
+            .with_ratio(4.0);
         model.assign(&mut rng, &mut js);
         let mean_of = |u: Urgency| {
             let fs: Vec<f64> = js
@@ -185,7 +189,10 @@ mod tests {
         };
         let high_mean = mean_of(Urgency::High);
         let low_mean = mean_of(Urgency::Low);
-        assert!((high_mean - 2.0).abs() < 0.1, "high-urgency mean {high_mean}");
+        assert!(
+            (high_mean - 2.0).abs() < 0.1,
+            "high-urgency mean {high_mean}"
+        );
         assert!((low_mean - 8.0).abs() < 0.2, "low-urgency mean {low_mean}");
         let ratio = low_mean / high_mean;
         assert!((ratio - 4.0).abs() < 0.2, "ratio {ratio}");

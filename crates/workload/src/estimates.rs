@@ -89,8 +89,7 @@ impl TraceLikeEstimator {
         } else {
             // Over-estimate: padded by an exponential excess, optionally
             // snapped up to the canonical value users actually type.
-            let factor = (1.0 + exponential(rng, self.over_excess_mean))
-                .min(self.over_factor_cap);
+            let factor = (1.0 + exponential(rng, self.over_excess_mean)).min(self.over_factor_cap);
             let raw = rt * factor;
             if rng.chance(self.snap_probability) {
                 snap_up_to_canonical(raw)
@@ -289,7 +288,9 @@ mod tests {
         let mut rng = Rng64::new(21);
         let mut values = std::collections::BTreeMap::new();
         for _ in 0..10_000 {
-            let e = est.sample(&mut rng, SimDuration::from_secs(2500.0)).as_secs();
+            let e = est
+                .sample(&mut rng, SimDuration::from_secs(2500.0))
+                .as_secs();
             *values.entry(e as u64).or_insert(0usize) += 1;
         }
         // Every non-exact estimate is a canonical value ≥ the runtime.
@@ -304,7 +305,10 @@ mod tests {
         // The smallest covering value (1 h) is the most popular rung.
         let top = values.get(&3600).copied().unwrap_or(0);
         let next = values.get(&7200).copied().unwrap_or(0);
-        assert!(top > next, "3600s rung ({top}) must dominate 7200s ({next})");
+        assert!(
+            top > next,
+            "3600s rung ({top}) must dominate 7200s ({next})"
+        );
         // Exact estimates appear at roughly the configured fraction.
         let exact = values.get(&2500).copied().unwrap_or(0);
         assert!((exact as f64 / 10_000.0 - 0.1).abs() < 0.02);

@@ -190,7 +190,11 @@ mod tests {
             .collect();
         let max = samples.iter().cloned().fold(f64::MIN, f64::max);
         let min = samples.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(((max / min) - m.daily_peak_ratio).abs() < 0.05, "ratio {}", max / min);
+        assert!(
+            ((max / min) - m.daily_peak_ratio).abs() < 0.05,
+            "ratio {}",
+            max / min
+        );
         // Mean multiplier over the day is ~1 (rate conservation).
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
@@ -270,8 +274,16 @@ mod tests {
             ..Default::default()
         };
         let t = m.generate(4);
-        let short = t.jobs().iter().filter(|j| j.runtime.as_secs() < 3600.0).count();
-        let long = t.jobs().iter().filter(|j| j.runtime.as_secs() > 7200.0).count();
+        let short = t
+            .jobs()
+            .iter()
+            .filter(|j| j.runtime.as_secs() < 3600.0)
+            .count();
+        let long = t
+            .jobs()
+            .iter()
+            .filter(|j| j.runtime.as_secs() > 7200.0)
+            .count();
         // Both modes are well represented.
         assert!(short > t.len() / 5, "short {short}");
         assert!(long > t.len() / 5, "long {long}");

@@ -58,8 +58,7 @@ pub const FIG1_ARRIVAL_DELAY_FACTORS: [f64; 10] =
     [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
 
 /// Sweep of deadline high:low ratios for Figure 2 (reconstructed: 1..10).
-pub const FIG2_DEADLINE_RATIOS: [f64; 10] =
-    [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+pub const FIG2_DEADLINE_RATIOS: [f64; 10] = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
 
 /// Sweep of high-urgency job percentages for Figure 3 (reconstructed:
 /// 0..100 %).
@@ -148,7 +147,10 @@ mod tests {
 
     #[test]
     fn deadline_floor_exceeds_runtime() {
-        let floors = [MIN_DEADLINE_FACTOR - 1.0, MEAN_LOW_DEADLINE_FACTOR - MIN_DEADLINE_FACTOR];
+        let floors = [
+            MIN_DEADLINE_FACTOR - 1.0,
+            MEAN_LOW_DEADLINE_FACTOR - MIN_DEADLINE_FACTOR,
+        ];
         assert!(floors.iter().all(|&d| d > 0.0));
     }
 }

@@ -12,7 +12,7 @@
 //! e.g. changing the runtime model does not perturb the arrival process of
 //! the same seed.
 
-use crate::distributions::{loguniform, exponential, lognormal_with_mean, nearest_power_of_two};
+use crate::distributions::{exponential, lognormal_with_mean, loguniform, nearest_power_of_two};
 use crate::job::{Job, JobId, Urgency};
 use crate::params;
 use crate::trace::Trace;
@@ -132,7 +132,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let g = SyntheticSdscSp2 { jobs: 200, ..Default::default() };
+        let g = SyntheticSdscSp2 {
+            jobs: 200,
+            ..Default::default()
+        };
         let a = g.generate(42);
         let b = g.generate(42);
         assert_eq!(a.jobs(), b.jobs());
@@ -166,7 +169,10 @@ mod tests {
 
     #[test]
     fn bounds_are_respected() {
-        let g = SyntheticSdscSp2 { jobs: 2000, ..Default::default() };
+        let g = SyntheticSdscSp2 {
+            jobs: 2000,
+            ..Default::default()
+        };
         let t = g.generate(9);
         for j in t.jobs() {
             assert!(j.runtime.as_secs() >= g.min_runtime);
@@ -179,7 +185,11 @@ mod tests {
 
     #[test]
     fn arrivals_are_monotone() {
-        let t = SyntheticSdscSp2 { jobs: 500, ..Default::default() }.generate(3);
+        let t = SyntheticSdscSp2 {
+            jobs: 500,
+            ..Default::default()
+        }
+        .generate(3);
         for w in t.jobs().windows(2) {
             assert!(w[0].submit <= w[1].submit);
         }
@@ -188,18 +198,32 @@ mod tests {
 
     #[test]
     fn serial_fraction_is_honoured() {
-        let g = SyntheticSdscSp2 { jobs: 10_000, ..Default::default() };
+        let g = SyntheticSdscSp2 {
+            jobs: 10_000,
+            ..Default::default()
+        };
         let t = g.generate(5);
         let serial = t.jobs().iter().filter(|j| j.procs == 1).count();
         let frac = serial as f64 / t.len() as f64;
-        assert!((frac - g.serial_fraction).abs() < 0.03, "serial fraction {frac}");
+        assert!(
+            (frac - g.serial_fraction).abs() < 0.03,
+            "serial fraction {frac}"
+        );
     }
 
     #[test]
     fn many_parallel_requests_are_powers_of_two() {
-        let t = SyntheticSdscSp2 { jobs: 5_000, ..Default::default() }.generate(7);
-        let parallel: Vec<u32> =
-            t.jobs().iter().filter(|j| j.procs > 1).map(|j| j.procs).collect();
+        let t = SyntheticSdscSp2 {
+            jobs: 5_000,
+            ..Default::default()
+        }
+        .generate(7);
+        let parallel: Vec<u32> = t
+            .jobs()
+            .iter()
+            .filter(|j| j.procs > 1)
+            .map(|j| j.procs)
+            .collect();
         let pow2 = parallel.iter().filter(|p| p.is_power_of_two()).count();
         let frac = pow2 as f64 / parallel.len() as f64;
         assert!(frac > 0.6, "power-of-two fraction {frac}");

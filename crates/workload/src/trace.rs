@@ -100,7 +100,10 @@ impl Trace {
     /// # Panics
     /// Panics if `factor` is not strictly positive.
     pub fn scale_arrivals(&mut self, factor: f64) {
-        assert!(factor > 0.0, "arrival delay factor must be > 0, got {factor}");
+        assert!(
+            factor > 0.0,
+            "arrival delay factor must be > 0, got {factor}"
+        );
         if self.jobs.is_empty() {
             return;
         }
@@ -133,10 +136,8 @@ impl Trace {
         }
         let span = (self.jobs[n - 1].submit - self.jobs[0].submit).as_secs();
         let mean_inter_arrival = if n > 1 { span / (n - 1) as f64 } else { 0.0 };
-        let mean_runtime =
-            self.jobs.iter().map(|j| j.runtime.as_secs()).sum::<f64>() / n as f64;
-        let mean_procs =
-            self.jobs.iter().map(|j| f64::from(j.procs)).sum::<f64>() / n as f64;
+        let mean_runtime = self.jobs.iter().map(|j| j.runtime.as_secs()).sum::<f64>() / n as f64;
+        let mean_procs = self.jobs.iter().map(|j| f64::from(j.procs)).sum::<f64>() / n as f64;
         let mean_estimate_factor =
             self.jobs.iter().map(|j| j.estimate_factor()).sum::<f64>() / n as f64;
         let overestimated_fraction =
@@ -261,10 +262,7 @@ mod tests {
 
     #[test]
     fn stats_match_hand_computation() {
-        let t = Trace::new(vec![
-            job(0, 0.0, 100.0, 2),
-            job(1, 100.0, 300.0, 4),
-        ]);
+        let t = Trace::new(vec![job(0, 0.0, 100.0, 2), job(1, 100.0, 300.0, 4)]);
         let s = t.stats(10);
         assert_eq!(s.jobs, 2);
         assert_eq!(s.mean_inter_arrival, 100.0);

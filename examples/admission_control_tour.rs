@@ -52,7 +52,11 @@ fn describe(engine: &ProportionalCluster, j: &Job) {
             node.id,
             engine.resident_count(node.id),
             s,
-            if s <= 1.0 { "Libra: suitable" } else { "Libra: unsuitable" },
+            if s <= 1.0 {
+                "Libra: suitable"
+            } else {
+                "Libra: unsuitable"
+            },
             mu,
             sigma,
             if sigma < 1e-9 {

@@ -21,7 +21,10 @@ fn main() {
     let policies = PolicyKind::PAPER;
 
     println!("SLA target: {target_pct:.0}% of submitted jobs fulfilled (trace estimates)\n");
-    println!("{:<8}{:>10}{:>10}{:>12}", "nodes", "EDF", "Libra", "LibraRisk");
+    println!(
+        "{:<8}{:>10}{:>10}{:>12}",
+        "nodes", "EDF", "Libra", "LibraRisk"
+    );
 
     let mut first_ok: Vec<Option<usize>> = vec![None; policies.len()];
     for &nodes in &sizes {
@@ -35,7 +38,10 @@ fn main() {
         for (i, policy) in policies.iter().enumerate() {
             let report = scenario.run(*policy);
             let pct = report.fulfilled_pct();
-            row.push_str(&format!("{pct:>9.1}{}", if pct >= target_pct { "*" } else { " " }));
+            row.push_str(&format!(
+                "{pct:>9.1}{}",
+                if pct >= target_pct { "*" } else { " " }
+            ));
             if pct >= target_pct && first_ok[i].is_none() {
                 first_ok[i] = Some(nodes);
             }
@@ -46,7 +52,10 @@ fn main() {
     println!("\n(* = SLA target met)\n");
     for (i, policy) in policies.iter().enumerate() {
         match first_ok[i] {
-            Some(n) => println!("{:<10} needs ~{n} nodes to hit {target_pct:.0}%", policy.name()),
+            Some(n) => println!(
+                "{:<10} needs ~{n} nodes to hit {target_pct:.0}%",
+                policy.name()
+            ),
             None => println!(
                 "{:<10} does not reach {target_pct:.0}% even at {} nodes",
                 policy.name(),

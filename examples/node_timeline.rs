@@ -64,9 +64,7 @@ fn main() {
             (None, None) => break,
         };
         // Record occupancy for every bucket boundary we pass.
-        while next_sample < BUCKETS
-            && (next_sample as f64 + 0.5) * bucket_len <= now.as_secs()
-        {
+        while next_sample < BUCKETS && (next_sample as f64 + 0.5) * bucket_len <= now.as_secs() {
             for (n, row) in occupancy.iter_mut().enumerate() {
                 row[next_sample] = engine.resident_count(cluster::NodeId(n as u32));
             }

@@ -67,9 +67,15 @@ fn simulations_are_deterministic() {
         let b = scenario().run(policy);
         assert_eq!(a.fulfilled(), b.fulfilled(), "{policy}");
         assert_eq!(a.rejected(), b.rejected(), "{policy}");
-        assert!((a.avg_slowdown() - b.avg_slowdown()).abs() < 1e-12, "{policy}");
+        assert!(
+            (a.avg_slowdown() - b.avg_slowdown()).abs() < 1e-12,
+            "{policy}"
+        );
         for (ra, rb) in a.records.iter().zip(&b.records) {
-            assert_eq!(ra.outcome, rb.outcome, "{policy}: per-job outcomes identical");
+            assert_eq!(
+                ra.outcome, rb.outcome,
+                "{policy}: per-job outcomes identical"
+            );
         }
     }
 }
@@ -192,7 +198,10 @@ fn rejected_jobs_never_execute_and_accepted_jobs_always_finish() {
                     assert!(at >= r.job.submit, "{policy}: rejection after submission");
                 }
                 Outcome::Completed { started, finish } => {
-                    assert!(finish > started || r.job.runtime.as_secs() < 1e-3, "{policy}");
+                    assert!(
+                        finish > started || r.job.runtime.as_secs() < 1e-3,
+                        "{policy}"
+                    );
                 }
             }
         }

@@ -71,7 +71,10 @@ fn budget_gate_composes_with_both_share_policies() {
     // Identical budgets → identical budget-rejection counts (the gate
     // fires before the share policy sees the job).
     assert_eq!(libra.budget_rejections(), risk.budget_rejections());
-    assert!(libra.budget_rejections() > 0, "some users must be priced out");
+    assert!(
+        libra.budget_rejections() > 0,
+        "some users must be priced out"
+    );
     // The risk test monetises the budget-feasible remainder at least as
     // well as the share test.
     assert!(risk.revenue() >= libra.revenue());
@@ -87,8 +90,8 @@ fn budget_gate_composes_with_both_share_policies() {
 #[test]
 fn car_profile_is_consistent_with_the_report() {
     let report = scenario(300).run(PolicyKind::LibraRisk);
-    let car = computation_at_risk(&report, CarMeasure::ExpansionFactor, 0.95)
-        .expect("jobs completed");
+    let car =
+        computation_at_risk(&report, CarMeasure::ExpansionFactor, 0.95).expect("jobs completed");
     assert_eq!(car.jobs, report.accepted());
     // The mean expansion factor over completed jobs must dominate the
     // fulfilled-only average slowdown report metric is computed over a
@@ -138,7 +141,11 @@ fn qops_soft_deadline_holders_exceed_hard_deadline_holders() {
     // Count jobs that met the *soft* deadline (1.2×) vs the hard one:
     // the soft set must contain the hard set.
     let trace = scenario(300).build_trace();
-    let report = run_qops(Cluster::sdsc_sp2(), QopsConfig { slack_factor: 1.2 }, &trace);
+    let report = run_qops(
+        Cluster::sdsc_sp2(),
+        QopsConfig { slack_factor: 1.2 },
+        &trace,
+    );
     let mut hard_ok = 0;
     let mut soft_ok = 0;
     for r in &report.records {

@@ -125,8 +125,9 @@ fn fig3_librarisk_rises_while_others_fall() {
     assert!(libra.last().unwrap().1 < libra.first().unwrap().1 - 10.0);
     assert!(librarisk.last().unwrap().1 > librarisk.first().unwrap().1 - 5.0);
     // And the 80 %-urgency gap over Libra exceeds the 20 % gap (≈2×).
-    let gap_at = |x: f64| librarisk.iter().find(|p| p.0 == x).unwrap().1
-        - libra.iter().find(|p| p.0 == x).unwrap().1;
+    let gap_at = |x: f64| {
+        librarisk.iter().find(|p| p.0 == x).unwrap().1 - libra.iter().find(|p| p.0 == x).unwrap().1
+    };
     assert!(gap_at(80.0) > gap_at(20.0));
 }
 

@@ -20,19 +20,21 @@ struct RawJob {
 
 fn raw_job() -> impl Strategy<Value = RawJob> {
     (
-        0.0..3000.0f64,   // inter-arrival gap
+        0.0..3000.0f64,    // inter-arrival gap
         10.0..20_000.0f64, // runtime
-        0.3..8.0f64,      // estimate factor (under- and over-estimates)
-        1u32..6,          // processors
-        1.05..9.0f64,     // deadline factor (> 1, per the paper)
+        0.3..8.0f64,       // estimate factor (under- and over-estimates)
+        1u32..6,           // processors
+        1.05..9.0f64,      // deadline factor (> 1, per the paper)
     )
-        .prop_map(|(gap, runtime, est_factor, procs, deadline_factor)| RawJob {
-            gap,
-            runtime,
-            est_factor,
-            procs,
-            deadline_factor,
-        })
+        .prop_map(
+            |(gap, runtime, est_factor, procs, deadline_factor)| RawJob {
+                gap,
+                runtime,
+                est_factor,
+                procs,
+                deadline_factor,
+            },
+        )
 }
 
 fn build_trace(raw: &[RawJob]) -> Trace {
