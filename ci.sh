@@ -15,6 +15,12 @@ cargo build --release
 echo "== tier-1: tests =="
 cargo test -q
 
+echo "== differential: golden fixture + churn invariants (release) =="
+# The bitwise gates (golden-fixture replay, empty-fault-plan inertness,
+# churn interleaving invariance) re-run in release mode: optimisation
+# must not perturb a single bit either.
+cargo test --release -q -p librisk --test differential_rms
+
 echo "== lint: rustfmt =="
 cargo fmt --check
 

@@ -12,11 +12,11 @@
 //! ```
 
 use cluster::proportional::{ProportionalCluster, ProportionalConfig};
-use cluster::{Cluster, NodeId};
+use cluster::{Cluster, FaultPlan, NodeId, RecoveryPolicy};
 use librisk::libra::Libra;
 use librisk::libra_risk::LibraRisk;
 use librisk::policy::ShareAdmission;
-use librisk::{drive_trace, OnlineReport, PolicyKind};
+use librisk::{drive_trace, ChurnStats, OnlineReport, PolicyKind};
 use metrics::percentile::quantile;
 use sim::{Rng64, SimDuration, SimTime};
 use std::hint::black_box;
@@ -222,12 +222,26 @@ fn drain_events(jobs: usize, use_scan: bool) -> (u64, f64) {
 /// jobs/sec. Returns `(jobs_per_sec, fulfilled)` — the fulfilled count
 /// doubles as a sanity anchor that the run did real work.
 fn drive_trace_throughput(kind: PolicyKind, trace: &Trace) -> (f64, u64) {
+    let (jps, fulfilled, _) = drive_trace_churn_throughput(kind, trace, None);
+    (jps, fulfilled)
+}
+
+/// Same replay with an optional fault plan attached: the churn section's
+/// workhorse, and (with an *empty* plan) the fault-free overhead probe.
+fn drive_trace_churn_throughput(
+    kind: PolicyKind,
+    trace: &Trace,
+    faults: Option<(FaultPlan, RecoveryPolicy)>,
+) -> (f64, u64, ChurnStats) {
     let t = Instant::now();
     let mut rms = kind.rms(&Cluster::sdsc_sp2());
+    if let Some((plan, recovery)) = faults {
+        rms = rms.with_faults(plan, recovery);
+    }
     let mut sink = OnlineReport::new();
     drive_trace(&mut rms, trace, &mut sink);
     let secs = t.elapsed().as_secs_f64();
-    (trace.len() as f64 / secs, sink.fulfilled())
+    (trace.len() as f64 / secs, sink.fulfilled(), *rms.churn())
 }
 
 fn main() {
@@ -293,6 +307,73 @@ fn main() {
         ));
     }
 
+    // Churn replay: the same trace under a seeded exponential plan (~4
+    // failures per node over the span), Kill and Requeue recovery, plus
+    // the fault-free overhead probe: attaching an *empty* plan must not
+    // tax the steady-state driver.
+    let span = driver_trace
+        .jobs()
+        .last()
+        .map(|j| j.submit.as_secs())
+        .unwrap_or(0.0)
+        + 10_000.0;
+    let plan = FaultPlan::exponential(
+        Cluster::sdsc_sp2().len(),
+        span / 4.0,
+        span / 40.0,
+        SimTime::from_secs(span * 1.5),
+        0xFA17,
+    );
+    eprintln!(
+        "churn driver replay: {driver_jobs}-job trace, {}-event fault plan",
+        plan.len()
+    );
+    let mut churn_cells = Vec::new();
+    for kind in [PolicyKind::LibraRisk, PolicyKind::Edf, PolicyKind::Qops] {
+        let (kill_jps, _, kill_churn) = drive_trace_churn_throughput(
+            kind,
+            &driver_trace,
+            Some((plan.clone(), RecoveryPolicy::Kill)),
+        );
+        let (requeue_jps, _, requeue_churn) = drive_trace_churn_throughput(
+            kind,
+            &driver_trace,
+            Some((plan.clone(), RecoveryPolicy::Requeue)),
+        );
+        churn_cells.push(format!(
+            "    \"{}\": {{ \"kill_jobs_per_sec\": {kill_jps:.0}, \"kills\": {}, \
+             \"requeue_jobs_per_sec\": {requeue_jps:.0}, \"requeues\": {} }}",
+            kind.name(),
+            kill_churn.kills,
+            requeue_churn.requeues,
+        ));
+    }
+    // Overhead probe: best of two runs each to damp scheduler noise.
+    let best = |faults: &dyn Fn() -> Option<(FaultPlan, RecoveryPolicy)>| -> (f64, u64) {
+        let (a, fa, _) =
+            drive_trace_churn_throughput(PolicyKind::LibraRisk, &driver_trace, faults());
+        let (b, fb, _) =
+            drive_trace_churn_throughput(PolicyKind::LibraRisk, &driver_trace, faults());
+        assert_eq!(fa, fb, "replays are deterministic");
+        (a.max(b), fa)
+    };
+    let (plain_jps, plain_fulfilled) = best(&|| None);
+    let (empty_jps, empty_fulfilled) =
+        best(&|| Some((FaultPlan::empty(), RecoveryPolicy::Requeue)));
+    assert_eq!(
+        plain_fulfilled, empty_fulfilled,
+        "an empty fault plan must not change outcomes"
+    );
+    let overhead_ratio = empty_jps / plain_jps;
+    eprintln!(
+        "fault-free overhead: plain {plain_jps:.0} vs empty-plan {empty_jps:.0} jobs/sec \
+         (ratio {overhead_ratio:.3})"
+    );
+    assert!(
+        overhead_ratio > 0.75,
+        "empty fault plan costs more than 25% driver throughput (ratio {overhead_ratio:.3})"
+    );
+
     let json = format!(
         "{{\n  \"decisions\": {decisions},\n  \"residents_per_node\": {residents},\n  \
          \"policies\": {{\n    \
@@ -303,12 +384,17 @@ fn main() {
          \"heap_events_per_sec\": {heap_eps:.0}, \
          \"scan_events_per_sec\": {scan_eps:.0}, \
          \"speedup\": {:.2} }},\n  \
-         \"unified_driver\": {{ \"jobs\": {driver_jobs}, \"policies\": {{\n{}\n  }} }}\n}}\n",
+         \"unified_driver\": {{ \"jobs\": {driver_jobs}, \"policies\": {{\n{}\n  }} }},\n  \
+         \"churn_driver\": {{ \"jobs\": {driver_jobs}, \"fault_events\": {}, \"policies\": {{\n{}\n  }} }},\n  \
+         \"fault_free_overhead\": {{ \"plain_jobs_per_sec\": {plain_jps:.0}, \
+         \"empty_plan_jobs_per_sec\": {empty_jps:.0}, \"ratio\": {overhead_ratio:.3} }}\n}}\n",
         libra_t.json(),
         lr_t.json(),
         sweep_cells.join(",\n"),
         heap_eps / scan_eps,
         driver_cells.join(",\n"),
+        plan.len(),
+        churn_cells.join(",\n"),
     );
     print!("{json}");
     std::fs::write(&out_path, &json).expect("write benchmark JSON");

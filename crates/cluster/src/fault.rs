@@ -1,0 +1,243 @@
+//! Deterministic node-churn fault plans.
+//!
+//! A [`FaultPlan`] is a time-ordered script of [`FaultEvent`]s
+//! (`NodeDown` / `NodeUp`) that an execution engine consumes as
+//! simulated time advances. Plans are either hand-written
+//! ([`FaultPlan::from_events`]) or sampled from per-node exponential
+//! MTBF/MTTR processes ([`FaultPlan::exponential`]) with a fixed seed,
+//! so a churn experiment is exactly reproducible.
+//!
+//! The plan itself is pure data: it knows nothing about resident jobs.
+//! What happens to the jobs on a failed node is the consumer's
+//! [`RecoveryPolicy`].
+
+use crate::node::NodeId;
+use sim::{Rng64, SimTime};
+
+/// What happens to a node at a scheduled instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The node fails: resident jobs are displaced, the node stops
+    /// being an admission or dispatch target.
+    NodeDown,
+    /// The node comes back empty and becomes an admission target again.
+    NodeUp,
+}
+
+/// One scheduled churn event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Simulated instant at which the event takes effect.
+    pub at: SimTime,
+    /// The affected node.
+    pub node: NodeId,
+    /// Down or up.
+    pub kind: FaultKind,
+}
+
+/// What an execution engine does with the jobs resident on a node that
+/// just failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Displaced jobs die (`Outcome::Killed`): the SLA is lost outright.
+    #[default]
+    Kill,
+    /// Displaced jobs are re-submitted at the fault instant against their
+    /// *remaining* deadline — admission control may now reject a job it
+    /// had previously accepted (a late reject).
+    Requeue,
+}
+
+impl RecoveryPolicy {
+    /// Short label for tables and figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::Kill => "kill",
+            RecoveryPolicy::Requeue => "requeue",
+        }
+    }
+}
+
+/// A time-ordered churn script with a consumption cursor.
+///
+/// Events at the same instant apply in push order (for the exponential
+/// generator: ascending node id). Consumers pop events via
+/// [`FaultPlan::next_at_or_before`] as they advance simulated time; an
+/// event at instant `t` takes effect *before* any job arrival at `t`.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    cursor: usize,
+}
+
+impl FaultPlan {
+    /// A plan with no events — engines running an empty plan behave
+    /// bitwise identically to engines without fault injection.
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builds a plan from explicit events (stably sorted by time).
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultPlan { events, cursor: 0 }
+    }
+
+    /// Samples per-node alternating up/down intervals from exponential
+    /// distributions: time-to-failure with mean `mtbf`, repair time with
+    /// mean `mttr`, until `horizon`. Each node draws from its own named
+    /// sub-stream of `seed`, so changing the horizon or node count never
+    /// perturbs another node's fault times.
+    ///
+    /// # Panics
+    /// Panics if `mtbf` or `mttr` is not positive.
+    pub fn exponential(nodes: usize, mtbf: f64, mttr: f64, horizon: SimTime, seed: u64) -> Self {
+        assert!(mtbf > 0.0, "mtbf must be positive");
+        assert!(mttr > 0.0, "mttr must be positive");
+        let root = Rng64::new(seed);
+        let mut events = Vec::new();
+        for n in 0..nodes {
+            let mut rng = root.split(&format!("node-{n}-churn"));
+            let node = NodeId(n as u32);
+            let mut t = SimTime::ZERO;
+            loop {
+                t += sim::SimDuration::from_secs(rng.exponential(mtbf));
+                if t > horizon {
+                    break;
+                }
+                events.push(FaultEvent {
+                    at: t,
+                    node,
+                    kind: FaultKind::NodeDown,
+                });
+                t += sim::SimDuration::from_secs(rng.exponential(mttr));
+                if t > horizon {
+                    break;
+                }
+                events.push(FaultEvent {
+                    at: t,
+                    node,
+                    kind: FaultKind::NodeUp,
+                });
+            }
+        }
+        FaultPlan::from_events(events)
+    }
+
+    /// `true` when no events remain to consume.
+    pub fn is_exhausted(&self) -> bool {
+        self.cursor >= self.events.len()
+    }
+
+    /// `true` when the plan never had any events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total number of scheduled events (consumed or not).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The instant of the next unconsumed event, if any.
+    pub fn next_instant(&self) -> Option<SimTime> {
+        self.events.get(self.cursor).map(|e| e.at)
+    }
+
+    /// Pops the next event if it is scheduled at or before `to`.
+    pub fn next_at_or_before(&mut self, to: SimTime) -> Option<FaultEvent> {
+        let e = self.events.get(self.cursor)?;
+        if e.at <= to {
+            self.cursor += 1;
+            Some(*e)
+        } else {
+            None
+        }
+    }
+
+    /// All events, consumed or not (for inspection and tests).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_events_sorts_by_time() {
+        let mut plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                at: SimTime::from_secs(20.0),
+                node: NodeId(1),
+                kind: FaultKind::NodeUp,
+            },
+            FaultEvent {
+                at: SimTime::from_secs(10.0),
+                node: NodeId(1),
+                kind: FaultKind::NodeDown,
+            },
+        ]);
+        let first = plan.next_at_or_before(SimTime::from_secs(100.0)).unwrap();
+        assert_eq!(first.kind, FaultKind::NodeDown);
+        assert_eq!(plan.next_instant(), Some(SimTime::from_secs(20.0)));
+    }
+
+    #[test]
+    fn cursor_respects_bound() {
+        let mut plan = FaultPlan::from_events(vec![FaultEvent {
+            at: SimTime::from_secs(10.0),
+            node: NodeId(0),
+            kind: FaultKind::NodeDown,
+        }]);
+        assert_eq!(plan.next_at_or_before(SimTime::from_secs(9.0)), None);
+        assert!(plan.next_at_or_before(SimTime::from_secs(10.0)).is_some());
+        assert!(plan.is_exhausted());
+    }
+
+    #[test]
+    fn exponential_plan_is_reproducible_and_alternates() {
+        let horizon = SimTime::from_secs(1_000_000.0);
+        let a = FaultPlan::exponential(8, 50_000.0, 5_000.0, horizon, 42);
+        let b = FaultPlan::exponential(8, 50_000.0, 5_000.0, horizon, 42);
+        assert_eq!(a.events(), b.events());
+        assert!(!a.is_empty(), "a 20x-MTBF horizon should produce faults");
+        // Per node the kinds alternate starting with NodeDown.
+        for n in 0..8u32 {
+            let kinds: Vec<FaultKind> = a
+                .events()
+                .iter()
+                .filter(|e| e.node == NodeId(n))
+                .map(|e| e.kind)
+                .collect();
+            for (i, k) in kinds.iter().enumerate() {
+                let expect = if i % 2 == 0 {
+                    FaultKind::NodeDown
+                } else {
+                    FaultKind::NodeUp
+                };
+                assert_eq!(*k, expect, "node {n} event {i}");
+            }
+        }
+        // Global ordering is by time.
+        for w in a.events().windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn node_streams_are_independent_of_node_count() {
+        let horizon = SimTime::from_secs(500_000.0);
+        let small = FaultPlan::exponential(2, 40_000.0, 4_000.0, horizon, 7);
+        let big = FaultPlan::exponential(16, 40_000.0, 4_000.0, horizon, 7);
+        let node0 = |p: &FaultPlan| -> Vec<FaultEvent> {
+            p.events()
+                .iter()
+                .filter(|e| e.node == NodeId(0))
+                .copied()
+                .collect()
+        };
+        assert_eq!(node0(&small), node0(&big));
+    }
+}

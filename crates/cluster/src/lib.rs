@@ -18,17 +18,24 @@
 //! * [`projection`] — the node-local what-if simulation that admission
 //!   controls use to project per-job delays, deadline-delay values
 //!   (Eq. 4) and the risk `σ_j` (Eq. 6).
+//! * [`fault`] — deterministic node-churn plans (seeded exponential
+//!   MTBF/MTTR scripts) both execution engines consume via
+//!   `fail_node`/`restore_node`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod fault;
 pub mod node;
 pub mod projection;
 pub mod proportional;
 pub mod spaceshared;
 
 pub use cluster::Cluster;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, RecoveryPolicy};
 pub use node::{Node, NodeId};
-pub use proportional::{CompletedJob, ProportionalCluster, ProportionalConfig, ShareEntry};
+pub use proportional::{
+    CompletedJob, DisplacedJob, ProportionalCluster, ProportionalConfig, ShareEntry,
+};
 pub use spaceshared::SpaceSharedCluster;

@@ -97,6 +97,23 @@ pub struct CompletedJob {
     pub overruns: u32,
 }
 
+/// A resident job evicted by a node failure, with the progress state the
+/// caller's recovery policy needs (a gang job dies with *any* of its
+/// member nodes; its survivors' capacity is freed).
+#[derive(Clone, Debug)]
+pub struct DisplacedJob {
+    /// The job as admitted.
+    pub job: Job,
+    /// When it started executing.
+    pub started: SimTime,
+    /// Actual work left, reference-seconds.
+    pub remaining_work: f64,
+    /// Scheduler-believed work left, reference-seconds.
+    pub remaining_est: f64,
+    /// How many times it had overrun its estimate.
+    pub overruns: u32,
+}
+
 #[derive(Clone, Debug)]
 struct Resident {
     job: Job,
@@ -212,6 +229,11 @@ pub struct ProportionalCluster {
     /// refreshing it through a `&self` query does not change anything
     /// scheduler-visible.
     share_index: RefCell<ShareIndex>,
+    /// Per-node down flags. A down node hosts no jobs and must never be
+    /// an admission target; the share index pins its base share to
+    /// `+inf` so share-ordered walks exclude it for free.
+    down: Vec<bool>,
+    down_count: usize,
 }
 
 impl ProportionalCluster {
@@ -232,6 +254,8 @@ impl ProportionalCluster {
             next_stamp: 0,
             stale_entries: 0,
             share_index: RefCell::new(ShareIndex::default()),
+            down: vec![false; n],
+            down_count: 0,
         }
     }
 
@@ -295,6 +319,7 @@ impl ProportionalCluster {
         let work = job.runtime.as_secs().max(EPS_WORK);
         let mut slots = Vec::with_capacity(nodes.len());
         for n in &nodes {
+            assert!(self.node_is_up(*n), "cannot admit {} onto down {n}", job.id);
             let list = &mut self.node_jobs[n.0 as usize];
             slots.push(list.len() as u32);
             list.push(job.id);
@@ -373,6 +398,84 @@ impl ProportionalCluster {
         self.last_update = now;
         self.recompute_rates();
         completed
+    }
+
+    /// `true` when the node has not been failed (or has been restored).
+    #[inline]
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        !self.down[node.0 as usize]
+    }
+
+    /// Number of nodes currently up.
+    pub fn up_nodes(&self) -> usize {
+        self.cluster.len() - self.down_count
+    }
+
+    /// Fails a node at the engine's current instant, evicting every
+    /// resident job whose gang touches it (the survivors' slots are
+    /// freed). The node stops being an admission target until
+    /// [`ProportionalCluster::restore_node`]; evicted jobs are returned
+    /// with their progress state for the caller's recovery policy.
+    ///
+    /// Cache contract: every node that lost a job gets its epoch bumped
+    /// (its share total and projections changed), the failed node's
+    /// epoch is bumped (its admission feasibility changed), and the
+    /// global epoch moves — so the share index, Libra's share walk and
+    /// LibraRisk's per-node risk caches all revalidate.
+    ///
+    /// # Panics
+    /// Panics if the engine state is stale (`now != self.now()`) or the
+    /// node is already down.
+    pub fn fail_node(&mut self, node: NodeId, now: SimTime) -> Vec<DisplacedJob> {
+        assert_eq!(
+            now, self.last_update,
+            "advance() the engine before fail_node()"
+        );
+        assert!(self.node_is_up(node), "{node} is already down");
+        self.down[node.0 as usize] = true;
+        self.down_count += 1;
+        let victims: Vec<JobId> = self.node_jobs[node.0 as usize].clone();
+        let mut displaced = Vec::with_capacity(victims.len());
+        for id in victims {
+            let r = self.jobs.remove(&id).expect("victim resident");
+            if r.stamp != 0 {
+                // The evicted job's live heap entry just went stale.
+                self.stale_entries += 1;
+            }
+            for (n, &slot) in r.nodes.iter().zip(&r.slots) {
+                self.remove_from_node(*n, slot as usize, id);
+                self.node_epochs[n.0 as usize] += 1;
+            }
+            displaced.push(DisplacedJob {
+                job: r.job,
+                started: r.started,
+                remaining_work: r.remaining_work,
+                remaining_est: r.remaining_est,
+                overruns: r.overruns,
+            });
+        }
+        self.node_epochs[node.0 as usize] += 1;
+        self.global_epoch += 1;
+        self.recompute_rates();
+        displaced
+    }
+
+    /// Restores a failed node at the engine's current instant: it comes
+    /// back empty and becomes an admission target again (epoch-bumped so
+    /// every cache re-evaluates it).
+    ///
+    /// # Panics
+    /// Panics if the engine state is stale or the node is not down.
+    pub fn restore_node(&mut self, node: NodeId, now: SimTime) {
+        assert_eq!(
+            now, self.last_update,
+            "advance() the engine before restore_node()"
+        );
+        assert!(!self.node_is_up(node), "{node} is not down");
+        self.down[node.0 as usize] = false;
+        self.down_count -= 1;
+        self.node_epochs[node.0 as usize] += 1;
+        self.global_epoch += 1;
     }
 
     /// O(1) removal of `id` from a node's resident list: `swap_remove` at
@@ -523,7 +626,7 @@ impl ProportionalCluster {
                 let id = NodeId(node as u32);
                 idx.node_epochs.push(self.node_epochs[node]);
                 idx.entries.push(ShareEntry {
-                    base_share: self.node_total_share(id, None),
+                    base_share: self.index_base_share(id),
                     node: id,
                 });
             }
@@ -540,7 +643,7 @@ impl ProportionalCluster {
                 continue;
             }
             idx.node_epochs[node] = self.node_epochs[node];
-            let share = self.node_total_share(NodeId(node as u32), None);
+            let share = self.index_base_share(NodeId(node as u32));
             let p = idx.pos[node] as usize;
             if idx.entries[p].base_share.to_bits() != share.to_bits() {
                 idx.entries[p].base_share = share;
@@ -551,6 +654,18 @@ impl ProportionalCluster {
             sort_and_reindex(idx);
         }
         idx.global_epoch = self.global_epoch;
+    }
+
+    /// Base share the index stores for a node: `+inf` for a down node
+    /// (sorts last, and `inf + job_share` stays infeasible, so
+    /// share-ordered admission walks exclude it without a branch), the
+    /// bitwise [`ProportionalCluster::node_total_share`] otherwise.
+    fn index_base_share(&self, node: NodeId) -> f64 {
+        if self.node_is_up(node) {
+            self.node_total_share(node, None)
+        } else {
+            f64::INFINITY
+        }
     }
 
     /// Scheduler-visible projection input for one node: the resident jobs'
@@ -912,6 +1027,94 @@ mod tests {
         // 0 = 0.5/1.3; node 1: share 0.5 alone → rate 0.5. Gang = min.
         let gang = e.rate_of(JobId(1)).unwrap();
         assert!((gang - 0.5 / 1.3).abs() < 1e-9, "gang rate {gang}");
+    }
+
+    #[test]
+    fn fail_node_evicts_gangs_and_frees_survivor_capacity() {
+        let mut e = ProportionalCluster::new(cluster(3), ProportionalConfig::default());
+        e.admit(
+            job(0, 0.0, 100.0, 100.0, 2, 400.0),
+            vec![NodeId(0), NodeId(1)],
+            SimTime::ZERO,
+        );
+        e.admit(
+            job(1, 0.0, 100.0, 100.0, 1, 400.0),
+            vec![NodeId(1)],
+            SimTime::ZERO,
+        );
+        e.admit(
+            job(2, 0.0, 100.0, 100.0, 1, 400.0),
+            vec![NodeId(2)],
+            SimTime::ZERO,
+        );
+        let t = SimTime::from_secs(50.0);
+        e.advance(t);
+        let epoch_before = e.global_epoch();
+        let displaced = e.fail_node(NodeId(0), t);
+        // Only the gang touching node 0 dies; its progress is reported.
+        assert_eq!(displaced.len(), 1);
+        assert_eq!(displaced[0].job.id, JobId(0));
+        assert!(displaced[0].remaining_work < 100.0);
+        assert!(!e.node_is_up(NodeId(0)));
+        assert_eq!(e.up_nodes(), 2);
+        assert!(e.global_epoch() > epoch_before);
+        // Node 1 lost its gang member: only job 1 remains there.
+        assert_eq!(e.jobs_on_node(NodeId(1)), &[JobId(1)]);
+        assert_eq!(e.jobs_on_node(NodeId(0)), &[] as &[JobId]);
+        // The survivors still drain to completion.
+        let done = run_to_completion(&mut e);
+        assert_eq!(done.len(), 2);
+        // The down node sorts last in the share index with an infinite base.
+        e.with_share_index(|entries| {
+            assert_eq!(entries.last().unwrap().node, NodeId(0));
+            assert!(entries.last().unwrap().base_share.is_infinite());
+        });
+        e.restore_node(NodeId(0), e.now());
+        assert!(e.node_is_up(NodeId(0)));
+        e.with_share_index(|entries| {
+            assert!(entries.iter().all(|s| s.base_share == 0.0));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "onto down")]
+    fn admitting_onto_down_node_panics() {
+        let mut e = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
+        e.fail_node(NodeId(1), SimTime::ZERO);
+        e.admit(
+            job(0, 0.0, 10.0, 10.0, 1, 100.0),
+            vec![NodeId(1)],
+            SimTime::ZERO,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already down")]
+    fn double_fail_node_panics() {
+        let mut e = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
+        e.fail_node(NodeId(1), SimTime::ZERO);
+        e.fail_node(NodeId(1), SimTime::ZERO);
+    }
+
+    #[test]
+    fn fail_node_rebalances_shared_node_rates() {
+        let mut e = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
+        // Two jobs share node 1; one also spans node 0.
+        e.admit(
+            job(0, 0.0, 100.0, 100.0, 2, 200.0),
+            vec![NodeId(0), NodeId(1)],
+            SimTime::ZERO,
+        );
+        e.admit(
+            job(1, 0.0, 100.0, 100.0, 1, 200.0),
+            vec![NodeId(1)],
+            SimTime::ZERO,
+        );
+        let squeezed = e.rate_of(JobId(1)).unwrap();
+        e.fail_node(NodeId(0), SimTime::ZERO);
+        // With the gang evicted, job 1 owns node 1 again.
+        assert!(e.rate_of(JobId(0)).is_none());
+        assert!(e.rate_of(JobId(1)).unwrap() > squeezed);
     }
 
     #[test]

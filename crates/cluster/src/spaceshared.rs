@@ -40,6 +40,9 @@ pub struct SpaceSharedCluster {
     /// are lazily discarded when they reach the top.
     finish_heap: BinaryHeap<Reverse<(SimTime, u64, JobId)>>,
     start_seq: u64,
+    /// Per-node down flags; a down node is neither free nor busy.
+    down: Vec<bool>,
+    down_count: usize,
 }
 
 impl SpaceSharedCluster {
@@ -49,6 +52,7 @@ impl SpaceSharedCluster {
         // lowest-id node first (deterministic allocations).
         let mut free: Vec<NodeId> = cluster.nodes().iter().map(|n| n.id).collect();
         free.reverse();
+        let down = vec![false; cluster.len()];
         SpaceSharedCluster {
             cluster,
             free,
@@ -57,6 +61,8 @@ impl SpaceSharedCluster {
             last_update: SimTime::ZERO,
             finish_heap: BinaryHeap::new(),
             start_seq: 0,
+            down,
+            down_count: 0,
         }
     }
 
@@ -176,6 +182,61 @@ impl SpaceSharedCluster {
         (r.job, r.started)
     }
 
+    /// `true` when the node has not been failed (or has been restored).
+    #[inline]
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        !self.down[node.0 as usize]
+    }
+
+    /// Number of processors that are not down (free or busy).
+    pub fn up_procs(&self) -> usize {
+        self.cluster.len() - self.down_count
+    }
+
+    /// Fails a node at `now`. An idle node simply leaves the free pool;
+    /// a hosting node displaces its resident gang job — the *whole* gang
+    /// loses its work, the job's other processors are freed, and the
+    /// displaced `(job, started)` is returned for the caller's recovery
+    /// policy. The job's pending finish-heap entry goes stale and is
+    /// lazily discarded, exactly like an out-of-band `complete`.
+    ///
+    /// # Panics
+    /// Panics if the node is already down.
+    pub fn fail_node(&mut self, node: NodeId, now: SimTime) -> Option<(Job, SimTime)> {
+        assert!(self.node_is_up(node), "{node} is already down");
+        self.account(now);
+        self.down[node.0 as usize] = true;
+        self.down_count += 1;
+        if let Some(pos) = self.free.iter().position(|n| *n == node) {
+            self.free.remove(pos);
+            return None;
+        }
+        let id = self
+            .running
+            .iter()
+            .find(|(_, r)| r.nodes.contains(&node))
+            .map(|(id, _)| *id)
+            .expect("a non-free up node hosts a job");
+        let r = self.running.remove(&id).expect("found above");
+        self.free
+            .extend(r.nodes.iter().filter(|n| **n != node).rev());
+        self.free.sort_unstable_by(|a, b| b.cmp(a));
+        Some((r.job, r.started))
+    }
+
+    /// Restores a failed node at `now`: it rejoins the free pool empty.
+    ///
+    /// # Panics
+    /// Panics if the node is not down.
+    pub fn restore_node(&mut self, node: NodeId, now: SimTime) {
+        assert!(!self.node_is_up(node), "{node} is not down");
+        self.account(now);
+        self.down[node.0 as usize] = false;
+        self.down_count -= 1;
+        self.free.push(node);
+        self.free.sort_unstable_by(|a, b| b.cmp(a));
+    }
+
     /// Mean processor utilisation over `[0, now]` (call after the final
     /// completion to get the run's figure).
     pub fn utilization(&self) -> f64 {
@@ -189,7 +250,8 @@ impl SpaceSharedCluster {
     fn account(&mut self, now: SimTime) {
         assert!(now >= self.last_update, "time went backwards");
         let dt = (now - self.last_update).as_secs();
-        let busy = self.cluster.len() - self.free.len();
+        // Down nodes are neither free nor busy: they deliver no work.
+        let busy = self.cluster.len() - self.free.len() - self.down_count;
         self.busy_integral += busy as f64 * dt;
         self.last_update = now;
     }
@@ -340,6 +402,57 @@ mod tests {
     fn complete_next_on_idle_pool_panics() {
         let mut p = SpaceSharedCluster::new(Cluster::homogeneous(2, 168.0));
         p.complete_next();
+    }
+
+    #[test]
+    fn failing_idle_node_shrinks_capacity() {
+        let mut p = SpaceSharedCluster::new(Cluster::homogeneous(3, 168.0));
+        assert_eq!(p.fail_node(NodeId(1), SimTime::ZERO), None);
+        assert_eq!(p.free_procs(), 2);
+        assert_eq!(p.up_procs(), 2);
+        assert!(!p.node_is_up(NodeId(1)));
+        // Allocation skips the down node.
+        p.start(job(1, 10.0, 2), SimTime::ZERO);
+        let r = p.running.get(&JobId(1)).unwrap();
+        assert_eq!(r.nodes, vec![NodeId(0), NodeId(2)]);
+        p.restore_node(NodeId(1), SimTime::from_secs(5.0));
+        assert_eq!(p.up_procs(), 3);
+        assert_eq!(p.free_procs(), 1);
+    }
+
+    #[test]
+    fn failing_hosting_node_displaces_the_whole_gang() {
+        let mut p = SpaceSharedCluster::new(Cluster::homogeneous(4, 168.0));
+        p.start(job(1, 100.0, 3), SimTime::ZERO);
+        p.start(job(2, 100.0, 1), SimTime::ZERO);
+        let (j, started) = p.fail_node(NodeId(1), SimTime::from_secs(30.0)).unwrap();
+        assert_eq!(j.id, JobId(1));
+        assert_eq!(started, SimTime::ZERO);
+        // Nodes 0 and 2 come back free; node 1 is down, node 3 still busy.
+        assert_eq!(p.free, vec![NodeId(2), NodeId(0)]);
+        assert_eq!(p.running_jobs(), 1);
+        // The displaced job's finish-heap entry is stale, not surfaced.
+        assert_eq!(p.next_completion_time(), Some(SimTime::from_secs(100.0)));
+        let (j, _, _) = p.complete_next();
+        assert_eq!(j.id, JobId(2));
+    }
+
+    #[test]
+    fn down_nodes_do_not_count_as_busy_in_utilization() {
+        let mut p = SpaceSharedCluster::new(Cluster::homogeneous(2, 168.0));
+        p.fail_node(NodeId(0), SimTime::ZERO);
+        let f = p.start(job(1, 100.0, 1), SimTime::ZERO);
+        p.complete(JobId(1), f);
+        // One busy of two total processors: the down node is idle, not busy.
+        assert!((p.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "already down")]
+    fn double_fail_panics() {
+        let mut p = SpaceSharedCluster::new(Cluster::homogeneous(2, 168.0));
+        p.fail_node(NodeId(0), SimTime::ZERO);
+        p.fail_node(NodeId(0), SimTime::ZERO);
     }
 
     #[test]

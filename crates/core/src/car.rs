@@ -133,6 +133,7 @@ mod tests {
             policy: "test".into(),
             records,
             utilization: 0.5,
+            churn: Default::default(),
         }
     }
 

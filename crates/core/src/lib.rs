@@ -68,16 +68,20 @@ pub use libra_risk::{ClusterRisk, LibraRisk, NodeOrdering};
 pub use policy::{PolicyKind, ShareAdmission};
 pub use qops::{run_qops, QopsConfig};
 pub use queue::{QueueDiscipline, QueuePolicy, QueuedJob};
-pub use report::{JobRecord, OnlineReport, Outcome, ReportCollector, ReportSink, SimulationReport};
+pub use report::{
+    ChurnStats, JobRecord, OnlineReport, Outcome, ReportCollector, ReportSink, SimulationReport,
+};
 pub use rms::{drive_trace, ClusterRms, Decision, ExecutionBackend, JobEvent};
 pub use scheduler::{run_proportional, run_queued};
 
 /// One-line imports for examples and the experiment harness.
 pub mod prelude {
     pub use crate::policy::PolicyKind;
-    pub use crate::report::{OnlineReport, Outcome, ReportCollector, ReportSink, SimulationReport};
+    pub use crate::report::{
+        ChurnStats, OnlineReport, Outcome, ReportCollector, ReportSink, SimulationReport,
+    };
     pub use crate::rms::{drive_trace, ClusterRms, Decision, JobEvent};
     pub use crate::scheduler::{run_proportional, run_queued};
-    pub use cluster::{Cluster, NodeId};
+    pub use cluster::{Cluster, FaultEvent, FaultKind, FaultPlan, NodeId, RecoveryPolicy};
     pub use workload::{Job, JobId, Trace, Urgency};
 }

@@ -60,11 +60,14 @@ impl Libra {
     /// reference — `decide` must return bitwise-identical rankings.
     pub fn decide_reference(&self, engine: &ProportionalCluster, job: &Job) -> Option<Vec<NodeId>> {
         let want = job.procs as usize;
-        if want > engine.cluster().len() {
+        if want > engine.up_nodes() {
             return None;
         }
         let mut suitable: Vec<(f64, NodeId)> = Vec::new();
         for node in engine.cluster().nodes() {
+            if !engine.node_is_up(node.id) {
+                continue;
+            }
             let with_new = engine.node_total_share(node.id, Some(job));
             if with_new <= 1.0 + SHARE_EPSILON {
                 suitable.push((with_new, node.id));
@@ -89,9 +92,12 @@ impl ShareAdmission for Libra {
 
     fn decide(&mut self, engine: &ProportionalCluster, job: &Job) -> Option<Vec<NodeId>> {
         let want = job.procs as usize;
-        if want > engine.cluster().len() {
+        if want > engine.up_nodes() {
             return None;
         }
+        // Down nodes need no explicit check here: the share index carries
+        // them with an infinite base share, so the monotone prune below
+        // stops before ever reaching one.
         // The tentative job's share is node-independent; summing it onto a
         // node's indexed base is bitwise identical to the from-scratch
         // `node_total_share(node, Some(job))` because that sum also adds

@@ -177,13 +177,16 @@ impl LibraRisk {
     /// the admission benchmarks compare against.
     pub fn decide_reference(&self, engine: &ProportionalCluster, job: &Job) -> Option<Vec<NodeId>> {
         let want = job.procs as usize;
-        if want > engine.cluster().len() {
+        if want > engine.up_nodes() {
             return None;
         }
         let now = engine.now().as_secs();
         let discipline = engine.config().discipline;
         let mut zero_risk_nodes: Vec<NodeId> = Vec::new();
         for node in engine.cluster().nodes() {
+            if !engine.node_is_up(node.id) {
+                continue;
+            }
             let projected = engine.node_projection(node.id, Some(job));
             let speed = engine.cluster().speed_factor(node.id);
             let (mu, sigma) = if self.naive_projection {
@@ -296,7 +299,9 @@ impl LibraRisk {
     ///
     /// Always evaluated with the paper's piecewise projection (ablation
     /// knobs affect decisions, not this diagnostic). Differentially
-    /// pinned against [`LibraRisk::cluster_risk_reference`].
+    /// pinned against [`LibraRisk::cluster_risk_reference`]. Down nodes
+    /// keep their slot in `contributions` (a node failure evicts every
+    /// resident, so the slot reads as an empty, zero-risk summary).
     pub fn cluster_risk(&mut self, engine: &ProportionalCluster) -> ClusterRisk {
         let n = engine.cluster().len();
         self.ensure_cache(n);
@@ -372,7 +377,7 @@ impl ShareAdmission for LibraRisk {
 
     fn decide(&mut self, engine: &ProportionalCluster, job: &Job) -> Option<Vec<NodeId>> {
         let want = job.procs as usize;
-        if want > engine.cluster().len() {
+        if want > engine.up_nodes() {
             return None;
         }
         self.ensure_cache(engine.cluster().len());
@@ -399,6 +404,11 @@ impl ShareAdmission for LibraRisk {
         // tentatively added.
         self.zero_risk.clear();
         for node in engine.cluster().nodes() {
+            // A down node is never suitable, however empty it looks (the
+            // empty-node fast path below would otherwise admit onto it).
+            if !engine.node_is_up(node.id) {
+                continue;
+            }
             let c = &mut self.cache[node.id.0 as usize];
             Self::refresh_node(c, engine, node.id);
             let suitable = if c.jobs.is_empty() && !self.require_unit_mu && !self.naive_projection {

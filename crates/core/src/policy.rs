@@ -3,11 +3,10 @@
 
 use crate::libra::Libra;
 use crate::libra_risk::{LibraRisk, NodeOrdering};
-use crate::qops::{run_qops_reference, QopsConfig};
+use crate::qops::QopsConfig;
 use crate::queue::{QueueDiscipline, QueuePolicy};
 use crate::report::SimulationReport;
 use crate::rms::ClusterRms;
-use crate::scheduler::{run_proportional_reference, run_queued_reference};
 use cluster::projection::ShareDiscipline;
 use cluster::proportional::{ProportionalCluster, ProportionalConfig};
 use cluster::{Cluster, NodeId};
@@ -207,89 +206,6 @@ impl PolicyKind {
     /// generic driver over the online facade, for every policy.
     pub fn run(self, cluster: &Cluster, trace: &Trace) -> SimulationReport {
         self.rms(cluster).run_to_report(trace)
-    }
-
-    /// [`PolicyKind::run`] through the retired bespoke event loops — the
-    /// differential oracle for `tests/differential_rms.rs`. Scheduled for
-    /// deletion next PR.
-    pub fn run_reference(self, cluster: &Cluster, trace: &Trace) -> SimulationReport {
-        let default_cfg = ProportionalConfig::default();
-        let strict_shares = ProportionalConfig {
-            discipline: ShareDiscipline::Strict,
-            ..Default::default()
-        };
-        match self {
-            PolicyKind::Edf => run_queued_reference(
-                cluster.clone(),
-                QueuePolicy::new(QueueDiscipline::EarliestDeadline, true),
-                trace,
-            ),
-            PolicyKind::EdfNoAdmission => run_queued_reference(
-                cluster.clone(),
-                QueuePolicy::new(QueueDiscipline::EarliestDeadline, false),
-                trace,
-            ),
-            PolicyKind::Fcfs => run_queued_reference(
-                cluster.clone(),
-                QueuePolicy::new(QueueDiscipline::Fifo, false),
-                trace,
-            ),
-            PolicyKind::Libra => {
-                run_proportional_reference(cluster.clone(), default_cfg, &mut Libra::new(), trace)
-            }
-            PolicyKind::LibraRisk => run_proportional_reference(
-                cluster.clone(),
-                default_cfg,
-                &mut LibraRisk::paper(),
-                trace,
-            ),
-            PolicyKind::LibraRiskStrict => run_proportional_reference(
-                cluster.clone(),
-                default_cfg,
-                &mut LibraRisk::paper().require_unit_mu(true),
-                trace,
-            ),
-            PolicyKind::LibraRiskBestFit => run_proportional_reference(
-                cluster.clone(),
-                default_cfg,
-                &mut LibraRisk::paper().with_ordering(NodeOrdering::MostLoadedFirst),
-                trace,
-            ),
-            PolicyKind::LibraStrictShares => run_proportional_reference(
-                cluster.clone(),
-                strict_shares,
-                &mut Libra::new().with_name("Libra-SS"),
-                trace,
-            ),
-            PolicyKind::LibraRiskStrictShares => run_proportional_reference(
-                cluster.clone(),
-                strict_shares,
-                &mut LibraRisk::paper().with_name("LibraRisk-SS"),
-                trace,
-            ),
-            PolicyKind::LibraRiskNaiveProjection => run_proportional_reference(
-                cluster.clone(),
-                default_cfg,
-                &mut LibraRisk::paper().with_naive_projection(true),
-                trace,
-            ),
-            PolicyKind::EdfBackfill => run_queued_reference(
-                cluster.clone(),
-                QueuePolicy::new(QueueDiscipline::EarliestDeadline, true).with_backfill(true),
-                trace,
-            ),
-            PolicyKind::Qops => {
-                let mut report = run_qops_reference(cluster.clone(), QopsConfig::default(), trace);
-                report.policy = "QoPS".to_string();
-                report
-            }
-            PolicyKind::QopsHard => {
-                let mut report =
-                    run_qops_reference(cluster.clone(), QopsConfig { slack_factor: 1.0 }, trace);
-                report.policy = "QoPS-Hard".to_string();
-                report
-            }
-        }
     }
 }
 

@@ -19,11 +19,9 @@
 //! With `slack_factor = 1` this degenerates to a hard-deadline
 //! schedulability test at arrival.
 
-use crate::report::{JobRecord, Outcome, SimulationReport};
-use cluster::{Cluster, SpaceSharedCluster};
-use sim::Simulator;
-use std::collections::HashMap;
-use workload::{Job, JobId, Trace};
+use crate::report::SimulationReport;
+use cluster::Cluster;
+use workload::Trace;
 
 /// Configuration of the QoPS-style controller.
 #[derive(Clone, Copy, Debug)]
@@ -90,8 +88,8 @@ pub(crate) fn schedulable(now: f64, mut free_at: Vec<f64>, mut pending: Vec<Pend
 /// Runs the QoPS-style controller over a trace.
 ///
 /// A thin wrapper over the online [`ClusterRms`](crate::rms::ClusterRms)
-/// facade; the retired bespoke event loop survives for one PR as
-/// [`run_qops_reference`], the differential oracle.
+/// facade; the retired bespoke event loop is gone, its behaviour pinned
+/// by the golden fixture consumed by `tests/differential_rms.rs`.
 ///
 /// # Panics
 /// Panics if `cfg.slack_factor < 1`.
@@ -99,146 +97,12 @@ pub fn run_qops(cluster: Cluster, cfg: QopsConfig, trace: &Trace) -> SimulationR
     crate::rms::ClusterRms::qops(cluster, cfg).run_to_report(trace)
 }
 
-/// The retired bespoke QoPS event loop, kept as the differential oracle
-/// for the facade ([`run_qops`] must produce an identical report).
-/// Scheduled for deletion next PR.
-pub fn run_qops_reference(cluster: Cluster, cfg: QopsConfig, trace: &Trace) -> SimulationReport {
-    assert!(cfg.slack_factor >= 1.0, "slack factor must be ≥ 1");
-    #[derive(Debug)]
-    enum Ev {
-        Arrival(usize),
-        Completion(JobId),
-    }
-
-    let mut sim: Simulator<Ev> = Simulator::new();
-    for (i, j) in trace.jobs().iter().enumerate() {
-        sim.schedule_at(j.submit, Ev::Arrival(i));
-    }
-    let index_of: HashMap<JobId, usize> = trace
-        .jobs()
-        .iter()
-        .enumerate()
-        .map(|(i, j)| (j.id, i))
-        .collect();
-    assert_eq!(index_of.len(), trace.len(), "duplicate job ids in trace");
-
-    let mut pool = SpaceSharedCluster::new(cluster);
-    let total_procs = pool.cluster().len();
-    let mut outcomes: Vec<Option<Outcome>> = vec![None; trace.len()];
-    // Queue of (trace index); started jobs tracked as (index, started,
-    // est finish) for the schedulability test.
-    let mut queue: Vec<usize> = Vec::new();
-    let mut running: Vec<(usize, f64)> = Vec::new(); // (trace idx, est finish)
-
-    let soft = |j: &Job| j.submit.as_secs() + cfg.slack_factor * j.deadline.as_secs();
-
-    while let Some(ev) = sim.next_event() {
-        let now = sim.now();
-        let now_s = now.as_secs();
-        match ev.payload {
-            Ev::Arrival(i) => {
-                let job = &trace[i];
-                if job.procs as usize > total_procs {
-                    outcomes[i] = Some(Outcome::Rejected { at: now });
-                } else {
-                    // Build the processor free-time vector from running
-                    // jobs' *estimated* finishes.
-                    let mut free_at = vec![now_s; total_procs];
-                    {
-                        let mut cursor = 0usize;
-                        for &(ri, est_finish) in &running {
-                            let w = trace[ri].procs as usize;
-                            for slot in free_at.iter_mut().skip(cursor).take(w) {
-                                *slot = est_finish.max(now_s);
-                            }
-                            cursor += w;
-                        }
-                    }
-                    let mut pending: Vec<Pending> = queue
-                        .iter()
-                        .map(|&qi| {
-                            let qj = &trace[qi];
-                            Pending {
-                                idx: qi as u64,
-                                procs: qj.procs,
-                                remaining_est: qj.estimate.as_secs(),
-                                abs_deadline: qj.absolute_deadline().as_secs(),
-                                soft_deadline: soft(qj),
-                            }
-                        })
-                        .collect();
-                    pending.push(Pending {
-                        idx: i as u64,
-                        procs: job.procs,
-                        remaining_est: job.estimate.as_secs(),
-                        abs_deadline: job.absolute_deadline().as_secs(),
-                        soft_deadline: soft(job),
-                    });
-                    if schedulable(now_s, free_at, pending) {
-                        queue.push(i);
-                    } else {
-                        outcomes[i] = Some(Outcome::Rejected { at: now });
-                    }
-                }
-            }
-            Ev::Completion(id) => {
-                let (job, started) = pool.complete(id, now);
-                let i = index_of[&job.id];
-                running.retain(|(ri, _)| *ri != i);
-                outcomes[i] = Some(Outcome::Completed {
-                    started,
-                    finish: now,
-                });
-            }
-        }
-        // Dispatch in EDF order; the head blocks (no backfilling).
-        while let Some(pos) = queue
-            .iter()
-            .enumerate()
-            .min_by(|(_, &a), (_, &b)| {
-                trace[a]
-                    .absolute_deadline()
-                    .cmp(&trace[b].absolute_deadline())
-                    .then(a.cmp(&b))
-            })
-            .map(|(p, _)| p)
-        {
-            let i = queue[pos];
-            let job = &trace[i];
-            if pool.can_start(job) {
-                let finish = pool.start(job.clone(), now);
-                // Track the *estimated* finish for future admission tests.
-                running.push((i, now.as_secs() + job.estimate.as_secs()));
-                sim.schedule_at(finish, Ev::Completion(job.id));
-                queue.remove(pos);
-            } else {
-                break;
-            }
-        }
-    }
-    assert!(queue.is_empty(), "queue drained at end of simulation");
-
-    let records: Vec<JobRecord> = trace
-        .jobs()
-        .iter()
-        .zip(outcomes)
-        .map(|(job, outcome)| JobRecord {
-            job: job.clone(),
-            outcome: outcome.expect("every job has an outcome"),
-        })
-        .collect();
-    SimulationReport {
-        policy: format!("QoPS(sf={})", cfg.slack_factor),
-        records,
-        utilization: pool.utilization(),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::Outcome;
     use sim::{SimDuration, SimTime};
-    use workload::Urgency;
+    use workload::{Job, JobId, Urgency};
 
     fn job(id: u64, submit: f64, runtime: f64, procs: u32, deadline: f64) -> Job {
         Job {

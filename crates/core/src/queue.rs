@@ -75,29 +75,10 @@ impl QueuePolicy {
         }
     }
 
-    /// Picks which queued job (by position in `queue`, which holds trace
-    /// indices in arrival order) should be considered next.
-    pub fn select(&self, queue: &[usize], jobs: &[Job]) -> Option<usize> {
-        match self.discipline {
-            QueueDiscipline::Fifo => (!queue.is_empty()).then_some(0),
-            QueueDiscipline::EarliestDeadline => queue
-                .iter()
-                .enumerate()
-                .min_by(|(_, &a), (_, &b)| {
-                    let ja = &jobs[a];
-                    let jb = &jobs[b];
-                    ja.absolute_deadline()
-                        .cmp(&jb.absolute_deadline())
-                        .then(ja.submit.cmp(&jb.submit))
-                        .then(a.cmp(&b))
-                })
-                .map(|(pos, _)| pos),
-        }
-    }
-
-    /// [`QueuePolicy::select`] over owned queue entries — the online
-    /// facade's representation. Tie-breaking matches `select` bit for bit
-    /// (`seq` plays the trace-index role).
+    /// Picks which queued job (by position in `queue`) should be
+    /// considered next. Ties break by submission instant, then by
+    /// submission sequence number — the same order the retired
+    /// trace-index loops used, so selections stay bitwise stable.
     pub fn select_queued(&self, queue: &[QueuedJob]) -> Option<usize> {
         match self.discipline {
             QueueDiscipline::Fifo => (!queue.is_empty()).then_some(0),
@@ -176,55 +157,40 @@ mod tests {
         );
     }
 
+    fn owned(jobs: &[Job]) -> Vec<QueuedJob> {
+        jobs.iter()
+            .enumerate()
+            .map(|(i, j)| QueuedJob {
+                seq: i as u64,
+                job: j.clone(),
+            })
+            .collect()
+    }
+
     #[test]
     fn edf_selects_earliest_absolute_deadline() {
-        let jobs = vec![
+        let queue = owned(&[
             job(0, 0.0, 10.0, 500.0), // abs deadline 500
             job(1, 5.0, 10.0, 100.0), // abs deadline 105
             job(2, 9.0, 10.0, 200.0), // abs deadline 209
-        ];
-        let queue = vec![0, 1, 2];
+        ]);
         let p = QueuePolicy::new(QueueDiscipline::EarliestDeadline, true);
-        assert_eq!(p.select(&queue, &jobs), Some(1));
+        assert_eq!(p.select_queued(&queue), Some(1));
     }
 
     #[test]
     fn edf_tie_breaks_by_submit_order() {
-        let jobs = vec![job(0, 0.0, 10.0, 100.0), job(1, 0.0, 10.0, 100.0)];
+        let queue = owned(&[job(0, 0.0, 10.0, 100.0), job(1, 0.0, 10.0, 100.0)]);
         let p = QueuePolicy::new(QueueDiscipline::EarliestDeadline, true);
-        assert_eq!(p.select(&[0, 1], &jobs), Some(0));
+        assert_eq!(p.select_queued(&queue), Some(0));
     }
 
     #[test]
     fn fifo_selects_front() {
-        let jobs = vec![job(0, 0.0, 10.0, 500.0), job(1, 1.0, 10.0, 5.0)];
+        let queue = owned(&[job(0, 0.0, 10.0, 500.0), job(1, 1.0, 10.0, 5.0)]);
         let p = QueuePolicy::new(QueueDiscipline::Fifo, false);
-        assert_eq!(p.select(&[0, 1], &jobs), Some(0));
-        assert_eq!(p.select(&[], &jobs), None);
-    }
-
-    #[test]
-    fn select_queued_agrees_with_trace_index_select() {
-        let jobs = vec![
-            job(0, 0.0, 10.0, 500.0),
-            job(1, 5.0, 10.0, 100.0),
-            job(2, 9.0, 10.0, 200.0),
-            job(3, 9.0, 10.0, 91.0), // same abs deadline as job 1
-        ];
-        let queue: Vec<usize> = vec![0, 1, 2, 3];
-        let owned: Vec<QueuedJob> = queue
-            .iter()
-            .map(|&i| QueuedJob {
-                seq: i as u64,
-                job: jobs[i].clone(),
-            })
-            .collect();
-        for p in [
-            QueuePolicy::new(QueueDiscipline::EarliestDeadline, true),
-            QueuePolicy::new(QueueDiscipline::Fifo, false),
-        ] {
-            assert_eq!(p.select(&queue, &jobs), p.select_queued(&owned));
-        }
+        assert_eq!(p.select_queued(&queue), Some(0));
+        assert_eq!(p.select_queued(&[]), None);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Per-job outcomes and the aggregate report every experiment consumes.
 
+use cluster::NodeId;
 use sim::SimTime;
 use workload::{Job, Urgency};
 
@@ -19,6 +20,14 @@ pub enum Outcome {
         /// When the actual work finished.
         finish: SimTime,
     },
+    /// The job was accepted but died with a failed node (the `Kill`
+    /// recovery policy, or no capacity story at all): the SLA is lost.
+    Killed {
+        /// The fault instant.
+        at: SimTime,
+        /// The node whose failure took the job down.
+        node: NodeId,
+    },
 }
 
 /// A job together with its outcome.
@@ -34,15 +43,16 @@ impl JobRecord {
     /// `true` when the job completed within its hard deadline (the SLA).
     pub fn fulfilled(&self) -> bool {
         match self.outcome {
-            Outcome::Rejected { .. } => false,
+            Outcome::Rejected { .. } | Outcome::Killed { .. } => false,
             Outcome::Completed { finish, .. } => finish <= self.job.absolute_deadline(),
         }
     }
 
-    /// Eq. 3: `max(0, (finish − submit) − deadline)`; `None` if rejected.
+    /// Eq. 3: `max(0, (finish − submit) − deadline)`; `None` unless
+    /// completed.
     pub fn delay(&self) -> Option<f64> {
         match self.outcome {
-            Outcome::Rejected { .. } => None,
+            Outcome::Rejected { .. } | Outcome::Killed { .. } => None,
             Outcome::Completed { finish, .. } => Some(
                 ((finish - self.job.submit) - self.job.deadline)
                     .as_secs()
@@ -51,19 +61,57 @@ impl JobRecord {
         }
     }
 
-    /// Response time (`finish − submit`, includes waiting); `None` if
-    /// rejected.
+    /// Response time (`finish − submit`, includes waiting); `None` unless
+    /// completed.
     pub fn response_time(&self) -> Option<f64> {
         match self.outcome {
-            Outcome::Rejected { .. } => None,
+            Outcome::Rejected { .. } | Outcome::Killed { .. } => None,
             Outcome::Completed { finish, .. } => Some((finish - self.job.submit).as_secs()),
         }
     }
 
-    /// Slowdown: response time over minimum runtime required; `None` if
-    /// rejected.
+    /// Slowdown: response time over minimum runtime required; `None`
+    /// unless completed.
     pub fn slowdown(&self) -> Option<f64> {
         self.response_time().map(|r| r / self.job.runtime.as_secs())
+    }
+}
+
+/// Node-churn degradation aggregates: how much damage the fault plan did
+/// and how the recovery policy coped. Shards [`merge`](ChurnStats::merge)
+/// exactly like the tallies they contain.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ChurnStats {
+    /// `NodeDown` events applied to the engine.
+    pub node_failures: u64,
+    /// `NodeUp` events applied to the engine.
+    pub node_restores: u64,
+    /// Resident jobs killed by a node failure (`RecoveryPolicy::Kill`).
+    pub kills: u64,
+    /// Resident jobs displaced and re-admitted (`RecoveryPolicy::Requeue`).
+    pub requeues: u64,
+    /// Requeued jobs the admission control then rejected *late* — the
+    /// accepted-then-broken SLAs a risk-aware control should minimise.
+    pub requeue_rejects: u64,
+    /// Deadline-fulfilment of jobs that went through at least one
+    /// requeue: the fulfilled-ratio-under-churn.
+    pub requeued_fulfilled: metrics::Tally,
+}
+
+impl ChurnStats {
+    /// Folds another shard's churn aggregates into this one.
+    pub fn merge(&mut self, other: &ChurnStats) {
+        self.node_failures += other.node_failures;
+        self.node_restores += other.node_restores;
+        self.kills += other.kills;
+        self.requeues += other.requeues;
+        self.requeue_rejects += other.requeue_rejects;
+        self.requeued_fulfilled.merge(&other.requeued_fulfilled);
+    }
+
+    /// `true` when no churn touched the run (fault-free or empty plan).
+    pub fn is_empty(&self) -> bool {
+        self.node_failures == 0 && self.node_restores == 0
     }
 }
 
@@ -76,6 +124,8 @@ pub struct SimulationReport {
     pub records: Vec<JobRecord>,
     /// Mean processor utilisation over the run.
     pub utilization: f64,
+    /// Node-churn degradation aggregates (all-zero on fault-free runs).
+    pub churn: ChurnStats,
 }
 
 impl SimulationReport {
@@ -84,11 +134,25 @@ impl SimulationReport {
         self.records.len()
     }
 
-    /// Number of accepted (completed) jobs.
+    /// Number of accepted jobs: everything the admission control let in,
+    /// whether it later completed or died with a failed node.
     pub fn accepted(&self) -> usize {
         self.records
             .iter()
-            .filter(|r| matches!(r.outcome, Outcome::Completed { .. }))
+            .filter(|r| {
+                matches!(
+                    r.outcome,
+                    Outcome::Completed { .. } | Outcome::Killed { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Number of accepted jobs killed by node failures.
+    pub fn killed(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Killed { .. }))
             .count()
     }
 
@@ -212,6 +276,7 @@ impl ReportCollector {
             policy,
             records,
             utilization,
+            churn: ChurnStats::default(),
         }
     }
 }
@@ -243,6 +308,8 @@ pub struct OnlineReport {
     slowdown: metrics::OnlineStats,
     delay: metrics::OnlineStats,
     response: metrics::OnlineStats,
+    killed: u64,
+    churn: ChurnStats,
     utilization: f64,
 }
 
@@ -268,9 +335,14 @@ impl OnlineReport {
         self.fulfilled.total()
     }
 
-    /// Number of accepted (completed) jobs.
+    /// Number of accepted jobs (completed or killed by a node failure).
     pub fn accepted(&self) -> u64 {
         self.accepted.hits()
+    }
+
+    /// Number of accepted jobs killed by node failures.
+    pub fn killed(&self) -> u64 {
+        self.killed
     }
 
     /// Number of rejected jobs.
@@ -285,7 +357,7 @@ impl OnlineReport {
 
     /// Number of completed jobs that missed their deadline.
     pub fn delayed(&self) -> u64 {
-        self.accepted() - self.fulfilled()
+        self.accepted() - self.killed() - self.fulfilled()
     }
 
     /// The paper's headline metric: % of submitted jobs fulfilled.
@@ -315,14 +387,50 @@ impl OnlineReport {
             Urgency::Low => self.low_fulfilled.pct(),
         }
     }
+
+    /// Node-churn degradation aggregates (set by the RMS after a run).
+    pub fn churn(&self) -> &ChurnStats {
+        &self.churn
+    }
+
+    /// Installs the run's churn aggregates (available from the RMS only
+    /// after the drain, like utilisation).
+    pub fn set_churn(&mut self, churn: ChurnStats) {
+        self.churn = churn;
+    }
+
+    /// Folds another shard's summary into this one, so a sharded sweep
+    /// can summarise per-worker and combine afterwards. Utilisation is
+    /// averaged weighted by submitted jobs; everything else merges via
+    /// the underlying tallies and Welford moments.
+    pub fn merge(&mut self, other: &OnlineReport) {
+        let (w1, w2) = (self.submitted() as f64, other.submitted() as f64);
+        if w1 + w2 > 0.0 {
+            self.utilization = (self.utilization * w1 + other.utilization * w2) / (w1 + w2);
+        }
+        self.fulfilled.merge(&other.fulfilled);
+        self.accepted.merge(&other.accepted);
+        self.high_fulfilled.merge(&other.high_fulfilled);
+        self.low_fulfilled.merge(&other.low_fulfilled);
+        self.slowdown.merge(&other.slowdown);
+        self.delay.merge(&other.delay);
+        self.response.merge(&other.response);
+        self.killed += other.killed;
+        self.churn.merge(&other.churn);
+    }
 }
 
 impl ReportSink for OnlineReport {
     fn record(&mut self, _seq: u64, record: JobRecord) {
         let fulfilled = record.fulfilled();
         self.fulfilled.observe(fulfilled);
-        self.accepted
-            .observe(matches!(record.outcome, Outcome::Completed { .. }));
+        self.accepted.observe(matches!(
+            record.outcome,
+            Outcome::Completed { .. } | Outcome::Killed { .. }
+        ));
+        if matches!(record.outcome, Outcome::Killed { .. }) {
+            self.killed += 1;
+        }
         match record.job.urgency {
             Urgency::High => self.high_fulfilled.observe(fulfilled),
             Urgency::Low => self.low_fulfilled.observe(fulfilled),
@@ -375,6 +483,16 @@ mod tests {
         }
     }
 
+    fn killed(j: Job, at: f64) -> JobRecord {
+        JobRecord {
+            outcome: Outcome::Killed {
+                at: SimTime::from_secs(at),
+                node: NodeId(3),
+            },
+            job: j,
+        }
+    }
+
     #[test]
     fn fulfilment_respects_hard_deadline() {
         // Deadline at 100+200=300.
@@ -408,6 +526,7 @@ mod tests {
                 rejected(job(3, 0.0, 100.0, 200.0, Urgency::Low)),
             ],
             utilization: 0.5,
+            churn: ChurnStats::default(),
         };
         assert_eq!(report.submitted(), 3);
         assert_eq!(report.accepted(), 2);
@@ -459,6 +578,7 @@ mod tests {
             policy: "test".into(),
             records: records.clone(),
             utilization: 0.5,
+            churn: ChurnStats::default(),
         };
         let mut online = OnlineReport::new();
         for (i, r) in records.into_iter().enumerate() {
@@ -479,11 +599,123 @@ mod tests {
     }
 
     #[test]
+    fn killed_jobs_are_accepted_but_never_fulfilled() {
+        let k = killed(job(1, 0.0, 100.0, 1000.0, Urgency::High), 40.0);
+        assert!(!k.fulfilled());
+        assert_eq!(k.delay(), None);
+        assert_eq!(k.response_time(), None);
+        assert_eq!(k.slowdown(), None);
+
+        let report = SimulationReport {
+            policy: "churn".into(),
+            records: vec![
+                completed(job(1, 0.0, 100.0, 200.0, Urgency::High), 150.0),
+                killed(job(2, 0.0, 100.0, 1000.0, Urgency::Low), 40.0),
+                rejected(job(3, 0.0, 100.0, 200.0, Urgency::Low)),
+            ],
+            utilization: 0.5,
+            churn: ChurnStats::default(),
+        };
+        // The killed job counts as accepted (its SLA was taken on) but
+        // neither fulfilled nor delayed (it never completed).
+        assert_eq!(report.accepted(), 2);
+        assert_eq!(report.killed(), 1);
+        assert_eq!(report.rejected(), 1);
+        assert_eq!(report.fulfilled(), 1);
+        assert_eq!(report.delayed(), 0);
+
+        let mut online = OnlineReport::new();
+        for (i, r) in report.records.iter().cloned().enumerate() {
+            online.record(i as u64, r);
+        }
+        assert_eq!(online.accepted(), 2);
+        assert_eq!(online.killed(), 1);
+        assert_eq!(online.rejected(), 1);
+        assert_eq!(online.delayed(), 0);
+    }
+
+    #[test]
+    fn churn_stats_merge_adds_shards() {
+        let mut a = ChurnStats {
+            node_failures: 2,
+            node_restores: 1,
+            kills: 3,
+            requeues: 4,
+            requeue_rejects: 1,
+            requeued_fulfilled: metrics::Tally::default(),
+        };
+        a.requeued_fulfilled.observe(true);
+        let mut b = ChurnStats {
+            node_failures: 1,
+            ..ChurnStats::default()
+        };
+        b.requeued_fulfilled.observe(false);
+        a.merge(&b);
+        assert_eq!(a.node_failures, 3);
+        assert_eq!(a.node_restores, 1);
+        assert_eq!(a.kills, 3);
+        assert_eq!(a.requeues, 4);
+        assert_eq!(a.requeue_rejects, 1);
+        assert_eq!(a.requeued_fulfilled.total(), 2);
+        assert_eq!(a.requeued_fulfilled.hits(), 1);
+        assert!(!a.is_empty());
+        assert!(ChurnStats::default().is_empty());
+    }
+
+    #[test]
+    fn online_report_merge_matches_single_pass() {
+        let records = [
+            completed(job(1, 0.0, 100.0, 200.0, Urgency::High), 150.0),
+            completed(job(2, 0.0, 100.0, 200.0, Urgency::Low), 260.0),
+            rejected(job(3, 0.0, 100.0, 200.0, Urgency::Low)),
+            killed(job(4, 0.0, 100.0, 400.0, Urgency::High), 50.0),
+        ];
+        let mut whole = OnlineReport::new();
+        for (i, r) in records.iter().cloned().enumerate() {
+            whole.record(i as u64, r);
+        }
+        whole.set_utilization(0.5);
+
+        // Split the same records across two shards and merge.
+        let (mut left, mut right) = (OnlineReport::new(), OnlineReport::new());
+        for (i, r) in records.iter().cloned().enumerate() {
+            if i < 2 {
+                left.record(i as u64, r);
+            } else {
+                right.record(i as u64, r);
+            }
+        }
+        left.set_utilization(0.6);
+        right.set_utilization(0.4);
+        right.set_churn(ChurnStats {
+            node_failures: 1,
+            kills: 1,
+            ..ChurnStats::default()
+        });
+        left.merge(&right);
+
+        assert_eq!(left.submitted(), whole.submitted());
+        assert_eq!(left.accepted(), whole.accepted());
+        assert_eq!(left.killed(), whole.killed());
+        assert_eq!(left.rejected(), whole.rejected());
+        assert_eq!(left.fulfilled(), whole.fulfilled());
+        assert_eq!(left.delayed(), whole.delayed());
+        assert!((left.fulfilled_pct() - whole.fulfilled_pct()).abs() < 1e-12);
+        assert!((left.avg_slowdown() - whole.avg_slowdown()).abs() < 1e-12);
+        assert!((left.avg_delay() - whole.avg_delay()).abs() < 1e-12);
+        // Weighted utilisation: (0.6·2 + 0.4·2) / 4.
+        assert!((left.utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(left.churn().node_failures, 1);
+        assert_eq!(left.churn().kills, 1);
+    }
+
+    #[test]
     fn empty_report_is_benign() {
         let report = SimulationReport {
             policy: "empty".into(),
             records: vec![],
             utilization: 0.0,
+            churn: ChurnStats::default(),
         };
         assert_eq!(report.fulfilled_pct(), 0.0);
         assert_eq!(report.avg_slowdown(), 0.0);

@@ -13,6 +13,11 @@
 //! capacity, fx-style multiplicative hash) rather than `std::HashMap`:
 //! the admission loop performs one lookup per node per decision, and
 //! SipHash dominates at that grain.
+//!
+//! The epoch contract extends to node churn: `fail_node`/`restore_node`
+//! bump the failed node's epoch (and the global epoch), so any memo keyed
+//! to the pre-fault resident state is discarded on the next decision —
+//! a fault can never replay a stale risk summary.
 
 use cluster::projection::RiskSummary;
 

@@ -40,14 +40,27 @@
 //! submission, and rejected jobs do not return). [`Decision::Queued`]
 //! defers the verdict to the substrate's selection rule; the eventual
 //! outcome arrives exactly once through a [`JobEvent`].
+//!
+//! Node churn ([`ClusterRms::with_faults`]) bends the invariant in one
+//! deliberate place: a job displaced by a node failure under
+//! [`RecoveryPolicy::Requeue`] is re-admitted against its *remaining*
+//! deadline, so a previously accepted job can resolve as a **late
+//! rejection** — exactly the accepted-then-broken SLA the paper's risk
+//! story is about. Under [`RecoveryPolicy::Kill`] it resolves as
+//! [`Outcome::Killed`] instead. Either way every submitted job still
+//! resolves exactly once. A fault at instant `t` applies *before* any
+//! arrival at `t`; an RMS with an empty plan behaves bitwise identically
+//! to one without fault injection.
 
 use crate::policy::ShareAdmission;
 use crate::qops::{schedulable, Pending, QopsConfig};
 use crate::queue::{QueuePolicy, QueuedJob};
-use crate::report::{JobRecord, Outcome, ReportCollector, ReportSink, SimulationReport};
+use crate::report::{
+    ChurnStats, JobRecord, Outcome, ReportCollector, ReportSink, SimulationReport,
+};
 use cluster::proportional::{ProportionalCluster, ProportionalConfig};
-use cluster::{Cluster, SpaceSharedCluster};
-use sim::{SimTime, Simulator};
+use cluster::{Cluster, FaultKind, FaultPlan, NodeId, RecoveryPolicy, SpaceSharedCluster};
+use sim::{SimDuration, SimTime, Simulator};
 use std::collections::HashMap;
 use workload::{Job, JobId, Trace};
 
@@ -123,10 +136,14 @@ impl ProportionalBackend<'_> {
 
     fn advance_engine(&mut self, to: SimTime, events: &mut Vec<JobEvent>) {
         for done in self.engine.advance(to) {
-            let seq = self
-                .seq_of
-                .remove(&done.job.id)
-                .expect("completed job was submitted");
+            // A completion without a sequence mapping means the job
+            // already resolved through another path (e.g. displaced by a
+            // fault): the outcome is final, so drop the stale completion
+            // rather than double-resolve or crash the whole run.
+            let Some(seq) = self.seq_of.remove(&done.job.id) else {
+                debug_assert!(false, "completed {} was never mapped", done.job.id);
+                continue;
+            };
             events.push(JobEvent::new(
                 seq,
                 done.job,
@@ -136,6 +153,70 @@ impl ProportionalBackend<'_> {
                 },
             ));
         }
+    }
+
+    /// Applies a node failure at `at`: the engine is advanced to the
+    /// fault instant (completions at or before it fire first), every
+    /// displaced gang is killed or re-admitted per `recovery`, and the
+    /// node stops being an admission target.
+    fn fail(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        recovery: RecoveryPolicy,
+        churn: &mut ChurnStats,
+        requeued: &mut HashMap<u64, Job>,
+        events: &mut Vec<JobEvent>,
+    ) {
+        self.catch_up(at, events);
+        self.advance_engine(at, events);
+        for d in self.engine.fail_node(node, at) {
+            let Some(seq) = self.seq_of.remove(&d.job.id) else {
+                debug_assert!(false, "displaced {} was never mapped", d.job.id);
+                continue;
+            };
+            match recovery {
+                RecoveryPolicy::Kill => {
+                    churn.kills += 1;
+                    events.push(JobEvent::new(seq, d.job, Outcome::Killed { at, node }));
+                }
+                RecoveryPolicy::Requeue => {
+                    churn.requeues += 1;
+                    requeued.entry(seq).or_insert_with(|| d.job.clone());
+                    // Re-submit against the *remaining* deadline: the SLA
+                    // keeps its original absolute deadline, and progress
+                    // made before the fault is preserved (the engine's
+                    // proportional shares checkpoint implicitly).
+                    let remaining_deadline = d.job.absolute_deadline() - at;
+                    if !remaining_deadline.is_positive() || d.remaining_work <= 0.0 {
+                        events.push(JobEvent::new(seq, d.job, Outcome::Rejected { at }));
+                        continue;
+                    }
+                    let retry = Job {
+                        submit: at,
+                        runtime: SimDuration::from_secs(d.remaining_work),
+                        estimate: SimDuration::from_secs(d.remaining_est.max(1e-9)),
+                        deadline: remaining_deadline,
+                        ..d.job.clone()
+                    };
+                    match self.policy.decide(&self.engine, &retry) {
+                        Some(nodes) => {
+                            self.seq_of.insert(retry.id, seq);
+                            self.engine.admit(retry, nodes, at);
+                        }
+                        // The late reject: admission no longer finds room
+                        // for the survivor under its shrunken deadline.
+                        None => events.push(JobEvent::new(seq, d.job, Outcome::Rejected { at })),
+                    }
+                }
+            }
+        }
+    }
+
+    fn restore(&mut self, at: SimTime, node: NodeId, events: &mut Vec<JobEvent>) {
+        self.catch_up(at, events);
+        self.advance_engine(at, events);
+        self.engine.restore_node(node, at);
     }
 
     fn submit(&mut self, seq: u64, job: Job, now: SimTime, events: &mut Vec<JobEvent>) -> Decision {
@@ -186,16 +267,81 @@ impl QueuedBackend {
                 break;
             }
             let (job, started, finish) = self.pool.complete_next();
-            let seq = self
-                .seq_of
-                .remove(&job.id)
-                .expect("completed job was started");
+            // See `ProportionalBackend::advance_engine`: a missing
+            // mapping means the job already resolved elsewhere — skip the
+            // stale completion instead of crashing the run.
+            let Some(seq) = self.seq_of.remove(&job.id) else {
+                debug_assert!(false, "completed {} was never mapped", job.id);
+                self.dispatch(finish, events);
+                continue;
+            };
             events.push(JobEvent::new(
                 seq,
                 job,
                 Outcome::Completed { started, finish },
             ));
             self.dispatch(finish, events);
+        }
+    }
+
+    /// Applies a node failure at `at`. The displaced job (if the node was
+    /// hosting one) is killed or pushed back onto the queue per
+    /// `recovery` — a space-shared substrate cannot checkpoint, so a
+    /// requeued job restarts from scratch and the selection rule's
+    /// admission test naturally re-evaluates it against what is left of
+    /// its deadline. Queued jobs wider than the surviving capacity can
+    /// never start and are rejected on the spot.
+    fn fail(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        recovery: RecoveryPolicy,
+        churn: &mut ChurnStats,
+        requeued: &mut HashMap<u64, Job>,
+        events: &mut Vec<JobEvent>,
+    ) {
+        self.catch_up(Some(at), events);
+        if let Some((job, _started)) = self.pool.fail_node(node, at) {
+            if let Some(seq) = self.seq_of.remove(&job.id) {
+                match recovery {
+                    RecoveryPolicy::Kill => {
+                        churn.kills += 1;
+                        events.push(JobEvent::new(seq, job, Outcome::Killed { at, node }));
+                    }
+                    RecoveryPolicy::Requeue => {
+                        churn.requeues += 1;
+                        requeued.entry(seq).or_insert_with(|| job.clone());
+                        self.queue.push(QueuedJob { seq, job });
+                    }
+                }
+            } else {
+                debug_assert!(false, "displaced {} was never mapped", job.id);
+            }
+        }
+        self.reject_wider_than_capacity(at, events);
+        self.dispatch(at, events);
+    }
+
+    fn restore(&mut self, at: SimTime, node: NodeId, events: &mut Vec<JobEvent>) {
+        self.catch_up(Some(at), events);
+        self.pool.restore_node(node, at);
+        self.dispatch(at, events);
+    }
+
+    fn reject_wider_than_capacity(&mut self, at: SimTime, events: &mut Vec<JobEvent>) {
+        let cap = self.pool.up_procs();
+        let mut i = 0;
+        while i < self.queue.len() {
+            if self.queue[i].job.procs as usize > cap {
+                let entry = self.queue.remove(i);
+                events.push(JobEvent::new(
+                    entry.seq,
+                    entry.job,
+                    Outcome::Rejected { at },
+                ));
+            } else {
+                i += 1;
+            }
         }
     }
 
@@ -253,8 +399,8 @@ impl QueuedBackend {
 
     fn submit(&mut self, seq: u64, job: Job, now: SimTime, events: &mut Vec<JobEvent>) -> Decision {
         self.catch_up(Some(now), events);
-        let decision = if job.procs as usize > self.pool.cluster().len() {
-            // Wider than the machine: can never start.
+        let decision = if job.procs as usize > self.pool.up_procs() {
+            // Wider than the machine (as currently up): can never start.
             events.push(JobEvent::new(seq, job, Outcome::Rejected { at: now }));
             Decision::Rejected
         } else {
@@ -290,10 +436,13 @@ impl QopsBackend {
                 break;
             }
             let (job, started, finish) = self.pool.complete_next();
-            let seq = self
-                .seq_of
-                .remove(&job.id)
-                .expect("completed job was started");
+            // See `ProportionalBackend::advance_engine`: skip a stale
+            // completion whose job already resolved elsewhere.
+            let Some(seq) = self.seq_of.remove(&job.id) else {
+                debug_assert!(false, "completed {} was never mapped", job.id);
+                self.dispatch(finish);
+                continue;
+            };
             self.running.retain(|(s, _, _)| *s != seq);
             events.push(JobEvent::new(
                 seq,
@@ -302,6 +451,107 @@ impl QopsBackend {
             ));
             self.dispatch(finish);
         }
+    }
+
+    /// The QoPS arrival-time schedulability test (running set's estimated
+    /// free times + every queued job + `extra` appended as `extra_seq`).
+    /// Consulted at submission and again when a displaced job asks to be
+    /// requeued.
+    fn is_schedulable(&self, now: SimTime, extra: &Job, extra_seq: u64) -> bool {
+        let now_s = now.as_secs();
+        let total_procs = self.pool.up_procs();
+        let sf = self.cfg.slack_factor;
+        let soft = |j: &Job| j.submit.as_secs() + sf * j.deadline.as_secs();
+        // Build the processor free-time vector from running jobs'
+        // *estimated* finishes.
+        let mut free_at = vec![now_s; total_procs];
+        let mut cursor = 0usize;
+        for &(_, w, est_finish) in &self.running {
+            for slot in free_at.iter_mut().skip(cursor).take(w as usize) {
+                *slot = est_finish.max(now_s);
+            }
+            cursor += w as usize;
+        }
+        let mut pending: Vec<Pending> = self
+            .queue
+            .iter()
+            .map(|q| Pending {
+                idx: q.seq,
+                procs: q.job.procs,
+                remaining_est: q.job.estimate.as_secs(),
+                abs_deadline: q.job.absolute_deadline().as_secs(),
+                soft_deadline: soft(&q.job),
+            })
+            .collect();
+        pending.push(Pending {
+            idx: extra_seq,
+            procs: extra.procs,
+            remaining_est: extra.estimate.as_secs(),
+            abs_deadline: extra.absolute_deadline().as_secs(),
+            soft_deadline: soft(extra),
+        });
+        schedulable(now_s, free_at, pending)
+    }
+
+    /// Applies a node failure at `at`. A displaced job restarts from
+    /// scratch if requeued, but must pass the schedulability test again —
+    /// evaluated *now*, so effectively against its remaining deadline.
+    fn fail(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        recovery: RecoveryPolicy,
+        churn: &mut ChurnStats,
+        requeued: &mut HashMap<u64, Job>,
+        events: &mut Vec<JobEvent>,
+    ) {
+        self.catch_up(Some(at), events);
+        if let Some((job, _started)) = self.pool.fail_node(node, at) {
+            if let Some(seq) = self.seq_of.remove(&job.id) {
+                self.running.retain(|(s, _, _)| *s != seq);
+                match recovery {
+                    RecoveryPolicy::Kill => {
+                        churn.kills += 1;
+                        events.push(JobEvent::new(seq, job, Outcome::Killed { at, node }));
+                    }
+                    RecoveryPolicy::Requeue => {
+                        churn.requeues += 1;
+                        requeued.entry(seq).or_insert_with(|| job.clone());
+                        if job.procs as usize <= self.pool.up_procs()
+                            && self.is_schedulable(at, &job, seq)
+                        {
+                            self.queue.push(QueuedJob { seq, job });
+                        } else {
+                            events.push(JobEvent::new(seq, job, Outcome::Rejected { at }));
+                        }
+                    }
+                }
+            } else {
+                debug_assert!(false, "displaced {} was never mapped", job.id);
+            }
+        }
+        // Queued jobs wider than the surviving capacity can never start.
+        let cap = self.pool.up_procs();
+        let mut i = 0;
+        while i < self.queue.len() {
+            if self.queue[i].job.procs as usize > cap {
+                let entry = self.queue.remove(i);
+                events.push(JobEvent::new(
+                    entry.seq,
+                    entry.job,
+                    Outcome::Rejected { at },
+                ));
+            } else {
+                i += 1;
+            }
+        }
+        self.dispatch(at);
+    }
+
+    fn restore(&mut self, at: SimTime, node: NodeId, events: &mut Vec<JobEvent>) {
+        self.catch_up(Some(at), events);
+        self.pool.restore_node(node, at);
+        self.dispatch(at);
     }
 
     /// Dispatch in EDF order; the head blocks (no backfilling).
@@ -337,49 +587,15 @@ impl QopsBackend {
 
     fn submit(&mut self, seq: u64, job: Job, now: SimTime, events: &mut Vec<JobEvent>) -> Decision {
         self.catch_up(Some(now), events);
-        let now_s = now.as_secs();
-        let total_procs = self.pool.cluster().len();
-        let sf = self.cfg.slack_factor;
-        let soft = |j: &Job| j.submit.as_secs() + sf * j.deadline.as_secs();
-        let decision = if job.procs as usize > total_procs {
+        let decision = if job.procs as usize > self.pool.up_procs() {
             events.push(JobEvent::new(seq, job, Outcome::Rejected { at: now }));
             Decision::Rejected
+        } else if self.is_schedulable(now, &job, seq) {
+            self.queue.push(QueuedJob { seq, job });
+            Decision::Queued
         } else {
-            // Build the processor free-time vector from running jobs'
-            // *estimated* finishes.
-            let mut free_at = vec![now_s; total_procs];
-            let mut cursor = 0usize;
-            for &(_, w, est_finish) in &self.running {
-                for slot in free_at.iter_mut().skip(cursor).take(w as usize) {
-                    *slot = est_finish.max(now_s);
-                }
-                cursor += w as usize;
-            }
-            let mut pending: Vec<Pending> = self
-                .queue
-                .iter()
-                .map(|q| Pending {
-                    idx: q.seq,
-                    procs: q.job.procs,
-                    remaining_est: q.job.estimate.as_secs(),
-                    abs_deadline: q.job.absolute_deadline().as_secs(),
-                    soft_deadline: soft(&q.job),
-                })
-                .collect();
-            pending.push(Pending {
-                idx: seq,
-                procs: job.procs,
-                remaining_est: job.estimate.as_secs(),
-                abs_deadline: job.absolute_deadline().as_secs(),
-                soft_deadline: soft(&job),
-            });
-            if schedulable(now_s, free_at, pending) {
-                self.queue.push(QueuedJob { seq, job });
-                Decision::Queued
-            } else {
-                events.push(JobEvent::new(seq, job, Outcome::Rejected { at: now }));
-                Decision::Rejected
-            }
+            events.push(JobEvent::new(seq, job, Outcome::Rejected { at: now }));
+            Decision::Rejected
         };
         self.dispatch(now);
         decision
@@ -399,6 +615,16 @@ pub struct ClusterRms<'p> {
     now: SimTime,
     next_seq: u64,
     events: Vec<JobEvent>,
+    /// Scheduled node churn, consumed as time advances (empty by
+    /// default — structurally inert).
+    plan: FaultPlan,
+    recovery: RecoveryPolicy,
+    churn: ChurnStats,
+    /// Originally submitted form of every job that went through at least
+    /// one requeue, keyed by sequence: outcomes are reported (and the SLA
+    /// judged) against the job as the user submitted it, not the
+    /// shrunken-deadline retry. Entries leave on resolution.
+    requeued: HashMap<u64, Job>,
 }
 
 impl<'p> ClusterRms<'p> {
@@ -420,6 +646,10 @@ impl<'p> ClusterRms<'p> {
             now: SimTime::ZERO,
             next_seq: 0,
             events: Vec::new(),
+            plan: FaultPlan::empty(),
+            recovery: RecoveryPolicy::default(),
+            churn: ChurnStats::default(),
+            requeued: HashMap::new(),
         }
     }
 
@@ -436,6 +666,10 @@ impl<'p> ClusterRms<'p> {
             now: SimTime::ZERO,
             next_seq: 0,
             events: Vec::new(),
+            plan: FaultPlan::empty(),
+            recovery: RecoveryPolicy::default(),
+            churn: ChurnStats::default(),
+            requeued: HashMap::new(),
         }
     }
 
@@ -457,6 +691,10 @@ impl<'p> ClusterRms<'p> {
             now: SimTime::ZERO,
             next_seq: 0,
             events: Vec::new(),
+            plan: FaultPlan::empty(),
+            recovery: RecoveryPolicy::default(),
+            churn: ChurnStats::default(),
+            requeued: HashMap::new(),
         }
     }
 
@@ -464,6 +702,27 @@ impl<'p> ClusterRms<'p> {
     pub fn with_policy_name(mut self, name: impl Into<String>) -> Self {
         self.policy_name = name.into();
         self
+    }
+
+    /// Installs a node-churn plan and the recovery policy for displaced
+    /// jobs. Fault events apply as time advances, each *before* any job
+    /// arrival at the same instant; an empty plan leaves the RMS bitwise
+    /// identical to one built without this call.
+    pub fn with_faults(mut self, plan: FaultPlan, recovery: RecoveryPolicy) -> Self {
+        self.plan = plan;
+        self.recovery = recovery;
+        self
+    }
+
+    /// Churn degradation aggregates accumulated so far (all-zero on a
+    /// fault-free run). Complete after [`ClusterRms::drain`].
+    pub fn churn(&self) -> &ChurnStats {
+        &self.churn
+    }
+
+    /// The recovery policy applied to jobs displaced by node failures.
+    pub fn recovery(&self) -> RecoveryPolicy {
+        self.recovery
     }
 
     /// Display name of the admission policy driving this RMS.
@@ -506,10 +765,86 @@ impl<'p> ClusterRms<'p> {
         }
     }
 
+    /// Consumes and applies every scheduled fault event at or before
+    /// `to`, catching the backend up to each fault instant first so
+    /// completions and faults interleave in time order. A no-op (no
+    /// branches into any backend) when the plan is empty.
+    fn apply_faults_through(&mut self, to: SimTime) {
+        while let Some(e) = self.plan.next_at_or_before(to) {
+            match e.kind {
+                FaultKind::NodeDown => {
+                    self.churn.node_failures += 1;
+                    match &mut self.backend {
+                        ExecutionBackend::Proportional(b) => b.fail(
+                            e.at,
+                            e.node,
+                            self.recovery,
+                            &mut self.churn,
+                            &mut self.requeued,
+                            &mut self.events,
+                        ),
+                        ExecutionBackend::Queued(b) => b.fail(
+                            e.at,
+                            e.node,
+                            self.recovery,
+                            &mut self.churn,
+                            &mut self.requeued,
+                            &mut self.events,
+                        ),
+                        ExecutionBackend::Qops(b) => b.fail(
+                            e.at,
+                            e.node,
+                            self.recovery,
+                            &mut self.churn,
+                            &mut self.requeued,
+                            &mut self.events,
+                        ),
+                    }
+                }
+                FaultKind::NodeUp => {
+                    self.churn.node_restores += 1;
+                    match &mut self.backend {
+                        ExecutionBackend::Proportional(b) => {
+                            b.restore(e.at, e.node, &mut self.events)
+                        }
+                        ExecutionBackend::Queued(b) => b.restore(e.at, e.node, &mut self.events),
+                        ExecutionBackend::Qops(b) => b.restore(e.at, e.node, &mut self.events),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rewrites buffered events of requeued jobs before they stream out:
+    /// the record carries the job as originally submitted (the SLA under
+    /// judgement), the fulfilled-under-churn tally observes the
+    /// resolution, and a late rejection is counted. A no-op on fault-free
+    /// runs (the map is only populated by requeues).
+    fn finalize_churn(&mut self) {
+        if self.requeued.is_empty() {
+            return;
+        }
+        for e in &mut self.events {
+            if let Some(original) = self.requeued.remove(&e.seq) {
+                if matches!(e.record.outcome, Outcome::Rejected { .. }) {
+                    self.churn.requeue_rejects += 1;
+                }
+                e.record.job = original;
+                self.churn.requeued_fulfilled.observe(e.record.fulfilled());
+            }
+        }
+    }
+
     /// Presents one arrival at its submission instant and returns the
     /// irrevocable decision. Outcome events (including the rejection
     /// record for a [`Decision::Rejected`] verdict) are buffered and
     /// streamed by the next [`ClusterRms::advance`]/[`ClusterRms::drain`].
+    ///
+    /// Malformed jobs (non-positive runtime, estimate or deadline, zero
+    /// processors, negative submit time — see [`Job::validate`]) are
+    /// rejected here, before any backend state is touched: an RMS
+    /// front-end faces untrusted submissions, and a nonsensical SLA must
+    /// produce a verdict, not a panic deep inside an engine.
     ///
     /// # Panics
     /// Panics if `now` precedes an earlier submission or advance.
@@ -520,8 +855,14 @@ impl<'p> ClusterRms<'p> {
             self.now
         );
         self.now = now;
+        self.apply_faults_through(now);
         let seq = self.next_seq;
         self.next_seq += 1;
+        if job.validate().is_err() {
+            self.events
+                .push(JobEvent::new(seq, job, Outcome::Rejected { at: now }));
+            return Decision::Rejected;
+        }
         match &mut self.backend {
             ExecutionBackend::Proportional(b) => b.submit(seq, job, now, &mut self.events),
             ExecutionBackend::Queued(b) => b.submit(seq, job, now, &mut self.events),
@@ -543,17 +884,25 @@ impl<'p> ClusterRms<'p> {
             self.now
         );
         self.now = to;
+        self.apply_faults_through(to);
         match &mut self.backend {
             ExecutionBackend::Proportional(b) => b.catch_up(to, &mut self.events),
             ExecutionBackend::Queued(b) => b.catch_up(Some(to), &mut self.events),
             ExecutionBackend::Qops(b) => b.catch_up(Some(to), &mut self.events),
         }
+        self.finalize_churn();
         self.events.drain(..)
     }
 
     /// Runs the residual workload to completion and streams the remaining
     /// outcomes. After `drain` every submitted job has resolved.
     pub fn drain(&mut self) -> impl Iterator<Item = JobEvent> + '_ {
+        // Residual fault events interleave with residual completions:
+        // each application catches the backend up to its instant first.
+        while let Some(t) = self.plan.next_instant() {
+            self.now = self.now.max(t);
+            self.apply_faults_through(t);
+        }
         match &mut self.backend {
             ExecutionBackend::Proportional(b) => b.drain(&mut self.events),
             ExecutionBackend::Queued(b) => b.drain(&mut self.events),
@@ -564,6 +913,7 @@ impl<'p> ClusterRms<'p> {
                 self.now = self.now.max(finish);
             }
         }
+        self.finalize_churn();
         self.events.drain(..)
     }
 
@@ -572,7 +922,9 @@ impl<'p> ClusterRms<'p> {
     pub fn run_to_report(mut self, trace: &Trace) -> SimulationReport {
         let mut sink = ReportCollector::new();
         drive_trace(&mut self, trace, &mut sink);
-        sink.into_report(self.policy_name.clone(), self.utilization())
+        let mut report = sink.into_report(self.policy_name.clone(), self.utilization());
+        report.churn = self.churn;
+        report
     }
 }
 
@@ -757,5 +1109,250 @@ mod tests {
         let report = rms.run_to_report(&Trace::new(vec![]));
         assert_eq!(report.submitted(), 0);
         assert_eq!(report.utilization, 0.0);
+    }
+
+    fn down(at: f64, node: u32) -> cluster::FaultEvent {
+        cluster::FaultEvent {
+            at: t(at),
+            node: NodeId(node),
+            kind: FaultKind::NodeDown,
+        }
+    }
+
+    fn up(at: f64, node: u32) -> cluster::FaultEvent {
+        cluster::FaultEvent {
+            at: t(at),
+            node: NodeId(node),
+            kind: FaultKind::NodeUp,
+        }
+    }
+
+    #[test]
+    fn malformed_submissions_are_rejected_not_panicked() {
+        let base = job(0, 10.0, 50.0, 50.0, 1, 200.0);
+        let zero_estimate = Job {
+            estimate: SimDuration::from_secs(0.0),
+            ..base.clone()
+        };
+        let negative_estimate = Job {
+            estimate: SimDuration::from_secs(-5.0),
+            ..base.clone()
+        };
+        let zero_runtime = Job {
+            runtime: SimDuration::from_secs(0.0),
+            ..base.clone()
+        };
+        let expired_deadline = Job {
+            deadline: SimDuration::from_secs(-1.0),
+            ..base.clone()
+        };
+        let zero_procs = Job {
+            procs: 0,
+            ..base.clone()
+        };
+        for (label, bad) in [
+            ("zero estimate", zero_estimate),
+            ("negative estimate", negative_estimate),
+            ("zero runtime", zero_runtime),
+            ("deadline before submission", expired_deadline),
+            ("zero procs", zero_procs),
+        ] {
+            let mut rms = ClusterRms::proportional(
+                Cluster::homogeneous(2, 168.0),
+                ProportionalConfig::default(),
+                Libra::new(),
+            );
+            assert_eq!(
+                rms.submit(bad, t(10.0)),
+                Decision::Rejected,
+                "{label} must be rejected at submit"
+            );
+            let events: Vec<JobEvent> = rms.drain().collect();
+            assert_eq!(events.len(), 1, "{label} still resolves exactly once");
+            assert_eq!(events[0].record.outcome, Outcome::Rejected { at: t(10.0) });
+            // And a well-formed job afterwards is unaffected.
+            assert_eq!(
+                rms.submit(job(1, 10.0, 50.0, 50.0, 1, 200.0), t(10.0)),
+                Decision::Accepted
+            );
+        }
+    }
+
+    #[test]
+    fn kill_recovery_streams_a_killed_outcome() {
+        let mut rms = ClusterRms::proportional(
+            Cluster::homogeneous(2, 168.0),
+            ProportionalConfig::default(),
+            Libra::new(),
+        )
+        .with_faults(
+            FaultPlan::from_events(vec![down(10.0, 0)]),
+            RecoveryPolicy::Kill,
+        );
+        // Best fit on an empty homogeneous cluster lands on node 0.
+        assert_eq!(
+            rms.submit(job(0, 0.0, 100.0, 100.0, 1, 400.0), t(0.0)),
+            Decision::Accepted
+        );
+        let events: Vec<JobEvent> = rms.drain().collect();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].record.outcome,
+            Outcome::Killed {
+                at: t(10.0),
+                node: NodeId(0)
+            }
+        );
+        assert!(!events[0].record.fulfilled());
+        assert_eq!(rms.churn().node_failures, 1);
+        assert_eq!(rms.churn().kills, 1);
+        assert_eq!(rms.churn().requeues, 0);
+    }
+
+    #[test]
+    fn requeued_job_is_readmitted_and_reported_as_submitted() {
+        let mut rms = ClusterRms::proportional(
+            Cluster::homogeneous(2, 168.0),
+            ProportionalConfig::default(),
+            Libra::new(),
+        )
+        .with_faults(
+            FaultPlan::from_events(vec![down(40.0, 0)]),
+            RecoveryPolicy::Requeue,
+        );
+        let original = job(0, 0.0, 100.0, 100.0, 1, 1000.0);
+        assert_eq!(rms.submit(original.clone(), t(0.0)), Decision::Accepted);
+        let events: Vec<JobEvent> = rms.drain().collect();
+        assert_eq!(events.len(), 1);
+        // The record carries the job as submitted, and the SLA is judged
+        // against the *original* deadline: 40s of progress survives the
+        // checkpoint, the remaining 60s restart on node 1 → finish at 100.
+        assert_eq!(events[0].record.job, original);
+        match events[0].record.outcome {
+            Outcome::Completed { started, finish } => {
+                assert_eq!(started, t(40.0));
+                assert!((finish.as_secs() - 100.0).abs() < 1e-6, "finish {finish}");
+            }
+            ref other => panic!("expected completion, got {other:?}"),
+        }
+        assert!(events[0].record.fulfilled());
+        assert_eq!(rms.churn().requeues, 1);
+        assert_eq!(rms.churn().requeue_rejects, 0);
+        assert_eq!(rms.churn().requeued_fulfilled.hits(), 1);
+        assert_eq!(rms.churn().requeued_fulfilled.total(), 1);
+    }
+
+    #[test]
+    fn requeue_can_reject_a_previously_accepted_job_late() {
+        // One node: once it fails there is nowhere to requeue to.
+        let mut rms = ClusterRms::proportional(
+            Cluster::homogeneous(1, 168.0),
+            ProportionalConfig::default(),
+            Libra::new(),
+        )
+        .with_faults(
+            FaultPlan::from_events(vec![down(50.0, 0)]),
+            RecoveryPolicy::Requeue,
+        );
+        let original = job(0, 0.0, 100.0, 100.0, 1, 200.0);
+        assert_eq!(rms.submit(original.clone(), t(0.0)), Decision::Accepted);
+        let events: Vec<JobEvent> = rms.drain().collect();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].record.job, original);
+        assert_eq!(events[0].record.outcome, Outcome::Rejected { at: t(50.0) });
+        assert_eq!(rms.churn().requeues, 1);
+        assert_eq!(rms.churn().requeue_rejects, 1);
+        assert_eq!(rms.churn().requeued_fulfilled.hits(), 0);
+        assert_eq!(rms.churn().requeued_fulfilled.total(), 1);
+    }
+
+    #[test]
+    fn queued_fail_kills_resident_and_rejects_too_wide_waiters() {
+        let mut rms = ClusterRms::queued(
+            Cluster::homogeneous(2, 168.0),
+            QueuePolicy::new(QueueDiscipline::Fifo, false),
+        )
+        .with_faults(
+            FaultPlan::from_events(vec![down(10.0, 0), up(20.0, 0)]),
+            RecoveryPolicy::Kill,
+        );
+        // Both 2-wide: the first runs, the second waits.
+        rms.submit(job(0, 0.0, 100.0, 100.0, 2, 4000.0), t(0.0));
+        rms.submit(job(1, 0.0, 100.0, 100.0, 2, 4000.0), t(0.0));
+        // A 2-wide submission while one node is down is rejected outright.
+        let mid = rms.submit(job(2, 15.0, 10.0, 10.0, 2, 4000.0), t(15.0));
+        assert_eq!(mid, Decision::Rejected);
+        // After the restore a 2-wide job is admissible again.
+        assert_eq!(
+            rms.submit(job(3, 30.0, 10.0, 10.0, 2, 4000.0), t(30.0)),
+            Decision::Queued
+        );
+        let events: Vec<JobEvent> = rms.drain().collect();
+        let outcome_of = |seq: u64| {
+            events
+                .iter()
+                .find(|e| e.seq == seq)
+                .map(|e| e.record.outcome)
+                .expect("resolved")
+        };
+        assert_eq!(
+            outcome_of(0),
+            Outcome::Killed {
+                at: t(10.0),
+                node: NodeId(0)
+            }
+        );
+        // The waiting 2-wide job cannot ever start on 1 surviving node.
+        assert_eq!(outcome_of(1), Outcome::Rejected { at: t(10.0) });
+        assert_eq!(outcome_of(2), Outcome::Rejected { at: t(15.0) });
+        assert!(matches!(outcome_of(3), Outcome::Completed { .. }));
+        assert_eq!(events.len(), 4, "every job resolves exactly once");
+        assert_eq!(rms.churn().node_failures, 1);
+        assert_eq!(rms.churn().node_restores, 1);
+        assert_eq!(rms.churn().kills, 1);
+    }
+
+    #[test]
+    fn qops_requeue_reruns_the_schedulability_test() {
+        let mut rms = ClusterRms::qops(Cluster::homogeneous(2, 168.0), QopsConfig::default())
+            .with_faults(
+                FaultPlan::from_events(vec![down(50.0, 0)]),
+                RecoveryPolicy::Requeue,
+            );
+        // Tight deadline: after losing 50s to the fault, a from-scratch
+        // restart cannot finish by the soft deadline → late reject.
+        let original = job(0, 0.0, 100.0, 100.0, 2, 110.0);
+        assert_eq!(rms.submit(original.clone(), t(0.0)), Decision::Queued);
+        let events: Vec<JobEvent> = rms.drain().collect();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].record.job, original);
+        assert_eq!(events[0].record.outcome, Outcome::Rejected { at: t(50.0) });
+        assert_eq!(rms.churn().requeues, 1);
+        assert_eq!(rms.churn().requeue_rejects, 1);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_structurally_inert() {
+        let run = |faulted: bool| {
+            let mut rms = ClusterRms::proportional(
+                Cluster::homogeneous(4, 168.0),
+                ProportionalConfig::default(),
+                Libra::new(),
+            );
+            if faulted {
+                rms = rms.with_faults(FaultPlan::empty(), RecoveryPolicy::Requeue);
+            }
+            for i in 0..20u64 {
+                let s = i as f64 * 17.0;
+                rms.submit(job(i, s, 120.0, 140.0, 1 + (i % 2) as u32, 400.0), t(s));
+            }
+            let mut events: Vec<JobEvent> = rms.drain().collect();
+            events.sort_by_key(|e| e.seq);
+            (events, *rms.churn())
+        };
+        let (plain, _) = run(false);
+        let (faulted, churn) = run(true);
+        assert_eq!(plain, faulted);
+        assert!(churn.is_empty());
     }
 }

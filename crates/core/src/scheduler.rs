@@ -10,19 +10,17 @@
 //! [`run_proportional`] and [`run_queued`] are thin wrappers over the
 //! online [`ClusterRms`](crate::rms::ClusterRms) facade driven by
 //! [`drive_trace`](crate::rms::drive_trace) — one generic loop for every
-//! policy. The retired bespoke event loops are kept for one PR as
-//! [`run_proportional_reference`]/[`run_queued_reference`], the
-//! differential oracles for `tests/differential_rms.rs`.
+//! policy. The bespoke per-engine event loops this module once carried
+//! are gone; their behaviour is pinned bitwise by the golden fixture in
+//! `tests/fixtures/golden_outcomes.txt` (see `tests/differential_rms.rs`).
 
 use crate::policy::ShareAdmission;
 use crate::queue::QueuePolicy;
-use crate::report::{JobRecord, Outcome, SimulationReport};
+use crate::report::SimulationReport;
 use crate::rms::ClusterRms;
-use cluster::proportional::{ProportionalCluster, ProportionalConfig};
-use cluster::{Cluster, SpaceSharedCluster};
-use sim::{EventId, SimTime, Simulator};
-use std::collections::HashMap;
-use workload::{JobId, Trace};
+use cluster::proportional::ProportionalConfig;
+use cluster::Cluster;
+use workload::Trace;
 
 /// Runs a proportional-share admission control (Libra, LibraRisk, …) over
 /// a trace and reports per-job outcomes.
@@ -40,217 +38,15 @@ pub fn run_queued(cluster: Cluster, policy: QueuePolicy, trace: &Trace) -> Simul
     ClusterRms::queued(cluster, policy).run_to_report(trace)
 }
 
-/// The retired bespoke proportional-share event loop, kept as the
-/// differential oracle for the facade ([`run_proportional`] must produce
-/// an identical report). Scheduled for deletion next PR.
-pub fn run_proportional_reference(
-    cluster: Cluster,
-    cfg: ProportionalConfig,
-    policy: &mut dyn ShareAdmission,
-    trace: &Trace,
-) -> SimulationReport {
-    #[derive(Debug)]
-    enum Ev {
-        Arrival(usize),
-        Wake,
-    }
-
-    let mut sim: Simulator<Ev> = Simulator::new();
-    for (i, j) in trace.jobs().iter().enumerate() {
-        sim.schedule_at(j.submit, Ev::Arrival(i));
-    }
-    let index_of: HashMap<JobId, usize> = trace
-        .jobs()
-        .iter()
-        .enumerate()
-        .map(|(i, j)| (j.id, i))
-        .collect();
-    assert_eq!(index_of.len(), trace.len(), "duplicate job ids in trace");
-
-    let mut engine = ProportionalCluster::new(cluster, cfg);
-    let mut outcomes: Vec<Option<Outcome>> = vec![None; trace.len()];
-    let mut wake: Option<(EventId, SimTime)> = None;
-
-    while let Some(ev) = sim.next_event() {
-        let now = sim.now();
-        // Bring the engine to the present; collect completions.
-        for done in engine.advance(now) {
-            let i = index_of[&done.job.id];
-            outcomes[i] = Some(Outcome::Completed {
-                started: done.started,
-                finish: done.finish,
-            });
-        }
-        if let Ev::Arrival(i) = ev.payload {
-            let job = trace[i].clone();
-            match policy.decide(&engine, &job) {
-                Some(nodes) => engine.admit(job, nodes, now),
-                None => outcomes[i] = Some(Outcome::Rejected { at: now }),
-            }
-        }
-        // Keep exactly one pending wake at the engine's next event. Skip
-        // the cancel/reschedule churn when the target instant is
-        // unchanged — the common case, since most events leave the
-        // earliest completion alone. Keeping the older event id is safe:
-        // arrivals are pre-scheduled at setup, so at equal instants they
-        // always outrank any wake regardless of its id.
-        let next = engine.next_event_time();
-        let unchanged = matches!((wake.as_ref(), next), (Some((_, at)), Some(t)) if *at == t);
-        if !unchanged {
-            if let Some((id, _)) = wake.take() {
-                sim.cancel(id);
-            }
-            wake = next.map(|t| (sim.schedule_at(t, Ev::Wake), t));
-        }
-    }
-    debug_assert!(engine.is_empty(), "engine drained");
-
-    finish_report(policy.name(), trace, outcomes, engine.utilization())
-}
-
-/// The retired bespoke space-shared event loop, kept as the differential
-/// oracle for the facade ([`run_queued`] must produce an identical
-/// report). Scheduled for deletion next PR.
-pub fn run_queued_reference(
-    cluster: Cluster,
-    policy: QueuePolicy,
-    trace: &Trace,
-) -> SimulationReport {
-    #[derive(Debug)]
-    enum Ev {
-        Arrival(usize),
-        Completion(JobId),
-    }
-
-    let mut sim: Simulator<Ev> = Simulator::new();
-    for (i, j) in trace.jobs().iter().enumerate() {
-        sim.schedule_at(j.submit, Ev::Arrival(i));
-    }
-    let index_of: HashMap<JobId, usize> = trace
-        .jobs()
-        .iter()
-        .enumerate()
-        .map(|(i, j)| (j.id, i))
-        .collect();
-    assert_eq!(index_of.len(), trace.len(), "duplicate job ids in trace");
-
-    let mut pool = SpaceSharedCluster::new(cluster);
-    let mut outcomes: Vec<Option<Outcome>> = vec![None; trace.len()];
-    // Waiting queue of trace indices in arrival order.
-    let mut queue: Vec<usize> = Vec::new();
-
-    while let Some(ev) = sim.next_event() {
-        let now = sim.now();
-        match ev.payload {
-            Ev::Arrival(i) => {
-                if trace[i].procs as usize > pool.cluster().len() {
-                    // Wider than the machine: can never start.
-                    outcomes[i] = Some(Outcome::Rejected { at: now });
-                } else {
-                    queue.push(i);
-                }
-            }
-            Ev::Completion(id) => {
-                let (job, started) = pool.complete(id, now);
-                outcomes[index_of[&job.id]] = Some(Outcome::Completed {
-                    started,
-                    finish: now,
-                });
-            }
-        }
-        // Dispatch as many selected jobs as fit; the head blocks, but a
-        // rejected selection lets the next candidate through.
-        while let Some(pos) = policy.select(&queue, trace.jobs()) {
-            let i = queue[pos];
-            let job = &trace[i];
-            if !policy.admit_at_start(job, now) {
-                outcomes[i] = Some(Outcome::Rejected { at: now });
-                queue.remove(pos);
-                continue;
-            }
-            if pool.can_start(job) {
-                let finish = pool.start(job.clone(), now);
-                sim.schedule_at(finish, Ev::Completion(job.id));
-                queue.remove(pos);
-            } else {
-                break;
-            }
-        }
-        // Aggressive backfilling: while the head is blocked, start any
-        // later job (in selection order) that fits the idle processors
-        // and passes the admission test. Candidates that fail either
-        // check are merely skipped, not rejected — they were not
-        // "selected" in the paper's sense.
-        if policy.backfill {
-            loop {
-                let mut started_one = false;
-                // Deadline-ordered candidate list, skipping the blocked
-                // head (position 0 of the selection order).
-                let mut order: Vec<usize> = (0..queue.len()).collect();
-                order.sort_by(|&a, &b| {
-                    let ja = &trace[queue[a]];
-                    let jb = &trace[queue[b]];
-                    ja.absolute_deadline()
-                        .cmp(&jb.absolute_deadline())
-                        .then(queue[a].cmp(&queue[b]))
-                });
-                for &pos in order.iter().skip(1) {
-                    let i = queue[pos];
-                    let job = &trace[i];
-                    if pool.can_start(job) && policy.admit_at_start(job, now) {
-                        let finish = pool.start(job.clone(), now);
-                        sim.schedule_at(finish, Ev::Completion(job.id));
-                        queue.remove(pos);
-                        started_one = true;
-                        break;
-                    }
-                }
-                if !started_one {
-                    break;
-                }
-            }
-        }
-    }
-    assert!(queue.is_empty(), "queue drained at end of simulation");
-
-    finish_report(
-        policy.name().to_string(),
-        trace,
-        outcomes,
-        pool.utilization(),
-    )
-}
-
-fn finish_report(
-    policy: String,
-    trace: &Trace,
-    outcomes: Vec<Option<Outcome>>,
-    utilization: f64,
-) -> SimulationReport {
-    let records: Vec<JobRecord> = trace
-        .jobs()
-        .iter()
-        .zip(outcomes)
-        .map(|(job, outcome)| JobRecord {
-            job: job.clone(),
-            outcome: outcome.expect("every job has an outcome"),
-        })
-        .collect();
-    SimulationReport {
-        policy,
-        records,
-        utilization,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::libra::Libra;
     use crate::libra_risk::LibraRisk;
     use crate::queue::QueueDiscipline;
+    use crate::report::Outcome;
     use sim::{SimDuration, SimTime};
-    use workload::{Job, Urgency};
+    use workload::{Job, JobId, Urgency};
 
     fn job(id: u64, submit: f64, runtime: f64, estimate: f64, procs: u32, deadline: f64) -> Job {
         Job {
@@ -501,39 +297,5 @@ mod tests {
             &trace,
         );
         assert!((report.utilization - 1.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn facade_matches_reference_loops_on_mixed_traffic() {
-        let jobs: Vec<Job> = (0..60)
-            .map(|i| {
-                job(
-                    i,
-                    i as f64 * 7.0,
-                    20.0 + (i % 5) as f64 * 11.0,
-                    30.0 + (i % 3) as f64 * 25.0,
-                    1 + (i % 2) as u32,
-                    90.0 + (i % 4) as f64 * 40.0,
-                )
-            })
-            .collect();
-        let trace = Trace::new(jobs);
-        let facade = run_proportional(
-            two_node_cluster(),
-            ProportionalConfig::default(),
-            &mut LibraRisk::paper(),
-            &trace,
-        );
-        let reference = run_proportional_reference(
-            two_node_cluster(),
-            ProportionalConfig::default(),
-            &mut LibraRisk::paper(),
-            &trace,
-        );
-        assert_eq!(facade, reference);
-        let policy = QueuePolicy::new(QueueDiscipline::EarliestDeadline, true).with_backfill(true);
-        let facade = run_queued(two_node_cluster(), policy, &trace);
-        let reference = run_queued_reference(two_node_cluster(), policy, &trace);
-        assert_eq!(facade, reference);
     }
 }

@@ -1,20 +1,21 @@
 //! Differential tests for the online RMS facade.
 //!
-//! The unified driver (`PolicyKind::run`, one generic loop over
-//! `ClusterRms`) must reproduce the retired bespoke event loops
-//! (`PolicyKind::run_reference`) *identically* — every per-job outcome,
-//! the utilisation and the policy name — for every policy in the
-//! catalogue, over realistic synthetic traces. Any divergence means the
-//! facade's event ordering differs from the batch loops' (a completion
+//! The bespoke per-engine event loops are gone; their behaviour survives
+//! as a golden fixture (`tests/fixtures/golden_outcomes.txt`) snapshotted
+//! from the last commit that carried them. The unified driver
+//! (`PolicyKind::run`, one generic loop over `ClusterRms`) must reproduce
+//! that snapshot *bitwise* — every per-job outcome instant, the
+//! utilisation and the policy name — for every policy in the catalogue.
+//! Any divergence means the facade's event ordering drifted (a completion
 //! processed on the wrong side of a same-instant arrival, a spurious
 //! rate-recomputation point) and would silently change simulation
 //! results.
 //!
-//! On top of the batch equivalence, a property test interleaves
-//! `advance` calls at arbitrary intermediate instants between
-//! submissions: the facade contract says `advance(to)` brings the RMS to
-//! exactly the state an arrival at `to` would observe, so the streamed
-//! outcomes must be independent of how often time is advanced.
+//! On top of the batch equivalence, property tests cover the fault
+//! subsystem's two structural contracts: an **empty** `FaultPlan` is
+//! bitwise inert for every policy, and streamed outcomes under a fixed
+//! non-empty plan are independent of how often `advance` is called
+//! between submissions.
 
 use cluster::Cluster;
 use librisk::prelude::*;
@@ -41,44 +42,109 @@ fn small_cluster() -> Cluster {
     Cluster::homogeneous(16, 168.0)
 }
 
+/// A churn plan that repeatedly takes nodes down and back up across the
+/// whole span of a trace.
+fn churn_plan(trace: &Trace, seed: u64) -> FaultPlan {
+    let span = trace
+        .jobs()
+        .last()
+        .map(|j| j.submit.as_secs())
+        .unwrap_or(0.0)
+        + 5_000.0;
+    FaultPlan::exponential(16, span / 4.0, span / 16.0, SimTime::from_secs(span), seed)
+}
+
+/// The unified driver replayed against the golden snapshot of the retired
+/// reference loops: 13 policies × 2 seeds × 180 jobs, compared bitwise.
 #[test]
-fn facade_reproduces_reference_loops_for_every_policy() {
-    for seed in [7u64, 4242] {
+fn unified_driver_matches_golden_fixture() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/golden_outcomes.txt"
+    ))
+    .expect("golden fixture present");
+    let mut lines = text.lines();
+    let mut sections = 0usize;
+    while let Some(header) = lines.next() {
+        let f: Vec<&str> = header.split(' ').collect();
+        assert_eq!(
+            (f[0], f[2], f[4], f[6]),
+            ("policy", "name", "seed", "utilization"),
+            "malformed fixture header: {header}"
+        );
+        let kind = PolicyKind::ALL
+            .iter()
+            .copied()
+            .find(|k| format!("{k:?}") == f[1])
+            .unwrap_or_else(|| panic!("unknown policy {} in fixture", f[1]));
+        let seed: u64 = f[5].parse().expect("seed");
+        let util_bits = u64::from_str_radix(f[7], 16).expect("utilization bits");
+
         let trace = synthetic_trace(180, seed);
-        let cluster = small_cluster();
-        for kind in PolicyKind::ALL {
-            let facade = kind.run(&cluster, &trace);
-            let reference = kind.run_reference(&cluster, &trace);
-            assert_eq!(
-                facade.policy, reference.policy,
-                "{kind:?} (seed {seed}): policy name"
-            );
-            assert_eq!(
-                facade.utilization, reference.utilization,
-                "{kind:?} (seed {seed}): utilization"
-            );
-            assert_eq!(
-                facade.records.len(),
-                reference.records.len(),
-                "{kind:?} (seed {seed}): record count"
-            );
-            for (i, (f, r)) in facade
-                .records
-                .iter()
-                .zip(reference.records.iter())
-                .enumerate()
-            {
-                assert_eq!(f, r, "{kind:?} (seed {seed}): job {i} outcome diverged");
+        let report = kind.run(&small_cluster(), &trace);
+        assert_eq!(
+            report.policy, f[3],
+            "{kind:?} (seed {seed}): policy name diverged from golden"
+        );
+        assert_eq!(
+            report.utilization.to_bits(),
+            util_bits,
+            "{kind:?} (seed {seed}): utilization diverged from golden"
+        );
+        for (i, rec) in report.records.iter().enumerate() {
+            let line = lines.next().expect("record line");
+            let p: Vec<&str> = line.split(' ').collect();
+            assert_eq!(p[0].parse::<usize>().unwrap(), i, "{kind:?} seed {seed}");
+            let bits = |s: &str| u64::from_str_radix(s, 16).expect("outcome bits");
+            match rec.outcome {
+                Outcome::Rejected { at } => {
+                    assert_eq!(p[1], "R", "{kind:?} seed {seed} job {i}: kind flipped");
+                    assert_eq!(
+                        at.as_secs().to_bits(),
+                        bits(p[2]),
+                        "{kind:?} seed {seed} job {i}: rejection instant"
+                    );
+                }
+                Outcome::Completed { started, finish } => {
+                    assert_eq!(p[1], "C", "{kind:?} seed {seed} job {i}: kind flipped");
+                    assert_eq!(
+                        started.as_secs().to_bits(),
+                        bits(p[2]),
+                        "{kind:?} seed {seed} job {i}: start instant"
+                    );
+                    assert_eq!(
+                        finish.as_secs().to_bits(),
+                        bits(p[3]),
+                        "{kind:?} seed {seed} job {i}: finish instant"
+                    );
+                }
+                Outcome::Killed { .. } => {
+                    panic!("{kind:?} seed {seed} job {i}: killed without faults")
+                }
             }
         }
+        sections += 1;
     }
+    assert_eq!(
+        sections,
+        PolicyKind::ALL.len() * 2,
+        "fixture covers every policy at both seeds"
+    );
 }
 
 /// Replays a trace through the facade with extra `advance` calls wedged
 /// between submissions at `frac` of each inter-arrival gap, collecting
 /// every streamed event.
-fn run_interleaved(kind: PolicyKind, trace: &Trace, fracs: &[f64]) -> Vec<(u64, JobRecord)> {
+fn run_interleaved(
+    kind: PolicyKind,
+    trace: &Trace,
+    fracs: &[f64],
+    faults: Option<(FaultPlan, RecoveryPolicy)>,
+) -> Vec<(u64, JobRecord)> {
     let mut rms = kind.rms(&small_cluster());
+    if let Some((plan, recovery)) = faults {
+        rms = rms.with_faults(plan, recovery);
+    }
     let mut out: Vec<(u64, JobRecord)> = Vec::new();
     let mut prev = SimTime::ZERO;
     for (i, job) in trace.jobs().iter().enumerate() {
@@ -112,11 +178,116 @@ proptest! {
         let trace = synthetic_trace(60, seed);
         for kind in [PolicyKind::LibraRisk, PolicyKind::EdfBackfill, PolicyKind::Qops] {
             let batch = kind.run(&small_cluster(), &trace);
-            let streamed = run_interleaved(kind, &trace, &fracs);
+            let streamed = run_interleaved(kind, &trace, &fracs, None);
             prop_assert_eq!(streamed.len(), batch.records.len());
             for (i, (seq, record)) in streamed.iter().enumerate() {
                 prop_assert_eq!(*seq, i as u64);
                 prop_assert_eq!(record, &batch.records[i], "{:?} job {}", kind, i);
+            }
+        }
+    }
+
+    // An empty fault plan is structurally inert: for every policy in the
+    // catalogue the report (records, outcome instants, utilisation and
+    // churn aggregates) is bitwise identical to a run without any fault
+    // plumbing attached.
+    #[test]
+    fn empty_fault_plan_is_bitwise_inert_for_every_policy(seed in 0u64..500) {
+        let trace = synthetic_trace(80, seed);
+        for kind in PolicyKind::ALL {
+            let plain = kind.run(&small_cluster(), &trace);
+            let faulted = kind
+                .rms(&small_cluster())
+                .with_faults(FaultPlan::empty(), RecoveryPolicy::Requeue)
+                .run_to_report(&trace);
+            prop_assert_eq!(&plain, &faulted, "{:?} (seed {})", kind, seed);
+            prop_assert!(faulted.churn.is_empty());
+        }
+    }
+
+    // Under a fixed non-empty plan, streamed outcomes are still
+    // independent of how often time is advanced between submissions:
+    // faults fire at their plan instants no matter who moves the clock.
+    #[test]
+    fn interleaved_advances_are_invariant_under_churn(
+        seed in 0u64..200,
+        fracs in proptest::collection::vec(0.0..1.0f64, 1..6),
+    ) {
+        let trace = synthetic_trace(60, seed);
+        let plan = churn_plan(&trace, 0xC0FFEE ^ seed);
+        for (kind, recovery) in [
+            (PolicyKind::LibraRisk, RecoveryPolicy::Requeue),
+            (PolicyKind::EdfBackfill, RecoveryPolicy::Kill),
+            (PolicyKind::Qops, RecoveryPolicy::Requeue),
+        ] {
+            let batch = kind
+                .rms(&small_cluster())
+                .with_faults(plan.clone(), recovery)
+                .run_to_report(&trace);
+            let streamed =
+                run_interleaved(kind, &trace, &fracs, Some((plan.clone(), recovery)));
+            prop_assert_eq!(streamed.len(), batch.records.len());
+            for (i, (seq, record)) in streamed.iter().enumerate() {
+                prop_assert_eq!(*seq, i as u64);
+                prop_assert_eq!(record, &batch.records[i], "{:?} job {}", kind, i);
+            }
+        }
+    }
+}
+
+/// Churn safety for the whole catalogue: under a busy fault plan, every
+/// submitted job still resolves exactly once, `Killed` only appears under
+/// the `Kill` recovery policy, and the streamed kill count agrees with
+/// the churn aggregates.
+#[test]
+fn every_job_resolves_exactly_once_under_churn() {
+    let trace = synthetic_trace(120, 7);
+    let plan = churn_plan(&trace, 99);
+    for kind in PolicyKind::ALL {
+        for recovery in [RecoveryPolicy::Kill, RecoveryPolicy::Requeue] {
+            let report = kind
+                .rms(&small_cluster())
+                .with_faults(plan.clone(), recovery)
+                .run_to_report(&trace);
+            assert_eq!(
+                report.records.len(),
+                trace.len(),
+                "{kind:?}/{recovery:?}: every job resolves exactly once"
+            );
+            let killed = report
+                .records
+                .iter()
+                .filter(|r| matches!(r.outcome, Outcome::Killed { .. }))
+                .count() as u64;
+            match recovery {
+                RecoveryPolicy::Kill => {
+                    assert_eq!(report.churn.requeues, 0, "{kind:?}: kill never requeues");
+                }
+                RecoveryPolicy::Requeue => {
+                    assert_eq!(killed, 0, "{kind:?}: requeue never kills");
+                    // `requeues` counts displacement events (one job can be
+                    // displaced repeatedly along a fault chain); the tally
+                    // judges each distinct requeued job exactly once.
+                    let judged = report.churn.requeued_fulfilled.total();
+                    assert!(
+                        judged <= report.churn.requeues,
+                        "{kind:?}: distinct jobs ≤ requeue events"
+                    );
+                    assert!(
+                        report.churn.requeue_rejects <= judged,
+                        "{kind:?}: rejects are a subset of judged requeues"
+                    );
+                    if report.churn.requeues > 0 {
+                        assert!(judged > 0, "{kind:?}: requeued jobs are judged");
+                    }
+                }
+            }
+            assert_eq!(report.churn.kills, killed, "{kind:?}: kill count agrees");
+            assert!(report.churn.node_failures > 0, "plan actually fired");
+            // Record identity: outcomes are reported against the job as
+            // originally submitted, even after a requeue chain.
+            for (rec, original) in report.records.iter().zip(trace.jobs()) {
+                assert_eq!(&rec.job, original, "{kind:?}/{recovery:?}");
             }
         }
     }

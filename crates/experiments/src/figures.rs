@@ -447,6 +447,72 @@ pub fn heterogeneity(cfg: &FigureConfig) -> Figure {
     }
 }
 
+/// Node-churn study (ours): rerun the default scenario under a seeded
+/// exponential fault plan, sweeping the expected number of failures per
+/// node over the trace span, once for each recovery policy. Kill shows
+/// the raw SLA damage of losing resident jobs; Requeue shows how much of
+/// it re-admission against the *remaining* deadline claws back.
+pub fn churn(cfg: &FigureConfig) -> Figure {
+    use cluster::RecoveryPolicy;
+    // Expected trace span: jobs arrive ~every MEAN_INTER_ARRIVAL_SECS at
+    // the default arrival delay factor, so `span / x` is the per-node
+    // MTBF that yields ~x failures per node over the run.
+    let span = cfg.jobs as f64 * params::MEAN_INTER_ARRIVAL_SECS;
+    let failures_per_node = [0.5, 1.0, 2.0, 4.0];
+    let sweep_with = |recovery: RecoveryPolicy| -> SweepOutcome {
+        let points: Vec<(f64, Scenario)> = failures_per_node
+            .iter()
+            .map(|&x| {
+                let mtbf = span / x;
+                (
+                    x,
+                    Scenario {
+                        jobs: cfg.jobs,
+                        estimates: EstimateRegime::Trace,
+                        node_mtbf: mtbf,
+                        node_mttr: mtbf / 10.0,
+                        recovery,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        run_sweep(&points, &PolicyKind::PAPER, &cfg.seeds, cfg.threads)
+    };
+    let kill = sweep_with(RecoveryPolicy::Kill);
+    let requeue = sweep_with(RecoveryPolicy::Requeue);
+    Figure {
+        id: "churn".to_string(),
+        title: "Impact of node churn under Kill vs Requeue recovery".to_string(),
+        panels: vec![
+            Panel {
+                label: "(a) Kill recovery".to_string(),
+                x_label: "Expected failures per node".to_string(),
+                metric: "% of jobs with deadlines fulfilled".to_string(),
+                series: kill.fulfilled.clone(),
+            },
+            Panel {
+                label: "(b) Requeue recovery".to_string(),
+                x_label: "Expected failures per node".to_string(),
+                metric: "% of jobs with deadlines fulfilled".to_string(),
+                series: requeue.fulfilled.clone(),
+            },
+            Panel {
+                label: "(c) Kill recovery".to_string(),
+                x_label: "Expected failures per node".to_string(),
+                metric: "average slowdown".to_string(),
+                series: kill.slowdown,
+            },
+            Panel {
+                label: "(d) Requeue recovery".to_string(),
+                x_label: "Expected failures per node".to_string(),
+                metric: "average slowdown".to_string(),
+                series: requeue.slowdown,
+            },
+        ],
+    }
+}
+
 /// Computation-at-Risk profile of the paper's policies at the default
 /// scenario: the related work's own lens (§2, Kleban & Clearwater) —
 /// 95 % value-at-risk and expected shortfall of the expansion factor and
@@ -874,5 +940,21 @@ mod tests {
         assert_eq!(fig.panels.len(), 2);
         assert_eq!(fig.panels[0].series.len(), 3);
         assert_eq!(fig.panels[0].series[0].len(), 4);
+    }
+
+    #[test]
+    fn churn_figure_has_four_panels_over_the_mtbf_grid() {
+        let fig = churn(&tiny_cfg());
+        assert_eq!(fig.panels.len(), 4);
+        for p in &fig.panels {
+            assert_eq!(p.series.len(), 3, "one line per paper policy");
+            assert_eq!(p.series[0].len(), 4, "one point per MTBF level");
+        }
+        // The Kill fulfilled panel must not silently equal the Requeue
+        // one: the sweeps really ran under different recovery policies.
+        let means = |panel: &Panel| -> Vec<(f64, f64)> {
+            panel.series.iter().flat_map(|s| s.mean_points()).collect()
+        };
+        assert_ne!(means(&fig.panels[0]), means(&fig.panels[1]));
     }
 }

@@ -70,7 +70,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: experiments <fig1|fig2|fig3|fig4|ablation|robustness|heterogeneity|\
+    "usage: experiments <fig1|fig2|fig3|fig4|ablation|robustness|heterogeneity|churn|\
      budget|risk-profile|convergence|summary|trace-stats|all> \
      [--jobs N] [--seeds 1,2,3] [--threads N] [--out DIR] [--charts] [--quick]"
         .to_string()
@@ -151,6 +151,7 @@ fn main() -> ExitCode {
             "ablation" => emit_figure(&figures::ablation(cfg), &args.out, args.charts),
             "robustness" => emit_figure(&figures::robustness(cfg), &args.out, args.charts),
             "heterogeneity" => emit_figure(&figures::heterogeneity(cfg), &args.out, args.charts),
+            "churn" => emit_figure(&figures::churn(cfg), &args.out, args.charts),
             "convergence" => {
                 let t = figures::convergence_table(cfg);
                 print!("{}", t.to_markdown());
@@ -202,6 +203,7 @@ fn main() -> ExitCode {
                 "ablation",
                 "robustness",
                 "heterogeneity",
+                "churn",
                 "budget",
                 "risk-profile",
                 "convergence",
@@ -211,7 +213,8 @@ fn main() -> ExitCode {
             }
         }
         cmd @ ("trace-stats" | "fig1" | "fig2" | "fig3" | "fig4" | "ablation" | "robustness"
-        | "heterogeneity" | "budget" | "risk-profile" | "convergence" | "summary") => run(cmd),
+        | "heterogeneity" | "churn" | "budget" | "risk-profile" | "convergence"
+        | "summary") => run(cmd),
         other => {
             eprintln!("unknown command {other}\n{}", usage());
             return ExitCode::FAILURE;

@@ -1,8 +1,8 @@
 //! A fully-specified simulation scenario (§4's methodology as data).
 
-use cluster::Cluster;
+use cluster::{Cluster, FaultPlan, RecoveryPolicy};
 use librisk::{drive_trace, OnlineReport, PolicyKind, SimulationReport};
-use sim::Rng64;
+use sim::{Rng64, SimTime};
 use workload::deadlines::DeadlineModel;
 use workload::estimates;
 use workload::lublin::LublinModel;
@@ -66,6 +66,14 @@ pub struct Scenario {
     /// paper's machine); `s > 0` assigns ratings `168·(1−s)`, `168`,
     /// `168·(1+s)` round-robin, keeping mean capacity constant.
     pub rating_spread: f64,
+    /// Per-node mean time between failures in simulated seconds for the
+    /// churn studies; 0 disables fault injection entirely (the run is
+    /// bitwise identical to one without a fault plan).
+    pub node_mtbf: f64,
+    /// Per-node mean time to repair in simulated seconds.
+    pub node_mttr: f64,
+    /// What happens to jobs resident on a failed node.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for Scenario {
@@ -80,6 +88,9 @@ impl Default for Scenario {
             nodes: params::SDSC_SP2_NODES,
             source: TraceSource::SyntheticSdsc,
             rating_spread: 0.0,
+            node_mtbf: 0.0,
+            node_mttr: 0.0,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -142,10 +153,35 @@ impl Scenario {
         trace
     }
 
+    /// The seeded churn plan covering the whole trace span (plus a tail
+    /// for jobs still running after the last arrival). Empty when
+    /// `node_mtbf` is 0.
+    pub fn fault_plan(&self, trace: &workload::Trace) -> FaultPlan {
+        if self.node_mtbf <= 0.0 {
+            return FaultPlan::empty();
+        }
+        let last_arrival = trace
+            .jobs()
+            .last()
+            .map(|j| j.submit.as_secs())
+            .unwrap_or(0.0);
+        let horizon = SimTime::from_secs(last_arrival * 1.1 + self.node_mttr * 4.0);
+        FaultPlan::exponential(
+            self.nodes,
+            self.node_mtbf,
+            self.node_mttr.max(1.0),
+            horizon,
+            Rng64::new(self.seed).split("fault-plan").next_u64(),
+        )
+    }
+
     /// Builds the trace and runs one policy over it.
     pub fn run(&self, policy: PolicyKind) -> SimulationReport {
         let trace = self.build_trace();
-        policy.run(&self.cluster(), &trace)
+        policy
+            .rms(&self.cluster())
+            .with_faults(self.fault_plan(&trace), self.recovery)
+            .run_to_report(&trace)
     }
 
     /// Builds the trace and streams one policy over it into O(1) online
@@ -155,10 +191,13 @@ impl Scenario {
     /// per cell.
     pub fn run_online(&self, policy: PolicyKind) -> OnlineReport {
         let trace = self.build_trace();
-        let mut rms = policy.rms(&self.cluster());
+        let mut rms = policy
+            .rms(&self.cluster())
+            .with_faults(self.fault_plan(&trace), self.recovery);
         let mut sink = OnlineReport::new();
         drive_trace(&mut rms, &trace, &mut sink);
         sink.set_utilization(rms.utilization());
+        sink.set_churn(*rms.churn());
         sink
     }
 }
@@ -260,6 +299,38 @@ mod tests {
             assert!((online.avg_slowdown() - batch.avg_slowdown()).abs() < 1e-9);
             assert_eq!(online.utilization(), batch.utilization);
         }
+    }
+
+    #[test]
+    fn zero_mtbf_disables_fault_injection_bitwise() {
+        let plain = small().run(PolicyKind::LibraRisk);
+        let gated = Scenario {
+            node_mtbf: 0.0,
+            node_mttr: 0.0,
+            recovery: cluster::RecoveryPolicy::Requeue,
+            ..small()
+        }
+        .run(PolicyKind::LibraRisk);
+        assert_eq!(plain.records, gated.records);
+        assert!(gated.churn.is_empty());
+    }
+
+    #[test]
+    fn churn_scenario_injects_faults_and_reports_them() {
+        let span = 150.0 * params::MEAN_INTER_ARRIVAL_SECS;
+        let s = Scenario {
+            node_mtbf: span / 4.0,
+            node_mttr: span / 40.0,
+            recovery: cluster::RecoveryPolicy::Requeue,
+            ..small()
+        };
+        let batch = s.run(PolicyKind::LibraRisk);
+        assert!(batch.churn.node_failures > 0, "plan actually fired");
+        let online = s.run_online(PolicyKind::LibraRisk);
+        assert_eq!(online.churn(), &batch.churn, "online sink carries churn");
+        assert_eq!(online.fulfilled(), batch.fulfilled() as u64);
+        // Deterministic: the plan is derived from the scenario seed.
+        assert_eq!(s.run(PolicyKind::LibraRisk).records, batch.records);
     }
 
     #[test]

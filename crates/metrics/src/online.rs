@@ -157,7 +157,7 @@ impl OnlineStats {
 /// An O(1) hit counter: `hits` out of `total` trials, with the
 /// percentage accessor every figure of the paper reports (fulfilled %,
 /// acceptance %, per-urgency fulfilment).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Tally {
     total: u64,
     hits: u64,

@@ -127,6 +127,17 @@ impl Rng64 {
         self.next_f64() < p
     }
 
+    /// Exponentially distributed sample with the given `mean` (inverse
+    /// transform on the open unit interval, so `ln` never sees zero).
+    ///
+    /// # Panics
+    /// Panics if `mean` is not positive.
+    #[inline]
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        -mean * self.next_f64_open().ln()
+    }
+
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         let n = xs.len();
@@ -257,6 +268,21 @@ mod tests {
         let empty: [u8; 0] = [];
         assert_eq!(r.choose(&empty), None);
         assert_eq!(r.choose(&[42]), Some(&42));
+    }
+
+    #[test]
+    fn exponential_mean_is_reasonable() {
+        let mut r = Rng64::new(13);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(50.0)).sum::<f64>() / n as f64;
+        assert!((mean - 50.0).abs() < 1.0, "mean {mean}");
+        assert!((0..1000).all(|_| r.exponential(1.0) > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_non_positive_mean() {
+        Rng64::new(0).exponential(0.0);
     }
 
     #[test]

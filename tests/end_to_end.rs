@@ -189,6 +189,42 @@ fn no_admission_control_baselines_are_much_worse_under_load() {
 }
 
 #[test]
+fn churn_degrades_fulfilment_and_requeue_recovers_part_of_it() {
+    let span = 250.0 * workload::params::MEAN_INTER_ARRIVAL_SECS;
+    let churned = |recovery: RecoveryPolicy| Scenario {
+        node_mtbf: span / 3.0,
+        node_mttr: span / 30.0,
+        recovery,
+        ..scenario()
+    };
+    for policy in [PolicyKind::LibraRisk, PolicyKind::Edf, PolicyKind::Qops] {
+        let calm = scenario().run(policy);
+        let kill = churned(RecoveryPolicy::Kill).run(policy);
+        let requeue = churned(RecoveryPolicy::Requeue).run(policy);
+        assert!(calm.churn.is_empty(), "{policy}: fault-free run is clean");
+        assert!(
+            kill.churn.kills > 0,
+            "{policy}: an ~83-failure plan must hit resident jobs"
+        );
+        assert!(
+            kill.fulfilled_pct() < calm.fulfilled_pct(),
+            "{policy}: churn must cost fulfilment ({:.1}% vs {:.1}%)",
+            kill.fulfilled_pct(),
+            calm.fulfilled_pct()
+        );
+        assert_eq!(requeue.churn.kills, 0, "{policy}: requeue never kills");
+        assert!(
+            requeue.churn.requeues > 0,
+            "{policy}: displaced jobs are re-admitted"
+        );
+        // Accounting stays a partition of the submissions in every mode.
+        for r in [&kill, &requeue] {
+            assert_eq!(r.accepted() + r.rejected(), r.submitted(), "{policy}");
+        }
+    }
+}
+
+#[test]
 fn rejected_jobs_never_execute_and_accepted_jobs_always_finish() {
     for policy in [PolicyKind::Libra, PolicyKind::LibraRisk, PolicyKind::Edf] {
         let report = scenario().run(policy);
@@ -202,6 +238,9 @@ fn rejected_jobs_never_execute_and_accepted_jobs_always_finish() {
                         finish > started || r.job.runtime.as_secs() < 1e-3,
                         "{policy}"
                     );
+                }
+                Outcome::Killed { .. } => {
+                    unreachable!("{policy}: no fault plan, nothing can be killed")
                 }
             }
         }
