@@ -27,11 +27,27 @@ cargo fmt --check
 echo "== lint: clippy =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== lint: clippy (obs, all targets) =="
+# The observability crate is new and zero-dep: hold it to -D warnings
+# on every target (lib, tests) explicitly.
+cargo clippy -p obs --all-targets -- -D warnings
+
+echo "== obs smoke: trace exports =="
+# A small ring-recorder churn run; the subcommand itself re-parses the
+# JSONL and Chrome trace_event exports and exits non-zero on malformed
+# output, so this both exercises the hooks and validates the exporters.
+obs_out="$(mktemp -d /tmp/obs_smoke.XXXXXX)"
+trap 'rm -rf "$obs_out"' EXIT
+cargo run --release -q -p experiments -- trace --quick --out "$obs_out" >/dev/null
+for f in events.jsonl trace.json metrics.prom; do
+    test -s "$obs_out/$f" || { echo "missing obs artefact $f"; exit 1; }
+done
+
 echo "== bench smoke: admission =="
 # Small counts; writes to a scratch path so the committed
 # BENCH_admission.json baseline (full-size run) is not clobbered.
 smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
-trap 'rm -f "$smoke_out"' EXIT
+trap 'rm -f "$smoke_out" ; rm -rf "$obs_out"' EXIT
 cargo run --release -p bench --bin bench_admission -- 200 2 400 "$smoke_out" >/dev/null
 
 echo "ci.sh: OK"

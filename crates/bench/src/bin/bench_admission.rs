@@ -244,6 +244,24 @@ fn drive_trace_churn_throughput(
     (trace.len() as f64 / secs, sink.fulfilled(), *rms.churn())
 }
 
+/// The unified-driver replay with a recorder attached — the
+/// observability overhead probe's workhorse.
+fn drive_trace_obs_throughput(
+    kind: PolicyKind,
+    trace: &Trace,
+    recorder: Option<&mut dyn obs::Recorder>,
+) -> (f64, u64) {
+    let t = Instant::now();
+    let rms = kind.rms(&Cluster::sdsc_sp2());
+    let mut sink = OnlineReport::new();
+    match recorder {
+        Some(rec) => drive_trace(&mut rms.with_recorder(rec), trace, &mut sink),
+        None => drive_trace(&mut { rms }, trace, &mut sink),
+    }
+    let secs = t.elapsed().as_secs_f64();
+    (trace.len() as f64 / secs, sink.fulfilled())
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let decisions: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(10_000);
@@ -374,6 +392,137 @@ fn main() {
         "empty fault plan costs more than 25% driver throughput (ratio {overhead_ratio:.3})"
     );
 
+    // Observability overhead probe: the same replay with no recorder,
+    // the disabled `NoopRecorder`, a default ring `TraceRecorder`, and
+    // a ring with per-decision policy audit gauges enabled (the one
+    // deliberately expensive hook — it re-walks cluster risk around
+    // every decision). Outcomes must agree exactly (recorders are
+    // inert) and the default ring must stay within a few percent of
+    // plain throughput.
+    // A sub-millisecond replay cannot resolve a few-percent ratio, so
+    // the probe keeps a 2000-job floor even when the smoke run shrinks
+    // the driver sections.
+    let obs_jobs = driver_jobs.max(2_000);
+    let obs_trace_storage;
+    let obs_trace: &Trace = if obs_jobs == driver_jobs {
+        &driver_trace
+    } else {
+        let mut t = SyntheticSdscSp2 {
+            jobs: obs_jobs,
+            ..Default::default()
+        }
+        .generate(11);
+        DeadlineModel::default().assign(&mut Rng64::new(12), t.jobs_mut());
+        obs_trace_storage = t;
+        &obs_trace_storage
+    };
+    eprintln!("obs overhead probe: {obs_jobs}-job replay, 4 recorder modes");
+    // Interleaved rounds, best-per-mode: scheduler drift hits all four
+    // modes alike instead of biasing whichever batch ran in a quiet
+    // window.
+    // (name, runner, best jobs/sec so far, fulfilled count pin)
+    #[allow(clippy::type_complexity)]
+    let mut modes: [(&str, Box<dyn FnMut() -> (f64, u64)>, f64, Option<u64>); 4] = [
+        (
+            "plain",
+            Box::new(|| drive_trace_obs_throughput(PolicyKind::LibraRisk, obs_trace, None)),
+            0.0,
+            None,
+        ),
+        (
+            "noop",
+            Box::new(|| {
+                let mut rec = obs::NoopRecorder;
+                drive_trace_obs_throughput(PolicyKind::LibraRisk, obs_trace, Some(&mut rec))
+            }),
+            0.0,
+            None,
+        ),
+        (
+            "ring",
+            Box::new(|| {
+                let mut rec = obs::TraceRecorder::new(1 << 16);
+                drive_trace_obs_throughput(PolicyKind::LibraRisk, obs_trace, Some(&mut rec))
+            }),
+            0.0,
+            None,
+        ),
+        (
+            "gauged",
+            Box::new(|| {
+                let mut rec = obs::TraceRecorder::new(1 << 16).with_audit_gauges();
+                drive_trace_obs_throughput(PolicyKind::LibraRisk, obs_trace, Some(&mut rec))
+            }),
+            0.0,
+            None,
+        ),
+    ];
+    const ROUNDS: usize = 5;
+    let mut rounds = [[0.0f64; 4]; ROUNDS];
+    for round in rounds.iter_mut() {
+        for (slot, (name, f, best, fulfilled)) in round.iter_mut().zip(modes.iter_mut()) {
+            let (jps, got) = f();
+            assert_eq!(
+                *fulfilled.get_or_insert(got),
+                got,
+                "{name}: replays are deterministic"
+            );
+            *best = best.max(jps);
+            *slot = jps;
+        }
+    }
+    // Per-round ratios against the plain replay of the *same* round, best
+    // round kept: a contended stretch slows both sides of a pair alike,
+    // so the quietest round is the least biased estimate.
+    let best_ratio = |mode: usize| -> f64 {
+        rounds
+            .iter()
+            .map(|r| r[mode] / r[0])
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+    let (obs_plain_jps, obs_plain_fulfilled) = (modes[0].2, modes[0].3.unwrap());
+    let (noop_jps, noop_fulfilled) = (modes[1].2, modes[1].3.unwrap());
+    let (ring_jps, ring_fulfilled) = (modes[2].2, modes[2].3.unwrap());
+    let (gauged_jps, gauged_fulfilled) = (modes[3].2, modes[3].3.unwrap());
+    assert_eq!(
+        obs_plain_fulfilled, noop_fulfilled,
+        "a noop recorder must not change outcomes"
+    );
+    assert_eq!(
+        obs_plain_fulfilled, ring_fulfilled,
+        "a ring recorder must not change outcomes"
+    );
+    assert_eq!(
+        obs_plain_fulfilled, gauged_fulfilled,
+        "audit gauges must not change outcomes"
+    );
+    let noop_ratio = best_ratio(1);
+    let ring_ratio = best_ratio(2);
+    let gauged_ratio = best_ratio(3);
+    let ring_overhead_pct = (1.0 - ring_ratio) * 100.0;
+    // One final instrumented run to report the recorded decide latency.
+    let mut latency_rec = obs::TraceRecorder::new(1 << 16);
+    drive_trace_obs_throughput(PolicyKind::LibraRisk, obs_trace, Some(&mut latency_rec));
+    let decide_ns_mean = latency_rec
+        .registry()
+        .histogram(obs::keys::DECIDE_LATENCY)
+        .map_or(0.0, |h| h.mean());
+    eprintln!(
+        "obs overhead: plain {obs_plain_jps:.0} vs noop {noop_jps:.0} (ratio {noop_ratio:.3}) \
+         vs ring {ring_jps:.0} (ratio {ring_ratio:.3}, {ring_overhead_pct:.1}% overhead) \
+         vs gauged ring {gauged_jps:.0} jobs/sec (ratio {gauged_ratio:.3})"
+    );
+    // Regression tripwire with noise headroom; the committed full-size
+    // run is the record of the actual (≈0%) overhead.
+    assert!(
+        ring_ratio > 0.90,
+        "ring recorder costs more than 10% driver throughput (ratio {ring_ratio:.3})"
+    );
+    assert!(
+        noop_ratio > 0.90,
+        "noop recorder costs more than 10% driver throughput (ratio {noop_ratio:.3})"
+    );
+
     let json = format!(
         "{{\n  \"decisions\": {decisions},\n  \"residents_per_node\": {residents},\n  \
          \"policies\": {{\n    \
@@ -387,7 +536,14 @@ fn main() {
          \"unified_driver\": {{ \"jobs\": {driver_jobs}, \"policies\": {{\n{}\n  }} }},\n  \
          \"churn_driver\": {{ \"jobs\": {driver_jobs}, \"fault_events\": {}, \"policies\": {{\n{}\n  }} }},\n  \
          \"fault_free_overhead\": {{ \"plain_jobs_per_sec\": {plain_jps:.0}, \
-         \"empty_plan_jobs_per_sec\": {empty_jps:.0}, \"ratio\": {overhead_ratio:.3} }}\n}}\n",
+         \"empty_plan_jobs_per_sec\": {empty_jps:.0}, \"ratio\": {overhead_ratio:.3} }},\n  \
+         \"obs_overhead\": {{ \"plain_jobs_per_sec\": {obs_plain_jps:.0}, \
+         \"noop_jobs_per_sec\": {noop_jps:.0}, \"ring_jobs_per_sec\": {ring_jps:.0}, \
+         \"gauged_ring_jobs_per_sec\": {gauged_jps:.0}, \
+         \"noop_ratio\": {noop_ratio:.3}, \"ring_ratio\": {ring_ratio:.3}, \
+         \"gauged_ring_ratio\": {gauged_ratio:.3}, \
+         \"ring_overhead_pct\": {ring_overhead_pct:.1}, \
+         \"decide_ns_mean\": {decide_ns_mean:.0} }}\n}}\n",
         libra_t.json(),
         lr_t.json(),
         sweep_cells.join(",\n"),

@@ -206,6 +206,11 @@ pub struct ProportionalCluster {
     node_jobs: Vec<Vec<JobId>>,
     last_update: SimTime,
     busy_integral: f64,
+    /// Node-seconds spent down over `[0, last_update]` — subtracted from
+    /// the utilisation denominator so a half-dead cluster running flat
+    /// out reads as fully utilised, not half. Stays exactly `0.0` on
+    /// fault-free runs, keeping their utilisation bitwise unchanged.
+    down_integral: f64,
     node_busy: Vec<f64>,
     /// Bumped whenever a node's scheduler-visible state (resident set,
     /// remaining estimates, or the `now` they are evaluated at) changes;
@@ -247,6 +252,7 @@ impl ProportionalCluster {
             node_jobs: vec![Vec::new(); n],
             last_update: SimTime::ZERO,
             busy_integral: 0.0,
+            down_integral: 0.0,
             node_busy: vec![0.0; n],
             node_epochs: vec![0; n],
             global_epoch: 0,
@@ -353,6 +359,12 @@ impl ProportionalCluster {
         assert!(to >= self.last_update, "cannot advance backwards");
         let dt = (to - self.last_update).as_secs();
         let now = to;
+        // `0 * dt` adds exactly 0.0 for positive dt, but skipping the
+        // accumulation entirely when no node is down keeps fault-free
+        // runs bitwise identical to the pre-churn accounting.
+        if dt > 0.0 && self.down_count > 0 {
+            self.down_integral += self.down_count as f64 * dt;
+        }
         let mut completed_ids: Vec<JobId> = Vec::new();
         if dt > 0.0 && !self.jobs.is_empty() {
             self.global_epoch += 1;
@@ -729,13 +741,19 @@ impl ProportionalCluster {
         sum
     }
 
-    /// Mean processor utilisation over `[0, now]`.
+    /// Mean processor utilisation over `[0, now]`, relative to the
+    /// capacity that was actually *up*: node-seconds spent down are
+    /// excluded from the denominator, so churn does not read as idleness.
     pub fn utilization(&self) -> f64 {
         let elapsed = self.last_update.as_secs();
         if elapsed <= 0.0 {
             return 0.0;
         }
-        self.busy_integral / (elapsed * self.cluster.len() as f64)
+        let capacity = elapsed * self.cluster.len() as f64 - self.down_integral;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        self.busy_integral / capacity
     }
 
     /// Mean utilisation of one node over `[0, now]` (delivered work over

@@ -33,6 +33,11 @@ pub struct SpaceSharedCluster {
     free: Vec<NodeId>,
     running: BTreeMap<JobId, RunningJob>,
     busy_integral: f64,
+    /// Processor-seconds spent down over `[0, last_update]`; excluded
+    /// from the utilisation denominator (churn is lost capacity, not
+    /// idleness). Exactly `0.0` on fault-free runs, keeping their
+    /// utilisation bitwise unchanged.
+    down_integral: f64,
     last_update: SimTime,
     /// Min-heap of `(finish, start seq, id)` surfacing the next
     /// completion without an external event queue. Entries for jobs
@@ -58,6 +63,7 @@ impl SpaceSharedCluster {
             free,
             running: BTreeMap::new(),
             busy_integral: 0.0,
+            down_integral: 0.0,
             last_update: SimTime::ZERO,
             finish_heap: BinaryHeap::new(),
             start_seq: 0,
@@ -237,14 +243,20 @@ impl SpaceSharedCluster {
         self.free.sort_unstable_by(|a, b| b.cmp(a));
     }
 
-    /// Mean processor utilisation over `[0, now]` (call after the final
-    /// completion to get the run's figure).
+    /// Mean processor utilisation over `[0, now]`, relative to the
+    /// capacity that was actually *up* — processor-seconds spent down
+    /// are excluded from the denominator. Call after the final
+    /// completion to get the run's figure.
     pub fn utilization(&self) -> f64 {
         let elapsed = self.last_update.as_secs();
         if elapsed <= 0.0 {
             return 0.0;
         }
-        self.busy_integral / (elapsed * self.cluster.len() as f64)
+        let capacity = elapsed * self.cluster.len() as f64 - self.down_integral;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        self.busy_integral / capacity
     }
 
     fn account(&mut self, now: SimTime) {
@@ -253,6 +265,11 @@ impl SpaceSharedCluster {
         // Down nodes are neither free nor busy: they deliver no work.
         let busy = self.cluster.len() - self.free.len() - self.down_count;
         self.busy_integral += busy as f64 * dt;
+        // Skipped entirely when nothing is down so fault-free runs stay
+        // bitwise identical to the pre-churn accounting.
+        if self.down_count > 0 {
+            self.down_integral += self.down_count as f64 * dt;
+        }
         self.last_update = now;
     }
 }
@@ -443,8 +460,30 @@ mod tests {
         p.fail_node(NodeId(0), SimTime::ZERO);
         let f = p.start(job(1, 100.0, 1), SimTime::ZERO);
         p.complete(JobId(1), f);
-        // One busy of two total processors: the down node is idle, not busy.
+        // The one *up* processor was busy the whole span; the down node
+        // is lost capacity, not idleness.
+        assert!((p.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn down_time_leaves_the_utilization_denominator() {
+        let mut p = SpaceSharedCluster::new(Cluster::homogeneous(2, 168.0));
+        // Both up: one of two processors busy over [0, 100] → 100 busy
+        // proc-seconds of 200 available.
+        let f = p.start(job(1, 100.0, 1), SimTime::ZERO);
+        p.complete(JobId(1), f);
         assert!((p.utilization() - 0.5).abs() < 1e-9);
+        // Node 0 down over [100, 200] while the other runs: +100 busy of
+        // +100 available → 200 busy / 300 available overall.
+        p.fail_node(NodeId(0), f);
+        let f2 = p.start(job(2, 100.0, 1), f);
+        p.complete(JobId(2), f2);
+        assert!((p.utilization() - 200.0 / 300.0).abs() < 1e-9);
+        // Restoring the node resumes full-capacity accounting: an idle
+        // [200, 300] adds 200 available proc-seconds and no busy ones.
+        p.restore_node(NodeId(0), f2);
+        p.account(SimTime::from_secs(300.0));
+        assert!((p.utilization() - 200.0 / 500.0).abs() < 1e-9);
     }
 
     #[test]

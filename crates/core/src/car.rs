@@ -156,6 +156,7 @@ mod tests {
         records.push(JobRecord {
             outcome: Outcome::Rejected {
                 at: SimTime::from_secs(100.0),
+                reason: crate::report::RejectReason::NoFit,
             },
             job: records[0].job.clone(),
         });

@@ -74,6 +74,13 @@ pub use report::{
 pub use rms::{drive_trace, ClusterRms, Decision, ExecutionBackend, JobEvent};
 pub use scheduler::{run_proportional, run_queued};
 
+// The observability layer is part of the facade's public surface
+// (`Decision::Rejected` carries its `RejectReason`, `with_recorder`
+// takes its `Recorder`), so re-export the crate and the types a caller
+// names most often.
+pub use obs;
+pub use obs::{NoopRecorder, Recorder, RejectReason, TraceRecorder};
+
 /// One-line imports for examples and the experiment harness.
 pub mod prelude {
     pub use crate::policy::PolicyKind;
@@ -83,5 +90,7 @@ pub mod prelude {
     pub use crate::rms::{drive_trace, ClusterRms, Decision, JobEvent};
     pub use crate::scheduler::{run_proportional, run_queued};
     pub use cluster::{Cluster, FaultEvent, FaultKind, FaultPlan, NodeId, RecoveryPolicy};
+    pub use obs;
+    pub use obs::{NoopRecorder, Recorder, RejectReason, TraceRecorder};
     pub use workload::{Job, JobId, Trace, Urgency};
 }

@@ -90,6 +90,25 @@ impl ShareAdmission for Libra {
         self.name.clone()
     }
 
+    fn reject_reason(&self) -> obs::RejectReason {
+        // Libra's only failure mode (once width and down nodes are ruled
+        // out) is an infeasible share sum somewhere: no fit.
+        obs::RejectReason::NoFit
+    }
+
+    fn audit_gauge(&mut self, engine: &ProportionalCluster) -> Option<(&'static str, f64)> {
+        // The peak node share sum: the quantity Eq. 1–2 tests against
+        // unit capacity. Read-only over up nodes, so sampling it around
+        // a decision cannot perturb the decision stream.
+        let mut peak = 0.0_f64;
+        for node in engine.cluster().nodes() {
+            if engine.node_is_up(node.id) {
+                peak = peak.max(engine.node_total_share(node.id, None));
+            }
+        }
+        Some(("peak_share", peak))
+    }
+
     fn decide(&mut self, engine: &ProportionalCluster, job: &Job) -> Option<Vec<NodeId>> {
         let want = job.procs as usize;
         if want > engine.up_nodes() {

@@ -147,6 +147,13 @@ pub struct LibraRisk {
     /// inputs; `now` additionally covers advances over an empty cluster,
     /// which move time without bumping any epoch.
     decision_stamp: Option<(u64, u64)>,
+    /// Audit-gauge memo: the last [`LibraRisk::cluster_risk_mean_dd`]
+    /// answer, keyed on the same `(global_epoch, now)` stamp shape as
+    /// `decision_stamp`. A rejected decision leaves the engine
+    /// untouched, so the post-decision audit replays this value in O(1)
+    /// instead of re-walking the cluster.
+    gauge_stamp: Option<(u64, u64)>,
+    gauge_memo: f64,
 }
 
 impl Default for LibraRisk {
@@ -168,6 +175,8 @@ impl LibraRisk {
             zero_risk: Vec::new(),
             decision_memo: HashMap::new(),
             decision_stamp: None,
+            gauge_stamp: None,
+            gauge_memo: 0.0,
         }
     }
 
@@ -339,6 +348,20 @@ impl LibraRisk {
         out
     }
 
+    /// [`ClusterRisk::mean_dd`] of [`LibraRisk::cluster_risk`], memoised
+    /// against the engine's `(global_epoch, now)` stamp: repeated audits
+    /// at an unchanged engine (in particular the post-decision audit of
+    /// a rejection, which mutates nothing) answer in O(1) without
+    /// allocating the per-node contribution vector.
+    pub fn cluster_risk_mean_dd(&mut self, engine: &ProportionalCluster) -> f64 {
+        let stamp = (engine.global_epoch(), engine.now().as_secs().to_bits());
+        if self.gauge_stamp != Some(stamp) {
+            self.gauge_memo = self.cluster_risk(engine).mean_dd();
+            self.gauge_stamp = Some(stamp);
+        }
+        self.gauge_memo
+    }
+
     /// From-scratch build of [`LibraRisk::cluster_risk`]: every node
     /// re-projected with fresh buffers, no caches consulted. The
     /// differential reference for the incremental path.
@@ -373,6 +396,20 @@ impl LibraRisk {
 impl ShareAdmission for LibraRisk {
     fn name(&self) -> String {
         self.name.clone()
+    }
+
+    fn reject_reason(&self) -> obs::RejectReason {
+        // Past the width/down screens, LibraRisk refuses a job because
+        // admitting it somewhere would risk a deadline delay.
+        obs::RejectReason::OverRisk
+    }
+
+    fn audit_gauge(&mut self, engine: &ProportionalCluster) -> Option<(&'static str, f64)> {
+        // Mean projected deadline-delay factor across resident jobs
+        // (1.0 = no delay). `cluster_risk` answers from the per-node
+        // cache and is deterministic, so auditing it around a decision
+        // leaves the decision stream bitwise intact.
+        Some(("cluster_risk", self.cluster_risk_mean_dd(engine)))
     }
 
     fn decide(&mut self, engine: &ProportionalCluster, job: &Job) -> Option<Vec<NodeId>> {

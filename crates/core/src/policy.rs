@@ -33,6 +33,23 @@ pub trait ShareAdmission {
 
     /// Accept (with a node allocation) or reject the job.
     fn decide(&mut self, engine: &ProportionalCluster, job: &Job) -> Option<Vec<NodeId>>;
+
+    /// The stable machine-readable cause a `None` from
+    /// [`ShareAdmission::decide`] maps to in the audit log and reports
+    /// (width and node-down rejections are classified by the facade
+    /// before this is consulted).
+    fn reject_reason(&self) -> obs::RejectReason {
+        obs::RejectReason::NoFit
+    }
+
+    /// The headline admission gauge for the decision audit log — e.g.
+    /// Libra's peak node share sum, LibraRisk's cluster risk. Sampled
+    /// around each decision (never inside it), and only when a recorder
+    /// is enabled; must not change subsequent decisions. `None` when the
+    /// policy has no natural gauge.
+    fn audit_gauge(&mut self, _engine: &ProportionalCluster) -> Option<(&'static str, f64)> {
+        None
+    }
 }
 
 /// A mutable borrow of a policy is itself a policy — lets callers keep
@@ -45,6 +62,14 @@ impl<T: ShareAdmission + ?Sized> ShareAdmission for &mut T {
 
     fn decide(&mut self, engine: &ProportionalCluster, job: &Job) -> Option<Vec<NodeId>> {
         (**self).decide(engine, job)
+    }
+
+    fn reject_reason(&self) -> obs::RejectReason {
+        (**self).reject_reason()
+    }
+
+    fn audit_gauge(&mut self, engine: &ProportionalCluster) -> Option<(&'static str, f64)> {
+        (**self).audit_gauge(engine)
     }
 }
 

@@ -1,8 +1,11 @@
 //! Per-job outcomes and the aggregate report every experiment consumes.
 
 use cluster::NodeId;
+use obs::{keys, Registry};
 use sim::SimTime;
 use workload::{Job, Urgency};
+
+pub use obs::RejectReason;
 
 /// What happened to one submitted job.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -12,6 +15,8 @@ pub enum Outcome {
         /// When the rejection happened (submission for Libra/LibraRisk;
         /// selection time for EDF's relaxed control).
         at: SimTime,
+        /// The stable machine-readable cause.
+        reason: RejectReason,
     },
     /// The job ran to completion (possibly past its deadline).
     Completed {
@@ -113,6 +118,21 @@ impl ChurnStats {
     pub fn is_empty(&self) -> bool {
         self.node_failures == 0 && self.node_restores == 0
     }
+
+    /// Feeds the churn aggregates into a metrics registry (counters
+    /// overwrite-by-delta is pointless for a snapshot, so callers dump
+    /// once per run).
+    pub fn export_metrics(&self, registry: &mut Registry) {
+        registry.add("rms_churn_node_failures_total", self.node_failures);
+        registry.add("rms_churn_node_restores_total", self.node_restores);
+        registry.add("rms_churn_kills_total", self.kills);
+        registry.add("rms_churn_requeues_total", self.requeues);
+        registry.add("rms_churn_requeue_rejects_total", self.requeue_rejects);
+        registry.set_gauge(
+            "rms_churn_requeued_fulfilled_pct",
+            self.requeued_fulfilled.pct(),
+        );
+    }
 }
 
 /// Aggregate result of one simulation run.
@@ -159,6 +179,23 @@ impl SimulationReport {
     /// Number of rejected jobs.
     pub fn rejected(&self) -> usize {
         self.submitted() - self.accepted()
+    }
+
+    /// Rejection counts broken down by [`RejectReason`], indexed like
+    /// [`RejectReason::ALL`].
+    pub fn rejections_by_reason(&self) -> [usize; RejectReason::ALL.len()] {
+        let mut counts = [0usize; RejectReason::ALL.len()];
+        for r in &self.records {
+            if let Outcome::Rejected { reason, .. } = r.outcome {
+                counts[reason.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Number of rejections with the given cause.
+    pub fn rejected_for(&self, reason: RejectReason) -> usize {
+        self.rejections_by_reason()[reason.index()]
     }
 
     /// Number of jobs completed within their deadline.
@@ -309,6 +346,7 @@ pub struct OnlineReport {
     delay: metrics::OnlineStats,
     response: metrics::OnlineStats,
     killed: u64,
+    reject_reasons: [u64; RejectReason::ALL.len()],
     churn: ChurnStats,
     utilization: f64,
 }
@@ -353,6 +391,17 @@ impl OnlineReport {
     /// Number of jobs completed within their deadline.
     pub fn fulfilled(&self) -> u64 {
         self.fulfilled.hits()
+    }
+
+    /// Rejection counts broken down by [`RejectReason`], indexed like
+    /// [`RejectReason::ALL`].
+    pub fn rejections_by_reason(&self) -> [u64; RejectReason::ALL.len()] {
+        self.reject_reasons
+    }
+
+    /// Number of rejections with the given cause.
+    pub fn rejected_for(&self, reason: RejectReason) -> u64 {
+        self.reject_reasons[reason.index()]
     }
 
     /// Number of completed jobs that missed their deadline.
@@ -416,7 +465,32 @@ impl OnlineReport {
         self.delay.merge(&other.delay);
         self.response.merge(&other.response);
         self.killed += other.killed;
+        for (mine, theirs) in self.reject_reasons.iter_mut().zip(&other.reject_reasons) {
+            *mine += theirs;
+        }
         self.churn.merge(&other.churn);
+    }
+
+    /// Feeds the summary into a metrics registry — the bridge between
+    /// the streaming report and the Prometheus-style dump.
+    pub fn export_metrics(&self, registry: &mut Registry) {
+        registry.add(keys::DECISIONS, self.submitted());
+        registry.add(keys::ACCEPTED, self.accepted());
+        registry.add(keys::REJECTED, self.rejected());
+        registry.add(keys::RESOLVED, self.submitted());
+        registry.add(keys::FULFILLED, self.fulfilled());
+        registry.add(keys::OVERDUE, self.delayed());
+        registry.add(keys::KILLED, self.killed());
+        for reason in RejectReason::ALL {
+            let n = self.rejected_for(reason);
+            if n > 0 {
+                registry.add(reason.counter_key(), n);
+            }
+        }
+        registry.set_gauge(keys::UTILIZATION, self.utilization());
+        if !self.churn.is_empty() {
+            self.churn.export_metrics(registry);
+        }
     }
 }
 
@@ -430,6 +504,9 @@ impl ReportSink for OnlineReport {
         ));
         if matches!(record.outcome, Outcome::Killed { .. }) {
             self.killed += 1;
+        }
+        if let Outcome::Rejected { reason, .. } = record.outcome {
+            self.reject_reasons[reason.index()] += 1;
         }
         match record.job.urgency {
             Urgency::High => self.high_fulfilled.observe(fulfilled),
@@ -478,7 +555,10 @@ mod tests {
 
     fn rejected(j: Job) -> JobRecord {
         JobRecord {
-            outcome: Outcome::Rejected { at: j.submit },
+            outcome: Outcome::Rejected {
+                at: j.submit,
+                reason: RejectReason::NoFit,
+            },
             job: j,
         }
     }
@@ -707,6 +787,79 @@ mod tests {
         assert!((left.utilization() - 0.5).abs() < 1e-12);
         assert_eq!(left.churn().node_failures, 1);
         assert_eq!(left.churn().kills, 1);
+    }
+
+    #[test]
+    fn rejection_reasons_are_tallied_everywhere() {
+        let mut over_risk = rejected(job(4, 0.0, 100.0, 200.0, Urgency::Low));
+        over_risk.outcome = Outcome::Rejected {
+            at: SimTime::ZERO,
+            reason: RejectReason::OverRisk,
+        };
+        let records = vec![
+            completed(job(1, 0.0, 100.0, 200.0, Urgency::High), 150.0),
+            rejected(job(2, 0.0, 100.0, 200.0, Urgency::Low)),
+            rejected(job(3, 0.0, 100.0, 200.0, Urgency::Low)),
+            over_risk,
+        ];
+        let batch = SimulationReport {
+            policy: "test".into(),
+            records: records.clone(),
+            utilization: 0.5,
+            churn: ChurnStats::default(),
+        };
+        assert_eq!(batch.rejected_for(RejectReason::NoFit), 2);
+        assert_eq!(batch.rejected_for(RejectReason::OverRisk), 1);
+        assert_eq!(batch.rejected_for(RejectReason::Width), 0);
+        assert_eq!(batch.rejections_by_reason().iter().sum::<usize>(), 3);
+
+        let mut online = OnlineReport::new();
+        for (i, r) in records.into_iter().enumerate() {
+            online.record(i as u64, r);
+        }
+        assert_eq!(online.rejected_for(RejectReason::NoFit), 2);
+        assert_eq!(online.rejected_for(RejectReason::OverRisk), 1);
+        assert_eq!(online.rejections_by_reason().iter().sum::<u64>(), 3);
+
+        // Merge adds the breakdowns.
+        let mut other = OnlineReport::new();
+        other.record(0, rejected(job(9, 0.0, 1.0, 2.0, Urgency::Low)));
+        online.merge(&other);
+        assert_eq!(online.rejected_for(RejectReason::NoFit), 3);
+
+        // And the registry export carries them.
+        let mut registry = Registry::new();
+        online.export_metrics(&mut registry);
+        assert_eq!(registry.counter(keys::REJECTED), 4);
+        assert_eq!(
+            registry.counter(RejectReason::NoFit.counter_key()),
+            3,
+            "{}",
+            registry.to_prometheus()
+        );
+        assert_eq!(registry.counter(RejectReason::Width.counter_key()), 0);
+    }
+
+    #[test]
+    fn churn_stats_export_metrics() {
+        let mut churn = ChurnStats {
+            node_failures: 2,
+            node_restores: 1,
+            kills: 1,
+            requeues: 3,
+            requeue_rejects: 1,
+            requeued_fulfilled: metrics::Tally::default(),
+        };
+        churn.requeued_fulfilled.observe(true);
+        churn.requeued_fulfilled.observe(false);
+        let mut registry = Registry::new();
+        churn.export_metrics(&mut registry);
+        assert_eq!(registry.counter("rms_churn_node_failures_total"), 2);
+        assert_eq!(registry.counter("rms_churn_requeues_total"), 3);
+        assert_eq!(
+            registry.gauge("rms_churn_requeued_fulfilled_pct"),
+            Some(50.0)
+        );
     }
 
     #[test]

@@ -60,6 +60,7 @@ use crate::report::{
 };
 use cluster::proportional::{ProportionalCluster, ProportionalConfig};
 use cluster::{Cluster, FaultKind, FaultPlan, NodeId, RecoveryPolicy, SpaceSharedCluster};
+use obs::{keys, DecisionAudit, Event, GaugeDelta, Recorder, RejectReason, ResolvedKind, Verdict};
 use sim::{SimDuration, SimTime, Simulator};
 use std::collections::HashMap;
 use workload::{Job, JobId, Trace};
@@ -70,14 +71,84 @@ pub enum Decision {
     /// Irrevocably accepted: proportional share starts accepted jobs at
     /// their submission instant.
     Accepted,
-    /// Irrevocably rejected at submission. The matching rejection
-    /// [`JobEvent`] is emitted by the next
+    /// Irrevocably rejected at submission, with the stable
+    /// machine-readable cause. The matching rejection [`JobEvent`] is
+    /// emitted by the next
     /// [`ClusterRms::advance`]/[`ClusterRms::drain`] call.
-    Rejected,
+    Rejected(RejectReason),
     /// Enqueued on a space-shared substrate: the final outcome (a
     /// completion, or a rejection at selection time) arrives later as a
     /// [`JobEvent`].
     Queued,
+}
+
+impl Decision {
+    /// The observability-layer mirror of this verdict.
+    pub fn verdict(self) -> Verdict {
+        match self {
+            Decision::Accepted => Verdict::Accepted,
+            Decision::Rejected(reason) => Verdict::Rejected(reason),
+            Decision::Queued => Verdict::Queued,
+        }
+    }
+}
+
+/// A borrowed recorder threaded through the hook sites; `None` (the
+/// default) behaves like [`obs::NoopRecorder`] at the cost of one
+/// branch per site.
+type Obs<'a> = Option<&'a mut (dyn Recorder + 'a)>;
+
+/// Reborrows the facade's recorder slot for one backend call.
+/// (`Option::as_deref_mut` cannot shorten the trait object's lifetime
+/// bound — the coercion below can.)
+fn reborrow<'a, 'p>(slot: &'a mut Option<&'p mut (dyn Recorder + 'p)>) -> Obs<'a> {
+    match slot.as_mut() {
+        Some(r) => Some(&mut **r),
+        None => None,
+    }
+}
+
+/// Emits the decision audit event and updates the verdict counters +
+/// decide-latency histogram. Callers have already checked
+/// [`Recorder::enabled`].
+fn note_decision(
+    rec: &mut (dyn Recorder + '_),
+    now: SimTime,
+    seq: u64,
+    job_id: u64,
+    decision: Decision,
+    audit: DecisionAudit,
+    latency_ns: u64,
+) {
+    rec.record(
+        now.as_secs(),
+        Event::Decision {
+            seq,
+            job: job_id,
+            verdict: decision.verdict(),
+            audit,
+            latency_ns,
+        },
+    );
+    if let Some(reg) = rec.registry_mut() {
+        reg.inc(keys::DECISIONS);
+        match decision {
+            Decision::Accepted => reg.inc(keys::ACCEPTED),
+            Decision::Rejected(_) => reg.inc(keys::REJECTED),
+            Decision::Queued => reg.inc(keys::QUEUED),
+        }
+        reg.observe(
+            keys::DECIDE_LATENCY,
+            keys::DECIDE_LATENCY_BOUNDS,
+            latency_ns as f64,
+        );
+        if let Some(g) = audit.gauge {
+            reg.set_gauge(g.key, g.after);
+            if let Some((hist_key, bounds)) = keys::gauge_histogram(g.key) {
+                reg.observe(hist_key, bounds, g.after);
+            }
+        }
+    }
 }
 
 /// A resolved job outcome, streamed by
@@ -189,7 +260,14 @@ impl ProportionalBackend<'_> {
                     // proportional shares checkpoint implicitly).
                     let remaining_deadline = d.job.absolute_deadline() - at;
                     if !remaining_deadline.is_positive() || d.remaining_work <= 0.0 {
-                        events.push(JobEvent::new(seq, d.job, Outcome::Rejected { at }));
+                        events.push(JobEvent::new(
+                            seq,
+                            d.job,
+                            Outcome::Rejected {
+                                at,
+                                reason: RejectReason::Deadline,
+                            },
+                        ));
                         continue;
                     }
                     let retry = Job {
@@ -206,7 +284,14 @@ impl ProportionalBackend<'_> {
                         }
                         // The late reject: admission no longer finds room
                         // for the survivor under its shrunken deadline.
-                        None => events.push(JobEvent::new(seq, d.job, Outcome::Rejected { at })),
+                        None => events.push(JobEvent::new(
+                            seq,
+                            d.job,
+                            Outcome::Rejected {
+                                at,
+                                reason: self.policy.reject_reason(),
+                            },
+                        )),
                     }
                 }
             }
@@ -219,22 +304,79 @@ impl ProportionalBackend<'_> {
         self.engine.restore_node(node, at);
     }
 
-    fn submit(&mut self, seq: u64, job: Job, now: SimTime, events: &mut Vec<JobEvent>) -> Decision {
+    fn submit(
+        &mut self,
+        seq: u64,
+        job: Job,
+        now: SimTime,
+        events: &mut Vec<JobEvent>,
+        obs: Obs<'_>,
+    ) -> Decision {
         self.catch_up(now, events);
         // The arrival-instant advance the batch loop performed at every
         // dispatched event: brings the engine to the present (dt ≥ 0).
         self.advance_engine(now, events);
-        match self.policy.decide(&self.engine, &job) {
+        // Audit state is gathered *around* `decide`, never inside it:
+        // LibraRisk may answer from its whole-decision replay memo, and a
+        // memo hit must still produce a complete audit record.
+        let recording = obs.as_ref().is_some_and(|r| r.enabled());
+        // Policy audit gauges (share/risk sweeps) are the one hook with
+        // a real price — recorders opt in per `wants_audit_gauges`.
+        let want_gauges = recording && obs.as_ref().is_some_and(|r| r.wants_audit_gauges());
+        let before = if want_gauges {
+            self.policy.audit_gauge(&self.engine)
+        } else {
+            None
+        };
+        let started = recording.then(std::time::Instant::now);
+        let decided = self.policy.decide(&self.engine, &job);
+        let latency_ns = started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let job_id = job.id.0;
+        let (decision, best_fit_node) = match decided {
             Some(nodes) => {
+                let best = nodes.first().map(|n| n.0);
                 self.seq_of.insert(job.id, seq);
                 self.engine.admit(job, nodes, now);
-                Decision::Accepted
+                (Decision::Accepted, best)
             }
             None => {
-                events.push(JobEvent::new(seq, job, Outcome::Rejected { at: now }));
-                Decision::Rejected
+                let reason = if job.procs as usize > self.engine.cluster().len() {
+                    RejectReason::Width
+                } else if job.procs as usize > self.engine.up_nodes() {
+                    RejectReason::NodeDown
+                } else {
+                    self.policy.reject_reason()
+                };
+                events.push(JobEvent::new(
+                    seq,
+                    job,
+                    Outcome::Rejected { at: now, reason },
+                ));
+                (Decision::Rejected(reason), None)
             }
+        };
+        if recording {
+            let rec = obs.expect("recording implies a recorder");
+            let after = if want_gauges {
+                self.policy.audit_gauge(&self.engine)
+            } else {
+                None
+            };
+            let gauge = match (before, after) {
+                (Some((key, b)), Some((_, a))) => Some(GaugeDelta {
+                    key,
+                    before: b,
+                    after: a,
+                }),
+                _ => None,
+            };
+            let audit = DecisionAudit {
+                best_fit_node,
+                gauge,
+            };
+            note_decision(rec, now, seq, job_id, decision, audit, latency_ns);
         }
+        decision
     }
 
     fn drain(&mut self, events: &mut Vec<JobEvent>) {
@@ -337,7 +479,10 @@ impl QueuedBackend {
                 events.push(JobEvent::new(
                     entry.seq,
                     entry.job,
-                    Outcome::Rejected { at },
+                    Outcome::Rejected {
+                        at,
+                        reason: RejectReason::NodeDown,
+                    },
                 ));
             } else {
                 i += 1;
@@ -357,7 +502,10 @@ impl QueuedBackend {
                 events.push(JobEvent::new(
                     entry.seq,
                     entry.job,
-                    Outcome::Rejected { at: now },
+                    Outcome::Rejected {
+                        at: now,
+                        reason: RejectReason::Deadline,
+                    },
                 ));
                 continue;
             }
@@ -397,16 +545,50 @@ impl QueuedBackend {
         }
     }
 
-    fn submit(&mut self, seq: u64, job: Job, now: SimTime, events: &mut Vec<JobEvent>) -> Decision {
+    fn submit(
+        &mut self,
+        seq: u64,
+        job: Job,
+        now: SimTime,
+        events: &mut Vec<JobEvent>,
+        obs: Obs<'_>,
+    ) -> Decision {
         self.catch_up(Some(now), events);
+        let recording = obs.as_ref().is_some_and(|r| r.enabled());
+        let started = recording.then(std::time::Instant::now);
+        let depth_before = self.queue.len();
+        let job_id = job.id.0;
         let decision = if job.procs as usize > self.pool.up_procs() {
             // Wider than the machine (as currently up): can never start.
-            events.push(JobEvent::new(seq, job, Outcome::Rejected { at: now }));
-            Decision::Rejected
+            let reason = if job.procs as usize > self.pool.cluster().len() {
+                RejectReason::Width
+            } else {
+                RejectReason::NodeDown
+            };
+            events.push(JobEvent::new(
+                seq,
+                job,
+                Outcome::Rejected { at: now, reason },
+            ));
+            Decision::Rejected(reason)
         } else {
             self.queue.push(QueuedJob { seq, job });
             Decision::Queued
         };
+        if let Some(rec) = obs {
+            if recording {
+                let audit = DecisionAudit {
+                    best_fit_node: None,
+                    gauge: Some(GaugeDelta {
+                        key: "queue_depth",
+                        before: depth_before as f64,
+                        after: self.queue.len() as f64,
+                    }),
+                };
+                let latency_ns = started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                note_decision(rec, now, seq, job_id, decision, audit, latency_ns);
+            }
+        }
         self.dispatch(now, events);
         decision
     }
@@ -517,12 +699,26 @@ impl QopsBackend {
                     RecoveryPolicy::Requeue => {
                         churn.requeues += 1;
                         requeued.entry(seq).or_insert_with(|| job.clone());
-                        if job.procs as usize <= self.pool.up_procs()
-                            && self.is_schedulable(at, &job, seq)
-                        {
+                        if job.procs as usize > self.pool.up_procs() {
+                            events.push(JobEvent::new(
+                                seq,
+                                job,
+                                Outcome::Rejected {
+                                    at,
+                                    reason: RejectReason::NodeDown,
+                                },
+                            ));
+                        } else if self.is_schedulable(at, &job, seq) {
                             self.queue.push(QueuedJob { seq, job });
                         } else {
-                            events.push(JobEvent::new(seq, job, Outcome::Rejected { at }));
+                            events.push(JobEvent::new(
+                                seq,
+                                job,
+                                Outcome::Rejected {
+                                    at,
+                                    reason: RejectReason::OverRisk,
+                                },
+                            ));
                         }
                     }
                 }
@@ -539,7 +735,10 @@ impl QopsBackend {
                 events.push(JobEvent::new(
                     entry.seq,
                     entry.job,
-                    Outcome::Rejected { at },
+                    Outcome::Rejected {
+                        at,
+                        reason: RejectReason::NodeDown,
+                    },
                 ));
             } else {
                 i += 1;
@@ -585,18 +784,59 @@ impl QopsBackend {
         }
     }
 
-    fn submit(&mut self, seq: u64, job: Job, now: SimTime, events: &mut Vec<JobEvent>) -> Decision {
+    fn submit(
+        &mut self,
+        seq: u64,
+        job: Job,
+        now: SimTime,
+        events: &mut Vec<JobEvent>,
+        obs: Obs<'_>,
+    ) -> Decision {
         self.catch_up(Some(now), events);
+        let recording = obs.as_ref().is_some_and(|r| r.enabled());
+        let started = recording.then(std::time::Instant::now);
+        let depth_before = self.queue.len();
+        let job_id = job.id.0;
         let decision = if job.procs as usize > self.pool.up_procs() {
-            events.push(JobEvent::new(seq, job, Outcome::Rejected { at: now }));
-            Decision::Rejected
+            let reason = if job.procs as usize > self.pool.cluster().len() {
+                RejectReason::Width
+            } else {
+                RejectReason::NodeDown
+            };
+            events.push(JobEvent::new(
+                seq,
+                job,
+                Outcome::Rejected { at: now, reason },
+            ));
+            Decision::Rejected(reason)
         } else if self.is_schedulable(now, &job, seq) {
             self.queue.push(QueuedJob { seq, job });
             Decision::Queued
         } else {
-            events.push(JobEvent::new(seq, job, Outcome::Rejected { at: now }));
-            Decision::Rejected
+            events.push(JobEvent::new(
+                seq,
+                job,
+                Outcome::Rejected {
+                    at: now,
+                    reason: RejectReason::OverRisk,
+                },
+            ));
+            Decision::Rejected(RejectReason::OverRisk)
         };
+        if let Some(rec) = obs {
+            if recording {
+                let audit = DecisionAudit {
+                    best_fit_node: None,
+                    gauge: Some(GaugeDelta {
+                        key: "queue_depth",
+                        before: depth_before as f64,
+                        after: self.queue.len() as f64,
+                    }),
+                };
+                let latency_ns = started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                note_decision(rec, now, seq, job_id, decision, audit, latency_ns);
+            }
+        }
         self.dispatch(now);
         decision
     }
@@ -622,9 +862,13 @@ pub struct ClusterRms<'p> {
     churn: ChurnStats,
     /// Originally submitted form of every job that went through at least
     /// one requeue, keyed by sequence: outcomes are reported (and the SLA
-    /// judged) against the job as the user submitted it, not the
+    /// judged) against the job as originally submitted, not the
     /// shrunken-deadline retry. Entries leave on resolution.
     requeued: HashMap<u64, Job>,
+    /// Optional borrowed recorder observing this RMS. `None` (the
+    /// default) short-circuits every hook to a single branch; any
+    /// recorder leaves outcomes bitwise identical.
+    recorder: Option<&'p mut (dyn Recorder + 'p)>,
 }
 
 impl<'p> ClusterRms<'p> {
@@ -650,6 +894,7 @@ impl<'p> ClusterRms<'p> {
             recovery: RecoveryPolicy::default(),
             churn: ChurnStats::default(),
             requeued: HashMap::new(),
+            recorder: None,
         }
     }
 
@@ -670,6 +915,7 @@ impl<'p> ClusterRms<'p> {
             recovery: RecoveryPolicy::default(),
             churn: ChurnStats::default(),
             requeued: HashMap::new(),
+            recorder: None,
         }
     }
 
@@ -695,6 +941,7 @@ impl<'p> ClusterRms<'p> {
             recovery: RecoveryPolicy::default(),
             churn: ChurnStats::default(),
             requeued: HashMap::new(),
+            recorder: None,
         }
     }
 
@@ -712,6 +959,36 @@ impl<'p> ClusterRms<'p> {
         self.plan = plan;
         self.recovery = recovery;
         self
+    }
+
+    /// Attaches a recorder observing every submission, decision, fault
+    /// and resolution. The recorder is borrowed, so the caller keeps
+    /// ownership and can export the trace after the run. Recording is
+    /// behaviourally inert: outcomes are bitwise identical with any
+    /// recorder (or none), and a disabled recorder costs one branch per
+    /// hook site.
+    ///
+    /// Returns the facade re-parameterised at the recorder's lifetime
+    /// (`ClusterRms` is invariant over `'p` because of the `&mut`
+    /// recorder slot, so a `ClusterRms<'static>` from
+    /// [`PolicyKind::rms`](crate::policy::PolicyKind::rms) could
+    /// otherwise never borrow a stack-local recorder).
+    pub fn with_recorder<'r>(self, recorder: &'r mut (dyn Recorder + 'r)) -> ClusterRms<'r>
+    where
+        'p: 'r,
+    {
+        ClusterRms {
+            backend: self.backend,
+            policy_name: self.policy_name,
+            now: self.now,
+            next_seq: self.next_seq,
+            events: self.events,
+            plan: self.plan,
+            recovery: self.recovery,
+            churn: self.churn,
+            requeued: self.requeued,
+            recorder: Some(recorder),
+        }
     }
 
     /// Churn degradation aggregates accumulated so far (all-zero on a
@@ -771,6 +1048,20 @@ impl<'p> ClusterRms<'p> {
     /// branches into any backend) when the plan is empty.
     fn apply_faults_through(&mut self, to: SimTime) {
         while let Some(e) = self.plan.next_at_or_before(to) {
+            if let Some(rec) = self.recorder.as_deref_mut() {
+                if rec.enabled() {
+                    let (event, counter) = match e.kind {
+                        FaultKind::NodeDown => {
+                            (Event::NodeDown { node: e.node.0 }, keys::NODE_DOWN)
+                        }
+                        FaultKind::NodeUp => (Event::NodeUp { node: e.node.0 }, keys::NODE_UP),
+                    };
+                    rec.record(e.at.as_secs(), event);
+                    if let Some(reg) = rec.registry_mut() {
+                        reg.inc(counter);
+                    }
+                }
+            }
             match e.kind {
                 FaultKind::NodeDown => {
                     self.churn.node_failures += 1;
@@ -858,15 +1149,48 @@ impl<'p> ClusterRms<'p> {
         self.apply_faults_through(now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        if job.validate().is_err() {
-            self.events
-                .push(JobEvent::new(seq, job, Outcome::Rejected { at: now }));
-            return Decision::Rejected;
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            if rec.enabled() {
+                rec.record(
+                    now.as_secs(),
+                    Event::Submit {
+                        seq,
+                        job: job.id.0,
+                        procs: job.procs,
+                        estimate_secs: job.estimate.as_secs(),
+                        deadline_secs: job.deadline.as_secs(),
+                    },
+                );
+            }
         }
+        if job.validate().is_err() {
+            let reason = RejectReason::InvalidJob;
+            let job_id = job.id.0;
+            self.events.push(JobEvent::new(
+                seq,
+                job,
+                Outcome::Rejected { at: now, reason },
+            ));
+            if let Some(rec) = self.recorder.as_deref_mut() {
+                if rec.enabled() {
+                    note_decision(
+                        rec,
+                        now,
+                        seq,
+                        job_id,
+                        Decision::Rejected(reason),
+                        DecisionAudit::default(),
+                        0,
+                    );
+                }
+            }
+            return Decision::Rejected(reason);
+        }
+        let rec = reborrow(&mut self.recorder);
         match &mut self.backend {
-            ExecutionBackend::Proportional(b) => b.submit(seq, job, now, &mut self.events),
-            ExecutionBackend::Queued(b) => b.submit(seq, job, now, &mut self.events),
-            ExecutionBackend::Qops(b) => b.submit(seq, job, now, &mut self.events),
+            ExecutionBackend::Proportional(b) => b.submit(seq, job, now, &mut self.events, rec),
+            ExecutionBackend::Queued(b) => b.submit(seq, job, now, &mut self.events, rec),
+            ExecutionBackend::Qops(b) => b.submit(seq, job, now, &mut self.events, rec),
         }
     }
 
@@ -883,6 +1207,7 @@ impl<'p> ClusterRms<'p> {
             "cannot advance backwards ({to:?} < {:?})",
             self.now
         );
+        let from = self.now;
         self.now = to;
         self.apply_faults_through(to);
         match &mut self.backend {
@@ -891,12 +1216,66 @@ impl<'p> ClusterRms<'p> {
             ExecutionBackend::Qops(b) => b.catch_up(Some(to), &mut self.events),
         }
         self.finalize_churn();
+        self.record_span(from, to);
         self.events.drain(..)
+    }
+
+    /// Records the advance span, the resolutions it streamed, and the
+    /// post-span utilisation/in-flight gauges. Called after
+    /// [`ClusterRms::finalize_churn`] so the audited records are the ones
+    /// the caller observes.
+    fn record_span(&mut self, from: SimTime, to: SimTime) {
+        if !self.recorder.as_ref().is_some_and(|r| r.enabled()) {
+            return;
+        }
+        let utilization = self.utilization();
+        let in_flight = self.in_flight() as f64;
+        let rec = self
+            .recorder
+            .as_deref_mut()
+            .expect("enabled() implies a recorder");
+        rec.record(
+            to.as_secs(),
+            Event::AdvanceSpan {
+                start_secs: from.as_secs(),
+                end_secs: to.as_secs(),
+                events: self.events.len() as u64,
+            },
+        );
+        for e in &self.events {
+            let (kind, at) = match e.record.outcome {
+                Outcome::Rejected { at, reason } => (ResolvedKind::Rejected(reason), at),
+                Outcome::Completed { finish, .. } => (ResolvedKind::Completed, finish),
+                Outcome::Killed { at, .. } => (ResolvedKind::Killed, at),
+            };
+            rec.record(
+                at.as_secs(),
+                Event::JobResolved {
+                    seq: e.seq,
+                    job: e.record.job.id.0,
+                    outcome: kind,
+                },
+            );
+            if let Some(reg) = rec.registry_mut() {
+                reg.inc(keys::RESOLVED);
+                match kind {
+                    ResolvedKind::Rejected(reason) => reg.inc(reason.counter_key()),
+                    ResolvedKind::Completed if e.record.fulfilled() => reg.inc(keys::FULFILLED),
+                    ResolvedKind::Completed => reg.inc(keys::OVERDUE),
+                    ResolvedKind::Killed => reg.inc(keys::KILLED),
+                }
+            }
+        }
+        if let Some(reg) = rec.registry_mut() {
+            reg.set_gauge(keys::UTILIZATION, utilization);
+            reg.set_gauge(keys::IN_FLIGHT, in_flight);
+        }
     }
 
     /// Runs the residual workload to completion and streams the remaining
     /// outcomes. After `drain` every submitted job has resolved.
     pub fn drain(&mut self) -> impl Iterator<Item = JobEvent> + '_ {
+        let from = self.now;
         // Residual fault events interleave with residual completions:
         // each application catches the backend up to its instant first.
         while let Some(t) = self.plan.next_instant() {
@@ -914,6 +1293,8 @@ impl<'p> ClusterRms<'p> {
             }
         }
         self.finalize_churn();
+        let to = self.now;
+        self.record_span(from, to);
         self.events.drain(..)
     }
 
@@ -1014,12 +1395,18 @@ mod tests {
         );
         assert_eq!(
             rms.submit(job(1, 0.0, 100.0, 100.0, 1, 100.0), t(0.0)),
-            Decision::Rejected
+            Decision::Rejected(RejectReason::NoFit)
         );
         let events: Vec<JobEvent> = rms.advance(t(0.0)).collect();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].seq, 1);
-        assert_eq!(events[0].record.outcome, Outcome::Rejected { at: t(0.0) });
+        assert_eq!(
+            events[0].record.outcome,
+            Outcome::Rejected {
+                at: t(0.0),
+                reason: RejectReason::NoFit
+            }
+        );
     }
 
     #[test]
@@ -1052,7 +1439,7 @@ mod tests {
         let mut rms = ClusterRms::qops(Cluster::homogeneous(1, 168.0), QopsConfig::default());
         assert_eq!(
             rms.submit(job(0, 0.0, 100.0, 100.0, 1, 50.0), t(0.0)),
-            Decision::Rejected
+            Decision::Rejected(RejectReason::OverRisk)
         );
         assert_eq!(rms.drain().count(), 1);
     }
@@ -1164,12 +1551,18 @@ mod tests {
             );
             assert_eq!(
                 rms.submit(bad, t(10.0)),
-                Decision::Rejected,
+                Decision::Rejected(RejectReason::InvalidJob),
                 "{label} must be rejected at submit"
             );
             let events: Vec<JobEvent> = rms.drain().collect();
             assert_eq!(events.len(), 1, "{label} still resolves exactly once");
-            assert_eq!(events[0].record.outcome, Outcome::Rejected { at: t(10.0) });
+            assert_eq!(
+                events[0].record.outcome,
+                Outcome::Rejected {
+                    at: t(10.0),
+                    reason: RejectReason::InvalidJob
+                }
+            );
             // And a well-formed job afterwards is unaffected.
             assert_eq!(
                 rms.submit(job(1, 10.0, 50.0, 50.0, 1, 200.0), t(10.0)),
@@ -1259,7 +1652,13 @@ mod tests {
         let events: Vec<JobEvent> = rms.drain().collect();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].record.job, original);
-        assert_eq!(events[0].record.outcome, Outcome::Rejected { at: t(50.0) });
+        assert_eq!(
+            events[0].record.outcome,
+            Outcome::Rejected {
+                at: t(50.0),
+                reason: RejectReason::NoFit
+            }
+        );
         assert_eq!(rms.churn().requeues, 1);
         assert_eq!(rms.churn().requeue_rejects, 1);
         assert_eq!(rms.churn().requeued_fulfilled.hits(), 0);
@@ -1281,7 +1680,7 @@ mod tests {
         rms.submit(job(1, 0.0, 100.0, 100.0, 2, 4000.0), t(0.0));
         // A 2-wide submission while one node is down is rejected outright.
         let mid = rms.submit(job(2, 15.0, 10.0, 10.0, 2, 4000.0), t(15.0));
-        assert_eq!(mid, Decision::Rejected);
+        assert_eq!(mid, Decision::Rejected(RejectReason::NodeDown));
         // After the restore a 2-wide job is admissible again.
         assert_eq!(
             rms.submit(job(3, 30.0, 10.0, 10.0, 2, 4000.0), t(30.0)),
@@ -1303,13 +1702,70 @@ mod tests {
             }
         );
         // The waiting 2-wide job cannot ever start on 1 surviving node.
-        assert_eq!(outcome_of(1), Outcome::Rejected { at: t(10.0) });
-        assert_eq!(outcome_of(2), Outcome::Rejected { at: t(15.0) });
+        assert_eq!(
+            outcome_of(1),
+            Outcome::Rejected {
+                at: t(10.0),
+                reason: RejectReason::NodeDown
+            }
+        );
+        assert_eq!(
+            outcome_of(2),
+            Outcome::Rejected {
+                at: t(15.0),
+                reason: RejectReason::NodeDown
+            }
+        );
         assert!(matches!(outcome_of(3), Outcome::Completed { .. }));
         assert_eq!(events.len(), 4, "every job resolves exactly once");
         assert_eq!(rms.churn().node_failures, 1);
         assert_eq!(rms.churn().node_restores, 1);
         assert_eq!(rms.churn().kills, 1);
+    }
+
+    #[test]
+    fn utilization_excludes_down_node_seconds() {
+        // Node 0 is down for the whole run on both substrates: the one
+        // surviving processor works the entire span, so utilisation must
+        // read 1.0, not the 0.5 a total-capacity denominator would give.
+        let mut queued = ClusterRms::queued(
+            Cluster::homogeneous(2, 168.0),
+            QueuePolicy::new(QueueDiscipline::Fifo, false),
+        )
+        .with_faults(
+            FaultPlan::from_events(vec![down(0.0, 0)]),
+            RecoveryPolicy::Kill,
+        );
+        assert_eq!(
+            queued.submit(job(0, 0.0, 100.0, 100.0, 1, 4000.0), t(0.0)),
+            Decision::Queued
+        );
+        assert_eq!(queued.drain().count(), 1);
+        assert!(
+            (queued.utilization() - 1.0).abs() < 1e-9,
+            "queued under churn: {}",
+            queued.utilization()
+        );
+
+        let mut prop = ClusterRms::proportional(
+            Cluster::homogeneous(2, 168.0),
+            ProportionalConfig::default(),
+            Libra::new(),
+        )
+        .with_faults(
+            FaultPlan::from_events(vec![down(0.0, 0)]),
+            RecoveryPolicy::Kill,
+        );
+        assert_eq!(
+            prop.submit(job(0, 0.0, 100.0, 100.0, 1, 4000.0), t(0.0)),
+            Decision::Accepted
+        );
+        assert_eq!(prop.drain().count(), 1);
+        assert!(
+            (prop.utilization() - 1.0).abs() < 1e-9,
+            "proportional under churn: {}",
+            prop.utilization()
+        );
     }
 
     #[test]
@@ -1326,7 +1782,14 @@ mod tests {
         let events: Vec<JobEvent> = rms.drain().collect();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].record.job, original);
-        assert_eq!(events[0].record.outcome, Outcome::Rejected { at: t(50.0) });
+        // The 2-wide survivor cannot refit on the 1 remaining node.
+        assert_eq!(
+            events[0].record.outcome,
+            Outcome::Rejected {
+                at: t(50.0),
+                reason: RejectReason::NodeDown
+            }
+        );
         assert_eq!(rms.churn().requeues, 1);
         assert_eq!(rms.churn().requeue_rejects, 1);
     }

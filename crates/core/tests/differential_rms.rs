@@ -97,7 +97,7 @@ fn unified_driver_matches_golden_fixture() {
             assert_eq!(p[0].parse::<usize>().unwrap(), i, "{kind:?} seed {seed}");
             let bits = |s: &str| u64::from_str_radix(s, 16).expect("outcome bits");
             match rec.outcome {
-                Outcome::Rejected { at } => {
+                Outcome::Rejected { at, .. } => {
                     assert_eq!(p[1], "R", "{kind:?} seed {seed} job {i}: kind flipped");
                     assert_eq!(
                         at.as_secs().to_bits(),
@@ -359,9 +359,9 @@ fn decisions_agree_with_streamed_outcomes() {
                     matches!(outcome, Outcome::Completed { .. }),
                     "{kind:?} job {i}: accepted jobs complete"
                 ),
-                Decision::Rejected => assert!(
-                    matches!(outcome, Outcome::Rejected { .. }),
-                    "{kind:?} job {i}: rejections are final"
+                Decision::Rejected(reason) => assert!(
+                    matches!(outcome, Outcome::Rejected { reason: r, .. } if r == reason),
+                    "{kind:?} job {i}: rejections are final and keep their reason"
                 ),
                 Decision::Queued => {} // either way, via the queue
             }

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod obs_run;
 pub mod report;
 pub mod scenario;
 pub mod sweep;

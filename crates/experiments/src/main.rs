@@ -71,7 +71,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: experiments <fig1|fig2|fig3|fig4|ablation|robustness|heterogeneity|churn|\
-     budget|risk-profile|convergence|summary|trace-stats|all> \
+     budget|risk-profile|convergence|summary|trace-stats|timeline|trace|all> \
      [--jobs N] [--seeds 1,2,3] [--threads N] [--out DIR] [--charts] [--quick]"
         .to_string()
 }
@@ -176,6 +176,70 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "timeline" => {
+                use experiments::obs_run;
+                let policy = librisk::PolicyKind::LibraRisk;
+                let scenario = obs_run::obs_scenario(cfg);
+                let t = obs_run::timeline(&scenario, policy);
+                println!(
+                    "# Gauge timeline — {policy:?} under churn, {} jobs\n",
+                    t.jobs
+                );
+                println!("| curve | points |");
+                println!("| --- | --- |");
+                println!("| utilization | {} |", t.utilization.len());
+                println!("| in-flight / nodes | {} |", t.in_flight.len());
+                if let Some(g) = &t.gauge {
+                    println!("| {} | {} |", g.name(), g.len());
+                }
+                if let Some(dir) = &args.out {
+                    let path = dir.join("timeline.svg");
+                    match std::fs::create_dir_all(dir)
+                        .and_then(|()| std::fs::write(&path, t.to_svg(policy)))
+                    {
+                        Ok(()) => eprintln!("wrote {}", path.display()),
+                        Err(e) => eprintln!("cannot write SVG: {e}"),
+                    }
+                }
+            }
+            "trace" => {
+                use experiments::obs_run;
+                let policy = librisk::PolicyKind::LibraRisk;
+                let scenario = obs_run::obs_scenario(cfg);
+                let (rec, report) = obs_run::trace_run(&scenario, policy, 1 << 16);
+                if let Err(e) = obs_run::validate_exports(&rec) {
+                    eprintln!("export validation failed: {e}");
+                    std::process::exit(1);
+                }
+                println!("# Decision trace — {policy:?} under churn\n");
+                println!("| metric | value |");
+                println!("| --- | --- |");
+                println!("| events retained | {} |", rec.len());
+                println!("| events dropped | {} |", rec.dropped());
+                println!("| submitted | {} |", report.submitted());
+                println!("| fulfilled | {} |", report.fulfilled());
+                println!("| rejected | {} |", report.rejected());
+                println!(
+                    "| decisions counted | {} |",
+                    rec.registry().counter(obs::keys::DECISIONS)
+                );
+                if let Some(dir) = &args.out {
+                    let write = |name: &str, body: String| {
+                        let path = dir.join(name);
+                        match std::fs::write(&path, body) {
+                            Ok(()) => eprintln!("wrote {}", path.display()),
+                            Err(e) => eprintln!("cannot write {name}: {e}"),
+                        }
+                    };
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        eprintln!("cannot create {}: {e}", dir.display());
+                    } else {
+                        write("events.jsonl", rec.to_jsonl());
+                        write("trace.json", rec.to_chrome_trace());
+                        write("metrics.prom", rec.registry().to_prometheus());
+                    }
+                }
+            }
             "risk-profile" => {
                 let t = figures::risk_profile_table(cfg);
                 print!("{}", t.to_markdown());
@@ -214,7 +278,7 @@ fn main() -> ExitCode {
         }
         cmd @ ("trace-stats" | "fig1" | "fig2" | "fig3" | "fig4" | "ablation" | "robustness"
         | "heterogeneity" | "churn" | "budget" | "risk-profile" | "convergence"
-        | "summary") => run(cmd),
+        | "summary" | "timeline" | "trace") => run(cmd),
         other => {
             eprintln!("unknown command {other}\n{}", usage());
             return ExitCode::FAILURE;

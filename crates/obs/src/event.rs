@@ -1,0 +1,163 @@
+//! Structured trace events.
+//!
+//! Every event carries plain scalars (ids, seconds, counts) rather
+//! than core types: this crate sits below the simulation core in the
+//! dependency graph, so the core converts at the hook site. Simulated
+//! instants are `f64` seconds since simulation start — the same axis
+//! `sim::SimTime` wraps.
+
+use crate::reason::RejectReason;
+
+/// The verdict half of a decision audit record — mirrors the core's
+/// `Decision` enum without depending on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Admitted and started immediately.
+    Accepted,
+    /// Turned away, with the machine-readable cause.
+    Rejected(RejectReason),
+    /// Parked in a wait queue; the verdict arrives later as an event.
+    Queued,
+}
+
+impl Verdict {
+    /// Stable label ("accepted", "rejected", "queued").
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Accepted => "accepted",
+            Verdict::Rejected(_) => "rejected",
+            Verdict::Queued => "queued",
+        }
+    }
+}
+
+/// How a resolved job left the system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResolvedKind {
+    /// Rejected (at submit, dispatch or requeue).
+    Rejected(RejectReason),
+    /// Ran to completion.
+    Completed,
+    /// Died with its node under a `Kill` recovery policy.
+    Killed,
+}
+
+impl ResolvedKind {
+    /// Stable label ("rejected", "completed", "killed").
+    pub fn label(self) -> &'static str {
+        match self {
+            ResolvedKind::Rejected(_) => "rejected",
+            ResolvedKind::Completed => "completed",
+            ResolvedKind::Killed => "killed",
+        }
+    }
+}
+
+/// A policy gauge sampled immediately before and after one admission —
+/// Libra's peak share sum, LibraRisk's cluster risk, a queue depth.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GaugeDelta {
+    /// Static gauge key (also a [`crate::Registry`] key).
+    pub key: &'static str,
+    /// Value at the decision instant, before the job was placed.
+    pub before: f64,
+    /// Value after placement (equals `before` on a rejection).
+    pub after: f64,
+}
+
+/// Why a verdict came out the way it did.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DecisionAudit {
+    /// First (best-fit) node of the chosen assignment, when accepted.
+    pub best_fit_node: Option<u32>,
+    /// Policy gauge before/after the decision, when the policy
+    /// exposes one.
+    pub gauge: Option<GaugeDelta>,
+}
+
+/// One structured trace event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Event {
+    /// A job arrived at the facade.
+    Submit {
+        /// Submission sequence number.
+        seq: u64,
+        /// Workload job id.
+        job: u64,
+        /// Processors requested.
+        procs: u32,
+        /// User runtime estimate, seconds.
+        estimate_secs: f64,
+        /// Absolute deadline, seconds since simulation start.
+        deadline_secs: f64,
+    },
+    /// An admission verdict, with its audit record.
+    Decision {
+        /// Submission sequence number.
+        seq: u64,
+        /// Workload job id.
+        job: u64,
+        /// The verdict.
+        verdict: Verdict,
+        /// Why — best-fit node, gauge before/after.
+        audit: DecisionAudit,
+        /// Wall-clock cost of the decision, nanoseconds.
+        latency_ns: u64,
+    },
+    /// A job reached its terminal outcome.
+    JobResolved {
+        /// Submission sequence number.
+        seq: u64,
+        /// Workload job id.
+        job: u64,
+        /// How it left the system.
+        outcome: ResolvedKind,
+    },
+    /// A node failed.
+    NodeDown {
+        /// The failed node.
+        node: u32,
+    },
+    /// A node came back.
+    NodeUp {
+        /// The restored node.
+        node: u32,
+    },
+    /// One `advance(to)` call: the span covered and how many job
+    /// events it streamed.
+    AdvanceSpan {
+        /// Span start, seconds.
+        start_secs: f64,
+        /// Span end, seconds.
+        end_secs: f64,
+        /// Job events streamed by the span.
+        events: u64,
+    },
+}
+
+impl Event {
+    /// Stable event-type label ("submit", "decision", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Event::Submit { .. } => "submit",
+            Event::Decision { .. } => "decision",
+            Event::JobResolved { .. } => "job_resolved",
+            Event::NodeDown { .. } => "node_down",
+            Event::NodeUp { .. } => "node_up",
+            Event::AdvanceSpan { .. } => "advance",
+        }
+    }
+}
+
+/// An [`Event`] with its two timestamps: the simulated instant it
+/// describes and the wall-clock nanosecond (relative to the recorder's
+/// epoch) at which it was recorded.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimedEvent {
+    /// Simulated instant, seconds since simulation start.
+    pub sim_secs: f64,
+    /// Wall-clock offset from the recorder's creation, nanoseconds.
+    pub wall_ns: u64,
+    /// The event.
+    pub event: Event,
+}

@@ -1,0 +1,282 @@
+//! Event-log exporters: JSONL and Chrome `trace_event` JSON.
+//!
+//! Both formats are hand-rolled (no serde in the workspace). Every
+//! value is a scalar, so serialisation is a handful of `format!`
+//! calls; [`crate::json`] parses the output back for round-trip
+//! validation in tests and the CI smoke step.
+
+use crate::event::{DecisionAudit, Event, ResolvedKind, TimedEvent, Verdict};
+use std::fmt::Write as _;
+
+/// A JSON number literal: finite floats verbatim (Rust's `Display`
+/// never emits exponent notation), non-finite values as `null`.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn audit_fields(audit: &DecisionAudit, out: &mut String) {
+    if let Some(node) = audit.best_fit_node {
+        let _ = write!(out, ",\"best_fit_node\":{node}");
+    }
+    if let Some(g) = audit.gauge {
+        let _ = write!(
+            out,
+            ",\"gauge\":\"{}\",\"before\":{},\"after\":{}",
+            g.key,
+            num(g.before),
+            num(g.after)
+        );
+    }
+}
+
+/// The event's payload as JSON object fields (no braces), shared by
+/// both exporters.
+fn payload(event: &Event) -> String {
+    let mut out = String::new();
+    match event {
+        Event::Submit {
+            seq,
+            job,
+            procs,
+            estimate_secs,
+            deadline_secs,
+        } => {
+            let _ = write!(
+                out,
+                "\"seq\":{seq},\"job\":{job},\"procs\":{procs},\"estimate_secs\":{},\"deadline_secs\":{}",
+                num(*estimate_secs),
+                num(*deadline_secs)
+            );
+        }
+        Event::Decision {
+            seq,
+            job,
+            verdict,
+            audit,
+            latency_ns,
+        } => {
+            let _ = write!(
+                out,
+                "\"seq\":{seq},\"job\":{job},\"verdict\":\"{}\"",
+                verdict.label()
+            );
+            if let Verdict::Rejected(reason) = verdict {
+                let _ = write!(out, ",\"reason\":\"{}\"", reason.code());
+            }
+            audit_fields(audit, &mut out);
+            let _ = write!(out, ",\"latency_ns\":{latency_ns}");
+        }
+        Event::JobResolved { seq, job, outcome } => {
+            let _ = write!(
+                out,
+                "\"seq\":{seq},\"job\":{job},\"outcome\":\"{}\"",
+                outcome.label()
+            );
+            if let ResolvedKind::Rejected(reason) = outcome {
+                let _ = write!(out, ",\"reason\":\"{}\"", reason.code());
+            }
+        }
+        Event::NodeDown { node } | Event::NodeUp { node } => {
+            let _ = write!(out, "\"node\":{node}");
+        }
+        Event::AdvanceSpan {
+            start_secs,
+            end_secs,
+            events,
+        } => {
+            let _ = write!(
+                out,
+                "\"start_secs\":{},\"end_secs\":{},\"events\":{events}",
+                num(*start_secs),
+                num(*end_secs)
+            );
+        }
+    }
+    out
+}
+
+/// One event per line, each a self-contained JSON object:
+/// `{"type":..., "sim_secs":..., "wall_ns":..., <payload fields>}`.
+pub fn jsonl<'a>(events: impl IntoIterator<Item = &'a TimedEvent>) -> String {
+    let mut out = String::new();
+    for te in events {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"{}\",\"sim_secs\":{},\"wall_ns\":{},{}}}",
+            te.event.label(),
+            num(te.sim_secs),
+            te.wall_ns,
+            payload(&te.event)
+        );
+    }
+    out
+}
+
+/// Chrome `trace_event` JSON (the `{"traceEvents": [...]}` object
+/// format), viewable in `about:tracing` or Perfetto.
+///
+/// Timestamps are the *simulated* clock mapped to microseconds, so the
+/// viewer shows the run on the simulation's own time axis.
+/// [`Event::AdvanceSpan`]s become complete (`"X"`) slices; everything
+/// else becomes an instant (`"i"`) event. Node up/down events land on
+/// their own track (`tid` 2) so churn reads as a separate lane.
+pub fn chrome_trace<'a>(events: impl IntoIterator<Item = &'a TimedEvent>) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for te in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let ts = num(te.sim_secs * 1e6);
+        match te.event {
+            Event::AdvanceSpan {
+                start_secs,
+                end_secs,
+                ..
+            } => {
+                let dur = num(((end_secs - start_secs) * 1e6).max(0.0));
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"advance\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":{},\"dur\":{dur},\"args\":{{{}}}}}",
+                    num(start_secs * 1e6),
+                    payload(&te.event)
+                );
+            }
+            Event::NodeDown { .. } | Event::NodeUp { .. } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":2,\"ts\":{ts},\"args\":{{{}}}}}",
+                    te.event.label(),
+                    payload(&te.event)
+                );
+            }
+            _ => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":1,\"ts\":{ts},\"args\":{{{}}}}}",
+                    te.event.label(),
+                    payload(&te.event)
+                );
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::GaugeDelta;
+    use crate::json::{self, Value};
+    use crate::reason::RejectReason;
+
+    fn sample() -> Vec<TimedEvent> {
+        vec![
+            TimedEvent {
+                sim_secs: 0.0,
+                wall_ns: 10,
+                event: Event::Submit {
+                    seq: 0,
+                    job: 7,
+                    procs: 4,
+                    estimate_secs: 120.0,
+                    deadline_secs: 600.0,
+                },
+            },
+            TimedEvent {
+                sim_secs: 0.0,
+                wall_ns: 20,
+                event: Event::Decision {
+                    seq: 0,
+                    job: 7,
+                    verdict: Verdict::Rejected(RejectReason::OverRisk),
+                    audit: DecisionAudit {
+                        best_fit_node: None,
+                        gauge: Some(GaugeDelta {
+                            key: "cluster_risk",
+                            before: 0.8,
+                            after: 0.8,
+                        }),
+                    },
+                    latency_ns: 512,
+                },
+            },
+            TimedEvent {
+                sim_secs: 5.0,
+                wall_ns: 30,
+                event: Event::AdvanceSpan {
+                    start_secs: 0.0,
+                    end_secs: 5.0,
+                    events: 1,
+                },
+            },
+            TimedEvent {
+                sim_secs: 5.0,
+                wall_ns: 40,
+                event: Event::NodeDown { node: 3 },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_round_trip_fields() {
+        let text = jsonl(sample().iter());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let v = json::parse(lines[1]).expect("valid JSON");
+        assert_eq!(v.get("type").and_then(Value::as_str), Some("decision"));
+        assert_eq!(v.get("verdict").and_then(Value::as_str), Some("rejected"));
+        assert_eq!(v.get("reason").and_then(Value::as_str), Some("over-risk"));
+        assert_eq!(v.get("gauge").and_then(Value::as_str), Some("cluster_risk"));
+        assert_eq!(v.get("latency_ns").and_then(Value::as_f64), Some(512.0));
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_spans_have_duration() {
+        let text = chrome_trace(sample().iter());
+        let v = json::parse(&text).expect("valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 4);
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .expect("one complete event");
+        assert_eq!(span.get("dur").and_then(Value::as_f64), Some(5e6));
+        let churn = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("node_down"))
+            .expect("node_down instant");
+        assert_eq!(churn.get("tid").and_then(Value::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn empty_input_is_still_valid() {
+        let none = std::iter::empty::<&TimedEvent>();
+        assert_eq!(jsonl(none), "");
+        let none = std::iter::empty::<&TimedEvent>();
+        let v = json::parse(&chrome_trace(none)).expect("valid JSON");
+        assert_eq!(
+            v.get("traceEvents")
+                .and_then(Value::as_array)
+                .unwrap()
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn non_finite_values_become_null() {
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(0.5), "0.5");
+    }
+}

@@ -1,0 +1,66 @@
+//! The static metric keys and histogram bucket bounds the RMS hooks
+//! use — one shared vocabulary so exporters, dashboards and tests
+//! never drift apart on spelling.
+
+/// Total admission decisions (accepted + rejected + queued).
+pub const DECISIONS: &str = "rms_decisions_total";
+/// Decisions that admitted the job immediately.
+pub const ACCEPTED: &str = "rms_accepted_total";
+/// Decisions that turned the job away at submit.
+pub const REJECTED: &str = "rms_rejected_total";
+/// Decisions that parked the job in a wait queue.
+pub const QUEUED: &str = "rms_queued_total";
+/// Jobs that reached a terminal outcome.
+pub const RESOLVED: &str = "rms_resolved_total";
+/// Completions that met their deadline.
+pub const FULFILLED: &str = "rms_fulfilled_total";
+/// Completions that missed their deadline.
+pub const OVERDUE: &str = "rms_overdue_total";
+/// Jobs killed by node failure.
+pub const KILLED: &str = "rms_killed_total";
+/// Node failures applied from the fault plan.
+pub const NODE_DOWN: &str = "rms_node_down_total";
+/// Node repairs applied from the fault plan.
+pub const NODE_UP: &str = "rms_node_up_total";
+
+/// Mean utilization of up capacity so far (gauge).
+pub const UTILIZATION: &str = "rms_utilization";
+/// Jobs currently resident or queued (gauge).
+pub const IN_FLIGHT: &str = "rms_in_flight";
+
+/// Wall-clock decide latency histogram, nanoseconds.
+pub const DECIDE_LATENCY: &str = "rms_decide_latency_ns";
+/// Bucket bounds for [`DECIDE_LATENCY`].
+pub const DECIDE_LATENCY_BOUNDS: &[f64] = &[
+    250.0,
+    500.0,
+    1_000.0,
+    2_500.0,
+    5_000.0,
+    10_000.0,
+    25_000.0,
+    50_000.0,
+    100_000.0,
+    1_000_000.0,
+];
+
+/// Post-decision share-sum distribution (Libra family).
+pub const SHARE_DIST: &str = "libra_peak_share_dist";
+/// Bucket bounds for [`SHARE_DIST`] — shares live in `[0, 1]`.
+pub const SHARE_BOUNDS: &[f64] = &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// Post-decision cluster-risk distribution (LibraRisk family);
+/// the measure is a mean delay-to-deadline ratio, 1.0 = on time.
+pub const RISK_DIST: &str = "librarisk_cluster_risk_dist";
+/// Bucket bounds for [`RISK_DIST`].
+pub const RISK_BOUNDS: &[f64] = &[0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0, 4.0];
+
+/// Histogram key + bounds for a policy audit-gauge key, when the
+/// gauge has a meaningful distribution to track.
+pub fn gauge_histogram(gauge_key: &str) -> Option<(&'static str, &'static [f64])> {
+    match gauge_key {
+        "peak_share" => Some((SHARE_DIST, SHARE_BOUNDS)),
+        "cluster_risk" => Some((RISK_DIST, RISK_BOUNDS)),
+        _ => None,
+    }
+}

@@ -1,0 +1,100 @@
+//! Stable machine-readable rejection causes.
+
+/// Why an admission control turned a job away.
+///
+/// The set is closed and ordered: dashboards, the audit log and
+/// `SimulationReport` breakdowns all key off [`RejectReason::code`],
+/// which is a stable identifier — renaming a variant must not change
+/// its code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// The job failed submit-time validation (non-positive runtime,
+    /// zero width, malformed deadline) and never reached a policy.
+    InvalidJob,
+    /// The job wants more processors than the cluster has in total; no
+    /// amount of waiting or repair can ever place it.
+    Width,
+    /// The job fits the full machine but not the capacity that is
+    /// currently up — a transient refusal caused by node failures.
+    NodeDown,
+    /// No node assignment satisfies the resource constraint (Libra's
+    /// share test, or no best-fit candidate survived).
+    NoFit,
+    /// Admitting the job would push the policy's risk or
+    /// schedulability measure past its bound (LibraRisk, QoPS).
+    OverRisk,
+    /// The job cannot meet its deadline even if started immediately —
+    /// judged at dispatch (queued backends) or at requeue after a
+    /// failure ate too much of the deadline window.
+    Deadline,
+}
+
+impl RejectReason {
+    /// Every reason, in stable report order.
+    pub const ALL: [RejectReason; 6] = [
+        RejectReason::InvalidJob,
+        RejectReason::Width,
+        RejectReason::NodeDown,
+        RejectReason::NoFit,
+        RejectReason::OverRisk,
+        RejectReason::Deadline,
+    ];
+
+    /// Stable machine-readable code (used in JSONL, Prometheus labels
+    /// and CSV columns).
+    pub fn code(self) -> &'static str {
+        match self {
+            RejectReason::InvalidJob => "invalid-job",
+            RejectReason::Width => "width",
+            RejectReason::NodeDown => "node-down",
+            RejectReason::NoFit => "no-fit",
+            RejectReason::OverRisk => "over-risk",
+            RejectReason::Deadline => "deadline",
+        }
+    }
+
+    /// Position in [`RejectReason::ALL`] — index for fixed-size count
+    /// arrays.
+    pub fn index(self) -> usize {
+        match self {
+            RejectReason::InvalidJob => 0,
+            RejectReason::Width => 1,
+            RejectReason::NodeDown => 2,
+            RejectReason::NoFit => 3,
+            RejectReason::OverRisk => 4,
+            RejectReason::Deadline => 5,
+        }
+    }
+
+    /// Static registry counter key for this reason.
+    pub fn counter_key(self) -> &'static str {
+        match self {
+            RejectReason::InvalidJob => "rms_rejected_invalid_job_total",
+            RejectReason::Width => "rms_rejected_width_total",
+            RejectReason::NodeDown => "rms_rejected_node_down_total",
+            RejectReason::NoFit => "rms_rejected_no_fit_total",
+            RejectReason::OverRisk => "rms_rejected_over_risk_total",
+            RejectReason::Deadline => "rms_rejected_deadline_total",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, r) in RejectReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let mut codes: Vec<&str> = RejectReason::ALL.iter().map(|r| r.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), RejectReason::ALL.len());
+    }
+}

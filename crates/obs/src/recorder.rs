@@ -1,0 +1,218 @@
+//! The recorder hook trait and its two implementations.
+
+use crate::event::{Event, TimedEvent};
+use crate::registry::Registry;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// The hook the RMS calls at every observable instant.
+///
+/// Implementations must be *passive*: a recorder may be arbitrarily
+/// expensive or cheap, but it never influences a decision — the core
+/// pins this contract with a bitwise-identity property test. Hook
+/// sites gate all event construction on [`Recorder::enabled`], so a
+/// disabled recorder costs one branch per site.
+pub trait Recorder {
+    /// `false` lets hook sites skip event construction entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event at simulated instant `sim_secs`.
+    fn record(&mut self, sim_secs: f64, event: Event);
+
+    /// The metrics registry fed by this recorder, if it keeps one.
+    fn registry_mut(&mut self) -> Option<&mut Registry> {
+        None
+    }
+
+    /// Whether hook sites should sample *policy audit gauges* (Libra's
+    /// peak share sum, LibraRisk's cluster risk) around every decision.
+    ///
+    /// These are the one hook with a real price: sampling LibraRisk's
+    /// cluster risk re-projects every occupied node, which costs a
+    /// double-digit percentage of end-to-end replay throughput. All
+    /// other decision audit fields (verdict, rejection reason, best-fit
+    /// node, queue depth) are near-free and always gathered. Defaults
+    /// to `false`; recorders built for deep decision forensics opt in.
+    fn wants_audit_gauges(&self) -> bool {
+        false
+    }
+}
+
+/// The default recorder: records nothing, reports itself disabled.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _sim_secs: f64, _event: Event) {}
+}
+
+/// A bounded ring-buffer recorder with an owned metrics registry.
+///
+/// On overflow the *oldest* events are dropped (the tail of a run is
+/// usually what a post-mortem needs) and counted in
+/// [`TraceRecorder::dropped`]. Wall-clock stamps are nanoseconds since
+/// the recorder's construction, so traces from one run share an epoch.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    capacity: usize,
+    buf: VecDeque<TimedEvent>,
+    dropped: u64,
+    registry: Registry,
+    epoch: Instant,
+    audit_gauges: bool,
+}
+
+impl TraceRecorder {
+    /// A recorder holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRecorder {
+            capacity,
+            buf: VecDeque::with_capacity(capacity.min(64 * 1024)),
+            dropped: 0,
+            registry: Registry::new(),
+            epoch: Instant::now(),
+            audit_gauges: false,
+        }
+    }
+
+    /// Opts into per-decision policy audit gauges (see
+    /// [`Recorder::wants_audit_gauges`] for the cost trade-off).
+    pub fn with_audit_gauges(mut self) -> Self {
+        self.audit_gauges = true;
+        self
+    }
+
+    /// Maximum events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TimedEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been recorded (or everything dropped).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted by ring overflow since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The owned registry, read-only.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Serialises the retained events as JSONL (one event per line).
+    pub fn to_jsonl(&self) -> String {
+        crate::export::jsonl(self.events())
+    }
+
+    /// Serialises the retained events as Chrome `trace_event` JSON.
+    pub fn to_chrome_trace(&self) -> String {
+        crate::export::chrome_trace(self.events())
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn record(&mut self, sim_secs: f64, event: Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+            self.registry.inc("obs_events_dropped_total");
+        }
+        self.buf.push_back(TimedEvent {
+            sim_secs,
+            wall_ns: self.epoch.elapsed().as_nanos() as u64,
+            event,
+        });
+    }
+
+    fn registry_mut(&mut self) -> Option<&mut Registry> {
+        Some(&mut self.registry)
+    }
+
+    fn wants_audit_gauges(&self) -> bool {
+        self.audit_gauges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node_down(n: u32) -> Event {
+        Event::NodeDown { node: n }
+    }
+
+    #[test]
+    fn noop_is_disabled_and_inert() {
+        let mut r = NoopRecorder;
+        assert!(!r.enabled());
+        r.record(1.0, node_down(0));
+        assert!(r.registry_mut().is_none());
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut r = TraceRecorder::new(3);
+        for n in 0..7u32 {
+            r.record(n as f64, node_down(n));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 4);
+        assert_eq!(r.registry().counter("obs_events_dropped_total"), 4);
+        let kept: Vec<u32> = r
+            .events()
+            .map(|te| match te.event {
+                Event::NodeDown { node } => node,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![4, 5, 6], "oldest events are the ones dropped");
+    }
+
+    #[test]
+    fn wall_stamps_are_monotone() {
+        let mut r = TraceRecorder::new(16);
+        for n in 0..5u32 {
+            r.record(0.0, node_down(n));
+        }
+        let stamps: Vec<u64> = r.events().map(|te| te.wall_ns).collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn audit_gauges_are_opt_in() {
+        assert!(!TraceRecorder::new(4).wants_audit_gauges());
+        assert!(TraceRecorder::new(4)
+            .with_audit_gauges()
+            .wants_audit_gauges());
+        assert!(!NoopRecorder.wants_audit_gauges());
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = TraceRecorder::new(0);
+        r.record(0.0, node_down(1));
+        r.record(1.0, node_down(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+}

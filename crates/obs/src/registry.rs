@@ -1,0 +1,237 @@
+//! Static-key metrics registry: counters, gauges, fixed-bucket
+//! histograms, and a Prometheus-style text dump.
+//!
+//! Keys are `&'static str` so registration is allocation-free and a
+//! lookup is a short linear scan that usually resolves on pointer
+//! equality — a handful of nanoseconds for the dozen-odd keys the RMS
+//! uses, with no hashing and no interior mutability.
+
+use std::fmt::Write as _;
+
+/// A fixed-bucket histogram: `bounds.len() + 1` cumulative-style
+/// buckets (the last is the overflow bucket), plus sum and count for
+/// the mean.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bounds: &'static [f64],
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [f64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let idx = self.bounds.partition_point(|b| *b < v);
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Upper bucket bounds (the final `+Inf` bucket is implicit).
+    pub fn bounds(&self) -> &'static [f64] {
+        self.bounds
+    }
+
+    /// Per-bucket observation counts; one longer than [`Histogram::bounds`].
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The registry. Plain vectors keyed by `&'static str`; cloneable so
+/// snapshots are cheap to hand out.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, f64)>,
+    histograms: Vec<(&'static str, Histogram)>,
+}
+
+fn find<T>(
+    entries: &mut Vec<(&'static str, T)>,
+    key: &'static str,
+    new: impl FnOnce() -> T,
+) -> usize {
+    // `str` equality short-circuits on length and, for interned
+    // statics, typically on the data pointer — cheap at this scale.
+    match entries.iter().position(|(k, _)| *k == key) {
+        Some(i) => i,
+        None => {
+            entries.push((key, new()));
+            entries.len() - 1
+        }
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Increments a counter by one, registering it on first use.
+    pub fn inc(&mut self, key: &'static str) {
+        self.add(key, 1);
+    }
+
+    /// Adds `by` to a counter, registering it on first use.
+    pub fn add(&mut self, key: &'static str, by: u64) {
+        let i = find(&mut self.counters, key, || 0);
+        self.counters[i].1 += by;
+    }
+
+    /// Sets a gauge, registering it on first use.
+    pub fn set_gauge(&mut self, key: &'static str, value: f64) {
+        let i = find(&mut self.gauges, key, || 0.0);
+        self.gauges[i].1 = value;
+    }
+
+    /// Observes `value` into the fixed-bucket histogram under `key`,
+    /// creating it with `bounds` on first use (later `bounds` are
+    /// ignored — the first registration wins).
+    pub fn observe(&mut self, key: &'static str, bounds: &'static [f64], value: f64) {
+        let i = find(&mut self.histograms, key, || Histogram::new(bounds));
+        self.histograms[i].1.observe(value);
+    }
+
+    /// Current counter value (0 when never touched).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Current gauge value, if ever set.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// The histogram under `key`, if any observation landed.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, h)| h)
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Prometheus text exposition: `# TYPE` headers, cumulative
+    /// `_bucket{le=...}` lines for histograms, deterministic
+    /// registration order.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {k} counter");
+            let _ = writeln!(out, "{k} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {k} gauge");
+            let _ = writeln!(out, "{k} {v}");
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {k} histogram");
+            let mut cumulative = 0u64;
+            for (bound, n) in h.bounds.iter().zip(&h.counts) {
+                cumulative += n;
+                let _ = writeln!(out, "{k}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            cumulative += h.counts.last().copied().unwrap_or(0);
+            let _ = writeln!(out, "{k}_bucket{{le=\"+Inf\"}} {cumulative}");
+            let _ = writeln!(out, "{k}_sum {}", h.sum);
+            let _ = writeln!(out, "{k}_count {}", h.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOUNDS: &[f64] = &[1.0, 10.0, 100.0];
+
+    #[test]
+    fn counters_accumulate_and_register_lazily() {
+        let mut r = Registry::new();
+        assert_eq!(r.counter("a_total"), 0);
+        r.inc("a_total");
+        r.add("a_total", 4);
+        assert_eq!(r.counter("a_total"), 5);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut r = Registry::new();
+        assert_eq!(r.gauge("g"), None);
+        r.set_gauge("g", 1.5);
+        r.set_gauge("g", 0.25);
+        assert_eq!(r.gauge("g"), Some(0.25));
+    }
+
+    #[test]
+    fn histogram_buckets_partition_on_upper_bound() {
+        let mut r = Registry::new();
+        // le semantics: an observation equal to a bound lands in that bucket.
+        for v in [0.5, 1.0, 5.0, 100.0, 1e6] {
+            r.observe("h", BOUNDS, v);
+        }
+        let h = r.histogram("h").unwrap();
+        assert_eq!(h.bucket_counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - (0.5 + 1.0 + 5.0 + 100.0 + 1e6) / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prometheus_dump_has_cumulative_buckets() {
+        let mut r = Registry::new();
+        r.inc("jobs_total");
+        r.set_gauge("util", 0.5);
+        r.observe("lat", BOUNDS, 0.5);
+        r.observe("lat", BOUNDS, 50.0);
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE jobs_total counter"));
+        assert!(text.contains("jobs_total 1"));
+        assert!(text.contains("util 0.5"));
+        assert!(text.contains("lat_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"100\"} 2"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_count 2"));
+    }
+}

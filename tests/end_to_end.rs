@@ -230,7 +230,7 @@ fn rejected_jobs_never_execute_and_accepted_jobs_always_finish() {
         let report = scenario().run(policy);
         for r in &report.records {
             match r.outcome {
-                Outcome::Rejected { at } => {
+                Outcome::Rejected { at, .. } => {
                     assert!(at >= r.job.submit, "{policy}: rejection after submission");
                 }
                 Outcome::Completed { started, finish } => {

@@ -177,7 +177,7 @@ proptest! {
         let cluster = Cluster::homogeneous(8, 168.0);
         let report = PolicyKind::Edf.run(&cluster, &trace);
         for r in &report.records {
-            if let Outcome::Rejected { at } = r.outcome {
+            if let Outcome::Rejected { at, .. } = r.outcome {
                 if r.job.procs as usize <= 8 {
                     // At rejection time the job could not meet its deadline
                     // by its estimate.
@@ -199,7 +199,7 @@ proptest! {
         for policy in [PolicyKind::Libra, PolicyKind::LibraRisk] {
             let report = policy.run(&cluster, &trace);
             for r in &report.records {
-                if let Outcome::Rejected { at } = r.outcome {
+                if let Outcome::Rejected { at, .. } = r.outcome {
                     prop_assert_eq!(
                         at, r.job.submit,
                         "{}: Libra-family rejections are instantaneous", policy
