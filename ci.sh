@@ -50,4 +50,26 @@ smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 trap 'rm -f "$smoke_out" ; rm -rf "$obs_out"' EXIT
 cargo run --release -p bench --bin bench_admission -- 200 2 400 "$smoke_out" >/dev/null
 
+echo "== perf floor (warn-only): unified-driver throughput =="
+# Compares the smoke run's LibraRisk unified-driver jobs/sec against the
+# committed full-size baseline. Warn-only: CI machines vary wildly, so a
+# shortfall below half the recorded figure flags a likely regression
+# without failing the build.
+python3 - "$smoke_out" BENCH_admission.json <<'PYEOF' || true
+import json, sys
+try:
+    smoke = json.load(open(sys.argv[1]))
+    base = json.load(open(sys.argv[2]))
+    got = smoke["unified_driver"]["policies"]["LibraRisk"]["jobs_per_sec"]
+    want = base["unified_driver"]["policies"]["LibraRisk"]["jobs_per_sec"]
+except (OSError, KeyError, ValueError) as e:
+    print(f"perf floor: skipped ({e})")
+    sys.exit(0)
+if got < want / 2:
+    print(f"WARNING: perf floor: LibraRisk unified driver at {got:.0f} jobs/s, "
+          f"less than half the committed baseline {want:.0f} jobs/s")
+else:
+    print(f"perf floor: ok ({got:.0f} jobs/s vs baseline {want:.0f} jobs/s)")
+PYEOF
+
 echo "ci.sh: OK"

@@ -189,18 +189,7 @@ fn time_policies(
 /// crossings land on distinct instants — thousands of events, not a few
 /// hundred synchronized ones.
 fn drain_events(jobs: usize, use_scan: bool) -> (u64, f64) {
-    let mut engine = ProportionalCluster::new(Cluster::sdsc_sp2(), ProportionalConfig::default());
-    let nodes = engine.cluster().len();
-    for i in 0..jobs {
-        // A third of the jobs under-estimate (runtime > estimate) so the
-        // drain exercises overrun re-arms, not just clean completions.
-        let runtime = 300.0 + (i as f64 * 7.919) % 700.0;
-        let est_factor = [0.5, 1.0, 2.0][i % 3];
-        let deadline = 2_000.0 + (i as f64 * 13.37) % 6_000.0;
-        let mut j = job(i as u64, runtime * est_factor, deadline);
-        j.runtime = SimDuration::from_secs(runtime);
-        engine.admit(j, vec![NodeId((i % nodes) as u32)], SimTime::ZERO);
-    }
+    let mut engine = event_heavy_engine(jobs);
     let t = Instant::now();
     let mut events = 0u64;
     loop {
@@ -215,6 +204,108 @@ fn drain_events(jobs: usize, use_scan: bool) -> (u64, f64) {
         assert!(events < 10_000_000, "drain failed to converge");
     }
     (events, t.elapsed().as_secs_f64())
+}
+
+/// The event-heavy engine both event-loop probes drain: every node
+/// loaded, a third of the jobs under-estimating (runtime > estimate) so
+/// the drain exercises overrun re-arms, and runtimes/deadlines
+/// de-symmetrised (per-index jitter, staggered finite deadlines) so
+/// completions, re-arms and deadline crossings land on distinct instants
+/// — thousands of events, not a few hundred synchronized ones.
+fn event_heavy_engine(jobs: usize) -> ProportionalCluster {
+    let mut engine = ProportionalCluster::new(Cluster::sdsc_sp2(), ProportionalConfig::default());
+    let nodes = engine.cluster().len();
+    for i in 0..jobs {
+        let runtime = 300.0 + (i as f64 * 7.919) % 700.0;
+        let est_factor = [0.5, 1.0, 2.0][i % 3];
+        let deadline = 2_000.0 + (i as f64 * 13.37) % 6_000.0;
+        let mut j = job(i as u64, runtime * est_factor, deadline);
+        j.runtime = SimDuration::from_secs(runtime);
+        engine.admit(j, vec![NodeId((i % nodes) as u32)], SimTime::ZERO);
+    }
+    engine
+}
+
+/// Isolated query cost: mean ns per `next_event_time` (or `_scan`) call
+/// on a loaded, settled engine with no interleaved advances. The
+/// end-to-end drain buries the query under the per-event advance work —
+/// this is the number that actually separates the O(1) cached read from
+/// the retired full scan.
+fn isolated_event_query(jobs: usize, use_scan: bool) -> f64 {
+    let engine = event_heavy_engine(jobs);
+    const CALLS: u32 = 200_000;
+    let t = Instant::now();
+    for _ in 0..CALLS {
+        black_box(if use_scan {
+            engine.next_event_time_scan()
+        } else {
+            engine.next_event_time()
+        });
+    }
+    t.elapsed().as_nanos() as f64 / f64::from(CALLS)
+}
+
+/// Engine-level advance-path replay: the trace's arrival skeleton with
+/// placement pinned to a deterministic round-robin (no admission policy
+/// in the loop), so the measured work is exactly the advance path —
+/// catch-up event drains, progress passes and rate recomputes. `reference`
+/// selects the retired oracle pair (`advance_reference` +
+/// `next_event_time_scan`); the default pair is the incremental one
+/// (`advance_into` + cached `next_event_time`). Returns jobs/sec, the
+/// per-advance wall-time samples (ns), and every completion as
+/// `(job id, finish-seconds bits)` for the bitwise cross-check.
+fn advance_path_replay(trace: &Trace, reference: bool) -> (f64, Vec<u64>, Vec<(u64, u64)>) {
+    let mut engine = ProportionalCluster::new(Cluster::sdsc_sp2(), ProportionalConfig::default());
+    let n = engine.cluster().len() as u32;
+    let mut samples = Vec::with_capacity(trace.jobs().len() * 4);
+    let mut completions = Vec::new();
+    let mut buf: Vec<cluster::proportional::CompletedJob> = Vec::new();
+    let mut advance = |engine: &mut ProportionalCluster,
+                       at: SimTime,
+                       samples: &mut Vec<u64>,
+                       completions: &mut Vec<(u64, u64)>| {
+        let t1 = Instant::now();
+        if reference {
+            for done in engine.advance_reference(at) {
+                completions.push((done.job.id.0, done.finish.as_secs().to_bits()));
+            }
+        } else {
+            engine.advance_into(at, &mut buf);
+            for done in buf.drain(..) {
+                completions.push((done.job.id.0, done.finish.as_secs().to_bits()));
+            }
+        }
+        samples.push(t1.elapsed().as_nanos() as u64);
+    };
+    let next = |engine: &ProportionalCluster| {
+        if reference {
+            engine.next_event_time_scan()
+        } else {
+            engine.next_event_time()
+        }
+    };
+    let t0 = Instant::now();
+    for (i, job) in trace.jobs().iter().enumerate() {
+        let now = job.submit;
+        while let Some(at) = next(&engine) {
+            if at > now {
+                break;
+            }
+            advance(&mut engine, at, &mut samples, &mut completions);
+        }
+        advance(&mut engine, now, &mut samples, &mut completions);
+        let procs = job.procs.min(n);
+        let nodes: Vec<NodeId> = (0..procs).map(|k| NodeId((i as u32 + k) % n)).collect();
+        let mut j = job.clone();
+        j.procs = procs;
+        engine.admit(j, nodes, now);
+    }
+    while let Some(at) = next(&engine) {
+        advance(&mut engine, at, &mut samples, &mut completions);
+        assert!(samples.len() < 10_000_000, "drain failed to converge");
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    (trace.jobs().len() as f64 / secs, samples, completions)
 }
 
 /// End-to-end throughput of the unified RMS driver: a full trace replay
@@ -305,6 +396,8 @@ fn main() {
     assert_eq!(heap_events, scan_events, "heap and scan drains diverged");
     let heap_eps = heap_events as f64 / heap_secs;
     let scan_eps = scan_events as f64 / scan_secs;
+    let cached_ns = isolated_event_query(drain_jobs, false);
+    let scan_ns = isolated_event_query(drain_jobs, true);
 
     // End-to-end replay through the unified RMS driver, one backend of
     // each kind (proportional, queued, QoPS).
@@ -324,6 +417,27 @@ fn main() {
             kind.name()
         ));
     }
+
+    // Advance-path A/B: the same trace replayed at engine level through
+    // the incremental pair and the reference oracle pair; identical
+    // completion streams are asserted, so the speedup is measured across
+    // two bitwise-equal executions.
+    eprintln!("advance path replay: {driver_jobs}-job trace");
+    let (adv_jps, mut adv_samples, adv_completions) = advance_path_replay(&driver_trace, false);
+    let (ref_adv_jps, _, ref_completions) = advance_path_replay(&driver_trace, true);
+    assert_eq!(
+        adv_completions, ref_completions,
+        "incremental and reference advance paths diverged"
+    );
+    let adv_count = adv_samples.len();
+    adv_samples.sort_unstable();
+    let adv_pct =
+        |p: f64| adv_samples[((adv_samples.len() - 1) as f64 * p).round() as usize].max(1);
+    let (adv_p50, adv_p99) = (adv_pct(0.50), adv_pct(0.99));
+    eprintln!(
+        "advance path: incremental {adv_jps:.0} vs reference {ref_adv_jps:.0} jobs/sec \
+         ({adv_count} advances, p50 {adv_p50}ns p99 {adv_p99}ns)"
+    );
 
     // Churn replay: the same trace under a seeded exponential plan (~4
     // failures per node over the span), Kill and Requeue recovery, plus
@@ -457,7 +571,7 @@ fn main() {
             None,
         ),
     ];
-    const ROUNDS: usize = 5;
+    const ROUNDS: usize = 9;
     let mut rounds = [[0.0f64; 4]; ROUNDS];
     for round in rounds.iter_mut() {
         for (slot, (name, f, best, fulfilled)) in round.iter_mut().zip(modes.iter_mut()) {
@@ -471,14 +585,15 @@ fn main() {
             *slot = jps;
         }
     }
-    // Per-round ratios against the plain replay of the *same* round, best
-    // round kept: a contended stretch slows both sides of a pair alike,
-    // so the quietest round is the least biased estimate.
-    let best_ratio = |mode: usize| -> f64 {
-        rounds
-            .iter()
-            .map(|r| r[mode] / r[0])
-            .fold(f64::NEG_INFINITY, f64::max)
+    // Per-round ratios against the plain replay of the *same* round (a
+    // contended stretch slows both sides of a pair alike). The regression
+    // gate reads the *median* round — a single quiet (or noisy) round out
+    // of nine can no longer decide the verdict — and the minimum is
+    // reported alongside as the honest worst case.
+    let ratio_stats = |mode: usize| -> (f64, f64) {
+        let mut rs: Vec<f64> = rounds.iter().map(|r| r[mode] / r[0]).collect();
+        rs.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+        (rs[rs.len() / 2], rs[0])
     };
     let (obs_plain_jps, obs_plain_fulfilled) = (modes[0].2, modes[0].3.unwrap());
     let (noop_jps, noop_fulfilled) = (modes[1].2, modes[1].3.unwrap());
@@ -496,9 +611,9 @@ fn main() {
         obs_plain_fulfilled, gauged_fulfilled,
         "audit gauges must not change outcomes"
     );
-    let noop_ratio = best_ratio(1);
-    let ring_ratio = best_ratio(2);
-    let gauged_ratio = best_ratio(3);
+    let (noop_ratio, noop_ratio_min) = ratio_stats(1);
+    let (ring_ratio, ring_ratio_min) = ratio_stats(2);
+    let (gauged_ratio, gauged_ratio_min) = ratio_stats(3);
     let ring_overhead_pct = (1.0 - ring_ratio) * 100.0;
     // One final instrumented run to report the recorded decide latency.
     let mut latency_rec = obs::TraceRecorder::new(1 << 16);
@@ -508,19 +623,22 @@ fn main() {
         .histogram(obs::keys::DECIDE_LATENCY)
         .map_or(0.0, |h| h.mean());
     eprintln!(
-        "obs overhead: plain {obs_plain_jps:.0} vs noop {noop_jps:.0} (ratio {noop_ratio:.3}) \
-         vs ring {ring_jps:.0} (ratio {ring_ratio:.3}, {ring_overhead_pct:.1}% overhead) \
+        "obs overhead: plain {obs_plain_jps:.0} vs noop {noop_jps:.0} \
+         (ratio median {noop_ratio:.3} min {noop_ratio_min:.3}) \
+         vs ring {ring_jps:.0} (ratio median {ring_ratio:.3} min {ring_ratio_min:.3}, \
+         {ring_overhead_pct:.1}% overhead) \
          vs gauged ring {gauged_jps:.0} jobs/sec (ratio {gauged_ratio:.3})"
     );
-    // Regression tripwire with noise headroom; the committed full-size
-    // run is the record of the actual (≈0%) overhead.
+    // Regression tripwire with noise headroom, gated on the median round;
+    // the committed full-size run is the record of the actual (≈0%)
+    // overhead.
     assert!(
         ring_ratio > 0.90,
-        "ring recorder costs more than 10% driver throughput (ratio {ring_ratio:.3})"
+        "ring recorder costs more than 10% driver throughput (median ratio {ring_ratio:.3})"
     );
     assert!(
         noop_ratio > 0.90,
-        "noop recorder costs more than 10% driver throughput (ratio {noop_ratio:.3})"
+        "noop recorder costs more than 10% driver throughput (median ratio {noop_ratio:.3})"
     );
 
     let json = format!(
@@ -532,23 +650,35 @@ fn main() {
          \"event_loop\": {{ \"events\": {heap_events}, \
          \"heap_events_per_sec\": {heap_eps:.0}, \
          \"scan_events_per_sec\": {scan_eps:.0}, \
-         \"speedup\": {:.2} }},\n  \
+         \"speedup\": {:.2}, \
+         \"isolated_cached_ns_per_call\": {cached_ns:.1}, \
+         \"isolated_scan_ns_per_call\": {scan_ns:.1}, \
+         \"isolated_speedup\": {:.1} }},\n  \
          \"unified_driver\": {{ \"jobs\": {driver_jobs}, \"policies\": {{\n{}\n  }} }},\n  \
+         \"advance_path\": {{ \"jobs\": {driver_jobs}, \"advances\": {adv_count}, \
+         \"incremental_jobs_per_sec\": {adv_jps:.0}, \
+         \"reference_jobs_per_sec\": {ref_adv_jps:.0}, \
+         \"speedup\": {:.2}, \
+         \"advance_ns_p50\": {adv_p50}, \"advance_ns_p99\": {adv_p99} }},\n  \
          \"churn_driver\": {{ \"jobs\": {driver_jobs}, \"fault_events\": {}, \"policies\": {{\n{}\n  }} }},\n  \
          \"fault_free_overhead\": {{ \"plain_jobs_per_sec\": {plain_jps:.0}, \
          \"empty_plan_jobs_per_sec\": {empty_jps:.0}, \"ratio\": {overhead_ratio:.3} }},\n  \
          \"obs_overhead\": {{ \"plain_jobs_per_sec\": {obs_plain_jps:.0}, \
          \"noop_jobs_per_sec\": {noop_jps:.0}, \"ring_jobs_per_sec\": {ring_jps:.0}, \
          \"gauged_ring_jobs_per_sec\": {gauged_jps:.0}, \
-         \"noop_ratio\": {noop_ratio:.3}, \"ring_ratio\": {ring_ratio:.3}, \
+         \"noop_ratio\": {noop_ratio:.3}, \"noop_ratio_min\": {noop_ratio_min:.3}, \
+         \"ring_ratio\": {ring_ratio:.3}, \"ring_ratio_min\": {ring_ratio_min:.3}, \
          \"gauged_ring_ratio\": {gauged_ratio:.3}, \
+         \"gauged_ring_ratio_min\": {gauged_ratio_min:.3}, \
          \"ring_overhead_pct\": {ring_overhead_pct:.1}, \
          \"decide_ns_mean\": {decide_ns_mean:.0} }}\n}}\n",
         libra_t.json(),
         lr_t.json(),
         sweep_cells.join(",\n"),
         heap_eps / scan_eps,
+        scan_ns / cached_ns,
         driver_cells.join(",\n"),
+        adv_jps / ref_adv_jps,
         plan.len(),
         churn_cells.join(",\n"),
     );

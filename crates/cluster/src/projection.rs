@@ -374,8 +374,28 @@ fn projection_kernel(
     rem.extend(jobs.iter().map(|j| j.remaining_est.max(EPS_WORK)));
     alive.clear();
     alive.resize(n, true);
+    // Sized once: dead entries keep stale values, which no loop below
+    // reads (every access is `alive`-guarded), so hoisting the clears
+    // out of the segment loop is bitwise-neutral.
+    shares.clear();
+    shares.resize(n, 0.0);
+    rates.clear();
+    rates.resize(n, 0.0);
+    let (jobs, rem) = (&jobs[..n], &mut rem[..n]);
+    let (alive, shares, rates) = (&mut alive[..n], &mut shares[..n], &mut rates[..n]);
+    let strict = matches!(discipline, ShareDiscipline::Strict);
     let mut alive_count = n;
     let mut t = now;
+    // Shares for the first segment; later segments refresh theirs inside
+    // the advance pass below (the advance already walks the same indices
+    // in the same order, so folding the share refresh in saves a whole
+    // pass per segment without reordering any float op).
+    let mut total_share = 0.0;
+    for i in 0..n {
+        let rd = (jobs[i].abs_deadline - t).max(EPS_DEADLINE);
+        shares[i] = rem[i] / rd;
+        total_share += shares[i];
+    }
     // Each job contributes at most one completion and one deadline
     // crossing; the +8 absorbs float-fuzz re-loops.
     let max_steps = 2 * n + 8;
@@ -383,45 +403,29 @@ fn projection_kernel(
         if alive_count == 0 {
             break;
         }
-        // Shares and rates for this segment.
-        let mut total_share = 0.0;
-        shares.clear();
-        shares.resize(n, 0.0);
-        for i in 0..n {
-            if !alive[i] {
-                continue;
-            }
-            let rd = (jobs[i].abs_deadline - t).max(EPS_DEADLINE);
-            shares[i] = rem[i] / rd;
-            total_share += shares[i];
-        }
-        let denom = match discipline {
-            ShareDiscipline::Strict => total_share.max(1.0),
-            ShareDiscipline::WorkConserving => total_share,
+        let denom = if strict {
+            total_share.max(1.0)
+        } else {
+            total_share
         };
-        // Rates are fixed per segment: compute each once here instead of
-        // re-deriving `shares[i] / denom * speed_factor` in both the
-        // segment-length and the advance loop (same expression, so the
-        // hoist is bitwise-neutral; it saves one divide per job/segment).
-        rates.clear();
-        rates.resize(n, 0.0);
-        for i in 0..n {
-            if alive[i] {
-                rates[i] = shares[i] / denom * speed_factor;
-            }
-        }
-        // Segment length: first completion or first deadline crossing.
+        // Rates are fixed per segment; the segment length is the first
+        // completion or first deadline crossing. One fused pass: each
+        // rate is computed once and fed into the running `dt` minimum in
+        // the same ascending-index order the split loops used, so every
+        // comparison sees identical values.
         let mut dt = f64::INFINITY;
         for i in 0..n {
             if !alive[i] {
                 continue;
             }
+            let r = shares[i] / denom * speed_factor;
+            rates[i] = r;
             // A share can underflow to zero (tiny remaining work against
             // an astronomically inflated co-resident share); such a job
             // contributes no completion candidate — `min(x, ∞)` is `x`,
             // so skipping is bitwise-neutral when rates are positive.
-            if rates[i] > 0.0 {
-                dt = dt.min(rem[i] / rates[i]);
+            if r > 0.0 {
+                dt = dt.min(rem[i] / r);
             }
             let to_deadline = jobs[i].abs_deadline - t;
             if to_deadline > EPS_WORK {
@@ -434,7 +438,12 @@ fn projection_kernel(
             // the fallback below pin survivors at the current time.
             break;
         }
-        // Advance the segment.
+        // Advance the segment, refreshing each survivor's share for the
+        // next segment in the same ascending-index walk: the share values
+        // and the `total_share` summation order are exactly those the
+        // standalone share pass produced.
+        let t_next = t + dt;
+        total_share = 0.0;
         for i in 0..n {
             if !alive[i] {
                 continue;
@@ -443,10 +452,14 @@ fn projection_kernel(
             if rem[i] <= EPS_WORK {
                 alive[i] = false;
                 alive_count -= 1;
-                finish[i] = t + dt;
+                finish[i] = t_next;
+            } else {
+                let rd = (jobs[i].abs_deadline - t_next).max(EPS_DEADLINE);
+                shares[i] = rem[i] / rd;
+                total_share += shares[i];
             }
         }
-        t += dt;
+        t = t_next;
     }
     // Pathological fuzz fallback: finish whatever survived "now".
     for i in 0..n {

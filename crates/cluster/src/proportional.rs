@@ -23,14 +23,32 @@
 //! Multi-processor jobs are gang-scheduled over `numproc` nodes: the job's
 //! progress rate is the minimum rate its nodes grant (a slower member
 //! stalls the gang; surplus allocation on faster members idles).
+//!
+//! # Storage layout
+//!
+//! Residents live in a slot arena: scalar hot fields (`rate`,
+//! `remaining_work`, `remaining_est`, cached deadline) are struct-of-arrays
+//! vectors indexed by a stable slot, and the cold per-job state (the `Job`
+//! itself, node list, bookkeeping) sits in a parallel `meta` arena touched
+//! only on structural events. Iteration order is fixed by `order`, the
+//! live slots sorted by ascending `JobId` — exactly the order the previous
+//! `BTreeMap` storage iterated in, so every floating-point reduction
+//! (share totals, busy integrals, event-gap minima) accumulates in the
+//! same sequence and stays bitwise identical to the retained
+//! [`ProportionalCluster::advance_reference`] oracle.
+//!
+//! The advance hot path is allocation-free: share totals, the per-slot
+//! share scratch, and the completion/victim worklists are engine-owned
+//! buffers reused across calls, and rate recomputation is skipped
+//! entirely for zero-width advances (the state it would recompute from is
+//! unchanged, so the skip is bitwise inert — this batches same-instant
+//! event storms into one recompute).
 
 use crate::cluster::Cluster;
 use crate::node::NodeId;
 use crate::projection::{ProjectedJob, ShareDiscipline, EPS_DEADLINE, EPS_WORK};
 use sim::{SimDuration, SimTime};
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
 use workload::{Job, JobId};
 
 /// The projection-input view of a not-yet-admitted job: its *full*
@@ -114,56 +132,17 @@ pub struct DisplacedJob {
     pub overruns: u32,
 }
 
+/// Cold per-resident state, touched only on structural events (admission,
+/// completion, eviction, overrun re-arm).
 #[derive(Clone, Debug)]
-struct Resident {
+struct ResidentMeta {
     job: Job,
     nodes: Vec<NodeId>,
     /// `slots[i]` is this job's index within `node_jobs[nodes[i]]`,
     /// maintained across `swap_remove` so removal never scans the list.
     slots: Vec<u32>,
-    remaining_work: f64,
-    remaining_est: f64,
-    rate: f64,
     started: SimTime,
     overruns: u32,
-    /// Stamp of this job's live entry in the event heap; older entries
-    /// for the same job are stale and lazily discarded.
-    stamp: u64,
-    /// The event-gap candidate (seconds from `candidate_now`) the live
-    /// heap entry carries.
-    candidate_dt: f64,
-    /// The engine instant `candidate_dt` was computed at.
-    candidate_now: f64,
-}
-
-/// One entry of the lazy next-event min-heap: a job's event-gap
-/// candidate, plus the stamp that decides whether it is still live.
-#[derive(Clone, Copy, Debug)]
-struct EventCandidate {
-    dt: f64,
-    stamp: u64,
-    id: JobId,
-}
-
-impl PartialEq for EventCandidate {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == std::cmp::Ordering::Equal
-    }
-}
-impl Eq for EventCandidate {}
-impl PartialOrd for EventCandidate {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EventCandidate {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // dt is never NaN, so total_cmp agrees with numeric order.
-        self.dt
-            .total_cmp(&other.dt)
-            .then_with(|| self.stamp.cmp(&other.stamp))
-            .then_with(|| self.id.cmp(&other.id))
-    }
 }
 
 /// One entry of the share-ordered candidate index (see
@@ -202,8 +181,48 @@ struct ShareIndex {
 pub struct ProportionalCluster {
     cluster: Cluster,
     cfg: ProportionalConfig,
-    jobs: BTreeMap<JobId, Resident>,
-    node_jobs: Vec<Vec<JobId>>,
+    /// Cached `cluster.speed_factor(n)` per node — the cluster is
+    /// immutable after construction, so the cached value is the bitwise
+    /// same factor every recompute would otherwise re-derive.
+    speeds: Vec<f64>,
+    // ---- slot arena (parallel vectors indexed by slot) ----
+    /// Owning job id per slot (stale for free slots).
+    ids: Vec<JobId>,
+    rate: Vec<f64>,
+    remaining_work: Vec<f64>,
+    remaining_est: Vec<f64>,
+    /// Cached `job.absolute_deadline().as_secs()`.
+    abs_deadline: Vec<f64>,
+    /// Cached `job.estimate.as_secs()` (overrun re-arm input).
+    estimate_secs: Vec<f64>,
+    /// Gang width; `1` selects the single-node fast path.
+    width: Vec<u32>,
+    /// Gang width as f64 (busy-integral multiplier, cached to keep the
+    /// progress loop free of int→float conversions).
+    width_f: Vec<f64>,
+    /// First (and for `width == 1`, only) node of the gang.
+    node0: Vec<u32>,
+    /// Start of the gang's member-node run in [`Self::gang_nodes`].
+    gang_start: Vec<u32>,
+    /// Flat arena of gang member-node indices: slot `s` occupies
+    /// `gang_nodes[gang_start[s]..gang_start[s] + width[s]]`, in
+    /// allocation order — the same order `meta[s].nodes` holds, so hot
+    /// loops walking the arena visit nodes in the reference order without
+    /// the `meta` box + `Vec` double indirection. Released slots leak
+    /// their run; the arena resets whenever the engine drains empty.
+    gang_nodes: Vec<u32>,
+    /// Per-slot Eq. 1 share computed by recompute pass 1 and consumed by
+    /// pass 2 (engine-owned scratch; garbage between recomputes).
+    share_scratch: Vec<f64>,
+    /// Cold state; `None` marks a free slot.
+    meta: Vec<Option<ResidentMeta>>,
+    /// Live slots sorted by ascending `JobId` — the canonical iteration
+    /// order of every per-resident reduction (see module docs).
+    order: Vec<u32>,
+    free_slots: Vec<u32>,
+    /// Arena slots resident per node, in admission order (removals
+    /// `swap_remove`, mirroring the historical `Vec<JobId>` lists).
+    node_jobs: Vec<Vec<u32>>,
     last_update: SimTime,
     busy_integral: f64,
     /// Node-seconds spent down over `[0, last_update]` — subtracted from
@@ -216,20 +235,30 @@ pub struct ProportionalCluster {
     /// remaining estimates, or the `now` they are evaluated at) changes;
     /// lets decision layers cache per-node projections.
     node_epochs: Vec<u64>,
+    /// Occupancy bitmask over nodes (bit = node hosts ≥1 resident),
+    /// maintained by admit/unlink so the per-advance epoch bump walks
+    /// only occupied nodes instead of scanning every node's list header.
+    occ_mask: Vec<u64>,
     /// Bumped whenever *any* node epoch is bumped — an O(1) "did anything
     /// change since I last looked" check for cluster-wide caches like the
     /// share index.
     global_epoch: u64,
-    /// Min-heap of per-job event-gap candidates with lazy invalidation:
-    /// superseded entries stay until they surface and are discarded by
-    /// stamp mismatch. `recompute_rates` leaves the top entry live, so
-    /// [`ProportionalCluster::next_event_time`] is a pure peek.
-    event_heap: BinaryHeap<Reverse<EventCandidate>>,
-    next_stamp: u64,
-    /// Count of known-stale entries still sitting in `event_heap`; drives
-    /// periodic compaction so heavy churn cannot degrade the heap below
-    /// the full scan.
-    stale_entries: usize,
+    /// Minimum event-gap candidate over all residents, computed as a
+    /// running min during the rate recompute (which already visits every
+    /// resident), making [`ProportionalCluster::next_event_time`] a pure
+    /// O(1) read. Valid whenever `rates_clean`.
+    next_dt: f64,
+    /// `true` while `rate`/`next_dt` match the current resident state and
+    /// `last_update`. Zero-width advances leave every recompute input
+    /// untouched, so they skip the recompute entirely — the flag is what
+    /// makes same-instant event batches cost one recompute, not one each.
+    rates_clean: bool,
+    /// Reusable worklist for completions discovered by the progress pass.
+    completed_scratch: Vec<u32>,
+    /// Reusable worklist for `fail_node` victims.
+    victims_scratch: Vec<u32>,
+    /// Reusable per-node share totals for the recompute passes.
+    totals_scratch: Vec<f64>,
     /// Interior-mutable because it is a pure cache over engine state:
     /// refreshing it through a `&self` query does not change anything
     /// scheduler-visible.
@@ -241,24 +270,69 @@ pub struct ProportionalCluster {
     down_count: usize,
 }
 
+/// One job's event-gap candidate: earliest of actual completion,
+/// estimated-work exhaustion, and deadline crossing. A rate-starved job
+/// (share underflowed to zero against an astronomically loaded node)
+/// offers no completion candidates — only its deadline, if any.
+#[inline]
+fn event_dt(
+    rate: f64,
+    remaining_work: f64,
+    remaining_est: f64,
+    abs_deadline: f64,
+    now: f64,
+) -> f64 {
+    let mut dt = f64::INFINITY;
+    if rate > 0.0 {
+        dt = dt.min(remaining_work / rate);
+        dt = dt.min(remaining_est / rate);
+    }
+    let to_deadline = abs_deadline - now;
+    if to_deadline > EPS_WORK {
+        dt = dt.min(to_deadline);
+    }
+    dt
+}
+
 impl ProportionalCluster {
     /// Creates an engine over the given cluster.
     pub fn new(cluster: Cluster, cfg: ProportionalConfig) -> Self {
         let n = cluster.len();
+        let speeds = (0..n)
+            .map(|i| cluster.speed_factor(NodeId(i as u32)))
+            .collect();
         ProportionalCluster {
             cluster,
             cfg,
-            jobs: BTreeMap::new(),
+            speeds,
+            ids: Vec::new(),
+            rate: Vec::new(),
+            remaining_work: Vec::new(),
+            remaining_est: Vec::new(),
+            abs_deadline: Vec::new(),
+            estimate_secs: Vec::new(),
+            width: Vec::new(),
+            width_f: Vec::new(),
+            node0: Vec::new(),
+            gang_start: Vec::new(),
+            gang_nodes: Vec::new(),
+            share_scratch: Vec::new(),
+            meta: Vec::new(),
+            order: Vec::new(),
+            free_slots: Vec::new(),
             node_jobs: vec![Vec::new(); n],
             last_update: SimTime::ZERO,
             busy_integral: 0.0,
             down_integral: 0.0,
             node_busy: vec![0.0; n],
             node_epochs: vec![0; n],
+            occ_mask: vec![0; n.div_ceil(64)],
             global_epoch: 0,
-            event_heap: BinaryHeap::new(),
-            next_stamp: 0,
-            stale_entries: 0,
+            next_dt: f64::INFINITY,
+            rates_clean: true,
+            completed_scratch: Vec::new(),
+            victims_scratch: Vec::new(),
+            totals_scratch: vec![0.0; n],
             share_index: RefCell::new(ShareIndex::default()),
             down: vec![false; n],
             down_count: 0,
@@ -282,22 +356,87 @@ impl ProportionalCluster {
 
     /// Number of resident (running) jobs.
     pub fn len(&self) -> usize {
-        self.jobs.len()
+        self.order.len()
     }
 
     /// `true` when no job is resident.
     pub fn is_empty(&self) -> bool {
-        self.jobs.is_empty()
+        self.order.is_empty()
     }
 
-    /// Ids of jobs resident on a node.
-    pub fn jobs_on_node(&self, node: NodeId) -> &[JobId] {
-        &self.node_jobs[node.0 as usize]
+    /// Ids of jobs resident on a node, in resident-list order.
+    pub fn jobs_on_node(&self, node: NodeId) -> impl Iterator<Item = JobId> + '_ {
+        self.node_jobs[node.0 as usize]
+            .iter()
+            .map(move |&s| self.ids[s as usize])
     }
 
     /// Number of jobs resident on a node.
     pub fn resident_count(&self, node: NodeId) -> usize {
         self.node_jobs[node.0 as usize].len()
+    }
+
+    /// The node's resident arena slots, in resident-list order. Slots are
+    /// opaque but stable between engine mutations: two nodes exposing the
+    /// same slot sequence hold the *same* resident jobs in the same
+    /// iteration order, so any pure function of a node's projection input
+    /// (risk kernels in particular) must return bitwise-identical results
+    /// for both. Decision layers use this to evaluate one representative
+    /// per distinct profile instead of every node.
+    pub fn node_slots(&self, node: NodeId) -> &[u32] {
+        &self.node_jobs[node.0 as usize]
+    }
+
+    /// Cached speed factor of a node — bitwise the same value
+    /// `cluster().speed_factor(node)` re-derives on every call (the
+    /// cluster is immutable after construction), without the division.
+    #[inline]
+    pub fn node_speed(&self, node: NodeId) -> f64 {
+        self.speeds[node.0 as usize]
+    }
+
+    /// Arena slot of a resident job, by binary search over the id-sorted
+    /// iteration order.
+    #[inline]
+    fn slot_of(&self, id: JobId) -> Option<usize> {
+        self.order
+            .binary_search_by(|&s| self.ids[s as usize].cmp(&id))
+            .ok()
+            .map(|pos| self.order[pos] as usize)
+    }
+
+    /// Allocates an arena slot (recycling freed slots before growing).
+    fn alloc_slot(&mut self) -> u32 {
+        if let Some(s) = self.free_slots.pop() {
+            return s;
+        }
+        let s = self.ids.len() as u32;
+        self.ids.push(JobId(u64::MAX));
+        self.rate.push(0.0);
+        self.remaining_work.push(0.0);
+        self.remaining_est.push(0.0);
+        self.abs_deadline.push(0.0);
+        self.estimate_secs.push(0.0);
+        self.width.push(0);
+        self.width_f.push(0.0);
+        self.node0.push(0);
+        self.gang_start.push(0);
+        self.share_scratch.push(0.0);
+        self.meta.push(None);
+        s
+    }
+
+    /// Unlinks a slot from the iteration order and frees it, returning the
+    /// cold state (node lists intact for the caller's unlink loop).
+    fn release_slot(&mut self, s: u32) -> ResidentMeta {
+        let id = self.ids[s as usize];
+        let pos = self
+            .order
+            .binary_search_by(|&x| self.ids[x as usize].cmp(&id))
+            .expect("released job in iteration order");
+        self.order.remove(pos);
+        self.free_slots.push(s);
+        self.meta[s as usize].take().expect("released job resident")
     }
 
     /// Places a job on the given nodes and starts it immediately.
@@ -323,32 +462,51 @@ impl ProportionalCluster {
         }
         let est = job.estimate.as_secs().max(EPS_WORK);
         let work = job.runtime.as_secs().max(EPS_WORK);
+        if self.order.is_empty() {
+            // Released slots leak their gang-node runs; an empty engine is
+            // the natural point to reclaim the arena wholesale.
+            self.gang_nodes.clear();
+        }
+        let s = self.alloc_slot();
+        self.gang_start[s as usize] = self.gang_nodes.len() as u32;
         let mut slots = Vec::with_capacity(nodes.len());
         for n in &nodes {
             assert!(self.node_is_up(*n), "cannot admit {} onto down {n}", job.id);
-            let list = &mut self.node_jobs[n.0 as usize];
+            let ni = n.0 as usize;
+            let list = &mut self.node_jobs[ni];
             slots.push(list.len() as u32);
-            list.push(job.id);
-            self.node_epochs[n.0 as usize] += 1;
+            list.push(s);
+            self.gang_nodes.push(n.0);
+            self.occ_mask[ni / 64] |= 1u64 << (ni % 64);
+            self.node_epochs[ni] += 1;
         }
         self.global_epoch += 1;
         let id = job.id;
-        self.jobs.insert(
-            id,
-            Resident {
-                job,
-                nodes,
-                slots,
-                remaining_work: work,
-                remaining_est: est,
-                rate: 0.0,
-                started: now,
-                overruns: 0,
-                stamp: 0,
-                candidate_dt: f64::NAN,
-                candidate_now: f64::NAN,
-            },
-        );
+        let si = s as usize;
+        self.ids[si] = id;
+        self.rate[si] = 0.0;
+        self.remaining_work[si] = work;
+        self.remaining_est[si] = est;
+        self.abs_deadline[si] = job.absolute_deadline().as_secs();
+        self.estimate_secs[si] = job.estimate.as_secs();
+        self.width[si] = nodes.len() as u32;
+        self.width_f[si] = nodes.len() as f64;
+        self.node0[si] = nodes[0].0;
+        self.meta[si] = Some(ResidentMeta {
+            job,
+            nodes,
+            slots,
+            started: now,
+            overruns: 0,
+        });
+        match self
+            .order
+            .binary_search_by(|&x| self.ids[x as usize].cmp(&id))
+        {
+            Ok(_) => panic!("{id} is already resident"),
+            Err(pos) => self.order.insert(pos, s),
+        }
+        self.rates_clean = false;
         self.recompute_rates();
     }
 
@@ -356,6 +514,16 @@ impl ProportionalCluster {
     /// completed (their `finish` is `to`; the caller must not advance past
     /// [`ProportionalCluster::next_event_time`]).
     pub fn advance(&mut self, to: SimTime) -> Vec<CompletedJob> {
+        let mut out = Vec::new();
+        self.advance_into(to, &mut out);
+        out
+    }
+
+    /// [`ProportionalCluster::advance`] into a caller-owned buffer
+    /// (cleared first) — the allocation-free variant for driver hot loops.
+    /// In steady state (warm buffers) this performs zero heap allocations.
+    pub fn advance_into(&mut self, to: SimTime, out: &mut Vec<CompletedJob>) {
+        out.clear();
         assert!(to >= self.last_update, "cannot advance backwards");
         let dt = (to - self.last_update).as_secs();
         let now = to;
@@ -365,40 +533,116 @@ impl ProportionalCluster {
         if dt > 0.0 && self.down_count > 0 {
             self.down_integral += self.down_count as f64 * dt;
         }
-        let mut completed_ids: Vec<JobId> = Vec::new();
-        if dt > 0.0 && !self.jobs.is_empty() {
+        if dt > 0.0 && !self.order.is_empty() {
             self.global_epoch += 1;
-            for (id, r) in self.jobs.iter_mut() {
-                let progress = r.rate * dt;
-                self.busy_integral += progress * r.nodes.len() as f64;
-                for n in &r.nodes {
-                    self.node_busy[n.0 as usize] += progress;
-                    // Remaining estimates and `now` both moved: every
-                    // projection involving this node is invalidated.
-                    self.node_epochs[n.0 as usize] += 1;
+            self.rates_clean = false;
+            let mut completed = std::mem::take(&mut self.completed_scratch);
+            completed.clear();
+            // Progress pass, ascending job-id order: `busy_integral` and
+            // `node_busy` accumulate in the reference's summation order.
+            for &s in &self.order {
+                let si = s as usize;
+                let progress = self.rate[si] * dt;
+                self.busy_integral += progress * self.width_f[si];
+                if self.width[si] == 1 {
+                    self.node_busy[self.node0[si] as usize] += progress;
+                } else {
+                    let start = self.gang_start[si] as usize;
+                    for &ni in &self.gang_nodes[start..start + self.width[si] as usize] {
+                        self.node_busy[ni as usize] += progress;
+                    }
                 }
-                r.remaining_work -= progress;
-                r.remaining_est -= progress;
-                if r.remaining_work <= EPS_WORK {
-                    completed_ids.push(*id);
-                } else if r.remaining_est <= EPS_WORK {
+                self.remaining_work[si] -= progress;
+                self.remaining_est[si] -= progress;
+                if self.remaining_work[si] <= EPS_WORK {
+                    completed.push(s);
+                } else if self.remaining_est[si] <= EPS_WORK {
                     // Overrun: the scheduler's belief was exhausted but the
                     // job is still running — re-arm a residual estimate.
-                    r.remaining_est = (self.cfg.residual_fraction * r.job.estimate.as_secs())
+                    self.remaining_est[si] = (self.cfg.residual_fraction * self.estimate_secs[si])
                         .max(self.cfg.residual_floor);
-                    r.overruns += 1;
+                    self.meta[si].as_mut().expect("resident has meta").overruns += 1;
+                }
+            }
+            // Remaining estimates and `now` both moved: every projection
+            // involving an occupied node is invalidated. One bump per
+            // occupied node — epoch values are only ever compared for
+            // equality, so collapsing the historical per-(job, node) bumps
+            // into one per node changes no cache-visible behaviour. The
+            // occupancy bitmask walks set bits in ascending node order
+            // instead of scanning every node's list header.
+            for (w, &bits) in self.occ_mask.iter().enumerate() {
+                let mut b = bits;
+                while b != 0 {
+                    let n = w * 64 + b.trailing_zeros() as usize;
+                    self.node_epochs[n] += 1;
+                    b &= b - 1;
+                }
+            }
+            for &s in &completed {
+                let r = self.release_slot(s);
+                for (n, &slot) in r.nodes.iter().zip(&r.slots) {
+                    self.remove_from_node(*n, slot as usize, s);
+                }
+                out.push(CompletedJob {
+                    job: r.job,
+                    started: r.started,
+                    finish: now,
+                    overruns: r.overruns,
+                });
+            }
+            self.completed_scratch = completed;
+        }
+        self.last_update = now;
+        if !self.rates_clean {
+            self.recompute_rates();
+        }
+    }
+
+    /// Reference implementation of [`ProportionalCluster::advance`]: the
+    /// pre-arena algorithm shape — fresh worklist allocations, per-(job,
+    /// node) epoch bumps, and an unconditional full rate recompute even
+    /// for zero-width steps. Kept as the differential-test oracle; an
+    /// engine driven exclusively through this path produces bitwise
+    /// identical rates, completions, integrals, and event times (epoch
+    /// *values* differ in stride, which no consumer observes — they are
+    /// only compared for equality).
+    pub fn advance_reference(&mut self, to: SimTime) -> Vec<CompletedJob> {
+        assert!(to >= self.last_update, "cannot advance backwards");
+        let dt = (to - self.last_update).as_secs();
+        let now = to;
+        if dt > 0.0 && self.down_count > 0 {
+            self.down_integral += self.down_count as f64 * dt;
+        }
+        let mut completed_slots: Vec<u32> = Vec::new();
+        if dt > 0.0 && !self.order.is_empty() {
+            self.global_epoch += 1;
+            for idx in 0..self.order.len() {
+                let s = self.order[idx];
+                let si = s as usize;
+                let progress = self.rate[si] * dt;
+                let m = self.meta[si].as_ref().expect("resident has meta");
+                self.busy_integral += progress * m.nodes.len() as f64;
+                for n in &m.nodes {
+                    self.node_busy[n.0 as usize] += progress;
+                    self.node_epochs[n.0 as usize] += 1;
+                }
+                self.remaining_work[si] -= progress;
+                self.remaining_est[si] -= progress;
+                if self.remaining_work[si] <= EPS_WORK {
+                    completed_slots.push(s);
+                } else if self.remaining_est[si] <= EPS_WORK {
+                    self.remaining_est[si] = (self.cfg.residual_fraction * self.estimate_secs[si])
+                        .max(self.cfg.residual_floor);
+                    self.meta[si].as_mut().expect("resident has meta").overruns += 1;
                 }
             }
         }
-        let mut completed = Vec::with_capacity(completed_ids.len());
-        for id in completed_ids {
-            let r = self.jobs.remove(&id).expect("completed job resident");
-            if r.stamp != 0 {
-                // The departed job's live heap entry just went stale.
-                self.stale_entries += 1;
-            }
+        let mut completed = Vec::with_capacity(completed_slots.len());
+        for s in completed_slots {
+            let r = self.release_slot(s);
             for (n, &slot) in r.nodes.iter().zip(&r.slots) {
-                self.remove_from_node(*n, slot as usize, id);
+                self.remove_from_node(*n, slot as usize, s);
             }
             completed.push(CompletedJob {
                 job: r.job,
@@ -408,7 +652,7 @@ impl ProportionalCluster {
             });
         }
         self.last_update = now;
-        self.recompute_rates();
+        self.recompute_rates_reference();
         completed
     }
 
@@ -446,28 +690,31 @@ impl ProportionalCluster {
         assert!(self.node_is_up(node), "{node} is already down");
         self.down[node.0 as usize] = true;
         self.down_count += 1;
-        let victims: Vec<JobId> = self.node_jobs[node.0 as usize].clone();
+        let mut victims = std::mem::take(&mut self.victims_scratch);
+        victims.clear();
+        victims.extend_from_slice(&self.node_jobs[node.0 as usize]);
         let mut displaced = Vec::with_capacity(victims.len());
-        for id in victims {
-            let r = self.jobs.remove(&id).expect("victim resident");
-            if r.stamp != 0 {
-                // The evicted job's live heap entry just went stale.
-                self.stale_entries += 1;
-            }
+        for &s in &victims {
+            let si = s as usize;
+            let remaining_work = self.remaining_work[si];
+            let remaining_est = self.remaining_est[si];
+            let r = self.release_slot(s);
             for (n, &slot) in r.nodes.iter().zip(&r.slots) {
-                self.remove_from_node(*n, slot as usize, id);
+                self.remove_from_node(*n, slot as usize, s);
                 self.node_epochs[n.0 as usize] += 1;
             }
             displaced.push(DisplacedJob {
                 job: r.job,
                 started: r.started,
-                remaining_work: r.remaining_work,
-                remaining_est: r.remaining_est,
+                remaining_work,
+                remaining_est,
                 overruns: r.overruns,
             });
         }
+        self.victims_scratch = victims;
         self.node_epochs[node.0 as usize] += 1;
         self.global_epoch += 1;
+        self.rates_clean = false;
         self.recompute_rates();
         displaced
     }
@@ -490,21 +737,28 @@ impl ProportionalCluster {
         self.global_epoch += 1;
     }
 
-    /// O(1) removal of `id` from a node's resident list: `swap_remove` at
-    /// its tracked slot, then patch the slot of whichever job was moved
-    /// into the vacated position.
-    fn remove_from_node(&mut self, node: NodeId, slot: usize, id: JobId) {
-        let list = &mut self.node_jobs[node.0 as usize];
-        debug_assert_eq!(list[slot], id, "slot bookkeeping out of sync");
-        list.swap_remove(slot);
-        if let Some(&moved) = list.get(slot) {
-            let m = self.jobs.get_mut(&moved).expect("moved job resident");
-            let pos = m
+    /// O(1) removal of slot `s` from a node's resident list: `swap_remove`
+    /// at its tracked position, then patch the slot bookkeeping of
+    /// whichever job was moved into the vacated position.
+    fn remove_from_node(&mut self, node: NodeId, pos: usize, s: u32) {
+        let ni = node.0 as usize;
+        let list = &mut self.node_jobs[ni];
+        debug_assert_eq!(list[pos], s, "slot bookkeeping out of sync");
+        list.swap_remove(pos);
+        if list.is_empty() {
+            self.occ_mask[ni / 64] &= !(1u64 << (ni % 64));
+        }
+        let moved = list.get(pos).copied();
+        if let Some(moved) = moved {
+            let m = self.meta[moved as usize]
+                .as_mut()
+                .expect("moved job resident");
+            let p = m
                 .nodes
                 .iter()
                 .position(|x| *x == node)
                 .expect("moved job listed on node");
-            m.slots[pos] = slot as u32;
+            m.slots[p] = pos as u32;
         }
     }
 
@@ -512,57 +766,39 @@ impl ProportionalCluster {
     /// of any job's actual completion, estimated-work exhaustion, deadline
     /// crossing, or the configured quantum. `None` when idle.
     ///
-    /// O(1): peeks the event heap, whose top `recompute_rates` guarantees
-    /// is a live entry. The retired full scan survives as
-    /// [`ProportionalCluster::next_event_time_scan`]; the two are bitwise
-    /// identical (property-tested in `tests/proptest_engine.rs`).
+    /// O(1): reads the event-gap minimum the last rate recompute tracked
+    /// while it was visiting every resident anyway. The retired full scan
+    /// survives as [`ProportionalCluster::next_event_time_scan`]; the two
+    /// are bitwise identical (property-tested in
+    /// `tests/proptest_engine.rs`).
     pub fn next_event_time(&self) -> Option<SimTime> {
-        if self.jobs.is_empty() {
+        if self.order.is_empty() {
             return None;
         }
-        let dt = match self.event_heap.peek() {
-            Some(Reverse(top)) => {
-                debug_assert!(
-                    self.jobs.get(&top.id).map(|r| r.stamp) == Some(top.stamp),
-                    "event heap top is stale"
-                );
-                top.dt
-            }
-            None => f64::INFINITY,
-        };
-        Some(self.last_update + SimDuration::from_secs(self.bound_event_gap(dt)))
+        debug_assert!(self.rates_clean, "next_event_time on dirty rates");
+        Some(self.last_update + SimDuration::from_secs(self.bound_event_gap(self.next_dt)))
     }
 
     /// Reference implementation of [`ProportionalCluster::next_event_time`]:
     /// a full scan over resident jobs. Kept for differential tests and as
     /// the pre-change baseline in benchmarks.
     pub fn next_event_time_scan(&self) -> Option<SimTime> {
-        if self.jobs.is_empty() {
+        if self.order.is_empty() {
             return None;
         }
         let now = self.last_update.as_secs();
         let mut dt = f64::INFINITY;
-        for r in self.jobs.values() {
-            dt = dt.min(Self::job_event_dt(r, now));
+        for &s in &self.order {
+            let si = s as usize;
+            dt = dt.min(event_dt(
+                self.rate[si],
+                self.remaining_work[si],
+                self.remaining_est[si],
+                self.abs_deadline[si],
+                now,
+            ));
         }
         Some(self.last_update + SimDuration::from_secs(self.bound_event_gap(dt)))
-    }
-
-    /// One job's event-gap candidate: earliest of actual completion,
-    /// estimated-work exhaustion, and deadline crossing. A rate-starved
-    /// job (share underflowed to zero against an astronomically loaded
-    /// node) offers no completion candidates — only its deadline, if any.
-    fn job_event_dt(r: &Resident, now: f64) -> f64 {
-        let mut dt = f64::INFINITY;
-        if r.rate > 0.0 {
-            dt = dt.min(r.remaining_work / r.rate);
-            dt = dt.min(r.remaining_est / r.rate);
-        }
-        let to_deadline = r.job.absolute_deadline().as_secs() - now;
-        if to_deadline > EPS_WORK {
-            dt = dt.min(to_deadline);
-        }
-        dt
     }
 
     /// Applies the quantum cap, the rate-starvation fallback, and the
@@ -699,11 +935,11 @@ impl ProportionalCluster {
         out: &mut Vec<ProjectedJob>,
     ) {
         out.clear();
-        for id in &self.node_jobs[node.0 as usize] {
-            let r = &self.jobs[id];
+        for &s in &self.node_jobs[node.0 as usize] {
+            let si = s as usize;
             out.push(ProjectedJob {
-                remaining_est: r.remaining_est.max(EPS_WORK),
-                abs_deadline: r.job.absolute_deadline().as_secs(),
+                remaining_est: self.remaining_est[si].max(EPS_WORK),
+                abs_deadline: self.abs_deadline[si],
             });
         }
         if let Some(j) = extra {
@@ -730,10 +966,10 @@ impl ProportionalCluster {
     pub fn node_total_share(&self, node: NodeId, extra: Option<&Job>) -> f64 {
         let now = self.last_update.as_secs();
         let mut sum = 0.0;
-        for id in &self.node_jobs[node.0 as usize] {
-            let r = &self.jobs[id];
-            sum += r.remaining_est.max(EPS_WORK)
-                / (r.job.absolute_deadline().as_secs() - now).max(EPS_DEADLINE);
+        for &s in &self.node_jobs[node.0 as usize] {
+            let si = s as usize;
+            sum += self.remaining_est[si].max(EPS_WORK)
+                / (self.abs_deadline[si] - now).max(EPS_DEADLINE);
         }
         if let Some(j) = extra {
             sum += self.job_share(j);
@@ -785,30 +1021,122 @@ impl ProportionalCluster {
     /// Current execution rate of a resident job (reference-seconds per
     /// second), if resident.
     pub fn rate_of(&self, id: JobId) -> Option<f64> {
-        self.jobs.get(&id).map(|r| r.rate)
+        self.slot_of(id).map(|si| self.rate[si])
     }
 
     /// Remaining *estimated* work of a resident job, if resident.
     pub fn remaining_est_of(&self, id: JobId) -> Option<f64> {
-        self.jobs.get(&id).map(|r| r.remaining_est)
+        self.slot_of(id).map(|si| self.remaining_est[si])
     }
 
+    /// Recomputes every resident's rate from current beliefs and tracks
+    /// the event-gap minimum on the way. Allocation-free: the per-node
+    /// totals and per-slot shares live in engine-owned scratch.
+    ///
+    /// Both passes iterate `order` (ascending job id), so every f64
+    /// accumulation happens in the reference implementation's order and
+    /// the results are bitwise identical to
+    /// [`ProportionalCluster::recompute_rates_reference`].
     fn recompute_rates(&mut self) {
         let now = self.last_update.as_secs();
-        // Per-node share totals from current beliefs.
+        self.totals_scratch.fill(0.0);
+        // Pass 1: per-node share totals from current beliefs, caching each
+        // job's Eq. 1 share for pass 2.
+        for &s in &self.order {
+            let si = s as usize;
+            let rd = (self.abs_deadline[si] - now).max(EPS_DEADLINE);
+            let share = self.remaining_est[si].max(EPS_WORK) / rd;
+            self.share_scratch[si] = share;
+            if self.width[si] == 1 {
+                self.totals_scratch[self.node0[si] as usize] += share;
+            } else {
+                let start = self.gang_start[si] as usize;
+                for &ni in &self.gang_nodes[start..start + self.width[si] as usize] {
+                    self.totals_scratch[ni as usize] += share;
+                }
+            }
+        }
+        // Pass 2: rates (gang = min over member nodes) and the running
+        // event-gap minimum.
+        let strict = matches!(self.cfg.discipline, ShareDiscipline::Strict);
+        let mut min_dt = f64::INFINITY;
+        for &s in &self.order {
+            let si = s as usize;
+            let share = self.share_scratch[si];
+            let rate = if self.width[si] == 1 {
+                let ni = self.node0[si] as usize;
+                let total = self.totals_scratch[ni];
+                let denom = if strict { total.max(1.0) } else { total };
+                share / denom * self.speeds[ni]
+            } else {
+                let start = self.gang_start[si] as usize;
+                let mut rate = f64::INFINITY;
+                // Gang members frequently land on nodes with identical
+                // share totals and speeds (gangs overlap on the same node
+                // sets). `share / denom * speed` is a pure function of
+                // those bits, so replaying the previous member's rate on
+                // a bitwise-equal (total, speed) pair is exact — the min
+                // fold sees identical values in identical order.
+                let mut last_key = (u64::MAX, u64::MAX);
+                let mut last_rate = f64::INFINITY;
+                for &ni in &self.gang_nodes[start..start + self.width[si] as usize] {
+                    let ni = ni as usize;
+                    let total = self.totals_scratch[ni];
+                    let speed = self.speeds[ni];
+                    let key = (total.to_bits(), speed.to_bits());
+                    let node_rate = if key == last_key {
+                        last_rate
+                    } else {
+                        let denom = if strict { total.max(1.0) } else { total };
+                        let r = share / denom * speed;
+                        last_key = key;
+                        last_rate = r;
+                        r
+                    };
+                    rate = rate.min(node_rate);
+                }
+                rate
+            };
+            // The share (and hence the rate) can underflow to exactly
+            // zero when a co-resident share is astronomically inflated;
+            // `event_dt` and the projection kernel tolerate that.
+            debug_assert!(rate.is_finite() && rate >= 0.0);
+            self.rate[si] = rate;
+            min_dt = min_dt.min(event_dt(
+                rate,
+                self.remaining_work[si],
+                self.remaining_est[si],
+                self.abs_deadline[si],
+                now,
+            ));
+        }
+        self.next_dt = min_dt;
+        self.rates_clean = true;
+    }
+
+    /// Reference implementation of
+    /// [`ProportionalCluster::recompute_rates`]: fresh totals allocation,
+    /// no single-node fast path, and the event-gap minimum recovered by a
+    /// separate full scan. Kept as the differential-test oracle.
+    pub fn recompute_rates_reference(&mut self) {
+        let now = self.last_update.as_secs();
         let mut totals = vec![0.0f64; self.cluster.len()];
-        for r in self.jobs.values() {
-            let rd = (r.job.absolute_deadline().as_secs() - now).max(EPS_DEADLINE);
-            let share = r.remaining_est.max(EPS_WORK) / rd;
-            for n in &r.nodes {
+        for &s in &self.order {
+            let si = s as usize;
+            let rd = (self.abs_deadline[si] - now).max(EPS_DEADLINE);
+            let share = self.remaining_est[si].max(EPS_WORK) / rd;
+            let m = self.meta[si].as_ref().expect("resident has meta");
+            for n in &m.nodes {
                 totals[n.0 as usize] += share;
             }
         }
-        for r in self.jobs.values_mut() {
-            let rd = (r.job.absolute_deadline().as_secs() - now).max(EPS_DEADLINE);
-            let share = r.remaining_est.max(EPS_WORK) / rd;
+        for &s in &self.order {
+            let si = s as usize;
+            let rd = (self.abs_deadline[si] - now).max(EPS_DEADLINE);
+            let share = self.remaining_est[si].max(EPS_WORK) / rd;
+            let m = self.meta[si].as_ref().expect("resident has meta");
             let mut rate = f64::INFINITY;
-            for n in &r.nodes {
+            for n in &m.nodes {
                 let total = totals[n.0 as usize];
                 let denom = match self.cfg.discipline {
                     ShareDiscipline::Strict => total.max(1.0),
@@ -817,70 +1145,22 @@ impl ProportionalCluster {
                 let node_rate = share / denom * self.cluster.speed_factor(*n);
                 rate = rate.min(node_rate);
             }
-            // The share (and hence the rate) can underflow to exactly
-            // zero when a co-resident share is astronomically inflated;
-            // `job_event_dt` and the projection kernel tolerate that.
             debug_assert!(rate.is_finite() && rate >= 0.0);
-            r.rate = rate;
-
-            // Refresh this job's event candidate. Push a new heap entry
-            // only when the candidate actually changed; an unchanged
-            // (dt, now) pair means the live entry is still correct.
-            let dt = Self::job_event_dt(r, now);
-            if r.candidate_now != now || r.candidate_dt.to_bits() != dt.to_bits() {
-                if r.stamp != 0 {
-                    // Superseding a live entry leaves the old one stale.
-                    self.stale_entries += 1;
-                }
-                self.next_stamp += 1;
-                r.stamp = self.next_stamp;
-                r.candidate_dt = dt;
-                r.candidate_now = now;
-                self.event_heap.push(Reverse(EventCandidate {
-                    dt,
-                    stamp: r.stamp,
-                    id: r.job.id,
-                }));
-            }
+            self.rate[si] = rate;
         }
-        self.maintain_event_heap();
-    }
-
-    /// Restores the two event-heap invariants `next_event_time` peeks
-    /// under: the top entry (if any) is live, and the heap does not grow
-    /// unboundedly relative to the resident count.
-    fn maintain_event_heap(&mut self) {
-        if self.jobs.is_empty() {
-            self.event_heap.clear();
-            self.stale_entries = 0;
-            return;
+        let mut min_dt = f64::INFINITY;
+        for &s in &self.order {
+            let si = s as usize;
+            min_dt = min_dt.min(event_dt(
+                self.rate[si],
+                self.remaining_work[si],
+                self.remaining_est[si],
+                self.abs_deadline[si],
+                now,
+            ));
         }
-        // Amortised-O(1): every popped entry was pushed exactly once.
-        while let Some(Reverse(top)) = self.event_heap.peek() {
-            let live = self.jobs.get(&top.id).map(|r| r.stamp) == Some(top.stamp);
-            if live {
-                break;
-            }
-            self.event_heap.pop();
-            self.stale_entries = self.stale_entries.saturating_sub(1);
-        }
-        // Periodic compaction: under heavy churn every advance supersedes
-        // every candidate, so stale entries pile up deeper in the heap and
-        // inflate every push/pop by a log factor. Rebuilding from the live
-        // candidates once staleness exceeds the resident count keeps the
-        // heap within ~2× the live set — push/pop stays O(log n) in the
-        // *resident* count, so the heap cannot degrade below the scan.
-        if self.stale_entries > self.jobs.len() + 64 {
-            self.event_heap.clear();
-            self.event_heap.extend(self.jobs.values().map(|r| {
-                Reverse(EventCandidate {
-                    dt: r.candidate_dt,
-                    stamp: r.stamp,
-                    id: r.job.id,
-                })
-            }));
-            self.stale_entries = 0;
-        }
+        self.next_dt = min_dt;
+        self.rates_clean = true;
     }
 }
 
@@ -916,6 +1196,10 @@ mod tests {
             assert!(guard < 100_000, "engine did not converge");
         }
         done
+    }
+
+    fn on_node(e: &ProportionalCluster, n: u32) -> Vec<JobId> {
+        e.jobs_on_node(NodeId(n)).collect()
     }
 
     fn strict_cfg() -> ProportionalConfig {
@@ -1077,8 +1361,8 @@ mod tests {
         assert_eq!(e.up_nodes(), 2);
         assert!(e.global_epoch() > epoch_before);
         // Node 1 lost its gang member: only job 1 remains there.
-        assert_eq!(e.jobs_on_node(NodeId(1)), &[JobId(1)]);
-        assert_eq!(e.jobs_on_node(NodeId(0)), &[] as &[JobId]);
+        assert_eq!(on_node(&e, 1), vec![JobId(1)]);
+        assert!(on_node(&e, 0).is_empty());
         // The survivors still drain to completion.
         let done = run_to_completion(&mut e);
         assert_eq!(done.len(), 2);
@@ -1248,8 +1532,8 @@ mod tests {
             vec![NodeId(1)],
             SimTime::ZERO,
         );
-        assert_eq!(e.jobs_on_node(NodeId(1)), &[JobId(7)]);
-        assert!(e.jobs_on_node(NodeId(0)).is_empty());
+        assert_eq!(on_node(&e, 1), vec![JobId(7)]);
+        assert!(on_node(&e, 0).is_empty());
         assert_eq!(e.resident_count(NodeId(1)), 1);
     }
 
@@ -1308,7 +1592,7 @@ mod tests {
     }
 
     #[test]
-    fn heap_next_event_matches_scan_through_a_busy_run() {
+    fn cached_next_event_matches_scan_through_a_busy_run() {
         let mut e = ProportionalCluster::new(cluster(4), ProportionalConfig::default());
         let mut id = 0u64;
         let mut t = 0.0;
@@ -1331,7 +1615,7 @@ mod tests {
                 assert_eq!(
                     e.next_event_time().map(|t| t.as_secs().to_bits()),
                     e.next_event_time_scan().map(|t| t.as_secs().to_bits()),
-                    "heap and scan diverged after admit"
+                    "cached and scan diverged after admit"
                 );
                 id += 1;
             }
@@ -1341,7 +1625,7 @@ mod tests {
             assert_eq!(
                 e.next_event_time().map(|t| t.as_secs().to_bits()),
                 e.next_event_time_scan().map(|t| t.as_secs().to_bits()),
-                "heap and scan diverged after advance"
+                "cached and scan diverged after advance"
             );
         }
         // Drain to idle; the two must agree at every event.
@@ -1385,15 +1669,16 @@ mod tests {
             done += e.advance(next).len();
             // Slot invariant: every resident's recorded slot points at
             // itself in the node list.
-            for r in e.jobs.values() {
-                for (n, &slot) in r.nodes.iter().zip(&r.slots) {
-                    assert_eq!(e.node_jobs[n.0 as usize][slot as usize], r.job.id);
+            for &s in &e.order {
+                let m = e.meta[s as usize].as_ref().unwrap();
+                for (n, &slot) in m.nodes.iter().zip(&m.slots) {
+                    assert_eq!(e.node_jobs[n.0 as usize][slot as usize], s);
                 }
             }
         }
         assert_eq!(done, 6);
-        assert!(e.jobs_on_node(NodeId(0)).is_empty());
-        assert!(e.jobs_on_node(NodeId(1)).is_empty());
+        assert!(on_node(&e, 0).is_empty());
+        assert!(on_node(&e, 1).is_empty());
     }
 
     #[test]
@@ -1540,32 +1825,68 @@ mod tests {
     }
 
     #[test]
-    fn event_heap_compaction_bounds_stale_entries() {
-        // Long-lived residents under steady churn: every advance
-        // supersedes every candidate, so without compaction the heap
-        // would grow without bound relative to the resident count.
-        let mut e = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
+    fn advance_matches_reference_under_long_churn() {
+        // Long-lived residents under steady event churn: the fast path
+        // (scratch buffers, cached event minimum, batched epoch bumps)
+        // must stay bitwise identical to the reference at every step.
+        let mut fast = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
+        let mut refr = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
         for i in 0..8 {
+            let j = job(i, 0.0, 1e6, 1e6, 1, 2e6);
+            fast.admit(j.clone(), vec![NodeId((i % 2) as u32)], SimTime::ZERO);
+            refr.admit(j, vec![NodeId((i % 2) as u32)], SimTime::ZERO);
+        }
+        for step in 1..500u64 {
+            let t = SimTime::from_secs(step as f64);
+            let a = fast.advance(t);
+            let b = refr.advance_reference(t);
+            assert_eq!(a.len(), b.len());
+            assert_eq!(
+                fast.next_event_time().map(|t| t.as_secs().to_bits()),
+                refr.next_event_time().map(|t| t.as_secs().to_bits()),
+                "fast and reference diverged at step {step}"
+            );
+            for i in 0..8 {
+                assert_eq!(
+                    fast.rate_of(JobId(i)).map(f64::to_bits),
+                    refr.rate_of(JobId(i)).map(f64::to_bits)
+                );
+                assert_eq!(
+                    fast.remaining_est_of(JobId(i)).map(f64::to_bits),
+                    refr.remaining_est_of(JobId(i)).map(f64::to_bits)
+                );
+            }
+            assert_eq!(fast.utilization().to_bits(), refr.utilization().to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_dt_advance_skips_recompute_bitwise_inertly() {
+        // Same-instant advances must neither change any rate bit nor pay
+        // for a recompute (observable through the unchanged epochs).
+        let mut e = ProportionalCluster::new(cluster(2), ProportionalConfig::default());
+        for i in 0..4 {
             e.admit(
-                job(i, 0.0, 1e6, 1e6, 1, 2e6),
+                job(i, 0.0, 50.0 + i as f64, 60.0, 1, 200.0),
                 vec![NodeId((i % 2) as u32)],
                 SimTime::ZERO,
             );
         }
-        for step in 1..500u64 {
-            e.advance(SimTime::from_secs(step as f64));
-            assert!(
-                e.event_heap.len() <= 2 * e.jobs.len() + 2 * 64 + 2,
-                "heap grew unboundedly: {} entries for {} jobs at step {step}",
-                e.event_heap.len(),
-                e.jobs.len()
-            );
-            assert!(e.stale_entries <= e.jobs.len() + 64);
-            assert_eq!(
-                e.next_event_time().map(|t| t.as_secs().to_bits()),
-                e.next_event_time_scan().map(|t| t.as_secs().to_bits()),
-                "heap and scan diverged under churn"
-            );
+        let t = SimTime::from_secs(7.0);
+        e.advance(t);
+        let rates: Vec<u64> = (0..4)
+            .map(|i| e.rate_of(JobId(i)).unwrap().to_bits())
+            .collect();
+        let next = e.next_event_time().map(|t| t.as_secs().to_bits());
+        let g = e.global_epoch();
+        for _ in 0..5 {
+            let done = e.advance(t);
+            assert!(done.is_empty());
+        }
+        assert_eq!(e.global_epoch(), g);
+        assert_eq!(e.next_event_time().map(|t| t.as_secs().to_bits()), next);
+        for (i, bits) in rates.iter().enumerate() {
+            assert_eq!(e.rate_of(JobId(i as u64)).unwrap().to_bits(), *bits);
         }
     }
 

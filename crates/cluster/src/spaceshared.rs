@@ -92,6 +92,15 @@ impl SpaceSharedCluster {
         job.procs as usize <= self.free.len()
     }
 
+    /// Returns a node to the free pool at its sorted (descending-id)
+    /// position. Ids are unique, so the pool after k insertions is
+    /// exactly the list the historical `extend + sort` produced — minus
+    /// the full re-sort per completion/fail/restore event.
+    fn free_insert(&mut self, n: NodeId) {
+        let pos = self.free.partition_point(|x| *x > n);
+        self.free.insert(pos, n);
+    }
+
     /// Starts a job at `now` on the lowest-id free processors; returns the
     /// completion instant the caller must schedule.
     ///
@@ -183,8 +192,9 @@ impl SpaceSharedCluster {
             "{id} completes at {:?}, not {:?}",
             r.finish, now
         );
-        self.free.extend(r.nodes.iter().rev());
-        self.free.sort_unstable_by(|a, b| b.cmp(a));
+        for &n in &r.nodes {
+            self.free_insert(n);
+        }
         (r.job, r.started)
     }
 
@@ -224,9 +234,9 @@ impl SpaceSharedCluster {
             .map(|(id, _)| *id)
             .expect("a non-free up node hosts a job");
         let r = self.running.remove(&id).expect("found above");
-        self.free
-            .extend(r.nodes.iter().filter(|n| **n != node).rev());
-        self.free.sort_unstable_by(|a, b| b.cmp(a));
+        for &n in r.nodes.iter().filter(|n| **n != node) {
+            self.free_insert(n);
+        }
         Some((r.job, r.started))
     }
 
@@ -239,8 +249,7 @@ impl SpaceSharedCluster {
         self.account(now);
         self.down[node.0 as usize] = false;
         self.down_count -= 1;
-        self.free.push(node);
-        self.free.sort_unstable_by(|a, b| b.cmp(a));
+        self.free_insert(node);
     }
 
     /// Mean processor utilisation over `[0, now]`, relative to the

@@ -336,3 +336,105 @@ fn projection_matches_engine_for_feasible_accurate_jobs() {
         assert!((p - a).abs() < 1e-3, "projected {p} vs actual {a}");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn same_instant_advance_batches_are_bitwise_inert(
+        raws in proptest::collection::vec(raw_job(), 1..14),
+        gaps in proptest::collection::vec(0.0..1.5f64, 1..14),
+        repeats in proptest::collection::vec(0usize..4, 1..14),
+        disc in discipline(),
+    ) {
+        // Differential: an engine that receives *batches* of advances at
+        // identical timestamps (zero-dt re-advances after every real
+        // step, as same-instant event clusters in the driver produce)
+        // must stay bitwise identical to a twin that advances exactly
+        // once per distinct instant through the single-step reference
+        // path. Zero-dt calls must neither complete anything, nor move
+        // any rate, nor disturb the next event time.
+        let cfg = ProportionalConfig { discipline: disc, ..Default::default() };
+        let mut batched = ProportionalCluster::new(Cluster::homogeneous(4, 168.0), cfg);
+        let mut single = ProportionalCluster::new(Cluster::homogeneous(4, 168.0), cfg);
+        let mut buf = Vec::new();
+        let ids: Vec<u64> = (0..raws.len() as u64).collect();
+        let check = |b: &ProportionalCluster, s: &ProportionalCluster, ids: &[u64], ctx: &str| {
+            assert_eq!(
+                b.next_event_time().map(|t| t.as_secs().to_bits()),
+                s.next_event_time_scan().map(|t| t.as_secs().to_bits()),
+                "next event diverged {ctx}"
+            );
+            for &id in ids {
+                let id = workload::JobId(id);
+                assert_eq!(
+                    b.rate_of(id).map(f64::to_bits),
+                    s.rate_of(id).map(f64::to_bits),
+                    "rate of {id} diverged {ctx}"
+                );
+                assert_eq!(
+                    b.remaining_est_of(id).map(f64::to_bits),
+                    s.remaining_est_of(id).map(f64::to_bits),
+                    "remaining_est of {id} diverged {ctx}"
+                );
+            }
+            assert_eq!(
+                b.utilization().to_bits(),
+                s.utilization().to_bits(),
+                "utilization diverged {ctx}"
+            );
+        };
+        for (i, (r, gap)) in raws.iter().zip(&gaps).enumerate() {
+            let now = batched.now();
+            let mut j = job(ids[i], r.runtime, r.runtime * r.est_factor, r.procs, r.deadline);
+            j.submit = now;
+            let nodes: Vec<NodeId> = (0..r.procs).map(NodeId).collect();
+            batched.admit(j.clone(), nodes.clone(), now);
+            single.admit(j, nodes, now);
+            check(&batched, &single, &ids, "after admit");
+            if let Some(next) = batched.next_event_time() {
+                let dt = (next - now).as_secs() * gap.min(1.0);
+                let to = now + SimDuration::from_secs(dt);
+                batched.advance_into(to, &mut buf);
+                let batched_done: Vec<(u64, u64)> = buf
+                    .iter()
+                    .map(|d| (d.job.id.0, d.finish.as_secs().to_bits()))
+                    .collect();
+                // Zero-dt re-advances to the *same* instant: each must be
+                // a bitwise no-op and complete nothing.
+                for _ in 0..repeats[i % repeats.len()] {
+                    batched.advance_into(to, &mut buf);
+                    prop_assert!(buf.is_empty(), "zero-dt advance completed a job");
+                }
+                let single_done: Vec<(u64, u64)> = single
+                    .advance_reference(to)
+                    .iter()
+                    .map(|d| (d.job.id.0, d.finish.as_secs().to_bits()))
+                    .collect();
+                prop_assert_eq!(batched_done, single_done, "completions diverged");
+                check(&batched, &single, &ids, "after same-instant batch");
+            }
+        }
+        // Drain both to idle through their respective paths, with a
+        // zero-dt echo after every batched step.
+        let mut guard = 0;
+        while let Some(t) = batched.next_event_time() {
+            batched.advance_into(t, &mut buf);
+            let batched_done: Vec<(u64, u64)> = buf
+                .iter()
+                .map(|d| (d.job.id.0, d.finish.as_secs().to_bits()))
+                .collect();
+            batched.advance_into(t, &mut buf);
+            prop_assert!(buf.is_empty(), "zero-dt drain advance completed a job");
+            let single_done: Vec<(u64, u64)> = single
+                .advance_reference(t)
+                .iter()
+                .map(|d| (d.job.id.0, d.finish.as_secs().to_bits()))
+                .collect();
+            prop_assert_eq!(batched_done, single_done, "drain completions diverged");
+            check(&batched, &single, &ids, "while draining");
+            guard += 1;
+            prop_assert!(guard < 200_000, "engines failed to converge");
+        }
+        prop_assert!(single.next_event_time_scan().is_none());
+    }
+}

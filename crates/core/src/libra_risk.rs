@@ -154,6 +154,38 @@ pub struct LibraRisk {
     /// instead of re-walking the cluster.
     gauge_stamp: Option<(u64, u64)>,
     gauge_memo: f64,
+    /// Per-decision profile table: one entry per *distinct* resident
+    /// profile `(slot list, speed)` evaluated so far in the current node
+    /// loop. Gang jobs occupy one arena slot listed on every member
+    /// node, so wide gangs leave long runs of nodes with bitwise-equal
+    /// projection inputs — the kernel runs once per profile and every
+    /// other node replays the identical `(μ_j, σ_j)`. Cleared at the top
+    /// of each decision; never reused across engine states.
+    profiles: Vec<ProfileEntry>,
+}
+
+/// One memoised `(μ_j, σ_j)` evaluation keyed by node profile — see
+/// [`LibraRisk::profiles`]. The slot list itself is not stored: `rep` is
+/// the first node seen with this profile, and an exact slot-list compare
+/// against the live engine resolves hash collisions.
+#[derive(Clone, Copy, Debug)]
+struct ProfileEntry {
+    hash: u64,
+    speed_bits: u64,
+    rep: NodeId,
+    mu: f64,
+    sigma: f64,
+}
+
+/// fx-style hash of a node's resident slot list (length-seeded so a
+/// prefix never collides with its extension).
+#[inline]
+fn slots_hash(slots: &[u32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (slots.len() as u64);
+    for &s in slots {
+        h = (h.rotate_left(5) ^ u64::from(s)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    h
 }
 
 impl Default for LibraRisk {
@@ -177,6 +209,7 @@ impl LibraRisk {
             decision_stamp: None,
             gauge_stamp: None,
             gauge_memo: 0.0,
+            profiles: Vec::new(),
         }
     }
 
@@ -423,9 +456,16 @@ impl ShareAdmission for LibraRisk {
         let tentative = projected_job(job);
         // Replay memo: if this exact candidate shape was already decided
         // at this exact engine state, hand back the identical answer
-        // without touching a single node.
+        // without touching a single node. When the stamp is *fresh* (at
+        // least one dt>0 advance or churn event happened since the last
+        // decision), every occupied node's epoch was bumped by that very
+        // event, so all per-node candidate memos are guaranteed misses:
+        // `memo_live` gates those lookups (and the inserts nothing at
+        // this stamp has read yet) off the hot path. A second decision at
+        // the same stamp re-enables them and warms the memos itself.
         let stamp = (engine.global_epoch(), now.to_bits());
-        if self.decision_stamp != Some(stamp) {
+        let memo_live = self.decision_stamp == Some(stamp);
+        if !memo_live {
             self.decision_stamp = Some(stamp);
             self.decision_memo.clear();
         }
@@ -434,21 +474,33 @@ impl ShareAdmission for LibraRisk {
             tentative.abs_deadline.to_bits(),
             job.procs,
         );
-        if let Some(d) = self.decision_memo.get(&decision_key) {
-            return d.clone();
+        if memo_live {
+            if let Some(d) = self.decision_memo.get(&decision_key) {
+                return d.clone();
+            }
         }
         // Algorithm 1, lines 1–11: evaluate σ_j per node with the new job
         // tentatively added.
         self.zero_risk.clear();
-        for node in engine.cluster().nodes() {
+        let mut profiles = std::mem::take(&mut self.profiles);
+        profiles.clear();
+        let total_nodes = engine.cluster().len();
+        for (scanned, node) in engine.cluster().nodes().iter().enumerate() {
+            // Certain-rejection early-exit: even if this node and every
+            // later one turned out suitable, fewer than `want` could
+            // exist — the answer is already `None`, and nothing below
+            // observes the skipped evaluations (`zero_risk` is
+            // per-decision scratch; caches refresh lazily by epoch).
+            if self.zero_risk.len() + (total_nodes - scanned) < want {
+                break;
+            }
             // A down node is never suitable, however empty it looks (the
             // empty-node fast path below would otherwise admit onto it).
             if !engine.node_is_up(node.id) {
                 continue;
             }
-            let c = &mut self.cache[node.id.0 as usize];
-            Self::refresh_node(c, engine, node.id);
-            let suitable = if c.jobs.is_empty() && !self.require_unit_mu && !self.naive_projection {
+            let slots = engine.node_slots(node.id);
+            let suitable = if slots.is_empty() && !self.require_unit_mu && !self.naive_projection {
                 // Empty-node fast path: a lone job's deadline-delay is a
                 // single sample, so its population dispersion — Eq. 6's
                 // σ_j — is exactly 0.0 however late the projection runs.
@@ -457,47 +509,94 @@ impl ShareAdmission for LibraRisk {
                 // projection cannot flip a decision.
                 true
             } else {
-                let speed = engine.cluster().speed_factor(node.id);
-                let (mu, sigma) = if self.naive_projection {
-                    let stage = self.ws.stage();
-                    stage.extend_from_slice(&c.jobs);
-                    stage.push(tentative);
-                    node_risk_single_segment(self.ws.staged(), now, speed, discipline)
-                } else if c.jobs.is_empty() {
-                    // An empty node's projection depends on `now`, which
-                    // its (never-bumped) epoch does not track — compute
-                    // directly, never memoise.
-                    let s = self
-                        .ws
-                        .node_risk_delta(&c.jobs, tentative, now, speed, discipline);
-                    (s.mu, s.sigma)
-                } else {
-                    // Occupied node: its epoch pins (residents, now), so
-                    // the evaluation is a pure function of the candidate
-                    // signature. A memo hit replays the exact kernel
-                    // output computed earlier at this epoch.
-                    let key = (
-                        tentative.remaining_est.to_bits(),
-                        tentative.abs_deadline.to_bits(),
-                    );
-                    let s = match c.memo.get(key) {
-                        Some(s) => s,
-                        None => {
+                let speed = engine.node_speed(node.id);
+                // Profile dedupe: the evaluation is a pure function of
+                // (resident slot list, speed) once (candidate, now,
+                // discipline) are fixed for this decision — gang jobs
+                // leave runs of nodes with identical lists, which replay
+                // the representative's exact `(μ_j, σ_j)` here instead of
+                // re-running the kernel per node.
+                let h = slots_hash(slots);
+                let sb = speed.to_bits();
+                let known = profiles
+                    .iter()
+                    .find(|e| {
+                        e.hash == h && e.speed_bits == sb && engine.node_slots(e.rep) == slots
+                    })
+                    .map(|e| (e.mu, e.sigma));
+                let (mu, sigma) = match known {
+                    Some(ms) => ms,
+                    None => {
+                        let c = &mut self.cache[node.id.0 as usize];
+                        Self::refresh_node(c, engine, node.id);
+                        let (mu, sigma) = if self.naive_projection {
+                            let stage = self.ws.stage();
+                            stage.extend_from_slice(&c.jobs);
+                            stage.push(tentative);
+                            node_risk_single_segment(self.ws.staged(), now, speed, discipline)
+                        } else if c.jobs.is_empty() {
+                            // An empty node's projection depends on `now`,
+                            // which its (never-bumped) epoch does not track
+                            // — compute directly, never memoise per-node.
                             let s = self
                                 .ws
                                 .node_risk_delta(&c.jobs, tentative, now, speed, discipline);
-                            c.memo.insert(key, s);
-                            s
-                        }
-                    };
-                    (s.mu, s.sigma)
+                            (s.mu, s.sigma)
+                        } else if memo_live {
+                            // Occupied node: its epoch pins (residents,
+                            // now), so the evaluation is a pure function of
+                            // the candidate signature. A memo hit replays
+                            // the exact kernel output computed earlier at
+                            // this epoch.
+                            let key = (
+                                tentative.remaining_est.to_bits(),
+                                tentative.abs_deadline.to_bits(),
+                            );
+                            let s = match c.memo.get(key) {
+                                Some(s) => s,
+                                None => {
+                                    let s = self.ws.node_risk_delta(
+                                        &c.jobs, tentative, now, speed, discipline,
+                                    );
+                                    c.memo.insert(key, s);
+                                    s
+                                }
+                            };
+                            (s.mu, s.sigma)
+                        } else {
+                            let s = self
+                                .ws
+                                .node_risk_delta(&c.jobs, tentative, now, speed, discipline);
+                            (s.mu, s.sigma)
+                        };
+                        profiles.push(ProfileEntry {
+                            hash: h,
+                            speed_bits: sb,
+                            rep: node.id,
+                            mu,
+                            sigma,
+                        });
+                        (mu, sigma)
+                    }
                 };
                 is_zero_risk(sigma) && (!self.require_unit_mu || (mu - 1.0).abs() <= MU_EPSILON)
             };
             if suitable {
                 self.zero_risk.push(node.id);
+                // Under ById ordering the final answer is "the first
+                // `want` suitable nodes in ascending id" — once they are
+                // in hand no later node can enter the decision, so the
+                // scan may stop. Rejections still require the full sweep
+                // (we must prove fewer than `want` exist), and the load
+                // orderings need the complete suitable set to sort.
+                // Unvisited nodes' caches simply stay lazily stale until
+                // their next epoch-checked refresh.
+                if self.ordering == NodeOrdering::ById && self.zero_risk.len() == want {
+                    break;
+                }
             }
         }
+        self.profiles = profiles;
         // Lines 12–18: accept iff enough suitable nodes exist.
         let decision = if self.zero_risk.len() < want {
             None
@@ -508,7 +607,11 @@ impl ShareAdmission for LibraRisk {
             self.zero_risk = ranked; // hand the warm buffer back for reuse
             Some(out)
         };
-        if self.decision_memo.len() < DECISION_MEMO_MAX {
+        // The whole-decision memo only pays off when a later decision
+        // arrives at the same stamp; the first decision at a fresh stamp
+        // skips the insert (and its clone) — a same-stamp successor
+        // recomputes once and warms the memo itself.
+        if memo_live && self.decision_memo.len() < DECISION_MEMO_MAX {
             self.decision_memo.insert(decision_key, decision.clone());
         }
         decision

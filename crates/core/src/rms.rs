@@ -58,7 +58,7 @@ use crate::queue::{QueuePolicy, QueuedJob};
 use crate::report::{
     ChurnStats, JobRecord, Outcome, ReportCollector, ReportSink, SimulationReport,
 };
-use cluster::proportional::{ProportionalCluster, ProportionalConfig};
+use cluster::proportional::{CompletedJob, ProportionalCluster, ProportionalConfig};
 use cluster::{Cluster, FaultKind, FaultPlan, NodeId, RecoveryPolicy, SpaceSharedCluster};
 use obs::{keys, DecisionAudit, Event, GaugeDelta, Recorder, RejectReason, ResolvedKind, Verdict};
 use sim::{SimDuration, SimTime, Simulator};
@@ -172,6 +172,10 @@ impl JobEvent {
 
 /// The execution substrate behind the facade: one variant per engine the
 /// paper (and our extensions) evaluate.
+// One instance lives per `ClusterRms` (never stored in collections), so
+// the proportional engine's arena headers dominating the enum size is
+// irrelevant; boxing it would only add a pointer chase to the hot path.
+#[allow(clippy::large_enum_variant)]
 pub enum ExecutionBackend<'p> {
     /// Deadline-based proportional share with decide-at-arrival admission
     /// (Libra, LibraRisk and ablations, §3).
@@ -190,6 +194,9 @@ pub struct ProportionalBackend<'p> {
     /// Submission sequence of each resident job (removed at completion,
     /// so the map stays bounded by the resident count).
     seq_of: HashMap<JobId, u64>,
+    /// Reused completion buffer for `advance_into`, so the per-event
+    /// advance path stays allocation-free in steady state.
+    completed_buf: Vec<CompletedJob>,
 }
 
 impl ProportionalBackend<'_> {
@@ -206,7 +213,9 @@ impl ProportionalBackend<'_> {
     }
 
     fn advance_engine(&mut self, to: SimTime, events: &mut Vec<JobEvent>) {
-        for done in self.engine.advance(to) {
+        let mut completed = std::mem::take(&mut self.completed_buf);
+        self.engine.advance_into(to, &mut completed);
+        for done in completed.drain(..) {
             // A completion without a sequence mapping means the job
             // already resolved through another path (e.g. displaced by a
             // fault): the outcome is final, so drop the stale completion
@@ -224,6 +233,7 @@ impl ProportionalBackend<'_> {
                 },
             ));
         }
+        self.completed_buf = completed;
     }
 
     /// Applies a node failure at `at`: the engine is advanced to the
@@ -885,6 +895,7 @@ impl<'p> ClusterRms<'p> {
                 engine: ProportionalCluster::new(cluster, cfg),
                 policy: Box::new(policy),
                 seq_of: HashMap::new(),
+                completed_buf: Vec::new(),
             }),
             policy_name,
             now: SimTime::ZERO,

@@ -368,3 +368,99 @@ fn decisions_agree_with_streamed_outcomes() {
         }
     }
 }
+
+/// The full reference-oracle loop, hand-rolled: `decide_reference` +
+/// `advance_reference` + `next_event_time_scan` driving a bare
+/// `ProportionalCluster`, compared outcome-for-outcome (bitwise instants)
+/// against the unified driver running the incremental paths end to end.
+/// This is the whole-pipeline version of the per-layer differentials: if
+/// any incremental layer (decision memos, profile dedupe, cached event
+/// times, arena advance) drifted from its oracle *in composition*, the
+/// two runs would part ways. Churn composition is pinned separately
+/// (`interleaved_advances_are_invariant_under_churn` and the engine-level
+/// churn differentials in `cluster`).
+#[test]
+fn hand_rolled_reference_loop_matches_unified_driver() {
+    use cluster::proportional::{ProportionalCluster, ProportionalConfig};
+    use librisk::libra_risk::LibraRisk;
+    use librisk::report::Outcome;
+    use std::collections::HashMap;
+
+    // (discriminant, t0 bits, t1 bits) per job id.
+    fn key(outcome: &Outcome) -> (u8, u64, u64) {
+        match outcome {
+            Outcome::Rejected { at, .. } => (0, at.as_secs().to_bits(), 0),
+            Outcome::Completed { started, finish } => {
+                (1, started.as_secs().to_bits(), finish.as_secs().to_bits())
+            }
+            Outcome::Killed { at, .. } => (2, at.as_secs().to_bits(), 0),
+        }
+    }
+
+    for seed in [7u64, 99] {
+        let trace = synthetic_trace(240, seed);
+        let cluster = small_cluster();
+
+        let mut rms = PolicyKind::LibraRisk.rms(&cluster);
+        let mut unified: HashMap<u64, (u8, u64, u64)> = HashMap::new();
+        for job in trace.jobs() {
+            for e in rms.advance(job.submit) {
+                unified.insert(e.record.job.id.0, key(&e.record.outcome));
+            }
+            rms.submit(job.clone(), job.submit);
+        }
+        for e in rms.drain() {
+            unified.insert(e.record.job.id.0, key(&e.record.outcome));
+        }
+
+        let mut engine = ProportionalCluster::new(cluster, ProportionalConfig::default());
+        let policy = LibraRisk::paper();
+        let mut reference: HashMap<u64, (u8, u64, u64)> = HashMap::new();
+        let complete = |engine: &mut ProportionalCluster,
+                        to: sim::SimTime,
+                        reference: &mut HashMap<u64, (u8, u64, u64)>| {
+            for done in engine.advance_reference(to) {
+                reference.insert(
+                    done.job.id.0,
+                    (
+                        1,
+                        done.started.as_secs().to_bits(),
+                        done.finish.as_secs().to_bits(),
+                    ),
+                );
+            }
+        };
+        for job in trace.jobs() {
+            let now = job.submit;
+            while let Some(t) = engine.next_event_time_scan() {
+                if t > now {
+                    break;
+                }
+                complete(&mut engine, t, &mut reference);
+            }
+            complete(&mut engine, now, &mut reference);
+            match policy.decide_reference(&engine, job) {
+                Some(nodes) => engine.admit(job.clone(), nodes, now),
+                None => {
+                    reference.insert(job.id.0, (0, now.as_secs().to_bits(), 0));
+                }
+            }
+        }
+        while let Some(t) = engine.next_event_time_scan() {
+            complete(&mut engine, t, &mut reference);
+        }
+
+        assert_eq!(
+            unified.len(),
+            reference.len(),
+            "seed {seed}: outcome counts diverged"
+        );
+        for (id, u) in &unified {
+            assert_eq!(
+                Some(u),
+                reference.get(id),
+                "seed {seed}: job {id} outcome diverged between unified driver and reference loop"
+            );
+        }
+    }
+}
