@@ -50,12 +50,13 @@ smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 trap 'rm -f "$smoke_out" ; rm -rf "$obs_out"' EXIT
 cargo run --release -p bench --bin bench_admission -- 200 2 400 "$smoke_out" >/dev/null
 
-echo "== perf floor (warn-only): unified-driver throughput =="
+echo "== perf floor: unified-driver throughput =="
 # Compares the smoke run's LibraRisk unified-driver jobs/sec against the
-# committed full-size baseline. Warn-only: CI machines vary wildly, so a
-# shortfall below half the recorded figure flags a likely regression
-# without failing the build.
-python3 - "$smoke_out" BENCH_admission.json <<'PYEOF' || true
+# committed full-size baseline. A shortfall below half the recorded
+# figure emits a machine-readable PERF_REGRESSION line; by default that
+# is a soft gate (CI machines vary wildly), but CI_PERF_STRICT=1 turns
+# it into a hard failure for runners with a known-stable perf envelope.
+perf_out="$(python3 - "$smoke_out" BENCH_admission.json <<'PYEOF'
 import json, sys
 try:
     smoke = json.load(open(sys.argv[1]))
@@ -66,10 +67,19 @@ except (OSError, KeyError, ValueError) as e:
     print(f"perf floor: skipped ({e})")
     sys.exit(0)
 if got < want / 2:
-    print(f"WARNING: perf floor: LibraRisk unified driver at {got:.0f} jobs/s, "
-          f"less than half the committed baseline {want:.0f} jobs/s")
+    print(f"PERF_REGRESSION metric=unified_driver.LibraRisk.jobs_per_sec "
+          f"got={got:.0f} baseline={want:.0f} floor={want / 2:.0f}")
 else:
     print(f"perf floor: ok ({got:.0f} jobs/s vs baseline {want:.0f} jobs/s)")
 PYEOF
+)" || true
+echo "$perf_out"
+if printf '%s\n' "$perf_out" | grep -q '^PERF_REGRESSION '; then
+    if [ "${CI_PERF_STRICT:-0}" = "1" ]; then
+        echo "perf floor: failing (CI_PERF_STRICT=1)"
+        exit 1
+    fi
+    echo "perf floor: WARNING only (set CI_PERF_STRICT=1 to fail on this)"
+fi
 
 echo "ci.sh: OK"

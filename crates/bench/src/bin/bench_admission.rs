@@ -480,26 +480,41 @@ fn main() {
             requeue_churn.requeues,
         ));
     }
-    // Overhead probe: best of two runs each to damp scheduler noise.
-    let best = |faults: &dyn Fn() -> Option<(FaultPlan, RecoveryPolicy)>| -> (f64, u64) {
-        let (a, fa, _) =
-            drive_trace_churn_throughput(PolicyKind::LibraRisk, &driver_trace, faults());
-        let (b, fb, _) =
-            drive_trace_churn_throughput(PolicyKind::LibraRisk, &driver_trace, faults());
-        assert_eq!(fa, fb, "replays are deterministic");
-        (a.max(b), fa)
-    };
-    let (plain_jps, plain_fulfilled) = best(&|| None);
-    let (empty_jps, empty_fulfilled) =
-        best(&|| Some((FaultPlan::empty(), RecoveryPolicy::Requeue)));
+    // Overhead probe: interleaved paired rounds, the same discipline the
+    // obs probe uses. Running plain and empty-plan back to back inside
+    // each round means a contended stretch of wall clock slows both arms
+    // of that round's ratio alike; sequential best-of-N (the old shape)
+    // let the arm that happened to run second inherit warmer caches and
+    // a quieter machine, which is how a *pure bookkeeping no-op* once
+    // "sped up" the driver by 5% in the committed numbers.
+    const FF_ROUNDS: usize = 7;
+    let mut ff_ratios = [0.0f64; FF_ROUNDS];
+    let mut plain_jps = 0.0f64;
+    let mut empty_jps = 0.0f64;
+    let mut ff_fulfilled: Option<(u64, u64)> = None;
+    for ratio in ff_ratios.iter_mut() {
+        let (p, pf, _) = drive_trace_churn_throughput(PolicyKind::LibraRisk, &driver_trace, None);
+        let (e, ef, _) = drive_trace_churn_throughput(
+            PolicyKind::LibraRisk,
+            &driver_trace,
+            Some((FaultPlan::empty(), RecoveryPolicy::Requeue)),
+        );
+        let (pf0, ef0) = *ff_fulfilled.get_or_insert((pf, ef));
+        assert_eq!((pf, ef), (pf0, ef0), "replays are deterministic");
+        plain_jps = plain_jps.max(p);
+        empty_jps = empty_jps.max(e);
+        *ratio = e / p;
+    }
+    let (plain_fulfilled, empty_fulfilled) = ff_fulfilled.expect("probe ran");
     assert_eq!(
         plain_fulfilled, empty_fulfilled,
         "an empty fault plan must not change outcomes"
     );
-    let overhead_ratio = empty_jps / plain_jps;
+    let overhead_ratio = ff_ratios.iter().sum::<f64>() / FF_ROUNDS as f64;
+    let overhead_ratio_min = ff_ratios.iter().copied().fold(f64::INFINITY, f64::min);
     eprintln!(
         "fault-free overhead: plain {plain_jps:.0} vs empty-plan {empty_jps:.0} jobs/sec \
-         (ratio {overhead_ratio:.3})"
+         (ratio mean {overhead_ratio:.3} min {overhead_ratio_min:.3})"
     );
     assert!(
         overhead_ratio > 0.75,
@@ -641,6 +656,85 @@ fn main() {
         "noop recorder costs more than 10% driver throughput (median ratio {noop_ratio:.3})"
     );
 
+    // Equivalence-classifier probe: the headline workload re-driven with
+    // the pre-kernel classifier off and on, each decision preceded by a
+    // tiny epoch-moving advance so whole-decision memos can never answer
+    // and the per-decision evaluation volume is real. The interesting
+    // numbers are distinct profiles projected per decision (the classifier
+    // collapses equal-signature nodes to one kernel run) and the fraction
+    // of node evaluations settled without the kernel at all.
+    let eq_decisions = (decisions / 4).clamp(256, 4_096);
+    eprintln!(
+        "equivalence probe: {eq_decisions} decisions, {residents} residents/node, \
+         classifier off vs on"
+    );
+    let eq_arms: Vec<String> = [false, true]
+        .iter()
+        .map(|&classifier| {
+            let mut engine = loaded_engine(residents);
+            let mut lr = LibraRisk::paper().with_classifier(classifier);
+            for j in &stream {
+                black_box(lr.decide(&engine, j));
+            }
+            let mut agg = librisk::policy::DecisionStats::default();
+            let mut counted = 0u64;
+            for i in 0..eq_decisions {
+                // Nudge the clock well inside the next event gap: the
+                // global epoch moves (memos miss) but residency never
+                // changes, so every arm sees the identical load shape.
+                let now = engine.now();
+                let gap = engine
+                    .next_event_time()
+                    .map(|t| (t - now).as_secs())
+                    .unwrap_or(1.0);
+                engine.advance(now + SimDuration::from_secs((gap * 1e-4).clamp(1e-6, 1.0)));
+                black_box(lr.decide(&engine, &stream[i % stream.len()]));
+                if let Some(s) = lr.last_decision_stats() {
+                    agg.nodes_considered += s.nodes_considered;
+                    agg.projections_run += s.projections_run;
+                    agg.screen_hits += s.screen_hits;
+                    agg.class_hits += s.class_hits;
+                    agg.pairing_hits += s.pairing_hits;
+                    agg.kernel_bails += s.kernel_bails;
+                    agg.memo_hits += s.memo_hits;
+                    agg.distinct_classes += s.distinct_classes;
+                    counted += 1;
+                }
+            }
+            let n = counted.max(1) as f64;
+            let avoided = agg.projections_avoided();
+            let avoided_ratio = avoided as f64 / (agg.nodes_considered.max(1)) as f64;
+            eprintln!(
+                "    classifier {}: {:.2} profiles/decision, {:.2} classes/decision, \
+                 {:.1}% of node evaluations avoided the kernel",
+                if classifier { "on " } else { "off" },
+                agg.projections_run as f64 / n,
+                agg.distinct_classes as f64 / n,
+                avoided_ratio * 100.0,
+            );
+            format!(
+                "    \"classifier_{}\": {{ \"decisions\": {counted}, \
+                 \"nodes_considered\": {}, \"projections_run\": {}, \
+                 \"projections_avoided\": {avoided}, \
+                 \"profiles_per_decision\": {:.2}, \
+                 \"classes_per_decision\": {:.2}, \
+                 \"avoided_ratio\": {avoided_ratio:.3}, \
+                 \"screen_hits\": {}, \"class_hits\": {}, \"pairing_hits\": {}, \
+                 \"memo_hits\": {}, \"kernel_bails\": {} }}",
+                if classifier { "on" } else { "off" },
+                agg.nodes_considered,
+                agg.projections_run,
+                agg.projections_run as f64 / n,
+                agg.distinct_classes as f64 / n,
+                agg.screen_hits,
+                agg.class_hits,
+                agg.pairing_hits,
+                agg.memo_hits,
+                agg.kernel_bails,
+            )
+        })
+        .collect();
+
     let json = format!(
         "{{\n  \"decisions\": {decisions},\n  \"residents_per_node\": {residents},\n  \
          \"policies\": {{\n    \
@@ -662,7 +756,9 @@ fn main() {
          \"advance_ns_p50\": {adv_p50}, \"advance_ns_p99\": {adv_p99} }},\n  \
          \"churn_driver\": {{ \"jobs\": {driver_jobs}, \"fault_events\": {}, \"policies\": {{\n{}\n  }} }},\n  \
          \"fault_free_overhead\": {{ \"plain_jobs_per_sec\": {plain_jps:.0}, \
-         \"empty_plan_jobs_per_sec\": {empty_jps:.0}, \"ratio\": {overhead_ratio:.3} }},\n  \
+         \"empty_plan_jobs_per_sec\": {empty_jps:.0}, \"ratio\": {overhead_ratio:.3}, \
+         \"ratio_min\": {overhead_ratio_min:.3} }},\n  \
+         \"equivalence\": {{\n{}\n  }},\n  \
          \"obs_overhead\": {{ \"plain_jobs_per_sec\": {obs_plain_jps:.0}, \
          \"noop_jobs_per_sec\": {noop_jps:.0}, \"ring_jobs_per_sec\": {ring_jps:.0}, \
          \"gauged_ring_jobs_per_sec\": {gauged_jps:.0}, \
@@ -681,6 +777,7 @@ fn main() {
         adv_jps / ref_adv_jps,
         plan.len(),
         churn_cells.join(",\n"),
+        eq_arms.join(",\n"),
     );
     print!("{json}");
     std::fs::write(&out_path, &json).expect("write benchmark JSON");

@@ -32,6 +32,13 @@ pub const EPS_WORK: f64 = 1e-6;
 /// `σ_j` below this threshold counts as zero risk.
 pub const SIGMA_ZERO: f64 = 1e-9;
 
+/// Minimum relative headroom `1 − S` the pre-kernel screen demands in
+/// addition to its absolute [`EPS_DEADLINE`] margin (see
+/// [`screens_zero_risk`]). Accumulated kernel float error is bounded by a
+/// few hundred ulps of the time scale; a relative margin of 1e-9 leaves
+/// four orders of magnitude of slack above that.
+pub const SCREEN_HEADROOM: f64 = 1e-9;
+
 /// Scheduler-visible view of one resident job used for projection.
 #[derive(Clone, Copy, Debug)]
 pub struct ProjectedJob {
@@ -88,6 +95,22 @@ impl RiskSummary {
         sigma: 0.0,
     };
 
+    /// Sentinel for a node whose projection was cut short because its
+    /// risk was *certified* nonzero mid-run (see
+    /// [`ProjectionWorkspace::node_risk_verdict_prefixed`]): `σ = +∞`
+    /// fails every zero-risk test and `μ = +∞` fails every unit-mean
+    /// test, so the sentinel decides exactly like the exact summary
+    /// would — the raw moments are deliberately infinite too, so any
+    /// accidental aggregate consumer surfaces immediately instead of
+    /// silently absorbing partial sums.
+    pub const PROVABLY_RISKY: RiskSummary = RiskSummary {
+        count: 0,
+        dd_sum: f64::INFINITY,
+        dd_sq_sum: f64::INFINITY,
+        mu: f64::INFINITY,
+        sigma: f64::INFINITY,
+    };
+
     /// Builds the summary from deadline-delay values with the identical
     /// float operations [`risk`] performs (left-to-right sums, then
     /// `sqrt(max(0, Σdd²/n − μ²))`).
@@ -117,6 +140,149 @@ impl RiskSummary {
             && self.mu.to_bits() == other.mu.to_bits()
             && self.sigma.to_bits() == other.sigma.to_bits()
     }
+}
+
+/// Fills `keys` with the node's **canonical load fingerprint**: the
+/// `(abs_deadline, remaining_est)` bit patterns of every resident job,
+/// sorted ascending. Returns a length-seeded fx-style hash of the
+/// canonical sequence.
+///
+/// Two nodes with equal canonical keys hold the same multiset of
+/// projected jobs, so — at a fixed `(now, speed, discipline, candidate)`
+/// — the projection kernel computes the same `(μ_j, σ_j)` for them *up
+/// to float summation order*: two permutations of the same multiset can
+/// differ in the last ulp, which matters precisely where `σ_j` sits at
+/// cancellation-noise scale near the zero-risk threshold. Admission
+/// layers therefore first rewrite every projection input into canonical
+/// order ([`canonicalize_projection`]) — making the computed bits a
+/// function of the multiset, not of arbitrary resident slot order — and
+/// then use the hash as an equivalence-class prescreen with the key
+/// sequence as exact confirmation, so one kernel run per class serves
+/// every member node bit-exactly (see DESIGN.md "Node equivalence &
+/// dominance").
+///
+/// Deadlines and remaining work are positive finite, so the bit patterns
+/// order exactly like the values and the sort needs no float comparator.
+pub fn canonical_class_keys(jobs: &[ProjectedJob], keys: &mut Vec<(u64, u64)>) -> u64 {
+    keys.clear();
+    keys.extend(
+        jobs.iter()
+            .map(|j| (j.abs_deadline.to_bits(), j.remaining_est.to_bits())),
+    );
+    keys.sort_unstable();
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (keys.len() as u64);
+    for &(dl, rem) in keys.iter() {
+        h = (h.rotate_left(23) ^ dl).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h = (h.rotate_left(23) ^ rem).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    h
+}
+
+/// Computes the kernel's *first-segment* shares for a resident job list —
+/// `remaining_est.max(EPS_WORK) / (abs_deadline − now).max(EPS_DEADLINE)`
+/// per job, in job order — into `shares`, and returns their left-to-right
+/// sum: exactly the float operations, in exactly the order, the
+/// projection kernel's opening share pass performs.
+///
+/// Admission layers cache the result per node (valid while the node's
+/// epoch — which pins both residents and `now` for occupied nodes —
+/// is unchanged) and hand it back via
+/// [`ProjectionWorkspace::node_risk_delta_prefixed`], so the shared
+/// prefix of every "residents + candidate" evaluation is computed once
+/// per node state instead of once per candidate.
+pub fn first_segment_shares(jobs: &[ProjectedJob], now: f64, shares: &mut Vec<f64>) -> f64 {
+    shares.clear();
+    let mut sum = 0.0;
+    for j in jobs {
+        let rd = (j.abs_deadline - now).max(EPS_DEADLINE);
+        let s = j.remaining_est.max(EPS_WORK) / rd;
+        shares.push(s);
+        sum += s;
+    }
+    sum
+}
+
+/// Rewrites a projection input into **canonical order**: ascending
+/// `(abs_deadline, remaining_est)` bit patterns — the same order
+/// [`canonical_class_keys`] fingerprints.
+///
+/// `(μ_j, σ_j)` are symmetric functions of the job multiset, but their
+/// floating-point evaluation is not: summation order leaks the node's
+/// arbitrary resident slot order (admission history) into the last ulp,
+/// which can flip a verdict when `σ_j` sits at cancellation-noise scale
+/// near the zero-risk threshold. Canonicalizing before every projection
+/// makes the computed bits order-free, so (a) equal-class nodes replay
+/// each other's results bit-exactly, and (b) a node's risk verdict no
+/// longer depends on the order jobs happened to be admitted in.
+///
+/// The sort is in-place, unstable and comparator-free (positive finite
+/// floats: bit order = value order) — no allocation, so it is safe in
+/// the zero-allocation decision path.
+pub fn canonicalize_projection(jobs: &mut [ProjectedJob]) {
+    jobs.sort_unstable_by_key(|j| (j.abs_deadline.to_bits(), j.remaining_est.to_bits()));
+}
+
+/// Earliest absolute deadline among `jobs` (+∞ for an empty node).
+pub fn min_abs_deadline(jobs: &[ProjectedJob]) -> f64 {
+    jobs.iter()
+        .fold(f64::INFINITY, |m, j| m.min(j.abs_deadline))
+}
+
+/// The pre-kernel **dominance screen**: `true` when "this node + the
+/// candidate" is *provably* zero-risk — the projection kernel would
+/// compute `σ_j = 0.0` and `μ_j = 1.0` bitwise-exactly — so the
+/// candidate scan may mark the node suitable without projecting at all.
+///
+/// The proof obligation, and why each condition is required:
+///
+/// * **Work-conserving discipline.** Under [`ShareDiscipline::Strict`]
+///   each job runs at exactly its share and finishes exactly at its
+///   deadline — zero margin, so float fuzz (or the floor distortion
+///   below) can push a finish past the deadline. Under work-conserving
+///   sharing with total share `S < 1`, every rate is `s_i/S > s_i`,
+///   shares are non-increasing across segment refreshes, and every job
+///   finishes at least `rd_i·(1 − S)` before its deadline.
+/// * **`speed ≥ 1`.** Rates scale by the speed factor; a slower node
+///   would invalidate the `rate ≥ share` step of that argument.
+/// * **`min_rd·(1 − S_with) ≥ EPS_DEADLINE`** where `min_rd` is the
+///   smallest remaining deadline (residents and candidate) and `S_with`
+///   the total first-segment share with the candidate added. This keeps
+///   every job's finish at least one second clear of its deadline, which
+///   in particular means no job is ever *alive* inside the final
+///   [`EPS_DEADLINE`] window before its own deadline — the one place the
+///   kernel's deadline floor would rewrite `rem/rd` as `rem/1.0`,
+///   destroying the share's deadline urgency and (against a large-share
+///   co-resident) potentially making the job genuinely late. `S ≤ 1`
+///   alone is *not* sufficient; the margin is what rules the floor out.
+/// * **`1 − S_with ≥ SCREEN_HEADROOM`.** The absolute margin is asserted
+///   about real-number dynamics; a relative headroom far above the
+///   kernel's accumulated float error makes the float finishes land on
+///   the same side of the deadline.
+///
+/// When every projected finish beats its deadline, each
+/// `delay = max(f − dl, 0)` is exactly `0.0`, each deadline-delay is
+/// `rd/rd = 1.0` exactly, and Eq. 5/6 give `μ = 1.0`, `σ = 0.0` in exact
+/// float arithmetic — so the screen agrees with the kernel *bitwise*,
+/// for the paper policy and for the `require_unit_mu` and
+/// `naive_projection` ablations alike (the single-segment projection
+/// obeys the same `finish ≤ dl − rd(1−S)` bound).
+pub fn screens_zero_risk(
+    discipline: ShareDiscipline,
+    speed_factor: f64,
+    resident_share_sum: f64,
+    min_resident_deadline: f64,
+    candidate: ProjectedJob,
+    now: f64,
+) -> bool {
+    if !matches!(discipline, ShareDiscipline::WorkConserving) || speed_factor < 1.0 {
+        return false;
+    }
+    let cand_rd = (candidate.abs_deadline - now).max(EPS_DEADLINE);
+    let s_with = resident_share_sum + candidate.remaining_est.max(EPS_WORK) / cand_rd;
+    let headroom = 1.0 - s_with;
+    let min_rd = min_resident_deadline.min(candidate.abs_deadline) - now;
+    // NaN anywhere fails every comparison → conservative `false`.
+    headroom >= SCREEN_HEADROOM && min_rd.is_finite() && min_rd * headroom >= EPS_DEADLINE
 }
 
 /// Caller-owned scratch buffers for the projection kernel.
@@ -199,6 +365,7 @@ impl ProjectionWorkspace {
             now,
             speed_factor,
             discipline,
+            None,
             &mut self.rem,
             &mut self.alive,
             &mut self.shares,
@@ -243,6 +410,7 @@ impl ProjectionWorkspace {
             now,
             speed_factor,
             discipline,
+            None,
             rem,
             alive,
             shares,
@@ -284,6 +452,7 @@ impl ProjectionWorkspace {
             now,
             speed_factor,
             discipline,
+            None,
             rem,
             alive,
             shares,
@@ -317,6 +486,142 @@ impl ProjectionWorkspace {
         self.node_risk_summary_staged(now, speed_factor, discipline)
     }
 
+    /// [`Self::node_risk_delta`] with a **shared-prefix warm start**: the
+    /// caller supplies the base jobs' first-segment shares and their
+    /// left-to-right sum (from [`first_segment_shares`], computed once
+    /// per node state), and the kernel's opening share pass runs only
+    /// for the appended candidate. Bitwise identical to the cold path —
+    /// the cached prefix replays the same float values and the same
+    /// summation order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn node_risk_delta_prefixed(
+        &mut self,
+        base: &[ProjectedJob],
+        base_shares: &[f64],
+        base_share_sum: f64,
+        extra: ProjectedJob,
+        now: f64,
+        speed_factor: f64,
+        discipline: ShareDiscipline,
+    ) -> RiskSummary {
+        debug_assert_eq!(base.len(), base_shares.len());
+        let stage = self.stage();
+        stage.extend_from_slice(base);
+        stage.push(extra);
+        let Self {
+            jobs,
+            rem,
+            alive,
+            shares,
+            rates,
+            finish,
+            dds,
+        } = self;
+        projection_kernel(
+            jobs,
+            now,
+            speed_factor,
+            discipline,
+            Some((base_shares, base_share_sum)),
+            rem,
+            alive,
+            shares,
+            rates,
+            finish,
+        );
+        summarize_into(jobs, finish, now, dds)
+    }
+
+    /// [`Self::node_risk_delta_prefixed`] for the admission *verdict*
+    /// path: returns `None` as soon as the partial projection certifies
+    /// the node risky (σ provably far above [`SIGMA_ZERO`] — see
+    /// [`VERDICT_BAIL_GAP`] for the bound), and the exact summary
+    /// otherwise. `None` and the exact summary produce the same
+    /// admission verdict under every decision variant, so callers that
+    /// only consume the verdict (not the raw moments) may use this
+    /// interchangeably with the exact entry point; overloaded nodes —
+    /// precisely the expensive projections — usually certify within the
+    /// first few segments instead of simulating their whole timeline.
+    #[allow(clippy::too_many_arguments)]
+    pub fn node_risk_verdict_prefixed(
+        &mut self,
+        base: &[ProjectedJob],
+        base_shares: &[f64],
+        base_share_sum: f64,
+        extra: ProjectedJob,
+        now: f64,
+        speed_factor: f64,
+        discipline: ShareDiscipline,
+    ) -> Option<RiskSummary> {
+        debug_assert_eq!(base.len(), base_shares.len());
+        let stage = self.stage();
+        stage.extend_from_slice(base);
+        stage.push(extra);
+        let Self {
+            jobs,
+            rem,
+            alive,
+            shares,
+            rates,
+            finish,
+            dds,
+        } = self;
+        let bailed = projection_verdict_kernel(
+            jobs,
+            now,
+            speed_factor,
+            discipline,
+            Some((base_shares, base_share_sum)),
+            rem,
+            alive,
+            shares,
+            rates,
+            finish,
+        );
+        if bailed {
+            None
+        } else {
+            Some(summarize_into(jobs, finish, now, dds))
+        }
+    }
+
+    /// [`Self::node_risk_summary_with`] with every first-segment share
+    /// precomputed (the resident-only evaluation admission layers cache
+    /// per node): the kernel skips its whole opening share pass.
+    pub fn node_risk_summary_prefixed(
+        &mut self,
+        jobs: &[ProjectedJob],
+        first_shares: &[f64],
+        share_sum: f64,
+        now: f64,
+        speed_factor: f64,
+        discipline: ShareDiscipline,
+    ) -> RiskSummary {
+        debug_assert_eq!(jobs.len(), first_shares.len());
+        let Self {
+            rem,
+            alive,
+            shares,
+            rates,
+            finish,
+            dds,
+            ..
+        } = self;
+        projection_kernel(
+            jobs,
+            now,
+            speed_factor,
+            discipline,
+            Some((first_shares, share_sum)),
+            rem,
+            alive,
+            shares,
+            rates,
+            finish,
+        );
+        summarize_into(jobs, finish, now, dds)
+    }
+
     /// [`Self::project_finishes_into`] over the staged job list.
     pub fn staged_finishes_into(
         &mut self,
@@ -338,6 +643,7 @@ impl ProjectionWorkspace {
             now,
             speed_factor,
             discipline,
+            None,
             rem,
             alive,
             shares,
@@ -351,12 +657,20 @@ impl ProjectionWorkspace {
 ///
 /// Scratch buffers (`rem`, `alive`, `shares`) and the output (`finish`)
 /// are cleared and refilled; their capacity is reused across calls.
+///
+/// `warm` optionally carries precomputed first-segment shares for a
+/// *prefix* of `jobs` together with their left-to-right sum (what
+/// [`first_segment_shares`] produced for the same prefix at the same
+/// `now`): the opening share pass then starts from the cached sum and
+/// computes shares only for the suffix — the same float operations in
+/// the same order, so the warm start is bitwise-neutral.
 #[allow(clippy::too_many_arguments)]
 fn projection_kernel(
     jobs: &[ProjectedJob],
     now: f64,
     speed_factor: f64,
     discipline: ShareDiscipline,
+    warm: Option<(&[f64], f64)>,
     rem: &mut Vec<f64>,
     alive: &mut Vec<bool>,
     shares: &mut Vec<f64>,
@@ -389,9 +703,17 @@ fn projection_kernel(
     // Shares for the first segment; later segments refresh theirs inside
     // the advance pass below (the advance already walks the same indices
     // in the same order, so folding the share refresh in saves a whole
-    // pass per segment without reordering any float op).
+    // pass per segment without reordering any float op). A warm prefix
+    // replays its cached shares and running sum instead of recomputing.
     let mut total_share = 0.0;
-    for i in 0..n {
+    let mut first = 0;
+    if let Some((pre, pre_sum)) = warm {
+        debug_assert!(pre.len() <= n, "warm prefix longer than the job list");
+        first = pre.len().min(n);
+        shares[..first].copy_from_slice(&pre[..first]);
+        total_share = pre_sum;
+    }
+    for i in first..n {
         let rd = (jobs[i].abs_deadline - t).max(EPS_DEADLINE);
         shares[i] = rem[i] / rd;
         total_share += shares[i];
@@ -467,6 +789,179 @@ fn projection_kernel(
             finish[i] = t;
         }
     }
+}
+
+/// Minimum separation between two projected deadline-delay values that
+/// certifies `σ_j` nonzero without finishing the projection.
+///
+/// Soundness: a population of `n` values containing two entries that
+/// differ by `g` has variance at least `g²/(2n)` (both entries deviate
+/// from any mean by a combined squared distance of `g²/2`), so
+/// `σ ≥ g/√(2n)`. With `g = 1e-5` and `n ≤` [`VERDICT_BAIL_MAX_JOBS`],
+/// that floor is `≥ 1.1e-7` — two orders of magnitude above
+/// [`SIGMA_ZERO`] — and it holds for the *reference* kernel's σ as well:
+/// the deadline-delays the bail-out compares are bitwise the values the
+/// full run would feed into [`RiskSummary::from_dds`] (the early exit
+/// changes which operations are skipped, never the ones performed), and
+/// the reference's computed σ can undercut the mathematical floor only
+/// by summation-cancellation noise of a few ulp of 1.0 (~1e-15 in the
+/// variance), far below `g²/(2n) ≥ 1.2e-14`. A certified-risky node is
+/// therefore unsuitable under every decision variant, exactly as the
+/// finished projection would have concluded.
+pub const VERDICT_BAIL_GAP: f64 = 1e-5;
+
+/// Job-count ceiling for the early bail-out: past this, the
+/// `g²/(2n)` variance floor approaches summation-noise scale, so the
+/// kernel just runs to completion (exactness over speed).
+pub const VERDICT_BAIL_MAX_JOBS: usize = 4096;
+
+/// [`projection_kernel`] specialised for admission *verdicts*: identical
+/// float work in identical order, but it stops — returning `true` — as
+/// soon as the partial projection certifies `σ_j ≥` a sound floor far
+/// above [`SIGMA_ZERO`] (see [`VERDICT_BAIL_GAP`]). Two separation
+/// witnesses are tracked on the way:
+///
+/// - a *finished* job's deadline-delay is exact (its remaining segments
+///   cannot move a finish time already emitted), and
+/// - a job still alive past its deadline has `dd ≥ (t − dl + rd)/rd`
+///   (its finish can only be later than the current segment start).
+///
+/// A positive gap between the smallest exact delay and the largest
+/// lower bound always involves two distinct jobs (any one job's bound
+/// never exceeds its own exact value), which is what the variance floor
+/// needs. Returns `false` when the projection ran to completion, in
+/// which case `finish` holds exactly what [`projection_kernel`] would
+/// have produced.
+#[allow(clippy::too_many_arguments)]
+fn projection_verdict_kernel(
+    jobs: &[ProjectedJob],
+    now: f64,
+    speed_factor: f64,
+    discipline: ShareDiscipline,
+    warm: Option<(&[f64], f64)>,
+    rem: &mut Vec<f64>,
+    alive: &mut Vec<bool>,
+    shares: &mut Vec<f64>,
+    rates: &mut Vec<f64>,
+    finish: &mut Vec<f64>,
+) -> bool {
+    assert!(speed_factor > 0.0);
+    let n = jobs.len();
+    finish.clear();
+    finish.resize(n, 0.0);
+    if n == 0 {
+        return false;
+    }
+    rem.clear();
+    rem.extend(jobs.iter().map(|j| j.remaining_est.max(EPS_WORK)));
+    alive.clear();
+    alive.resize(n, true);
+    shares.clear();
+    shares.resize(n, 0.0);
+    rates.clear();
+    rates.resize(n, 0.0);
+    let (jobs, rem) = (&jobs[..n], &mut rem[..n]);
+    let (alive, shares, rates) = (&mut alive[..n], &mut shares[..n], &mut rates[..n]);
+    let strict = matches!(discipline, ShareDiscipline::Strict);
+    let bail = n <= VERDICT_BAIL_MAX_JOBS;
+    // Smallest exact deadline-delay among finished jobs / largest lower
+    // bound over any job's eventual delay.
+    let mut min_fin = f64::INFINITY;
+    let mut max_low = f64::NEG_INFINITY;
+    let mut alive_count = n;
+    let mut t = now;
+    let mut total_share = 0.0;
+    let mut first = 0;
+    if let Some((pre, pre_sum)) = warm {
+        debug_assert!(pre.len() <= n, "warm prefix longer than the job list");
+        first = pre.len().min(n);
+        shares[..first].copy_from_slice(&pre[..first]);
+        total_share = pre_sum;
+    }
+    for i in first..n {
+        let rd = (jobs[i].abs_deadline - t).max(EPS_DEADLINE);
+        shares[i] = rem[i] / rd;
+        total_share += shares[i];
+    }
+    let max_steps = 2 * n + 8;
+    for _ in 0..max_steps {
+        if alive_count == 0 {
+            break;
+        }
+        let denom = if strict {
+            total_share.max(1.0)
+        } else {
+            total_share
+        };
+        let mut dt = f64::INFINITY;
+        for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            let r = shares[i] / denom * speed_factor;
+            rates[i] = r;
+            if r > 0.0 {
+                dt = dt.min(rem[i] / r);
+            }
+            let to_deadline = jobs[i].abs_deadline - t;
+            if to_deadline > EPS_WORK {
+                dt = dt.min(to_deadline);
+            } else if bail && min_fin.is_finite() {
+                // Alive past its deadline: finish ≥ t, so its eventual
+                // dd is at least this (rd measured from `now`, exactly
+                // as `summarize_into` will measure it).
+                let rd = (jobs[i].abs_deadline - now).max(EPS_DEADLINE);
+                let lb = ((t - jobs[i].abs_deadline).max(0.0) + rd) / rd;
+                if lb > max_low {
+                    max_low = lb;
+                    if max_low - min_fin >= VERDICT_BAIL_GAP {
+                        return true;
+                    }
+                }
+            }
+        }
+        if !(dt.is_finite() && dt > 0.0) {
+            break;
+        }
+        let t_next = t + dt;
+        total_share = 0.0;
+        for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            rem[i] -= rates[i] * dt;
+            if rem[i] <= EPS_WORK {
+                alive[i] = false;
+                alive_count -= 1;
+                finish[i] = t_next;
+                if bail {
+                    let rd = (jobs[i].abs_deadline - now).max(EPS_DEADLINE);
+                    let delay = (t_next - jobs[i].abs_deadline).max(0.0);
+                    let dd = (delay + rd) / rd;
+                    if dd < min_fin {
+                        min_fin = dd;
+                    }
+                    if dd > max_low {
+                        max_low = dd;
+                    }
+                    if max_low - min_fin >= VERDICT_BAIL_GAP {
+                        return true;
+                    }
+                }
+            } else {
+                let rd = (jobs[i].abs_deadline - t_next).max(EPS_DEADLINE);
+                shares[i] = rem[i] / rd;
+                total_share += shares[i];
+            }
+        }
+        t = t_next;
+    }
+    for i in 0..n {
+        if alive[i] {
+            finish[i] = t;
+        }
+    }
+    false
 }
 
 /// Projects the absolute finish time of every job on one node of the
@@ -892,6 +1387,244 @@ mod tests {
         let direct = node_risk(&[extra], 0.0, 1.0, ShareDiscipline::Strict);
         assert_eq!(delta.mu.to_bits(), direct.0.to_bits());
         assert_eq!(delta.sigma.to_bits(), direct.1.to_bits());
+    }
+
+    #[test]
+    fn canonical_class_keys_are_order_invariant_and_length_seeded() {
+        let a = [pj(80.0, 90.0), pj(20.0, 400.0), pj(100.0, 120.0)];
+        let b = [pj(100.0, 120.0), pj(80.0, 90.0), pj(20.0, 400.0)];
+        let mut ka = Vec::new();
+        let mut kb = Vec::new();
+        let ha = canonical_class_keys(&a, &mut ka);
+        let hb = canonical_class_keys(&b, &mut kb);
+        assert_eq!(ha, hb, "permutations share a class");
+        assert_eq!(ka, kb);
+        // A strict prefix is a different class even though every element
+        // matches (length seeding).
+        let hp = canonical_class_keys(&a[..2], &mut kb);
+        assert_ne!(ha, hp);
+        // Different loads are different classes.
+        let c = [pj(80.0, 90.0), pj(20.0, 400.0), pj(100.0, 121.0)];
+        let hc = canonical_class_keys(&c, &mut kb);
+        assert_ne!(ha, hc);
+        assert_eq!(canonical_class_keys(&[], &mut ka), {
+            let mut k = Vec::new();
+            canonical_class_keys(&[], &mut k)
+        });
+    }
+
+    #[test]
+    fn first_segment_shares_match_kernel_opening_pass_bitwise() {
+        let jobs = [pj(80.0, 90.0), pj(20.0, 400.0), pj(1e-9, 0.5)];
+        let now = 3.0;
+        let mut shares = Vec::new();
+        let sum = first_segment_shares(&jobs, now, &mut shares);
+        let mut want_sum = 0.0;
+        for (i, j) in jobs.iter().enumerate() {
+            let rd = (j.abs_deadline - now).max(EPS_DEADLINE);
+            let s = j.remaining_est.max(EPS_WORK) / rd;
+            assert_eq!(shares[i].to_bits(), s.to_bits());
+            want_sum += s;
+        }
+        assert_eq!(sum.to_bits(), want_sum.to_bits());
+        assert_eq!(first_segment_shares(&[], 0.0, &mut shares), 0.0);
+        assert!(shares.is_empty());
+    }
+
+    #[test]
+    fn prefixed_paths_match_cold_paths_bitwise() {
+        let base = [pj(80.0, 90.0), pj(20.0, 400.0), pj(100.0, 120.0)];
+        let extra = pj(55.0, 250.0);
+        let mut ws = ProjectionWorkspace::new();
+        let mut shares = Vec::new();
+        for disc in [ShareDiscipline::Strict, ShareDiscipline::WorkConserving] {
+            for now in [0.0, 17.25] {
+                let sum = first_segment_shares(&base, now, &mut shares);
+                let warm = ws.node_risk_delta_prefixed(&base, &shares, sum, extra, now, 1.5, disc);
+                let cold = ws.node_risk_delta(&base, extra, now, 1.5, disc);
+                assert!(warm.bits_eq(&cold), "{disc:?} now {now}");
+                let warm_base = ws.node_risk_summary_prefixed(&base, &shares, sum, now, 1.5, disc);
+                let cold_base = ws.node_risk_summary_with(&base, now, 1.5, disc);
+                assert!(warm_base.bits_eq(&cold_base), "{disc:?} now {now}");
+            }
+        }
+        // Empty base: the warm prefix is empty and the candidate's share
+        // is computed in-kernel.
+        let sum = first_segment_shares(&[], 0.0, &mut shares);
+        let warm = ws.node_risk_delta_prefixed(
+            &[],
+            &shares,
+            sum,
+            extra,
+            0.0,
+            1.0,
+            ShareDiscipline::WorkConserving,
+        );
+        let cold = ws.node_risk_delta(&[], extra, 0.0, 1.0, ShareDiscipline::WorkConserving);
+        assert!(warm.bits_eq(&cold));
+    }
+
+    #[test]
+    fn screen_never_disagrees_with_the_kernel() {
+        // Wherever the screen fires, the kernel must report exactly
+        // σ = 0.0 and μ = 1.0 (bitwise) — for the piecewise and the
+        // single-segment projections alike. A dense deterministic sweep
+        // over share levels, deadline spreads and margins, including
+        // values straddling the screen's margin condition.
+        let mut ws = ProjectionWorkspace::new();
+        let mut shares = Vec::new();
+        let mut keys = Vec::new();
+        let mut fired = 0usize;
+        for i in 0..2000u64 {
+            let r = |k: u64| {
+                // Small deterministic hash → [0, 1).
+                let x = (i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ k)
+                    .wrapping_mul(0x2545_F491_4F6C_DD1D);
+                (x >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let now = r(1) * 100.0;
+            let n = (r(2) * 4.0) as usize;
+            let jobs: Vec<ProjectedJob> = (0..n)
+                .map(|k| {
+                    let rd = 0.5 + r(10 + k as u64) * 50.0;
+                    let share = 0.05 + r(20 + k as u64) * 0.45;
+                    pj(share * rd, now + rd)
+                })
+                .collect();
+            let cand_rd = 0.5 + r(3) * 200.0;
+            let cand = pj((0.01 + r(4) * 0.6) * cand_rd, now + cand_rd);
+            let sum = first_segment_shares(&jobs, now, &mut shares);
+            let min_dl = min_abs_deadline(&jobs);
+            if screens_zero_risk(ShareDiscipline::WorkConserving, 1.0, sum, min_dl, cand, now) {
+                fired += 1;
+                let s = ws.node_risk_delta(&jobs, cand, now, 1.0, ShareDiscipline::WorkConserving);
+                assert_eq!(s.sigma.to_bits(), 0.0f64.to_bits(), "case {i}: {jobs:?}");
+                assert_eq!(s.mu.to_bits(), 1.0f64.to_bits(), "case {i}");
+                let (mu1, sig1) = node_risk_single_segment(
+                    &{
+                        let mut all = jobs.clone();
+                        all.push(cand);
+                        all
+                    },
+                    now,
+                    1.0,
+                    ShareDiscipline::WorkConserving,
+                );
+                assert_eq!(sig1.to_bits(), 0.0f64.to_bits(), "case {i} (naive)");
+                assert_eq!(mu1.to_bits(), 1.0f64.to_bits(), "case {i} (naive)");
+            }
+            // The class fingerprint must be insensitive to job order.
+            let h = canonical_class_keys(&jobs, &mut keys);
+            let mut rev = jobs.clone();
+            rev.reverse();
+            assert_eq!(h, canonical_class_keys(&rev, &mut keys));
+        }
+        assert!(
+            fired > 100,
+            "screen never fired ({fired}); sweep too strict"
+        );
+    }
+
+    #[test]
+    fn screen_declines_strict_shares_slow_nodes_and_thin_margins() {
+        let cand = pj(10.0, 100.0);
+        // Comfortable case fires under work-conserving, unit speed.
+        assert!(screens_zero_risk(
+            ShareDiscipline::WorkConserving,
+            1.0,
+            0.3,
+            f64::INFINITY,
+            cand,
+            0.0
+        ));
+        // Strict shares: finishes land exactly on deadlines — no margin.
+        assert!(!screens_zero_risk(
+            ShareDiscipline::Strict,
+            1.0,
+            0.3,
+            f64::INFINITY,
+            cand,
+            0.0
+        ));
+        // A slow node invalidates the rate ≥ share argument.
+        assert!(!screens_zero_risk(
+            ShareDiscipline::WorkConserving,
+            0.9,
+            0.3,
+            f64::INFINITY,
+            cand,
+            0.0
+        ));
+        // Margin below EPS_DEADLINE: min_rd(1−S) = 100 × 0.005 = 0.5 < 1.
+        assert!(!screens_zero_risk(
+            ShareDiscipline::WorkConserving,
+            1.0,
+            0.895,
+            f64::INFINITY,
+            cand,
+            0.0
+        ));
+        // A resident whose deadline is about to pass caps min_rd.
+        assert!(!screens_zero_risk(
+            ShareDiscipline::WorkConserving,
+            1.0,
+            0.3,
+            0.5,
+            cand,
+            0.0
+        ));
+        // S ≥ 1 (headroom gone) never fires, whatever the deadlines.
+        assert!(!screens_zero_risk(
+            ShareDiscipline::WorkConserving,
+            1.0,
+            1.2,
+            f64::INFINITY,
+            cand,
+            0.0
+        ));
+        // A candidate already inside its deadline's EPS window fails the
+        // margin test via min_rd < 1.
+        assert!(!screens_zero_risk(
+            ShareDiscipline::WorkConserving,
+            1.0,
+            0.0,
+            f64::INFINITY,
+            pj(0.1, 0.5),
+            0.0
+        ));
+    }
+
+    #[test]
+    fn screen_margin_exists_for_a_reason_floor_distortion() {
+        // Why `S < 1` alone is not a sound screen: a segment boundary
+        // landing inside a job's final EPS_DEADLINE window rewrites its
+        // share from rem/rd to rem/1.0, collapsing its urgency against a
+        // long-deadline co-resident. The screen must decline any node
+        // whose margin allows a job to still be alive in that window —
+        // here margin = min_rd·(1−S) ≈ 1.4 × 0.011 ≪ 1.
+        let jobs = [pj(1.3, 1.4)];
+        let cand = pj(60.0, 1000.0);
+        let now = 0.0;
+        let mut shares = Vec::new();
+        let sum = first_segment_shares(&jobs, now, &mut shares);
+        assert!(
+            sum + 60.0 / 1000.0 < 1.0,
+            "the naive share test would have passed"
+        );
+        assert!(!screens_zero_risk(
+            ShareDiscipline::WorkConserving,
+            1.0,
+            sum,
+            min_abs_deadline(&jobs),
+            cand,
+            now,
+        ));
+    }
+
+    #[test]
+    fn min_abs_deadline_handles_empty() {
+        assert_eq!(min_abs_deadline(&[]), f64::INFINITY);
+        assert_eq!(min_abs_deadline(&[pj(1.0, 5.0), pj(1.0, 3.0)]), 3.0);
     }
 
     #[test]

@@ -168,8 +168,9 @@ struct ShareIndex {
     entries: Vec<ShareEntry>,
     /// `pos[node]` = index of that node's entry in `entries`.
     pos: Vec<u32>,
-    /// Per-node epochs the shares were computed at.
-    node_epochs: Vec<u64>,
+    /// Per-node epoch pairs the shares were computed at (see
+    /// [`ProportionalCluster::node_epoch`]).
+    node_epochs: Vec<(u64, u64)>,
     /// Engine global epoch the whole index was validated at.
     global_epoch: u64,
     /// `false` until the first build.
@@ -214,6 +215,10 @@ pub struct ProportionalCluster {
     /// Per-slot Eq. 1 share computed by recompute pass 1 and consumed by
     /// pass 2 (engine-owned scratch; garbage between recomputes).
     share_scratch: Vec<f64>,
+    /// Per-slot event-gap candidate computed by pass 2's dense sweep and
+    /// consumed by its ordered min-fold (engine-owned scratch; free-list
+    /// lanes hold garbage — possibly NaN — that the fold never reads).
+    dt_scratch: Vec<f64>,
     /// Cold state; `None` marks a free slot.
     meta: Vec<Option<ResidentMeta>>,
     /// Live slots sorted by ascending `JobId` — the canonical iteration
@@ -231,13 +236,31 @@ pub struct ProportionalCluster {
     /// fault-free runs, keeping their utilisation bitwise unchanged.
     down_integral: f64,
     node_busy: Vec<f64>,
-    /// Bumped whenever a node's scheduler-visible state (resident set,
-    /// remaining estimates, or the `now` they are evaluated at) changes;
-    /// lets decision layers cache per-node projections.
+    /// Discrete component of the per-node epoch pair: bumped on the
+    /// node's *discrete* scheduler-visible changes (admission, removal,
+    /// estimate re-arm, fail/restore). Plain time advances do not touch
+    /// it — [`ProportionalCluster::node_epoch`] pairs it with
+    /// `global_epoch` for occupied nodes so advances still invalidate
+    /// without a per-node write.
     node_epochs: Vec<u64>,
+    /// Bumped only when a node's resident *membership* changes — a job
+    /// admitted to or removed from the node, a resident's estimate
+    /// re-armed after an overrun, or the node failing/restoring. Plain
+    /// time advances leave it alone, so decision layers can cache per-node structure
+    /// that survives advances: the set of arena slots resident on the
+    /// node and any ordering over them stay valid exactly while this
+    /// counter stands still.
+    membership_epoch: Vec<u64>,
+    /// Earliest absolute deadline among each node's residents
+    /// (`+inf` when empty), maintained at membership changes so the
+    /// admission screen reads one packed array instead of walking
+    /// `node_jobs` per candidate. Deadlines are fixed per job, so plain
+    /// advances and estimate re-arms cannot move it.
+    node_min_dl: Vec<f64>,
     /// Occupancy bitmask over nodes (bit = node hosts ≥1 resident),
-    /// maintained by admit/unlink so the per-advance epoch bump walks
-    /// only occupied nodes instead of scanning every node's list header.
+    /// maintained by admit/unlink; serves O(1) occupancy tests for
+    /// [`ProportionalCluster::node_epoch`]'s time component and the
+    /// occupancy-guarded share-total reads.
     occ_mask: Vec<u64>,
     /// Bumped whenever *any* node epoch is bumped — an O(1) "did anything
     /// change since I last looked" check for cluster-wide caches like the
@@ -253,6 +276,15 @@ pub struct ProportionalCluster {
     /// untouched, so they skip the recompute entirely — the flag is what
     /// makes same-instant event batches cost one recompute, not one each.
     rates_clean: bool,
+    /// `true` while `share_scratch`/`totals_scratch` hold the values the
+    /// last *fast-path* recompute produced (valid per the lazy-zeroing
+    /// contract). [`ProportionalCluster::recompute_rates_reference`]
+    /// computes its totals into a local buffer — it produces bitwise the
+    /// same rates but leaves the engine scratch stale, so incremental
+    /// paths that extend the scratch (`admit`'s pass-1 shortcut, the
+    /// occupancy-guarded share-total read) must check this flag, not just
+    /// `rates_clean`, and fall back to a full recompute when it is down.
+    scratch_valid: bool,
     /// Reusable worklist for completions discovered by the progress pass.
     completed_scratch: Vec<u32>,
     /// Reusable worklist for `fail_node` victims.
@@ -284,8 +316,10 @@ fn event_dt(
 ) -> f64 {
     let mut dt = f64::INFINITY;
     if rate > 0.0 {
-        dt = dt.min(remaining_work / rate);
-        dt = dt.min(remaining_est / rate);
+        // min(w, e) / r is bitwise min(w / r, e / r): division by a
+        // positive rate is monotone and rounds each operand identically,
+        // so taking the min first saves a division without moving a bit.
+        dt = dt.min(remaining_work.min(remaining_est) / rate);
     }
     let to_deadline = abs_deadline - now;
     if to_deadline > EPS_WORK {
@@ -317,6 +351,7 @@ impl ProportionalCluster {
             gang_start: Vec::new(),
             gang_nodes: Vec::new(),
             share_scratch: Vec::new(),
+            dt_scratch: Vec::new(),
             meta: Vec::new(),
             order: Vec::new(),
             free_slots: Vec::new(),
@@ -326,10 +361,13 @@ impl ProportionalCluster {
             down_integral: 0.0,
             node_busy: vec![0.0; n],
             node_epochs: vec![0; n],
+            membership_epoch: vec![0; n],
+            node_min_dl: vec![f64::INFINITY; n],
             occ_mask: vec![0; n.div_ceil(64)],
             global_epoch: 0,
             next_dt: f64::INFINITY,
             rates_clean: true,
+            scratch_valid: true,
             completed_scratch: Vec::new(),
             victims_scratch: Vec::new(),
             totals_scratch: vec![0.0; n],
@@ -422,6 +460,7 @@ impl ProportionalCluster {
         self.node0.push(0);
         self.gang_start.push(0);
         self.share_scratch.push(0.0);
+        self.dt_scratch.push(0.0);
         self.meta.push(None);
         s
     }
@@ -460,6 +499,7 @@ impl ProportionalCluster {
             seen.dedup();
             assert_eq!(seen.len(), nodes.len(), "duplicate node in allocation");
         }
+        let was_clean = self.rates_clean;
         let est = job.estimate.as_secs().max(EPS_WORK);
         let work = job.runtime.as_secs().max(EPS_WORK);
         if self.order.is_empty() {
@@ -469,16 +509,26 @@ impl ProportionalCluster {
         }
         let s = self.alloc_slot();
         self.gang_start[s as usize] = self.gang_nodes.len() as u32;
+        let dl = job.absolute_deadline().as_secs();
         let mut slots = Vec::with_capacity(nodes.len());
         for n in &nodes {
             assert!(self.node_is_up(*n), "cannot admit {} onto down {n}", job.id);
             let ni = n.0 as usize;
             let list = &mut self.node_jobs[ni];
+            if list.is_empty() {
+                // Unoccupied lanes hold stale totals (the recompute only
+                // zeroes occupied nodes); the incremental pass-1 below
+                // accumulates into this lane, so restore its zero on the
+                // empty→occupied transition.
+                self.totals_scratch[ni] = 0.0;
+            }
             slots.push(list.len() as u32);
             list.push(s);
             self.gang_nodes.push(n.0);
             self.occ_mask[ni / 64] |= 1u64 << (ni % 64);
             self.node_epochs[ni] += 1;
+            self.membership_epoch[ni] += 1;
+            self.node_min_dl[ni] = self.node_min_dl[ni].min(dl);
         }
         self.global_epoch += 1;
         let id = job.id;
@@ -487,7 +537,7 @@ impl ProportionalCluster {
         self.rate[si] = 0.0;
         self.remaining_work[si] = work;
         self.remaining_est[si] = est;
-        self.abs_deadline[si] = job.absolute_deadline().as_secs();
+        self.abs_deadline[si] = dl;
         self.estimate_secs[si] = job.estimate.as_secs();
         self.width[si] = nodes.len() as u32;
         self.width_f[si] = nodes.len() as f64;
@@ -499,15 +549,36 @@ impl ProportionalCluster {
             started: now,
             overruns: 0,
         });
-        match self
+        let pos = match self
             .order
             .binary_search_by(|&x| self.ids[x as usize].cmp(&id))
         {
             Ok(_) => panic!("{id} is already resident"),
-            Err(pos) => self.order.insert(pos, s),
+            Err(pos) => {
+                self.order.insert(pos, s);
+                pos
+            }
+        };
+        // Incremental pass 1: when the totals are clean at this instant
+        // and the new job's id sorts last (ids are issued monotonically,
+        // so this is the common case), the reference's from-zero job-id
+        // order sum over each of its nodes is exactly the old clean
+        // total plus the new share — same left-fold, same bits. Any
+        // other case falls back to the full recompute.
+        if was_clean && self.scratch_valid && pos + 1 == self.order.len() {
+            let now_s = now.as_secs();
+            let rd = (self.abs_deadline[si] - now_s).max(EPS_DEADLINE);
+            let share = self.remaining_est[si].max(EPS_WORK) / rd;
+            self.share_scratch[si] = share;
+            let start = self.gang_start[si] as usize;
+            for gi in start..start + self.width[si] as usize {
+                self.totals_scratch[self.gang_nodes[gi] as usize] += share;
+            }
+            self.recompute_pass2();
+        } else {
+            self.rates_clean = false;
+            self.recompute_rates();
         }
-        self.rates_clean = false;
-        self.recompute_rates();
     }
 
     /// Advances the engine to `to`, returning jobs whose actual work
@@ -536,10 +607,58 @@ impl ProportionalCluster {
         if dt > 0.0 && !self.order.is_empty() {
             self.global_epoch += 1;
             self.rates_clean = false;
+            let now_s = now.as_secs();
             let mut completed = std::mem::take(&mut self.completed_scratch);
             completed.clear();
             // Progress pass, ascending job-id order: `busy_integral` and
             // `node_busy` accumulate in the reference's summation order.
+            //
+            // Fusion: most advances complete and re-arm nothing — for
+            // those, recompute pass 1 (the Eq. 1 share of each survivor
+            // at `to`, summed into per-node totals) is computed here,
+            // inside the same sweep, in the same ascending job-id order
+            // and from the same post-progress beliefs the standalone
+            // pass would read — bitwise identical by construction. The
+            // first completion or re-arm poisons the fused totals
+            // (earlier accumulations assumed a survivor set that just
+            // changed), so `fused` drops and the tail of the sweep skips
+            // share work; the full recompute below then rebuilds totals
+            // from zero exactly as before.
+            // Dense pre-pass (arena densely populated only): apply
+            // progress to every arena slot and compute each survivor's
+            // candidate post-progress share. Free-list lanes advance
+            // stale beliefs into garbage nothing reads (the bookkeeping
+            // fold below walks `order`; a reused slot is fully
+            // re-initialised by `admit`); live lanes see bitwise the
+            // subtraction and quotient the ordered loop computes inline
+            // in the sparse case — same operands, same expressions —
+            // while the branch-free sweeps pipeline the divisions. A
+            // slot this advance completes or re-arms gets a garbage
+            // share too, but those poison `fused` and force the full
+            // recompute anyway.
+            let n_slots = self.ids.len();
+            let dense = self.dense_sweeps_pay();
+            if dense {
+                {
+                    let rates = &self.rate[..n_slots];
+                    let rw = &mut self.remaining_work[..n_slots];
+                    let re = &mut self.remaining_est[..n_slots];
+                    for i in 0..n_slots {
+                        let p = rates[i] * dt;
+                        rw[i] -= p;
+                        re[i] -= p;
+                    }
+                }
+                let dls = &self.abs_deadline[..n_slots];
+                let re = &self.remaining_est[..n_slots];
+                let shares = &mut self.share_scratch[..n_slots];
+                for i in 0..n_slots {
+                    let rd = (dls[i] - now_s).max(EPS_DEADLINE);
+                    shares[i] = re[i].max(EPS_WORK) / rd;
+                }
+            }
+            self.zero_touched_totals();
+            let mut fused = true;
             for &s in &self.order {
                 let si = s as usize;
                 let progress = self.rate[si] * dt;
@@ -552,33 +671,58 @@ impl ProportionalCluster {
                         self.node_busy[ni as usize] += progress;
                     }
                 }
-                self.remaining_work[si] -= progress;
-                self.remaining_est[si] -= progress;
+                if !dense {
+                    self.remaining_work[si] -= progress;
+                    self.remaining_est[si] -= progress;
+                }
                 if self.remaining_work[si] <= EPS_WORK {
                     completed.push(s);
+                    fused = false;
                 } else if self.remaining_est[si] <= EPS_WORK {
                     // Overrun: the scheduler's belief was exhausted but the
                     // job is still running — re-arm a residual estimate.
                     self.remaining_est[si] = (self.cfg.residual_fraction * self.estimate_secs[si])
                         .max(self.cfg.residual_floor);
                     self.meta[si].as_mut().expect("resident has meta").overruns += 1;
+                    // A re-arm is a discontinuous belief change, not a
+                    // proportional drift — membership-keyed caches must
+                    // drop the node.
+                    if self.width[si] == 1 {
+                        self.membership_epoch[self.node0[si] as usize] += 1;
+                    } else {
+                        let start = self.gang_start[si] as usize;
+                        for &ni in &self.gang_nodes[start..start + self.width[si] as usize] {
+                            self.membership_epoch[ni as usize] += 1;
+                        }
+                    }
+                    fused = false;
+                } else if fused {
+                    let share = if dense {
+                        // Already computed by the dense pre-pass.
+                        self.share_scratch[si]
+                    } else {
+                        let rd = (self.abs_deadline[si] - now_s).max(EPS_DEADLINE);
+                        let share = self.remaining_est[si].max(EPS_WORK) / rd;
+                        self.share_scratch[si] = share;
+                        share
+                    };
+                    if self.width[si] == 1 {
+                        self.totals_scratch[self.node0[si] as usize] += share;
+                    } else {
+                        let start = self.gang_start[si] as usize;
+                        for &ni in &self.gang_nodes[start..start + self.width[si] as usize] {
+                            self.totals_scratch[ni as usize] += share;
+                        }
+                    }
                 }
             }
             // Remaining estimates and `now` both moved: every projection
-            // involving an occupied node is invalidated. One bump per
-            // occupied node — epoch values are only ever compared for
-            // equality, so collapsing the historical per-(job, node) bumps
-            // into one per node changes no cache-visible behaviour. The
-            // occupancy bitmask walks set bits in ascending node order
-            // instead of scanning every node's list header.
-            for (w, &bits) in self.occ_mask.iter().enumerate() {
-                let mut b = bits;
-                while b != 0 {
-                    let n = w * 64 + b.trailing_zeros() as usize;
-                    self.node_epochs[n] += 1;
-                    b &= b - 1;
-                }
-            }
+            // involving an occupied node is invalidated. No per-node write
+            // is needed for that — `node_epoch()` pairs the discrete
+            // per-node counter with `global_epoch` (already bumped above)
+            // for occupied nodes, so every occupied node's epoch pair
+            // advanced the moment `global_epoch` did. Empty nodes pin the
+            // time component to zero and correctly stay valid.
             for &s in &completed {
                 let r = self.release_slot(s);
                 for (n, &slot) in r.nodes.iter().zip(&r.slots) {
@@ -592,6 +736,14 @@ impl ProportionalCluster {
                 });
             }
             self.completed_scratch = completed;
+            self.last_update = now;
+            if fused {
+                // Totals and shares are already current (rebuilt from the
+                // post-progress beliefs above, reading no prior scratch) —
+                // run pass 2 only (it flips `rates_clean` back on).
+                self.scratch_valid = true;
+                self.recompute_pass2();
+            }
         }
         self.last_update = now;
         if !self.rates_clean {
@@ -634,7 +786,12 @@ impl ProportionalCluster {
                 } else if self.remaining_est[si] <= EPS_WORK {
                     self.remaining_est[si] = (self.cfg.residual_fraction * self.estimate_secs[si])
                         .max(self.cfg.residual_floor);
-                    self.meta[si].as_mut().expect("resident has meta").overruns += 1;
+                    let m = self.meta[si].as_mut().expect("resident has meta");
+                    m.overruns += 1;
+                    let nodes = m.nodes.clone();
+                    for n in nodes {
+                        self.membership_epoch[n.0 as usize] += 1;
+                    }
                 }
             }
         }
@@ -713,6 +870,7 @@ impl ProportionalCluster {
         }
         self.victims_scratch = victims;
         self.node_epochs[node.0 as usize] += 1;
+        self.membership_epoch[node.0 as usize] += 1;
         self.global_epoch += 1;
         self.rates_clean = false;
         self.recompute_rates();
@@ -734,6 +892,7 @@ impl ProportionalCluster {
         self.down[node.0 as usize] = false;
         self.down_count -= 1;
         self.node_epochs[node.0 as usize] += 1;
+        self.membership_epoch[node.0 as usize] += 1;
         self.global_epoch += 1;
     }
 
@@ -742,6 +901,7 @@ impl ProportionalCluster {
     /// whichever job was moved into the vacated position.
     fn remove_from_node(&mut self, node: NodeId, pos: usize, s: u32) {
         let ni = node.0 as usize;
+        self.membership_epoch[ni] += 1;
         let list = &mut self.node_jobs[ni];
         debug_assert_eq!(list[pos], s, "slot bookkeeping out of sync");
         list.swap_remove(pos);
@@ -760,6 +920,15 @@ impl ProportionalCluster {
                 .expect("moved job listed on node");
             m.slots[p] = pos as u32;
         }
+        // Min-fold over f64 is order-independent (deadlines are finite
+        // and positive), so a rebuild over the post-swap list yields the
+        // same bits any other order would.
+        let mut min_dl = f64::INFINITY;
+        for i in 0..self.node_jobs[ni].len() {
+            let r = self.node_jobs[ni][i] as usize;
+            min_dl = min_dl.min(self.abs_deadline[r]);
+        }
+        self.node_min_dl[ni] = min_dl;
     }
 
     /// The next instant the engine needs to be advanced to: the earliest
@@ -822,8 +991,25 @@ impl ProportionalCluster {
     /// value (it covers admissions, completions, estimate drift, and the
     /// advancement of `now` itself), so decision layers can memoise on
     /// `(node_epoch, ...)` keys.
-    pub fn node_epoch(&self, node: NodeId) -> u64 {
-        self.node_epochs[node.0 as usize]
+    ///
+    /// Composed on the fly as `(discrete epoch, time epoch)`: discrete
+    /// per-node changes bump `node_epochs`; the advancement of `now` —
+    /// which shifts every *occupied* node's projection at once — is
+    /// covered by the cluster-wide `global_epoch` instead of a per-node
+    /// bump, so the advance hot loop never walks the node table. An
+    /// empty node's projection is independent of `now`, so its time
+    /// component pins to zero and survives advances. Pairs strictly
+    /// increase lexicographically (every discrete change bumps the first
+    /// component; `global_epoch` never decreases), so a value can never
+    /// recur and equality remains a sound cache-validity test.
+    pub fn node_epoch(&self, node: NodeId) -> (u64, u64) {
+        let ni = node.0 as usize;
+        let time_epoch = if self.occ_mask[ni / 64] >> (ni % 64) & 1 == 1 {
+            self.global_epoch
+        } else {
+            0
+        };
+        (self.node_epochs[ni], time_epoch)
     }
 
     /// Cluster-wide change counter: bumped whenever *any* node epoch is
@@ -831,6 +1017,76 @@ impl ProportionalCluster {
     /// in between, so any cluster-wide cache keyed on it is still valid.
     pub fn global_epoch(&self) -> u64 {
         self.global_epoch
+    }
+
+    /// Change counter of a node's resident *membership*: admissions onto
+    /// and removals from the node, estimate re-arms of its residents, and
+    /// fail/restore — but *not* plain time advances. The set of arena
+    /// slots resident on the node (and any caller-cached ordering over
+    /// them) is valid exactly as long as this value, even across
+    /// advances; per-slot *values* still drift with time and must be
+    /// re-read through the slot accessors.
+    pub fn node_membership_epoch(&self, node: NodeId) -> u64 {
+        self.membership_epoch[node.0 as usize]
+    }
+
+    /// Earliest absolute deadline among the node's residents (`+∞` when
+    /// idle) — one of the two inputs the pre-kernel zero-risk screen
+    /// needs (deadlines are per-job constants, so the minimum is exact
+    /// and order-free). Served from a packed per-node array maintained
+    /// at membership changes, so a candidate sweep touching every node
+    /// stays out of the per-node resident lists.
+    #[inline]
+    pub fn node_min_deadline(&self, node: NodeId) -> f64 {
+        let cached = self.node_min_dl[node.0 as usize];
+        debug_assert_eq!(
+            cached.to_bits(),
+            self.node_jobs[node.0 as usize]
+                .iter()
+                .fold(f64::INFINITY, |m, &s| m.min(self.abs_deadline[s as usize]))
+                .to_bits(),
+            "stale node_min_dl for {node}"
+        );
+        cached
+    }
+
+    /// The node's Eq. 2 resident share total at the current instant,
+    /// served from the last rate recompute's per-node totals when they
+    /// are clean (the recompute already summed exactly these floored
+    /// shares while deriving rates). The accumulation order differs from
+    /// [`ProportionalCluster::node_total_share`] (global job-id order vs
+    /// resident-list order), so the result may differ in the last ulp —
+    /// fine for margin-bearing consumers like the zero-risk screen, not
+    /// for bitwise-pinned ones.
+    pub fn node_share_total_now(&self, node: NodeId) -> f64 {
+        let ni = node.0 as usize;
+        if self.rates_clean && self.scratch_valid {
+            // The recompute zeroes and refills only occupied nodes'
+            // lanes (see [`ProportionalCluster::zero_touched_totals`]);
+            // an unoccupied node's lane may hold a stale total, but its
+            // true share total is identically zero.
+            if self.occ_mask[ni / 64] >> (ni % 64) & 1 == 1 {
+                self.totals_scratch[ni]
+            } else {
+                0.0
+            }
+        } else {
+            self.node_total_share(node, None)
+        }
+    }
+
+    /// `(abs_deadline, remaining_est.max(EPS_WORK))` bit patterns of one
+    /// arena slot — the projection-visible state of a resident, exactly
+    /// as [`ProportionalCluster::node_projection_into`] would emit it.
+    /// Slot indices are only meaningful while the owning node's
+    /// [`ProportionalCluster::node_membership_epoch`] stands still.
+    #[inline]
+    pub fn slot_projection_bits(&self, s: u32) -> (u64, u64) {
+        let si = s as usize;
+        (
+            self.abs_deadline[si].to_bits(),
+            self.remaining_est[si].max(EPS_WORK).to_bits(),
+        )
     }
 
     /// Runs `f` over the share-ordered candidate index: one entry per
@@ -872,7 +1128,7 @@ impl ProportionalCluster {
             idx.node_epochs.clear();
             for node in 0..n {
                 let id = NodeId(node as u32);
-                idx.node_epochs.push(self.node_epochs[node]);
+                idx.node_epochs.push(self.node_epoch(id));
                 idx.entries.push(ShareEntry {
                     base_share: self.index_base_share(id),
                     node: id,
@@ -887,10 +1143,11 @@ impl ProportionalCluster {
         // share recomputed; re-sort only if some share actually changed.
         let mut dirty = false;
         for node in 0..n {
-            if idx.node_epochs[node] == self.node_epochs[node] {
+            let epoch = self.node_epoch(NodeId(node as u32));
+            if idx.node_epochs[node] == epoch {
                 continue;
             }
-            idx.node_epochs[node] = self.node_epochs[node];
+            idx.node_epochs[node] = epoch;
             let share = self.index_base_share(NodeId(node as u32));
             let p = idx.pos[node] as usize;
             if idx.entries[p].base_share.to_bits() != share.to_bits() {
@@ -927,24 +1184,33 @@ impl ProportionalCluster {
 
     /// [`ProportionalCluster::node_projection`] into a caller-owned buffer
     /// (cleared first) — the allocation-free variant for admission hot
-    /// paths holding a `ProjectionWorkspace`.
+    /// paths holding a `ProjectionWorkspace`. Returns the earliest
+    /// resident absolute deadline (`+∞` when nothing is resident), picked
+    /// up in the same pass so pre-kernel screens (see
+    /// `projection::screens_zero_risk`) need no second walk. The
+    /// tentative `extra` job is appended to `out` but excluded from the
+    /// returned minimum — it is per-candidate, not node state.
     pub fn node_projection_into(
         &self,
         node: NodeId,
         extra: Option<&Job>,
         out: &mut Vec<ProjectedJob>,
-    ) {
+    ) -> f64 {
         out.clear();
+        let mut min_dl = f64::INFINITY;
         for &s in &self.node_jobs[node.0 as usize] {
             let si = s as usize;
+            let abs_deadline = self.abs_deadline[si];
+            min_dl = min_dl.min(abs_deadline);
             out.push(ProjectedJob {
                 remaining_est: self.remaining_est[si].max(EPS_WORK),
-                abs_deadline: self.abs_deadline[si],
+                abs_deadline,
             });
         }
         if let Some(j) = extra {
             out.push(projected_job(j));
         }
+        min_dl
     }
 
     /// The Eq. 1 share a not-yet-admitted job would require, evaluated at
@@ -1037,16 +1303,72 @@ impl ProportionalCluster {
     /// accumulation happens in the reference implementation's order and
     /// the results are bitwise identical to
     /// [`ProportionalCluster::recompute_rates_reference`].
-    fn recompute_rates(&mut self) {
-        let now = self.last_update.as_secs();
-        self.totals_scratch.fill(0.0);
-        // Pass 1: per-node share totals from current beliefs, caching each
-        // job's Eq. 1 share for pass 2.
+    /// Whether the arena is populated densely enough that branch-free
+    /// full-arena sweeps (which also burn garbage work on free-list
+    /// lanes) beat gather loops over `order`. Either path computes
+    /// bitwise-identical values for every live lane, so the cutover is
+    /// pure scheduling — it cannot move a decision.
+    #[inline]
+    fn dense_sweeps_pay(&self) -> bool {
+        self.order.len() * 3 >= self.ids.len()
+    }
+
+    /// Zeroes exactly the per-node total lanes the recompute's ordered
+    /// accumulation will touch. A full `fill(0.0)` dirties 8·nodes bytes
+    /// of cache on every advance however few nodes are occupied; lanes
+    /// of unoccupied nodes can instead stay stale because every reader
+    /// is occupancy-guarded (`node_share_total_now`) or walks `order`.
+    /// Falls back to the contiguous fill when most nodes are in play.
+    #[inline]
+    fn zero_touched_totals(&mut self) {
+        if self.order.len() * 2 >= self.cluster.len() {
+            self.totals_scratch.fill(0.0);
+            return;
+        }
         for &s in &self.order {
             let si = s as usize;
-            let rd = (self.abs_deadline[si] - now).max(EPS_DEADLINE);
-            let share = self.remaining_est[si].max(EPS_WORK) / rd;
-            self.share_scratch[si] = share;
+            if self.width[si] == 1 {
+                self.totals_scratch[self.node0[si] as usize] = 0.0;
+            } else {
+                let start = self.gang_start[si] as usize;
+                for &ni in &self.gang_nodes[start..start + self.width[si] as usize] {
+                    self.totals_scratch[ni as usize] = 0.0;
+                }
+            }
+        }
+    }
+
+    fn recompute_rates(&mut self) {
+        let now = self.last_update.as_secs();
+        // Pass 1: every live slot's Eq. 1 share from current beliefs.
+        // When the arena is densely populated, a branch- and
+        // indirection-free sweep over every lane (free-list lanes divide
+        // stale beliefs into garbage nothing reads — all folds below
+        // walk `order`) lets the divisions pipeline and vectorize; live
+        // lanes get bitwise the quotient the ordered loop produces —
+        // same operands, same expression.
+        let n_slots = self.ids.len();
+        if self.dense_sweeps_pay() {
+            let dls = &self.abs_deadline[..n_slots];
+            let rems = &self.remaining_est[..n_slots];
+            let shares = &mut self.share_scratch[..n_slots];
+            for i in 0..n_slots {
+                let rd = (dls[i] - now).max(EPS_DEADLINE);
+                shares[i] = rems[i].max(EPS_WORK) / rd;
+            }
+        } else {
+            for &s in &self.order {
+                let si = s as usize;
+                let rd = (self.abs_deadline[si] - now).max(EPS_DEADLINE);
+                self.share_scratch[si] = self.remaining_est[si].max(EPS_WORK) / rd;
+            }
+        }
+        // Per-node totals accumulate in the reference's ascending job-id
+        // order (float sums are fold-order-sensitive).
+        self.zero_touched_totals();
+        for &s in &self.order {
+            let si = s as usize;
+            let share = self.share_scratch[si];
             if self.width[si] == 1 {
                 self.totals_scratch[self.node0[si] as usize] += share;
             } else {
@@ -1056,19 +1378,99 @@ impl ProportionalCluster {
                 }
             }
         }
-        // Pass 2: rates (gang = min over member nodes) and the running
-        // event-gap minimum.
+        self.scratch_valid = true;
+        self.recompute_pass2();
+    }
+
+    /// Pass 2 of the rate recompute: rates (gang = min over member
+    /// nodes) and the running event-gap minimum, consuming the per-node
+    /// totals and per-slot shares pass 1 left in engine scratch. Split
+    /// out so the advance progress loop can fuse pass 1 into its own
+    /// sweep when nothing discrete happened (see
+    /// [`ProportionalCluster::advance_into`]).
+    fn recompute_pass2(&mut self) {
+        let now = self.last_update.as_secs();
         let strict = matches!(self.cfg.discipline, ShareDiscipline::Strict);
+        let n_slots = self.ids.len();
+        let dense = self.dense_sweeps_pay();
+        if dense {
+            // Dense rate sweep over every arena slot via its first member
+            // node: exact for width-1 slots (same expression, same bits
+            // as the ordered fold's inline computation); a gang's true
+            // rate is the member-min, fixed up in the ordered fold below.
+            // Free-list lanes compute garbage (possibly ±inf) that only
+            // the dense event-gap sweep reads — and the ordered fold
+            // discards those lanes.
+            {
+                let shares = &self.share_scratch[..n_slots];
+                let node0 = &self.node0[..n_slots];
+                let rates = &mut self.rate[..n_slots];
+                if strict {
+                    for i in 0..n_slots {
+                        let ni = node0[i] as usize;
+                        rates[i] = shares[i] / self.totals_scratch[ni].max(1.0) * self.speeds[ni];
+                    }
+                } else {
+                    for i in 0..n_slots {
+                        let ni = node0[i] as usize;
+                        rates[i] = shares[i] / self.totals_scratch[ni] * self.speeds[ni];
+                    }
+                }
+            }
+            // Dense event-gap sweep: branch-free rewrite of [`event_dt`],
+            // bitwise equal on live width-1 lanes (the selects reproduce
+            // the reference's guards; `min` of the positive quotient with
+            // +inf is the quotient). Gang lanes hold a garbage gap (their
+            // dense rate is one member's, not the min) and are recomputed
+            // in the fold.
+            let rates = &self.rate[..n_slots];
+            let rw = &self.remaining_work[..n_slots];
+            let re = &self.remaining_est[..n_slots];
+            let dls = &self.abs_deadline[..n_slots];
+            let dts = &mut self.dt_scratch[..n_slots];
+            for i in 0..n_slots {
+                let r = rates[i];
+                let q = rw[i].min(re[i]) / r;
+                let dt0 = if r > 0.0 { q } else { f64::INFINITY };
+                let td = dls[i] - now;
+                let dtd = if td > EPS_WORK { td } else { f64::INFINITY };
+                dts[i] = dt0.min(dtd);
+            }
+        }
         let mut min_dt = f64::INFINITY;
         for &s in &self.order {
             let si = s as usize;
+            if self.width[si] == 1 {
+                let rate = if dense {
+                    self.rate[si]
+                } else {
+                    let ni = self.node0[si] as usize;
+                    let total = self.totals_scratch[ni];
+                    let denom = if strict { total.max(1.0) } else { total };
+                    let r = self.share_scratch[si] / denom * self.speeds[ni];
+                    self.rate[si] = r;
+                    r
+                };
+                // The share (and hence the rate) can underflow to exactly
+                // zero when a co-resident share is astronomically
+                // inflated; `event_dt` and the projection kernel
+                // tolerate that.
+                debug_assert!(rate.is_finite() && rate >= 0.0);
+                min_dt = min_dt.min(if dense {
+                    self.dt_scratch[si]
+                } else {
+                    event_dt(
+                        rate,
+                        self.remaining_work[si],
+                        self.remaining_est[si],
+                        self.abs_deadline[si],
+                        now,
+                    )
+                });
+                continue;
+            }
             let share = self.share_scratch[si];
-            let rate = if self.width[si] == 1 {
-                let ni = self.node0[si] as usize;
-                let total = self.totals_scratch[ni];
-                let denom = if strict { total.max(1.0) } else { total };
-                share / denom * self.speeds[ni]
-            } else {
+            let rate = {
                 let start = self.gang_start[si] as usize;
                 let mut rate = f64::INFINITY;
                 // Gang members frequently land on nodes with identical
@@ -1161,6 +1563,10 @@ impl ProportionalCluster {
         }
         self.next_dt = min_dt;
         self.rates_clean = true;
+        // The totals above lived in a local buffer: the engine scratch is
+        // now stale relative to `rate`/`next_dt`, and incremental
+        // consumers must rebuild it before extending it.
+        self.scratch_valid = false;
     }
 }
 

@@ -11,7 +11,7 @@
 //! Libra refuse jobs that would in fact have met their deadlines — the
 //! core weakness the paper demonstrates.
 
-use crate::policy::ShareAdmission;
+use crate::policy::{DecisionStats, ShareAdmission};
 use cluster::proportional::ProportionalCluster;
 use cluster::NodeId;
 use workload::Job;
@@ -32,6 +32,11 @@ pub const SHARE_EPSILON: f64 = 1e-9;
 pub struct Libra {
     name: String,
     suitable: Vec<(f64, NodeId)>,
+    /// Evaluation-volume counters of the most recent `decide` call.
+    /// Libra runs no projections, so only `nodes_considered` (share-index
+    /// entries actually tested) is ever nonzero — the monotone prune
+    /// settles every remaining node without evaluation.
+    stats: DecisionStats,
 }
 
 impl Default for Libra {
@@ -46,6 +51,7 @@ impl Libra {
         Libra {
             name: "Libra".to_string(),
             suitable: Vec::new(),
+            stats: DecisionStats::default(),
         }
     }
 
@@ -109,7 +115,12 @@ impl ShareAdmission for Libra {
         Some(("peak_share", peak))
     }
 
+    fn last_decision_stats(&self) -> Option<DecisionStats> {
+        Some(self.stats)
+    }
+
     fn decide(&mut self, engine: &ProportionalCluster, job: &Job) -> Option<Vec<NodeId>> {
+        self.stats = DecisionStats::default();
         let want = job.procs as usize;
         if want > engine.up_nodes() {
             return None;
@@ -129,6 +140,7 @@ impl ShareAdmission for Libra {
         self.suitable.clear();
         engine.with_share_index(|entries| {
             for e in entries {
+                self.stats.nodes_considered += 1;
                 let with_new = e.base_share + job_share;
                 if with_new > 1.0 + SHARE_EPSILON {
                     break;

@@ -20,11 +20,11 @@
 //!    (under-estimated) jobs — a node already in trouble projects unequal
 //!    delays and is avoided, where Libra would happily keep loading it.
 
-use crate::policy::ShareAdmission;
-use crate::risk_cache::CandidateMemo;
+use crate::policy::{DecisionStats, ShareAdmission};
+use crate::risk_cache::{class_key, CandidateMemo, ClassTable};
 use cluster::projection::{
-    is_zero_risk, node_risk, node_risk_single_segment, ProjectedJob, ProjectionWorkspace,
-    RiskSummary,
+    canonical_class_keys, canonicalize_projection, first_segment_shares, is_zero_risk, node_risk,
+    node_risk_single_segment, screens_zero_risk, ProjectedJob, ProjectionWorkspace, RiskSummary,
 };
 use cluster::proportional::{projected_job, ProportionalCluster};
 use cluster::NodeId;
@@ -60,8 +60,26 @@ pub const MU_EPSILON: f64 = 1e-9;
 /// evaluations against this frozen resident state.
 #[derive(Clone, Debug, Default)]
 struct NodeRiskCache {
-    epoch: Option<u64>,
+    epoch: Option<(u64, u64)>,
     jobs: Vec<ProjectedJob>,
+    /// Canonical load fingerprint of `jobs` — the sorted
+    /// `(deadline, remaining)` bit keys from
+    /// [`canonical_class_keys`]. Two nodes with equal lists (and equal
+    /// speed) are in the same equivalence class: their projections are a
+    /// permutation of each other, so they share one `(μ_j, σ_j)` verdict.
+    class_keys: Vec<(u64, u64)>,
+    /// Length-seeded hash of `class_keys` — the cheap prescreen before
+    /// the exact list compare.
+    class_hash: u64,
+    /// The projection kernel's first-segment shares of `jobs` at this
+    /// epoch's `now`, plus their left-to-right sum — the warm prefix the
+    /// kernel starts from instead of recomputing the opening share pass
+    /// per candidate (see `ProjectionWorkspace::node_risk_delta_prefixed`).
+    first_shares: Vec<f64>,
+    share_sum: f64,
+    /// Earliest resident absolute deadline (`+∞` when empty) — input to
+    /// the pre-kernel zero-risk screen.
+    min_deadline: f64,
     /// Resident-only [`RiskSummary`] — the node's cluster-risk
     /// contribution. `None` until queried at the current epoch.
     base: Option<RiskSummary>,
@@ -69,6 +87,30 @@ struct NodeRiskCache {
     /// candidate" at this epoch. Hits replay bit-identical results; a
     /// hit can therefore never flip a decision.
     memo: CandidateMemo,
+    /// The node's resident arena slots in canonical `(deadline,
+    /// remaining)` order — `jobs` is emitted by walking this permutation.
+    /// Valid per *membership* epoch (slot identity survives plain
+    /// advances), which is what lets the cross-decision pairing check
+    /// re-read current projection bits through it without rebuilding.
+    perm: Vec<u32>,
+    /// [`ProportionalCluster::node_membership_epoch`] the permutation was
+    /// built at; `None` before the first refresh.
+    perm_epoch: Option<u64>,
+    /// Cross-decision equivalence pairing: `(representative node,
+    /// representative's membership epoch, this node's membership epoch)`
+    /// captured when a confirmed class hit proved the two resident
+    /// multisets bitwise equal. The pairing is *self-verifying*: a replay
+    /// re-compares the current projection bits of both nodes through
+    /// their permutations, so it can only ever skip work, never import a
+    /// stale verdict.
+    pair: Option<(u32, u64, u64)>,
+    /// Decision sequence number of the last `(μ_j, σ_j)` evaluation
+    /// recorded below (`0` = never) — pairing replays only trust a
+    /// representative evaluated for *this* decision's candidate.
+    eval_stamp: u64,
+    /// `(μ_j, σ_j)` of "residents + candidate" recorded at `eval_stamp`.
+    eval_mu: f64,
+    eval_sigma: f64,
 }
 
 /// Cluster-wide aggregate of per-node resident risk contributions,
@@ -154,44 +196,47 @@ pub struct LibraRisk {
     /// instead of re-walking the cluster.
     gauge_stamp: Option<(u64, u64)>,
     gauge_memo: f64,
-    /// Per-decision profile table: one entry per *distinct* resident
-    /// profile `(slot list, speed)` evaluated so far in the current node
-    /// loop. Gang jobs occupy one arena slot listed on every member
-    /// node, so wide gangs leave long runs of nodes with bitwise-equal
-    /// projection inputs — the kernel runs once per profile and every
-    /// other node replays the identical `(μ_j, σ_j)`. Cleared at the top
-    /// of each decision; never reused across engine states.
-    profiles: Vec<ProfileEntry>,
-}
-
-/// One memoised `(μ_j, σ_j)` evaluation keyed by node profile — see
-/// [`LibraRisk::profiles`]. The slot list itself is not stored: `rep` is
-/// the first node seen with this profile, and an exact slot-list compare
-/// against the live engine resolves hash collisions.
-#[derive(Clone, Copy, Debug)]
-struct ProfileEntry {
-    hash: u64,
-    speed_bits: u64,
-    rep: NodeId,
-    mu: f64,
-    sigma: f64,
-}
-
-/// fx-style hash of a node's resident slot list (length-seeded so a
-/// prefix never collides with its extension).
-#[inline]
-fn slots_hash(slots: &[u32]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (slots.len() as u64);
-    for &s in slots {
-        h = (h.rotate_left(5) ^ u64::from(s)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    }
-    h
+    /// Per-decision equivalence-class table: one entry per *distinct*
+    /// `(canonical load class, speed)` profile that needed a projection
+    /// so far in the current node loop. This subsumes the old slot-list
+    /// dedupe (gang jobs leave bitwise-equal projection inputs) and goes
+    /// further: nodes whose residents are a *permutation* of each
+    /// other's — different slots, different admission order — also share
+    /// one kernel run, because `(μ_j, σ_j)` are symmetric in the job set.
+    /// Cleared at the top of each decision; never reused across engine
+    /// states.
+    classes: ClassTable,
+    /// When `false`, the pre-kernel zero-risk screen and class-result
+    /// reuse are disabled (signatures are still counted) — the "before"
+    /// arm of the kernel-volume experiment.
+    classifier: bool,
+    /// Evaluation-volume counters of the most recent `decide` call.
+    stats: DecisionStats,
+    /// Monotone decision counter — the validity stamp of per-node
+    /// `eval_*` records (a pairing replay only trusts a representative
+    /// evaluated for the current decision's candidate).
+    decide_seq: u64,
 }
 
 impl Default for LibraRisk {
     fn default() -> Self {
         Self::paper()
     }
+}
+
+/// Outcome of a cross-decision pairing probe (see
+/// [`NodeRiskCache::pair`]).
+enum PairingCheck {
+    /// Both memberships unchanged, the representative already holds a
+    /// verdict for this decision, and the live projection bits of the two
+    /// nodes compare equal — replay `(μ_j, σ_j)`.
+    Replay(f64, f64),
+    /// The pairing can no longer hold (membership moved, or the bits
+    /// diverged) — drop it.
+    Invalid,
+    /// The pairing may still be good but the representative has not been
+    /// evaluated for this decision yet — leave it in place.
+    NotReady,
 }
 
 impl LibraRisk {
@@ -209,7 +254,10 @@ impl LibraRisk {
             decision_stamp: None,
             gauge_stamp: None,
             gauge_memo: 0.0,
-            profiles: Vec::new(),
+            classes: ClassTable::new(),
+            classifier: true,
+            stats: DecisionStats::default(),
+            decide_seq: 0,
         }
     }
 
@@ -217,6 +265,12 @@ impl LibraRisk {
     /// with freshly allocated buffers. Kept as the differential reference
     /// — `decide` must return identical decisions — and as the baseline
     /// the admission benchmarks compare against.
+    ///
+    /// Residents are projected in canonical multiset order
+    /// ([`canonicalize_projection`], tentative candidate appended last),
+    /// matching the cached path: the projected `(μ_j, σ_j)` are then
+    /// well-defined functions of the resident multiset rather than of
+    /// the engine's internal slot order.
     pub fn decide_reference(&self, engine: &ProportionalCluster, job: &Job) -> Option<Vec<NodeId>> {
         let want = job.procs as usize;
         if want > engine.up_nodes() {
@@ -229,7 +283,9 @@ impl LibraRisk {
             if !engine.node_is_up(node.id) {
                 continue;
             }
-            let projected = engine.node_projection(node.id, Some(job));
+            let mut projected = engine.node_projection(node.id, None);
+            canonicalize_projection(&mut projected);
+            projected.push(projected_job(job));
             let speed = engine.cluster().speed_factor(node.id);
             let (mu, sigma) = if self.naive_projection {
                 node_risk_single_segment(&projected, now, speed, discipline)
@@ -309,6 +365,19 @@ impl LibraRisk {
         self
     }
 
+    /// Measurement knob for the kernel-volume experiment: with the
+    /// classifier off, the pre-kernel zero-risk screen and
+    /// class-result reuse are disabled — every evaluated node runs its
+    /// own projection (modulo the exact candidate memo) — while class
+    /// signatures are still computed and counted, so
+    /// [`DecisionStats::distinct_classes`] measures the same quantity in
+    /// both arms. Decisions are identical either way; only the work to
+    /// reach them changes. Defaults to on.
+    pub fn with_classifier(mut self, on: bool) -> Self {
+        self.classifier = on;
+        self
+    }
+
     /// Sizes the per-node cache to the engine's cluster.
     fn ensure_cache(&mut self, n: usize) {
         if self.cache.len() != n {
@@ -317,19 +386,120 @@ impl LibraRisk {
     }
 
     /// Revalidates one node's cache against its engine epoch: on a
-    /// mismatch the resident projection input is rebuilt and everything
-    /// derived from the old state (base contribution, candidate memo) is
-    /// dropped.
-    fn refresh_node(c: &mut NodeRiskCache, engine: &ProportionalCluster, node: NodeId) {
+    /// mismatch the resident projection input is rebuilt — along with the
+    /// canonical class signature, the kernel's first-segment share prefix
+    /// and the earliest resident deadline, all derived in the same pass —
+    /// and everything keyed to the old state (base contribution,
+    /// candidate memo) is dropped.
+    ///
+    /// Caching the share prefix against the epoch is sound because an
+    /// *occupied* node's epoch pins `(residents, now)` — any `dt > 0`
+    /// advance or churn event recomputes its shares and bumps the epoch —
+    /// while an *empty* node's cached state (no jobs, zero share sum,
+    /// `+∞` deadline) is independent of `now` altogether.
+    fn refresh_node(c: &mut NodeRiskCache, engine: &ProportionalCluster, node: NodeId, now: f64) {
         let epoch = engine.node_epoch(node);
         if c.epoch != Some(epoch) {
-            engine.node_projection_into(node, None, &mut c.jobs);
+            // Canonical evaluation order: every projection (and hence
+            // every (μ_j, σ_j) bit pattern) becomes a function of the
+            // resident *multiset* — equal-class nodes replay each other's
+            // kernel results exactly, and `decide_reference` (which
+            // canonicalizes too) stays a bitwise oracle. The slot
+            // permutation is sorted by the same `(deadline, remaining)`
+            // bit key `canonicalize_projection` uses, so emitting `jobs`
+            // through it reproduces that order bitwise while also
+            // capturing slot identity for the cross-decision pairing
+            // compare.
+            c.perm.clear();
+            c.perm.extend_from_slice(engine.node_slots(node));
+            c.perm
+                .sort_unstable_by_key(|&s| engine.slot_projection_bits(s));
+            c.perm_epoch = Some(engine.node_membership_epoch(node));
+            c.jobs.clear();
+            let mut min_dl = f64::INFINITY;
+            for &s in &c.perm {
+                let (dl_bits, rem_bits) = engine.slot_projection_bits(s);
+                let abs_deadline = f64::from_bits(dl_bits);
+                min_dl = min_dl.min(abs_deadline);
+                c.jobs.push(ProjectedJob {
+                    remaining_est: f64::from_bits(rem_bits),
+                    abs_deadline,
+                });
+            }
+            c.min_deadline = min_dl;
+            c.class_hash = canonical_class_keys(&c.jobs, &mut c.class_keys);
+            c.share_sum = first_segment_shares(&c.jobs, now, &mut c.first_shares);
             c.epoch = Some(epoch);
             c.base = None;
             if !c.memo.is_empty() {
                 c.memo.clear();
             }
         }
+    }
+
+    /// Probes this node's cross-decision pairing: checks that neither
+    /// node's membership moved since the pairing was recorded, that the
+    /// representative already holds a verdict for this decision's
+    /// candidate, and finally that the two resident multisets *still*
+    /// compare bitwise equal when read live through the canonical slot
+    /// permutations. O(residents), touches no cache state — the pairing
+    /// never trusts the evolution of the pair, only what the engine says
+    /// right now, so a replay is exactly as sound as the confirmed class
+    /// hit that created it.
+    fn pairing_replay(&self, engine: &ProportionalCluster, idx: usize, seq: u64) -> PairingCheck {
+        let c = &self.cache[idx];
+        let Some((rep, rep_ep, my_ep)) = c.pair else {
+            return PairingCheck::NotReady;
+        };
+        if engine.node_membership_epoch(NodeId(idx as u32)) != my_ep
+            || engine.node_membership_epoch(NodeId(rep)) != rep_ep
+            || c.perm_epoch != Some(my_ep)
+        {
+            return PairingCheck::Invalid;
+        }
+        let r = &self.cache[rep as usize];
+        if r.eval_stamp != seq {
+            return PairingCheck::NotReady;
+        }
+        if r.perm_epoch != Some(rep_ep)
+            || r.perm.len() != c.perm.len()
+            || engine.node_speed(NodeId(rep)).to_bits()
+                != engine.node_speed(NodeId(idx as u32)).to_bits()
+        {
+            return PairingCheck::Invalid;
+        }
+        for (&a, &b) in c.perm.iter().zip(&r.perm) {
+            if engine.slot_projection_bits(a) != engine.slot_projection_bits(b) {
+                return PairingCheck::Invalid;
+            }
+        }
+        PairingCheck::Replay(r.eval_mu, r.eval_sigma)
+    }
+
+    /// Diagnostic accessor for the staleness oracle tests: revalidates
+    /// `node`'s cache at the current engine state and returns its
+    /// `(class hash, share sum, min resident deadline, canonical keys)`.
+    /// Must always equal a from-scratch rebuild via
+    /// [`ProportionalCluster::node_projection`] +
+    /// [`canonical_class_keys`] / [`first_segment_shares`] — if the epoch
+    /// machinery ever failed to invalidate on churn, requeue or advance,
+    /// this would hand back the stale signature and the oracle would
+    /// catch it.
+    pub fn node_class_state(
+        &mut self,
+        engine: &ProportionalCluster,
+        node: NodeId,
+    ) -> (u64, f64, f64, Vec<(u64, u64)>) {
+        self.ensure_cache(engine.cluster().len());
+        let now = engine.now().as_secs();
+        let c = &mut self.cache[node.0 as usize];
+        Self::refresh_node(c, engine, node, now);
+        (
+            c.class_hash,
+            c.share_sum,
+            c.min_deadline,
+            c.class_keys.clone(),
+        )
     }
 
     /// The cluster-wide risk aggregate over *resident* jobs only (no
@@ -358,14 +528,23 @@ impl LibraRisk {
         };
         for node in engine.cluster().nodes() {
             let c = &mut self.cache[node.id.0 as usize];
-            Self::refresh_node(c, engine, node.id);
+            Self::refresh_node(c, engine, node.id, now);
             let s = match c.base {
                 Some(s) => s,
                 None => {
                     let speed = engine.cluster().speed_factor(node.id);
-                    let s = self
-                        .ws
-                        .node_risk_summary_with(&c.jobs, now, speed, discipline);
+                    // Warm-prefix entry: the cached first-segment shares
+                    // cover the whole resident list, so the kernel skips
+                    // its opening share pass (bitwise-identical result —
+                    // pinned by the reference differential below).
+                    let s = self.ws.node_risk_summary_prefixed(
+                        &c.jobs,
+                        &c.first_shares,
+                        c.share_sum,
+                        now,
+                        speed,
+                        discipline,
+                    );
                     c.base = Some(s);
                     s
                 }
@@ -410,7 +589,8 @@ impl LibraRisk {
             risky_nodes: 0,
         };
         for node in engine.cluster().nodes() {
-            let jobs = engine.node_projection(node.id, None);
+            let mut jobs = engine.node_projection(node.id, None);
+            canonicalize_projection(&mut jobs);
             let speed = engine.cluster().speed_factor(node.id);
             let s =
                 ProjectionWorkspace::new().node_risk_summary_with(&jobs, now, speed, discipline);
@@ -445,12 +625,22 @@ impl ShareAdmission for LibraRisk {
         Some(("cluster_risk", self.cluster_risk_mean_dd(engine)))
     }
 
+    fn last_decision_stats(&self) -> Option<DecisionStats> {
+        Some(self.stats)
+    }
+
     fn decide(&mut self, engine: &ProportionalCluster, job: &Job) -> Option<Vec<NodeId>> {
+        // Decisions that return before the node loop (width screen,
+        // whole-decision replay) evaluated nothing — report zeros rather
+        // than a stale prior decision's counters.
+        self.stats = DecisionStats::default();
         let want = job.procs as usize;
         if want > engine.up_nodes() {
             return None;
         }
         self.ensure_cache(engine.cluster().len());
+        self.decide_seq += 1;
+        let seq = self.decide_seq;
         let now = engine.now().as_secs();
         let discipline = engine.config().discipline;
         let tentative = projected_job(job);
@@ -480,10 +670,18 @@ impl ShareAdmission for LibraRisk {
             }
         }
         // Algorithm 1, lines 1–11: evaluate σ_j per node with the new job
-        // tentatively added.
+        // tentatively added — proving most verdicts *without* running the
+        // projection kernel. Per node, cheapest sufficient evidence wins:
+        // the zero-risk screen settles nodes with provable headroom in a
+        // handful of flops; the equivalence-class table replays the
+        // verdict of any node whose resident multiset and speed were
+        // already evaluated this decision; the exact candidate memo
+        // replays prior kernel outputs at this epoch; and only what
+        // survives all three runs the kernel (warm-started from the
+        // cached first-segment share prefix).
         self.zero_risk.clear();
-        let mut profiles = std::mem::take(&mut self.profiles);
-        profiles.clear();
+        self.classes.clear();
+        let mut stats = DecisionStats::default();
         let total_nodes = engine.cluster().len();
         for (scanned, node) in engine.cluster().nodes().iter().enumerate() {
             // Certain-rejection early-exit: even if this node and every
@@ -499,8 +697,37 @@ impl ShareAdmission for LibraRisk {
             if !engine.node_is_up(node.id) {
                 continue;
             }
-            let slots = engine.node_slots(node.id);
-            let suitable = if slots.is_empty() && !self.require_unit_mu && !self.naive_projection {
+            let idx = node.id.0 as usize;
+            stats.nodes_considered += 1;
+            let speed = engine.node_speed(node.id);
+            let share_total = engine.node_share_total_now(node.id);
+            let min_dl = engine.node_min_deadline(node.id);
+            let suitable = if self.classifier
+                && screens_zero_risk(discipline, speed, share_total, min_dl, tentative, now)
+            {
+                // Dominance screen: enough capacity headroom that every
+                // resident plus the candidate provably finishes at least
+                // `EPS_DEADLINE` early, which forces dd = 1.0 for every
+                // job → μ_j = 1.0 and σ_j = 0.0 *bitwise* (proof at
+                // [`screens_zero_risk`]) — suitable under every variant
+                // without projecting. The inputs come straight from the
+                // engine (the rate recompute's per-node share totals and
+                // a deadline min), so a screened node costs O(1) and
+                // never touches its risk cache. The engine total may
+                // differ from the canonical-order sum in the last ulp;
+                // the screen's `SCREEN_HEADROOM` margin absorbs that, and
+                // a fired screen equals the kernel verdict either way.
+                stats.screen_hits += 1;
+                true
+            } else if min_dl.is_infinite()
+                && engine.resident_count(node.id) == 0
+                && !self.require_unit_mu
+                && !self.naive_projection
+            {
+                // `min_dl == +∞` pre-gates the resident-list read:
+                // residents carry finite deadlines, so an occupied node
+                // short-circuits here without touching its list header
+                // (the count read stays as the authoritative confirm).
                 // Empty-node fast path: a lone job's deadline-delay is a
                 // single sample, so its population dispersion — Eq. 6's
                 // σ_j — is exactly 0.0 however late the projection runs.
@@ -509,38 +736,82 @@ impl ShareAdmission for LibraRisk {
                 // projection cannot flip a decision.
                 true
             } else {
-                let speed = engine.node_speed(node.id);
-                // Profile dedupe: the evaluation is a pure function of
-                // (resident slot list, speed) once (candidate, now,
-                // discipline) are fixed for this decision — gang jobs
-                // leave runs of nodes with identical lists, which replay
-                // the representative's exact `(μ_j, σ_j)` here instead of
-                // re-running the kernel per node.
-                let h = slots_hash(slots);
-                let sb = speed.to_bits();
-                let known = profiles
-                    .iter()
-                    .find(|e| {
-                        e.hash == h && e.speed_bits == sb && engine.node_slots(e.rep) == slots
-                    })
-                    .map(|e| (e.mu, e.sigma));
+                // Cross-decision pairing: a previous decision proved this
+                // node's resident multiset bitwise equal to a
+                // representative's. If both memberships are unchanged and
+                // the representative was already evaluated for *this*
+                // candidate, re-verify the equality against live engine
+                // bits and replay — no cache refresh, no hashing, no
+                // kernel. The compare walks both canonical slot
+                // permutations, so a stale pairing can only cost a
+                // recomputation, never import a wrong verdict.
+                let mut known = None;
+                if self.classifier {
+                    match self.pairing_replay(engine, idx, seq) {
+                        PairingCheck::Replay(mu, sigma) => {
+                            stats.pairing_hits += 1;
+                            known = Some((mu, sigma));
+                        }
+                        PairingCheck::Invalid => self.cache[idx].pair = None,
+                        PairingCheck::NotReady => {}
+                    }
+                }
+                if known.is_none() {
+                    // Equivalence class: (μ_j, σ_j) are symmetric
+                    // functions of the resident job multiset, so once
+                    // (candidate, now, discipline) are fixed for this
+                    // decision the verdict is a pure function of
+                    // (canonical class, speed). The hash is a prescreen;
+                    // a hit is confirmed by comparing the canonical key
+                    // lists exactly, so a 64-bit collision degrades to a
+                    // recomputation, never a wrong replay. A confirmed
+                    // hit also establishes the pairing that lets the
+                    // *next* decision skip the refresh and hash entirely.
+                    {
+                        let c = &mut self.cache[idx];
+                        Self::refresh_node(c, engine, node.id, now);
+                    }
+                    let c = &self.cache[idx];
+                    let ck = class_key(c.class_hash, speed);
+                    if self.classifier {
+                        if let Some((rep, mu, sigma)) = self.classes.get(ck) {
+                            if self.cache[rep as usize].class_keys == self.cache[idx].class_keys {
+                                known = Some((mu, sigma));
+                                let rep_ep = engine.node_membership_epoch(NodeId(rep));
+                                let my_ep = engine.node_membership_epoch(node.id);
+                                self.cache[idx].pair = Some((rep, rep_ep, my_ep));
+                            }
+                        }
+                    }
+                }
                 let (mu, sigma) = match known {
-                    Some(ms) => ms,
+                    Some(ms) => {
+                        stats.class_hits += 1;
+                        ms
+                    }
                     None => {
-                        let c = &mut self.cache[node.id.0 as usize];
-                        Self::refresh_node(c, engine, node.id);
                         let (mu, sigma) = if self.naive_projection {
+                            stats.projections_run += 1;
+                            let c = &self.cache[idx];
                             let stage = self.ws.stage();
                             stage.extend_from_slice(&c.jobs);
                             stage.push(tentative);
                             node_risk_single_segment(self.ws.staged(), now, speed, discipline)
-                        } else if c.jobs.is_empty() {
+                        } else if self.cache[idx].jobs.is_empty() {
                             // An empty node's projection depends on `now`,
                             // which its (never-bumped) epoch does not track
                             // — compute directly, never memoise per-node.
-                            let s = self
-                                .ws
-                                .node_risk_delta(&c.jobs, tentative, now, speed, discipline);
+                            stats.projections_run += 1;
+                            let c = &self.cache[idx];
+                            let s = self.ws.node_risk_delta_prefixed(
+                                &c.jobs,
+                                &c.first_shares,
+                                c.share_sum,
+                                tentative,
+                                now,
+                                speed,
+                                discipline,
+                            );
                             (s.mu, s.sigma)
                         } else if memo_live {
                             // Occupied node: its epoch pins (residents,
@@ -552,33 +823,75 @@ impl ShareAdmission for LibraRisk {
                                 tentative.remaining_est.to_bits(),
                                 tentative.abs_deadline.to_bits(),
                             );
-                            let s = match c.memo.get(key) {
-                                Some(s) => s,
+                            let s = match self.cache[idx].memo.get(key) {
+                                Some(s) => {
+                                    stats.memo_hits += 1;
+                                    s
+                                }
                                 None => {
-                                    let s = self.ws.node_risk_delta(
-                                        &c.jobs, tentative, now, speed, discipline,
-                                    );
-                                    c.memo.insert(key, s);
+                                    stats.projections_run += 1;
+                                    let c = &self.cache[idx];
+                                    // Verdict kernel: an early σ
+                                    // certification memoises (and
+                                    // replays) the same unsuitable
+                                    // verdict the full run would.
+                                    let s = self
+                                        .ws
+                                        .node_risk_verdict_prefixed(
+                                            &c.jobs,
+                                            &c.first_shares,
+                                            c.share_sum,
+                                            tentative,
+                                            now,
+                                            speed,
+                                            discipline,
+                                        )
+                                        .unwrap_or_else(|| {
+                                            stats.kernel_bails += 1;
+                                            RiskSummary::PROVABLY_RISKY
+                                        });
+                                    self.cache[idx].memo.insert(key, s);
                                     s
                                 }
                             };
                             (s.mu, s.sigma)
                         } else {
+                            stats.projections_run += 1;
+                            let c = &self.cache[idx];
                             let s = self
                                 .ws
-                                .node_risk_delta(&c.jobs, tentative, now, speed, discipline);
+                                .node_risk_verdict_prefixed(
+                                    &c.jobs,
+                                    &c.first_shares,
+                                    c.share_sum,
+                                    tentative,
+                                    now,
+                                    speed,
+                                    discipline,
+                                )
+                                .unwrap_or_else(|| {
+                                    stats.kernel_bails += 1;
+                                    RiskSummary::PROVABLY_RISKY
+                                });
                             (s.mu, s.sigma)
                         };
-                        profiles.push(ProfileEntry {
-                            hash: h,
-                            speed_bits: sb,
-                            rep: node.id,
-                            mu,
-                            sigma,
-                        });
+                        // Record the class even with the classifier off:
+                        // the "before" arm of the kernel-volume experiment
+                        // counts signatures without reusing results.
+                        let ck = class_key(self.cache[idx].class_hash, speed);
+                        self.classes.insert(ck, node.id.0, mu, sigma);
                         (mu, sigma)
                     }
                 };
+                // Every resolved node (kernel, hash hit or pairing
+                // replay) records its verdict for this decision so it can
+                // serve as a pairing representative itself.
+                {
+                    let c = &mut self.cache[idx];
+                    c.eval_stamp = seq;
+                    c.eval_mu = mu;
+                    c.eval_sigma = sigma;
+                }
                 is_zero_risk(sigma) && (!self.require_unit_mu || (mu - 1.0).abs() <= MU_EPSILON)
             };
             if suitable {
@@ -596,7 +909,8 @@ impl ShareAdmission for LibraRisk {
                 }
             }
         }
-        self.profiles = profiles;
+        stats.distinct_classes = self.classes.len() as u64;
+        self.stats = stats;
         // Lines 12–18: accept iff enough suitable nodes exist.
         let decision = if self.zero_risk.len() < want {
             None

@@ -12,6 +12,45 @@ use cluster::proportional::{ProportionalCluster, ProportionalConfig};
 use cluster::{Cluster, NodeId};
 use workload::{Job, Trace};
 
+/// Evaluation-volume accounting for one admission decision: how many
+/// nodes the candidate scan looked at and how much projection work the
+/// pre-kernel machinery (dominance screen, equivalence classes, memos)
+/// avoided. Costless to maintain — a handful of counter bumps per
+/// decision — so policies keep it unconditionally and the facade samples
+/// it into the metrics registry when a recorder is enabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DecisionStats {
+    /// Up nodes the scan actually evaluated (early exits excluded).
+    pub nodes_considered: u64,
+    /// Projection-kernel executions the decision performed.
+    pub projections_run: u64,
+    /// Nodes proven suitable by the pre-kernel dominance screen alone.
+    pub screen_hits: u64,
+    /// Nodes resolved by replaying another class member's evaluation
+    /// (same-decision hash-confirmed hits plus cross-decision pairing
+    /// replays).
+    pub class_hits: u64,
+    /// The subset of `class_hits` resolved by a cross-decision pairing —
+    /// no refresh, no hashing, just a live bitwise multiset compare
+    /// against the representative.
+    pub pairing_hits: u64,
+    /// Kernel runs (counted in `projections_run`) that ended in an early
+    /// σ certification instead of a full timeline simulation.
+    pub kernel_bails: u64,
+    /// Nodes resolved from the per-node exact candidate memo.
+    pub memo_hits: u64,
+    /// Distinct `(load class, speed)` profiles that needed a projection
+    /// this decision.
+    pub distinct_classes: u64,
+}
+
+impl DecisionStats {
+    /// Evaluations that did not run the projection kernel.
+    pub fn projections_avoided(&self) -> u64 {
+        self.nodes_considered.saturating_sub(self.projections_run)
+    }
+}
+
 /// Decision logic of a proportional-share admission control (Libra,
 /// LibraRisk and variants).
 ///
@@ -50,6 +89,14 @@ pub trait ShareAdmission {
     fn audit_gauge(&mut self, _engine: &ProportionalCluster) -> Option<(&'static str, f64)> {
         None
     }
+
+    /// Evaluation-volume counters of the most recent
+    /// [`ShareAdmission::decide`] call, for the facade's metrics and the
+    /// kernel-volume experiment. `None` when the policy does not track
+    /// them (queue-based policies, external implementations).
+    fn last_decision_stats(&self) -> Option<DecisionStats> {
+        None
+    }
 }
 
 /// A mutable borrow of a policy is itself a policy — lets callers keep
@@ -70,6 +117,10 @@ impl<T: ShareAdmission + ?Sized> ShareAdmission for &mut T {
 
     fn audit_gauge(&mut self, engine: &ProportionalCluster) -> Option<(&'static str, f64)> {
         (**self).audit_gauge(engine)
+    }
+
+    fn last_decision_stats(&self) -> Option<DecisionStats> {
+        (**self).last_decision_stats()
     }
 }
 

@@ -385,6 +385,17 @@ impl ProportionalBackend<'_> {
                 gauge,
             };
             note_decision(rec, now, seq, job_id, decision, audit, latency_ns);
+            // Evaluation-volume counters (kernel-volume experiment):
+            // how much projection work the decision ran vs avoided via
+            // the dominance screen / equivalence classes / memos.
+            if let Some(stats) = self.policy.last_decision_stats() {
+                if let Some(reg) = rec.registry_mut() {
+                    reg.add(keys::PROJECTIONS_RUN_TOTAL, stats.projections_run);
+                    reg.add(keys::PROJECTIONS_AVOIDED_TOTAL, stats.projections_avoided());
+                    reg.add(keys::DECISION_CLASSES_TOTAL, stats.distinct_classes);
+                    reg.add(keys::SCREENED_ZERO_RISK_TOTAL, stats.screen_hits);
+                }
+            }
         }
         decision
     }

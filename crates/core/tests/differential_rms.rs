@@ -132,6 +132,58 @@ fn unified_driver_matches_golden_fixture() {
     );
 }
 
+/// Rewrites the golden fixture from the current unified driver. Ignored
+/// by default — run explicitly (`cargo test -p librisk --test
+/// differential_rms -- --ignored regenerate_golden_fixture`) only after
+/// an *intentional* semantic re-pin, and review the resulting diff like
+/// any other code change. Last re-pin: canonical projection order — risk
+/// projections now evaluate residents sorted by (deadline, remaining)
+/// rather than by engine slot order, so `(μ_j, σ_j)` bits are functions
+/// of the resident multiset and no longer leak admission history; the
+/// only observable drift was LibraRisk-NaiveProj placement in
+/// σ-at-noise-scale boundary cases.
+#[test]
+#[ignore = "writes the golden fixture; run only for an intentional semantic re-pin"]
+fn regenerate_golden_fixture() {
+    let mut out = String::new();
+    for seed in [7u64, 4242] {
+        for kind in PolicyKind::ALL {
+            let trace = synthetic_trace(180, seed);
+            let report = kind.run(&small_cluster(), &trace);
+            out.push_str(&format!(
+                "policy {kind:?} name {} seed {seed} utilization {:016x}\n",
+                report.policy,
+                report.utilization.to_bits()
+            ));
+            for (i, rec) in report.records.iter().enumerate() {
+                match rec.outcome {
+                    Outcome::Rejected { at, .. } => {
+                        out.push_str(&format!("{i} R {:016x}\n", at.as_secs().to_bits()));
+                    }
+                    Outcome::Completed { started, finish } => {
+                        out.push_str(&format!(
+                            "{i} C {:016x} {:016x}\n",
+                            started.as_secs().to_bits(),
+                            finish.as_secs().to_bits()
+                        ));
+                    }
+                    Outcome::Killed { .. } => {
+                        panic!("{kind:?} seed {seed} job {i}: killed without faults")
+                    }
+                }
+            }
+        }
+    }
+    std::fs::write(
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/fixtures/golden_outcomes.txt"
+        ),
+        out,
+    )
+    .expect("fixture written");
+}
+
 /// Replays a trace through the facade with extra `advance` calls wedged
 /// between submissions at `frac` of each inter-arrival gap, collecting
 /// every streamed event.

@@ -232,3 +232,179 @@ proptest! {
         );
     }
 }
+
+/// One churn action, folded over the live node state: the target's
+/// current up/down status decides between `fail_node` and
+/// `restore_node`, so any index sequence is valid and both transitions
+/// get exercised against the same decision stream.
+fn apply_churn(engine: &mut ProportionalCluster, target: u32) {
+    let node = NodeId(target % engine.cluster().len() as u32);
+    let now = engine.now();
+    if engine.node_is_up(node) {
+        // Displaced jobs are dropped: the point here is cache
+        // invalidation, not recovery policy (covered elsewhere).
+        engine.fail_node(node, now);
+    } else {
+        engine.restore_node(node, now);
+    }
+}
+
+/// Mirrors [`assert_cached_matches_reference`] with node churn woven
+/// between arrivals: every decision the classified scan produces after a
+/// `fail_node`/`restore_node` must still equal the from-scratch
+/// reference's verdict and node list.
+fn assert_cached_matches_reference_under_churn<P, R>(
+    policy: &mut P,
+    reference: R,
+    arrivals: &[Arrival],
+    churn: &[u32],
+    nodes: usize,
+) where
+    P: ShareAdmission,
+    R: Fn(&P, &ProportionalCluster, &Job) -> Option<Vec<NodeId>>,
+{
+    let cfg = ProportionalConfig::default();
+    let mut engine = ProportionalCluster::new(Cluster::homogeneous(nodes, 168.0), cfg);
+    for (i, a) in arrivals.iter().enumerate() {
+        if let Some(&target) = churn.get(i % churn.len().max(1)) {
+            if (target as usize) < nodes {
+                apply_churn(&mut engine, target);
+            }
+        }
+        let now = engine.now();
+        let j = job_at(i as u64, a, now);
+        let cached = policy.decide(&engine, &j);
+        let scratch = reference(policy, &engine, &j);
+        assert_eq!(
+            cached,
+            scratch,
+            "{}: cached decision diverged from reference at arrival {i} (churned)",
+            policy.name()
+        );
+        if let Some(alloc) = cached {
+            engine.admit(j, alloc, now);
+        }
+        if a.advance_frac > 0.0 {
+            if let Some(next) = engine.next_event_time() {
+                let dt = (next - now).as_secs() * a.advance_frac;
+                engine.advance(now + SimDuration::from_secs(dt));
+            }
+        }
+    }
+    let mut guard = 0;
+    while let Some(t) = engine.next_event_time() {
+        engine.advance(t);
+        guard += 1;
+        assert!(guard < 200_000, "engine failed to converge");
+    }
+}
+
+// Tentpole pin: the classified candidate scan (equivalence classes,
+// pairing replay, verdict-kernel bail-outs, screens) under *churn* at
+// full cluster width. Fewer cases for the same reason as the fault-free
+// 128-node sweep: the from-scratch reference is the expensive half.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn decisions_match_reference_at_128_nodes_under_churn(
+        arrivals in proptest::collection::vec(arrival(), 1..40),
+        // A draw below the node count churns that node; the upper half
+        // of the range is a no-op step (~50% churn density).
+        churn in proptest::collection::vec(0u32..256, 1..40),
+    ) {
+        let mut libra = Libra::new();
+        assert_cached_matches_reference_under_churn(
+            &mut libra,
+            |p: &Libra, e, j| p.decide_reference(e, j),
+            &arrivals,
+            &churn,
+            128,
+        );
+        let mut lr = LibraRisk::paper();
+        assert_cached_matches_reference_under_churn(
+            &mut lr,
+            |p: &LibraRisk, e, j| p.decide_reference(e, j),
+            &arrivals,
+            &churn,
+            128,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Satellite: the per-node class signature (canonical key list, hash,
+    // first-segment share prefix sum, min resident deadline) must never
+    // go stale. After every interleaved submit / advance / fail_node /
+    // restore_node step, the epoch-cached state handed back by
+    // `node_class_state` is compared against a from-scratch rebuild off
+    // the engine's authoritative projection.
+    #[test]
+    fn class_signature_never_stale_under_churn(
+        arrivals in proptest::collection::vec(arrival(), 1..32),
+        churn in proptest::collection::vec(0u32..16, 1..32),
+    ) {
+        use cluster::projection::{
+            canonical_class_keys, canonicalize_projection, first_segment_shares,
+        };
+        let nodes = 8usize;
+        let cfg = ProportionalConfig::default();
+        let mut engine = ProportionalCluster::new(Cluster::homogeneous(nodes, 168.0), cfg);
+        let mut p = LibraRisk::paper();
+        let check = |p: &mut LibraRisk, engine: &ProportionalCluster, ctx: &str| {
+            let now = engine.now().as_secs();
+            for n in 0..nodes {
+                let node = NodeId(n as u32);
+                let (hash, share_sum, min_dl, keys) = p.node_class_state(engine, node);
+                let mut jobs = engine.node_projection(node, None);
+                canonicalize_projection(&mut jobs);
+                let mut oracle_keys = Vec::new();
+                let oracle_hash = canonical_class_keys(&jobs, &mut oracle_keys);
+                let mut oracle_shares = Vec::new();
+                let oracle_sum = first_segment_shares(&jobs, now, &mut oracle_shares);
+                let oracle_min_dl = jobs
+                    .iter()
+                    .fold(f64::INFINITY, |m, j| m.min(j.abs_deadline));
+                prop_assert_eq!(keys, oracle_keys, "stale class keys on {} {}", node, ctx);
+                prop_assert_eq!(hash, oracle_hash, "stale class hash on {} {}", node, ctx);
+                prop_assert_eq!(
+                    share_sum.to_bits(),
+                    oracle_sum.to_bits(),
+                    "stale share prefix sum on {} {}",
+                    node,
+                    ctx
+                );
+                prop_assert_eq!(
+                    min_dl.to_bits(),
+                    oracle_min_dl.to_bits(),
+                    "stale min deadline on {} {}",
+                    node,
+                    ctx
+                );
+            }
+        };
+        for (i, a) in arrivals.iter().enumerate() {
+            if let Some(&target) = churn.get(i % churn.len().max(1)) {
+                if (target as usize) < nodes {
+                    apply_churn(&mut engine, target);
+                    check(&mut p, &engine, "after churn");
+                }
+            }
+            let now = engine.now();
+            let j = job_at(i as u64, a, now);
+            if let Some(alloc) = p.decide(&engine, &j) {
+                engine.admit(j, alloc, now);
+                check(&mut p, &engine, "after admit");
+            }
+            if a.advance_frac > 0.0 {
+                if let Some(next) = engine.next_event_time() {
+                    let dt = (next - now).as_secs() * a.advance_frac;
+                    engine.advance(now + SimDuration::from_secs(dt));
+                    check(&mut p, &engine, "after advance");
+                }
+            }
+        }
+    }
+}

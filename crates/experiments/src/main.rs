@@ -71,7 +71,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: experiments <fig1|fig2|fig3|fig4|ablation|robustness|heterogeneity|churn|\
-     budget|risk-profile|convergence|summary|trace-stats|timeline|trace|all> \
+     budget|risk-profile|convergence|summary|trace-stats|timeline|trace|kernel-volume|all> \
      [--jobs N] [--seeds 1,2,3] [--threads N] [--out DIR] [--charts] [--quick]"
         .to_string()
 }
@@ -240,6 +240,45 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "kernel-volume" => {
+                use experiments::obs_run;
+                let rows = obs_run::kernel_volume(cfg);
+                println!("# Projection-kernel volume — classifier off vs on\n");
+                println!(
+                    "| classifier | jobs | decisions | projections run | avoided | \
+                     profiles/decision | avoided ratio | fulfilled |"
+                );
+                println!("| --- | --- | --- | --- | --- | --- | --- | --- |");
+                for r in &rows {
+                    println!(
+                        "| {} | {} | {} | {} | {} | {:.2} | {:.1}% | {} |",
+                        if r.classifier { "on" } else { "off" },
+                        r.jobs,
+                        r.decisions,
+                        r.projections_run,
+                        r.projections_avoided,
+                        r.profiles_per_decision(),
+                        r.avoided_ratio() * 100.0,
+                        r.fulfilled,
+                    );
+                }
+                if let Some(dir) = &args.out {
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        eprintln!("cannot create {}: {e}", dir.display());
+                    } else {
+                        for (name, body) in [
+                            ("kernel_volume.csv", obs_run::kernel_volume_csv(&rows)),
+                            ("kernel_volume.svg", obs_run::kernel_volume_svg(&rows)),
+                        ] {
+                            let path = dir.join(name);
+                            match std::fs::write(&path, body) {
+                                Ok(()) => eprintln!("wrote {}", path.display()),
+                                Err(e) => eprintln!("cannot write {name}: {e}"),
+                            }
+                        }
+                    }
+                }
+            }
             "risk-profile" => {
                 let t = figures::risk_profile_table(cfg);
                 print!("{}", t.to_markdown());
@@ -278,7 +317,7 @@ fn main() -> ExitCode {
         }
         cmd @ ("trace-stats" | "fig1" | "fig2" | "fig3" | "fig4" | "ablation" | "robustness"
         | "heterogeneity" | "churn" | "budget" | "risk-profile" | "convergence"
-        | "summary" | "timeline" | "trace") => run(cmd),
+        | "summary" | "timeline" | "trace" | "kernel-volume") => run(cmd),
         other => {
             eprintln!("unknown command {other}\n{}", usage());
             return ExitCode::FAILURE;
