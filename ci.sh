@@ -21,6 +21,14 @@ echo "== differential: golden fixture + churn invariants (release) =="
 # must not perturb a single bit either.
 cargo test --release -q -p librisk --test differential_rms
 
+echo "== differential: shard router (release) =="
+# The shard-router oracles (1-shard bitwise identity incl. the
+# fulfilled=1563 bench-golden pin, N-shard union-of-independent-runs
+# under churn, aggregate merge laws) also re-run in release mode: the
+# fan-out/merge path is threaded, and optimisation must not perturb the
+# merged stream either.
+cargo test --release -q -p librisk --test sharded_rms
+
 echo "== lint: rustfmt =="
 cargo fmt --check
 
@@ -31,6 +39,11 @@ echo "== lint: clippy (obs, all targets) =="
 # The observability crate is new and zero-dep: hold it to -D warnings
 # on every target (lib, tests) explicitly.
 cargo clippy -p obs --all-targets -- -D warnings
+
+echo "== lint: clippy (core incl. router, all targets) =="
+# The shard router (core::router) is threaded code: hold the core crate
+# and its test targets to -D warnings explicitly as well.
+cargo clippy -p librisk --all-targets -- -D warnings
 
 echo "== obs smoke: trace exports =="
 # A small ring-recorder churn run; the subcommand itself re-parses the
@@ -48,29 +61,52 @@ echo "== bench smoke: admission =="
 # BENCH_admission.json baseline (full-size run) is not clobbered.
 smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 trap 'rm -f "$smoke_out" ; rm -rf "$obs_out"' EXIT
-cargo run --release -p bench --bin bench_admission -- 200 2 400 "$smoke_out" >/dev/null
+# The trailing 20000 keeps the sharded-driver sweep a smoke run too
+# (the committed baseline is the full 10M-job sweep).
+cargo run --release -p bench --bin bench_admission -- 200 2 400 "$smoke_out" 20000 >/dev/null
 
-echo "== perf floor: unified-driver throughput =="
-# Compares the smoke run's LibraRisk unified-driver jobs/sec against the
-# committed full-size baseline. A shortfall below half the recorded
-# figure emits a machine-readable PERF_REGRESSION line; by default that
-# is a soft gate (CI machines vary wildly), but CI_PERF_STRICT=1 turns
-# it into a hard failure for runners with a known-stable perf envelope.
+echo "== perf floor: unified-driver + sharded-driver throughput =="
+# Compares the smoke run's LibraRisk jobs/sec — both the plain unified
+# driver and the 1-shard sharded path — against the committed full-size
+# baseline. A shortfall below half the recorded figure emits a
+# machine-readable PERF_REGRESSION line per metric; by default that is a
+# soft gate (CI machines vary wildly), but CI_PERF_STRICT=1 turns any
+# PERF_REGRESSION line — unified or sharded — into a hard failure for
+# runners with a known-stable perf envelope. The sharded floor is
+# deliberately gated on the 1-shard cell: it shares the baseline's perf
+# envelope (no fan-out threads), so a regression there is router
+# overhead, not machine noise. (The smoke sweep replays far fewer jobs
+# than the committed 10M baseline, so per-shard-count throughput is not
+# comparable beyond the 1-shard cell.)
 perf_out="$(python3 - "$smoke_out" BENCH_admission.json <<'PYEOF'
 import json, sys
 try:
     smoke = json.load(open(sys.argv[1]))
     base = json.load(open(sys.argv[2]))
-    got = smoke["unified_driver"]["policies"]["LibraRisk"]["jobs_per_sec"]
-    want = base["unified_driver"]["policies"]["LibraRisk"]["jobs_per_sec"]
-except (OSError, KeyError, ValueError) as e:
+except (OSError, ValueError) as e:
     print(f"perf floor: skipped ({e})")
     sys.exit(0)
-if got < want / 2:
-    print(f"PERF_REGRESSION metric=unified_driver.LibraRisk.jobs_per_sec "
-          f"got={got:.0f} baseline={want:.0f} floor={want / 2:.0f}")
-else:
-    print(f"perf floor: ok ({got:.0f} jobs/s vs baseline {want:.0f} jobs/s)")
+
+def cell1(doc):
+    return next(c["jobs_per_sec"] for c in doc["sharded_driver"]["cells"]
+                if c["shards"] == 1)
+
+checks = [
+    ("unified_driver.LibraRisk.jobs_per_sec",
+     lambda d: d["unified_driver"]["policies"]["LibraRisk"]["jobs_per_sec"]),
+    ("sharded_driver.shards1.jobs_per_sec", cell1),
+]
+for metric, read in checks:
+    try:
+        got, want = read(smoke), read(base)
+    except (KeyError, StopIteration) as e:
+        print(f"perf floor: {metric} skipped ({e!r})")
+        continue
+    if got < want / 2:
+        print(f"PERF_REGRESSION metric={metric} "
+              f"got={got:.0f} baseline={want:.0f} floor={want / 2:.0f}")
+    else:
+        print(f"perf floor: {metric} ok ({got:.0f} jobs/s vs baseline {want:.0f})")
 PYEOF
 )" || true
 echo "$perf_out"

@@ -8,15 +8,22 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_admission \
-//!     [decisions] [residents_per_node] [drain_jobs] [out_path]
+//!     [decisions] [residents_per_node] [drain_jobs] [out_path] [sharded_jobs]
 //! ```
+//!
+//! The `sharded_driver` section sweeps the shard router over the same
+//! 128-node machine partitioned into {1, 4, 16, 64} equal shards,
+//! replaying `sharded_jobs` total arrivals (default 10M, tiled from a
+//! deterministic base trace) and reporting aggregate jobs/sec plus the
+//! p99 end-to-end submit latency.
 
 use cluster::proportional::{ProportionalCluster, ProportionalConfig};
 use cluster::{Cluster, FaultPlan, NodeId, RecoveryPolicy};
 use librisk::libra::Libra;
 use librisk::libra_risk::LibraRisk;
 use librisk::policy::ShareAdmission;
-use librisk::{drive_trace, ChurnStats, OnlineReport, PolicyKind};
+use librisk::report::ReportSink;
+use librisk::{drive_trace, ChurnStats, OnlineReport, PolicyKind, RouteBy, ShardedRms};
 use metrics::percentile::quantile;
 use sim::{Rng64, SimDuration, SimTime};
 use std::hint::black_box;
@@ -340,7 +347,7 @@ fn drive_trace_churn_throughput(
 fn drive_trace_obs_throughput(
     kind: PolicyKind,
     trace: &Trace,
-    recorder: Option<&mut dyn obs::Recorder>,
+    recorder: Option<&mut (dyn obs::Recorder + Send)>,
 ) -> (f64, u64) {
     let t = Instant::now();
     let rms = kind.rms(&Cluster::sdsc_sp2());
@@ -353,6 +360,92 @@ fn drive_trace_obs_throughput(
     (trace.len() as f64 / secs, sink.fulfilled())
 }
 
+/// A deterministic arrival stream of arbitrary length, tiled from a
+/// fixed base trace: job `i` is base job `i % base_len` with a fresh id
+/// and its submit instant shifted by whole tile spans. Jobs are
+/// generated on the fly, so a 10M-job replay never materialises 10M
+/// `Job`s at once.
+struct TiledWorkload {
+    base: Vec<Job>,
+    span_secs: f64,
+}
+
+impl TiledWorkload {
+    /// `max_procs` is capped at 2 so every job fits the smallest shard
+    /// of the sweep (64 shards × 2 nodes) and all cells replay the
+    /// identical workload.
+    fn new(base_jobs: usize) -> Self {
+        let mut t = SyntheticSdscSp2 {
+            jobs: base_jobs,
+            max_procs: 2,
+            ..Default::default()
+        }
+        .generate(11);
+        DeadlineModel::default().assign(&mut Rng64::new(12), t.jobs_mut());
+        let base: Vec<Job> = t.jobs().to_vec();
+        let last = base.last().map(|j| j.submit.as_secs()).unwrap_or(0.0);
+        let mean_gap = (last / base.len().max(1) as f64).max(1.0);
+        TiledWorkload {
+            base,
+            span_secs: last + mean_gap,
+        }
+    }
+
+    fn base_len(&self) -> u64 {
+        self.base.len() as u64
+    }
+
+    fn job(&self, i: u64) -> Job {
+        let n = self.base.len() as u64;
+        let b = &self.base[(i % n) as usize];
+        let mut j = b.clone();
+        j.id = JobId(i);
+        j.submit = b.submit + SimDuration::from_secs(self.span_secs * (i / n) as f64);
+        j
+    }
+}
+
+/// One cell of the sharded-driver sweep: the 128-node machine split into
+/// `shards` equal LibraRisk shards behind a [`ShardedRms`], replaying
+/// `total_jobs` tiled arrivals end to end. Advances are chunked (once
+/// per workload tile) — the facade's equivalence contract makes chunked
+/// advancing outcome-identical, and rare fan-outs keep the per-advance
+/// thread-scope cost amortised over many jobs. Returns aggregate
+/// jobs/sec, the p99 submit latency in ns (sampled every 16th arrival),
+/// and the fulfilled count as the work anchor.
+fn sharded_driver_cell(shards: usize, total_jobs: u64, wl: &TiledWorkload) -> (f64, f64, u64) {
+    let nodes = Cluster::sdsc_sp2().len() / shards;
+    let sub_cluster = Cluster::homogeneous(nodes.max(1), 168.0);
+    let mut router = ShardedRms::new(
+        (0..shards)
+            .map(|_| PolicyKind::LibraRisk.rms(&sub_cluster))
+            .collect(),
+        RouteBy::JobHash,
+    );
+    let mut sink = OnlineReport::new();
+    let base_len = wl.base_len();
+    let mut samples: Vec<f64> = Vec::with_capacity((total_jobs / 16 + 1) as usize);
+    let t0 = Instant::now();
+    for i in 0..total_jobs {
+        let job = wl.job(i);
+        let now = job.submit;
+        if i % 16 == 0 {
+            let t = Instant::now();
+            black_box(router.submit(job, now));
+            samples.push(t.elapsed().as_nanos() as f64);
+        } else {
+            black_box(router.submit(job, now));
+        }
+        if (i + 1) % base_len == 0 {
+            router.advance_with(now, |e| sink.record(e.seq, e.record));
+        }
+    }
+    router.drain_with(|e| sink.record(e.seq, e.record));
+    let secs = t0.elapsed().as_secs_f64();
+    let p99 = quantile(&samples, 0.99).unwrap_or(0.0);
+    (total_jobs as f64 / secs, p99, sink.fulfilled())
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let decisions: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(10_000);
@@ -361,6 +454,10 @@ fn main() {
     let out_path = args
         .next()
         .unwrap_or_else(|| "BENCH_admission.json".to_string());
+    let sharded_jobs: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000_000);
 
     let stream = candidate_stream(3_737.min(decisions.max(1)));
 
@@ -415,6 +512,23 @@ fn main() {
         driver_cells.push(format!(
             "    \"{}\": {{ \"jobs_per_sec\": {jps:.0}, \"fulfilled\": {fulfilled} }}",
             kind.name()
+        ));
+    }
+
+    // Sharded-driver sweep: the same machine split into {1, 4, 16, 64}
+    // equal shards behind the router, replaying a tiled arrival stream.
+    // The base tile is sized so a full-size run advances a few hundred
+    // times (fan-out cost amortised), and scales down with the smoke
+    // run's job count.
+    let wl = TiledWorkload::new((sharded_jobs / 64).clamp(250, 100_000) as usize);
+    let mut sharded_cells = Vec::new();
+    for shards in [1usize, 4, 16, 64] {
+        eprintln!("sharded driver: {shards} shard(s), {sharded_jobs} jobs");
+        let (jps, p99, fulfilled) = sharded_driver_cell(shards, sharded_jobs, &wl);
+        eprintln!("    {jps:.0} jobs/sec aggregate, p99 submit {p99:.0} ns, {fulfilled} fulfilled");
+        sharded_cells.push(format!(
+            "    {{ \"shards\": {shards}, \"jobs_per_sec\": {jps:.0}, \
+             \"p99_submit_ns\": {p99:.0}, \"fulfilled\": {fulfilled} }}"
         ));
     }
 
@@ -749,6 +863,8 @@ fn main() {
          \"isolated_scan_ns_per_call\": {scan_ns:.1}, \
          \"isolated_speedup\": {:.1} }},\n  \
          \"unified_driver\": {{ \"jobs\": {driver_jobs}, \"policies\": {{\n{}\n  }} }},\n  \
+         \"sharded_driver\": {{ \"total_jobs\": {sharded_jobs}, \"route\": \"JobHash\", \
+         \"policy\": \"LibraRisk\", \"cells\": [\n{}\n  ] }},\n  \
          \"advance_path\": {{ \"jobs\": {driver_jobs}, \"advances\": {adv_count}, \
          \"incremental_jobs_per_sec\": {adv_jps:.0}, \
          \"reference_jobs_per_sec\": {ref_adv_jps:.0}, \
@@ -774,6 +890,7 @@ fn main() {
         heap_eps / scan_eps,
         scan_ns / cached_ns,
         driver_cells.join(",\n"),
+        sharded_cells.join(",\n"),
         adv_jps / ref_adv_jps,
         plan.len(),
         churn_cells.join(",\n"),

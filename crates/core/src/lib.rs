@@ -59,6 +59,7 @@ pub mod queue;
 pub mod report;
 pub mod risk_cache;
 pub mod rms;
+pub mod router;
 pub mod scheduler;
 
 pub use car::{computation_at_risk, CarAnalysis, CarMeasure};
@@ -71,7 +72,8 @@ pub use queue::{QueueDiscipline, QueuePolicy, QueuedJob};
 pub use report::{
     ChurnStats, JobRecord, OnlineReport, Outcome, ReportCollector, ReportSink, SimulationReport,
 };
-pub use rms::{drive_trace, ClusterRms, Decision, ExecutionBackend, JobEvent};
+pub use rms::{drive_trace, ClusterRms, Decision, ExecutionBackend, JobEvent, ShardState};
+pub use router::{job_hash_shard, RouteBy, ShardedRms};
 pub use scheduler::{run_proportional, run_queued};
 
 // The observability layer is part of the facade's public surface
@@ -88,6 +90,7 @@ pub mod prelude {
         ChurnStats, OnlineReport, Outcome, ReportCollector, ReportSink, SimulationReport,
     };
     pub use crate::rms::{drive_trace, ClusterRms, Decision, JobEvent};
+    pub use crate::router::{RouteBy, ShardedRms};
     pub use crate::scheduler::{run_proportional, run_queued};
     pub use cluster::{Cluster, FaultEvent, FaultKind, FaultPlan, NodeId, RecoveryPolicy};
     pub use obs;

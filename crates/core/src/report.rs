@@ -35,6 +35,20 @@ pub enum Outcome {
     },
 }
 
+impl Outcome {
+    /// The instant the outcome became final: the rejection instant, the
+    /// completion finish, or the fault instant of a kill. Every event
+    /// stream a single RMS emits is nondecreasing in this timestamp, so
+    /// it is the merge key for combining shard streams in time order.
+    pub fn resolved_at(&self) -> SimTime {
+        match *self {
+            Outcome::Rejected { at, .. } => at,
+            Outcome::Completed { finish, .. } => finish,
+            Outcome::Killed { at, .. } => at,
+        }
+    }
+}
+
 /// A job together with its outcome.
 #[derive(Clone, Debug, PartialEq)]
 pub struct JobRecord {
@@ -259,6 +273,33 @@ impl SimulationReport {
             return 0.0;
         }
         100.0 * class.iter().filter(|r| r.fulfilled()).count() as f64 / class.len() as f64
+    }
+
+    /// Folds another shard's batch report into this one — the documented
+    /// shard-merge path for the batch collector: run one
+    /// [`ReportCollector`] per shard, build each shard's report, then
+    /// fold them together.
+    ///
+    /// Records are concatenated (callers who need global submission
+    /// order sort by their own key afterwards — per-shard `seq` values
+    /// overlap), utilisation is averaged weighted by each side's record
+    /// count (empty shards don't dilute the mean), and churn merges via
+    /// [`ChurnStats::merge`]. Every derived statistic (counts,
+    /// percentages, means) is then computed over the union of records,
+    /// so merge order cannot change any of them. The policy name is
+    /// kept from `self`; merging reports of different policies is a
+    /// caller bug and panics in debug builds.
+    pub fn merge(&mut self, other: &SimulationReport) {
+        debug_assert_eq!(
+            self.policy, other.policy,
+            "merging reports of different policies"
+        );
+        let (w1, w2) = (self.records.len() as f64, other.records.len() as f64);
+        if w1 + w2 > 0.0 {
+            self.utilization = (self.utilization * w1 + other.utilization * w2) / (w1 + w2);
+        }
+        self.records.extend(other.records.iter().cloned());
+        self.churn.merge(&other.churn);
     }
 }
 

@@ -1,0 +1,493 @@
+//! The shard router: N independent [`ClusterRms`] instances behind one
+//! submit/advance/drain facade.
+//!
+//! The unified driver is advance-bound at roughly 10⁵ jobs/s per
+//! `ClusterRms`, so the next order of magnitude comes from running many
+//! RMS instances, not from a cheaper kernel. [`ShardedRms`] owns N
+//! shards — each a full [`ClusterRms`] over its own slice of the
+//! machine — routes every arrival to exactly one shard
+//! ([`RouteBy::JobHash`], [`RouteBy::LeastLoaded`] or
+//! [`RouteBy::RoundRobin`]), and fans `advance`/`drain` out to one
+//! scoped worker thread per shard. Each worker streams its resolved
+//! [`JobEvent`]s through a bounded SPSC mailbox; the caller's thread
+//! runs a barrier-free k-way merge that emits the union of all shard
+//! streams in resolution-timestamp order, with every `seq` remapped to
+//! the router-wide submission order.
+//!
+//! # Why sharding preserves the paper's semantics
+//!
+//! The Libra economy model is per-cluster by construction: an admission
+//! decision consults only the shares (or risk projections) of the nodes
+//! inside one cluster. A shard therefore behaves *exactly* like an
+//! independent `ClusterRms` over its sub-cluster — same decisions, same
+//! outcomes, bitwise. With [`RouteBy::JobHash`] the placement of a job
+//! depends only on its id, so an N-shard run is structurally equal to
+//! the union of N independent single-shard runs over the same
+//! partition of the workload (property-tested in
+//! `tests/sharded_rms.rs`, and a 1-shard router reproduces the plain
+//! facade bitwise).
+//!
+//! # Mailbox protocol
+//!
+//! Each worker owns the producer side of one bounded SPSC mailbox and
+//! the caller's thread owns all consumer sides. Events travel in
+//! chunks (`CHUNK` events per send) so producer and consumer exchange
+//! one lock + condvar signal per few hundred events rather than per
+//! event. A worker closes its mailbox after its last chunk; the merge
+//! terminates when every mailbox is closed and drained. The merge is
+//! barrier-free: the caller starts emitting as soon as the earliest
+//! head is known, while other shards are still working.
+
+use crate::report::ChurnStats;
+use crate::rms::{ClusterRms, Decision, JobEvent};
+use sim::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use workload::{Job, JobId};
+
+/// Events per mailbox send: large enough to amortise the lock + condvar
+/// handshake, small enough to keep the merge streaming.
+const CHUNK: usize = 256;
+
+/// Mailbox capacity in chunks. Bounds the memory of a fast producer
+/// ahead of a slow consumer at `MAILBOX_CAP * CHUNK` buffered events
+/// per shard.
+const MAILBOX_CAP: usize = 8;
+
+/// How the router places an arrival onto a shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteBy {
+    /// Stable hash of the job id ([`job_hash_shard`]). Placement depends
+    /// only on the job itself, so an N-shard run equals the union of N
+    /// independent single-shard runs — the property the differential
+    /// suite pins.
+    JobHash,
+    /// The shard with the fewest in-flight jobs (ties to the lowest
+    /// index). Placement depends on run history; throughput-oriented.
+    LeastLoaded,
+    /// Strict rotation over shards in index order.
+    RoundRobin,
+}
+
+/// The stable [`RouteBy::JobHash`] placement: a Fibonacci hash of the
+/// job id's high mixing bits, reduced modulo the shard count. Exposed so
+/// tests (and external drivers) can reproduce the partition a router
+/// will choose.
+pub fn job_hash_shard(id: JobId, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    ((id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % shards
+}
+
+/// Bounded SPSC mailbox carrying chunks of events from one shard worker
+/// to the merging caller thread.
+struct Mailbox<T> {
+    inner: Mutex<MailboxInner<T>>,
+    /// Signalled when a chunk arrives or the box closes (consumer waits).
+    recv_cv: Condvar,
+    /// Signalled when a chunk leaves (producer waits while full).
+    send_cv: Condvar,
+}
+
+struct MailboxInner<T> {
+    chunks: VecDeque<Vec<T>>,
+    closed: bool,
+}
+
+impl<T> Mailbox<T> {
+    fn new() -> Self {
+        Mailbox {
+            inner: Mutex::new(MailboxInner {
+                chunks: VecDeque::new(),
+                closed: false,
+            }),
+            recv_cv: Condvar::new(),
+            send_cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues one chunk, blocking while the box is full.
+    fn send(&self, chunk: Vec<T>) {
+        let mut inner = self.inner.lock().expect("mailbox poisoned");
+        while inner.chunks.len() >= MAILBOX_CAP {
+            inner = self.send_cv.wait(inner).expect("mailbox poisoned");
+        }
+        inner.chunks.push_back(chunk);
+        drop(inner);
+        self.recv_cv.notify_one();
+    }
+
+    /// Marks the producer side finished; `recv` drains what remains and
+    /// then reports the end of the stream.
+    fn close(&self) {
+        self.inner.lock().expect("mailbox poisoned").closed = true;
+        self.recv_cv.notify_one();
+    }
+
+    /// Dequeues the next chunk, blocking until one arrives; `None` once
+    /// the box is closed and drained.
+    fn recv(&self) -> Option<Vec<T>> {
+        let mut inner = self.inner.lock().expect("mailbox poisoned");
+        loop {
+            if let Some(chunk) = inner.chunks.pop_front() {
+                drop(inner);
+                self.send_cv.notify_one();
+                return Some(chunk);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.recv_cv.wait(inner).expect("mailbox poisoned");
+        }
+    }
+}
+
+/// N [`ClusterRms`] shards behind one online facade: route-on-submit,
+/// fan-out-and-merge on advance/drain. See the module docs for the
+/// protocol and the semantics argument.
+pub struct ShardedRms<'p> {
+    shards: Vec<ClusterRms<'p>>,
+    route: RouteBy,
+    next_rr: usize,
+    next_seq: u64,
+    /// Per shard: local submission seq → router-wide submission seq.
+    /// Workers remap every streamed event through this table, so merged
+    /// [`JobEvent::seq`] values are global submission order.
+    global_of: Vec<Vec<u64>>,
+}
+
+impl<'p> ShardedRms<'p> {
+    /// Builds a router over the given shards.
+    ///
+    /// # Panics
+    /// Panics when `shards` is empty.
+    pub fn new(shards: Vec<ClusterRms<'p>>, route: RouteBy) -> Self {
+        assert!(!shards.is_empty(), "a sharded RMS needs at least one shard");
+        let n = shards.len();
+        ShardedRms {
+            shards,
+            route,
+            next_rr: 0,
+            next_seq: 0,
+            global_of: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of shards behind the router.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, for inspection (mutation goes through the router).
+    pub fn shards(&self) -> &[ClusterRms<'p>] {
+        &self.shards
+    }
+
+    /// The placement rule in use.
+    pub fn route(&self) -> RouteBy {
+        self.route
+    }
+
+    /// Total jobs submitted through the router.
+    pub fn submitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Jobs currently resident, running or queued across all shards.
+    pub fn in_flight(&self) -> usize {
+        self.shards.iter().map(|s| s.in_flight()).sum()
+    }
+
+    /// Merged churn aggregates across all shards.
+    pub fn churn(&self) -> ChurnStats {
+        let mut total = ChurnStats::default();
+        for s in &self.shards {
+            total.merge(s.churn());
+        }
+        total
+    }
+
+    /// Mean processor utilisation across shards, weighted by each
+    /// shard's submitted-job count (matching
+    /// [`OnlineReport::merge`](crate::report::OnlineReport::merge)).
+    pub fn utilization(&self) -> f64 {
+        let total: u64 = self.shards.iter().map(|s| s.submitted()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.shards
+            .iter()
+            .map(|s| s.utilization() * s.submitted() as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+
+    fn pick_shard(&mut self, job: &Job) -> usize {
+        match self.route {
+            RouteBy::JobHash => job_hash_shard(job.id, self.shards.len()),
+            RouteBy::LeastLoaded => self
+                .shards
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, s)| (s.in_flight(), *i))
+                .map(|(i, _)| i)
+                .expect("at least one shard"),
+            RouteBy::RoundRobin => {
+                let s = self.next_rr;
+                self.next_rr = (self.next_rr + 1) % self.shards.len();
+                s
+            }
+        }
+    }
+
+    /// Routes one arrival to its shard and returns the shard's
+    /// irrevocable decision. Runs entirely on the caller's thread — the
+    /// shard decides synchronously, exactly as an unsharded
+    /// [`ClusterRms::submit`] would over the shard's sub-cluster.
+    ///
+    /// # Panics
+    /// Panics if `now` precedes an earlier submission or advance.
+    pub fn submit(&mut self, job: Job, now: SimTime) -> Decision {
+        self.submit_routed(job, now).1
+    }
+
+    /// [`ShardedRms::submit`], also reporting which shard took the job.
+    pub fn submit_routed(&mut self, job: Job, now: SimTime) -> (usize, Decision) {
+        let shard = self.pick_shard(&job);
+        self.global_of[shard].push(self.next_seq);
+        self.next_seq += 1;
+        (shard, self.shards[shard].submit(job, now))
+    }
+
+    /// Advances every shard to `to` and returns the merged stream of
+    /// resolved outcomes, in resolution-timestamp order with global
+    /// submission-order `seq`s. See [`ShardedRms::advance_with`] for the
+    /// streaming form.
+    ///
+    /// # Panics
+    /// Panics if `to` precedes an earlier submission or advance.
+    pub fn advance(&mut self, to: SimTime) -> Vec<JobEvent> {
+        let mut out = Vec::new();
+        self.advance_with(to, |e| out.push(e));
+        out
+    }
+
+    /// Advances every shard to `to` on its own scoped worker thread and
+    /// streams the merged outcomes into `emit` as they become available
+    /// (barrier-free: the earliest events flow while later shards still
+    /// work). `emit` runs on the caller's thread.
+    pub fn advance_with(&mut self, to: SimTime, emit: impl FnMut(JobEvent)) {
+        self.fan_out(Some(to), emit);
+    }
+
+    /// Drains every shard to completion and returns the merged residual
+    /// outcomes (see [`ShardedRms::advance`] for ordering).
+    pub fn drain(&mut self) -> Vec<JobEvent> {
+        let mut out = Vec::new();
+        self.drain_with(|e| out.push(e));
+        out
+    }
+
+    /// Streaming form of [`ShardedRms::drain`].
+    pub fn drain_with(&mut self, emit: impl FnMut(JobEvent)) {
+        self.fan_out(None, emit);
+    }
+
+    /// Fans one advance (`Some(to)`) or drain (`None`) out to the
+    /// shards and merges the streams. A single shard short-circuits to
+    /// an inline pass — no thread, no mailbox — which keeps the 1-shard
+    /// router on the plain facade's perf envelope and makes the bitwise
+    /// 1-shard differential structural.
+    fn fan_out(&mut self, to: Option<SimTime>, mut emit: impl FnMut(JobEvent)) {
+        let shards = &mut self.shards;
+        let global_of = &self.global_of;
+        if shards.len() == 1 {
+            let map = &global_of[0];
+            let remap = |mut e: JobEvent| {
+                e.seq = map[e.seq as usize];
+                e
+            };
+            match to {
+                Some(t) => shards[0].advance(t).map(remap).for_each(&mut emit),
+                None => shards[0].drain().map(remap).for_each(&mut emit),
+            }
+            return;
+        }
+        let mailboxes: Vec<Mailbox<JobEvent>> = (0..shards.len()).map(|_| Mailbox::new()).collect();
+        std::thread::scope(|scope| {
+            for ((shard, mb), map) in shards.iter_mut().zip(&mailboxes).zip(global_of) {
+                scope.spawn(move || {
+                    match to {
+                        Some(t) => pump(shard.advance(t), map, mb),
+                        None => pump(shard.drain(), map, mb),
+                    };
+                });
+            }
+            merge_mailboxes(&mailboxes, &mut emit);
+        });
+    }
+}
+
+/// Worker side of the mailbox protocol: remap local seqs to global ones
+/// and ship events in chunks, closing the box at the end of the stream.
+fn pump(events: impl Iterator<Item = JobEvent>, map: &[u64], mb: &Mailbox<JobEvent>) {
+    let mut chunk = Vec::with_capacity(CHUNK);
+    for mut e in events {
+        e.seq = map[e.seq as usize];
+        chunk.push(e);
+        if chunk.len() == CHUNK {
+            mb.send(std::mem::replace(&mut chunk, Vec::with_capacity(CHUNK)));
+        }
+    }
+    if !chunk.is_empty() {
+        mb.send(chunk);
+    }
+    mb.close();
+}
+
+/// Caller side: k-way merge of the shard streams by resolution
+/// timestamp. Each shard's own stream is nondecreasing in
+/// [`Outcome::resolved_at`](crate::report::Outcome::resolved_at) (the
+/// facade resolves outcomes in time order), so comparing only the
+/// current heads yields a globally time-ordered merge; equal timestamps
+/// break ties by global submission seq, which is unique.
+fn merge_mailboxes(mailboxes: &[Mailbox<JobEvent>], emit: &mut impl FnMut(JobEvent)) {
+    let n = mailboxes.len();
+    let mut bufs: Vec<std::vec::IntoIter<JobEvent>> =
+        (0..n).map(|_| Vec::new().into_iter()).collect();
+    let mut heads: Vec<Option<JobEvent>> = (0..n).map(|_| None).collect();
+    let mut heap: BinaryHeap<Reverse<(SimTime, u64, usize)>> = BinaryHeap::with_capacity(n);
+    let next_of = |buf: &mut std::vec::IntoIter<JobEvent>, mb: &Mailbox<JobEvent>| loop {
+        if let Some(e) = buf.next() {
+            return Some(e);
+        }
+        match mb.recv() {
+            Some(chunk) => *buf = chunk.into_iter(),
+            None => return None,
+        }
+    };
+    for s in 0..n {
+        if let Some(e) = next_of(&mut bufs[s], &mailboxes[s]) {
+            heap.push(Reverse((e.record.outcome.resolved_at(), e.seq, s)));
+            heads[s] = Some(e);
+        }
+    }
+    while let Some(Reverse((_, _, s))) = heap.pop() {
+        let e = heads[s].take().expect("head present for popped shard");
+        emit(e);
+        if let Some(e) = next_of(&mut bufs[s], &mailboxes[s]) {
+            heap.push(Reverse((e.record.outcome.resolved_at(), e.seq, s)));
+            heads[s] = Some(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::libra::Libra;
+    use cluster::proportional::ProportionalConfig;
+    use cluster::Cluster;
+    use sim::SimDuration;
+    use workload::Urgency;
+
+    fn job(id: u64, submit: f64, runtime: f64, procs: u32, deadline: f64) -> Job {
+        Job {
+            id: JobId(id),
+            submit: SimTime::from_secs(submit),
+            runtime: SimDuration::from_secs(runtime),
+            estimate: SimDuration::from_secs(runtime),
+            procs,
+            deadline: SimDuration::from_secs(deadline),
+            urgency: Urgency::Low,
+        }
+    }
+
+    fn shard() -> ClusterRms<'static> {
+        ClusterRms::proportional(
+            Cluster::homogeneous(2, 168.0),
+            ProportionalConfig::default(),
+            Libra::new(),
+        )
+    }
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn mailbox_delivers_in_order_and_terminates() {
+        let mb: Mailbox<u32> = Mailbox::new();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for base in 0..32u32 {
+                    mb.send((base * 4..base * 4 + 4).collect());
+                }
+                mb.close();
+            });
+            let mut got = Vec::new();
+            while let Some(chunk) = mb.recv() {
+                got.extend(chunk);
+            }
+            assert_eq!(got, (0..128).collect::<Vec<u32>>());
+        });
+        // Closed and drained: recv keeps reporting the end of stream.
+        assert_eq!(mb.recv(), None);
+    }
+
+    #[test]
+    fn round_robin_rotates_and_least_loaded_balances() {
+        let mut rr = ShardedRms::new(vec![shard(), shard(), shard()], RouteBy::RoundRobin);
+        let shards: Vec<usize> = (0..6)
+            .map(|i| rr.submit_routed(job(i, 0.0, 50.0, 1, 500.0), t(0.0)).0)
+            .collect();
+        assert_eq!(shards, vec![0, 1, 2, 0, 1, 2]);
+
+        let mut ll = ShardedRms::new(vec![shard(), shard()], RouteBy::LeastLoaded);
+        // First two land on different shards; the third ties back to 0.
+        assert_eq!(ll.submit_routed(job(0, 0.0, 50.0, 1, 500.0), t(0.0)).0, 0);
+        assert_eq!(ll.submit_routed(job(1, 0.0, 50.0, 1, 500.0), t(0.0)).0, 1);
+        assert_eq!(ll.submit_routed(job(2, 0.0, 50.0, 1, 500.0), t(0.0)).0, 0);
+        assert_eq!(ll.in_flight(), 3);
+    }
+
+    #[test]
+    fn job_hash_is_order_independent_and_in_range() {
+        for shards in [1usize, 2, 4, 8, 64] {
+            for id in 0..256u64 {
+                let s = job_hash_shard(JobId(id), shards);
+                assert!(s < shards);
+                assert_eq!(s, job_hash_shard(JobId(id), shards));
+            }
+        }
+    }
+
+    #[test]
+    fn merged_stream_is_time_ordered_with_global_seqs() {
+        let mut rms = ShardedRms::new(vec![shard(), shard()], RouteBy::RoundRobin);
+        // Staggered runtimes so completions interleave across shards.
+        for i in 0..8u64 {
+            let d = rms.submit(job(i, 0.0, 40.0 + 13.0 * i as f64, 1, 5000.0), t(0.0));
+            assert_eq!(d, Decision::Accepted);
+        }
+        let events = rms.drain();
+        assert_eq!(events.len(), 8);
+        let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        let stamps: Vec<SimTime> = events
+            .iter()
+            .map(|e| e.record.outcome.resolved_at())
+            .collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]), "time-ordered");
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..8).collect::<Vec<u64>>(), "global seqs, each once");
+        assert_eq!(rms.submitted(), 8);
+        assert_eq!(rms.in_flight(), 0);
+        assert!(rms.utilization() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn empty_router_panics() {
+        ShardedRms::new(Vec::new(), RouteBy::JobHash);
+    }
+}

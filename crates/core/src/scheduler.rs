@@ -27,7 +27,7 @@ use workload::Trace;
 pub fn run_proportional(
     cluster: Cluster,
     cfg: ProportionalConfig,
-    policy: &mut dyn ShareAdmission,
+    policy: &mut (dyn ShareAdmission + Send),
     trace: &Trace,
 ) -> SimulationReport {
     ClusterRms::proportional(cluster, cfg, policy).run_to_report(trace)

@@ -82,7 +82,7 @@ fn run(
     arrivals: &[Arrival],
     down_at: f64,
     outage: f64,
-    recorder: Option<&mut dyn Recorder>,
+    recorder: Option<&mut (dyn Recorder + Send)>,
 ) -> (Vec<(u64, u8, u64, u64)>, u64) {
     let cluster = Cluster::homogeneous(3, 168.0);
     let rms = kind

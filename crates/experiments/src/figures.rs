@@ -717,7 +717,7 @@ pub fn budget_table(cfg: &FigureConfig) -> Table {
             // Stream through the RMS facade with a *borrowed* policy so
             // the accumulated economy (revenue, budget rejections) stays
             // readable after the run.
-            let stream = |policy: &mut dyn librisk::ShareAdmission| {
+            let stream = |policy: &mut (dyn librisk::ShareAdmission + Send)| {
                 let mut rms = ClusterRms::proportional(cluster.clone(), cfg_engine, policy);
                 let mut sink = OnlineReport::new();
                 drive_trace(&mut rms, &trace, &mut sink);

@@ -23,6 +23,7 @@ pub mod figures;
 pub mod obs_run;
 pub mod report;
 pub mod scenario;
+pub mod shard_scaling;
 pub mod sweep;
 
 pub use scenario::{EstimateRegime, Scenario, TraceSource};

@@ -71,7 +71,8 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: experiments <fig1|fig2|fig3|fig4|ablation|robustness|heterogeneity|churn|\
-     budget|risk-profile|convergence|summary|trace-stats|timeline|trace|kernel-volume|all> \
+     budget|risk-profile|convergence|summary|trace-stats|timeline|trace|kernel-volume|\
+     shard-scaling|all> \
      [--jobs N] [--seeds 1,2,3] [--threads N] [--out DIR] [--charts] [--quick]"
         .to_string()
 }
@@ -279,6 +280,40 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "shard-scaling" => {
+                use experiments::shard_scaling;
+                let rows = shard_scaling::shard_scaling(cfg);
+                println!("# Sharded router — throughput vs shard count\n");
+                println!("| shards | jobs | jobs/s | fulfilled | oracle fulfilled | identity |");
+                println!("| --- | --- | --- | --- | --- | --- |");
+                for r in &rows {
+                    println!(
+                        "| {} | {} | {:.0} | {} | {} | {} |",
+                        r.shards,
+                        r.jobs,
+                        r.jobs_per_sec,
+                        r.fulfilled,
+                        r.oracle_fulfilled,
+                        if r.identity_ok() { "ok" } else { "MISMATCH" },
+                    );
+                }
+                if let Some(dir) = &args.out {
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        eprintln!("cannot create {}: {e}", dir.display());
+                    } else {
+                        for (name, body) in [
+                            ("shard_scaling.csv", shard_scaling::shard_scaling_csv(&rows)),
+                            ("shard_scaling.svg", shard_scaling::shard_scaling_svg(&rows)),
+                        ] {
+                            let path = dir.join(name);
+                            match std::fs::write(&path, body) {
+                                Ok(()) => eprintln!("wrote {}", path.display()),
+                                Err(e) => eprintln!("cannot write {name}: {e}"),
+                            }
+                        }
+                    }
+                }
+            }
             "risk-profile" => {
                 let t = figures::risk_profile_table(cfg);
                 print!("{}", t.to_markdown());
@@ -317,7 +352,7 @@ fn main() -> ExitCode {
         }
         cmd @ ("trace-stats" | "fig1" | "fig2" | "fig3" | "fig4" | "ablation" | "robustness"
         | "heterogeneity" | "churn" | "budget" | "risk-profile" | "convergence"
-        | "summary" | "timeline" | "trace" | "kernel-volume") => run(cmd),
+        | "summary" | "timeline" | "trace" | "kernel-volume" | "shard-scaling") => run(cmd),
         other => {
             eprintln!("unknown command {other}\n{}", usage());
             return ExitCode::FAILURE;

@@ -119,6 +119,22 @@ impl TraceRecorder {
         &self.registry
     }
 
+    /// Removes and returns every retained event, stably sorted by
+    /// simulated timestamp.
+    ///
+    /// The ring holds events in *recording* order, which is not
+    /// globally time-sorted: span-level events are stamped at their
+    /// span's end instant but recorded before the resolutions inside
+    /// the span. The stable sort keeps equal-timestamp events in
+    /// recording order, so one drained ring is a valid input stream for
+    /// [`merge_traces`]. The drop counter and the registry are left
+    /// untouched; the ring is empty afterwards.
+    pub fn drain_sorted(&mut self) -> Vec<TimedEvent> {
+        let mut events: Vec<TimedEvent> = self.buf.drain(..).collect();
+        events.sort_by(|a, b| a.sim_secs.total_cmp(&b.sim_secs));
+        events
+    }
+
     /// Serialises the retained events as JSONL (one event per line).
     pub fn to_jsonl(&self) -> String {
         crate::export::jsonl(self.events())
@@ -150,6 +166,71 @@ impl Recorder for TraceRecorder {
 
     fn wants_audit_gauges(&self) -> bool {
         self.audit_gauges
+    }
+}
+
+/// One merged view over N per-shard recorder rings.
+#[derive(Debug, Default)]
+pub struct MergedTrace {
+    /// The union of every ring's events, in simulated-timestamp order
+    /// (ties keep the lower source index first, and each source's own
+    /// order within a tie).
+    pub events: Vec<TimedEvent>,
+    /// Exact combined overflow accounting: the sum of every source
+    /// ring's [`TraceRecorder::dropped`]. The merged event list is
+    /// complete except for exactly this many evictions.
+    pub dropped: u64,
+    /// Every source's metrics registry folded together via
+    /// [`Registry::merge`].
+    pub registry: Registry,
+}
+
+/// K-way merges per-shard recorder rings into one timestamp-ordered
+/// trace — the fleet view of a sharded run.
+///
+/// Each ring is drained via [`TraceRecorder::drain_sorted`] and the
+/// sorted streams merge by comparing current heads only (each stream is
+/// nondecreasing after the sort, so the result is globally ordered).
+/// Drop accounting is exact: `dropped` is the sum over sources, and the
+/// merged registry's `obs_events_dropped_total` counter agrees because
+/// counters merge additively.
+pub fn merge_traces(recorders: impl IntoIterator<Item = TraceRecorder>) -> MergedTrace {
+    let mut streams: Vec<std::iter::Peekable<std::vec::IntoIter<TimedEvent>>> = Vec::new();
+    let mut dropped = 0u64;
+    let mut registry = Registry::new();
+    let mut total = 0usize;
+    for mut rec in recorders {
+        dropped += rec.dropped();
+        registry.merge(rec.registry());
+        let events = rec.drain_sorted();
+        total += events.len();
+        streams.push(events.into_iter().peekable());
+    }
+    let mut events = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, stream) in streams.iter_mut().enumerate() {
+            if let Some(head) = stream.peek() {
+                // Strict less-than: an equal later head never displaces
+                // an earlier source, which is what makes ties stable.
+                let better = match best {
+                    None => true,
+                    Some((key, _)) => head.sim_secs.total_cmp(&key).is_lt(),
+                };
+                if better {
+                    best = Some((head.sim_secs, i));
+                }
+            }
+        }
+        match best {
+            Some((_, i)) => events.push(streams[i].next().expect("peeked head exists")),
+            None => break,
+        }
+    }
+    MergedTrace {
+        events,
+        dropped,
+        registry,
     }
 }
 
@@ -205,6 +286,61 @@ mod tests {
             .with_audit_gauges()
             .wants_audit_gauges());
         assert!(!NoopRecorder.wants_audit_gauges());
+    }
+
+    #[test]
+    fn drain_sorted_time_orders_span_stamped_events() {
+        let mut r = TraceRecorder::new(8);
+        // Recording order is not time order: a span-end event lands
+        // before the resolutions inside the span.
+        for s in [5.0, 1.0, 3.0, 1.0] {
+            r.record(s, node_down(s as u32));
+        }
+        let drained = r.drain_sorted();
+        let stamps: Vec<f64> = drained.iter().map(|e| e.sim_secs).collect();
+        assert_eq!(stamps, vec![1.0, 1.0, 3.0, 5.0]);
+        assert!(r.is_empty(), "drained");
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn merge_traces_interleaves_overlapping_ranges_with_exact_drops() {
+        // Overlapping timestamp ranges: a covers [0,6], b covers [1,7].
+        let mut a = TraceRecorder::new(2);
+        for s in [0.0, 2.0, 4.0, 6.0] {
+            a.record(s, node_down(0));
+        }
+        let mut b = TraceRecorder::new(8);
+        for s in [1.0, 3.0, 5.0, 7.0] {
+            b.record(s, node_down(1));
+        }
+        assert_eq!(a.dropped(), 2, "ring of 2 evicted the oldest two");
+        let merged = merge_traces([a, b]);
+        let stamps: Vec<f64> = merged.events.iter().map(|e| e.sim_secs).collect();
+        assert_eq!(stamps, vec![1.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(merged.dropped, 2, "combined drop accounting is exact");
+        assert_eq!(merged.registry.counter("obs_events_dropped_total"), 2);
+    }
+
+    #[test]
+    fn merge_traces_breaks_timestamp_ties_by_source_order() {
+        let mk = |node: u32| {
+            let mut r = TraceRecorder::new(8);
+            r.record(1.0, node_down(node));
+            r.record(1.0, node_down(node + 10));
+            r
+        };
+        let merged = merge_traces([mk(0), mk(1)]);
+        let nodes: Vec<u32> = merged
+            .events
+            .iter()
+            .map(|te| match te.event {
+                Event::NodeDown { node } => node,
+                _ => unreachable!(),
+            })
+            .collect();
+        // Source 0's pair first (in its own order), then source 1's.
+        assert_eq!(nodes, vec![0, 10, 1, 11]);
     }
 
     #[test]

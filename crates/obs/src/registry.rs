@@ -68,6 +68,26 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Folds another histogram into this one: bucket counts add
+    /// pairwise, sum and count accumulate. The result is exactly the
+    /// histogram a single registry would have produced from the union
+    /// of both observation streams, so shard merges are order-clean.
+    ///
+    /// # Panics
+    /// Panics when the bucket bounds differ — merging histograms with
+    /// different bucketisations silently misbins, so it is refused.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
 }
 
 /// The registry. Plain vectors keyed by `&'static str`; cloneable so
@@ -152,6 +172,30 @@ impl Registry {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
+    /// Folds another registry into this one, so per-shard registries
+    /// combine into the fleet view: counters add, histograms merge
+    /// bucketwise (see [`Histogram::merge`] — panics on mismatched
+    /// bounds), and keys only one side knows are registered on the fly.
+    ///
+    /// Gauges are point-in-time samples with no meaningful sum: the
+    /// merged-in value overwrites (last-merged-wins), matching
+    /// [`Registry::set_gauge`]'s overwrite semantics. Counters and
+    /// histograms are order-clean under merge; gauges deliberately are
+    /// not — aggregate gauges across shards at the source (e.g. a
+    /// submitted-weighted utilisation) rather than through `merge`.
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, v) in &other.counters {
+            self.add(k, *v);
+        }
+        for (k, v) in &other.gauges {
+            self.set_gauge(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            let i = find(&mut self.histograms, k, || Histogram::new(h.bounds));
+            self.histograms[i].1.merge(h);
+        }
+    }
+
     /// Prometheus text exposition: `# TYPE` headers, cumulative
     /// `_bucket{le=...}` lines for histograms, deterministic
     /// registration order.
@@ -216,6 +260,71 @@ mod tests {
         assert_eq!(h.bucket_counts(), &[2, 1, 1, 1]);
         assert_eq!(h.count(), 5);
         assert!((h.mean() - (0.5 + 1.0 + 5.0 + 100.0 + 1e6) / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets_but_overwrites_gauges() {
+        let mut a = Registry::new();
+        a.add("jobs_total", 3);
+        a.set_gauge("util", 0.25);
+        a.observe("lat", BOUNDS, 0.5);
+        a.observe("lat", BOUNDS, 50.0);
+        let mut b = Registry::new();
+        b.add("jobs_total", 4);
+        b.inc("only_b_total");
+        b.set_gauge("util", 0.75);
+        b.observe("lat", BOUNDS, 5.0);
+        b.observe("only_b_hist", BOUNDS, 2.0);
+        a.merge(&b);
+        assert_eq!(a.counter("jobs_total"), 7);
+        assert_eq!(a.counter("only_b_total"), 1, "new keys register on merge");
+        assert_eq!(a.gauge("util"), Some(0.75), "last-merged gauge wins");
+        let h = a.histogram("lat").unwrap();
+        assert_eq!(h.bucket_counts(), &[1, 1, 1, 0]);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 55.5).abs() < 1e-9);
+        assert_eq!(a.histogram("only_b_hist").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn merge_is_order_clean_for_counters_and_histograms() {
+        let mk = |vals: &[f64], n: u64| {
+            let mut r = Registry::new();
+            r.add("c_total", n);
+            for &v in vals {
+                r.observe("h", BOUNDS, v);
+            }
+            r
+        };
+        let parts = [mk(&[0.5, 5.0], 2), mk(&[50.0], 1), mk(&[1e6, 1.0], 3)];
+        let mut fwd = Registry::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = Registry::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd.counter("c_total"), rev.counter("c_total"));
+        assert_eq!(
+            fwd.histogram("h").unwrap().bucket_counts(),
+            rev.histogram("h").unwrap().bucket_counts()
+        );
+        assert_eq!(
+            fwd.histogram("h").unwrap().sum(),
+            rev.histogram("h").unwrap().sum()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn merge_refuses_mismatched_histogram_bounds() {
+        const OTHER: &[f64] = &[2.0, 20.0];
+        let mut a = Registry::new();
+        a.observe("h", BOUNDS, 1.0);
+        let mut b = Registry::new();
+        b.observe("h", OTHER, 1.0);
+        a.merge(&b);
     }
 
     #[test]
