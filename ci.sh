@@ -29,6 +29,14 @@ echo "== differential: shard router (release) =="
 # merged stream either.
 cargo test --release -q -p librisk --test sharded_rms
 
+echo "== differential: checkpoint/restore + corruption (release) =="
+# The crash-safety gates (checkpoint-at-random-instant bitwise resume
+# for every policy, truncation/bit-flip corruption detection, N->M
+# reshard union oracles, golden snapshot compatibility) re-run in
+# release mode: the format is byte-exact and optimisation must not
+# perturb a single bit of a snapshot or a resumed run.
+cargo test --release -q -p librisk --test checkpoint
+
 echo "== lint: rustfmt =="
 cargo fmt --check
 
@@ -55,6 +63,15 @@ cargo run --release -q -p experiments -- trace --quick --out "$obs_out" >/dev/nu
 for f in events.jsonl trace.json metrics.prom; do
     test -s "$obs_out/$f" || { echo "missing obs artefact $f"; exit 1; }
 done
+
+echo "== checkpoint smoke: save/restore round trip + crash injection =="
+# The subcommand checkpoints LibraRisk mid-run on the quick churn
+# scenario, restores into a blank RMS, and panics (non-zero exit) if the
+# resumed run diverges from the unbroken one or a flipped bit in the
+# snapshot goes undetected — a release-mode end-to-end crash drill on
+# top of the unit gates above.
+cargo run --release -q -p experiments -- checkpoint --quick --out "$obs_out" >/dev/null
+test -s "$obs_out/checkpoint.csv" || { echo "missing checkpoint.csv"; exit 1; }
 
 echo "== bench smoke: admission =="
 # Small counts; writes to a scratch path so the committed

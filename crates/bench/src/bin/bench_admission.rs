@@ -23,7 +23,7 @@ use librisk::libra::Libra;
 use librisk::libra_risk::LibraRisk;
 use librisk::policy::ShareAdmission;
 use librisk::report::ReportSink;
-use librisk::{drive_trace, ChurnStats, OnlineReport, PolicyKind, RouteBy, ShardedRms};
+use librisk::{ckpt, drive_trace, ChurnStats, OnlineReport, PolicyKind, RouteBy, ShardedRms};
 use metrics::percentile::quantile;
 use sim::{Rng64, SimDuration, SimTime};
 use std::hint::black_box;
@@ -421,7 +421,8 @@ fn sharded_driver_cell(shards: usize, total_jobs: u64, wl: &TiledWorkload) -> (f
             .map(|_| PolicyKind::LibraRisk.rms(&sub_cluster))
             .collect(),
         RouteBy::JobHash,
-    );
+    )
+    .expect("bench ladder never builds an empty router");
     let mut sink = OnlineReport::new();
     let base_len = wl.base_len();
     let mut samples: Vec<f64> = Vec::with_capacity((total_jobs / 16 + 1) as usize);
@@ -437,10 +438,14 @@ fn sharded_driver_cell(shards: usize, total_jobs: u64, wl: &TiledWorkload) -> (f
             black_box(router.submit(job, now));
         }
         if (i + 1) % base_len == 0 {
-            router.advance_with(now, |e| sink.record(e.seq, e.record));
+            router
+                .advance_with(now, |e| sink.record(e.seq, e.record))
+                .expect("no shard panics in the bench ladder");
         }
     }
-    router.drain_with(|e| sink.record(e.seq, e.record));
+    router
+        .drain_with(|e| sink.record(e.seq, e.record))
+        .expect("no shard panics in the bench ladder");
     let secs = t0.elapsed().as_secs_f64();
     let p99 = quantile(&samples, 0.99).unwrap_or(0.0);
     (total_jobs as f64 / secs, p99, sink.fulfilled())
@@ -594,6 +599,76 @@ fn main() {
             requeue_churn.requeues,
         ));
     }
+    // Checkpoint cost probe: snapshot the churn driver mid-run (half the
+    // trace submitted) and time save / load / restore; the resumed run
+    // must finish with exactly the unbroken run's fulfilled count, so
+    // the timings are measured across a validated crash/resume cycle.
+    let ckpt_cut = driver_jobs / 2;
+    eprintln!("checkpoint probe: snapshot at {ckpt_cut}/{driver_jobs} jobs");
+    let ckpt_drive = |rms: &mut librisk::ClusterRms<'_>, jobs: &[Job], fulfilled: &mut u64| {
+        for job in jobs {
+            *fulfilled += rms
+                .advance(job.submit)
+                .filter(|e| e.record.fulfilled())
+                .count() as u64;
+            rms.submit(job.clone(), job.submit);
+        }
+    };
+    let mut unbroken_fulfilled = 0u64;
+    let mut rms = PolicyKind::LibraRisk
+        .rms(&Cluster::sdsc_sp2())
+        .with_faults(plan.clone(), RecoveryPolicy::Requeue);
+    ckpt_drive(&mut rms, driver_trace.jobs(), &mut unbroken_fulfilled);
+    unbroken_fulfilled += rms.drain().filter(|e| e.record.fulfilled()).count() as u64;
+    let mut resumed_fulfilled = 0u64;
+    let mut rms = PolicyKind::LibraRisk
+        .rms(&Cluster::sdsc_sp2())
+        .with_faults(plan.clone(), RecoveryPolicy::Requeue);
+    ckpt_drive(
+        &mut rms,
+        &driver_trace.jobs()[..ckpt_cut],
+        &mut resumed_fulfilled,
+    );
+    const CKPT_ROUNDS: u32 = 16;
+    let t0 = Instant::now();
+    let mut snapshot = Vec::new();
+    for _ in 0..CKPT_ROUNDS {
+        snapshot = ckpt::save(&rms, None);
+    }
+    let ckpt_save_us = t0.elapsed().as_secs_f64() * 1e6 / CKPT_ROUNDS as f64;
+    drop(rms);
+    let t0 = Instant::now();
+    for _ in 0..CKPT_ROUNDS {
+        black_box(ckpt::load(&snapshot).expect("fresh snapshot must load"));
+    }
+    let ckpt_load_us = t0.elapsed().as_secs_f64() * 1e6 / CKPT_ROUNDS as f64;
+    let loaded = ckpt::load(&snapshot).expect("fresh snapshot must load");
+    let mut ckpt_restore_us = 0.0;
+    let mut restored = None;
+    for _ in 0..CKPT_ROUNDS {
+        let blank = PolicyKind::LibraRisk.rms(&Cluster::sdsc_sp2());
+        let t0 = Instant::now();
+        let rms = loaded.restore_into(blank).expect("snapshot must restore");
+        ckpt_restore_us += t0.elapsed().as_secs_f64() * 1e6 / CKPT_ROUNDS as f64;
+        restored = Some(rms);
+    }
+    let mut rms = restored.expect("restore rounds ran");
+    ckpt_drive(
+        &mut rms,
+        &driver_trace.jobs()[ckpt_cut..],
+        &mut resumed_fulfilled,
+    );
+    resumed_fulfilled += rms.drain().filter(|e| e.record.fulfilled()).count() as u64;
+    assert_eq!(
+        unbroken_fulfilled, resumed_fulfilled,
+        "checkpoint/resume diverged from the unbroken churn run"
+    );
+    eprintln!(
+        "checkpoint: {} byte snapshot, save {ckpt_save_us:.0}us load {ckpt_load_us:.0}us \
+         restore {ckpt_restore_us:.0}us ({unbroken_fulfilled} fulfilled both arms)",
+        snapshot.len()
+    );
+
     // Overhead probe: interleaved paired rounds, the same discipline the
     // obs probe uses. Running plain and empty-plan back to back inside
     // each round means a contended stretch of wall clock slows both arms
@@ -874,6 +949,10 @@ fn main() {
          \"fault_free_overhead\": {{ \"plain_jobs_per_sec\": {plain_jps:.0}, \
          \"empty_plan_jobs_per_sec\": {empty_jps:.0}, \"ratio\": {overhead_ratio:.3}, \
          \"ratio_min\": {overhead_ratio_min:.3} }},\n  \
+         \"checkpoint\": {{ \"jobs\": {driver_jobs}, \"cut\": {ckpt_cut}, \
+         \"snapshot_bytes\": {}, \"save_us\": {ckpt_save_us:.1}, \
+         \"load_us\": {ckpt_load_us:.1}, \"restore_us\": {ckpt_restore_us:.1}, \
+         \"fulfilled\": {resumed_fulfilled} }},\n  \
          \"equivalence\": {{\n{}\n  }},\n  \
          \"obs_overhead\": {{ \"plain_jobs_per_sec\": {obs_plain_jps:.0}, \
          \"noop_jobs_per_sec\": {noop_jps:.0}, \"ring_jobs_per_sec\": {ring_jps:.0}, \
@@ -894,6 +973,7 @@ fn main() {
         adv_jps / ref_adv_jps,
         plan.len(),
         churn_cells.join(",\n"),
+        snapshot.len(),
         eq_arms.join(",\n"),
     );
     print!("{json}");

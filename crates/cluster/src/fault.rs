@@ -159,6 +159,27 @@ impl FaultPlan {
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
     }
+
+    /// Number of events already consumed (the cursor position).
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Rebuilds a plan mid-consumption, e.g. when restoring a
+    /// checkpoint: `events` must already be time-ordered (as returned by
+    /// [`FaultPlan::events`]) and `cursor` counts consumed events.
+    ///
+    /// # Panics
+    /// Panics if `cursor > events.len()` or the events are not
+    /// time-ordered.
+    pub fn from_parts(events: Vec<FaultEvent>, cursor: usize) -> Self {
+        assert!(cursor <= events.len(), "cursor out of range");
+        assert!(
+            events.windows(2).all(|w| w[0].at <= w[1].at),
+            "events must be time-ordered"
+        );
+        FaultPlan { events, cursor }
+    }
 }
 
 #[cfg(test)]

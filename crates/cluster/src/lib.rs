@@ -36,6 +36,7 @@ pub use cluster::Cluster;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, RecoveryPolicy};
 pub use node::{Node, NodeId};
 pub use proportional::{
-    CompletedJob, DisplacedJob, ProportionalCluster, ProportionalConfig, ShareEntry,
+    CompletedJob, DisplacedJob, EngineSnapshot, ProportionalCluster, ProportionalConfig,
+    ResidentSnapshot, ShareEntry,
 };
-pub use spaceshared::SpaceSharedCluster;
+pub use spaceshared::{PoolSnapshot, RunningSnapshot, SpaceSharedCluster};

@@ -132,6 +132,50 @@ pub struct DisplacedJob {
     pub overruns: u32,
 }
 
+/// Canonical state of one resident job, as carried by
+/// [`EngineSnapshot`]. Everything else in the arena (rates, cached
+/// deadlines, widths, epochs, scratch) is derived.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResidentSnapshot {
+    /// The job as admitted.
+    pub job: Job,
+    /// Allocated nodes, in allocation order.
+    pub nodes: Vec<NodeId>,
+    /// `node_positions[i]` is this job's index within node
+    /// `nodes[i]`'s resident list. The per-node list order is
+    /// scheduler-visible (share folds and projections iterate it), so a
+    /// restore must reproduce it exactly — it is *not* derivable from
+    /// admission order once `swap_remove`s have happened.
+    pub node_positions: Vec<u32>,
+    /// When it started executing.
+    pub started: SimTime,
+    /// How many times it has overrun its estimate.
+    pub overruns: u32,
+    /// Actual work left, reference-seconds.
+    pub remaining_work: f64,
+    /// Scheduler-believed work left, reference-seconds.
+    pub remaining_est: f64,
+}
+
+/// Canonical state of a [`ProportionalCluster`], sufficient to rebuild
+/// the engine bit-for-bit at a quiescent instant (rates clean, no
+/// event pending before `last_update`).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct EngineSnapshot {
+    /// Residents in ascending-id order (the canonical iteration order).
+    pub residents: Vec<ResidentSnapshot>,
+    /// Instant the engine state is valid for.
+    pub last_update: SimTime,
+    /// Delivered reference-seconds over `[0, last_update]`.
+    pub busy_integral: f64,
+    /// Node-seconds spent down over `[0, last_update]`.
+    pub down_integral: f64,
+    /// Per-node delivered reference-seconds.
+    pub node_busy: Vec<f64>,
+    /// Per-node down flags.
+    pub down: Vec<bool>,
+}
+
 /// Cold per-resident state, touched only on structural events (admission,
 /// completion, eviction, overrun re-arm).
 #[derive(Clone, Debug)]
@@ -1567,6 +1611,150 @@ impl ProportionalCluster {
         // now stale relative to `rate`/`next_dt`, and incremental
         // consumers must rebuild it before extending it.
         self.scratch_valid = false;
+    }
+
+    /// Extracts the canonical engine state (see [`EngineSnapshot`]).
+    /// Valid at any quiescent instant — i.e. whenever the facade could
+    /// also accept a `submit` or `advance`.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            residents: self
+                .order
+                .iter()
+                .map(|&s| {
+                    let si = s as usize;
+                    let m = self.meta[si].as_ref().expect("resident has meta");
+                    ResidentSnapshot {
+                        job: m.job.clone(),
+                        nodes: m.nodes.clone(),
+                        node_positions: m.slots.clone(),
+                        started: m.started,
+                        overruns: m.overruns,
+                        remaining_work: self.remaining_work[si],
+                        remaining_est: self.remaining_est[si],
+                    }
+                })
+                .collect(),
+            last_update: self.last_update,
+            busy_integral: self.busy_integral,
+            down_integral: self.down_integral,
+            node_busy: self.node_busy.clone(),
+            down: self.down.clone(),
+        }
+    }
+
+    /// Rebuilds an engine from a snapshot. Canonical state is injected
+    /// verbatim; every derived structure — rates, per-node share
+    /// totals, event-gap minimum, occupancy mask, min-deadline cache,
+    /// share index, scratch — is recomputed from it. Rates recompute by
+    /// the same from-zero ascending-job-id fold every live recompute
+    /// uses, so the restored engine is bitwise equal to the one the
+    /// snapshot was taken from (epoch counters restart at zero, which
+    /// no consumer observes: they are only compared for equality, and a
+    /// restored engine starts with no caches to invalidate).
+    ///
+    /// Returns a description of the first violated invariant instead of
+    /// panicking, so checkpoint restore can surface corruption as a
+    /// structured error.
+    pub fn from_snapshot(
+        cluster: Cluster,
+        cfg: ProportionalConfig,
+        snap: &EngineSnapshot,
+    ) -> Result<Self, String> {
+        let n = cluster.len();
+        if snap.down.len() != n || snap.node_busy.len() != n {
+            return Err(format!(
+                "per-node arrays cover {}/{} nodes, cluster has {n}",
+                snap.down.len(),
+                snap.node_busy.len()
+            ));
+        }
+        let mut eng = ProportionalCluster::new(cluster, cfg);
+        eng.down = snap.down.clone();
+        eng.down_count = snap.down.iter().filter(|d| **d).count();
+        eng.node_busy = snap.node_busy.clone();
+        eng.busy_integral = snap.busy_integral;
+        eng.down_integral = snap.down_integral;
+        eng.last_update = snap.last_update;
+        // Per-node resident lists are placed by recorded position, so
+        // each list must receive exactly its residents' positions as a
+        // permutation of 0..len.
+        let mut node_lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (slot, r) in snap.residents.iter().enumerate() {
+            let s = slot as u32;
+            if slot > 0 && snap.residents[slot - 1].job.id >= r.job.id {
+                return Err("residents not in ascending-id order".into());
+            }
+            if r.nodes.is_empty()
+                || r.nodes.len() != r.job.procs as usize
+                || r.nodes.len() != r.node_positions.len()
+            {
+                return Err(format!("{} node list does not match procs", r.job.id));
+            }
+            if !(r.remaining_work.is_finite()
+                && r.remaining_work > 0.0
+                && r.remaining_est.is_finite()
+                && r.remaining_est > 0.0)
+            {
+                return Err(format!("{} has non-positive remaining work", r.job.id));
+            }
+            let dl = r.job.absolute_deadline().as_secs();
+            let real_s = eng.alloc_slot();
+            debug_assert_eq!(real_s, s, "blank engine allocates slots in order");
+            eng.gang_start[slot] = eng.gang_nodes.len() as u32;
+            let mut seen = r.nodes.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            if seen.len() != r.nodes.len() {
+                return Err(format!("{} allocation repeats a node", r.job.id));
+            }
+            for (node, &pos) in r.nodes.iter().zip(&r.node_positions) {
+                let ni = node.0 as usize;
+                if ni >= n {
+                    return Err(format!("{} hosts on unknown {node}", r.job.id));
+                }
+                if snap.down[ni] {
+                    return Err(format!("{} hosts on down {node}", r.job.id));
+                }
+                let list = &mut node_lists[ni];
+                let pos = pos as usize;
+                if list.len() <= pos {
+                    list.resize(pos + 1, u32::MAX);
+                }
+                if list[pos] != u32::MAX {
+                    return Err(format!("{node} position {pos} claimed twice"));
+                }
+                list[pos] = s;
+                eng.gang_nodes.push(node.0);
+                eng.occ_mask[ni / 64] |= 1u64 << (ni % 64);
+                eng.node_min_dl[ni] = eng.node_min_dl[ni].min(dl);
+            }
+            eng.ids[slot] = r.job.id;
+            eng.remaining_work[slot] = r.remaining_work;
+            eng.remaining_est[slot] = r.remaining_est;
+            eng.abs_deadline[slot] = dl;
+            eng.estimate_secs[slot] = r.job.estimate.as_secs();
+            eng.width[slot] = r.nodes.len() as u32;
+            eng.width_f[slot] = r.nodes.len() as f64;
+            eng.node0[slot] = r.nodes[0].0;
+            eng.meta[slot] = Some(ResidentMeta {
+                job: r.job.clone(),
+                nodes: r.nodes.clone(),
+                slots: r.node_positions.clone(),
+                started: r.started,
+                overruns: r.overruns,
+            });
+            eng.order.push(s);
+        }
+        for (ni, list) in node_lists.into_iter().enumerate() {
+            if list.contains(&u32::MAX) {
+                return Err(format!("node {ni} resident positions have a gap"));
+            }
+            eng.node_jobs[ni] = list;
+        }
+        eng.rates_clean = false;
+        eng.recompute_rates();
+        Ok(eng)
     }
 }
 

@@ -26,6 +26,39 @@ struct RunningJob {
     seq: u64,
 }
 
+/// Canonical state of one running job, as carried by [`PoolSnapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunningSnapshot {
+    /// The job itself.
+    pub job: Job,
+    /// Allocated nodes, in allocation order.
+    pub nodes: Vec<NodeId>,
+    /// Start instant.
+    pub started: SimTime,
+    /// Precomputed finish instant.
+    pub finish: SimTime,
+    /// Start sequence (finish-tie breaker).
+    pub seq: u64,
+}
+
+/// Canonical state of a [`SpaceSharedCluster`], sufficient to rebuild
+/// the pool bit-for-bit: the free list and finish heap are derived.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct PoolSnapshot {
+    /// Running jobs in ascending-id order.
+    pub running: Vec<RunningSnapshot>,
+    /// Busy processor-seconds over `[0, last_update]`.
+    pub busy_integral: f64,
+    /// Down processor-seconds over `[0, last_update]`.
+    pub down_integral: f64,
+    /// Instant up to which the integrals are accounted.
+    pub last_update: SimTime,
+    /// Next start sequence to hand out.
+    pub start_seq: u64,
+    /// Per-node down flags.
+    pub down: Vec<bool>,
+}
+
 /// The space-shared cluster engine.
 #[derive(Clone, Debug)]
 pub struct SpaceSharedCluster {
@@ -266,6 +299,109 @@ impl SpaceSharedCluster {
             return 0.0;
         }
         self.busy_integral / capacity
+    }
+
+    /// Extracts the canonical pool state (see [`PoolSnapshot`]).
+    pub fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot {
+            // BTreeMap iteration is ascending by id already.
+            running: self
+                .running
+                .values()
+                .map(|r| RunningSnapshot {
+                    job: r.job.clone(),
+                    nodes: r.nodes.clone(),
+                    started: r.started,
+                    finish: r.finish,
+                    seq: r.seq,
+                })
+                .collect(),
+            busy_integral: self.busy_integral,
+            down_integral: self.down_integral,
+            last_update: self.last_update,
+            start_seq: self.start_seq,
+            down: self.down.clone(),
+        }
+    }
+
+    /// Rebuilds a pool from a snapshot over `cluster`. The free list
+    /// (up nodes hosting nothing, sorted descending) and the finish
+    /// heap are reconstructed from the canonical state; the result is
+    /// observationally identical to the pool the snapshot was taken
+    /// from — the only difference is the absence of stale finish-heap
+    /// entries, which the live pool discards lazily anyway.
+    ///
+    /// Returns a description of the first violated invariant instead of
+    /// panicking, so checkpoint restore can surface corruption as a
+    /// structured error.
+    pub fn from_snapshot(cluster: Cluster, snap: &PoolSnapshot) -> Result<Self, String> {
+        let n = cluster.len();
+        if snap.down.len() != n {
+            return Err(format!(
+                "down flags cover {} nodes, cluster has {n}",
+                snap.down.len()
+            ));
+        }
+        let mut hosted = vec![false; n];
+        let mut running = BTreeMap::new();
+        let mut finish_heap = BinaryHeap::new();
+        for r in &snap.running {
+            if r.nodes.is_empty() || r.nodes.len() != r.job.procs as usize {
+                return Err(format!("{} node list does not match procs", r.job.id));
+            }
+            if r.seq >= snap.start_seq {
+                return Err(format!("{} seq beyond start_seq", r.job.id));
+            }
+            for node in &r.nodes {
+                let i = node.0 as usize;
+                if i >= n {
+                    return Err(format!("{} hosts on unknown {node}", r.job.id));
+                }
+                if hosted[i] {
+                    return Err(format!("{node} hosts two jobs"));
+                }
+                if snap.down[i] {
+                    return Err(format!("{} hosts on down {node}", r.job.id));
+                }
+                hosted[i] = true;
+            }
+            finish_heap.push(Reverse((r.finish, r.seq, r.job.id)));
+            if running
+                .insert(
+                    r.job.id,
+                    RunningJob {
+                        job: r.job.clone(),
+                        nodes: r.nodes.clone(),
+                        started: r.started,
+                        finish: r.finish,
+                        seq: r.seq,
+                    },
+                )
+                .is_some()
+            {
+                return Err(format!("{} appears twice", r.job.id));
+            }
+        }
+        // Free = up and not hosting, descending so `pop` hands out the
+        // lowest id first (the invariant `free_insert` maintains).
+        let free: Vec<NodeId> = (0..n)
+            .rev()
+            .filter(|&i| !snap.down[i] && !hosted[i])
+            .map(|i| NodeId(i as u32))
+            .collect();
+        let down_count = snap.down.iter().filter(|d| **d).count();
+        Ok(SpaceSharedCluster {
+            cluster,
+            free,
+            running,
+            busy_integral: snap.busy_integral,
+            down_integral: snap.down_integral,
+            last_update: snap.last_update,
+            finish_heap,
+            start_seq: snap.start_seq,
+            down: snap.down.clone(),
+            down_count,
+        })
     }
 
     fn account(&mut self, now: SimTime) {

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod car;
+pub mod ckpt;
 pub mod libra;
 pub mod libra_budget;
 pub mod libra_risk;
@@ -63,6 +64,10 @@ pub mod router;
 pub mod scheduler;
 
 pub use car::{computation_at_risk, CarAnalysis, CarMeasure};
+pub use ckpt::{
+    load, restore_sharded, save, save_sharded, write_atomic, Checkpoint, CheckpointStore,
+    CkptError, Manifest,
+};
 pub use libra::Libra;
 pub use libra_budget::{BudgetModel, LibraBudget, PricingModel};
 pub use libra_risk::{ClusterRisk, LibraRisk, NodeOrdering};
@@ -70,10 +75,11 @@ pub use policy::{PolicyKind, ShareAdmission};
 pub use qops::{run_qops, QopsConfig};
 pub use queue::{QueueDiscipline, QueuePolicy, QueuedJob};
 pub use report::{
-    ChurnStats, JobRecord, OnlineReport, Outcome, ReportCollector, ReportSink, SimulationReport,
+    ChurnStats, JobRecord, OnlineReport, OnlineReportParts, Outcome, ReportCollector, ReportSink,
+    SimulationReport,
 };
 pub use rms::{drive_trace, ClusterRms, Decision, ExecutionBackend, JobEvent, ShardState};
-pub use router::{job_hash_shard, RouteBy, ShardedRms};
+pub use router::{job_hash_shard, RouteBy, RouterError, ShardedRms};
 pub use scheduler::{run_proportional, run_queued};
 
 // The observability layer is part of the facade's public surface
@@ -85,12 +91,13 @@ pub use obs::{NoopRecorder, Recorder, RejectReason, TraceRecorder};
 
 /// One-line imports for examples and the experiment harness.
 pub mod prelude {
+    pub use crate::ckpt::{self, Checkpoint, CheckpointStore, CkptError};
     pub use crate::policy::PolicyKind;
     pub use crate::report::{
         ChurnStats, OnlineReport, Outcome, ReportCollector, ReportSink, SimulationReport,
     };
     pub use crate::rms::{drive_trace, ClusterRms, Decision, JobEvent};
-    pub use crate::router::{RouteBy, ShardedRms};
+    pub use crate::router::{RouteBy, RouterError, ShardedRms};
     pub use crate::scheduler::{run_proportional, run_queued};
     pub use cluster::{Cluster, FaultEvent, FaultKind, FaultPlan, NodeId, RecoveryPolicy};
     pub use obs;

@@ -190,14 +190,14 @@ pub enum ExecutionBackend<'p> {
 /// Proportional-share backend: the engine plus the admission policy
 /// consulted at each arrival.
 pub struct ProportionalBackend<'p> {
-    engine: ProportionalCluster,
-    policy: Box<dyn ShareAdmission + Send + 'p>,
+    pub(crate) engine: ProportionalCluster,
+    pub(crate) policy: Box<dyn ShareAdmission + Send + 'p>,
     /// Submission sequence of each resident job (removed at completion,
     /// so the map stays bounded by the resident count).
-    seq_of: HashMap<JobId, u64>,
+    pub(crate) seq_of: HashMap<JobId, u64>,
     /// Reused completion buffer for `advance_into`, so the per-event
     /// advance path stays allocation-free in steady state.
-    completed_buf: Vec<CompletedJob>,
+    pub(crate) completed_buf: Vec<CompletedJob>,
 }
 
 impl ProportionalBackend<'_> {
@@ -412,10 +412,10 @@ impl ProportionalBackend<'_> {
 /// Space-shared queueing backend: the processor pool, the waiting queue,
 /// and the selection policy.
 pub struct QueuedBackend {
-    policy: QueuePolicy,
-    pool: SpaceSharedCluster,
-    queue: Vec<QueuedJob>,
-    seq_of: HashMap<JobId, u64>,
+    pub(crate) policy: QueuePolicy,
+    pub(crate) pool: SpaceSharedCluster,
+    pub(crate) queue: Vec<QueuedJob>,
+    pub(crate) seq_of: HashMap<JobId, u64>,
 }
 
 impl QueuedBackend {
@@ -624,13 +624,13 @@ impl QueuedBackend {
 /// QoPS backend: the processor pool plus the arrival-time schedulability
 /// state (queued and running jobs with their estimated finishes).
 pub struct QopsBackend {
-    cfg: QopsConfig,
-    pool: SpaceSharedCluster,
-    queue: Vec<QueuedJob>,
+    pub(crate) cfg: QopsConfig,
+    pub(crate) pool: SpaceSharedCluster,
+    pub(crate) queue: Vec<QueuedJob>,
     /// Running jobs as `(seq, width, estimated finish)` in start order —
     /// the processor free-time projection input.
-    running: Vec<(u64, u32, f64)>,
-    seq_of: HashMap<JobId, u64>,
+    pub(crate) running: Vec<(u64, u32, f64)>,
+    pub(crate) seq_of: HashMap<JobId, u64>,
 }
 
 impl QopsBackend {
@@ -882,24 +882,24 @@ impl QopsBackend {
 /// `std::thread::scope` workers. The compile-time assertion next to
 /// [`ClusterRms`] keeps this true as fields evolve.
 pub struct ShardState<'p> {
-    backend: ExecutionBackend<'p>,
-    now: SimTime,
-    next_seq: u64,
-    events: Vec<JobEvent>,
+    pub(crate) backend: ExecutionBackend<'p>,
+    pub(crate) now: SimTime,
+    pub(crate) next_seq: u64,
+    pub(crate) events: Vec<JobEvent>,
     /// Scheduled node churn, consumed as time advances (empty by
     /// default — structurally inert).
-    plan: FaultPlan,
-    recovery: RecoveryPolicy,
-    churn: ChurnStats,
+    pub(crate) plan: FaultPlan,
+    pub(crate) recovery: RecoveryPolicy,
+    pub(crate) churn: ChurnStats,
     /// Originally submitted form of every job that went through at least
     /// one requeue, keyed by sequence: outcomes are reported (and the SLA
     /// judged) against the job as originally submitted, not the
     /// shrunken-deadline retry. Entries leave on resolution.
-    requeued: HashMap<u64, Job>,
+    pub(crate) requeued: HashMap<u64, Job>,
     /// Optional borrowed recorder observing this RMS. `None` (the
     /// default) short-circuits every hook to a single branch; any
     /// recorder leaves outcomes bitwise identical.
-    recorder: Option<&'p mut (dyn Recorder + Send + 'p)>,
+    pub(crate) recorder: Option<&'p mut (dyn Recorder + Send + 'p)>,
 }
 
 impl<'p> ShardState<'p> {
@@ -1225,8 +1225,8 @@ impl<'p> ShardState<'p> {
 /// the state machine itself — so one `ClusterRms` is exactly one shard
 /// of a [`ShardedRms`](crate::router::ShardedRms).
 pub struct ClusterRms<'p> {
-    state: ShardState<'p>,
-    policy_name: String,
+    pub(crate) state: ShardState<'p>,
+    pub(crate) policy_name: String,
 }
 
 // A shard must be free-standing so the router can move it onto a scoped

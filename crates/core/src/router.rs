@@ -43,8 +43,43 @@ use crate::rms::{ClusterRms, Decision, JobEvent};
 use sim::SimTime;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, PoisonError};
 use workload::{Job, JobId};
+
+/// A structured router failure: construction without shards, or a shard
+/// worker that panicked mid-fan-out. The second case is the router's
+/// crash containment — a poisoned shard degrades into an error on the
+/// caller's thread instead of cascading a panic through the mailbox
+/// locks and aborting the merge.
+#[derive(Debug)]
+pub enum RouterError {
+    /// [`ShardedRms::new`] was given an empty shard vector.
+    NoShards,
+    /// A shard worker panicked during `advance`/`drain`. Events merged
+    /// before the failure were already emitted; the named shard's state
+    /// must be considered corrupt (rebuild or restore it from a
+    /// checkpoint before further use).
+    ShardPanicked {
+        /// Index of the shard whose worker panicked.
+        shard: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::NoShards => write!(f, "a sharded RMS needs at least one shard"),
+            RouterError::ShardPanicked { shard, message } => {
+                write!(f, "shard {shard} worker panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
 
 /// Events per mailbox send: large enough to amortise the lock + condvar
 /// handshake, small enough to keep the merge streaming.
@@ -106,11 +141,20 @@ impl<T> Mailbox<T> {
         }
     }
 
-    /// Enqueues one chunk, blocking while the box is full.
+    /// Enqueues one chunk, blocking while the box is full. Lock
+    /// poisoning is recovered, not propagated: the mailbox holds plain
+    /// data (chunks + a closed flag) that stays structurally valid at
+    /// every instant a panic could unwind through it, and recovering
+    /// here is what lets a panicking worker degrade into a
+    /// [`RouterError::ShardPanicked`] instead of poisoning every
+    /// sibling's send.
     fn send(&self, chunk: Vec<T>) {
-        let mut inner = self.inner.lock().expect("mailbox poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         while inner.chunks.len() >= MAILBOX_CAP {
-            inner = self.send_cv.wait(inner).expect("mailbox poisoned");
+            inner = self
+                .send_cv
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         inner.chunks.push_back(chunk);
         drop(inner);
@@ -120,14 +164,17 @@ impl<T> Mailbox<T> {
     /// Marks the producer side finished; `recv` drains what remains and
     /// then reports the end of the stream.
     fn close(&self) {
-        self.inner.lock().expect("mailbox poisoned").closed = true;
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
         self.recv_cv.notify_one();
     }
 
     /// Dequeues the next chunk, blocking until one arrives; `None` once
     /// the box is closed and drained.
     fn recv(&self) -> Option<Vec<T>> {
-        let mut inner = self.inner.lock().expect("mailbox poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(chunk) = inner.chunks.pop_front() {
                 drop(inner);
@@ -137,7 +184,10 @@ impl<T> Mailbox<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.recv_cv.wait(inner).expect("mailbox poisoned");
+            inner = self
+                .recv_cv
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -146,30 +196,58 @@ impl<T> Mailbox<T> {
 /// fan-out-and-merge on advance/drain. See the module docs for the
 /// protocol and the semantics argument.
 pub struct ShardedRms<'p> {
-    shards: Vec<ClusterRms<'p>>,
-    route: RouteBy,
-    next_rr: usize,
-    next_seq: u64,
+    pub(crate) shards: Vec<ClusterRms<'p>>,
+    pub(crate) route: RouteBy,
+    pub(crate) next_rr: usize,
+    pub(crate) next_seq: u64,
     /// Per shard: local submission seq → router-wide submission seq.
     /// Workers remap every streamed event through this table, so merged
     /// [`JobEvent::seq`] values are global submission order.
-    global_of: Vec<Vec<u64>>,
+    pub(crate) global_of: Vec<Vec<u64>>,
+    /// Churn aggregates inherited from shards that were retired by a
+    /// shrinking reshard restore (see [`crate::ckpt::restore_sharded`]);
+    /// folded into [`ShardedRms::churn`] so history survives the
+    /// reconfiguration. Zero on routers that never resharded.
+    pub(crate) carried_churn: ChurnStats,
 }
 
 impl<'p> ShardedRms<'p> {
-    /// Builds a router over the given shards.
-    ///
-    /// # Panics
-    /// Panics when `shards` is empty.
-    pub fn new(shards: Vec<ClusterRms<'p>>, route: RouteBy) -> Self {
-        assert!(!shards.is_empty(), "a sharded RMS needs at least one shard");
+    /// Builds a router over the given shards; errs on an empty shard
+    /// vector (there is nothing to route to).
+    pub fn new(shards: Vec<ClusterRms<'p>>, route: RouteBy) -> Result<Self, RouterError> {
+        if shards.is_empty() {
+            return Err(RouterError::NoShards);
+        }
         let n = shards.len();
-        ShardedRms {
+        Ok(ShardedRms {
             shards,
             route,
             next_rr: 0,
             next_seq: 0,
             global_of: vec![Vec::new(); n],
+            carried_churn: ChurnStats::default(),
+        })
+    }
+
+    /// Reassembles a router from checkpointed parts (the ckpt module's
+    /// restore path). Invariants are the caller's to uphold: one
+    /// `global_of` table per shard, `next_rr < shards.len()`.
+    pub(crate) fn from_parts(
+        shards: Vec<ClusterRms<'p>>,
+        route: RouteBy,
+        next_rr: usize,
+        next_seq: u64,
+        global_of: Vec<Vec<u64>>,
+        carried_churn: ChurnStats,
+    ) -> Self {
+        debug_assert_eq!(shards.len(), global_of.len());
+        ShardedRms {
+            shards,
+            route,
+            next_rr,
+            next_seq,
+            global_of,
+            carried_churn,
         }
     }
 
@@ -198,9 +276,10 @@ impl<'p> ShardedRms<'p> {
         self.shards.iter().map(|s| s.in_flight()).sum()
     }
 
-    /// Merged churn aggregates across all shards.
+    /// Merged churn aggregates across all shards, including aggregates
+    /// carried over from shards retired by a reshard restore.
     pub fn churn(&self) -> ChurnStats {
-        let mut total = ChurnStats::default();
+        let mut total = self.carried_churn;
         for s in &self.shards {
             total.merge(s.churn());
         }
@@ -266,39 +345,60 @@ impl<'p> ShardedRms<'p> {
     ///
     /// # Panics
     /// Panics if `to` precedes an earlier submission or advance.
-    pub fn advance(&mut self, to: SimTime) -> Vec<JobEvent> {
+    pub fn advance(&mut self, to: SimTime) -> Result<Vec<JobEvent>, RouterError> {
         let mut out = Vec::new();
-        self.advance_with(to, |e| out.push(e));
-        out
+        self.advance_with(to, |e| out.push(e))?;
+        Ok(out)
     }
 
     /// Advances every shard to `to` on its own scoped worker thread and
     /// streams the merged outcomes into `emit` as they become available
     /// (barrier-free: the earliest events flow while later shards still
     /// work). `emit` runs on the caller's thread.
-    pub fn advance_with(&mut self, to: SimTime, emit: impl FnMut(JobEvent)) {
-        self.fan_out(Some(to), emit);
+    ///
+    /// A panicking shard worker does not abort the fan-out: its mailbox
+    /// closes, the surviving shards finish their advance and stream
+    /// their events, and the first failure comes back as
+    /// [`RouterError::ShardPanicked`] after the merge completes.
+    pub fn advance_with(
+        &mut self,
+        to: SimTime,
+        emit: impl FnMut(JobEvent),
+    ) -> Result<(), RouterError> {
+        self.fan_out(Some(to), emit)
     }
 
     /// Drains every shard to completion and returns the merged residual
     /// outcomes (see [`ShardedRms::advance`] for ordering).
-    pub fn drain(&mut self) -> Vec<JobEvent> {
+    pub fn drain(&mut self) -> Result<Vec<JobEvent>, RouterError> {
         let mut out = Vec::new();
-        self.drain_with(|e| out.push(e));
-        out
+        self.drain_with(|e| out.push(e))?;
+        Ok(out)
     }
 
-    /// Streaming form of [`ShardedRms::drain`].
-    pub fn drain_with(&mut self, emit: impl FnMut(JobEvent)) {
-        self.fan_out(None, emit);
+    /// Streaming form of [`ShardedRms::drain`] (see
+    /// [`ShardedRms::advance_with`] for the failure contract).
+    pub fn drain_with(&mut self, emit: impl FnMut(JobEvent)) -> Result<(), RouterError> {
+        self.fan_out(None, emit)
     }
 
     /// Fans one advance (`Some(to)`) or drain (`None`) out to the
     /// shards and merges the streams. A single shard short-circuits to
     /// an inline pass — no thread, no mailbox — which keeps the 1-shard
     /// router on the plain facade's perf envelope and makes the bitwise
-    /// 1-shard differential structural.
-    fn fan_out(&mut self, to: Option<SimTime>, mut emit: impl FnMut(JobEvent)) {
+    /// 1-shard differential structural (a 1-shard panic therefore
+    /// propagates like the plain facade's would).
+    ///
+    /// Multi-shard workers run inside `catch_unwind`: a panicking shard
+    /// closes its mailbox (so the merge still terminates), the payload
+    /// is carried back to the caller's thread, and the first failure
+    /// surfaces as [`RouterError::ShardPanicked`] once every surviving
+    /// stream has been merged.
+    fn fan_out(
+        &mut self,
+        to: Option<SimTime>,
+        mut emit: impl FnMut(JobEvent),
+    ) -> Result<(), RouterError> {
         let shards = &mut self.shards;
         let global_of = &self.global_of;
         if shards.len() == 1 {
@@ -311,20 +411,61 @@ impl<'p> ShardedRms<'p> {
                 Some(t) => shards[0].advance(t).map(remap).for_each(&mut emit),
                 None => shards[0].drain().map(remap).for_each(&mut emit),
             }
-            return;
+            return Ok(());
         }
         let mailboxes: Vec<Mailbox<JobEvent>> = (0..shards.len()).map(|_| Mailbox::new()).collect();
+        let mut failure: Option<(usize, String)> = None;
         std::thread::scope(|scope| {
-            for ((shard, mb), map) in shards.iter_mut().zip(&mailboxes).zip(global_of) {
-                scope.spawn(move || {
-                    match to {
-                        Some(t) => pump(shard.advance(t), map, mb),
-                        None => pump(shard.drain(), map, mb),
-                    };
-                });
+            let mut handles = Vec::with_capacity(shards.len());
+            for (i, ((shard, mb), map)) in
+                shards.iter_mut().zip(&mailboxes).zip(global_of).enumerate()
+            {
+                handles.push((
+                    i,
+                    scope.spawn(move || {
+                        catch_unwind(AssertUnwindSafe(|| match to {
+                            Some(t) => pump(shard.advance(t), map, mb),
+                            None => pump(shard.drain(), map, mb),
+                        }))
+                        .map_err(|payload| {
+                            // The pump never reached its close: release
+                            // the consumer so the merge can terminate.
+                            mb.close();
+                            panic_message(payload.as_ref())
+                        })
+                    }),
+                ));
             }
             merge_mailboxes(&mailboxes, &mut emit);
+            for (i, handle) in handles {
+                let msg = match handle.join() {
+                    Ok(Ok(())) => continue,
+                    Ok(Err(msg)) => msg,
+                    // The worker closure itself panicked outside the
+                    // catch (out of memory unwinds, say): same contract.
+                    Err(payload) => panic_message(payload.as_ref()),
+                };
+                if failure.is_none() {
+                    failure = Some((i, msg));
+                }
+            }
         });
+        match failure {
+            Some((shard, message)) => Err(RouterError::ShardPanicked { shard, message }),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Renders a panic payload for [`RouterError::ShardPanicked`]: the
+/// string forms `panic!` produces, or a placeholder for exotic payloads.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -437,13 +578,13 @@ mod tests {
 
     #[test]
     fn round_robin_rotates_and_least_loaded_balances() {
-        let mut rr = ShardedRms::new(vec![shard(), shard(), shard()], RouteBy::RoundRobin);
+        let mut rr = ShardedRms::new(vec![shard(), shard(), shard()], RouteBy::RoundRobin).unwrap();
         let shards: Vec<usize> = (0..6)
             .map(|i| rr.submit_routed(job(i, 0.0, 50.0, 1, 500.0), t(0.0)).0)
             .collect();
         assert_eq!(shards, vec![0, 1, 2, 0, 1, 2]);
 
-        let mut ll = ShardedRms::new(vec![shard(), shard()], RouteBy::LeastLoaded);
+        let mut ll = ShardedRms::new(vec![shard(), shard()], RouteBy::LeastLoaded).unwrap();
         // First two land on different shards; the third ties back to 0.
         assert_eq!(ll.submit_routed(job(0, 0.0, 50.0, 1, 500.0), t(0.0)).0, 0);
         assert_eq!(ll.submit_routed(job(1, 0.0, 50.0, 1, 500.0), t(0.0)).0, 1);
@@ -464,13 +605,13 @@ mod tests {
 
     #[test]
     fn merged_stream_is_time_ordered_with_global_seqs() {
-        let mut rms = ShardedRms::new(vec![shard(), shard()], RouteBy::RoundRobin);
+        let mut rms = ShardedRms::new(vec![shard(), shard()], RouteBy::RoundRobin).unwrap();
         // Staggered runtimes so completions interleave across shards.
         for i in 0..8u64 {
             let d = rms.submit(job(i, 0.0, 40.0 + 13.0 * i as f64, 1, 5000.0), t(0.0));
             assert_eq!(d, Decision::Accepted);
         }
-        let events = rms.drain();
+        let events = rms.drain().unwrap();
         assert_eq!(events.len(), 8);
         let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
         let stamps: Vec<SimTime> = events
@@ -486,8 +627,61 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one shard")]
-    fn empty_router_panics() {
-        ShardedRms::new(Vec::new(), RouteBy::JobHash);
+    fn empty_router_is_a_constructor_error() {
+        let err = ShardedRms::new(Vec::new(), RouteBy::JobHash)
+            .err()
+            .expect("zero shards must be refused");
+        assert!(matches!(err, RouterError::NoShards));
+        assert_eq!(err.to_string(), "a sharded RMS needs at least one shard");
+    }
+
+    /// A recorder that (when armed) panics on worker-side events
+    /// (advance spans), staying quiet through the caller-thread submit
+    /// hooks — the smallest way to detonate a shard worker mid-fan-out.
+    /// The disarmed instances exist so every shard shares one recorder
+    /// lifetime (`ClusterRms` is invariant over it).
+    struct AdvanceBomb {
+        armed: bool,
+    }
+
+    impl obs::Recorder for AdvanceBomb {
+        fn record(&mut self, _sim_secs: f64, event: obs::Event) {
+            if self.armed && matches!(event, obs::Event::AdvanceSpan { .. }) {
+                panic!("advance bomb detonated");
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_shard_degrades_into_a_structured_error() {
+        let mut b0 = AdvanceBomb { armed: false };
+        let mut b1 = AdvanceBomb { armed: true };
+        let mut b2 = AdvanceBomb { armed: false };
+        let shards = vec![
+            shard().with_recorder(&mut b0),
+            shard().with_recorder(&mut b1),
+            shard().with_recorder(&mut b2),
+        ];
+        let mut rms = ShardedRms::new(shards, RouteBy::RoundRobin).unwrap();
+        for i in 0..6u64 {
+            rms.submit(job(i, 0.0, 40.0 + 9.0 * i as f64, 1, 5000.0), t(0.0));
+        }
+        let mut events = Vec::new();
+        let err = rms
+            .drain_with(|e| events.push(e))
+            .expect_err("the bombed shard must surface as an error");
+        match err {
+            RouterError::ShardPanicked { shard, message } => {
+                assert_eq!(shard, 1);
+                assert!(message.contains("advance bomb"), "payload: {message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // The surviving shards still streamed their outcomes (shards 0
+        // and 2 took jobs 0,2,3,5) and the router stays usable for
+        // inspection — no poisoned locks, no aborted process.
+        assert_eq!(events.len(), 4);
+        assert_eq!(rms.submitted(), 6);
+        let _ = rms.utilization();
     }
 }

@@ -84,12 +84,18 @@ fn run_sharded(rms: &mut ShardedRms<'_>, trace: &Trace) -> Vec<(u64, JobRecord)>
     for job in trace.jobs() {
         out.extend(
             rms.advance(job.submit)
+                .expect("no shard panics in the oracle drive")
                 .into_iter()
                 .map(|e| (e.seq, e.record)),
         );
         rms.submit(job.clone(), job.submit);
     }
-    out.extend(rms.drain().into_iter().map(|e| (e.seq, e.record)));
+    out.extend(
+        rms.drain()
+            .expect("no shard panics in the oracle drive")
+            .into_iter()
+            .map(|e| (e.seq, e.record)),
+    );
     out
 }
 
@@ -102,7 +108,7 @@ fn one_shard_router_is_bitwise_identical_for_every_policy() {
         let cluster = Cluster::homogeneous(16, 168.0);
         for kind in PolicyKind::ALL {
             let plain = run_plain(kind.rms(&cluster), &trace);
-            let mut router = ShardedRms::new(vec![kind.rms(&cluster)], RouteBy::JobHash);
+            let mut router = ShardedRms::new(vec![kind.rms(&cluster)], RouteBy::JobHash).unwrap();
             let sharded = run_sharded(&mut router, &trace);
             assert_eq!(
                 plain.len(),
@@ -131,7 +137,8 @@ fn one_shard_router_reproduces_bench_golden_fulfilled() {
     let cluster = Cluster::sdsc_sp2();
 
     let plain = run_plain(PolicyKind::LibraRisk.rms(&cluster), &trace);
-    let mut router = ShardedRms::new(vec![PolicyKind::LibraRisk.rms(&cluster)], RouteBy::JobHash);
+    let mut router =
+        ShardedRms::new(vec![PolicyKind::LibraRisk.rms(&cluster)], RouteBy::JobHash).unwrap();
     let sharded = run_sharded(&mut router, &trace);
 
     assert_eq!(plain.len(), sharded.len());
@@ -201,7 +208,8 @@ proptest! {
                 })
                 .collect(),
             RouteBy::JobHash,
-        );
+        )
+        .unwrap();
         let mut merged: Vec<(u64, JobRecord)> = Vec::new();
         let mut prev = SimTime::ZERO;
         let collect = |events: Vec<JobEvent>, out: &mut Vec<(u64, JobRecord)>| {
@@ -212,14 +220,14 @@ proptest! {
             if gap > SimDuration::ZERO {
                 let frac = fracs[i % fracs.len()].clamp(0.0, 0.999);
                 let mid = prev + SimDuration::from_secs(gap.as_secs() * frac);
-                collect(router.advance(mid), &mut merged);
+                collect(router.advance(mid).unwrap(), &mut merged);
             }
-            collect(router.advance(job.submit), &mut merged);
+            collect(router.advance(job.submit).unwrap(), &mut merged);
             let (placed, _) = router.submit_routed(job.clone(), job.submit);
             prop_assert_eq!(placed, job_hash_shard(job.id, shards), "hash placement");
             prev = job.submit;
         }
-        collect(router.drain(), &mut merged);
+        collect(router.drain().unwrap(), &mut merged);
         prop_assert_eq!(merged.len(), trace.len(), "every job resolves once");
         let stamps: Vec<SimTime> = merged
             .iter()

@@ -1,0 +1,172 @@
+//! Checkpoint probe behind `experiments checkpoint`.
+//!
+//! Measures the operational cost of the crash-safety layer on the
+//! standard churn scenario — snapshot size on the wire, save / load /
+//! restore latency — and validates the two properties the layer
+//! promises, failing loudly (panic → non-zero exit) if either breaks:
+//!
+//! * **bitwise resume**: checkpointing mid-run and restoring into a
+//!   blank RMS finishes with exactly the unbroken run's outcomes, and
+//! * **loud corruption**: a flipped bit in the snapshot is detected as
+//!   a structured error, never a silent misparse.
+
+use crate::figures::FigureConfig;
+use crate::obs_run::obs_scenario;
+use cluster::RecoveryPolicy;
+use librisk::ckpt;
+use librisk::report::JobRecord;
+use librisk::{ClusterRms, PolicyKind};
+use std::time::Instant;
+use workload::Job;
+
+/// One checkpoint probe run: costs plus validation verdicts.
+#[derive(Debug)]
+pub struct CheckpointProbe {
+    /// Jobs in the scenario trace.
+    pub jobs: usize,
+    /// Jobs submitted before the snapshot was taken.
+    pub cut: usize,
+    /// Serialized snapshot size in bytes.
+    pub snapshot_bytes: usize,
+    /// Mean `ckpt::save` latency in microseconds.
+    pub save_us: f64,
+    /// Mean `ckpt::load` (parse + verify) latency in microseconds.
+    pub load_us: f64,
+    /// Mean `Checkpoint::restore_into` latency in microseconds.
+    pub restore_us: f64,
+    /// Deadline-fulfilled count of the unbroken run (equals the resumed
+    /// run's — asserted).
+    pub fulfilled: u64,
+    /// Whether a flipped bit in the snapshot surfaced as a structured
+    /// error (asserted true).
+    pub corruption_detected: bool,
+}
+
+impl CheckpointProbe {
+    /// CSV rendering (one header + one row).
+    pub fn to_csv(&self) -> String {
+        format!(
+            "jobs,cut,snapshot_bytes,save_us,load_us,restore_us,fulfilled,corruption_detected\n\
+             {},{},{},{:.1},{:.1},{:.1},{},{}\n",
+            self.jobs,
+            self.cut,
+            self.snapshot_bytes,
+            self.save_us,
+            self.load_us,
+            self.restore_us,
+            self.fulfilled,
+            self.corruption_detected,
+        )
+    }
+}
+
+/// Advances to each arrival and submits, folding resolved events into
+/// `out`.
+fn drive(rms: &mut ClusterRms<'_>, jobs: &[Job], out: &mut Vec<(u64, JobRecord)>) {
+    for job in jobs {
+        out.extend(rms.advance(job.submit).map(|e| (e.seq, e.record)));
+        rms.submit(job.clone(), job.submit);
+    }
+}
+
+fn fulfilled_count(records: &[(u64, JobRecord)]) -> u64 {
+    records.iter().filter(|(_, r)| r.fulfilled()).count() as u64
+}
+
+/// Runs the probe on the standard churn scenario with
+/// [`PolicyKind::LibraRisk`].
+///
+/// # Panics
+///
+/// If the resumed run diverges from the unbroken run, or a corrupted
+/// snapshot loads — both are crash-safety bugs, never tuning matters,
+/// so the subcommand exits non-zero rather than printing a wrong table.
+pub fn checkpoint_probe(cfg: &FigureConfig) -> CheckpointProbe {
+    let policy = PolicyKind::LibraRisk;
+    let scenario = obs_scenario(cfg);
+    let trace = scenario.build_trace();
+    let cluster = scenario.cluster();
+    let plan = scenario.fault_plan(&trace);
+    let cut = trace.len() / 2;
+
+    // Unbroken arm.
+    let mut unbroken = Vec::new();
+    let mut rms = policy
+        .rms(&cluster)
+        .with_faults(plan.clone(), RecoveryPolicy::Requeue);
+    drive(&mut rms, trace.jobs(), &mut unbroken);
+    unbroken.extend(rms.drain().map(|e| (e.seq, e.record)));
+
+    // Checkpointed arm: drive to the cut, snapshot, restore, continue.
+    let mut resumed = Vec::new();
+    let mut rms = policy
+        .rms(&cluster)
+        .with_faults(plan.clone(), RecoveryPolicy::Requeue);
+    drive(&mut rms, &trace.jobs()[..cut], &mut resumed);
+
+    const ROUNDS: u32 = 16;
+    let t0 = Instant::now();
+    let mut bytes = Vec::new();
+    for _ in 0..ROUNDS {
+        bytes = ckpt::save(&rms, None);
+    }
+    let save_us = t0.elapsed().as_secs_f64() * 1e6 / ROUNDS as f64;
+    drop(rms);
+
+    let t0 = Instant::now();
+    for _ in 0..ROUNDS {
+        ckpt::load(&bytes).expect("fresh snapshot must load");
+    }
+    let load_us = t0.elapsed().as_secs_f64() * 1e6 / ROUNDS as f64;
+    let loaded = ckpt::load(&bytes).expect("fresh snapshot must load");
+
+    let mut restore_us = 0.0;
+    let mut restored = None;
+    for _ in 0..ROUNDS {
+        let blank = policy.rms(&cluster);
+        let t0 = Instant::now();
+        let rms = loaded
+            .restore_into(blank)
+            .expect("snapshot must restore into a matching blank");
+        restore_us += t0.elapsed().as_secs_f64() * 1e6 / ROUNDS as f64;
+        restored = Some(rms);
+    }
+    let mut rms = restored.expect("at least one restore round");
+    drive(&mut rms, &trace.jobs()[cut..], &mut resumed);
+    resumed.extend(rms.drain().map(|e| (e.seq, e.record)));
+
+    assert_eq!(
+        unbroken.len(),
+        resumed.len(),
+        "resumed run resolved a different number of jobs"
+    );
+    for ((us, ur), (rs, rr)) in unbroken.iter().zip(&resumed) {
+        assert_eq!(us, rs, "resumed run diverged from the unbroken run");
+        assert_eq!(
+            ur.fulfilled(),
+            rr.fulfilled(),
+            "seq {us}: resumed outcome diverged from the unbroken run"
+        );
+    }
+
+    // Corruption smoke: one flipped bit mid-snapshot must be detected.
+    let mut corrupt = bytes.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x10;
+    let corruption_detected = ckpt::load(&corrupt).is_err();
+    assert!(
+        corruption_detected,
+        "a corrupted snapshot loaded without an error"
+    );
+
+    CheckpointProbe {
+        jobs: trace.len(),
+        cut,
+        snapshot_bytes: bytes.len(),
+        save_us,
+        load_us,
+        restore_us,
+        fulfilled: fulfilled_count(&unbroken),
+        corruption_detected,
+    }
+}

@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint_run;
 pub mod figures;
 pub mod obs_run;
 pub mod report;

@@ -72,7 +72,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: experiments <fig1|fig2|fig3|fig4|ablation|robustness|heterogeneity|churn|\
      budget|risk-profile|convergence|summary|trace-stats|timeline|trace|kernel-volume|\
-     shard-scaling|all> \
+     shard-scaling|checkpoint|all> \
      [--jobs N] [--seeds 1,2,3] [--threads N] [--out DIR] [--charts] [--quick]"
         .to_string()
 }
@@ -314,6 +314,41 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "checkpoint" => {
+                use experiments::checkpoint_run;
+                let probe = checkpoint_run::checkpoint_probe(cfg);
+                println!("# Checkpoint/restore — LibraRisk under churn\n");
+                println!("| metric | value |");
+                println!("| --- | --- |");
+                println!("| jobs (snapshot at) | {} ({}) |", probe.jobs, probe.cut);
+                println!("| snapshot size | {} bytes |", probe.snapshot_bytes);
+                println!("| save latency | {:.1} µs |", probe.save_us);
+                println!("| load latency | {:.1} µs |", probe.load_us);
+                println!("| restore latency | {:.1} µs |", probe.restore_us);
+                println!(
+                    "| resumed == unbroken | ok ({} fulfilled) |",
+                    probe.fulfilled
+                );
+                println!(
+                    "| corruption detected | {} |",
+                    if probe.corruption_detected {
+                        "ok"
+                    } else {
+                        "MISSED"
+                    }
+                );
+                if let Some(dir) = &args.out {
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        eprintln!("cannot create {}: {e}", dir.display());
+                    } else {
+                        let path = dir.join("checkpoint.csv");
+                        match std::fs::write(&path, probe.to_csv()) {
+                            Ok(()) => eprintln!("wrote {}", path.display()),
+                            Err(e) => eprintln!("cannot write checkpoint.csv: {e}"),
+                        }
+                    }
+                }
+            }
             "risk-profile" => {
                 let t = figures::risk_profile_table(cfg);
                 print!("{}", t.to_markdown());
@@ -352,7 +387,8 @@ fn main() -> ExitCode {
         }
         cmd @ ("trace-stats" | "fig1" | "fig2" | "fig3" | "fig4" | "ablation" | "robustness"
         | "heterogeneity" | "churn" | "budget" | "risk-profile" | "convergence"
-        | "summary" | "timeline" | "trace" | "kernel-volume" | "shard-scaling") => run(cmd),
+        | "summary" | "timeline" | "trace" | "kernel-volume" | "shard-scaling"
+        | "checkpoint") => run(cmd),
         other => {
             eprintln!("unknown command {other}\n{}", usage());
             return ExitCode::FAILURE;

@@ -106,17 +106,22 @@ pub fn shard_scaling(cfg: &FigureConfig) -> Vec<ShardScalingRow> {
                 .map(|_| PolicyKind::LibraRisk.rms(&sub))
                 .collect(),
             RouteBy::JobHash,
-        );
+        )
+        .expect("shard ladder never builds an empty router");
         let mut sink = OnlineReport::new();
         let t0 = Instant::now();
         for (i, job) in workload.iter().enumerate() {
             let now = job.submit;
             router.submit(job.clone(), now);
             if (i + 1) % base_jobs == 0 {
-                router.advance_with(now, |e| sink.record(e.seq, e.record));
+                router
+                    .advance_with(now, |e| sink.record(e.seq, e.record))
+                    .expect("no shard panics in the scaling sweep");
             }
         }
-        router.drain_with(|e| sink.record(e.seq, e.record));
+        router
+            .drain_with(|e| sink.record(e.seq, e.record))
+            .expect("no shard panics in the scaling sweep");
         let jobs_per_sec = total as f64 / t0.elapsed().as_secs_f64();
 
         // Oracle: one plain (unsharded) run per hash class over the same

@@ -152,6 +152,23 @@ impl OnlineStats {
             1.96 * self.stddev_sample() / (self.n as f64).sqrt()
         }
     }
+
+    /// Raw accumulator state `(n, mean, m2, min, max)`, for serializers
+    /// that must round-trip the accumulator bit-for-bit.
+    pub fn parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`OnlineStats::parts`] output.
+    pub fn from_parts(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        OnlineStats {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
 }
 
 /// An O(1) hit counter: `hits` out of `total` trials, with the
@@ -199,6 +216,11 @@ impl Tally {
     pub fn merge(&mut self, other: &Tally) {
         self.total += other.total;
         self.hits += other.hits;
+    }
+
+    /// Rebuilds a tally from raw counts (serializer round-trip).
+    pub fn from_parts(total: u64, hits: u64) -> Self {
+        Tally { total, hits }
     }
 }
 

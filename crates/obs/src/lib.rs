@@ -41,5 +41,7 @@ pub mod registry;
 
 pub use event::{DecisionAudit, Event, GaugeDelta, ResolvedKind, TimedEvent, Verdict};
 pub use reason::RejectReason;
-pub use recorder::{merge_traces, MergedTrace, NoopRecorder, Recorder, TraceRecorder};
+pub use recorder::{
+    merge_traces, MergedTrace, NoopRecorder, Recorder, RingSnapshot, TraceRecorder,
+};
 pub use registry::{Histogram, Registry};

@@ -69,6 +69,30 @@ impl Histogram {
         }
     }
 
+    /// Rebuilds a histogram from raw parts (serializer round-trip).
+    /// `bounds` must be one of the canonical static tables (see
+    /// [`crate::keys::intern_bounds`]); `counts` must be one longer.
+    pub fn from_parts(
+        bounds: &'static [f64],
+        counts: Vec<u64>,
+        sum: f64,
+        count: u64,
+    ) -> Result<Self, String> {
+        if counts.len() != bounds.len() + 1 {
+            return Err(format!(
+                "{} buckets for {} bounds",
+                counts.len(),
+                bounds.len()
+            ));
+        }
+        Ok(Histogram {
+            bounds,
+            counts,
+            sum,
+            count,
+        })
+    }
+
     /// Folds another histogram into this one: bucket counts add
     /// pairwise, sum and count accumulate. The result is exactly the
     /// histogram a single registry would have produced from the union
@@ -170,6 +194,28 @@ impl Registry {
     /// `true` when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Every counter, in registration order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().copied()
+    }
+
+    /// Every gauge, in registration order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().copied()
+    }
+
+    /// Every histogram, in registration order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, h)| (*k, h))
+    }
+
+    /// Installs a deserialized histogram under `key`, replacing any
+    /// existing one (registry restore is whole-state, not additive).
+    pub fn restore_histogram(&mut self, key: &'static str, h: Histogram) {
+        let i = find(&mut self.histograms, key, || Histogram::new(h.bounds));
+        self.histograms[i].1 = h;
     }
 
     /// Folds another registry into this one, so per-shard registries
