@@ -73,11 +73,44 @@ echo "== checkpoint smoke: save/restore round trip + crash injection =="
 cargo run --release -q -p experiments -- checkpoint --quick --out "$obs_out" >/dev/null
 test -s "$obs_out/checkpoint.csv" || { echo "missing checkpoint.csv"; exit 1; }
 
+echo "== telemetry smoke: serve endpoints =="
+# Drives a small sharded run against the zero-dep HTTP telemetry server
+# on an ephemeral port, scrapes /metrics and /healthz with curl, then
+# ends the linger via GET /shutdown and requires a clean exit. The
+# binary is backgrounded from this shell (not a subshell) so `wait`
+# can reap it and propagate its exit status.
+serve_log="$(mktemp /tmp/serve_smoke.XXXXXX.log)"
+trap 'rm -f "$serve_log"; rm -rf "$obs_out"' EXIT
+cargo run --release -q -p experiments -- serve \
+    --jobs 500 --shards 2 --for-secs 60 >"$serve_log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^TELEMETRY_ADDR=//p' "$serve_log" | head -n1)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve never printed TELEMETRY_ADDR"; kill "$serve_pid" 2>/dev/null || true; exit 1; }
+# The drive publishes as it goes; poll until the profiler keys land.
+metrics_ok=""
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$addr/metrics" 2>/dev/null | grep -q '^phase_progress_pass_ns_total '; then
+        metrics_ok=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$metrics_ok" ] || { echo "/metrics never served phase keys"; kill "$serve_pid" 2>/dev/null || true; exit 1; }
+health="$(curl -fsS "http://$addr/healthz")"
+[ -n "$health" ] || { echo "/healthz served an empty body"; kill "$serve_pid" 2>/dev/null || true; exit 1; }
+curl -fsS "http://$addr/shutdown" >/dev/null
+wait "$serve_pid" || { echo "serve exited non-zero after /shutdown"; exit 1; }
+
 echo "== bench smoke: admission =="
 # Small counts; writes to a scratch path so the committed
 # BENCH_admission.json baseline (full-size run) is not clobbered.
 smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
-trap 'rm -f "$smoke_out" ; rm -rf "$obs_out"' EXIT
+trap 'rm -f "$smoke_out" "$serve_log" ; rm -rf "$obs_out"' EXIT
 # The trailing 20000 keeps the sharded-driver sweep a smoke run too
 # (the committed baseline is the full 10M-job sweep).
 cargo run --release -p bench --bin bench_admission -- 200 2 400 "$smoke_out" 20000 >/dev/null

@@ -451,6 +451,47 @@ fn sharded_driver_cell(shards: usize, total_jobs: u64, wl: &TiledWorkload) -> (f
     (total_jobs as f64 / secs, p99, sink.fulfilled())
 }
 
+/// A short profiler-enabled replay of one sharded cell, reporting the
+/// p99 producer-side mailbox backpressure wait (ns) and the number of
+/// depth observations. 1-shard cells route inline without mailboxes, so
+/// both come back 0 there. Runs outside the timed cell so the committed
+/// throughput numbers stay profiler-free.
+fn sharded_mailbox_probe(shards: usize, total_jobs: u64, wl: &TiledWorkload) -> (f64, u64) {
+    obs::phase::reset();
+    obs::phase::set_enabled(true);
+    let nodes = Cluster::sdsc_sp2().len() / shards;
+    let sub_cluster = Cluster::homogeneous(nodes.max(1), 168.0);
+    let mut router = ShardedRms::new(
+        (0..shards)
+            .map(|_| PolicyKind::LibraRisk.rms(&sub_cluster))
+            .collect(),
+        RouteBy::JobHash,
+    )
+    .expect("bench ladder never builds an empty router");
+    let mut sink = OnlineReport::new();
+    let base_len = wl.base_len();
+    for i in 0..total_jobs {
+        let job = wl.job(i);
+        let now = job.submit;
+        black_box(router.submit(job, now));
+        if (i + 1) % base_len == 0 {
+            router
+                .advance_with(now, |e| sink.record(e.seq, e.record))
+                .expect("no shard panics in the mailbox probe");
+        }
+    }
+    router
+        .drain_with(|e| sink.record(e.seq, e.record))
+        .expect("no shard panics in the mailbox probe");
+    obs::phase::set_enabled(false);
+    let snap = obs::phase::snapshot();
+    obs::phase::reset();
+    (
+        snap.quantile_ns(obs::phase::Phase::MailboxSendWait, 0.99),
+        snap.mailbox_depth_count(),
+    )
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let decisions: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(10_000);
@@ -527,13 +568,23 @@ fn main() {
     // run's job count.
     let wl = TiledWorkload::new((sharded_jobs / 64).clamp(250, 100_000) as usize);
     let mut sharded_cells = Vec::new();
+    // The mailbox probe replays a short profiler-enabled slice per cell
+    // (outside the timed run) to read backpressure waits off the phase
+    // histograms.
+    let probe_jobs = sharded_jobs.min(wl.base_len() * 16);
     for shards in [1usize, 4, 16, 64] {
         eprintln!("sharded driver: {shards} shard(s), {sharded_jobs} jobs");
         let (jps, p99, fulfilled) = sharded_driver_cell(shards, sharded_jobs, &wl);
-        eprintln!("    {jps:.0} jobs/sec aggregate, p99 submit {p99:.0} ns, {fulfilled} fulfilled");
+        let (wait_p99, depth_obs) = sharded_mailbox_probe(shards, probe_jobs, &wl);
+        eprintln!(
+            "    {jps:.0} jobs/sec aggregate, p99 submit {p99:.0} ns, {fulfilled} fulfilled, \
+             p99 mailbox send wait {wait_p99:.0} ns ({depth_obs} depth obs)"
+        );
         sharded_cells.push(format!(
             "    {{ \"shards\": {shards}, \"jobs_per_sec\": {jps:.0}, \
-             \"p99_submit_ns\": {p99:.0}, \"fulfilled\": {fulfilled} }}"
+             \"p99_submit_ns\": {p99:.0}, \"fulfilled\": {fulfilled}, \
+             \"p99_mailbox_send_wait_ns\": {wait_p99:.0}, \
+             \"mailbox_depth_observations\": {depth_obs} }}"
         ));
     }
 
@@ -845,6 +896,70 @@ fn main() {
         "noop recorder costs more than 10% driver throughput (median ratio {noop_ratio:.3})"
     );
 
+    // Phase-profiler overhead probe: the same replay with the process
+    // global profiler off and on, interleaved pairs like the recorder
+    // probe (a contended stretch slows both arms of a round alike).
+    // Enabled, every advance pays lap marks and a TLS flush and every
+    // decision pays nested spans — the budget is the same 10% gate the
+    // recorders get, and outcomes must not move at all.
+    eprintln!("profiler overhead probe: {obs_jobs}-job replay, off vs on");
+    const PF_ROUNDS: usize = 9;
+    let mut pf_rounds = [[0.0f64; 2]; PF_ROUNDS];
+    let mut pf_off_jps = 0.0f64;
+    let mut pf_on_jps = 0.0f64;
+    let mut pf_fulfilled: Option<(u64, u64)> = None;
+    let mut pf_coverage = 0.0f64;
+    for round in pf_rounds.iter_mut() {
+        obs::phase::set_enabled(false);
+        let (off, off_f) = drive_trace_throughput(PolicyKind::LibraRisk, obs_trace);
+        obs::phase::reset();
+        obs::phase::set_enabled(true);
+        let (on, on_f) = drive_trace_throughput(PolicyKind::LibraRisk, obs_trace);
+        obs::phase::set_enabled(false);
+        let snap = obs::phase::snapshot();
+        let advance_ns = snap.ns(obs::phase::Phase::AdvanceTotal).max(1);
+        let tiled: u64 = [
+            obs::phase::Phase::EventHeapPop,
+            obs::phase::Phase::ProgressPass,
+            obs::phase::Phase::RecomputeSweep,
+            obs::phase::Phase::CompletionEmit,
+        ]
+        .iter()
+        .map(|&p| snap.ns(p))
+        .sum();
+        pf_coverage = tiled as f64 / advance_ns as f64;
+        obs::phase::reset();
+        let (off0, on0) = *pf_fulfilled.get_or_insert((off_f, on_f));
+        assert_eq!((off_f, on_f), (off0, on0), "replays are deterministic");
+        pf_off_jps = pf_off_jps.max(off);
+        pf_on_jps = pf_on_jps.max(on);
+        *round = [off, on];
+    }
+    let (pf_off_fulfilled, pf_on_fulfilled) = pf_fulfilled.expect("probe ran");
+    assert_eq!(
+        pf_off_fulfilled, pf_on_fulfilled,
+        "enabling the phase profiler must not change outcomes"
+    );
+    let mut pf_ratios: Vec<f64> = pf_rounds.iter().map(|r| r[1] / r[0]).collect();
+    pf_ratios.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    let profiler_ratio = pf_ratios[pf_ratios.len() / 2];
+    let profiler_ratio_min = pf_ratios[0];
+    eprintln!(
+        "profiler overhead: off {pf_off_jps:.0} vs on {pf_on_jps:.0} jobs/sec \
+         (ratio median {profiler_ratio:.3} min {profiler_ratio_min:.3}, \
+         advance coverage {:.1}%)",
+        pf_coverage * 100.0
+    );
+    assert!(
+        profiler_ratio > 0.90,
+        "phase profiler costs more than 10% driver throughput (median ratio {profiler_ratio:.3})"
+    );
+    assert!(
+        pf_coverage >= 0.90,
+        "phase taxonomy covers only {:.1}% of the advance bracket",
+        pf_coverage * 100.0
+    );
+
     // Equivalence-classifier probe: the headline workload re-driven with
     // the pre-kernel classifier off and on, each decision preceded by a
     // tiny epoch-moving advance so whole-decision memos can never answer
@@ -962,7 +1077,11 @@ fn main() {
          \"gauged_ring_ratio\": {gauged_ratio:.3}, \
          \"gauged_ring_ratio_min\": {gauged_ratio_min:.3}, \
          \"ring_overhead_pct\": {ring_overhead_pct:.1}, \
-         \"decide_ns_mean\": {decide_ns_mean:.0} }}\n}}\n",
+         \"decide_ns_mean\": {decide_ns_mean:.0} }},\n  \
+         \"profiler_overhead\": {{ \"jobs\": {obs_jobs}, \
+         \"off_jobs_per_sec\": {pf_off_jps:.0}, \"on_jobs_per_sec\": {pf_on_jps:.0}, \
+         \"ratio\": {profiler_ratio:.3}, \"ratio_min\": {profiler_ratio_min:.3}, \
+         \"advance_coverage\": {pf_coverage:.3} }}\n}}\n",
         libra_t.json(),
         lr_t.json(),
         sweep_cells.join(",\n"),

@@ -640,6 +640,10 @@ impl ProportionalCluster {
     pub fn advance_into(&mut self, to: SimTime, out: &mut Vec<CompletedJob>) {
         out.clear();
         assert!(to >= self.last_update, "cannot advance backwards");
+        // Phase-profiler lap boundary: marks below attribute wall time
+        // *within* this call only; the resync discards whatever the
+        // caller spent since its last mark.
+        obs::phase::lap_resync();
         let dt = (to - self.last_update).as_secs();
         let now = to;
         // `0 * dt` adds exactly 0.0 for positive dt, but skipping the
@@ -760,6 +764,7 @@ impl ProportionalCluster {
                     }
                 }
             }
+            obs::phase::lap_mark(obs::phase::Phase::ProgressPass);
             // Remaining estimates and `now` both moved: every projection
             // involving an occupied node is invalidated. No per-node write
             // is needed for that — `node_epoch()` pairs the discrete
@@ -780,6 +785,7 @@ impl ProportionalCluster {
                 });
             }
             self.completed_scratch = completed;
+            obs::phase::lap_mark(obs::phase::Phase::CompletionEmit);
             self.last_update = now;
             if fused {
                 // Totals and shares are already current (rebuilt from the
@@ -793,6 +799,9 @@ impl ProportionalCluster {
         if !self.rates_clean {
             self.recompute_rates();
         }
+        // Covers `recompute_pass2` (fused) or the full recompute; on a
+        // zero-width advance it absorbs only the entry/guard sliver.
+        obs::phase::lap_mark(obs::phase::Phase::RecomputeSweep);
     }
 
     /// Reference implementation of [`ProportionalCluster::advance`]: the

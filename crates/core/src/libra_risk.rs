@@ -666,6 +666,7 @@ impl ShareAdmission for LibraRisk {
         );
         if memo_live {
             if let Some(d) = self.decision_memo.get(&decision_key) {
+                obs::phase::add(obs::phase::Counter::ReplayMemoHits, 1);
                 return d.clone();
             }
         }
@@ -682,6 +683,13 @@ impl ShareAdmission for LibraRisk {
         self.zero_risk.clear();
         self.classes.clear();
         let mut stats = DecisionStats::default();
+        // Profiler: the scan span brackets the whole node loop; the
+        // classify/kernel spans below nest inside it (they are a
+        // breakdown of scan time, not disjoint phases). All three are
+        // stride-sampled per decision so an enabled profiler stays
+        // inside the <10% throughput budget.
+        let fine = obs::phase::decision_sampled();
+        let scan_span = fine.then(|| obs::phase::span(obs::phase::Phase::CandidateScan));
         let total_nodes = engine.cluster().len();
         for (scanned, node) in engine.cluster().nodes().iter().enumerate() {
             // Certain-rejection early-exit: even if this node and every
@@ -757,6 +765,8 @@ impl ShareAdmission for LibraRisk {
                     }
                 }
                 if known.is_none() {
+                    let _classify =
+                        fine.then(|| obs::phase::span(obs::phase::Phase::EquivClassify));
                     // Equivalence class: (μ_j, σ_j) are symmetric
                     // functions of the resident job multiset, so once
                     // (candidate, now, discipline) are fixed for this
@@ -790,6 +800,8 @@ impl ShareAdmission for LibraRisk {
                         ms
                     }
                     None => {
+                        let _kernel =
+                            fine.then(|| obs::phase::span(obs::phase::Phase::VerdictKernel));
                         let (mu, sigma) = if self.naive_projection {
                             stats.projections_run += 1;
                             let c = &self.cache[idx];
@@ -909,8 +921,19 @@ impl ShareAdmission for LibraRisk {
                 }
             }
         }
+        drop(scan_span);
         stats.distinct_classes = self.classes.len() as u64;
         self.stats = stats;
+        if obs::phase::enabled() {
+            use obs::phase::Counter as C;
+            obs::phase::add(C::DominanceScreens, stats.screen_hits);
+            obs::phase::add(C::PairingHits, stats.pairing_hits);
+            obs::phase::add(C::EquivClassHits, stats.class_hits);
+            obs::phase::add(C::EquivClassMisses, stats.projections_run);
+            obs::phase::add(C::CandidateMemoHits, stats.memo_hits);
+            obs::phase::add(C::KernelBails, stats.kernel_bails);
+            obs::phase::add(C::ProjectionsRun, stats.projections_run);
+        }
         // Lines 12–18: accept iff enough suitable nodes exist.
         let decision = if self.zero_risk.len() < want {
             None

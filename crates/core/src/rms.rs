@@ -205,7 +205,12 @@ impl ProportionalBackend<'_> {
     /// `to` — exactly the rate-recomputation instants the batch loop's
     /// wake events produced — emitting completions as they fire.
     fn catch_up(&mut self, to: SimTime, events: &mut Vec<JobEvent>) {
+        // The outermost advance bracket on this thread: phases marked
+        // below (and inside the engine) tile this span, which anchors
+        // the profiler's coverage ratio. Nested brackets are free.
+        let _adv = obs::phase::advance_span();
         while let Some(t) = self.engine.next_event_time() {
+            obs::phase::lap_mark(obs::phase::Phase::EventHeapPop);
             if t > to {
                 break;
             }
@@ -214,6 +219,7 @@ impl ProportionalBackend<'_> {
     }
 
     fn advance_engine(&mut self, to: SimTime, events: &mut Vec<JobEvent>) {
+        let _adv = obs::phase::advance_span();
         let mut completed = std::mem::take(&mut self.completed_buf);
         self.engine.advance_into(to, &mut completed);
         for done in completed.drain(..) {
@@ -234,6 +240,7 @@ impl ProportionalBackend<'_> {
                 },
             ));
         }
+        obs::phase::lap_mark(obs::phase::Phase::CompletionEmit);
         self.completed_buf = completed;
     }
 

@@ -150,13 +150,20 @@ impl<T> Mailbox<T> {
     /// sibling's send.
     fn send(&self, chunk: Vec<T>) {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
-        while inner.chunks.len() >= MAILBOX_CAP {
-            inner = self
-                .send_cv
-                .wait(inner)
-                .unwrap_or_else(PoisonError::into_inner);
+        if inner.chunks.len() >= MAILBOX_CAP {
+            // Backpressure: the producer outran the merge. Timed only
+            // when it actually happens, so an uncontended send stays
+            // one enabled-check away from the uninstrumented path.
+            let _wait = obs::phase::span(obs::phase::Phase::MailboxSendWait);
+            while inner.chunks.len() >= MAILBOX_CAP {
+                inner = self
+                    .send_cv
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
         }
         inner.chunks.push_back(chunk);
+        obs::phase::observe_mailbox_depth(inner.chunks.len());
         drop(inner);
         self.recv_cv.notify_one();
     }
@@ -184,6 +191,8 @@ impl<T> Mailbox<T> {
             if inner.closed {
                 return None;
             }
+            // Merge lag: the consumer is ahead of this shard's stream.
+            let _wait = obs::phase::span(obs::phase::Phase::MailboxRecvWait);
             inner = self
                 .recv_cv
                 .wait(inner)
@@ -332,6 +341,7 @@ impl<'p> ShardedRms<'p> {
 
     /// [`ShardedRms::submit`], also reporting which shard took the job.
     pub fn submit_routed(&mut self, job: Job, now: SimTime) -> (usize, Decision) {
+        let _submit = obs::phase::span(obs::phase::Phase::RouterSubmit);
         let shard = self.pick_shard(&job);
         self.global_of[shard].push(self.next_seq);
         self.next_seq += 1;
@@ -493,6 +503,7 @@ fn pump(events: impl Iterator<Item = JobEvent>, map: &[u64], mb: &Mailbox<JobEve
 /// current heads yields a globally time-ordered merge; equal timestamps
 /// break ties by global submission seq, which is unique.
 fn merge_mailboxes(mailboxes: &[Mailbox<JobEvent>], emit: &mut impl FnMut(JobEvent)) {
+    let _merge = obs::phase::span(obs::phase::Phase::RouterMerge);
     let n = mailboxes.len();
     let mut bufs: Vec<std::vec::IntoIter<JobEvent>> =
         (0..n).map(|_| Vec::new().into_iter()).collect();

@@ -168,6 +168,40 @@ proptest! {
         }
     }
 
+    // The phase profiler is process-global state the engine hooks read
+    // on every advance and decide — exactly the shape of plumbing that
+    // could leak into a decision if a hook ever did more than observe.
+    // Profiler-on runs must stay bitwise identical to profiler-off for
+    // all 13 policies under churn, and must actually have profiled.
+    #[test]
+    fn enabled_profiler_leaves_all_policies_bitwise_identical(
+        arrivals in proptest::collection::vec(arrival(), 5..20),
+        down_at in 10.0..2_000.0f64,
+        outage in 10.0..1_000.0f64,
+    ) {
+        obs::phase::reset();
+        for kind in PolicyKind::ALL {
+            obs::phase::set_enabled(false);
+            let plain = run(kind, &arrivals, down_at, outage, None);
+            obs::phase::set_enabled(true);
+            let profiled = run(kind, &arrivals, down_at, outage, None);
+            obs::phase::set_enabled(false);
+            prop_assert_eq!(&plain, &profiled, "{:?}: profiler-on run diverged", kind);
+        }
+        // Aggregated across all 13 profiled runs the profiler must have
+        // seen real work (individual policies may reject everything).
+        let snap = obs::phase::snapshot();
+        prop_assert!(
+            snap.ns(obs::phase::Phase::AdvanceTotal) > 0,
+            "profiler saw no advance work"
+        );
+        prop_assert!(
+            snap.calls(obs::phase::Phase::ProgressPass) > 0,
+            "no progress-pass laps recorded"
+        );
+        obs::phase::reset();
+    }
+
     // The JSONL and Chrome trace exporters round-trip through the
     // bundled JSON parser for arbitrary recorded runs — one line per
     // event, and a Chrome event per span/instant.

@@ -26,6 +26,7 @@ pub mod report;
 pub mod scenario;
 pub mod shard_scaling;
 pub mod sweep;
+pub mod telemetry_run;
 
 pub use scenario::{EstimateRegime, Scenario, TraceSource};
 pub use sweep::{run_sweep, SweepOutcome};

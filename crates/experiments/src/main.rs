@@ -15,6 +15,11 @@ struct Args {
     cfg: FigureConfig,
     out: Option<PathBuf>,
     charts: bool,
+    /// `serve`: shards behind the router.
+    shards: usize,
+    /// `serve`: seconds to keep serving after the drive (cut short by
+    /// `GET /shutdown`).
+    for_secs: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -23,6 +28,8 @@ fn parse_args() -> Result<Args, String> {
     let mut cfg = FigureConfig::default();
     let mut out = None;
     let mut charts = false;
+    let mut shards = 4usize;
+    let mut for_secs = 30.0f64;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--quick" => {
@@ -58,6 +65,20 @@ fn parse_args() -> Result<Args, String> {
                 out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?));
             }
             "--charts" => charts = true,
+            "--shards" => {
+                shards = args
+                    .next()
+                    .ok_or("--shards needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--for-secs" => {
+                for_secs = args
+                    .next()
+                    .ok_or("--for-secs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--for-secs: {e}"))?;
+            }
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -66,14 +87,18 @@ fn parse_args() -> Result<Args, String> {
         cfg,
         out,
         charts,
+        shards,
+        for_secs,
     })
 }
 
 fn usage() -> String {
     "usage: experiments <fig1|fig2|fig3|fig4|ablation|robustness|heterogeneity|churn|\
      budget|risk-profile|convergence|summary|trace-stats|timeline|trace|kernel-volume|\
-     shard-scaling|checkpoint|all> \
-     [--jobs N] [--seeds 1,2,3] [--threads N] [--out DIR] [--charts] [--quick]"
+     shard-scaling|checkpoint|profile|serve|all> \
+     [--jobs N] [--seeds 1,2,3] [--threads N] [--out DIR] [--charts] [--quick]\n\
+     serve only: [--shards N] [--for-secs S]\n\
+     profile always replays the committed 2000-job bench workload"
         .to_string()
 }
 
@@ -349,6 +374,99 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "profile" => {
+                use experiments::telemetry_run::{self, ADVANCE_TILES};
+                let report = telemetry_run::profile_probe(telemetry_run::GOLDEN_JOBS);
+                println!("# Hot-path phase profile — LibraRisk, committed bench workload\n");
+                println!("| metric | value |");
+                println!("| --- | --- |");
+                println!("| jobs | {} |", report.jobs);
+                println!("| fulfilled | {} |", report.fulfilled);
+                println!("| wall clock | {:.2} s |", report.wall_secs);
+                println!(
+                    "| advance bracket (sampled 1-in-{}) | {:.1} ms |",
+                    obs::phase::SAMPLE_STRIDE,
+                    report.advance_ns as f64 / 1e6
+                );
+                println!(
+                    "| phase coverage of advance | {:.1}% |",
+                    report.coverage * 100.0
+                );
+                println!();
+                println!("| phase | total | calls | share of advance | p99 |");
+                println!("| --- | --- | --- | --- | --- |");
+                for r in &report.rows {
+                    let tiled = ADVANCE_TILES.contains(&r.phase);
+                    println!(
+                        "| {} | {:.2} ms | {} | {} | {:.0} µs |",
+                        r.phase.name(),
+                        r.ns as f64 / 1e6,
+                        r.calls,
+                        if tiled {
+                            format!("{:.1}%", r.share_of_advance * 100.0)
+                        } else {
+                            "—".to_string()
+                        },
+                        r.p99_ns / 1e3,
+                    );
+                }
+                if !report.counters.is_empty() {
+                    println!();
+                    println!("| decision counter | value |");
+                    println!("| --- | --- |");
+                    for (k, v) in &report.counters {
+                        println!("| {k} | {v} |");
+                    }
+                }
+                if let Some(dir) = &args.out {
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        eprintln!("cannot create {}: {e}", dir.display());
+                    } else {
+                        for (name, body) in [
+                            ("profile.csv", report.to_csv()),
+                            ("profile_counters.csv", report.counters_csv()),
+                            ("profile.svg", report.to_svg()),
+                        ] {
+                            let path = dir.join(name);
+                            match std::fs::write(&path, body) {
+                                Ok(()) => eprintln!("wrote {}", path.display()),
+                                Err(e) => eprintln!("cannot write {name}: {e}"),
+                            }
+                        }
+                    }
+                }
+            }
+            "serve" => {
+                use experiments::telemetry_run::{self, ServeOptions};
+                let opts = ServeOptions {
+                    jobs: cfg.jobs.min(20_000),
+                    shards: args.shards,
+                    linger_secs: args.for_secs,
+                    seed: cfg.seeds.first().copied().unwrap_or(1),
+                };
+                match telemetry_run::serve(&opts) {
+                    Ok(s) => {
+                        println!("# Telemetry serve — {} shards\n", opts.shards);
+                        println!("| metric | value |");
+                        println!("| --- | --- |");
+                        println!("| submitted | {} |", s.submitted);
+                        println!("| fulfilled | {} |", s.fulfilled);
+                        println!("| publish rounds | {} |", s.publishes);
+                        println!(
+                            "| ended by | {} |",
+                            if s.shut_down_remotely {
+                                "GET /shutdown"
+                            } else {
+                                "--for-secs timeout"
+                            }
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("serve failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
             "risk-profile" => {
                 let t = figures::risk_profile_table(cfg);
                 print!("{}", t.to_markdown());
@@ -388,7 +506,7 @@ fn main() -> ExitCode {
         cmd @ ("trace-stats" | "fig1" | "fig2" | "fig3" | "fig4" | "ablation" | "robustness"
         | "heterogeneity" | "churn" | "budget" | "risk-profile" | "convergence"
         | "summary" | "timeline" | "trace" | "kernel-volume" | "shard-scaling"
-        | "checkpoint") => run(cmd),
+        | "checkpoint" | "profile" | "serve") => run(cmd),
         other => {
             eprintln!("unknown command {other}\n{}", usage());
             return ExitCode::FAILURE;

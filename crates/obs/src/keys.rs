@@ -66,6 +66,30 @@ pub const RISK_DIST: &str = "librarisk_cluster_risk_dist";
 /// Bucket bounds for [`RISK_DIST`].
 pub const RISK_BOUNDS: &[f64] = &[0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0, 4.0];
 
+/// Bucket bounds for the phase profiler's per-flush duration
+/// histograms (`phase_*_ns`), nanoseconds. Spans sub-microsecond lap
+/// slivers up to quarter-second stalls (a blocked mailbox send).
+pub const PHASE_NS_BOUNDS: &[f64] = &[
+    250.0,
+    1_000.0,
+    5_000.0,
+    25_000.0,
+    100_000.0,
+    500_000.0,
+    2_000_000.0,
+    10_000_000.0,
+    50_000_000.0,
+    250_000_000.0,
+];
+
+/// Bucket bounds for [`crate::phase::MAILBOX_DEPTH_KEY`] — queued
+/// chunks at send time; the router caps mailboxes at 8 chunks, so the
+/// overflow bucket should stay empty.
+pub const MAILBOX_DEPTH_BOUNDS: &[f64] = &[0.0, 1.0, 2.0, 4.0, 8.0];
+
+/// Last-observed mailbox depth at send time (gauge, chunks).
+pub const MAILBOX_DEPTH_LAST: &str = "router_mailbox_depth_last";
+
 /// Histogram key + bounds for a policy audit-gauge key, when the
 /// gauge has a meaningful distribution to track.
 pub fn gauge_histogram(gauge_key: &str) -> Option<(&'static str, &'static [f64])> {
@@ -117,16 +141,56 @@ pub fn intern(name: &str) -> Option<&'static str> {
     if let Some(k) = FIXED.iter().find(|k| **k == name) {
         return Some(k);
     }
-    crate::reason::RejectReason::ALL
+    if let Some(k) = crate::reason::RejectReason::ALL
         .iter()
         .map(|r| r.counter_key())
         .find(|k| *k == name)
+    {
+        return Some(k);
+    }
+    crate::phase::intern_key(name)
 }
 
 /// Resolves a serialized bucket-bound table back to the canonical
 /// static it must alias — the histogram analogue of [`intern`].
 pub fn intern_bounds(bounds: &[f64]) -> Option<&'static [f64]> {
-    [DECIDE_LATENCY_BOUNDS, SHARE_BOUNDS, RISK_BOUNDS]
-        .into_iter()
-        .find(|b| *b == bounds)
+    [
+        DECIDE_LATENCY_BOUNDS,
+        SHARE_BOUNDS,
+        RISK_BOUNDS,
+        PHASE_NS_BOUNDS,
+        MAILBOX_DEPTH_BOUNDS,
+    ]
+    .into_iter()
+    .find(|b| *b == bounds)
+}
+
+/// Scrape-page `# HELP` text for a metric key, when we have one.
+/// Plain one-liners here; [`crate::Registry::to_prometheus`] escapes
+/// backslashes and newlines per the exposition grammar on the way out.
+pub fn help(key: &str) -> Option<&'static str> {
+    let fixed = match key {
+        _ if key == DECISIONS => "Total admission decisions (accepted + rejected + queued).",
+        _ if key == ACCEPTED => "Decisions that admitted the job immediately.",
+        _ if key == REJECTED => "Decisions that turned the job away at submit.",
+        _ if key == QUEUED => "Decisions that parked the job in a wait queue.",
+        _ if key == RESOLVED => "Jobs that reached a terminal outcome.",
+        _ if key == FULFILLED => "Completions that met their deadline.",
+        _ if key == OVERDUE => "Completions that missed their deadline.",
+        _ if key == KILLED => "Jobs killed by node failure.",
+        _ if key == NODE_DOWN => "Node failures applied from the fault plan.",
+        _ if key == NODE_UP => "Node repairs applied from the fault plan.",
+        _ if key == UTILIZATION => "Mean utilization of up capacity so far.",
+        _ if key == IN_FLIGHT => "Jobs currently resident or queued.",
+        _ if key == DECIDE_LATENCY => "Wall-clock decide latency, nanoseconds.",
+        _ if key == SHARE_DIST => "Post-decision share-sum distribution (Libra family).",
+        _ if key == RISK_DIST => "Post-decision cluster-risk distribution (LibraRisk family).",
+        _ if key == MAILBOX_DEPTH_LAST => "Last-observed mailbox depth at send time, chunks.",
+        "obs_events_dropped_total" => "Ring-buffer events dropped (oldest-first) on overflow.",
+        _ => "",
+    };
+    if !fixed.is_empty() {
+        return Some(fixed);
+    }
+    crate::phase::help_key(key)
 }

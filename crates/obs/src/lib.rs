@@ -35,9 +35,11 @@ pub mod event;
 pub mod export;
 pub mod json;
 pub mod keys;
+pub mod phase;
 pub mod reason;
 pub mod recorder;
 pub mod registry;
+pub mod serve;
 
 pub use event::{DecisionAudit, Event, GaugeDelta, ResolvedKind, TimedEvent, Verdict};
 pub use reason::RejectReason;
@@ -45,3 +47,4 @@ pub use recorder::{
     merge_traces, MergedTrace, NoopRecorder, Recorder, RingSnapshot, TraceRecorder,
 };
 pub use registry::{Histogram, Registry};
+pub use serve::{HealthReport, ShardHealth, TelemetryHub, TelemetryServer};

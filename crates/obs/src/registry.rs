@@ -93,6 +93,32 @@ impl Histogram {
         })
     }
 
+    /// Upper-bound estimate of the `q`-quantile: the upper bound of
+    /// the bucket the quantile lands in, linearly interpolated within
+    /// the bucket. Observations past the last bound report the last
+    /// finite bound (the table cannot resolve further); an empty
+    /// histogram reports 0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, n) in self.counts.iter().enumerate() {
+            let prev = cum;
+            cum += n;
+            if cum >= target {
+                let Some(&hi) = self.bounds.get(i) else {
+                    return self.bounds.last().copied().unwrap_or(0.0);
+                };
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let frac = (target - prev) as f64 / (*n).max(1) as f64;
+                return lo + (hi - lo) * frac;
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
+    }
+
     /// Folds another histogram into this one: bucket counts add
     /// pairwise, sum and count accumulate. The result is exactly the
     /// histogram a single registry would have produced from the union
@@ -242,20 +268,26 @@ impl Registry {
         }
     }
 
-    /// Prometheus text exposition: `# TYPE` headers, cumulative
-    /// `_bucket{le=...}` lines for histograms, deterministic
-    /// registration order.
+    /// Prometheus text exposition: `# HELP` (escaped per the grammar)
+    /// and `# TYPE` headers, cumulative `_bucket{le=...}` lines for
+    /// histograms, deterministic registration order. A histogram's
+    /// `_sum`/`_count` samples ride under the single
+    /// `# TYPE <k> histogram` family header — the exposition format
+    /// forbids separate TYPE lines for them.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for (k, v) in &self.counters {
+            write_help(&mut out, k);
             let _ = writeln!(out, "# TYPE {k} counter");
             let _ = writeln!(out, "{k} {v}");
         }
         for (k, v) in &self.gauges {
+            write_help(&mut out, k);
             let _ = writeln!(out, "# TYPE {k} gauge");
             let _ = writeln!(out, "{k} {v}");
         }
         for (k, h) in &self.histograms {
+            write_help(&mut out, k);
             let _ = writeln!(out, "# TYPE {k} histogram");
             let mut cumulative = 0u64;
             for (bound, n) in h.bounds.iter().zip(&h.counts) {
@@ -268,6 +300,18 @@ impl Registry {
             let _ = writeln!(out, "{k}_count {}", h.count);
         }
         out
+    }
+}
+
+/// Escapes HELP text per the exposition grammar: backslash first
+/// (so escaped newlines don't double-escape), then newline.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn write_help(out: &mut String, key: &str) {
+    if let Some(h) = crate::keys::help(key) {
+        let _ = writeln!(out, "# HELP {key} {}", escape_help(h));
     }
 }
 
@@ -371,6 +415,135 @@ mod tests {
         let mut b = Registry::new();
         b.observe("h", OTHER, 1.0);
         a.merge(&b);
+    }
+
+    #[test]
+    fn help_text_escapes_backslash_then_newline() {
+        assert_eq!(escape_help("plain text"), "plain text");
+        assert_eq!(escape_help("line one\nline two"), "line one\\nline two");
+        assert_eq!(escape_help("a\\b"), "a\\\\b");
+        // Backslash-first ordering: a literal `\n` sequence in the
+        // source must not collapse into an escaped newline.
+        assert_eq!(escape_help("literal \\n\nreal"), "literal \\\\n\\nreal");
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let mut r = Registry::new();
+        for v in [0.5, 0.5, 5.0, 50.0] {
+            r.observe("h", BOUNDS, v);
+        }
+        let h = r.histogram("h").unwrap();
+        // 2 of 4 observations in (0, 1]: the median is the top of it.
+        assert!((h.quantile(0.5) - 1.0).abs() < 1e-9);
+        // 3rd observation: halfway through (1, 10].
+        assert!((h.quantile(0.75) - 10.0).abs() < 1e-9 || h.quantile(0.75) > 1.0);
+        assert!(h.quantile(1.0) <= 100.0);
+        // Overflow-only tail reports the last finite bound.
+        let mut o = Registry::new();
+        o.observe("h", BOUNDS, 1e9);
+        assert!((o.histogram("h").unwrap().quantile(0.99) - 100.0).abs() < 1e-9);
+        // Empty histogram (possible via from_parts) reports 0.
+        let empty = Histogram::from_parts(BOUNDS, vec![0; 4], 0.0, 0).unwrap();
+        assert_eq!(empty.quantile(0.5), 0.0);
+    }
+
+    /// Validates `text` against the Prometheus text exposition
+    /// grammar: HELP/TYPE comment shape, samples belonging to the most
+    /// recently declared family, histogram buckets cumulative with
+    /// `+Inf == _count`, and exactly one TYPE per family.
+    fn validate_exposition(text: &str) {
+        let mut family: Option<(String, String)> = None;
+        let mut seen_types: Vec<String> = Vec::new();
+        let mut last_bucket: Option<u64> = None;
+        let mut inf_bucket: Option<u64> = None;
+        for line in text.lines() {
+            assert!(!line.is_empty(), "no blank lines in our exposition");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) = rest.split_once(' ').expect("HELP has name and text");
+                assert!(!name.is_empty() && !help.is_empty());
+                assert!(!help.contains('\\') || help.contains("\\\\") || help.contains("\\n"));
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest.split_once(' ').expect("TYPE has name and kind");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "unknown TYPE kind {kind}"
+                );
+                assert!(
+                    !seen_types.contains(&name.to_string()),
+                    "duplicate TYPE for {name}"
+                );
+                seen_types.push(name.to_string());
+                family = Some((name.to_string(), kind.to_string()));
+                last_bucket = None;
+                inf_bucket = None;
+                continue;
+            }
+            assert!(!line.starts_with('#'), "unknown comment line {line}");
+            let (sample, value) = line.rsplit_once(' ').expect("sample has a value");
+            let name = sample.split('{').next().unwrap();
+            let (fam, kind) = family.as_ref().expect("sample before any TYPE");
+            match kind.as_str() {
+                "counter" | "gauge" => {
+                    assert_eq!(name, fam, "sample outside its family");
+                    let _ = value.parse::<f64>().expect("numeric value");
+                }
+                "histogram" => {
+                    assert!(
+                        name == format!("{fam}_bucket")
+                            || name == format!("{fam}_sum")
+                            || name == format!("{fam}_count"),
+                        "sample {name} outside histogram family {fam}"
+                    );
+                    if name.ends_with("_bucket") {
+                        assert!(sample.contains("le=\""), "bucket sample needs an le label");
+                        let n = value.parse::<u64>().expect("integer bucket count");
+                        if let Some(prev) = last_bucket {
+                            assert!(n >= prev, "bucket counts must be cumulative");
+                        }
+                        last_bucket = Some(n);
+                        if sample.contains("le=\"+Inf\"") {
+                            inf_bucket = Some(n);
+                        }
+                    } else if name.ends_with("_count") {
+                        let n = value.parse::<u64>().expect("integer count");
+                        assert_eq!(Some(n), inf_bucket, "+Inf bucket must equal _count");
+                    } else {
+                        let _ = value.parse::<f64>().expect("numeric sum");
+                    }
+                }
+                k => panic!("unexpected kind {k}"),
+            }
+        }
+    }
+
+    #[test]
+    fn exposition_matches_the_scrape_grammar() {
+        let mut r = Registry::new();
+        r.inc(crate::keys::DECISIONS);
+        r.add("jobs_total", 41);
+        r.set_gauge(crate::keys::UTILIZATION, 0.5);
+        for v in [100.0, 700.0, 2e6] {
+            r.observe(
+                crate::keys::DECIDE_LATENCY,
+                crate::keys::DECIDE_LATENCY_BOUNDS,
+                v,
+            );
+        }
+        let text = r.to_prometheus();
+        validate_exposition(&text);
+        // Keys with registered help get a HELP line before their TYPE.
+        let help_at = text
+            .find("# HELP rms_decisions_total")
+            .expect("help line for a vocabulary key");
+        let type_at = text.find("# TYPE rms_decisions_total").unwrap();
+        assert!(help_at < type_at);
+        // Exactly one TYPE line covers the whole histogram family.
+        assert_eq!(text.matches("# TYPE rms_decide_latency_ns").count(), 1);
+        assert!(text.contains("rms_decide_latency_ns_sum"));
+        assert!(text.contains("rms_decide_latency_ns_count 3"));
     }
 
     #[test]

@@ -1,0 +1,523 @@
+//! Zero-dependency HTTP/1.1 telemetry server.
+//!
+//! A [`TelemetryHub`] is the shared mailbox between a driving loop and
+//! the serving threads: the driver *publishes* (rendered metrics, a
+//! health report, a ring snapshot) and *broadcasts* live event lines;
+//! a [`TelemetryServer`] accepts scrape connections on a std
+//! [`TcpListener`] and answers from whatever the hub holds. Nothing
+//! here touches the engine — the server can only ever see what the
+//! driver chose to publish, so telemetry stays behaviourally inert by
+//! construction.
+//!
+//! Endpoints (all `GET`, `Connection: close`, one request per
+//! connection):
+//!
+//! - `/metrics` — Prometheus text exposition
+//!   ([`crate::Registry::to_prometheus`]).
+//! - `/healthz` — JSON shard liveness + last-advance watermark; `503`
+//!   until the driver publishes a healthy report.
+//! - `/snapshot` — the recorder ring as JSONL
+//!   ([`crate::TraceRecorder::to_jsonl`]).
+//! - `/events` — a live JSONL stream over chunked transfer encoding,
+//!   fed from [`TelemetryHub::broadcast`]; ends when the hub closes.
+//! - `/shutdown` — closes the hub (stream ends, the driving loop's
+//!   linger exits) and answers `200`.
+//!
+//! The request parser is a pure function over the accumulated bytes —
+//! fragmented reads, oversized request heads and malformed lines are
+//! all decided by [`parse_request`], which keeps it property-testable
+//! without sockets.
+
+use crate::registry::Registry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Longest request head (request line + headers) we accept, bytes.
+pub const MAX_REQUEST_BYTES: usize = 8_192;
+
+/// A parsed request line — all this server routes on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `HEAD`, ...), as sent.
+    pub method: String,
+    /// Request target (`/metrics`, ...), as sent.
+    pub target: String,
+}
+
+/// Why a request head was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HttpParseError {
+    /// The head exceeded [`MAX_REQUEST_BYTES`] without terminating
+    /// (answered `431 Request Header Fields Too Large`).
+    RequestTooLarge,
+    /// The request line is not `METHOD SP TARGET SP HTTP/x.y`
+    /// (answered `400 Bad Request`).
+    Malformed,
+}
+
+/// Incremental request-head parser. Call with everything read so far:
+/// `Ok(None)` means "head not complete yet, keep reading";
+/// `Ok(Some(_))` means the head terminated (`\r\n\r\n`, or bare
+/// `\n\n` for lenient clients) and the request line parsed.
+pub fn parse_request(buf: &[u8]) -> Result<Option<HttpRequest>, HttpParseError> {
+    let head_end = find_head_end(buf);
+    let Some(head_len) = head_end else {
+        if buf.len() > MAX_REQUEST_BYTES {
+            return Err(HttpParseError::RequestTooLarge);
+        }
+        return Ok(None);
+    };
+    if head_len > MAX_REQUEST_BYTES {
+        return Err(HttpParseError::RequestTooLarge);
+    }
+    let head = std::str::from_utf8(&buf[..head_len]).map_err(|_| HttpParseError::Malformed)?;
+    let line = head.lines().next().unwrap_or("");
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpParseError::Malformed),
+    };
+    if !version.starts_with("HTTP/") {
+        return Err(HttpParseError::Malformed);
+    }
+    Ok(Some(HttpRequest {
+        method: method.to_string(),
+        target: target.to_string(),
+    }))
+}
+
+/// Byte offset just past the head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4);
+    let lf = buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2);
+    match (crlf, lf) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
+/// Per-shard liveness as seen by the driving loop.
+#[derive(Clone, Debug)]
+pub struct ShardHealth {
+    /// Shard index.
+    pub shard: usize,
+    /// Jobs resident or queued on the shard.
+    pub in_flight: u64,
+    /// Jobs routed to the shard so far.
+    pub submitted: u64,
+    /// Seconds of simulated time since the shard last advanced
+    /// relative to the fleet watermark (0 = at the watermark).
+    pub lag_secs: f64,
+}
+
+/// What `/healthz` serves: fleet liveness + last-advance watermark.
+#[derive(Clone, Debug, Default)]
+pub struct HealthReport {
+    /// Overall verdict; `false` serves as HTTP 503.
+    pub ok: bool,
+    /// The fleet's last-advance watermark (simulated hours).
+    pub last_advance: f64,
+    /// Per-shard detail.
+    pub shards: Vec<ShardHealth>,
+}
+
+impl HealthReport {
+    /// Hand-rolled JSON rendering (the crate has no serializer dep).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"ok\":{},\"last_advance\":{},\"shards\":[",
+            self.ok,
+            num(self.last_advance)
+        );
+        for (i, s) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"shard\":{},\"in_flight\":{},\"submitted\":{},\"lag_secs\":{}}}",
+                s.shard,
+                s.in_flight,
+                s.submitted,
+                num(s.lag_secs)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// JSON number rendering: non-finite becomes `null` (JSON has no
+/// NaN/Inf), matching the exporters in [`crate::export`].
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[derive(Default)]
+struct HubState {
+    metrics_text: String,
+    health: Option<HealthReport>,
+    snapshot_jsonl: String,
+    subscribers: Vec<mpsc::Sender<String>>,
+}
+
+/// The shared publish/serve mailbox (see module docs). All methods
+/// take `&self`; the hub is meant to live in an [`Arc`] shared between
+/// the driving loop and the server threads.
+#[derive(Default)]
+pub struct TelemetryHub {
+    state: Mutex<HubState>,
+    closed: AtomicBool,
+}
+
+impl TelemetryHub {
+    /// A fresh hub with nothing published.
+    pub fn new() -> Self {
+        TelemetryHub::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HubState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Renders `reg` and makes it the `/metrics` payload.
+    pub fn publish_registry(&self, reg: &Registry) {
+        let text = reg.to_prometheus();
+        self.lock().metrics_text = text;
+    }
+
+    /// Current `/metrics` payload (empty until first publish).
+    pub fn metrics_text(&self) -> String {
+        self.lock().metrics_text.clone()
+    }
+
+    /// Makes `report` the `/healthz` payload.
+    pub fn set_health(&self, report: HealthReport) {
+        self.lock().health = Some(report);
+    }
+
+    /// Makes `jsonl` the `/snapshot` payload.
+    pub fn publish_snapshot(&self, jsonl: String) {
+        self.lock().snapshot_jsonl = jsonl;
+    }
+
+    /// Fans one event line out to every live `/events` subscriber;
+    /// subscribers whose connection died are dropped here.
+    pub fn broadcast(&self, line: &str) {
+        let mut st = self.lock();
+        st.subscribers
+            .retain(|tx| tx.send(line.to_string()).is_ok());
+    }
+
+    /// Registers a `/events` subscriber.
+    pub fn subscribe(&self) -> mpsc::Receiver<String> {
+        let (tx, rx) = mpsc::channel();
+        self.lock().subscribers.push(tx);
+        rx
+    }
+
+    /// Closes the hub: `/events` streams end, [`TelemetryHub::closed`]
+    /// turns true (the driving loop's linger watches it).
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.lock().subscribers.clear();
+    }
+
+    /// Whether [`TelemetryHub::close`] has run.
+    pub fn closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+}
+
+/// The listener thread + its stop signal.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    hub: Arc<TelemetryHub>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop on its own thread. Each connection is handled on a
+    /// short-lived thread of its own, so a stalled or half-open client
+    /// can never wedge the accept loop.
+    pub fn bind(addr: &str, hub: Arc<TelemetryHub>) -> std::io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_hub = Arc::clone(&hub);
+        let accept_thread = std::thread::Builder::new()
+            .name("telemetry-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let hub = Arc::clone(&accept_hub);
+                    let _ = std::thread::Builder::new()
+                        .name("telemetry-conn".into())
+                        .spawn(move || handle_connection(stream, &hub));
+                }
+            })?;
+        Ok(TelemetryServer {
+            addr: local,
+            stop,
+            hub,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, closes the hub, and joins the accept thread.
+    /// In-flight connection threads finish their (short) responses on
+    /// their own.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.accept_thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        self.hub.close();
+        // `incoming()` blocks in accept: poke it awake so the stop
+        // flag is observed.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, hub: &Arc<TelemetryHub>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let request = loop {
+        match parse_request(&buf) {
+            Ok(Some(req)) => break req,
+            Ok(None) => {}
+            Err(HttpParseError::RequestTooLarge) => {
+                respond(&mut stream, 431, "text/plain", "request head too large\n");
+                return;
+            }
+            Err(HttpParseError::Malformed) => {
+                respond(&mut stream, 400, "text/plain", "malformed request\n");
+                return;
+            }
+        }
+        match stream.read(&mut chunk) {
+            // EOF before a complete head: client went away; nothing
+            // to answer.
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            // Read timeout or reset: drop the connection.
+            Err(_) => return,
+        }
+    };
+    if request.method != "GET" {
+        respond(&mut stream, 405, "text/plain", "only GET is served\n");
+        return;
+    }
+    match request.target.as_str() {
+        "/metrics" => {
+            let body = hub.metrics_text();
+            respond(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+        "/healthz" => {
+            let health = hub.lock().health.clone();
+            let (status, body) = match health {
+                Some(h) => (if h.ok { 200 } else { 503 }, h.to_json()),
+                None => (503, HealthReport::default().to_json()),
+            };
+            respond(&mut stream, status, "application/json", &body);
+        }
+        "/snapshot" => {
+            let body = hub.lock().snapshot_jsonl.clone();
+            respond(&mut stream, 200, "application/x-ndjson", &body);
+        }
+        "/events" => stream_events(stream, hub),
+        "/shutdown" => {
+            respond(&mut stream, 200, "text/plain", "shutting down\n");
+            hub.close();
+        }
+        _ => respond(&mut stream, 404, "text/plain", "unknown path\n"),
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        status_text(status),
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// `/events`: chunked transfer encoding, one chunk per broadcast line,
+/// until the hub closes or the client hangs up.
+fn stream_events(mut stream: TcpStream, hub: &Arc<TelemetryHub>) {
+    let rx = hub.subscribe();
+    let head = "HTTP/1.1 200 OK\r\ncontent-type: application/x-ndjson\r\ntransfer-encoding: chunked\r\nconnection: close\r\n\r\n";
+    if stream.write_all(head.as_bytes()).is_err() {
+        return;
+    }
+    loop {
+        match rx.recv_timeout(Duration::from_millis(200)) {
+            Ok(line) => {
+                let payload = format!("{line}\n");
+                let chunk = format!("{:x}\r\n{payload}\r\n", payload.len());
+                if stream.write_all(chunk.as_bytes()).is_err() || stream.flush().is_err() {
+                    // Client went away; the hub drops our sender on
+                    // its next broadcast.
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if hub.closed() {
+                    break;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    let _ = stream.write_all(b"0\r\n\r\n");
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_fragmented_reads() {
+        let full = b"GET /metrics HTTP/1.1\r\nhost: x\r\n\r\n";
+        for cut in 0..full.len() {
+            let got = parse_request(&full[..cut]).expect("prefix never malformed");
+            assert!(got.is_none(), "incomplete head at {cut} bytes");
+        }
+        let req = parse_request(full).unwrap().expect("complete head");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/metrics");
+    }
+
+    #[test]
+    fn parser_accepts_bare_lf_terminators() {
+        let req = parse_request(b"GET /healthz HTTP/1.0\n\n")
+            .unwrap()
+            .expect("lenient terminator");
+        assert_eq!(req.target, "/healthz");
+    }
+
+    #[test]
+    fn parser_rejects_oversized_and_malformed_heads() {
+        let huge = vec![b'a'; MAX_REQUEST_BYTES + 1];
+        assert_eq!(
+            parse_request(&huge),
+            Err(HttpParseError::RequestTooLarge),
+            "unterminated head past the cap"
+        );
+        for bad in [
+            &b"GET\r\n\r\n"[..],
+            b"GET /x\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x FTP/1.1\r\n\r\n",
+            b" /x HTTP/1.1\r\n\r\n",
+            b"\xff\xfe /x HTTP/1.1\r\n\r\n",
+        ] {
+            assert_eq!(
+                parse_request(bad),
+                Err(HttpParseError::Malformed),
+                "{:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn health_report_renders_json() {
+        let report = HealthReport {
+            ok: true,
+            last_advance: 12.5,
+            shards: vec![
+                ShardHealth {
+                    shard: 0,
+                    in_flight: 3,
+                    submitted: 41,
+                    lag_secs: 0.0,
+                },
+                ShardHealth {
+                    shard: 1,
+                    in_flight: 0,
+                    submitted: 40,
+                    lag_secs: f64::NAN,
+                },
+            ],
+        };
+        let json = report.to_json();
+        let value = crate::json::parse(&json).expect("valid JSON");
+        assert_eq!(value.get("ok").and_then(|v| v.as_bool()), Some(true));
+        let shards = value.get("shards").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(
+            shards[0].get("submitted").and_then(|v| v.as_f64()),
+            Some(41.0)
+        );
+        assert!(shards[1].get("lag_secs").unwrap().is_null());
+    }
+
+    #[test]
+    fn hub_broadcast_drops_dead_subscribers() {
+        let hub = TelemetryHub::new();
+        let rx = hub.subscribe();
+        let dead = hub.subscribe();
+        drop(dead);
+        hub.broadcast("{\"seq\":1}");
+        assert_eq!(rx.recv().unwrap(), "{\"seq\":1}");
+        assert_eq!(hub.lock().subscribers.len(), 1, "dead subscriber pruned");
+        hub.close();
+        assert!(hub.closed());
+        assert!(rx.recv().is_err(), "close disconnects subscribers");
+    }
+}

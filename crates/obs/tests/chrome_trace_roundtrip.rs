@@ -1,0 +1,107 @@
+//! Regression pin for the Chrome `trace_event` export through the
+//! full recorder path: `AdvanceSpan` ring entries must come out as
+//! complete-duration events (`"ph":"X"` with a `dur`), not instants,
+//! so `about:tracing` / Perfetto draw real span widths. Validated
+//! round-trip with the crate's own JSON parser — no serde.
+
+use obs::json::{self, Value};
+use obs::{Event, Recorder, TraceRecorder};
+
+fn recorded() -> TraceRecorder {
+    let mut rec = TraceRecorder::new(64);
+    rec.record(
+        0.0,
+        Event::Submit {
+            seq: 0,
+            job: 1,
+            procs: 2,
+            estimate_secs: 60.0,
+            deadline_secs: 600.0,
+        },
+    );
+    // Two back-to-back advance spans with different widths, plus a
+    // churn instant between them.
+    rec.record(
+        3_600.0,
+        Event::AdvanceSpan {
+            start_secs: 0.0,
+            end_secs: 3_600.0,
+            events: 1,
+        },
+    );
+    rec.record(3_600.0, Event::NodeDown { node: 0 });
+    rec.record(
+        5_400.0,
+        Event::AdvanceSpan {
+            start_secs: 3_600.0,
+            end_secs: 5_400.0,
+            events: 0,
+        },
+    );
+    rec
+}
+
+#[test]
+fn advance_spans_round_trip_as_complete_events() {
+    let rec = recorded();
+    let text = rec.to_chrome_trace();
+    let doc = json::parse(&text).expect("chrome trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), 4);
+
+    let spans: Vec<&Value> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .collect();
+    assert_eq!(spans.len(), 2, "every AdvanceSpan is a complete event");
+    for span in &spans {
+        assert_eq!(span.get("name").and_then(Value::as_str), Some("advance"));
+        assert!(
+            span.get("dur").and_then(Value::as_f64).unwrap_or(-1.0) > 0.0,
+            "complete events carry a positive dur"
+        );
+        // ts + dur = the span's end: chrome traces are microseconds of
+        // simulated time in this exporter.
+        let ts = span.get("ts").and_then(Value::as_f64).unwrap();
+        let dur = span.get("dur").and_then(Value::as_f64).unwrap();
+        assert!(ts >= 0.0 && ts + dur <= 5_400.0 * 1e6 + 1.0);
+    }
+    // Widths reflect the simulated span, not a shared constant.
+    let durs: Vec<f64> = spans
+        .iter()
+        .map(|s| s.get("dur").and_then(Value::as_f64).unwrap())
+        .collect();
+    assert!((durs[0] - 3_600.0 * 1e6).abs() < 1.0, "{durs:?}");
+    assert!((durs[1] - 1_800.0 * 1e6).abs() < 1.0, "{durs:?}");
+
+    // Instant events stay instants ("i"), on their own track.
+    let down = events
+        .iter()
+        .find(|e| e.get("name").and_then(Value::as_str) == Some("node_down"))
+        .expect("churn instant present");
+    assert_eq!(down.get("ph").and_then(Value::as_str), Some("i"));
+    assert!(down.get("dur").is_none());
+}
+
+#[test]
+fn jsonl_and_chrome_trace_agree_on_span_count() {
+    let rec = recorded();
+    let jsonl = rec.to_jsonl();
+    let advance_lines = jsonl
+        .lines()
+        .map(|l| json::parse(l).expect("valid JSONL line"))
+        .filter(|v| v.get("type").and_then(Value::as_str) == Some("advance"))
+        .count();
+    let chrome = json::parse(&rec.to_chrome_trace()).unwrap();
+    let complete = chrome
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .count();
+    assert_eq!(advance_lines, complete, "both exporters see every span");
+}

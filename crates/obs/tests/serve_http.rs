@@ -1,0 +1,221 @@
+//! Robustness coverage for the telemetry server: the pure request
+//! parser under property testing, and the socket plumbing under
+//! adversarial clients (early disconnects, oversized heads, unknown
+//! paths) — none of which may wedge the accept loop.
+
+use obs::serve::{parse_request, HttpParseError, MAX_REQUEST_BYTES};
+use obs::{HealthReport, Registry, ShardHealth, TelemetryHub, TelemetryServer};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Incrementality: a request delivered in arbitrary fragments must
+    // say "incomplete" for every strict prefix and parse identically
+    // to one-shot delivery once the terminator arrives.
+    #[test]
+    fn parser_is_fragmentation_invariant(
+        path in "[a-z/]{0,24}",
+        cuts in proptest::collection::vec(0usize..64, 0..6),
+    ) {
+        let target = format!("/{path}");
+        let full = format!("GET {target} HTTP/1.1\r\nhost: t\r\n\r\n");
+        let bytes = full.as_bytes();
+        let mut boundaries: Vec<usize> = cuts.iter().map(|c| c % bytes.len()).collect();
+        boundaries.sort_unstable();
+        let mut buf = Vec::new();
+        let mut prev = 0;
+        for b in boundaries {
+            buf.extend_from_slice(&bytes[prev..b]);
+            prev = b;
+            if buf.len() < bytes.len() {
+                prop_assert_eq!(parse_request(&buf), Ok(None), "prefix must be incomplete");
+            }
+        }
+        buf.extend_from_slice(&bytes[prev..]);
+        let fragmented = parse_request(&buf).expect("complete head").expect("parsed");
+        let oneshot = parse_request(bytes).unwrap().unwrap();
+        prop_assert_eq!(&fragmented, &oneshot);
+        prop_assert_eq!(fragmented.target, target);
+    }
+
+    // Totality: arbitrary byte soup never panics and never fabricates
+    // a request out of an unterminated head.
+    #[test]
+    fn parser_is_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        match parse_request(&bytes) {
+            Ok(Some(req)) => {
+                prop_assert!(!req.method.is_empty());
+                prop_assert!(!req.target.is_empty());
+            }
+            Ok(None) => prop_assert!(bytes.len() <= MAX_REQUEST_BYTES),
+            Err(_) => {}
+        }
+    }
+
+    // An unterminated head must flip to RequestTooLarge exactly when
+    // it crosses the cap, no matter what the bytes look like.
+    #[test]
+    fn oversized_heads_are_rejected(extra in 1usize..64) {
+        let junk = vec![b'x'; MAX_REQUEST_BYTES + extra];
+        prop_assert_eq!(parse_request(&junk), Err(HttpParseError::RequestTooLarge));
+    }
+}
+
+fn hub_with_payloads() -> Arc<TelemetryHub> {
+    let hub = Arc::new(TelemetryHub::new());
+    let mut reg = Registry::new();
+    reg.add(obs::keys::DECISIONS, 7);
+    hub.publish_registry(&reg);
+    hub.set_health(HealthReport {
+        ok: true,
+        last_advance: 24.0,
+        shards: vec![ShardHealth {
+            shard: 0,
+            in_flight: 1,
+            submitted: 7,
+            lag_secs: 0.0,
+        }],
+    });
+    hub.publish_snapshot("{\"seq\":1}\n".to_string());
+    hub
+}
+
+fn get(addr: std::net::SocketAddr, target: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nhost: t\r\n\r\n").unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read response");
+    out
+}
+
+#[test]
+fn endpoints_serve_and_survive_rude_clients() {
+    let hub = hub_with_payloads();
+    let server = TelemetryServer::bind("127.0.0.1:0", Arc::clone(&hub)).expect("bind");
+    let addr = server.local_addr();
+
+    // Rude clients first: if any of these wedged the accept loop, the
+    // well-formed requests below would hang and the read timeout
+    // would fail the test.
+    // 1. Connect and vanish without sending a byte.
+    drop(TcpStream::connect(addr).expect("connect"));
+    // 2. Send half a request line, then hang up.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /met").unwrap();
+    }
+    // 3. An oversized head gets 431.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let junk = vec![b'a'; MAX_REQUEST_BYTES + 100];
+        // The server may reset mid-write once it answers; that still
+        // must not poison the listener.
+        let _ = s.write_all(&junk);
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.is_empty() || out.starts_with("HTTP/1.1 431"), "{out}");
+    }
+
+    let metrics = get(addr, "/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+    assert!(metrics.contains("rms_decisions_total 7"));
+
+    let health = get(addr, "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+    let body = health.split("\r\n\r\n").nth(1).expect("body");
+    let json = obs::json::parse(body).expect("healthz is valid JSON");
+    assert_eq!(json.get("ok").and_then(|v| v.as_bool()), Some(true));
+
+    let snapshot = get(addr, "/snapshot");
+    assert!(snapshot.contains("{\"seq\":1}"));
+
+    assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+
+    // Malformed request line and wrong method.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(b"BOGUS\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+    }
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(b"POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 405"), "{out}");
+    }
+
+    server.shutdown();
+    assert!(hub.closed(), "shutdown closes the hub");
+}
+
+#[test]
+fn events_stream_is_chunked_and_ends_on_close() {
+    let hub = hub_with_payloads();
+    let server = TelemetryServer::bind("127.0.0.1:0", Arc::clone(&hub)).expect("bind");
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(stream, "GET /events HTTP/1.1\r\nhost: t\r\n\r\n").unwrap();
+
+    // Broadcast until the subscriber is registered and a line lands —
+    // subscription happens on the connection thread, so the first few
+    // broadcasts may race past it harmlessly.
+    let publisher = {
+        let hub = Arc::clone(&hub);
+        std::thread::spawn(move || {
+            for _ in 0..200 {
+                hub.broadcast("{\"seq\":42,\"outcome\":\"fulfilled\"}");
+                std::thread::sleep(Duration::from_millis(5));
+                if hub.closed() {
+                    break;
+                }
+            }
+        })
+    };
+
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 512];
+    let text = loop {
+        let n = stream.read(&mut chunk).expect("stream read");
+        assert!(n > 0, "stream ended before a chunk arrived");
+        raw.extend_from_slice(&chunk[..n]);
+        let text = String::from_utf8_lossy(&raw).to_string();
+        if text.contains("\"seq\":42") {
+            break text;
+        }
+    };
+    assert!(text.contains("transfer-encoding: chunked"), "{text}");
+    // A chunk is `<hex len>\r\n<payload>\r\n`; the payload is one
+    // JSONL line.
+    let body = text.split("\r\n\r\n").nth(1).expect("chunked body");
+    let size_line = body.split("\r\n").next().expect("chunk size line");
+    let declared = usize::from_str_radix(size_line.trim(), 16).expect("hex chunk size");
+    assert_eq!(declared, "{\"seq\":42,\"outcome\":\"fulfilled\"}\n".len());
+
+    // Closing the hub must terminate the stream with the final chunk.
+    hub.close();
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("drain to end");
+    raw.extend_from_slice(&rest);
+    let full = String::from_utf8_lossy(&raw);
+    assert!(full.ends_with("0\r\n\r\n"), "terminating chunk: {full}");
+    publisher.join().unwrap();
+    server.shutdown();
+}
